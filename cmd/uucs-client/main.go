@@ -1,0 +1,117 @@
+// Command uucs-client runs a UUCS client against a server: it registers
+// with a machine snapshot, hot syncs to acquire a growing random sample
+// of testcases, executes testcases with Poisson arrivals against a
+// simulated foreground task and user, and uploads the results.
+//
+// Usage:
+//
+//	uucs-client -server 127.0.0.1:7060 -store ./clientdir -runs 10
+//	uucs-client -server ... -task quake -mean-gap 60
+//	uucs-client -server ... -script ids.txt     # deterministic mode
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uucs/internal/apps"
+	"uucs/internal/client"
+	"uucs/internal/comfort"
+	"uucs/internal/core"
+	"uucs/internal/hostsim"
+	"uucs/internal/protocol"
+	"uucs/internal/testcase"
+)
+
+func main() {
+	var (
+		serverAddr = flag.String("server", "127.0.0.1:7060", "server address")
+		storeDir   = flag.String("store", "uucs-client-store", "local store directory")
+		taskName   = flag.String("task", "word", "foreground task (word, powerpoint, ie, quake)")
+		runs       = flag.Int("runs", 5, "testcase executions before exiting")
+		meanGap    = flag.Float64("mean-gap", 300, "mean seconds between executions (Poisson, simulated)")
+		seed       = flag.Uint64("seed", 1, "client seed")
+		scriptPath = flag.String("script", "", "deterministic mode: run testcase IDs from this file in order")
+		hostname   = flag.String("hostname", "sim-host", "snapshot hostname")
+	)
+	flag.Parse()
+
+	task, err := testcase.ParseTask(*taskName)
+	if err != nil {
+		fatal(err)
+	}
+	app, err := apps.New(task)
+	if err != nil {
+		fatal(err)
+	}
+	users, err := comfort.SamplePopulation(1, comfort.DefaultPopulation(), *seed)
+	if err != nil {
+		fatal(err)
+	}
+	user := users[0]
+
+	store, err := client.OpenStore(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	machine := hostsim.StudyMachine()
+	snap := protocol.Snapshot{
+		Hostname: *hostname, OS: "sim",
+		CPUGHz: machine.CPUGHz, MemMB: machine.MemMB, DiskGB: 80,
+		Apps: []string{"word", "powerpoint", "ie", "quake3"},
+	}
+	cl, err := client.New(store, snap, core.NewEngine(), *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if err := cl.Register(*serverAddr); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("uucs-client: registered as %s\n", cl.ID())
+	st, err := cl.HotSync(*serverAddr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("uucs-client: hot sync brought %d testcases\n", st.NewTestcases)
+
+	if *scriptPath != "" {
+		text, err := os.ReadFile(*scriptPath)
+		if err != nil {
+			fatal(err)
+		}
+		ids := client.ParseScript(string(text))
+		results, err := cl.RunScript(ids, app, user)
+		if err != nil {
+			fatal(err)
+		}
+		for _, run := range results {
+			fmt.Println(" ", run)
+		}
+	} else {
+		clock := 0.0
+		for i := 0; i < *runs; i++ {
+			clock += cl.NextArrival(*meanGap)
+			tc, err := cl.ChooseTestcase()
+			if err != nil {
+				fatal(err)
+			}
+			run, err := cl.ExecuteRun(tc, app, user)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  t=+%.0fs %s\n", clock, run)
+		}
+	}
+
+	st, err = cl.HotSync(*serverAddr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("uucs-client: uploaded %d results\n", st.UploadedRuns)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uucs-client:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,198 @@
+// Command uucs-exercise runs a testcase's resource exercisers FOR REAL
+// on this machine — the actual §2.2 mechanism: calibrated busy-wait CPU
+// playback, synced seek+write disk streams, and a touched memory pool.
+// Press Ctrl-C to express discomfort; the exercisers stop immediately
+// and the offset is reported, exactly like the paper's client.
+//
+// Usage:
+//
+//	uucs-exercise -spec ramp:cpu:2.0,120          # ramp CPU to 2.0 over 2 min
+//	uucs-exercise -file tcs.txt -id ctrl-word-1   # a stored testcase
+//	uucs-exercise -spec step:memory:0.5,60,10 -mem-pool 512
+//	uucs-exercise -verify 1.5                     # §2.2 playback fidelity check
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"uucs/internal/exerciser"
+	"uucs/internal/monitor"
+	"uucs/internal/testcase"
+)
+
+func main() {
+	var (
+		specStr  = flag.String("spec", "", "testcase spec: shape:resource:params (e.g. ramp:cpu:2.0,120)")
+		filePath = flag.String("file", "", "testcase store file")
+		id       = flag.String("id", "", "testcase id within -file")
+		scratch  = flag.String("scratch", os.TempDir(), "directory for the disk exerciser scratch file")
+		diskMB   = flag.Int("disk-file", 256, "disk scratch file size in MB")
+		memPool  = flag.Int("mem-pool", 0, "memory pool size in MB (0 = physical memory, as in the paper)")
+		seed     = flag.Uint64("seed", 1, "stochastic borrowing seed")
+		verify   = flag.Float64("verify", 0, "run the §2.2 CPU playback verification at this contention and exit")
+		dry      = flag.Bool("dry", false, "print the plan without exercising")
+	)
+	flag.Parse()
+
+	if *verify > 0 {
+		fmt.Printf("calibrating... %.0f iterations/s\n", exerciser.Calibrate())
+		fmt.Printf("verifying CPU playback at contention %.2f (expect ~%.0f%% on a saturated core)\n",
+			*verify, 100/(1+*verify))
+		share, err := exerciser.VerifyPlayback(*verify, 6, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("reference thread achieved %.1f%% of its solo rate\n", share*100)
+		return
+	}
+
+	tc, err := loadTestcase(*specStr, *filePath, *id)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("testcase: %s\n", tc)
+	if *dry {
+		for _, r := range testcase.Resources() {
+			if f, ok := tc.Functions[r]; ok && !f.IsBlank() {
+				fmt.Printf("  %-7s %.0fs, peak %.2f, mean %.2f\n", r, f.Duration(), f.Max(), f.Mean())
+			}
+		}
+		return
+	}
+
+	set := exerciser.NewSet(*scratch, *diskMB, *memPool, *seed)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Live system monitoring alongside the exercisers, as the paper's
+	// client records with every run.
+	var rec *monitor.Recorder
+	sampler := monitor.NewProcSampler()
+	if sampler.Available() {
+		rec, _ = monitor.NewRecorder(1)
+		go func() {
+			_ = rec.CaptureLive(sampler, tc.Duration(), func(s float64) {
+				select {
+				case <-ctx.Done():
+				case <-time.After(time.Duration(s * float64(time.Second))):
+				}
+			})
+		}()
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	start := time.Now()
+	go func() {
+		<-sig
+		fmt.Printf("\ndiscomfort expressed at offset %.1fs — stopping exercisers\n", time.Since(start).Seconds())
+		cancel()
+	}()
+
+	fmt.Println("exercising (Ctrl-C to express discomfort)...")
+	err = set.Run(ctx, tc)
+	if rec != nil {
+		s := rec.Summarize()
+		fmt.Printf("monitor: %d samples, cpu avg %.2f max %.2f, mem %.0f%%, disk util avg %.2f\n",
+			s.N, s.AvgCPU, s.MaxCPU, s.AvgMem*100, s.AvgDiskQ)
+	}
+	switch {
+	case err == nil:
+		fmt.Printf("testcase exhausted after %.1fs without feedback\n", time.Since(start).Seconds())
+	case ctx.Err() != nil:
+		offset := time.Since(start).Seconds()
+		lastFive := tc.LastFive(offset)
+		for r, vs := range lastFive {
+			if len(vs) > 0 {
+				fmt.Printf("  last five %s contention values: %.2f\n", r, vs)
+			}
+		}
+	default:
+		fatal(err)
+	}
+}
+
+func loadTestcase(spec, file, id string) (*testcase.Testcase, error) {
+	switch {
+	case spec != "":
+		return parseSpec(spec)
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		tcs, err := testcase.DecodeAll(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, tc := range tcs {
+			if tc.ID == id {
+				return tc, nil
+			}
+		}
+		return nil, fmt.Errorf("testcase %q not found in %s (%d testcases)", id, file, len(tcs))
+	default:
+		return nil, fmt.Errorf("need -spec or -file/-id")
+	}
+}
+
+func parseSpec(spec string) (*testcase.Testcase, error) {
+	parts := strings.SplitN(spec, ":", 3)
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("want shape:resource:params, got %q", spec)
+	}
+	res, err := testcase.ParseResource(parts[1])
+	if err != nil {
+		return nil, err
+	}
+	var ps []float64
+	for _, s := range strings.Split(parts[2], ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, err
+		}
+		ps = append(ps, v)
+	}
+	tc := testcase.New("live-"+parts[0], 1)
+	tc.Shape = testcase.Shape(parts[0])
+	tc.Params = parts[2]
+	var f testcase.ExerciseFunction
+	switch tc.Shape {
+	case testcase.ShapeRamp:
+		if len(ps) != 2 {
+			return nil, fmt.Errorf("ramp wants x,t")
+		}
+		f = testcase.Ramp(ps[0], ps[1], 1)
+	case testcase.ShapeStep:
+		if len(ps) != 3 {
+			return nil, fmt.Errorf("step wants x,t,b")
+		}
+		f = testcase.Step(ps[0], ps[1], ps[2], 1)
+	case testcase.ShapeSin:
+		if len(ps) != 3 {
+			return nil, fmt.Errorf("sin wants amp,period,t")
+		}
+		f = testcase.Sin(ps[0], ps[1], ps[2], 1)
+	case testcase.ShapeSaw:
+		if len(ps) != 3 {
+			return nil, fmt.Errorf("saw wants amp,period,t")
+		}
+		f = testcase.Saw(ps[0], ps[1], ps[2], 1)
+	default:
+		return nil, fmt.Errorf("unsupported shape %q", parts[0])
+	}
+	tc.Functions[res] = f
+	return tc, tc.Validate()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uucs-exercise:", err)
+	os.Exit(1)
+}

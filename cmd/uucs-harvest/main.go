@@ -1,0 +1,80 @@
+// Command uucs-harvest evaluates resource-borrowing policies over a
+// simulated desktop fleet — the paper's §1 motivation quantified: how
+// much background CPU does each policy harvest, and how many users does
+// it annoy into disabling the framework?
+//
+// Usage:
+//
+//	uucs-harvest                       # 40 users, 8h day, 4 policies
+//	uucs-harvest -users 100 -hours 10 -target 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uucs/internal/comfort"
+	"uucs/internal/core"
+	"uucs/internal/harvest"
+	"uucs/internal/study"
+)
+
+func main() {
+	var (
+		users  = flag.Int("users", 40, "fleet size")
+		hours  = flag.Float64("hours", 8, "day length")
+		target = flag.Float64("target", 0.05, "CDF discomfort target for the throttled policies")
+		seed   = flag.Uint64("seed", 2004, "fleet seed")
+		fixed  = flag.Float64("fixed", 0.2, "level for the fixed-priority baseline policy")
+	)
+	flag.Parse()
+
+	// Measure the CDFs with a controlled study first (§5: exploit them).
+	fmt.Println("uucs-harvest: measuring discomfort CDFs (controlled study)...")
+	res, err := study.Run(study.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	ceilings := harvest.CeilingsFromStudy(res.DB, *target)
+	fmt.Printf("per-task CPU ceilings at the %.0f%% level: %v\n\n", *target*100, ceilings)
+
+	fleet, err := comfort.SamplePopulation(*users, comfort.DefaultPopulation(), *seed)
+	if err != nil {
+		fatal(err)
+	}
+	day := harvest.DefaultDay()
+	day.Hours = *hours
+	policies := []func() harvest.Policy{
+		func() harvest.Policy { return harvest.ScreensaverOnly{Delay: 600, Max: 1} },
+		func() harvest.Policy { return harvest.FixedLevel{L: *fixed, Max: 1} },
+		func() harvest.Policy { return &harvest.CDFThrottle{Ceilings: ceilings, Max: 1} },
+		func() harvest.Policy {
+			return &harvest.CDFThrottle{Ceilings: ceilings, Max: 1, Backoff: 0.3, MinWorthwhile: 0.1}
+		},
+	}
+	results, table, err := harvest.Compare(policies, fleet, day, core.NewEngine(), *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(table)
+
+	var ss, fb *harvest.Result
+	for i := range results {
+		switch results[i].Policy {
+		case "screensaver-only":
+			ss = &results[i]
+		case "cdf+feedback":
+			fb = &results[i]
+		}
+	}
+	if ss != nil && fb != nil && ss.HarvestedCPUHours > 0 {
+		fmt.Printf("cdf+feedback harvests %.1fx the screensaver default with %d/%d uninstalls\n",
+			fb.HarvestedCPUHours/ss.HarvestedCPUHours, fb.Uninstalls, fb.Users)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uucs-harvest:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command uucs-internet simulates the paper's Internet-wide study (§4):
+// a fleet of heterogeneous hosts running the UUCS client against a real
+// server over loopback, with aggregated CDFs and the host-speed
+// analysis the paper planned.
+//
+// Usage:
+//
+//	uucs-internet                       # 100 hosts, defaults
+//	uucs-internet -hosts 200 -runs 20 -testcases 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uucs/internal/internetstudy"
+	"uucs/internal/testcase"
+)
+
+func main() {
+	var (
+		hosts   = flag.Int("hosts", 100, "number of fleet hosts")
+		runs    = flag.Int("runs", 12, "testcase executions per host")
+		tcCount = flag.Int("testcases", 400, "server testcase population")
+		seed    = flag.Uint64("seed", 2004, "fleet seed")
+		workdir = flag.String("workdir", "", "client store directory (default: temp)")
+	)
+	flag.Parse()
+
+	dir := *workdir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "uucs-internet-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	cfg := internetstudy.DefaultConfig(dir)
+	cfg.Hosts = *hosts
+	cfg.RunsPerHost = *runs
+	cfg.TestcaseCount = *tcCount
+	cfg.Seed = *seed
+	fmt.Printf("uucs-internet: %d hosts x %d runs against %d testcases\n", cfg.Hosts, cfg.RunsPerHost, cfg.TestcaseCount)
+
+	res, err := internetstudy.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("collected %d runs from %d hosts\n\n", len(res.Runs), len(res.Hosts))
+
+	for _, r := range testcase.Resources() {
+		c := res.DB.ResourceCDF(r)
+		fmt.Println(c.Render("Internet-study CDF for "+string(r), 60, 10, 0))
+	}
+	se, err := internetstudy.HostSpeedEffect(res)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(se)
+	ms, err := internetstudy.MemorySizeSplit(res)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(ms)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uucs-internet:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,187 @@
+// Command uucs-mktest creates, views and demonstrates testcases — the
+// paper's testcase tooling (Figure 2: "a set of tools for creating,
+// viewing, and manipulating testcases").
+//
+// Usage:
+//
+//	uucs-mktest -demo                              # Figure 3 catalog
+//	uucs-mktest -plot                              # Figure 4 series
+//	uucs-mktest -generate 2000 -out tcs.txt        # Internet-study store
+//	uucs-mktest -view tcs.txt                      # summarize a store
+//	uucs-mktest -make "step:cpu:2.0,120,40" -out one.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+func main() {
+	var (
+		demo     = flag.Bool("demo", false, "print the Figure 3 exercise-function catalog")
+		plot     = flag.Bool("plot", false, "print the Figure 4 step/ramp example series")
+		generate = flag.Int("generate", 0, "generate this many random testcases")
+		view     = flag.String("view", "", "summarize the testcases in this store file")
+		mk       = flag.String("make", "", "make one testcase: shape:resource:params (e.g. step:cpu:2.0,120,40)")
+		out      = flag.String("out", "", "output file (default stdout)")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *demo:
+		fmt.Println("Figure 3. Exercise functions.")
+		for _, sh := range testcase.Shapes() {
+			fmt.Printf("  %-8s %s\n", sh, testcase.Describe(sh))
+		}
+	case *plot:
+		plotFigure4()
+	case *generate > 0:
+		cfg := testcase.DefaultGeneratorConfig()
+		cfg.Count = *generate
+		tcs, err := testcase.Generate("gen", cfg, stats.NewStream(*seed))
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeOut(*out, tcs); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "generated %d testcases\n", len(tcs))
+	case *view != "":
+		f, err := os.Open(*view)
+		if err != nil {
+			fatal(err)
+		}
+		tcs, err := testcase.DecodeAll(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		for _, tc := range tcs {
+			fmt.Println(tc)
+		}
+		fmt.Fprintf(os.Stderr, "%d testcases\n", len(tcs))
+	case *mk != "":
+		tc, err := makeTestcase(*mk)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeOut(*out, []*testcase.Testcase{tc}); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// plotFigure4 prints the paper's Figure 4 examples as ASCII series.
+func plotFigure4() {
+	step := testcase.Step(2.0, 120, 40, 1)
+	ramp := testcase.Ramp(2.0, 120, 1)
+	fmt.Println("Figure 4. step(2.0,120,40) and ramp(2.0,120) exercise functions.")
+	plotSeries("step(2.0,120,40)", step)
+	plotSeries("ramp(2.0,120)", ramp)
+}
+
+func plotSeries(name string, f testcase.ExerciseFunction) {
+	fmt.Printf("%s:\n", name)
+	const rows = 8
+	maxV := f.Max()
+	if maxV == 0 {
+		maxV = 1
+	}
+	for row := rows; row >= 1; row-- {
+		threshold := maxV * float64(row) / rows
+		var b strings.Builder
+		for i := 0; i < len(f.Values); i += 2 {
+			if f.Values[i] >= threshold-1e-9 {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		fmt.Printf("  %5.2f |%s\n", threshold, b.String())
+	}
+	fmt.Printf("        +%s\n", strings.Repeat("-", (len(f.Values)+1)/2))
+	fmt.Printf("         0%*s%.0fs\n", (len(f.Values)+1)/2-5, "", f.Duration())
+}
+
+// makeTestcase parses "shape:resource:params".
+func makeTestcase(spec string) (*testcase.Testcase, error) {
+	parts := strings.SplitN(spec, ":", 3)
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("want shape:resource:params, got %q", spec)
+	}
+	res, err := testcase.ParseResource(parts[1])
+	if err != nil {
+		return nil, err
+	}
+	var ps []float64
+	for _, s := range strings.Split(parts[2], ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad parameter %q: %v", s, err)
+		}
+		ps = append(ps, v)
+	}
+	tc := testcase.New(fmt.Sprintf("mk-%s-%s", parts[0], parts[1]), 1)
+	tc.Shape = testcase.Shape(parts[0])
+	tc.Params = parts[2]
+	var f testcase.ExerciseFunction
+	switch tc.Shape {
+	case testcase.ShapeStep:
+		if len(ps) != 3 {
+			return nil, fmt.Errorf("step wants x,t,b")
+		}
+		f = testcase.Step(ps[0], ps[1], ps[2], 1)
+	case testcase.ShapeRamp:
+		if len(ps) != 2 {
+			return nil, fmt.Errorf("ramp wants x,t")
+		}
+		f = testcase.Ramp(ps[0], ps[1], 1)
+	case testcase.ShapeSin:
+		if len(ps) != 3 {
+			return nil, fmt.Errorf("sin wants amp,period,t")
+		}
+		f = testcase.Sin(ps[0], ps[1], ps[2], 1)
+	case testcase.ShapeSaw:
+		if len(ps) != 3 {
+			return nil, fmt.Errorf("saw wants amp,period,t")
+		}
+		f = testcase.Saw(ps[0], ps[1], ps[2], 1)
+	case testcase.ShapeBlank:
+		if len(ps) != 1 {
+			return nil, fmt.Errorf("blank wants t")
+		}
+		f = testcase.Blank(ps[0], 1)
+	default:
+		return nil, fmt.Errorf("unsupported shape %q (use step, ramp, sin, saw, blank)", parts[0])
+	}
+	tc.Functions[res] = f
+	return tc, tc.Validate()
+}
+
+func writeOut(path string, tcs []*testcase.Testcase) error {
+	w := os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return testcase.EncodeAll(w, tcs)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uucs-mktest:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+// Command uucs-server runs a UUCS server: it loads a testcase store,
+// listens for client registrations and hot syncs, and periodically
+// writes collected results to disk for the analysis phase.
+//
+// Usage:
+//
+//	uucs-server -addr 127.0.0.1:7060 -testcases tcs.txt -out results.txt
+//	uucs-server -generate 2000        # self-populate like the paper's server
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"uucs/internal/core"
+	"uucs/internal/server"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7060", "listen address")
+		tcsPath  = flag.String("testcases", "", "testcase store to load (text format)")
+		generate = flag.Int("generate", 0, "generate this many random testcases instead of loading")
+		outPath  = flag.String("out", "uucs-results.txt", "file to write collected results to")
+		seed     = flag.Uint64("seed", 1, "sampling seed")
+		interval = flag.Duration("flush", 30*time.Second, "result flush interval")
+		stateDir = flag.String("state", "", "state directory: restore on start, persist on flush/shutdown")
+	)
+	flag.Parse()
+
+	srv := server.New(*seed)
+	if *stateDir != "" {
+		if err := srv.LoadState(*stateDir); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("uucs-server: restored %d testcases, %d results, %d clients from %s\n",
+			srv.TestcaseCount(), len(srv.Results()), srv.ClientCount(), *stateDir)
+	}
+	switch {
+	case *tcsPath != "":
+		f, err := os.Open(*tcsPath)
+		if err != nil {
+			fatal(err)
+		}
+		tcs, err := testcase.DecodeAll(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if err := srv.AddTestcases(tcs...); err != nil {
+			fatal(err)
+		}
+	case *generate > 0:
+		cfg := testcase.DefaultGeneratorConfig()
+		cfg.Count = *generate
+		tcs, err := testcase.Generate("inet", cfg, stats.NewStream(*seed))
+		if err != nil {
+			fatal(err)
+		}
+		if err := srv.AddTestcases(tcs...); err != nil {
+			fatal(err)
+		}
+	default:
+		if srv.TestcaseCount() == 0 {
+			fmt.Fprintln(os.Stderr, "uucs-server: warning: empty testcase store (use -testcases, -generate, or -state)")
+		}
+	}
+
+	bound, err := srv.ListenAndServe(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("uucs-server: listening on %s with %d testcases\n", bound, srv.TestcaseCount())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if err := flush(srv, *outPath); err != nil {
+				fmt.Fprintln(os.Stderr, "uucs-server: flush:", err)
+			}
+			if *stateDir != "" {
+				if err := srv.SaveState(*stateDir); err != nil {
+					fmt.Fprintln(os.Stderr, "uucs-server: persist:", err)
+				}
+			}
+		case <-stop:
+			if err := flush(srv, *outPath); err != nil {
+				fmt.Fprintln(os.Stderr, "uucs-server: final flush:", err)
+			}
+			if *stateDir != "" {
+				if err := srv.SaveState(*stateDir); err != nil {
+					fmt.Fprintln(os.Stderr, "uucs-server: persist:", err)
+				}
+			}
+			if err := srv.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("uucs-server: stopped; %d clients, %d results in %s\n",
+				srv.ClientCount(), len(srv.Results()), *outPath)
+			return
+		}
+	}
+}
+
+func flush(srv *server.Server, path string) error {
+	runs := srv.Results()
+	if len(runs) == 0 {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return core.EncodeRuns(f, runs, false)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uucs-server:", err)
+	os.Exit(1)
+}

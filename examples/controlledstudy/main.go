@@ -1,0 +1,40 @@
+// Controlled study: reproduce the paper's §3 experiment — 33 users, four
+// foreground tasks, the Figure 8 testcase suite in random order — and
+// print every figure and table of the results section.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"uucs"
+)
+
+func main() {
+	cfg := uucs.DefaultStudyConfig() // 33 users, the paper's machine
+	start := time.Now()
+	res, err := uucs.RunControlledStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated %d runs (%d users x 4 tasks x 8 testcases) in %v\n\n",
+		len(res.Runs), len(res.Users), time.Since(start).Round(time.Millisecond))
+
+	// Every figure of the paper's results section.
+	fmt.Println(res.RenderAll())
+
+	// Programmatic access to any cell of Figures 14-16.
+	table := res.DB.MetricsTable()
+	cell, err := uucs.MetricsCell(table, uucs.Quake, uucs.CPU)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Quake/CPU: f_d=%.2f c_a=%.2f (paper: 0.95, 0.64)\n", cell.Fd, cell.Ca)
+
+	// And to the aggregated CDFs of Figures 10-12.
+	cdf := res.DB.ResourceCDF(uucs.Memory)
+	if c05, ok := cdf.Percentile(0.05); ok {
+		fmt.Printf("memory can be borrowed to %.2f of physical RAM while discomforting <5%% of users (paper: 0.33)\n", c05)
+	}
+}

@@ -1,0 +1,64 @@
+// Throttle: the paper's advice to implementors (§5) in action. A
+// cycle-stealing application measures the study CDFs, sets its borrowing
+// throttle to the level that discomforts 5% of users, and additionally
+// backs off multiplicatively whenever a user complains — "consider using
+// user feedback directly in your application".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uucs"
+)
+
+func main() {
+	// Measure (or load) the discomfort CDFs. Here: a compact controlled
+	// study.
+	cfg := uucs.DefaultStudyConfig()
+	res, err := uucs.RunControlledStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("setting throttles at the 5% discomfort level (the paper's c_0.05):")
+	maxima := map[uucs.Resource]float64{uucs.CPU: 10, uucs.Memory: 1, uucs.Disk: 7}
+	throttles := map[uucs.Resource]*uucs.Throttle{}
+	for _, r := range []uucs.Resource{uucs.CPU, uucs.Memory, uucs.Disk} {
+		cdf := res.DB.ResourceCDF(r)
+		th, err := uucs.NewThrottle(cdf, 0.05, maxima[r])
+		if err != nil {
+			log.Fatal(err)
+		}
+		throttles[r] = th
+		fmt.Printf("  %-7s %s\n", r, th)
+	}
+
+	// Simulate a day of borrowing on one host with occasional user
+	// complaints on the CPU throttle.
+	fmt.Println("\na day on one host (CPU throttle, complaints at minute 120 and 121):")
+	th := throttles[uucs.CPU]
+	for minute := 0; minute <= 600; minute += 30 {
+		if minute == 120 {
+			th.OnFeedback()
+			th.OnFeedback()
+			fmt.Printf("  t=%3dmin user complained twice -> backed off to %.2f\n", minute, th.Level())
+			continue
+		}
+		th.OnQuiet(30 * 60)
+		fmt.Printf("  t=%3dmin level %.2f (expected discomfort %.1f%%)\n",
+			minute, th.Level(), th.ExpectedDiscomfort()*100)
+	}
+
+	// The paper's per-task advice: "Know what the user is doing. Their
+	// context greatly affects the right throttle setting."
+	fmt.Println("\nper-context CPU throttle ceilings (5% target):")
+	for _, task := range []uucs.Task{uucs.Word, uucs.Powerpoint, uucs.IE, uucs.Quake} {
+		cdf := res.DB.TaskResourceCDF(task, uucs.CPU)
+		th, err := uucs.NewThrottle(cdf, 0.05, maxima[uucs.CPU])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s ceiling %.2f\n", task, th.Ceiling())
+	}
+}

@@ -1,0 +1,3 @@
+module uucs
+
+go 1.22

@@ -1,0 +1,228 @@
+// Package analysis turns collections of run records into the paper's
+// results: the breakdown of runs (Figure 9), discomfort CDFs per
+// resource and per task/resource pair (Figures 10-12 and 18), the f_d,
+// c_0.05 and c_a metric tables (Figures 14-16), the sensitivity
+// judgement table (Figure 13), skill-level significance tests
+// (Figure 17), and the ramp-vs-step "frog in the pot" comparison
+// (§3.3.5). It corresponds to the paper's analysis phase (Figure 2):
+// results are imported into a database, then a set of tools reduces
+// them.
+package analysis
+
+import (
+	"fmt"
+
+	"uucs/internal/core"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// DB is the in-memory result database the analysis tools run against.
+type DB struct {
+	runs []*core.Run
+}
+
+// NewDB imports run records into a database.
+func NewDB(runs []*core.Run) *DB { return &DB{runs: runs} }
+
+// Add imports more run records.
+func (db *DB) Add(runs ...*core.Run) { db.runs = append(db.runs, runs...) }
+
+// Len returns the number of imported runs.
+func (db *DB) Len() int { return len(db.runs) }
+
+// Runs returns all imported runs.
+func (db *DB) Runs() []*core.Run { return db.runs }
+
+// Filter returns the runs matching every predicate.
+func (db *DB) Filter(preds ...func(*core.Run) bool) []*core.Run {
+	var out []*core.Run
+	for _, r := range db.runs {
+		keep := true
+		for _, p := range preds {
+			if !p(r) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Predicate constructors.
+
+// ByTask keeps runs for the given task.
+func ByTask(task testcase.Task) func(*core.Run) bool {
+	return func(r *core.Run) bool { return r.Task == task }
+}
+
+// ByResource keeps runs whose primary resource matches.
+func ByResource(res testcase.Resource) func(*core.Run) bool {
+	return func(r *core.Run) bool { return r.PrimaryResource == res }
+}
+
+// ByShape keeps runs generated from the given exercise-function family.
+func ByShape(shape testcase.Shape) func(*core.Run) bool {
+	return func(r *core.Run) bool { return r.Shape == shape }
+}
+
+// Blank keeps blank (noise-floor) runs.
+func Blank() func(*core.Run) bool {
+	return func(r *core.Run) bool { return r.Blank }
+}
+
+// NonBlank keeps runs that exercised something.
+func NonBlank() func(*core.Run) bool {
+	return func(r *core.Run) bool { return !r.Blank }
+}
+
+// Discomforted keeps runs that ended in user feedback.
+func Discomforted() func(*core.Run) bool {
+	return func(r *core.Run) bool { return r.Terminated == core.Discomfort }
+}
+
+// CDF builds the empirical discomfort CDF over the given runs: each
+// discomforted run contributes its contention level at the moment of
+// feedback, and exhausted runs are censored.
+func CDF(runs []*core.Run) *stats.CDF {
+	var levels []float64
+	exhausted := 0
+	for _, r := range runs {
+		lvl, ok := r.Level()
+		if !ok {
+			continue // blank runs have no level axis
+		}
+		if r.Terminated == core.Discomfort {
+			levels = append(levels, lvl)
+		} else {
+			exhausted++
+		}
+	}
+	return stats.NewCDF(levels, exhausted)
+}
+
+// ResourceCDF builds the paper's aggregated per-resource CDF
+// (Figures 10-12): ramp runs for the resource, over all tasks.
+func (db *DB) ResourceCDF(res testcase.Resource) *stats.CDF {
+	return CDF(db.Filter(ByResource(res), ByShape(testcase.ShapeRamp)))
+}
+
+// TaskResourceCDF builds one cell of the paper's Figure 18 grid.
+func (db *DB) TaskResourceCDF(task testcase.Task, res testcase.Resource) *stats.CDF {
+	return CDF(db.Filter(ByTask(task), ByResource(res), ByShape(testcase.ShapeRamp)))
+}
+
+// Breakdown is the paper's Figure 9: run counts by task, blank/non-blank
+// and outcome, with the blank-testcase discomfort probability (the noise
+// floor).
+type Breakdown struct {
+	Task                 testcase.Task // "" for the Total row
+	NonBlankDiscomforted int
+	NonBlankExhausted    int
+	BlankDiscomforted    int
+	BlankExhausted       int
+}
+
+// NoiseFloor returns the probability of discomfort from a blank
+// testcase.
+func (b Breakdown) NoiseFloor() float64 {
+	n := b.BlankDiscomforted + b.BlankExhausted
+	if n == 0 {
+		return 0
+	}
+	return float64(b.BlankDiscomforted) / float64(n)
+}
+
+// Breakdown computes Figure 9: the total first, then one row per task.
+func (db *DB) Breakdown() []Breakdown {
+	rows := make([]Breakdown, 0, 5)
+	total := db.breakdownFor(nil)
+	rows = append(rows, total)
+	for _, task := range testcase.Tasks() {
+		row := db.breakdownFor(ByTask(task))
+		row.Task = task
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func (db *DB) breakdownFor(pred func(*core.Run) bool) Breakdown {
+	var b Breakdown
+	for _, r := range db.runs {
+		if pred != nil && !pred(r) {
+			continue
+		}
+		disc := r.Terminated == core.Discomfort
+		switch {
+		case r.Blank && disc:
+			b.BlankDiscomforted++
+		case r.Blank:
+			b.BlankExhausted++
+		case disc:
+			b.NonBlankDiscomforted++
+		default:
+			b.NonBlankExhausted++
+		}
+	}
+	return b
+}
+
+// Metrics holds the three derived metrics for one task/resource cell:
+// f_d (Figure 14), c_0.05 (Figure 15) and c_a with its 95% CI
+// (Figure 16). HasC05 and HasCa are false in the paper's "insufficient
+// information" (*) cases.
+type Metrics struct {
+	Task     testcase.Task     // "" for the Total row
+	Resource testcase.Resource // "" for the Total column
+	Fd       float64
+	C05      float64
+	HasC05   bool
+	Ca       float64
+	CaLo     float64
+	CaHi     float64
+	HasCa    bool
+	DfCount  int
+	ExCount  int
+}
+
+// metricsFromCDF derives the metric cell from a CDF.
+func metricsFromCDF(c *stats.CDF) Metrics {
+	m := Metrics{Fd: c.Fd(), DfCount: c.DfCount(), ExCount: c.ExCount()}
+	m.C05, m.HasC05 = c.Percentile(0.05)
+	m.Ca, m.CaLo, m.CaHi, m.HasCa = c.MeanLevelCI()
+	return m
+}
+
+// MetricsTable computes Figures 14-16 in one pass: one cell per
+// task/resource from ramp runs, a Total row aggregating tasks per
+// resource, exactly as the paper's tables are laid out.
+func (db *DB) MetricsTable() []Metrics {
+	var out []Metrics
+	for _, task := range testcase.Tasks() {
+		for _, res := range testcase.Resources() {
+			m := metricsFromCDF(db.TaskResourceCDF(task, res))
+			m.Task, m.Resource = task, res
+			out = append(out, m)
+		}
+	}
+	for _, res := range testcase.Resources() {
+		m := metricsFromCDF(db.ResourceCDF(res))
+		m.Resource = res
+		out = append(out, m)
+	}
+	return out
+}
+
+// Cell returns the metrics for a task/resource pair from a MetricsTable
+// result; task "" selects the Total row.
+func Cell(table []Metrics, task testcase.Task, res testcase.Resource) (Metrics, error) {
+	for _, m := range table {
+		if m.Task == task && m.Resource == res {
+			return m, nil
+		}
+	}
+	return Metrics{}, fmt.Errorf("analysis: no cell for (%q, %q)", task, res)
+}

@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"uucs/internal/comfort"
+	"uucs/internal/core"
+	"uucs/internal/testcase"
+)
+
+// mkRun builds a minimal run record for analysis tests.
+func mkRun(task testcase.Task, res testcase.Resource, shape testcase.Shape,
+	user int, term core.Termination, level float64) *core.Run {
+	r := &core.Run{
+		TestcaseID:      "t",
+		Task:            task,
+		UserID:          user,
+		Shape:           shape,
+		Terminated:      term,
+		Offset:          60,
+		PrimaryResource: res,
+		Levels:          map[testcase.Resource]float64{},
+	}
+	if res != "" {
+		r.Levels[res] = level
+	} else {
+		r.Blank = true
+	}
+	return r
+}
+
+func TestDBFilter(t *testing.T) {
+	db := NewDB([]*core.Run{
+		mkRun(testcase.Word, testcase.CPU, testcase.ShapeRamp, 0, core.Discomfort, 2),
+		mkRun(testcase.Word, testcase.Disk, testcase.ShapeRamp, 0, core.Exhausted, 7),
+		mkRun(testcase.Quake, testcase.CPU, testcase.ShapeStep, 1, core.Discomfort, 0.5),
+		mkRun(testcase.Quake, "", testcase.ShapeBlank, 1, core.Exhausted, 0),
+	})
+	if db.Len() != 4 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	if got := len(db.Filter(ByTask(testcase.Word))); got != 2 {
+		t.Errorf("ByTask = %d", got)
+	}
+	if got := len(db.Filter(ByResource(testcase.CPU))); got != 2 {
+		t.Errorf("ByResource = %d", got)
+	}
+	if got := len(db.Filter(ByShape(testcase.ShapeRamp))); got != 2 {
+		t.Errorf("ByShape = %d", got)
+	}
+	if got := len(db.Filter(Blank())); got != 1 {
+		t.Errorf("Blank = %d", got)
+	}
+	if got := len(db.Filter(NonBlank(), Discomforted())); got != 2 {
+		t.Errorf("NonBlank+Discomforted = %d", got)
+	}
+	db.Add(mkRun(testcase.IE, testcase.Memory, testcase.ShapeRamp, 2, core.Discomfort, 0.4))
+	if db.Len() != 5 {
+		t.Errorf("Add failed: %d", db.Len())
+	}
+}
+
+func TestCDFConstruction(t *testing.T) {
+	runs := []*core.Run{
+		mkRun(testcase.Word, testcase.CPU, testcase.ShapeRamp, 0, core.Discomfort, 1),
+		mkRun(testcase.Word, testcase.CPU, testcase.ShapeRamp, 1, core.Discomfort, 3),
+		mkRun(testcase.Word, testcase.CPU, testcase.ShapeRamp, 2, core.Exhausted, 7),
+		mkRun(testcase.Word, "", testcase.ShapeBlank, 3, core.Discomfort, 0), // ignored: no level axis
+	}
+	c := CDF(runs)
+	if c.DfCount() != 2 || c.ExCount() != 1 {
+		t.Fatalf("CDF counts df=%d ex=%d", c.DfCount(), c.ExCount())
+	}
+	if got := c.Fd(); got < 0.66 || got > 0.67 {
+		t.Errorf("Fd = %v", got)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	db := NewDB([]*core.Run{
+		mkRun(testcase.Quake, testcase.CPU, testcase.ShapeRamp, 0, core.Discomfort, 1),
+		mkRun(testcase.Quake, "", testcase.ShapeBlank, 0, core.Discomfort, 0),
+		mkRun(testcase.Quake, "", testcase.ShapeBlank, 1, core.Exhausted, 0),
+		mkRun(testcase.Word, testcase.Disk, testcase.ShapeStep, 0, core.Exhausted, 5),
+	})
+	rows := db.Breakdown()
+	if len(rows) != 5 {
+		t.Fatalf("breakdown rows = %d", len(rows))
+	}
+	total := rows[0]
+	if total.NonBlankDiscomforted != 1 || total.NonBlankExhausted != 1 ||
+		total.BlankDiscomforted != 1 || total.BlankExhausted != 1 {
+		t.Errorf("total row: %+v", total)
+	}
+	if nf := total.NoiseFloor(); nf != 0.5 {
+		t.Errorf("noise floor = %v", nf)
+	}
+	var quakeRow Breakdown
+	for _, row := range rows[1:] {
+		if row.Task == testcase.Quake {
+			quakeRow = row
+		}
+	}
+	if quakeRow.NoiseFloor() != 0.5 {
+		t.Errorf("quake noise floor = %v", quakeRow.NoiseFloor())
+	}
+	empty := Breakdown{}
+	if empty.NoiseFloor() != 0 {
+		t.Error("empty breakdown noise floor should be 0")
+	}
+}
+
+func TestMetricsTableAndCell(t *testing.T) {
+	var runs []*core.Run
+	for i := 0; i < 20; i++ {
+		level := 0.5 + float64(i)*0.1
+		runs = append(runs, mkRun(testcase.IE, testcase.CPU, testcase.ShapeRamp, i, core.Discomfort, level))
+	}
+	runs = append(runs, mkRun(testcase.IE, testcase.CPU, testcase.ShapeRamp, 20, core.Exhausted, 2))
+	db := NewDB(runs)
+	table := db.MetricsTable()
+	if len(table) != 15 { // 4 tasks x 3 resources + 3 totals
+		t.Fatalf("table size = %d", len(table))
+	}
+	m, err := Cell(table, testcase.IE, testcase.CPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DfCount != 20 || m.ExCount != 1 {
+		t.Errorf("cell counts: %+v", m)
+	}
+	if !m.HasC05 || m.C05 != 0.6 { // ceil(0.05*21) = 2nd of sorted levels
+		t.Errorf("c05 = %v (has %v)", m.C05, m.HasC05)
+	}
+	if !m.HasCa || m.Ca < 1.4 || m.Ca > 1.5 {
+		t.Errorf("ca = %v", m.Ca)
+	}
+	// Totals row aggregates per resource.
+	tm, err := Cell(table, "", testcase.CPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.DfCount != 20 {
+		t.Errorf("total cell: %+v", tm)
+	}
+	if _, err := Cell(table, "bogus", testcase.CPU); err == nil {
+		t.Error("bogus cell lookup succeeded")
+	}
+	// Empty cells report no metrics.
+	em, err := Cell(table, testcase.Word, testcase.Memory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em.HasC05 || em.HasCa {
+		t.Error("empty cell should have no c05/ca")
+	}
+}
+
+func TestSensitivityString(t *testing.T) {
+	if Low.String() != "L" || Medium.String() != "M" || High.String() != "H" {
+		t.Error("letters wrong")
+	}
+	if Sensitivity(9).String() != "?" {
+		t.Error("unknown letter")
+	}
+}
+
+func TestSensitivityTable(t *testing.T) {
+	table := []Metrics{
+		{Task: testcase.Word, Resource: testcase.CPU, Fd: 0.71, C05: 3.06, HasC05: true},
+		{Task: testcase.Quake, Resource: testcase.CPU, Fd: 0.95, C05: 0.18, HasC05: true},
+	}
+	st := SensitivityTable(table)
+	if st[testcase.Word][testcase.CPU] != Low {
+		t.Error("Word CPU should be Low")
+	}
+	if st[testcase.Quake][testcase.CPU] != High {
+		t.Error("Quake CPU should be High")
+	}
+}
+
+func TestJudgeUnknownResource(t *testing.T) {
+	if got := Judge(Metrics{Resource: "gpu", Fd: 0.9, C05: 0.01, HasC05: true}); got != Low {
+		t.Errorf("unknown resource judged %v, want Low", got)
+	}
+}
+
+func TestFrogInPot(t *testing.T) {
+	var runs []*core.Run
+	// 10 users: ramp click level always 0.2 above their step click level.
+	for i := 0; i < 10; i++ {
+		stepLvl := 1.0 + float64(i)*0.05
+		gap := 0.2 + 0.01*float64(i%3) // slight spread so the t-test has variance
+		runs = append(runs,
+			mkRun(testcase.Powerpoint, testcase.CPU, testcase.ShapeRamp, i, core.Discomfort, stepLvl+gap),
+			mkRun(testcase.Powerpoint, testcase.CPU, testcase.ShapeStep, i, core.Discomfort, stepLvl))
+	}
+	// One exhausted step user: excluded from pairing.
+	runs = append(runs,
+		mkRun(testcase.Powerpoint, testcase.CPU, testcase.ShapeRamp, 10, core.Discomfort, 1.5),
+		mkRun(testcase.Powerpoint, testcase.CPU, testcase.ShapeStep, 10, core.Exhausted, 1.0))
+	db := NewDB(runs)
+	fr, err := db.FrogInPot(testcase.Powerpoint, testcase.CPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Pairs != 10 {
+		t.Fatalf("pairs = %d", fr.Pairs)
+	}
+	if fr.FracHigherInRamp != 1.0 {
+		t.Errorf("frac = %v", fr.FracHigherInRamp)
+	}
+	if fr.Result.Diff < 0.19 || fr.Result.Diff > 0.21 {
+		t.Errorf("diff = %v", fr.Result.Diff)
+	}
+	if fr.Result.P > 0.001 {
+		t.Errorf("p = %v for a perfectly consistent effect", fr.Result.P)
+	}
+}
+
+func TestFrogInPotNoPairs(t *testing.T) {
+	db := NewDB(nil)
+	if _, err := db.FrogInPot(testcase.Word, testcase.CPU); err == nil {
+		t.Error("expected error with no data")
+	}
+}
+
+func TestSkillDifferences(t *testing.T) {
+	users := make(map[int]*comfort.User)
+	var runs []*core.Run
+	// Power users click at low levels, beginners at high levels — a
+	// strong, detectable effect in Quake/CPU.
+	for i := 0; i < 24; i++ {
+		rating := comfort.Power
+		level := 0.4 + 0.02*float64(i%12)
+		if i >= 12 {
+			rating = comfort.Typical
+			level = 0.8 + 0.02*float64(i%12)
+		}
+		users[i] = &comfort.User{ID: i, Ratings: map[comfort.Domain]comfort.Rating{
+			comfort.DomainQuake: rating, comfort.DomainPC: comfort.Typical, comfort.DomainWindows: comfort.Typical,
+		}}
+		runs = append(runs, mkRun(testcase.Quake, testcase.CPU, testcase.ShapeRamp, i, core.Discomfort, level))
+	}
+	db := NewDB(runs)
+	diffs := db.SkillDifferences(users, 0.05)
+	if len(diffs) == 0 {
+		t.Fatal("no differences found")
+	}
+	found := false
+	for _, d := range diffs {
+		if d.Task == testcase.Quake && d.Resource == testcase.CPU && d.Domain == comfort.DomainQuake &&
+			d.Hi == comfort.Power && d.Lo == comfort.Typical {
+			found = true
+			if d.Result.Diff < 0.3 {
+				t.Errorf("diff = %v, want ~0.4", d.Result.Diff)
+			}
+			if d.Rating() != "Quake Power vs. Typical" {
+				t.Errorf("Rating() = %q", d.Rating())
+			}
+		}
+	}
+	if !found {
+		t.Error("Quake/CPU Power vs Typical difference not detected")
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	run := &core.Run{
+		TestcaseID: "t", Task: testcase.Quake, UserID: 2,
+		Terminated: core.Discomfort, Offset: 30,
+		Trace: []core.TraceSample{
+			{Time: 5, Class: "echo", Latency: 0.01, Label: "key"},
+			{Time: 15, Class: "op", Latency: 0.4, Label: "op"},
+			{Time: 29, Class: "frame", Latency: 0.2, FPS: 40, Label: "frame-window"},
+		},
+	}
+	out := RenderTimeline(run, 50)
+	for _, want := range []string{"discomfort at 30.0s", "e", "o", "F", "!"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	empty := &core.Run{TestcaseID: "t", Task: testcase.Word, Terminated: core.Exhausted, Offset: 120}
+	if !strings.Contains(RenderTimeline(empty, 40), "no trace") {
+		t.Error("empty trace not reported")
+	}
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"uucs/internal/testcase"
+)
+
+// Sensitivity is the L/M/H judgement of the paper's Figure 13. The paper
+// calls its totals "overall judgements from the study of the CDFs"; this
+// file encodes the judgement as an explicit, documented rule so it is
+// reproducible: the base letter comes from c_0.05 against per-resource
+// bands (how early do the first users react, on the resource's natural
+// scale), demoted one level when f_d is low (most users never react at
+// all). Applied to the paper's own Figure 14/15 numbers, the rule
+// reproduces all 12 task/resource letters of Figure 13.
+type Sensitivity int
+
+// Sensitivity levels.
+const (
+	Low Sensitivity = iota
+	Medium
+	High
+)
+
+// String renders the level as the paper's single letters.
+func (s Sensitivity) String() string {
+	switch s {
+	case Low:
+		return "L"
+	case Medium:
+		return "M"
+	case High:
+		return "H"
+	default:
+		return "?"
+	}
+}
+
+// sensitivityBands gives, per resource, the c_0.05 levels at and above
+// which the judgement drops from High to Medium and from Medium to Low.
+var sensitivityBands = map[testcase.Resource][2]float64{
+	testcase.CPU:    {0.35, 2.0},
+	testcase.Memory: {0.05, 0.5},
+	testcase.Disk:   {2.2, 2.6},
+}
+
+// fdDemoteBelow is the f_d under which the judgement is demoted one
+// level: if barely anyone reacts across the whole explored range, the
+// context is not sensitive even if its earliest reactions come early.
+const fdDemoteBelow = 0.30
+
+// Judge converts a metrics cell into the Figure 13 letter.
+func Judge(m Metrics) Sensitivity {
+	bands, ok := sensitivityBands[m.Resource]
+	if !ok || !m.HasC05 {
+		// No reactions at all within the explored range.
+		return Low
+	}
+	var s Sensitivity
+	switch {
+	case m.C05 < bands[0]:
+		s = High
+	case m.C05 < bands[1]:
+		s = Medium
+	default:
+		s = Low
+	}
+	if m.Fd < fdDemoteBelow && s > Low {
+		s--
+	}
+	return s
+}
+
+// SensitivityTable computes the Figure 13 letters for every
+// task/resource cell plus the Total row, from a MetricsTable result.
+func SensitivityTable(table []Metrics) map[testcase.Task]map[testcase.Resource]Sensitivity {
+	out := make(map[testcase.Task]map[testcase.Resource]Sensitivity)
+	for _, m := range table {
+		if _, ok := out[m.Task]; !ok {
+			out[m.Task] = make(map[testcase.Resource]Sensitivity)
+		}
+		out[m.Task][m.Resource] = Judge(m)
+	}
+	return out
+}

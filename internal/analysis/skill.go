@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"uucs/internal/comfort"
+	"uucs/internal/core"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// SkillDiff is one row of the paper's Figure 17: a significant
+// difference in average discomfort contention level between two
+// self-rating groups for one app/resource combination.
+type SkillDiff struct {
+	Task     testcase.Task
+	Resource testcase.Resource
+	Domain   comfort.Domain
+	// Hi and Lo are the compared rating groups (e.g. Power vs Typical).
+	Hi, Lo comfort.Rating
+	// Result is the unpaired t-test. Diff is mean(Lo) - mean(Hi): how
+	// much less contention the higher-skill group tolerates, matching
+	// the paper's "a Quake Power User will tolerate 0.224 less CPU
+	// contention than a Quake Typical User".
+	Result stats.TTestResult
+}
+
+// Rating label in the paper's style, e.g. "Quake Power vs. Typical".
+func (d SkillDiff) Rating() string {
+	return fmt.Sprintf("%s %s vs. %s", comfort.DomainLabel(d.Domain), d.Hi, d.Lo)
+}
+
+// SkillDifferences reproduces the Figure 17 analysis: for every
+// task/resource pair, compare average discomfort contention levels
+// between adjacent rating groups (Power vs Typical, Typical vs
+// Beginner) for the task's own domain plus the general PC and Windows
+// domains, using unpaired t-tests. Rows significant at alpha are
+// returned sorted by p-value. users maps user ID to the questionnaire
+// record.
+func (db *DB) SkillDifferences(users map[int]*comfort.User, alpha float64) []SkillDiff {
+	var out []SkillDiff
+	for _, task := range testcase.Tasks() {
+		domains := []comfort.Domain{taskDomain(task), comfort.DomainPC, comfort.DomainWindows}
+		for _, res := range testcase.Resources() {
+			runs := db.Filter(ByTask(task), ByResource(res), Discomforted())
+			for _, dom := range domains {
+				groups := make(map[comfort.Rating][]float64)
+				for _, r := range runs {
+					u, ok := users[r.UserID]
+					if !ok {
+						continue
+					}
+					lvl, ok := r.Level()
+					if !ok {
+						continue
+					}
+					rating := u.Ratings[dom]
+					groups[rating] = append(groups[rating], lvl)
+				}
+				pairs := [][2]comfort.Rating{
+					{comfort.Power, comfort.Typical},
+					{comfort.Typical, comfort.Beginner},
+				}
+				for _, pr := range pairs {
+					hi, lo := pr[0], pr[1]
+					res2, err := stats.WelchTTest(groups[lo], groups[hi])
+					if err != nil {
+						continue // group too small; not reportable
+					}
+					if !res2.Significant(alpha) {
+						continue
+					}
+					out = append(out, SkillDiff{
+						Task: task, Resource: res, Domain: dom,
+						Hi: hi, Lo: lo, Result: res2,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Result.P < out[j].Result.P })
+	return out
+}
+
+// taskDomain maps a task to its questionnaire domain.
+func taskDomain(task testcase.Task) comfort.Domain {
+	switch task {
+	case testcase.Word:
+		return comfort.DomainWord
+	case testcase.Powerpoint:
+		return comfort.DomainPowerpoint
+	case testcase.IE:
+		return comfort.DomainIE
+	case testcase.Quake:
+		return comfort.DomainQuake
+	default:
+		return comfort.DomainPC
+	}
+}
+
+// FrogResult is the ramp-vs-step comparison of §3.3.5 for one
+// task/resource pair: did users tolerate higher contention under a slow
+// ramp than under a quick step to the same level?
+type FrogResult struct {
+	Task     testcase.Task
+	Resource testcase.Resource
+	// Pairs is the number of users with a discomforted ramp run and a
+	// step run to pair.
+	Pairs int
+	// FracHigherInRamp is the fraction of pairs whose ramp level exceeds
+	// the step level (the paper's "96% of users tolerated higher levels
+	// in the ramp testcase").
+	FracHigherInRamp float64
+	// Result is the paired t-test of (ramp level - step level).
+	Result stats.TTestResult
+}
+
+// FrogInPot pairs, per user, the discomfort level of the ramp run with
+// the level of the step run for the given task/resource, and tests
+// whether ramps are tolerated to higher levels. Step runs that were
+// exhausted (the user tolerated the whole step) count at the step level
+// with the ramp necessarily judged against it; ramp-exhausted users are
+// excluded because their ramp tolerance is unobserved.
+func (db *DB) FrogInPot(task testcase.Task, res testcase.Resource) (FrogResult, error) {
+	ramps := db.Filter(ByTask(task), ByResource(res), ByShape(testcase.ShapeRamp), Discomforted())
+	steps := db.Filter(ByTask(task), ByResource(res), ByShape(testcase.ShapeStep))
+	stepByUser := make(map[int]*core.Run, len(steps))
+	for _, r := range steps {
+		stepByUser[r.UserID] = r
+	}
+	var rampLvls, stepLvls []float64
+	higher := 0
+	for _, r := range ramps {
+		s, ok := stepByUser[r.UserID]
+		if !ok || s.Terminated != core.Discomfort {
+			// Without a step reaction there is no tolerated-step level to
+			// compare against.
+			continue
+		}
+		rl, ok1 := r.Level()
+		sl, ok2 := s.Level()
+		if !ok1 || !ok2 {
+			continue
+		}
+		rampLvls = append(rampLvls, rl)
+		stepLvls = append(stepLvls, sl)
+		if rl > sl {
+			higher++
+		}
+	}
+	fr := FrogResult{Task: task, Resource: res, Pairs: len(rampLvls)}
+	if len(rampLvls) == 0 {
+		return fr, fmt.Errorf("analysis: no ramp/step pairs for %s/%s", task, res)
+	}
+	fr.FracHigherInRamp = float64(higher) / float64(len(rampLvls))
+	tt, err := stats.PairedTTest(rampLvls, stepLvls)
+	if err != nil {
+		return fr, err
+	}
+	fr.Result = tt
+	return fr, nil
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"fmt"
+
+	"uucs/internal/core"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// Survival analysis over run records: the Kaplan-Meier treatment of the
+// study's censored data. A run that exhausted at the top of its ramp is
+// a right-censored observation of the user's true discomfort level; the
+// paper's empirical CDFs saturate at f_d, while the KM estimator
+// recovers the underlying tolerance distribution.
+
+// KMCurve builds the Kaplan-Meier discomfort curve over the given runs:
+// discomforted runs contribute events at their level, exhausted runs
+// contribute censored observations at the largest contention their
+// testcase explored.
+func KMCurve(runs []*core.Run) ([]stats.KMPoint, error) {
+	var obs []stats.Censored
+	for _, r := range runs {
+		lvl, ok := r.Level()
+		if !ok {
+			continue
+		}
+		obs = append(obs, stats.Censored{Level: lvl, Censored: r.Terminated != core.Discomfort})
+	}
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("analysis: no leveled runs for a KM curve")
+	}
+	return stats.KaplanMeier(obs)
+}
+
+// KMResourceCurve builds the KM curve for one resource's ramp runs
+// across all tasks — the survival counterpart of Figures 10-12.
+func (db *DB) KMResourceCurve(res testcase.Resource) ([]stats.KMPoint, error) {
+	return KMCurve(db.Filter(ByResource(res), ByShape(testcase.ShapeRamp)))
+}
+
+// KMC05 returns the Kaplan-Meier estimate of c_0.05: the level at which
+// 5% of the underlying population is estimated to be discomforted. It
+// is never below the naive CDF's c_0.05 denominator treatment... in
+// fact with censoring the KM estimate reaches 5% at or before the naive
+// CDF, because censored runs shrink the risk set instead of diluting
+// the numerator.
+func KMC05(curve []stats.KMPoint) (float64, bool) {
+	return stats.KMQuantile(curve, 0.05)
+}

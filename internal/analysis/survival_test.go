@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"testing"
+
+	"uucs/internal/core"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+func TestKMCurveFromRuns(t *testing.T) {
+	runs := []*core.Run{
+		mkRun(testcase.Word, testcase.CPU, testcase.ShapeRamp, 0, core.Discomfort, 1),
+		mkRun(testcase.Word, testcase.CPU, testcase.ShapeRamp, 1, core.Discomfort, 2),
+		mkRun(testcase.Word, testcase.CPU, testcase.ShapeRamp, 2, core.Exhausted, 7),
+		mkRun(testcase.Word, "", testcase.ShapeBlank, 3, core.Discomfort, 0), // no level: skipped
+	}
+	curve, err := KMCurve(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stats.ValidateKM(curve); err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 2 {
+		t.Fatalf("steps = %d", len(curve))
+	}
+	// 3 at risk, event at 1 -> S=2/3; event at 2 -> S=1/3.
+	if got := stats.KMDiscomfortAt(curve, 2); got < 0.66 || got > 0.67 {
+		t.Errorf("KM discomfort at 2 = %v, want 2/3", got)
+	}
+}
+
+func TestKMCurveNoData(t *testing.T) {
+	if _, err := KMCurve(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	blankOnly := []*core.Run{mkRun(testcase.Word, "", testcase.ShapeBlank, 0, core.Exhausted, 0)}
+	if _, err := KMCurve(blankOnly); err == nil {
+		t.Error("blank-only input accepted")
+	}
+}
+
+func TestKMResourceCurveAndC05(t *testing.T) {
+	var runs []*core.Run
+	for i := 0; i < 40; i++ {
+		term := core.Discomfort
+		level := 0.1 * float64(i+1)
+		if i%4 == 0 {
+			term = core.Exhausted
+			level = 5
+		}
+		runs = append(runs, mkRun(testcase.Quake, testcase.CPU, testcase.ShapeRamp, i, term, level))
+	}
+	db := NewDB(runs)
+	curve, err := db.KMResourceCurve(testcase.CPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := KMC05(curve)
+	if !ok {
+		t.Fatal("KM c05 unreachable")
+	}
+	// The KM estimate must reach 5% at or before the naive CDF does,
+	// because censored runs shrink the risk set instead of diluting it.
+	naive, ok2 := db.ResourceCDF(testcase.CPU).Percentile(0.05)
+	if !ok2 {
+		t.Fatal("naive c05 unavailable")
+	}
+	if v > naive+1e-9 {
+		t.Errorf("KM c05 %v later than naive %v", v, naive)
+	}
+}

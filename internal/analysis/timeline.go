@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"uucs/internal/apps"
+	"uucs/internal/core"
+)
+
+// RenderTimeline draws a run's interactivity trace as an ASCII timeline:
+// latency (or frame time) over the run, with the discomfort moment
+// marked. It needs a run executed with the engine's TraceEvents option.
+func RenderTimeline(run *core.Run, width int) string {
+	if width < 30 {
+		width = 30
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline %s (%s, user %d, %s at %.1fs)\n",
+		run.TestcaseID, run.Task, run.UserID, run.Terminated, run.Offset)
+	if len(run.Trace) == 0 {
+		b.WriteString("  (no trace; run with Engine.TraceEvents = true)\n")
+		return b.String()
+	}
+	maxLat := 0.0
+	duration := run.Offset
+	for _, s := range run.Trace {
+		if s.Latency > maxLat {
+			maxLat = s.Latency
+		}
+		if s.Time > duration {
+			duration = s.Time
+		}
+	}
+	if maxLat == 0 {
+		maxLat = 1
+	}
+	const rows = 8
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range run.Trace {
+		col := int(s.Time / duration * float64(width-1))
+		if col < 0 || col >= width {
+			continue
+		}
+		row := int(s.Latency / maxLat * float64(rows-1))
+		if row > rows-1 {
+			row = rows - 1
+		}
+		grid[rows-1-row][col] = mark(s.Class)
+	}
+	// Mark the click column.
+	clickCol := -1
+	if run.Terminated == core.Discomfort {
+		clickCol = int(run.Offset / duration * float64(width-1))
+	}
+	for i, rowBytes := range grid {
+		label := " "
+		if i == 0 {
+			label = fmt.Sprintf("%.2fs", maxLat)
+		}
+		line := string(rowBytes)
+		if clickCol >= 0 && clickCol < len(rowBytes) && rowBytes[clickCol] == ' ' {
+			line = line[:clickCol] + "!" + line[clickCol+1:]
+		}
+		fmt.Fprintf(&b, "%8s |%s\n", label, line)
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  0%*s%.0fs   (e=echo o=op f=flow L=load F=frame-window !=click)\n",
+		"", width-5, "", duration)
+	return b.String()
+}
+
+// mark maps an event class to its plot glyph.
+func mark(c apps.Class) byte {
+	switch c {
+	case apps.Echo:
+		return 'e'
+	case apps.Op:
+		return 'o'
+	case apps.Flow:
+		return 'f'
+	case apps.LoadOp:
+		return 'L'
+	case apps.Frame:
+		return 'F'
+	default:
+		return '*'
+	}
+}

@@ -1,0 +1,125 @@
+// Package apps models the four foreground tasks of the controlled study
+// (paper §3.1): word processing in Microsoft Word, presentation making in
+// Powerpoint, browsing and research in Internet Explorer, and playing
+// Quake III. Each model produces a stream of interactive events — the
+// things the user is actually waiting on — together with the resource
+// demands that determine how resource borrowing stretches them.
+//
+// The paper's central observation is that "the regions of resource usage
+// where interactivity is affected are different for each task" (§3.2):
+// Word tolerates CPU contention around 3 and beyond, while Quake shows
+// drastic effects between 0.2 and 1.2. Those differences are emergent
+// here: they come from each app's demand signature (burst sizes, event
+// rates, working-set shape, I/O pattern), not from per-task tolerance
+// constants.
+package apps
+
+import (
+	"fmt"
+
+	"uucs/internal/hostsim"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// Class categorizes an interactive event by how the user perceives its
+// latency. Perception thresholds differ by class: a keystroke echo must
+// feel instant, a page load may take seconds, a game frame is judged by
+// rate and jitter.
+type Class string
+
+// Event classes.
+const (
+	// Echo events are fine-grained input feedback: keystroke echo,
+	// pointer drag updates.
+	Echo Class = "echo"
+	// Op events are discrete operations the user watches complete:
+	// scrolling a page, applying formatting, redrawing a slide.
+	Op Class = "op"
+	// LoadOp events are long operations with relaxed expectations:
+	// loading a web page, saving a document.
+	LoadOp Class = "load"
+	// Flow events are updates of a continuous direct-manipulation loop
+	// (dragging a shape and watching it follow). Unlike discrete ops,
+	// fluency breaks at nearly the same point for everyone — a
+	// perceptual threshold, not a patience threshold — which is why the
+	// paper's Powerpoint CPU CDF is so steep (c_0.05 = 1.00 with
+	// f_d = 0.95).
+	Flow Class = "flow"
+	// Frame events are the per-frame work of a continuous real-time
+	// render loop; users perceive their rate and jitter rather than
+	// individual latencies.
+	Frame Class = "frame"
+)
+
+// Event is one interactive operation issued by the foreground task.
+type Event struct {
+	// At is the time the user initiates the operation, seconds into the
+	// run.
+	At float64
+	// Class determines which tolerance the user applies.
+	Class Class
+	// CPU is the event's processor demand in reference-machine seconds.
+	CPU float64
+	// DiskKB is foreground disk I/O the user waits on.
+	DiskKB float64
+	// DiskBGKB is write-behind disk I/O that does not block the user but
+	// occupies the disk queue.
+	DiskBGKB float64
+	// HotTouches and ColdTouches are page touches into the hot and cold
+	// parts of the app's working set; under memory pressure cold (and
+	// eventually hot) touches fault.
+	HotTouches, ColdTouches int
+	// ExtraLatency is latency from outside the machine (network time for
+	// IE), already sampled.
+	ExtraLatency float64
+	// BaselineExtra is the typical (median) external latency for this
+	// kind of event; perception judges degradation against the typical
+	// feel, not against each sample's luck.
+	BaselineExtra float64
+	// Label names the operation for run records.
+	Label string
+}
+
+// App is a foreground-task model.
+type App interface {
+	// Task identifies the model.
+	Task() testcase.Task
+	// FrameHz is the target frame rate for frame-driven apps, 0 otherwise.
+	FrameHz() float64
+	// WorkingSet returns the app's memory footprint t seconds into the
+	// task.
+	WorkingSet(t float64) hostsim.WorkingSet
+	// Events generates the interactive event stream for a run of the
+	// given duration, deterministically from the stream. Events are
+	// returned in nondecreasing At order.
+	Events(duration float64, s *stats.Stream) []Event
+}
+
+// New returns the model for a controlled-study task.
+func New(task testcase.Task) (App, error) {
+	switch task {
+	case testcase.Word:
+		return NewWord(DefaultWordParams()), nil
+	case testcase.Powerpoint:
+		return NewPowerpoint(DefaultPowerpointParams()), nil
+	case testcase.IE:
+		return NewIE(DefaultIEParams()), nil
+	case testcase.Quake:
+		return NewQuake(DefaultQuakeParams()), nil
+	}
+	return nil, fmt.Errorf("apps: no model for task %q", task)
+}
+
+// All returns models for every controlled-study task, in paper order.
+func All() ([]App, error) {
+	out := make([]App, 0, 4)
+	for _, task := range testcase.Tasks() {
+		a, err := New(task)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

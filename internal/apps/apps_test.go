@@ -1,0 +1,211 @@
+package apps
+
+import (
+	"testing"
+
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+func TestNewCoversAllTasks(t *testing.T) {
+	for _, task := range testcase.Tasks() {
+		a, err := New(task)
+		if err != nil {
+			t.Fatalf("%s: %v", task, err)
+		}
+		if a.Task() != task {
+			t.Errorf("%s model reports task %s", task, a.Task())
+		}
+	}
+	if _, err := New(testcase.Task("emacs")); err == nil {
+		t.Error("unknown task accepted")
+	}
+	all, err := All()
+	if err != nil || len(all) != 4 {
+		t.Errorf("All() = %d models, err=%v", len(all), err)
+	}
+}
+
+func TestEventStreamsOrderedAndBounded(t *testing.T) {
+	for _, task := range testcase.Tasks() {
+		a, err := New(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs := a.Events(120, stats.NewStream(1))
+		if len(evs) == 0 {
+			t.Fatalf("%s produced no events", task)
+		}
+		for i, e := range evs {
+			if e.At < 0 || e.At >= 130 {
+				t.Fatalf("%s event %d out of range: %v", task, i, e.At)
+			}
+			if i > 0 && e.At < evs[i-1].At {
+				t.Fatalf("%s events not ordered at %d", task, i)
+			}
+			if e.CPU < 0 || e.DiskKB < 0 || e.HotTouches < 0 || e.ColdTouches < 0 {
+				t.Fatalf("%s event %d has negative demand: %+v", task, i, e)
+			}
+			if e.Label == "" {
+				t.Fatalf("%s event %d unlabeled", task, i)
+			}
+		}
+	}
+}
+
+func TestEventStreamsDeterministic(t *testing.T) {
+	for _, task := range testcase.Tasks() {
+		a, _ := New(task)
+		e1 := a.Events(60, stats.NewStream(9))
+		e2 := a.Events(60, stats.NewStream(9))
+		if len(e1) != len(e2) {
+			t.Fatalf("%s stream lengths differ: %d vs %d", task, len(e1), len(e2))
+		}
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				t.Fatalf("%s event %d differs", task, i)
+			}
+		}
+	}
+}
+
+func TestDemandSignatureOrdering(t *testing.T) {
+	// The paper's per-task tolerance differences stem from demand: Word's
+	// heaviest common burst must be far lighter than Powerpoint's, and
+	// Quake must demand the most CPU per second.
+	perSecondCPU := func(task testcase.Task) float64 {
+		a, _ := New(task)
+		evs := a.Events(300, stats.NewStream(3))
+		total := 0.0
+		for _, e := range evs {
+			total += e.CPU
+		}
+		return total / 300
+	}
+	word := perSecondCPU(testcase.Word)
+	ppt := perSecondCPU(testcase.Powerpoint)
+	quake := perSecondCPU(testcase.Quake)
+	if !(word < ppt && ppt < quake) {
+		t.Errorf("CPU demand ordering violated: word=%v ppt=%v quake=%v", word, ppt, quake)
+	}
+	if quake < 0.5 {
+		t.Errorf("Quake demand = %v CPU/s, should be the dominant consumer", quake)
+	}
+	if word > 0.1 {
+		t.Errorf("Word demand = %v CPU/s, should be nearly idle", word)
+	}
+}
+
+func TestIEDiskDemandDominates(t *testing.T) {
+	// IE (page caching + explicit saves) must produce the most frequent
+	// foreground disk I/O — the paper's explanation for its disk
+	// sensitivity.
+	fgIOCount := func(task testcase.Task) int {
+		a, _ := New(task)
+		evs := a.Events(600, stats.NewStream(5))
+		n := 0
+		for _, e := range evs {
+			if e.DiskKB > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	ie := fgIOCount(testcase.IE)
+	word := fgIOCount(testcase.Word)
+	ppt := fgIOCount(testcase.Powerpoint)
+	if ie <= word || ie <= ppt {
+		t.Errorf("IE foreground I/O count = %d, want more than word (%d) and ppt (%d)", ie, word, ppt)
+	}
+}
+
+func TestQuakeFrameStream(t *testing.T) {
+	a, _ := New(testcase.Quake)
+	if a.FrameHz() != 60 {
+		t.Fatalf("FrameHz = %v", a.FrameHz())
+	}
+	evs := a.Events(10, stats.NewStream(2))
+	frames := 0
+	streams := 0
+	for _, e := range evs {
+		if e.Class == Frame {
+			frames++
+		}
+		if e.DiskKB > 0 {
+			streams++
+			if e.ColdTouches == 0 {
+				t.Error("streaming event should touch cold pages")
+			}
+		}
+	}
+	if frames < 590 || frames > 600 {
+		t.Errorf("frames in 10s = %d, want ~600", frames)
+	}
+	if streams == 0 {
+		t.Error("no streaming events in 10s")
+	}
+}
+
+func TestNonFrameAppsHaveNoFrames(t *testing.T) {
+	for _, task := range []testcase.Task{testcase.Word, testcase.Powerpoint, testcase.IE} {
+		a, _ := New(task)
+		if a.FrameHz() != 0 {
+			t.Errorf("%s reports FrameHz %v", task, a.FrameHz())
+		}
+		for _, e := range a.Events(60, stats.NewStream(1)) {
+			if e.Class == Frame {
+				t.Errorf("%s produced a frame event", task)
+			}
+		}
+	}
+}
+
+func TestWorkingSets(t *testing.T) {
+	for _, task := range testcase.Tasks() {
+		a, _ := New(task)
+		for _, tt := range []float64{0, 60, 120} {
+			ws := a.WorkingSet(tt)
+			if ws.TotalMB <= 0 || ws.HotMB <= 0 || ws.HotMB > ws.TotalMB {
+				t.Errorf("%s WS(%v) = %+v", task, tt, ws)
+			}
+			if ws.TotalMB > 400 {
+				t.Errorf("%s WS(%v) = %v MB, implausible for a 512 MB machine", task, tt, ws.TotalMB)
+			}
+		}
+	}
+	// Dynamic working sets must actually grow.
+	for _, task := range []testcase.Task{testcase.IE, testcase.Quake} {
+		a, _ := New(task)
+		if a.WorkingSet(120).TotalMB <= a.WorkingSet(0).TotalMB {
+			t.Errorf("%s working set is not dynamic", task)
+		}
+	}
+	// Office working sets are static.
+	a, _ := New(testcase.Word)
+	if a.WorkingSet(120).TotalMB != a.WorkingSet(0).TotalMB {
+		t.Error("Word working set should be static")
+	}
+}
+
+func TestIENetworkLatencyVariability(t *testing.T) {
+	a, _ := New(testcase.IE)
+	evs := a.Events(1200, stats.NewStream(11))
+	var nets []float64
+	for _, e := range evs {
+		if e.Label == "page-load" {
+			nets = append(nets, e.ExtraLatency)
+		}
+	}
+	if len(nets) < 30 {
+		t.Fatalf("only %d page loads in 20 minutes", len(nets))
+	}
+	if stats.Max(nets) < 2 {
+		t.Errorf("network latency tail too thin: max = %v", stats.Max(nets))
+	}
+	if stats.Max(nets) > DefaultIEParams().PageNetMax {
+		t.Errorf("network latency exceeds cap: %v", stats.Max(nets))
+	}
+	if m := stats.Mean(nets); m < 0.5 || m > 2.5 {
+		t.Errorf("mean network latency = %v, want around 1s", m)
+	}
+}

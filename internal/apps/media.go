@@ -1,0 +1,109 @@
+package apps
+
+import (
+	"uucs/internal/hostsim"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// TaskMedia is a fifth foreground context beyond the paper's four: video
+// playback. The paper's motivation covers thin-client and desktop
+// consolidation where media consumption is a dominant workload; this
+// model extends the study's coverage to it. Playback is frame-driven
+// like Quake but far less CPU-hungry (a 2004 software decoder uses a
+// fraction of the machine) and tolerant of short stalls thanks to
+// decode-ahead buffering — so its comfort profile should sit between
+// the office tasks and the game.
+const TaskMedia = testcase.Task("media")
+
+// MediaParams parameterizes the video-playback model.
+type MediaParams struct {
+	// FrameHz is the playback rate.
+	FrameHz float64
+	// FrameCPU is reference CPU per decoded frame.
+	FrameCPU float64
+	// BufferFrames is the decode-ahead buffer: the player survives this
+	// many frame-times of starvation before the user sees a stall.
+	BufferFrames int
+	// ReadMeanGap and ReadKB describe the periodic file reads feeding
+	// the decoder.
+	ReadMeanGap float64
+	ReadKB      float64
+	// SeekMeanGap is the mean time between user seeks (watched ops that
+	// flush the buffer and refill from disk).
+	SeekMeanGap float64
+	// WSTotalMB and WSHotMB describe the working set.
+	WSTotalMB, WSHotMB float64
+	// UsageSigma spreads per-run demand (bitrate differences).
+	UsageSigma float64
+}
+
+// DefaultMediaParams returns the calibrated playback model: a 24 fps
+// stream decoded with ~20% of the reference CPU.
+func DefaultMediaParams() MediaParams {
+	return MediaParams{
+		FrameHz:      24,
+		FrameCPU:     0.0085,
+		BufferFrames: 12,
+		ReadMeanGap:  2.0,
+		ReadKB:       700,
+		SeekMeanGap:  45,
+		WSTotalMB:    90,
+		WSHotMB:      35,
+		UsageSigma:   0.15,
+	}
+}
+
+type media struct{ p MediaParams }
+
+// NewMediaPlayer builds the playback model.
+func NewMediaPlayer(p MediaParams) App { return &media{p: p} }
+
+func (m *media) Task() testcase.Task { return TaskMedia }
+
+func (m *media) FrameHz() float64 { return m.p.FrameHz }
+
+func (m *media) WorkingSet(float64) hostsim.WorkingSet {
+	return hostsim.WorkingSet{TotalMB: m.p.WSTotalMB, HotMB: m.p.WSHotMB}
+}
+
+func (m *media) Events(duration float64, s *stats.Stream) []Event {
+	usage := s.LognormMedian(1, m.p.UsageSigma)
+	frameGap := 1 / m.p.FrameHz
+	n := int(duration / frameGap)
+	evs := make([]Event, 0, n+32)
+	for i := 0; i < n; i++ {
+		evs = append(evs, Event{
+			At: float64(i) * frameGap, Class: Frame,
+			CPU:        usage * m.p.FrameCPU * s.Range(0.85, 1.15),
+			HotTouches: 2, Label: "decode-frame",
+		})
+	}
+	// Stream reads: background most of the time (the buffer absorbs
+	// latency); the read becomes foreground-blocking only when it is this
+	// late that the buffer would drain — approximated by a small blocking
+	// probability that rises with buffer smallness.
+	blockProb := 1.0 / float64(m.p.BufferFrames)
+	for t := s.Exp(m.p.ReadMeanGap); t < duration; t += s.Exp(m.p.ReadMeanGap) {
+		idx := int(t / frameGap)
+		if idx >= len(evs) {
+			continue
+		}
+		kb := m.p.ReadKB * s.Range(0.7, 1.4)
+		if s.Bool(blockProb) {
+			evs[idx].DiskKB += kb
+			evs[idx].Label = "decode+refill"
+		} else {
+			evs[idx].DiskBGKB += kb
+		}
+	}
+	// User seeks: watched operations that refill the pipeline.
+	for t := s.Exp(m.p.SeekMeanGap); t < duration; t += s.Exp(m.p.SeekMeanGap) {
+		evs = append(evs, Event{
+			At: t, Class: Op, CPU: usage * 0.06,
+			DiskKB: m.p.ReadKB, ColdTouches: 6, HotTouches: 3, Label: "seek",
+		})
+	}
+	sortEvents(evs)
+	return evs
+}

@@ -1,0 +1,60 @@
+package apps
+
+import (
+	"testing"
+
+	"uucs/internal/stats"
+)
+
+func TestMediaPlayerModel(t *testing.T) {
+	m := NewMediaPlayer(DefaultMediaParams())
+	if m.Task() != TaskMedia {
+		t.Errorf("task = %v", m.Task())
+	}
+	if m.FrameHz() != 24 {
+		t.Errorf("FrameHz = %v", m.FrameHz())
+	}
+	ws := m.WorkingSet(60)
+	if ws.TotalMB <= 0 || ws.HotMB > ws.TotalMB {
+		t.Errorf("working set: %+v", ws)
+	}
+	evs := m.Events(60, stats.NewStream(1))
+	frames, reads, seeks := 0, 0, 0
+	for i, ev := range evs {
+		if i > 0 && ev.At < evs[i-1].At {
+			t.Fatalf("events unordered at %d", i)
+		}
+		switch {
+		case ev.Class == Frame:
+			frames++
+			if ev.DiskKB > 0 || ev.DiskBGKB > 0 {
+				reads++
+			}
+		case ev.Class == Op:
+			seeks++
+		}
+	}
+	if frames < 1430 || frames > 1440 {
+		t.Errorf("frames in 60s = %d, want ~1440", frames)
+	}
+	if reads == 0 {
+		t.Error("no stream reads")
+	}
+	if seeks == 0 {
+		t.Error("no user seeks")
+	}
+}
+
+func TestMediaPlayerDeterminism(t *testing.T) {
+	m := NewMediaPlayer(DefaultMediaParams())
+	a := m.Events(30, stats.NewStream(5))
+	b := m.Events(30, stats.NewStream(5))
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package apps
+
+import (
+	"uucs/internal/hostsim"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// PowerpointParams parameterizes the Powerpoint model. The study task
+// duplicated a presentation of complex diagrams involving drawing and
+// labeling (paper §3.1). Powerpoint is distinguished from Word by much
+// heavier redraw operations — every shape manipulation re-renders the
+// slide — which is why its CPU tolerance is an order of magnitude lower
+// (paper c_a ≈ 1.17 vs Word's 4.35) while its disk and memory behaviour
+// stays office-like.
+type PowerpointParams struct {
+	// DragRate is pointer-drag echo events per second while drawing.
+	DragRate float64
+	// DragCPU is reference CPU per drag update.
+	DragCPU float64
+	// OpMeanGap is the mean time between slide-level operations (insert
+	// shape, align, format, full redraw).
+	OpMeanGap float64
+	// OpCPU is reference CPU per slide operation.
+	OpCPU float64
+	// SaveMeanGap and SaveKB describe explicit saves; presentations are
+	// bigger than text documents.
+	SaveMeanGap float64
+	SaveKB      float64
+	// WSTotalMB and WSHotMB describe the working set.
+	WSTotalMB, WSHotMB float64
+	// UsageSigma spreads per-run demand; the study task (duplicating a
+	// fixed sample presentation) was uniform across users, so the spread
+	// is small — which is why the paper's Powerpoint CPU CDF is so steep
+	// (f_d = 0.95 with c_a only 1.17).
+	UsageSigma float64
+}
+
+// DefaultPowerpointParams returns the calibrated Powerpoint model.
+func DefaultPowerpointParams() PowerpointParams {
+	return PowerpointParams{
+		DragRate:    2.2,
+		DragCPU:     0.145,
+		OpMeanGap:   5.0,
+		OpCPU:       0.160,
+		SaveMeanGap: 30,
+		SaveKB:      3200,
+		WSTotalMB:   140,
+		WSHotMB:     30,
+		UsageSigma:  0.08,
+	}
+}
+
+type powerpoint struct{ p PowerpointParams }
+
+// NewPowerpoint builds a Powerpoint model with the given parameters.
+func NewPowerpoint(p PowerpointParams) App { return &powerpoint{p: p} }
+
+func (pp *powerpoint) Task() testcase.Task { return testcase.Powerpoint }
+
+func (pp *powerpoint) FrameHz() float64 { return 0 }
+
+func (pp *powerpoint) WorkingSet(float64) hostsim.WorkingSet {
+	return hostsim.WorkingSet{TotalMB: pp.p.WSTotalMB, HotMB: pp.p.WSHotMB}
+}
+
+func (pp *powerpoint) Events(duration float64, s *stats.Stream) []Event {
+	var evs []Event
+	usage := s.LognormMedian(1, pp.p.UsageSigma)
+	for t := s.Exp(1 / pp.p.DragRate); t < duration; t += s.Exp(1 / pp.p.DragRate) {
+		evs = append(evs, Event{
+			At: t, Class: Flow, CPU: usage * pp.p.DragCPU * s.Range(0.9, 1.1),
+			HotTouches: 3, Label: "drag-render",
+		})
+	}
+	for t := s.Exp(pp.p.OpMeanGap); t < duration; t += s.Exp(pp.p.OpMeanGap) {
+		evs = append(evs, Event{
+			At: t, Class: Op, CPU: usage * pp.p.OpCPU * s.Range(0.75, 1.3),
+			HotTouches: 5, ColdTouches: 12, Label: "slide-op",
+		})
+	}
+	for t := s.Exp(pp.p.SaveMeanGap); t < duration; t += s.Exp(pp.p.SaveMeanGap) {
+		evs = append(evs, Event{
+			At: t, Class: LoadOp, CPU: 0.06, DiskKB: pp.p.SaveKB * s.Range(0.8, 1.2),
+			HotTouches: 4, ColdTouches: 6, Label: "save",
+		})
+	}
+	sortEvents(evs)
+	return evs
+}

@@ -1,0 +1,133 @@
+package apps
+
+import (
+	"sort"
+
+	"uucs/internal/hostsim"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// QuakeParams parameterizes the Quake III model — the study's most
+// resource-intensive application (paper §3.1). Quake is frame-driven:
+// the display loop wants most of the CPU all the time, and users judge
+// it by frame rate and stutter rather than by discrete-operation
+// latency. Its frame budget leaves so little headroom that CPU
+// contention between 0.2 and 1.2 already "causes drastic effects"
+// (§3.2), and even blank testcases provoke feedback because "Quake is a
+// very demanding application in which jitter quickly discomforts users"
+// (§3.3.3). It also streams assets from disk and has dynamic texture
+// memory demand, which drives its disk and memory sensitivity.
+type QuakeParams struct {
+	// FrameHz is the target frame rate.
+	FrameHz float64
+	// FrameCPU is reference CPU per frame; at 60 Hz a 12 ms frame leaves
+	// ~28% headroom on the reference machine.
+	FrameCPU float64
+	// FrameCPUJitter is the relative frame-to-frame CPU variation from
+	// scene complexity.
+	FrameCPUJitter float64
+	// SpikeProb is the per-frame probability of an internal hitch (asset
+	// decompression, AI burst); SpikeFactor multiplies that frame's CPU.
+	// Spikes are what make Quake twitchy even near-idle — the paper's
+	// "jitter quickly discomforts users" even on blank testcases.
+	SpikeProb   float64
+	SpikeFactor float64
+	// StreamMeanGap is the mean gap between asset-streaming reads
+	// (entering a new map region).
+	StreamMeanGap float64
+	// StreamBlockProb is the probability a streaming read blocks the
+	// render loop (the rest is prefetched off the critical path).
+	StreamBlockProb float64
+	// StreamKB is the foreground read size per blocking streaming event;
+	// the render loop blocks on it, so it appears as a frame hitch.
+	StreamKB float64
+	// StreamColdTouches is the cold-page touches per streaming event
+	// (new textures entering the working set).
+	StreamColdTouches int
+	// FrameHotTouches is hot-page touches per frame.
+	FrameHotTouches int
+	// WSBaseMB, WSGrowMB, WSHotMB describe the working set; Quake's
+	// grows and shifts as the player moves through the level.
+	WSBaseMB, WSGrowMB, WSHotMB float64
+	// UsageSigma spreads per-run demand (map and playstyle); small, since
+	// the engine load is dominated by the fixed frame loop.
+	UsageSigma float64
+}
+
+// DefaultQuakeParams returns the calibrated Quake III model.
+func DefaultQuakeParams() QuakeParams {
+	return QuakeParams{
+		FrameHz:           60,
+		FrameCPU:          0.0125,
+		FrameCPUJitter:    0.15,
+		SpikeProb:         0.004,
+		SpikeFactor:       6,
+		StreamMeanGap:     3.0,
+		StreamBlockProb:   0.045,
+		StreamKB:          250,
+		StreamColdTouches: 5,
+		FrameHotTouches:   2,
+		WSBaseMB:          135,
+		WSGrowMB:          30,
+		WSHotMB:           60,
+		UsageSigma:        0.05,
+	}
+}
+
+type quake struct{ p QuakeParams }
+
+// NewQuake builds a Quake III model with the given parameters.
+func NewQuake(p QuakeParams) App { return &quake{p: p} }
+
+func (q *quake) Task() testcase.Task { return testcase.Quake }
+
+func (q *quake) FrameHz() float64 { return q.p.FrameHz }
+
+func (q *quake) WorkingSet(t float64) hostsim.WorkingSet {
+	frac := t / 120
+	if frac > 1 {
+		frac = 1
+	}
+	return hostsim.WorkingSet{TotalMB: q.p.WSBaseMB + frac*q.p.WSGrowMB, HotMB: q.p.WSHotMB}
+}
+
+func (q *quake) Events(duration float64, s *stats.Stream) []Event {
+	frameGap := 1 / q.p.FrameHz
+	n := int(duration / frameGap)
+	usage := s.LognormMedian(1, q.p.UsageSigma)
+	evs := make([]Event, 0, n+64)
+	for i := 0; i < n; i++ {
+		t := float64(i) * frameGap
+		cpu := usage * q.p.FrameCPU * (1 + q.p.FrameCPUJitter*(2*s.Float64()-1))
+		if s.Bool(q.p.SpikeProb) {
+			cpu *= q.p.SpikeFactor
+		}
+		evs = append(evs, Event{
+			At: t, Class: Frame, CPU: cpu,
+			HotTouches: q.p.FrameHotTouches, Label: "frame",
+		})
+	}
+	// Asset streaming: reads that hit cold pages, attached to the nearest
+	// frame slot. Only some block the render loop as foreground I/O; the
+	// cold-page touches fault regardless once memory is tight.
+	for t := s.Exp(q.p.StreamMeanGap); t < duration; t += s.Exp(q.p.StreamMeanGap) {
+		idx := int(t / frameGap)
+		if idx >= len(evs) {
+			continue
+		}
+		if s.Bool(q.p.StreamBlockProb) {
+			evs[idx].DiskKB += q.p.StreamKB * s.Range(0.5, 1.8)
+		} else {
+			evs[idx].DiskBGKB += q.p.StreamKB * s.Range(0.5, 1.8)
+		}
+		evs[idx].ColdTouches += q.p.StreamColdTouches
+		evs[idx].Label = "frame+stream"
+	}
+	return evs
+}
+
+// sortEvents orders events by time, stably for equal times.
+func sortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+}

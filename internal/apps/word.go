@@ -1,0 +1,109 @@
+package apps
+
+import (
+	"uucs/internal/hostsim"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// WordParams parameterizes the Word model. The study task was typing a
+// non-technical document with limited formatting — mainly typing and
+// saving (paper §3.1 and its footnote). Word is the least demanding
+// task: tiny CPU bursts, a small and static working set, and rare disk
+// activity. That is why it tolerates very high contention (the paper
+// measured c_a around 4.35 for CPU and recorded no memory discomfort at
+// all).
+type WordParams struct {
+	// TypingRate is keystrokes per second while typing.
+	TypingRate float64
+	// KeystrokeCPU is the reference CPU per keystroke echo.
+	KeystrokeCPU float64
+	// OpMeanGap is the mean time between heavier editor operations
+	// (scrolling, repagination, spell-check sweeps).
+	OpMeanGap float64
+	// OpCPU is the reference CPU per heavy operation.
+	OpCPU float64
+	// SaveMeanGap is the mean time between explicit user saves.
+	SaveMeanGap float64
+	// SaveKB is the foreground bytes written per save (document plus
+	// temp/backup shuffle).
+	SaveKB float64
+	// AutosaveGap is the time between background autosaves.
+	AutosaveGap float64
+	// AutosaveKB is bytes written per background autosave.
+	AutosaveKB float64
+	// WSTotalMB and WSHotMB describe the working set.
+	WSTotalMB, WSHotMB float64
+	// UsageSigma spreads per-run demand: document complexity and editing
+	// style vary a lot between users, which is why Word's discomfort CDF
+	// is wide (paper Figure 18, Word column).
+	UsageSigma float64
+}
+
+// DefaultWordParams returns the calibrated Word model.
+func DefaultWordParams() WordParams {
+	return WordParams{
+		TypingRate:   4.0,
+		KeystrokeCPU: 0.0012,
+		OpMeanGap:    7.0,
+		OpCPU:        0.085,
+		SaveMeanGap:  45,
+		SaveKB:       3000,
+		AutosaveGap:  60,
+		AutosaveKB:   400,
+		WSTotalMB:    50,
+		WSHotMB:      10,
+		UsageSigma:   0.26,
+	}
+}
+
+type word struct{ p WordParams }
+
+// NewWord builds a Word model with the given parameters.
+func NewWord(p WordParams) App { return &word{p: p} }
+
+func (w *word) Task() testcase.Task { return testcase.Word }
+
+func (w *word) FrameHz() float64 { return 0 }
+
+func (w *word) WorkingSet(float64) hostsim.WorkingSet {
+	// Office working sets stabilize once the document is open; the study
+	// document was small, so the footprint is static.
+	return hostsim.WorkingSet{TotalMB: w.p.WSTotalMB, HotMB: w.p.WSHotMB}
+}
+
+func (w *word) Events(duration float64, s *stats.Stream) []Event {
+	var evs []Event
+	usage := s.LognormMedian(1, w.p.UsageSigma)
+	// Keystrokes: steady typing with exponential gaps.
+	for t := s.Exp(1 / w.p.TypingRate); t < duration; t += s.Exp(1 / w.p.TypingRate) {
+		evs = append(evs, Event{
+			At: t, Class: Echo, CPU: usage * w.p.KeystrokeCPU * s.Range(0.7, 1.3),
+			HotTouches: 2, Label: "keystroke",
+		})
+	}
+	// Heavier editor operations; they touch a little cold state
+	// (formatting tables, far document regions).
+	for t := s.Exp(w.p.OpMeanGap); t < duration; t += s.Exp(w.p.OpMeanGap) {
+		evs = append(evs, Event{
+			At: t, Class: Op, CPU: usage * w.p.OpCPU * s.Range(0.6, 1.5),
+			HotTouches: 6, ColdTouches: 2, Label: "edit-op",
+		})
+	}
+	// Explicit saves the user waits on.
+	for t := s.Exp(w.p.SaveMeanGap); t < duration; t += s.Exp(w.p.SaveMeanGap) {
+		evs = append(evs, Event{
+			At: t, Class: LoadOp, CPU: 0.03, DiskKB: w.p.SaveKB * s.Range(0.8, 1.2),
+			HotTouches: 4, ColdTouches: 2, Label: "save",
+		})
+	}
+	// Background autosaves; latency invisible, but they occupy the disk.
+	for t := w.p.AutosaveGap; t < duration; t += w.p.AutosaveGap {
+		evs = append(evs, Event{
+			At: t, Class: Op, CPU: 0.008, DiskBGKB: w.p.AutosaveKB,
+			HotTouches: 2, Label: "autosave",
+		})
+	}
+	sortEvents(evs)
+	return evs
+}

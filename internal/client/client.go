@@ -1,0 +1,273 @@
+package client
+
+import (
+	"fmt"
+	"net"
+	"strings"
+
+	"uucs/internal/apps"
+	"uucs/internal/comfort"
+	"uucs/internal/core"
+	"uucs/internal/protocol"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// Client is a UUCS client instance. It is not safe for concurrent use;
+// a host runs one client.
+type Client struct {
+	// Store is the client's permanent storage.
+	Store *Store
+	// Snapshot describes this machine, sent at registration.
+	Snapshot protocol.Snapshot
+	// Engine executes testcases.
+	Engine *core.Engine
+	// SyncBatch is the base number of testcases requested per hot sync;
+	// the sample grows by this much each time, implementing the paper's
+	// "growing random sample of testcases".
+	SyncBatch int
+
+	id    string
+	syncs int
+	rng   *stats.Stream
+}
+
+// New builds a client over the given store. seed fixes the local random
+// choices (testcase selection, Poisson arrival times).
+func New(store *Store, snap protocol.Snapshot, engine *core.Engine, seed uint64) (*Client, error) {
+	if store == nil {
+		return nil, fmt.Errorf("client: nil store")
+	}
+	if err := snap.Validate(); err != nil {
+		return nil, err
+	}
+	if engine == nil {
+		engine = core.NewEngine()
+	}
+	id, err := store.ClientID()
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		Store:     store,
+		Snapshot:  snap,
+		Engine:    engine,
+		SyncBatch: 16,
+		id:        id,
+		rng:       stats.NewStream(seed),
+	}, nil
+}
+
+// ID returns the registration id, or "" before registration.
+func (c *Client) ID() string { return c.id }
+
+// dial opens a protocol connection to the server.
+func dial(addr string) (*protocol.Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return protocol.NewConn(nc), nil
+}
+
+// Register performs initial registration: the client presents its
+// snapshot and stores the unique identifier the server assigns. It is
+// idempotent — an already-registered client keeps its id.
+func (c *Client) Register(addr string) error {
+	if c.id != "" {
+		return nil
+	}
+	conn, err := dial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.Send(protocol.Message{
+		Type: protocol.TypeRegister, Ver: protocol.Version, Snapshot: &c.Snapshot,
+	}); err != nil {
+		return err
+	}
+	resp, err := conn.Recv()
+	if err != nil {
+		return err
+	}
+	if err := protocol.AsError(resp); err != nil {
+		return err
+	}
+	if resp.Type != protocol.TypeRegistered || resp.ClientID == "" {
+		return fmt.Errorf("client: unexpected registration response %+v", resp)
+	}
+	if err := c.Store.SetClientID(resp.ClientID); err != nil {
+		return err
+	}
+	c.id = resp.ClientID
+	return nil
+}
+
+// SyncStats reports what one hot sync accomplished.
+type SyncStats struct {
+	// NewTestcases is how many previously unseen testcases arrived.
+	NewTestcases int
+	// UploadedRuns is how many pending run records were accepted.
+	UploadedRuns int
+}
+
+// HotSync performs one hot sync (paper §2): download new testcases —
+// a growing random sample — and upload new results. The client must be
+// registered.
+func (c *Client) HotSync(addr string) (SyncStats, error) {
+	var st SyncStats
+	if c.id == "" {
+		return st, fmt.Errorf("client: not registered")
+	}
+	conn, err := dial(addr)
+	if err != nil {
+		return st, err
+	}
+	defer conn.Close()
+
+	// Download: ask for a growing sample.
+	existing, err := c.Store.Testcases()
+	if err != nil {
+		return st, err
+	}
+	have := make([]string, 0, len(existing))
+	for _, tc := range existing {
+		have = append(have, tc.ID)
+	}
+	c.syncs++
+	want := c.SyncBatch * c.syncs
+	if err := conn.Send(protocol.Message{
+		Type: protocol.TypeSync, ClientID: c.id, Have: have, Want: want,
+	}); err != nil {
+		return st, err
+	}
+	resp, err := conn.Recv()
+	if err != nil {
+		return st, err
+	}
+	if err := protocol.AsError(resp); err != nil {
+		return st, err
+	}
+	if resp.Type != protocol.TypeTestcases {
+		return st, fmt.Errorf("client: unexpected sync response %q", resp.Type)
+	}
+	if resp.Payload != "" {
+		tcs, err := testcase.DecodeAll(strings.NewReader(resp.Payload))
+		if err != nil {
+			return st, fmt.Errorf("client: bad testcase payload: %w", err)
+		}
+		added, err := c.Store.AddTestcases(tcs)
+		if err != nil {
+			return st, err
+		}
+		st.NewTestcases = added
+	}
+
+	// Upload pending results.
+	pending, err := c.Store.PendingRuns()
+	if err != nil {
+		return st, err
+	}
+	if len(pending) > 0 {
+		var b strings.Builder
+		if err := core.EncodeRuns(&b, pending, false); err != nil {
+			return st, err
+		}
+		if err := conn.Send(protocol.Message{
+			Type: protocol.TypeResults, ClientID: c.id, Payload: b.String(),
+		}); err != nil {
+			return st, err
+		}
+		ack, err := conn.Recv()
+		if err != nil {
+			return st, err
+		}
+		if err := protocol.AsError(ack); err != nil {
+			return st, err
+		}
+		if ack.Type != protocol.TypeAck {
+			return st, fmt.Errorf("client: unexpected upload response %q", ack.Type)
+		}
+		st.UploadedRuns = ack.Count
+		if err := c.Store.MarkUploaded(); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// ChooseTestcase picks a testcase uniformly at random from the local
+// store — the "local random choice of testcases" of §2.
+func (c *Client) ChooseTestcase() (*testcase.Testcase, error) {
+	tcs, err := c.Store.Testcases()
+	if err != nil {
+		return nil, err
+	}
+	if len(tcs) == 0 {
+		return nil, fmt.Errorf("client: testcase store is empty (hot sync first)")
+	}
+	return tcs[c.rng.IntN(len(tcs))], nil
+}
+
+// NextArrival returns the wait before the next testcase execution, drawn
+// from an exponential distribution so executions form a Poisson process
+// (§2: "Poisson arrivals of testcase execution").
+func (c *Client) NextArrival(meanGap float64) float64 {
+	return c.rng.Exp(meanGap)
+}
+
+// ExecuteRun runs one testcase against the given foreground app and
+// user model and appends the result to the pending store.
+func (c *Client) ExecuteRun(tc *testcase.Testcase, app apps.App, user *comfort.User) (*core.Run, error) {
+	run, err := c.Engine.Execute(tc, app, user, c.rng.Uint64())
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Store.AppendRun(run); err != nil {
+		return nil, err
+	}
+	return run, nil
+}
+
+// RunScript executes testcases by ID in the given order — the paper's
+// deterministic mode, where the client executes "a predefined set of
+// commands from a local file" (used by the controlled study). Unknown
+// IDs are an error; results land in the pending store.
+func (c *Client) RunScript(ids []string, app apps.App, user *comfort.User) ([]*core.Run, error) {
+	tcs, err := c.Store.Testcases()
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[string]*testcase.Testcase, len(tcs))
+	for _, tc := range tcs {
+		byID[tc.ID] = tc
+	}
+	out := make([]*core.Run, 0, len(ids))
+	for _, id := range ids {
+		tc, ok := byID[id]
+		if !ok {
+			return out, fmt.Errorf("client: script references unknown testcase %q", id)
+		}
+		run, err := c.ExecuteRun(tc, app, user)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, run)
+	}
+	return out, nil
+}
+
+// ParseScript reads a deterministic-mode command file: one testcase ID
+// per line, blank lines and '#' comments ignored.
+func ParseScript(text string) []string {
+	var ids []string
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ids = append(ids, line)
+	}
+	return ids
+}

@@ -1,0 +1,195 @@
+// Package client implements the UUCS client (paper Figure 5, minus the
+// Windows GUI): local text-file stores for testcases and results that
+// let the client operate disconnected from the server, registration and
+// hot sync against a server, randomized testcase scheduling with Poisson
+// arrivals for the Internet-wide study, and a deterministic script mode
+// for controlled experiments.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"uucs/internal/core"
+	"uucs/internal/testcase"
+)
+
+// Store is the client's permanent storage: plain text files in one
+// directory, mirroring the paper's design ("Both are Windows
+// applications that store testcases and results on permanent storage in
+// text files").
+type Store struct {
+	dir string
+}
+
+// Store file names.
+const (
+	testcasesFile = "testcases.txt"
+	pendingFile   = "results-pending.txt"
+	archiveFile   = "results-uploaded.txt"
+	idFile        = "clientid.txt"
+)
+
+// OpenStore opens (creating if needed) a client store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("client: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("client: create store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(name string) string { return filepath.Join(s.dir, name) }
+
+// ClientID returns the stored registration id, or "" when the client has
+// never registered.
+func (s *Store) ClientID() (string, error) {
+	b, err := os.ReadFile(s.path(idFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return "", nil
+	}
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(b)), nil
+}
+
+// SetClientID persists the registration id.
+func (s *Store) SetClientID(id string) error {
+	if id == "" {
+		return fmt.Errorf("client: refusing to store empty client id")
+	}
+	return os.WriteFile(s.path(idFile), []byte(id+"\n"), 0o644)
+}
+
+// Testcases loads the local testcase store.
+func (s *Store) Testcases() ([]*testcase.Testcase, error) {
+	f, err := os.Open(s.path(testcasesFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return testcase.DecodeAll(f)
+}
+
+// SaveTestcases replaces the local testcase store.
+func (s *Store) SaveTestcases(tcs []*testcase.Testcase) error {
+	testcase.SortByID(tcs)
+	return s.writeAtomically(testcasesFile, func(f *os.File) error {
+		return testcase.EncodeAll(f, tcs)
+	})
+}
+
+// AddTestcases merges new testcases into the store, replacing duplicates
+// by ID.
+func (s *Store) AddTestcases(tcs []*testcase.Testcase) (added int, err error) {
+	existing, err := s.Testcases()
+	if err != nil {
+		return 0, err
+	}
+	byID := make(map[string]*testcase.Testcase, len(existing))
+	for _, tc := range existing {
+		byID[tc.ID] = tc
+	}
+	for _, tc := range tcs {
+		if _, ok := byID[tc.ID]; !ok {
+			added++
+		}
+		byID[tc.ID] = tc
+	}
+	merged := make([]*testcase.Testcase, 0, len(byID))
+	for _, tc := range byID {
+		merged = append(merged, tc)
+	}
+	return added, s.SaveTestcases(merged)
+}
+
+// AppendRun records a completed run in the pending store; it will be
+// uploaded at the next hot sync.
+func (s *Store) AppendRun(run *core.Run) error {
+	f, err := os.OpenFile(s.path(pendingFile), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return core.EncodeRuns(f, []*core.Run{run}, true)
+}
+
+// PendingRuns loads the runs not yet uploaded.
+func (s *Store) PendingRuns() ([]*core.Run, error) {
+	f, err := os.Open(s.path(pendingFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.DecodeRuns(f)
+}
+
+// MarkUploaded moves the pending runs into the uploaded archive.
+func (s *Store) MarkUploaded() error {
+	pending, err := os.ReadFile(s.path(pendingFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	archive, err := os.OpenFile(s.path(archiveFile), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := archive.Write(pending); err != nil {
+		archive.Close()
+		return err
+	}
+	if err := archive.Close(); err != nil {
+		return err
+	}
+	return os.Remove(s.path(pendingFile))
+}
+
+// UploadedRuns loads the archive of already-uploaded runs.
+func (s *Store) UploadedRuns() ([]*core.Run, error) {
+	f, err := os.Open(s.path(archiveFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.DecodeRuns(f)
+}
+
+// writeAtomically writes via a temp file and rename so a crash cannot
+// corrupt the store.
+func (s *Store) writeAtomically(name string, fill func(*os.File) error) error {
+	tmp, err := os.CreateTemp(s.dir, name+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := fill(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), s.path(name))
+}

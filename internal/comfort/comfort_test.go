@@ -1,0 +1,333 @@
+package comfort
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"uucs/internal/apps"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+func population(t *testing.T, n int, seed uint64) []*User {
+	t.Helper()
+	users, err := SamplePopulation(n, DefaultPopulation(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return users
+}
+
+func TestSamplePopulationBasics(t *testing.T) {
+	users := population(t, 33, 1)
+	if len(users) != 33 {
+		t.Fatalf("got %d users", len(users))
+	}
+	for _, u := range users {
+		if u.EchoTol <= 0 || u.OpTol <= 0 || u.LoadTol <= 0 || u.HitchTol <= 0 {
+			t.Errorf("user %d has non-positive tolerance: %s", u.ID, u)
+		}
+		if u.FPSTol < 24 || u.FPSTol > 59 {
+			t.Errorf("user %d FPS tolerance out of range: %v", u.ID, u.FPSTol)
+		}
+		if len(u.Ratings) != 6 {
+			t.Errorf("user %d has %d ratings", u.ID, len(u.Ratings))
+		}
+		if u.Hazard <= 0 || u.ReactionLagMedian <= 0 || u.HabituationGain <= 0 {
+			t.Errorf("user %d has bad dynamics params", u.ID)
+		}
+		if u.String() == "" {
+			t.Errorf("user %d empty String", u.ID)
+		}
+	}
+	if _, err := SamplePopulation(0, DefaultPopulation(), 1); err == nil {
+		t.Error("zero population accepted")
+	}
+}
+
+func TestSamplePopulationDeterministic(t *testing.T) {
+	a := population(t, 10, 7)
+	b := population(t, 10, 7)
+	for i := range a {
+		if a[i].EchoTol != b[i].EchoTol || a[i].Ratings[DomainQuake] != b[i].Ratings[DomainQuake] {
+			t.Fatalf("population not deterministic at user %d", i)
+		}
+	}
+}
+
+func TestPopulationSpread(t *testing.T) {
+	users := population(t, 500, 3)
+	var echo []float64
+	counts := map[Rating]int{}
+	for _, u := range users {
+		echo = append(echo, u.EchoTol)
+		counts[u.Ratings[DomainPC]]++
+	}
+	med := stats.Quantile(echo, 0.5)
+	if med < 0.15 || med > 0.32 {
+		t.Errorf("echo tolerance median = %v, want ~0.22", med)
+	}
+	if stats.Quantile(echo, 0.95)/stats.Quantile(echo, 0.05) < 2 {
+		t.Error("population has too little tolerance spread")
+	}
+	for _, r := range Ratings() {
+		if counts[r] < 50 {
+			t.Errorf("rating %s appears only %d/500 times", r, counts[r])
+		}
+	}
+}
+
+func TestExpertsAreMoreSensitive(t *testing.T) {
+	// The paper's Figure 17: power users tolerate less. Group mean
+	// tolerances must order Power < Typical < Beginner.
+	users := population(t, 2000, 5)
+	sums := map[Rating]float64{}
+	ns := map[Rating]float64{}
+	for _, u := range users {
+		r := u.Ratings[DomainPC]
+		sums[r] += u.OpTol
+		ns[r]++
+	}
+	power := sums[Power] / ns[Power]
+	typical := sums[Typical] / ns[Typical]
+	beginner := sums[Beginner] / ns[Beginner]
+	if !(power < typical && typical < beginner) {
+		t.Errorf("tolerance ordering violated: power=%v typical=%v beginner=%v", power, typical, beginner)
+	}
+}
+
+func TestTolerancesForSkillAdjustment(t *testing.T) {
+	u := &User{
+		ID: 0, Ratings: map[Domain]Rating{
+			DomainPC: Typical, DomainWindows: Typical,
+			DomainWord: Typical, DomainPowerpoint: Typical,
+			DomainIE: Typical, DomainQuake: Power,
+		},
+		EchoTol: 0.2, OpTol: 0.4, LoadTol: 3, FPSTol: 45, HitchTol: 0.1,
+	}
+	word := u.TolerancesFor(testcase.Word)
+	quake := u.TolerancesFor(testcase.Quake)
+	if quake.Op >= word.Op {
+		t.Errorf("Quake power user should have tighter tolerances in Quake: %v vs %v", quake.Op, word.Op)
+	}
+	if quake.FPS <= word.FPS {
+		t.Errorf("Quake power user should demand more FPS in Quake: %v vs %v", quake.FPS, word.FPS)
+	}
+}
+
+func TestRatingStrings(t *testing.T) {
+	if Beginner.String() != "Beginner" || Typical.String() != "Typical" || Power.String() != "Power" {
+		t.Error("rating strings wrong")
+	}
+	if Rating(9).String() == "" {
+		t.Error("unknown rating String empty")
+	}
+	if len(Domains()) != 6 {
+		t.Error("want 6 questionnaire domains")
+	}
+	for _, d := range Domains() {
+		if DomainLabel(d) == "" {
+			t.Errorf("empty label for %s", d)
+		}
+	}
+	if DomainLabel(Domain("x")) != "x" {
+		t.Error("DomainLabel fallback")
+	}
+}
+
+func runPerceiver(u *User, task testcase.Task, seed uint64, obs []Observation) (bool, float64) {
+	p := NewPerceiver(u, task, stats.NewStream(seed))
+	for _, o := range obs {
+		if d := p.Observe(o); d.Clicked {
+			return true, d.At
+		}
+	}
+	return false, 0
+}
+
+func TestPerceiverNoDegradationNoClick(t *testing.T) {
+	users := population(t, 50, 11)
+	for _, u := range users {
+		var obs []Observation
+		for i := 0; i < 120; i++ {
+			obs = append(obs, Observation{Time: float64(i), Class: apps.Op, Latency: 0.01})
+		}
+		if clicked, _ := runPerceiver(u, testcase.Word, uint64(u.ID), obs); clicked {
+			t.Fatalf("user %d clicked with 10ms op latencies", u.ID)
+		}
+	}
+}
+
+func TestPerceiverSevereDegradationClicks(t *testing.T) {
+	users := population(t, 50, 13)
+	clicked := 0
+	for _, u := range users {
+		var obs []Observation
+		for i := 0; i < 60; i++ {
+			obs = append(obs, Observation{Time: float64(i), Class: apps.Op, Latency: 10})
+		}
+		if c, at := runPerceiver(u, testcase.Word, uint64(u.ID)+99, obs); c {
+			clicked++
+			if at <= 0 {
+				t.Errorf("click time %v", at)
+			}
+		}
+	}
+	if clicked < 48 {
+		t.Errorf("only %d/50 users clicked at 10s op latency", clicked)
+	}
+}
+
+func TestPerceiverClickIncludesReactionLag(t *testing.T) {
+	users := population(t, 30, 17)
+	for _, u := range users {
+		obs := []Observation{{Time: 10, Class: apps.Op, Latency: 50}}
+		// Single catastrophic event; many users click immediately.
+		if c, at := runPerceiver(u, testcase.Word, 5, obs); c && at <= 10 {
+			t.Errorf("user %d clicked at %v, before the event completed", u.ID, at)
+		}
+	}
+}
+
+func TestPerceiverStopsAfterClick(t *testing.T) {
+	u := population(t, 1, 19)[0]
+	p := NewPerceiver(u, testcase.Word, stats.NewStream(1))
+	var first Decision
+	for i := 0; i < 100; i++ {
+		d := p.Observe(Observation{Time: float64(i), Class: apps.Op, Latency: 20})
+		if d.Clicked {
+			first = d
+			break
+		}
+	}
+	if !first.Clicked {
+		t.Skip("this user did not click; seed-dependent")
+	}
+	for i := 100; i < 110; i++ {
+		if d := p.Observe(Observation{Time: float64(i), Class: apps.Op, Latency: 50}); d.Clicked {
+			t.Fatal("perceiver clicked twice")
+		}
+	}
+}
+
+func TestPerceiverDoseResponse(t *testing.T) {
+	// Click probability must increase with severity level.
+	users := population(t, 200, 23)
+	frac := func(lat float64) float64 {
+		n := 0
+		for _, u := range users {
+			var obs []Observation
+			for i := 0; i < 30; i++ {
+				obs = append(obs, Observation{Time: float64(i), Class: apps.Op, Latency: lat})
+			}
+			if c, _ := runPerceiver(u, testcase.Powerpoint, uint64(u.ID)*7+1, obs); c {
+				n++
+			}
+		}
+		return float64(n) / float64(len(users))
+	}
+	mild, medium, severe := frac(0.5), frac(1.2), frac(5)
+	if !(mild < medium && medium < severe) {
+		t.Errorf("dose-response violated: %v %v %v", mild, medium, severe)
+	}
+	if severe < 0.9 {
+		t.Errorf("severe fraction = %v, want near 1", severe)
+	}
+}
+
+func TestPerceiverFrameWindows(t *testing.T) {
+	users := population(t, 200, 29)
+	clickFrac := func(fps, hitch float64) float64 {
+		n := 0
+		for _, u := range users {
+			var obs []Observation
+			for i := 0; i < 120; i++ {
+				obs = append(obs, Observation{
+					Time: float64(i), Class: apps.Frame,
+					FPS: fps, Latency: hitch, Window: 1,
+				})
+			}
+			if c, _ := runPerceiver(u, testcase.Quake, uint64(u.ID)*13+5, obs); c {
+				n++
+			}
+		}
+		return float64(n) / float64(len(users))
+	}
+	smooth := clickFrac(60, 0.017)
+	slow := clickFrac(30, 0.033)
+	hitchy := clickFrac(58, 0.35)
+	if smooth > 0.05 {
+		t.Errorf("60fps smooth play clicked %v of users", smooth)
+	}
+	if slow < 0.5 {
+		t.Errorf("30fps play clicked only %v of users", slow)
+	}
+	if hitchy < 0.3 {
+		t.Errorf("heavy hitching clicked only %v of users", hitchy)
+	}
+}
+
+func TestFrogInPotHabituation(t *testing.T) {
+	// A slow ramp to a given severity must produce fewer clicks than a
+	// step straight to it, because ramp users habituate in the mild zone.
+	users := population(t, 400, 31)
+	countClicks := func(ramp bool) int {
+		n := 0
+		for _, u := range users {
+			var obs []Observation
+			for i := 0; i < 120; i++ {
+				lat := 0.9 // ~2x typical op tolerance
+				if ramp {
+					lat = 0.9 * float64(i) / 120
+				} else if i < 40 {
+					lat = 0.0
+				}
+				obs = append(obs, Observation{Time: float64(i), Class: apps.Op, Latency: lat})
+			}
+			if c, _ := runPerceiver(u, testcase.Powerpoint, uint64(u.ID)*3+11, obs); c {
+				n++
+			}
+		}
+		return n
+	}
+	rampClicks := countClicks(true)
+	stepClicks := countClicks(false)
+	if rampClicks >= stepClicks {
+		t.Errorf("frog-in-pot violated: ramp clicks %d >= step clicks %d", rampClicks, stepClicks)
+	}
+}
+
+func TestSeverityProperty(t *testing.T) {
+	check := func(seed uint64, latRaw uint16) bool {
+		users, err := SamplePopulation(1, DefaultPopulation(), seed)
+		if err != nil {
+			return false
+		}
+		p := NewPerceiver(users[0], testcase.IE, stats.NewStream(seed))
+		lat := float64(latRaw) / 1000
+		sev := p.severity(Observation{Class: apps.Op, Latency: lat})
+		if sev < 0 || math.IsNaN(sev) {
+			return false
+		}
+		// Below tolerance must be zero severity.
+		if lat <= p.tols.Op && sev != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerceiverString(t *testing.T) {
+	u := population(t, 1, 37)[0]
+	p := NewPerceiver(u, testcase.Word, stats.NewStream(1))
+	if p.String() == "" {
+		t.Error("empty String")
+	}
+	if p.Tolerances().Op <= 0 {
+		t.Error("tolerances not exposed")
+	}
+}

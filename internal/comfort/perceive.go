@@ -1,0 +1,205 @@
+package comfort
+
+import (
+	"fmt"
+	"math"
+
+	"uucs/internal/apps"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// Observation is one piece of interactivity evidence presented to a
+// user: the completion of a watched event, or a one-second summary
+// window of a frame loop.
+type Observation struct {
+	// Time is when the user perceives the outcome (event completion, or
+	// window end), seconds into the run.
+	Time float64
+	// Class is the event class (apps.Frame observations are window
+	// summaries).
+	Class apps.Class
+	// Latency is the user-visible latency of the event. For frame
+	// windows it is the worst single frame time in the window (the
+	// hitch).
+	Latency float64
+	// FPS is the achieved frame rate for frame windows, 0 otherwise.
+	FPS float64
+	// Baseline is the event's typical uncontended latency. The study's
+	// participants acclimatized to the machine for ten minutes before
+	// the tasks (§3.1); perception therefore judges degradation relative
+	// to the app's normal feel: severity only begins once latency
+	// exceeds both the class tolerance and a margin over Baseline.
+	Baseline float64
+	// Window is the time span this observation summarizes (1s for frame
+	// windows, 0 for discrete events).
+	Window float64
+}
+
+// Decision is the perceiver's verdict after an observation.
+type Decision struct {
+	// Clicked reports that the user expressed discomfort.
+	Clicked bool
+	// At is the click time (observation time plus reaction lag).
+	At float64
+}
+
+// Perceiver accumulates a user's annoyance over one testcase run and
+// decides if and when the user clicks the discomfort icon. It implements
+// a survival (proportional-hazard) process: each observation whose
+// latency (or frame rate) exceeds the user's tolerance contributes
+// hazard proportional to its severity; the user clicks when cumulative
+// hazard crosses a per-run exponential threshold. The construction has
+// the properties the study depends on:
+//
+//   - mild degradation may or may not provoke a click, severe
+//     degradation almost always does, and longer exposure increases the
+//     chance — matching how only some users react at a given level
+//     (the CDFs of Figures 10-12 are exactly this variation);
+//   - a user who never crosses tolerance never clicks (the run is
+//     exhausted);
+//   - sustained mild degradation raises effective tolerance through
+//     habituation, producing the ramp-vs-step "frog in the pot" effect
+//     (§3.3.5).
+type Perceiver struct {
+	user       *User
+	tols       Tolerances
+	margin     float64
+	flowMargin float64
+	rng        *stats.Stream
+
+	// thresholdV is the sampled Exp(1) click threshold for this run.
+	thresholdV float64
+	hazard     float64
+	mildTime   float64
+	lastTime   float64
+	done       bool
+}
+
+// severityCap bounds a single observation's severity so that even
+// catastrophic events take an instant to react to rather than clicking
+// with probability 1 at the first sample.
+const severityCap = 4.0
+
+// habituationWindow is the mild-exposure time over which habituation
+// saturates.
+const habituationWindow = 20.0
+
+// defaultBaselineMargin is the factor over an event's normal latency
+// below which an acclimatized user perceives no degradation at all.
+const defaultBaselineMargin = 1.6
+
+// defaultFlowMargin is the corresponding factor for continuous
+// direct-manipulation updates: fluency visibly breaks when updates take
+// roughly twice their normal time, almost uniformly across people. It is
+// what concentrates the Powerpoint CPU CDF just above contention 1.0.
+const defaultFlowMargin = 1.85
+
+// NewPerceiver starts a fresh run for the user in the given task
+// context. rng must be a per-run stream; the same user perceives
+// independently in different runs, as real users do.
+func NewPerceiver(u *User, task testcase.Task, rng *stats.Stream) *Perceiver {
+	margin := u.BaselineMargin
+	if margin <= 0 {
+		margin = defaultBaselineMargin
+	}
+	flowMargin := u.FlowMargin
+	if flowMargin <= 0 {
+		flowMargin = defaultFlowMargin
+	}
+	return &Perceiver{
+		user:       u,
+		tols:       u.TolerancesFor(task),
+		margin:     margin,
+		flowMargin: flowMargin,
+		rng:        rng,
+		thresholdV: rng.Exp(1),
+	}
+}
+
+// Tolerances exposes the effective tolerances in use (for tests and
+// analysis).
+func (p *Perceiver) Tolerances() Tolerances { return p.tols }
+
+// Observe presents one observation. Once a click has occurred further
+// observations are ignored (the paper's client stops the testcase at
+// the moment of feedback).
+func (p *Perceiver) Observe(o Observation) Decision {
+	if p.done {
+		return Decision{}
+	}
+	dt := o.Time - p.lastTime
+	if dt < 0 {
+		dt = 0
+	}
+	p.lastTime = o.Time
+
+	sev := p.severity(o)
+	if sev > 0 && sev < 0.8 {
+		// Mild annoyance habituates; severe annoyance does not.
+		p.mildTime += math.Max(dt, o.Window)
+	}
+	h := 1 + p.user.HabituationGain*math.Min(1, p.mildTime/habituationWindow)
+	eff := sev / h
+	if eff > severityCap {
+		eff = severityCap
+	}
+	if eff <= 0 {
+		return Decision{}
+	}
+	weight := 1.0
+	if o.Window > 0 {
+		weight = o.Window
+	}
+	p.hazard += p.user.Hazard * eff * weight
+	if p.hazard < p.thresholdV {
+		return Decision{}
+	}
+	p.done = true
+	lag := p.rng.LognormMedian(p.user.ReactionLagMedian, 0.3)
+	return Decision{Clicked: true, At: o.Time + lag}
+}
+
+// severity converts an observation into a non-negative annoyance level:
+// 0 at or below tolerance, 1 at twice the tolerance, and so on.
+func (p *Perceiver) severity(o Observation) float64 {
+	floor := o.Baseline * p.margin
+	switch o.Class {
+	case apps.Echo:
+		return ratio(o.Latency, math.Max(p.tols.Echo, floor))
+	case apps.Op:
+		return ratio(o.Latency, math.Max(p.tols.Op, floor))
+	case apps.Flow:
+		return ratio(o.Latency, math.Max(p.tols.Flow, o.Baseline*p.flowMargin))
+	case apps.LoadOp:
+		return ratio(o.Latency, math.Max(p.tols.Load, floor))
+	case apps.Frame:
+		// Frame windows annoy through low rate and through hitches.
+		sev := 0.0
+		fps := o.FPS
+		if fps < 0.5 {
+			fps = 0.5 // a frozen window reads as (capped) maximal severity
+		}
+		if fps < p.tols.FPS {
+			sev += p.tols.FPS/fps - 1
+		}
+		sev += 0.5 * ratio(o.Latency, p.tols.Hitch)
+		return sev
+	default:
+		return 0
+	}
+}
+
+// ratio returns max(0, v/tol - 1).
+func ratio(v, tol float64) float64 {
+	if tol <= 0 || v <= tol {
+		return 0
+	}
+	return v/tol - 1
+}
+
+// String describes the perceiver state, for debugging runs.
+func (p *Perceiver) String() string {
+	return fmt.Sprintf("perceiver(user%d hazard=%.2f/%.2f mild=%.0fs done=%v)",
+		p.user.ID, p.hazard, p.thresholdV, p.mildTime, p.done)
+}

@@ -1,0 +1,124 @@
+package comfort
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Questionnaire support. The study began with each participant filling
+// out a questionnaire whose key questions were self-evaluations as
+// "Power User", "Typical User", or "Beginner" for use of PCs, Windows,
+// Word, Powerpoint, Internet Explorer, and Quake (§3.1). This file
+// renders that form and parses filled-in answers, so a real deployment
+// of the client can collect the same data the synthetic population
+// carries in User.Ratings.
+
+// BlankQuestionnaire renders the form a participant fills in.
+func BlankQuestionnaire() string {
+	var b strings.Builder
+	b.WriteString("# UUCS participant questionnaire\n")
+	b.WriteString("# Rate yourself for each item: Power, Typical, or Beginner.\n")
+	for _, d := range Domains() {
+		fmt.Fprintf(&b, "%s: \n", d)
+	}
+	return b.String()
+}
+
+// RenderQuestionnaire renders a filled form from ratings.
+func RenderQuestionnaire(ratings map[Domain]Rating) string {
+	var b strings.Builder
+	b.WriteString("# UUCS participant questionnaire\n")
+	for _, d := range Domains() {
+		fmt.Fprintf(&b, "%s: %s\n", d, ratings[d])
+	}
+	return b.String()
+}
+
+// ParseQuestionnaire reads a filled form: one "domain: rating" line per
+// questionnaire domain; blank lines and '#' comments are ignored. Every
+// domain must be answered exactly once.
+func ParseQuestionnaire(r io.Reader) (map[Domain]Rating, error) {
+	known := make(map[Domain]bool, 6)
+	for _, d := range Domains() {
+		known[d] = true
+	}
+	out := make(map[Domain]Rating, 6)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.SplitN(text, ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("comfort: questionnaire line %d: want 'domain: rating'", line)
+		}
+		d := Domain(strings.ToLower(strings.TrimSpace(parts[0])))
+		if !known[d] {
+			return nil, fmt.Errorf("comfort: questionnaire line %d: unknown domain %q", line, parts[0])
+		}
+		if _, dup := out[d]; dup {
+			return nil, fmt.Errorf("comfort: questionnaire line %d: duplicate answer for %q", line, d)
+		}
+		rating, err := ParseRating(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("comfort: questionnaire line %d: %w", line, err)
+		}
+		out[d] = rating
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) != len(known) {
+		var missing []string
+		for d := range known {
+			if _, ok := out[d]; !ok {
+				missing = append(missing, string(d))
+			}
+		}
+		sort.Strings(missing)
+		return nil, fmt.Errorf("comfort: questionnaire incomplete; missing %s", strings.Join(missing, ", "))
+	}
+	return out, nil
+}
+
+// ParseRating converts a questionnaire answer into a Rating. It accepts
+// the paper's full phrases ("Power User") and bare words, case
+// insensitively.
+func ParseRating(s string) (Rating, error) {
+	switch strings.ToLower(strings.TrimSuffix(strings.ToLower(s), " user")) {
+	case "power":
+		return Power, nil
+	case "typical":
+		return Typical, nil
+	case "beginner":
+		return Beginner, nil
+	}
+	return 0, fmt.Errorf("comfort: unknown rating %q (want Power, Typical, or Beginner)", s)
+}
+
+// UserFromQuestionnaire builds a user whose skill ratings come from a
+// real questionnaire while the perceptual parameters are sampled from
+// the population — how a live deployment combines measured self-ratings
+// with modeled tolerances.
+func UserFromQuestionnaire(id int, ratings map[Domain]Rating, p PopulationParams, seed uint64) (*User, error) {
+	if len(ratings) == 0 {
+		return nil, fmt.Errorf("comfort: empty questionnaire")
+	}
+	users, err := SamplePopulation(1, p, seed)
+	if err != nil {
+		return nil, err
+	}
+	u := users[0]
+	u.ID = id
+	u.Ratings = make(map[Domain]Rating, len(ratings))
+	for d, r := range ratings {
+		u.Ratings[d] = r
+	}
+	return u, nil
+}

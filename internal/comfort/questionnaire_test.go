@@ -1,0 +1,100 @@
+package comfort
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuestionnaireRoundTrip(t *testing.T) {
+	ratings := map[Domain]Rating{
+		DomainPC: Power, DomainWindows: Typical, DomainWord: Beginner,
+		DomainPowerpoint: Typical, DomainIE: Power, DomainQuake: Beginner,
+	}
+	form := RenderQuestionnaire(ratings)
+	got, err := ParseQuestionnaire(strings.NewReader(form))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, form)
+	}
+	for d, r := range ratings {
+		if got[d] != r {
+			t.Errorf("%s = %s, want %s", d, got[d], r)
+		}
+	}
+}
+
+func TestBlankQuestionnaireListsAllDomains(t *testing.T) {
+	form := BlankQuestionnaire()
+	for _, d := range Domains() {
+		if !strings.Contains(form, string(d)+":") {
+			t.Errorf("blank form missing %s", d)
+		}
+	}
+}
+
+func TestParseQuestionnaireAcceptsPaperPhrases(t *testing.T) {
+	form := `
+pc: Power User
+windows: typical user
+word: BEGINNER
+powerpoint: Typical
+ie: power
+quake: Beginner User
+`
+	got, err := ParseQuestionnaire(strings.NewReader(form))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[DomainPC] != Power || got[DomainQuake] != Beginner || got[DomainWindows] != Typical {
+		t.Errorf("parsed: %v", got)
+	}
+}
+
+func TestParseQuestionnaireErrors(t *testing.T) {
+	cases := []string{
+		"pc Power\n", // no colon
+		"pc: Power\nwindows: Typical\nword: Typical\npowerpoint: Typical\nie: Typical\n", // missing quake
+		"pc: Power\npc: Typical\nwindows: T\nword: T\npowerpoint: T\nie: T\nquake: T\n",  // duplicate
+		"gpu: Power\n", // unknown domain
+		"pc: Wizard\nwindows: T\nword: T\npowerpoint: T\nie: T\nquake: T\n",                          // unknown rating
+		"pc: Power\nwindows: Power\nword: Power\npowerpoint: Power\nie: Power\nquake: Grandmaster\n", // bad last
+	}
+	for i, c := range cases {
+		if _, err := ParseQuestionnaire(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestParseRating(t *testing.T) {
+	for s, want := range map[string]Rating{
+		"Power": Power, "power user": Power, "Typical User": Typical, "beginner": Beginner,
+	} {
+		got, err := ParseRating(s)
+		if err != nil || got != want {
+			t.Errorf("ParseRating(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseRating("novice"); err == nil {
+		t.Error("unknown rating accepted")
+	}
+}
+
+func TestUserFromQuestionnaire(t *testing.T) {
+	ratings := map[Domain]Rating{DomainQuake: Power, DomainPC: Beginner}
+	u, err := UserFromQuestionnaire(7, ratings, DefaultPopulation(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.ID != 7 {
+		t.Errorf("id = %d", u.ID)
+	}
+	if u.Ratings[DomainQuake] != Power || u.Ratings[DomainPC] != Beginner {
+		t.Errorf("ratings not applied: %v", u.Ratings)
+	}
+	if u.OpTol <= 0 || u.FPSTol <= 0 {
+		t.Error("perceptual parameters not sampled")
+	}
+	if _, err := UserFromQuestionnaire(1, nil, DefaultPopulation(), 1); err == nil {
+		t.Error("empty questionnaire accepted")
+	}
+}

@@ -1,0 +1,99 @@
+// Package comfort models user comfort with resource borrowing. It is the
+// substitution for the paper's 33 human participants: each synthetic
+// user carries perceptual tolerances (event latency by class, frame rate,
+// hitch length), a per-user sensitivity, self-rated skill levels with the
+// paper's questionnaire domains, a hazard-based decision process for
+// expressing discomfort, a reaction lag, and a habituation term that
+// produces the paper's "frog in the pot" effect (§3.3.5).
+//
+// The deliberate design constraint is that users never see contention
+// levels — only interactivity. Discomfort emerges from perceived latency,
+// frame rate and jitter, exactly the end-to-end relationship the paper
+// set out to measure.
+package comfort
+
+import "fmt"
+
+// Rating is a self-assessed skill level. The study questionnaire asked
+// users to rate themselves as Power User, Typical User, or Beginner in
+// each domain (paper §3.1).
+type Rating int
+
+// Ratings in increasing skill order.
+const (
+	Beginner Rating = iota
+	Typical
+	Power
+)
+
+// String renders the rating as in the paper.
+func (r Rating) String() string {
+	switch r {
+	case Beginner:
+		return "Beginner"
+	case Typical:
+		return "Typical"
+	case Power:
+		return "Power"
+	default:
+		return fmt.Sprintf("Rating(%d)", int(r))
+	}
+}
+
+// Ratings lists all ratings in increasing order.
+func Ratings() []Rating { return []Rating{Beginner, Typical, Power} }
+
+// Domain is a questionnaire domain. The study asked for self-evaluations
+// in PC use, Windows, Word, Powerpoint, Internet Explorer, and Quake.
+type Domain string
+
+// Questionnaire domains.
+const (
+	DomainPC         Domain = "pc"
+	DomainWindows    Domain = "windows"
+	DomainWord       Domain = "word"
+	DomainPowerpoint Domain = "powerpoint"
+	DomainIE         Domain = "ie"
+	DomainQuake      Domain = "quake"
+)
+
+// Domains lists the questionnaire domains in paper order.
+func Domains() []Domain {
+	return []Domain{DomainPC, DomainWindows, DomainWord, DomainPowerpoint, DomainIE, DomainQuake}
+}
+
+// DomainLabel returns a display name for the domain, as used in the
+// paper's Figure 17 ("PC Power vs. Typical", "Windows ...", ...).
+func DomainLabel(d Domain) string {
+	switch d {
+	case DomainPC:
+		return "PC"
+	case DomainWindows:
+		return "Windows"
+	case DomainWord:
+		return "Word"
+	case DomainPowerpoint:
+		return "Powerpoint"
+	case DomainIE:
+		return "IE"
+	case DomainQuake:
+		return "Quake"
+	default:
+		return string(d)
+	}
+}
+
+// ratingToleranceFactor converts a rating into a tolerance multiplier:
+// experienced users "have higher expectations from the interactive
+// application than beginners" (paper §3.3.4), so Power users tolerate
+// less latency and demand more frames.
+func ratingToleranceFactor(r Rating) float64 {
+	switch r {
+	case Power:
+		return 0.84
+	case Beginner:
+		return 1.18
+	default:
+		return 1.0
+	}
+}

@@ -1,0 +1,235 @@
+package comfort
+
+import (
+	"fmt"
+	"math"
+
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// PopulationParams holds the distributions a user population is sampled
+// from. The medians encode what a typical person notices; the sigmas
+// encode population spread. These are the calibration knobs documented in
+// DESIGN.md — they are task-independent; per-task behaviour differences
+// come entirely from the application demand models.
+type PopulationParams struct {
+	// EchoTol is the tolerated latency for fine-grained input feedback.
+	EchoTol stats.Lognormal
+	// OpTol is the tolerated latency for discrete watched operations.
+	OpTol stats.Lognormal
+	// FlowTol is the tolerated update latency of continuous direct
+	// manipulation (dragging). Its spread is tiny: fluency breaks at
+	// nearly the same point for everyone.
+	FlowTol stats.Lognormal
+	// LoadTol is the tolerated latency for long operations (page loads,
+	// saves).
+	LoadTol stats.Lognormal
+	// FPSTol is the frame rate below which a player grows annoyed.
+	FPSTol stats.TruncLognormal
+	// HitchTol is the tolerated single-frame stall.
+	HitchTol stats.Lognormal
+	// Hazard scales how quickly annoyance turns into a click.
+	Hazard stats.Lognormal
+	// ReactionLag is the delay between deciding and clicking.
+	ReactionLag stats.Lognormal
+	// HabituationGain is the maximum tolerance growth under slowly
+	// increasing degradation (the frog-in-the-pot term).
+	HabituationGain stats.Lognormal
+	// SensitivitySigma spreads a global per-user tolerance factor.
+	SensitivitySigma float64
+	// BaselineMargin is the factor over an event's normal latency below
+	// which an acclimatized user perceives no degradation; 0 selects the
+	// default. Set to 1.0 to ablate acclimatization (§3.1's warm-up).
+	BaselineMargin float64
+	// FlowMargin is the corresponding factor for continuous
+	// direct-manipulation fluency; 0 selects the default. It is what
+	// concentrates the Powerpoint CPU CDF just above contention 1.0.
+	FlowMargin float64
+	// ExpertiseSensitivityCorr couples expertise to sensitivity:
+	// positive values make skilled users less tolerant.
+	ExpertiseSensitivityCorr float64
+}
+
+// DefaultPopulation returns the calibrated population for the controlled
+// study reproduction.
+func DefaultPopulation() PopulationParams {
+	return PopulationParams{
+		EchoTol:                  stats.Lognormal{Median: 0.22, Sigma: 0.40},
+		OpTol:                    stats.Lognormal{Median: 0.46, Sigma: 0.20},
+		FlowTol:                  stats.Lognormal{Median: 0.25, Sigma: 0.07},
+		LoadTol:                  stats.Lognormal{Median: 3.6, Sigma: 0.40},
+		FPSTol:                   stats.TruncLognormal{Median: 47, Sigma: 0.11, Lo: 28, Hi: 54},
+		HitchTol:                 stats.Lognormal{Median: 0.14, Sigma: 0.65},
+		Hazard:                   stats.Lognormal{Median: 0.85, Sigma: 0.55},
+		ReactionLag:              stats.Lognormal{Median: 0.9, Sigma: 0.40},
+		HabituationGain:          stats.Lognormal{Median: 0.42, Sigma: 0.50},
+		SensitivitySigma:         0.18,
+		ExpertiseSensitivityCorr: 0.45,
+	}
+}
+
+// User is one synthetic study participant.
+type User struct {
+	// ID numbers the user within the population.
+	ID int
+	// Ratings holds the questionnaire self-evaluations.
+	Ratings map[Domain]Rating
+
+	// Tolerances, in seconds (FPSTol in frames/second). These are the
+	// user's base values; task-specific skill adjustment happens in
+	// TolerancesFor.
+	EchoTol, OpTol, LoadTol float64
+	FlowTol                 float64
+	FPSTol, HitchTol        float64
+
+	// Hazard converts severity into click probability.
+	Hazard float64
+	// ReactionLagMedian is the user's typical reaction delay.
+	ReactionLagMedian float64
+	// HabituationGain is this user's frog-in-the-pot strength.
+	HabituationGain float64
+	// BaselineMargin is the acclimatization margin (see PopulationParams).
+	BaselineMargin float64
+	// FlowMargin is the fluency margin (see PopulationParams).
+	FlowMargin float64
+
+	// expertise is the latent skill variable behind the ratings, kept
+	// for tests.
+	expertise float64
+}
+
+// SamplePopulation draws n users deterministically from the seed. Skill
+// ratings correlate across domains through a per-user latent expertise,
+// and tolerance correlates (negatively) with expertise, which is what
+// produces the paper's Figure 17 skill-level differences.
+func SamplePopulation(n int, p PopulationParams, seed uint64) ([]*User, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("comfort: population size must be positive, got %d", n)
+	}
+	s := stats.NewStream(seed)
+	users := make([]*User, n)
+	for i := range users {
+		users[i] = sampleUser(i, p, s.Fork())
+	}
+	return users, nil
+}
+
+func sampleUser(id int, p PopulationParams, s *stats.Stream) *User {
+	expertise := s.Norm(0, 1)
+	// Sensitivity factor: a mix of independent variation and expertise.
+	c := p.ExpertiseSensitivityCorr
+	mix := -c*expertise + math.Sqrt(1-c*c)*s.Norm(0, 1)
+	tolFactor := math.Exp(p.SensitivitySigma * mix)
+
+	u := &User{
+		ID:                id,
+		Ratings:           make(map[Domain]Rating, 6),
+		EchoTol:           p.EchoTol.Sample(s) * tolFactor,
+		OpTol:             p.OpTol.Sample(s) * tolFactor,
+		LoadTol:           p.LoadTol.Sample(s) * tolFactor,
+		FlowTol:           p.FlowTol.Sample(s) * math.Sqrt(tolFactor),
+		FPSTol:            clampTo(p.FPSTol.Sample(s)/tolFactor, p.FPSTol.Lo, p.FPSTol.Hi),
+		HitchTol:          p.HitchTol.Sample(s) * tolFactor,
+		Hazard:            p.Hazard.Sample(s),
+		ReactionLagMedian: p.ReactionLag.Sample(s),
+		HabituationGain:   p.HabituationGain.Sample(s),
+		BaselineMargin:    p.BaselineMargin,
+		FlowMargin:        p.FlowMargin,
+		expertise:         expertise,
+	}
+	for _, d := range Domains() {
+		// Domain skill shares the latent expertise plus domain-specific
+		// variation; Quake skill is the most idiosyncratic (plenty of
+		// power PC users have never played).
+		idio := 0.7
+		if d == DomainQuake {
+			idio = 1.0
+		}
+		latent := 0.75*expertise + idio*s.Norm(0, 1)
+		switch {
+		case latent > 0.6:
+			u.Ratings[d] = Power
+		case latent < -0.6:
+			u.Ratings[d] = Beginner
+		default:
+			u.Ratings[d] = Typical
+		}
+	}
+	return u
+}
+
+// Tolerances is the effective tolerance set a user applies during one
+// task.
+type Tolerances struct {
+	Echo, Op, Load float64
+	Flow           float64
+	FPS, Hitch     float64
+}
+
+// taskDomain maps a study task to its questionnaire domain.
+func taskDomain(task testcase.Task) Domain {
+	switch task {
+	case testcase.Word:
+		return DomainWord
+	case testcase.Powerpoint:
+		return DomainPowerpoint
+	case testcase.IE:
+		return DomainIE
+	case testcase.Quake:
+		return DomainQuake
+	default:
+		return DomainPC
+	}
+}
+
+// TolerancesFor returns the user's effective tolerances during a task,
+// adjusting for self-rated skill: the task's own domain counts fully,
+// and general PC and Windows skill count partially. Skilled users
+// tolerate less latency and demand higher frame rates, matching the
+// paper's finding that "experienced or power users have higher
+// expectations from the interactive application than beginners".
+func (u *User) TolerancesFor(task testcase.Task) Tolerances {
+	f := ratingToleranceFactor(u.Ratings[taskDomain(task)])
+	general := math.Pow(ratingToleranceFactor(u.Ratings[DomainPC]), 0.4) *
+		math.Pow(ratingToleranceFactor(u.Ratings[DomainWindows]), 0.4)
+	factor := f * general
+	return Tolerances{
+		Echo: u.EchoTol * factor,
+		Op:   u.OpTol * factor,
+		Load: u.LoadTol * factor,
+		// Fluency perception is only mildly skill-dependent.
+		Flow:  u.FlowTol * math.Sqrt(factor),
+		FPS:   clampFPS(u.FPSTol / factor),
+		Hitch: u.HitchTol * factor,
+	}
+}
+
+func clampTo(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampFPS(v float64) float64 {
+	if v < 20 {
+		return 20
+	}
+	// Players acclimatize to the game's normal frame rate; nobody
+	// demands more than it delivers on a quiet machine.
+	if v > 54 {
+		return 54
+	}
+	return v
+}
+
+// String summarizes the user.
+func (u *User) String() string {
+	return fmt.Sprintf("user%02d echo=%.0fms op=%.0fms load=%.1fs fps=%.0f hitch=%.0fms pc=%s quake=%s",
+		u.ID, u.EchoTol*1000, u.OpTol*1000, u.LoadTol, u.FPSTol, u.HitchTol*1000,
+		u.Ratings[DomainPC], u.Ratings[DomainQuake])
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"uucs/internal/apps"
+	"uucs/internal/comfort"
+	"uucs/internal/hostsim"
+	"uucs/internal/testcase"
+)
+
+func testUser(t *testing.T, seed uint64) *comfort.User {
+	t.Helper()
+	users, err := comfort.SamplePopulation(1, comfort.DefaultPopulation(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return users[0]
+}
+
+func testApp(t *testing.T, task testcase.Task) apps.App {
+	t.Helper()
+	a, err := apps.New(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestExecuteBlankRunMostlyExhausts(t *testing.T) {
+	e := NewEngine()
+	tc := testcase.New("blank-1", 1)
+	tc.Functions[testcase.CPU] = testcase.Blank(120, 1)
+	app := testApp(t, testcase.Word)
+	exhausted := 0
+	for i := 0; i < 20; i++ {
+		run, err := e.Execute(tc, app, testUser(t, uint64(i)), uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !run.Blank {
+			t.Error("run not marked blank")
+		}
+		if run.Terminated == Exhausted {
+			exhausted++
+			if run.Offset != 120 {
+				t.Errorf("exhausted offset = %v", run.Offset)
+			}
+		}
+	}
+	// Word has essentially no noise-floor discomfort in the paper.
+	if exhausted < 19 {
+		t.Errorf("only %d/20 blank Word runs exhausted", exhausted)
+	}
+}
+
+func TestExecuteSevereContentionDiscomforts(t *testing.T) {
+	e := NewEngine()
+	tc := testcase.New("step-hi", 1)
+	tc.Shape = testcase.ShapeStep
+	tc.Functions[testcase.CPU] = testcase.Step(10, 120, 10, 1)
+	app := testApp(t, testcase.Quake)
+	clicks := 0
+	for i := 0; i < 20; i++ {
+		run, err := e.Execute(tc, app, testUser(t, 100+uint64(i)), uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Terminated == Discomfort {
+			clicks++
+			if run.Offset < 10 {
+				t.Errorf("discomfort at %v, before the step began", run.Offset)
+			}
+			if run.Offset > 120 {
+				t.Errorf("discomfort offset %v beyond duration", run.Offset)
+			}
+			if lvl, ok := run.Level(); !ok || lvl != 10 {
+				t.Errorf("discomfort level = %v, %v; want 10", lvl, ok)
+			}
+		}
+	}
+	if clicks < 19 {
+		t.Errorf("only %d/20 Quake runs at contention 10 clicked", clicks)
+	}
+}
+
+func TestExecuteRampLevelsAreConsistent(t *testing.T) {
+	e := NewEngine()
+	tc := testcase.New("ramp-1", 1)
+	tc.Shape = testcase.ShapeRamp
+	tc.Params = "1.3,120"
+	tc.Functions[testcase.CPU] = testcase.Ramp(1.3, 120, 1)
+	app := testApp(t, testcase.Quake)
+	sawClick := false
+	for i := 0; i < 30; i++ {
+		run, err := e.Execute(tc, app, testUser(t, 200+uint64(i)), uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Terminated != Discomfort {
+			continue
+		}
+		sawClick = true
+		lvl, ok := run.Level()
+		if !ok {
+			t.Fatal("no level on discomforted run")
+		}
+		want := tc.Contention(testcase.CPU, run.Offset-1e-9)
+		if lvl != want {
+			t.Errorf("level = %v, contention at offset = %v", lvl, want)
+		}
+		if len(run.LastFive[testcase.CPU]) == 0 {
+			t.Error("no last-five record")
+		}
+	}
+	if !sawClick {
+		t.Error("no Quake user clicked on a 1.3 CPU ramp; the paper saw f_d = 0.95")
+	}
+}
+
+func TestExecuteRecordsMonitorLoad(t *testing.T) {
+	e := NewEngine()
+	tc := testcase.New("mon-1", 1)
+	tc.Functions[testcase.Disk] = testcase.Step(3, 60, 0, 1)
+	run, err := e.Execute(tc, testApp(t, testcase.Word), testUser(t, 1), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Load) < int(run.Offset)-1 {
+		t.Fatalf("monitor recorded %d samples for a %.0fs run", len(run.Load), run.Offset)
+	}
+	if run.Load[30].DiskQ < 3 {
+		t.Errorf("monitor missed disk contention: %+v", run.Load[30])
+	}
+}
+
+func TestExecuteDeterministic(t *testing.T) {
+	e := NewEngine()
+	tc := testcase.New("det-1", 1)
+	tc.Functions[testcase.CPU] = testcase.Ramp(2, 120, 1)
+	app := testApp(t, testcase.Powerpoint)
+	u := testUser(t, 7)
+	a, err := e.Execute(tc, app, u, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Execute(tc, app, u, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Terminated != b.Terminated || a.Offset != b.Offset {
+		t.Errorf("runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestExecuteValidatesInputs(t *testing.T) {
+	e := NewEngine()
+	bad := testcase.New("", 1)
+	if _, err := e.Execute(bad, testApp(t, testcase.Word), testUser(t, 1), 1); err == nil {
+		t.Error("invalid testcase accepted")
+	}
+	tc := testcase.New("x", 1)
+	tc.Functions[testcase.CPU] = testcase.Blank(10, 1)
+	if _, err := e.Execute(tc, nil, testUser(t, 1), 1); err == nil {
+		t.Error("nil app accepted")
+	}
+	if _, err := e.Execute(tc, testApp(t, testcase.Word), nil, 1); err == nil {
+		t.Error("nil user accepted")
+	}
+	e.Machine = hostsim.Config{}
+	if _, err := e.Execute(tc, testApp(t, testcase.Word), testUser(t, 1), 1); err == nil {
+		t.Error("invalid machine config accepted")
+	}
+}
+
+func TestRunString(t *testing.T) {
+	r := &Run{TestcaseID: "t", Task: testcase.Word, UserID: 3, Terminated: Discomfort,
+		Offset: 42, Levels: map[testcase.Resource]float64{testcase.CPU: 1.5}}
+	s := r.String()
+	if !strings.Contains(s, "discomfort") || !strings.Contains(s, "cpu=1.50") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestEncodeDecodeRuns(t *testing.T) {
+	e := NewEngine()
+	tc := testcase.New("enc-1", 1)
+	tc.Shape = testcase.ShapeRamp
+	tc.Params = "2,120"
+	tc.Functions[testcase.CPU] = testcase.Ramp(2, 120, 1)
+	var runs []*Run
+	for i := 0; i < 5; i++ {
+		run, err := e.Execute(tc, testApp(t, testcase.Quake), testUser(t, uint64(i)), uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, run)
+	}
+	var b strings.Builder
+	if err := EncodeRuns(&b, runs, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRuns(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(runs) {
+		t.Fatalf("decoded %d runs", len(got))
+	}
+	for i, r := range runs {
+		g := got[i]
+		if g.TestcaseID != r.TestcaseID || g.Task != r.Task || g.UserID != r.UserID ||
+			g.Terminated != r.Terminated || g.Offset != r.Offset || g.Events != r.Events ||
+			g.Shape != r.Shape || g.Params != r.Params || g.PrimaryResource != r.PrimaryResource {
+			t.Errorf("run %d metadata mismatch:\n%+v\n%+v", i, g, r)
+		}
+		if len(g.Levels) != len(r.Levels) {
+			t.Errorf("run %d levels differ", i)
+		}
+		for res, v := range r.Levels {
+			if g.Levels[res] != v {
+				t.Errorf("run %d level %s: %v vs %v", i, res, g.Levels[res], v)
+			}
+		}
+		if len(g.Load) != len(r.Load) {
+			t.Errorf("run %d load samples: %d vs %d", i, len(g.Load), len(r.Load))
+		}
+	}
+}
+
+func TestEncodeWithoutLoad(t *testing.T) {
+	r := &Run{TestcaseID: "t", Task: testcase.Word, Terminated: Exhausted, Offset: 120,
+		Levels:   map[testcase.Resource]float64{testcase.CPU: 0},
+		LastFive: map[testcase.Resource][]float64{},
+		Load:     []hostsim.Load{{Time: 0, CPU: 1}}}
+	var b strings.Builder
+	if err := EncodeRuns(&b, []*Run{r}, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "load ") {
+		t.Error("load samples encoded despite withLoad=false")
+	}
+	got, err := DecodeRuns(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].Blank {
+		t.Error("all-zero-level run without primary should decode as blank")
+	}
+}
+
+func TestDecodeRunErrors(t *testing.T) {
+	cases := []string{
+		"task word\n",                           // outside run
+		"run t\n",                               // unterminated
+		"run t\nrun u\n",                        // nested
+		"run t\noutcome bogus 1\nendrun\n",      // bad termination
+		"run t\noutcome discomfort x\nendrun\n", // bad offset
+		"run t\nuser zz\nendrun\n",              // bad user
+		"run t\nlevel gpu 1\nendrun\n",          // bad resource
+		"run t\nload 1 2 3\nendrun\n",           // short load
+		"run t\nwhatever\nendrun\n",             // unknown directive
+	}
+	for _, c := range cases {
+		if _, err := DecodeRuns(strings.NewReader(c)); err == nil {
+			t.Errorf("decode accepted %q", c)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"uucs/internal/apps"
+	"uucs/internal/comfort"
+	"uucs/internal/hostsim"
+	"uucs/internal/monitor"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// Engine executes testcases. It corresponds to the paper's client core
+// (Figure 5): when a testcase is executed, the appropriate exercisers
+// are started with their exercise functions, a high-priority watcher
+// waits for user feedback, and the run ends at feedback or exhaustion
+// with everything recorded.
+type Engine struct {
+	// Machine is the hardware configuration runs execute on.
+	Machine hostsim.Config
+	// Noise is the background-activity profile.
+	Noise hostsim.NoiseProfile
+	// MonitorRate is the load-sampling rate in Hz.
+	MonitorRate float64
+	// TraceEvents records per-event interactivity samples into the run
+	// (off by default: a Quake run has thousands of windows and events).
+	TraceEvents bool
+}
+
+// NewEngine returns an engine for the controlled-study machine with
+// default background noise and 1 Hz monitoring.
+func NewEngine() *Engine {
+	return &Engine{
+		Machine:     hostsim.StudyMachine(),
+		Noise:       hostsim.DefaultNoise(),
+		MonitorRate: 1,
+	}
+}
+
+// frameWindow is the aggregation window for frame-loop perception.
+const frameWindow = 1.0
+
+// frameSlack is the lateness a frame-driven app absorbs before dropping
+// a frame: one frame period of buffering.
+func frameSlack(app apps.App) float64 {
+	if hz := app.FrameHz(); hz > 0 {
+		return 1 / hz
+	}
+	return 0
+}
+
+// baselineLatency is the typical uncontended latency of an event on
+// this machine — what the user acclimatized to during the study's
+// warm-up period (§3.1).
+func baselineLatency(m *hostsim.Machine, ev apps.Event) float64 {
+	return m.CPUBaseline(ev.CPU) + m.DiskIOBaseline(ev.DiskKB) + ev.BaselineExtra
+}
+
+// Execute runs one testcase for one user doing one task and returns the
+// run record. seed makes the run fully deterministic.
+func (e *Engine) Execute(tc *testcase.Testcase, app apps.App, user *comfort.User, seed uint64) (*Run, error) {
+	if err := tc.Validate(); err != nil {
+		return nil, err
+	}
+	if app == nil || user == nil {
+		return nil, fmt.Errorf("core: nil app or user")
+	}
+	rng := stats.NewStream(seed)
+	machine, err := hostsim.NewMachine(e.Machine, e.Noise, rng.Fork().Uint64())
+	if err != nil {
+		return nil, err
+	}
+	// Start the exercisers: attach each exercise function's playback to
+	// the machine.
+	for r, f := range tc.Functions {
+		machine.SetContention(r, f.Value)
+	}
+	duration := tc.Duration()
+	events := app.Events(duration, rng.Fork())
+	perceiver := comfort.NewPerceiver(user, app.Task(), rng.Fork())
+
+	run := &Run{
+		TestcaseID:      tc.ID,
+		Shape:           tc.Shape,
+		Params:          tc.Params,
+		Task:            app.Task(),
+		UserID:          user.ID,
+		Blank:           tc.IsBlank(),
+		PrimaryResource: tc.PrimaryResource(),
+		Terminated:      Exhausted,
+		Offset:          duration,
+		Events:          len(events),
+	}
+
+	var (
+		uiBusy      float64 // the UI/render thread (echo, op, frame)
+		loadBusy    float64 // the worker thread for long operations
+		winStart    float64 // current frame window start
+		winFrames   int
+		winWorst    float64
+		clicked     bool
+		clickAt     float64
+		frameDriven = app.FrameHz() > 0
+	)
+
+	observe := func(o comfort.Observation) {
+		if clicked {
+			return
+		}
+		if d := perceiver.Observe(o); d.Clicked {
+			clicked = true
+			clickAt = d.At
+		}
+	}
+	flushWindow := func(endOfWindow float64) {
+		fps := float64(winFrames) / frameWindow
+		if e.TraceEvents {
+			run.Trace = append(run.Trace, TraceSample{
+				Time: endOfWindow, Class: apps.Frame, Latency: winWorst, FPS: fps, Label: "frame-window",
+			})
+		}
+		observe(comfort.Observation{
+			Time: endOfWindow, Class: apps.Frame,
+			FPS: fps, Latency: winWorst, Window: frameWindow,
+		})
+		winFrames = 0
+		winWorst = 0
+		winStart = endOfWindow
+	}
+
+	for _, ev := range events {
+		if clicked && ev.At >= clickAt {
+			break
+		}
+		if frameDriven {
+			// Emit any frame windows that closed before this event.
+			for ev.At >= winStart+frameWindow {
+				flushWindow(winStart + frameWindow)
+				if clicked {
+					break
+				}
+			}
+			if clicked && ev.At >= clickAt {
+				break
+			}
+		}
+
+		if ev.Class == apps.Frame && uiBusy > ev.At+frameSlack(app) {
+			// The render loop has fallen more than a frame behind: this
+			// frame is dropped. Double-buffering absorbs smaller
+			// overruns, so slow frames become a lower frame rate rather
+			// than an ever-growing backlog.
+			continue
+		}
+		// Long operations run on a worker thread (a save does not freeze
+		// typing); interactive events share the UI thread.
+		track := &uiBusy
+		if ev.Class == apps.LoadOp {
+			track = &loadBusy
+		}
+		start := ev.At
+		if *track > start {
+			start = *track // the thread is still busy
+		}
+		ws := app.WorkingSet(start)
+		coldMiss, hotMiss := machine.MemMiss(start, ws)
+		faults := machine.FaultCount(ev.ColdTouches, coldMiss) + machine.FaultCount(ev.HotTouches, hotMiss)
+		if hotMiss > 0 {
+			// Once the hot core is being displaced the machine is
+			// thrashing: code and data pages fault in proportion to the
+			// event's CPU footprint, not just its explicit touches.
+			faults += machine.FaultCount(4+int(ev.CPU*200), hotMiss)
+		}
+
+		var end float64
+		if ev.Class == apps.Flow {
+			// Fluency is judged over many updates: a single slow
+			// subinterval averages out, a sustained slowdown does not.
+			end = machine.CPUBurstSmoothed(start, ev.CPU)
+		} else {
+			end = machine.CPUBurst(start, ev.CPU)
+		}
+		if faults > 0 {
+			end += machine.FaultCost(start, faults, ws)
+		}
+		if ev.DiskKB > 0 {
+			end = machine.DiskIO(end, ev.DiskKB)
+		}
+		if ev.DiskBGKB > 0 {
+			machine.DiskIOBackground(end, ev.DiskBGKB)
+		}
+		*track = end
+
+		switch ev.Class {
+		case apps.Frame:
+			winFrames++
+			frameTime := end - start
+			if frameTime > winWorst {
+				winWorst = frameTime
+			}
+		case apps.Echo, apps.Op, apps.Flow:
+			// Echo and op latency is the event's own processing time:
+			// users are closed-loop — they issue the next operation after
+			// the previous one completes, so artificial queueing delay
+			// from the open-loop event schedule is not perceived. Disk
+			// queueing inside the event is physical and is perceived.
+			latency := end - start + ev.ExtraLatency
+			if latency > run.WorstLatency {
+				run.WorstLatency = latency
+			}
+			if e.TraceEvents {
+				run.Trace = append(run.Trace, TraceSample{Time: end, Class: ev.Class, Latency: latency, Label: ev.Label})
+			}
+			observe(comfort.Observation{
+				Time: end, Class: ev.Class, Latency: latency,
+				Baseline: baselineLatency(machine, ev),
+			})
+		default:
+			// Watched operations are judged from initiation, so queueing
+			// behind earlier work counts.
+			latency := end - ev.At + ev.ExtraLatency
+			if latency > run.WorstLatency {
+				run.WorstLatency = latency
+			}
+			if e.TraceEvents {
+				run.Trace = append(run.Trace, TraceSample{Time: end, Class: ev.Class, Latency: latency, Label: ev.Label})
+			}
+			observe(comfort.Observation{
+				Time: end, Class: ev.Class, Latency: latency,
+				Baseline: baselineLatency(machine, ev),
+			})
+		}
+	}
+	if frameDriven && !clicked {
+		flushWindow(winStart + frameWindow)
+	}
+
+	if clicked {
+		offset := math.Min(clickAt, duration)
+		run.Terminated = Discomfort
+		run.Offset = offset
+		// The paper's client stops the exercisers immediately on
+		// feedback and releases their resources.
+		machine.ClearContention()
+	}
+
+	// Record contention levels and the last five exercise values at the
+	// end of the run; levels are evaluated just before the feedback
+	// moment so a click at exact exhaustion reads the final sample.
+	levelTime := math.Min(run.Offset, duration-1e-9)
+	run.Levels = make(map[testcase.Resource]float64, len(tc.Functions))
+	for r := range tc.Functions {
+		run.Levels[r] = tc.Contention(r, levelTime)
+	}
+	run.LastFive = tc.LastFive(levelTime)
+
+	if e.MonitorRate > 0 {
+		rec, err := monitor.NewRecorder(e.MonitorRate)
+		if err != nil {
+			return nil, err
+		}
+		// Re-attach the functions for the monitoring replay of the run
+		// window, mirroring what the live monitor saw.
+		for r, f := range tc.Functions {
+			if !clicked {
+				machine.SetContention(r, f.Value)
+				continue
+			}
+			fr, off := f, run.Offset
+			machine.SetContention(r, func(t float64) float64 {
+				if t >= off {
+					return 0 // exercisers stopped at the click
+				}
+				return fr.Value(t)
+			})
+		}
+		rec.CaptureRun(machine, run.Offset)
+		run.Load = rec.Samples()
+	}
+	return run, nil
+}

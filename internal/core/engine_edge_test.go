@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+
+	"uucs/internal/apps"
+	"uucs/internal/comfort"
+	"uucs/internal/hostsim"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// Engine edge-case tests: the frame-window machinery, the UI/worker
+// thread split, the thrash fault path, and the monitor toggle, driven
+// through a scripted App implementation.
+
+// scriptedApp is a minimal App emitting a fixed event list.
+type scriptedApp struct {
+	task    testcase.Task
+	frameHz float64
+	ws      hostsim.WorkingSet
+	events  []apps.Event
+}
+
+func (a *scriptedApp) Task() testcase.Task { return a.task }
+func (a *scriptedApp) FrameHz() float64    { return a.frameHz }
+func (a *scriptedApp) WorkingSet(float64) hostsim.WorkingSet {
+	if a.ws.TotalMB > 0 {
+		return a.ws
+	}
+	return hostsim.WorkingSet{TotalMB: 50, HotMB: 10}
+}
+func (a *scriptedApp) Events(duration float64, _ *stats.Stream) []apps.Event {
+	var out []apps.Event
+	for _, ev := range a.events {
+		if ev.At < duration {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// tolerantUser is effectively impossible to annoy, so runs exhaust and
+// the mechanics can be observed through run records.
+func tolerantUser(t *testing.T) *comfort.User {
+	t.Helper()
+	users, err := comfort.SamplePopulation(1, comfort.DefaultPopulation(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := users[0]
+	u.EchoTol, u.OpTol, u.LoadTol, u.FlowTol = 1e6, 1e6, 1e6, 1e6
+	u.HitchTol = 1e6
+	u.FPSTol = 20 // clamped minimum; paired with huge hitch tolerance
+	return u
+}
+
+func TestEngineWorkerThreadSplit(t *testing.T) {
+	// A long LoadOp must not delay a subsequent Op (separate threads),
+	// and the Op's own-latency semantics must hide schedule queueing.
+	app := &scriptedApp{task: testcase.Word, events: []apps.Event{
+		{At: 1, Class: apps.LoadOp, CPU: 0.05, DiskKB: 4096, Label: "save"},
+		{At: 1.2, Class: apps.Op, CPU: 0.02, Label: "op"},
+	}}
+	e := NewEngine()
+	e.Noise = hostsim.NoNoise()
+	tc := testcase.New("t", 1)
+	tc.Functions[testcase.CPU] = testcase.Blank(10, 1)
+	run, err := e.Execute(tc, app, tolerantUser(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 4 MB synced save takes several hundred ms; with the thread
+	// split the op does not queue behind it, so WorstLatency is the save
+	// itself (well above the op's ~20ms).
+	if run.WorstLatency < 0.3 {
+		t.Errorf("save latency not observed: worst = %v", run.WorstLatency)
+	}
+	if run.Events != 2 {
+		t.Errorf("events = %d", run.Events)
+	}
+}
+
+func TestEngineThrashFaultPath(t *testing.T) {
+	// Under NoHotPageDefense and full memory borrowing, an app whose hot
+	// core is displaced must see far larger event latencies (the thrash
+	// code path) than with the defense on.
+	mk := func(defense bool) float64 {
+		app := &scriptedApp{task: testcase.Word,
+			ws: hostsim.WorkingSet{TotalMB: 200, HotMB: 100},
+			events: []apps.Event{
+				{At: 50, Class: apps.Op, CPU: 0.05, HotTouches: 5, Label: "op"},
+			}}
+		e := NewEngine()
+		e.Noise = hostsim.NoNoise()
+		e.Machine.NoHotPageDefense = !defense
+		tc := testcase.New("t", 1)
+		tc.Functions[testcase.Memory] = testcase.Step(1.0, 60, 0, 1)
+		run, err := e.Execute(tc, app, tolerantUser(t), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run.WorstLatency
+	}
+	defended, thrashing := mk(true), mk(false)
+	if thrashing < 4*defended {
+		t.Errorf("thrash latency %v not far beyond defended %v", thrashing, defended)
+	}
+}
+
+func TestEngineFrameWindowsProduceFPSSignal(t *testing.T) {
+	// A frame-driven scripted app at 10 Hz: with heavy CPU contention a
+	// frame-rate-demanding user must click; with no contention they must
+	// not.
+	frames := func() []apps.Event {
+		var evs []apps.Event
+		for i := 0; i < 300; i++ {
+			evs = append(evs, apps.Event{At: float64(i) * 0.1, Class: apps.Frame, CPU: 0.04, Label: "frame"})
+		}
+		return evs
+	}
+	users, err := comfort.SamplePopulation(1, comfort.DefaultPopulation(), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := users[0]
+	u.HitchTol = 1e6
+	u.FPSTol = 25 // the 10 Hz loop never satisfies this under contention
+
+	runAt := func(c float64) Termination {
+		app := &scriptedApp{task: testcase.Quake, frameHz: 10, events: frames()}
+		e := NewEngine()
+		e.Noise = hostsim.NoNoise()
+		tc := testcase.New("t", 1)
+		tc.Functions[testcase.CPU] = testcase.Step(c, 30, 0, 1)
+		run, err := e.Execute(tc, app, u, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run.Terminated
+	}
+	if got := runAt(6); got != Discomfort {
+		t.Errorf("heavily contended frame loop: %v", got)
+	}
+}
+
+func TestEngineMonitorDisabled(t *testing.T) {
+	e := NewEngine()
+	e.MonitorRate = 0
+	tc := testcase.New("t", 1)
+	tc.Functions[testcase.CPU] = testcase.Blank(5, 1)
+	app := &scriptedApp{task: testcase.Word}
+	run, err := e.Execute(tc, app, tolerantUser(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Load) != 0 {
+		t.Errorf("monitor samples with rate 0: %d", len(run.Load))
+	}
+}
+
+func TestEngineTraceEvents(t *testing.T) {
+	e := NewEngine()
+	e.TraceEvents = true
+	e.Noise = hostsim.NoNoise()
+	tc := testcase.New("tr", 1)
+	tc.Functions[testcase.CPU] = testcase.Ramp(2, 30, 1)
+	app := &scriptedApp{task: testcase.Word, events: []apps.Event{
+		{At: 1, Class: apps.Echo, CPU: 0.002, Label: "key"},
+		{At: 5, Class: apps.Op, CPU: 0.05, Label: "op"},
+		{At: 10, Class: apps.LoadOp, CPU: 0.02, DiskKB: 256, Label: "save"},
+	}}
+	run, err := e.Execute(tc, app, tolerantUser(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Trace) != 3 {
+		t.Fatalf("trace samples = %d, want 3", len(run.Trace))
+	}
+	labels := map[string]bool{}
+	for _, s := range run.Trace {
+		if s.Latency <= 0 || s.Time <= 0 {
+			t.Errorf("bad sample: %+v", s)
+		}
+		labels[s.Label] = true
+	}
+	for _, want := range []string{"key", "op", "save"} {
+		if !labels[want] {
+			t.Errorf("trace missing %q", want)
+		}
+	}
+	// Off by default.
+	e.TraceEvents = false
+	run, err = e.Execute(tc, app, tolerantUser(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Trace) != 0 {
+		t.Errorf("trace recorded with TraceEvents off: %d", len(run.Trace))
+	}
+}

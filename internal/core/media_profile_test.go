@@ -1,0 +1,62 @@
+package core_test
+
+// The media-player comfort profile is verified here (an external test of
+// core) rather than in internal/apps, because it needs the engine, which
+// would cycle with the apps package.
+
+import (
+	"testing"
+
+	"uucs/internal/apps"
+	"uucs/internal/comfort"
+	"uucs/internal/core"
+	"uucs/internal/testcase"
+)
+
+func TestMediaPlayerComfortProfile(t *testing.T) {
+	// Video playback must be more CPU-tolerant than Quake (lighter
+	// frames, lower rate, decode-ahead buffering) but, being
+	// frame-driven, less tolerant than Word.
+	users, err := comfort.SamplePopulation(25, comfort.DefaultPopulation(), 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := core.NewEngine()
+	fd := func(app apps.App, level float64) float64 {
+		tc := testcase.New("profile", 1)
+		tc.Shape = testcase.ShapeStep
+		tc.Functions[testcase.CPU] = testcase.Step(level, 120, 0, 1)
+		df := 0
+		for i, u := range users {
+			run, err := engine.Execute(tc, app, u, uint64(300+i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if run.Terminated == core.Discomfort {
+				df++
+			}
+		}
+		return float64(df) / float64(len(users))
+	}
+	media := apps.NewMediaPlayer(apps.DefaultMediaParams())
+	quake, err := apps.New(testcase.Quake)
+	if err != nil {
+		t.Fatal(err)
+	}
+	word, err := apps.New(testcase.Word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const level = 1.5
+	fdMedia, fdQuake, fdWord := fd(media, level), fd(quake, level), fd(word, level)
+	if fdMedia > fdQuake {
+		t.Errorf("media (%v) less tolerant than Quake (%v) at CPU %v", fdMedia, fdQuake, level)
+	}
+	if fdMedia < fdWord {
+		t.Errorf("media (%v) more tolerant than Word (%v) at CPU %v", fdMedia, fdWord, level)
+	}
+	// And at a level that saturates the decoder, playback must suffer.
+	if got := fd(media, 6); got < 0.5 {
+		t.Errorf("media f_d at CPU 6 = %v, playback should visibly stall", got)
+	}
+}

@@ -1,0 +1,108 @@
+// Package core is the UUCS client's testcase execution engine: it runs a
+// testcase against a machine, a foreground application and a user, and
+// produces the run record the paper's client reports back to the server
+// (§2.3) — whether the run ended in user feedback or testcase
+// exhaustion, the time offset of the feedback, the last five contention
+// values of every exercise function at that point, and the system load
+// recording.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uucs/internal/apps"
+	"uucs/internal/hostsim"
+	"uucs/internal/testcase"
+)
+
+// Termination says how a run ended.
+type Termination string
+
+// Run outcomes. A run is over "when user expresses discomfort feedback
+// or the exercise functions are exhausted without any feedback" (§2.3).
+const (
+	Discomfort Termination = "discomfort"
+	Exhausted  Termination = "exhausted"
+)
+
+// Run is the result record of one testcase execution by one user during
+// one task.
+type Run struct {
+	// TestcaseID identifies the testcase.
+	TestcaseID string
+	// Shape and Params echo the testcase generator metadata for
+	// analysis grouping.
+	Shape  testcase.Shape
+	Params string
+	// Task is the foreground context.
+	Task testcase.Task
+	// UserID identifies the study participant.
+	UserID int
+	// Blank records whether the testcase exercised nothing.
+	Blank bool
+	// PrimaryResource is the single exercised resource for the
+	// controlled study's single-resource testcases ("" for blank).
+	PrimaryResource testcase.Resource
+	// Terminated says whether the user clicked or the testcase ran out.
+	Terminated Termination
+	// Offset is the feedback time, or the full duration for exhausted
+	// runs.
+	Offset float64
+	// Levels maps each exercised resource to its contention at Offset —
+	// the discomfort level the study's CDFs are built from.
+	Levels map[testcase.Resource]float64
+	// LastFive holds the last five contention values of each exercise
+	// function at Offset, exactly as the paper records.
+	LastFive map[testcase.Resource][]float64
+	// Load is the system monitor recording for the run.
+	Load []hostsim.Load
+	// Events is the number of interactive events the app issued.
+	Events int
+	// WorstLatency is the worst watched-event latency during the run
+	// (diagnostic, not in the paper's record).
+	WorstLatency float64
+	// Trace holds per-event interactivity samples when the engine's
+	// TraceEvents option is on: the raw material behind the perceiver's
+	// decisions, for debugging and timeline rendering.
+	Trace []TraceSample
+}
+
+// TraceSample is one interactivity observation in a run trace.
+type TraceSample struct {
+	// Time is the observation time (event completion or window end).
+	Time float64
+	// Class is the event class ("frame" samples are 1s window summaries).
+	Class apps.Class
+	// Latency is the user-visible latency (worst frame time for frame
+	// windows).
+	Latency float64
+	// FPS is the window frame rate for frame samples.
+	FPS float64
+	// Label names the operation.
+	Label string
+}
+
+// Level returns the discomfort level for the run's primary resource.
+// ok is false for blank runs.
+func (r *Run) Level() (float64, bool) {
+	if r.PrimaryResource == "" {
+		return 0, false
+	}
+	v, ok := r.Levels[r.PrimaryResource]
+	return v, ok
+}
+
+// String renders a one-line summary.
+func (r *Run) String() string {
+	var lvl []string
+	for _, res := range testcase.Resources() {
+		if v, ok := r.Levels[res]; ok {
+			lvl = append(lvl, fmt.Sprintf("%s=%.2f", res, v))
+		}
+	}
+	sort.Strings(lvl)
+	return fmt.Sprintf("run[%s user%02d %s %s @%.1fs %s]",
+		r.TestcaseID, r.UserID, r.Task, r.Terminated, r.Offset, strings.Join(lvl, " "))
+}

@@ -1,0 +1,63 @@
+package exerciser
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall time so playback logic can be verified
+// deterministically. Times and durations are in seconds.
+type Clock interface {
+	// Now returns monotonic time in seconds.
+	Now() float64
+	// Sleep blocks for d seconds.
+	Sleep(d float64)
+}
+
+// RealClock is the machine's monotonic clock.
+type RealClock struct{ origin time.Time }
+
+// NewRealClock returns a clock anchored at construction time.
+func NewRealClock() *RealClock { return &RealClock{origin: time.Now()} }
+
+// Now implements Clock.
+func (c *RealClock) Now() float64 { return time.Since(c.origin).Seconds() }
+
+// Sleep implements Clock.
+func (c *RealClock) Sleep(d float64) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(d * float64(time.Second)))
+}
+
+// FakeClock advances only when slept on or stepped; it makes playback
+// tests deterministic and instantaneous. It is safe for concurrent use
+// so multi-worker exercisers can share one.
+type FakeClock struct {
+	mu  sync.Mutex
+	now float64
+}
+
+// NewFakeClock starts at time zero.
+func NewFakeClock() *FakeClock { return &FakeClock{} }
+
+// Now implements Clock.
+func (c *FakeClock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock by advancing the fake time.
+func (c *FakeClock) Sleep(d float64) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// Advance moves the clock forward without sleeping semantics.
+func (c *FakeClock) Advance(d float64) { c.Sleep(d) }

@@ -1,0 +1,201 @@
+package exerciser
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// CPUExerciser implements the paper's CPU exerciser: time-based playback
+// of the exercise function with busy-wait loops (§2.2, building on
+// Dinda & O'Hallaron's host-load trace playback). At contention 1.5, one
+// worker executes busy subintervals with no sleeps and a second executes
+// busy subintervals with probability 0.5, sleeping otherwise — so a
+// competing equal-priority thread runs at 1/(1.5+1) = 40% of full speed.
+type CPUExerciser struct {
+	// Subinterval is the busy/sleep decision interval.
+	Subinterval float64
+	// Seed fixes the stochastic borrowing.
+	Seed uint64
+
+	// clk and burn are the real-machine bindings; tests replace them.
+	clk  Clock
+	burn func(d float64)
+}
+
+// NewCPU returns a CPU exerciser bound to the real clock and a
+// calibrated busy-wait burner.
+func NewCPU(seed uint64) *CPUExerciser {
+	return &CPUExerciser{
+		Subinterval: DefaultSubinterval,
+		Seed:        seed,
+		clk:         NewRealClock(),
+		burn:        Spin,
+	}
+}
+
+// NewCPUForTest returns a CPU exerciser with an injected clock and
+// burner, for deterministic verification of the playback logic.
+func NewCPUForTest(seed uint64, clk Clock, burn func(d float64)) *CPUExerciser {
+	return &CPUExerciser{Subinterval: DefaultSubinterval, Seed: seed, clk: clk, burn: burn}
+}
+
+// Resource implements Exerciser.
+func (e *CPUExerciser) Resource() testcase.Resource { return testcase.CPU }
+
+// Play implements Exerciser using a coordinator/worker design: the
+// coordinator walks subintervals and dispatches busy work; each worker
+// goroutine spins when told to. Workers never sleep on the shared clock,
+// so playback is exact under both real and fake clocks.
+func (e *CPUExerciser) Play(ctx context.Context, f testcase.ExerciseFunction) error {
+	n := workersNeeded(f)
+	type job struct{ d float64 }
+	chans := make([]chan job, n)
+	var wg sync.WaitGroup
+	for i := range chans {
+		chans[i] = make(chan job)
+		wg.Add(1)
+		go func(ch <-chan job) {
+			defer wg.Done()
+			for j := range ch {
+				e.burn(j.d)
+			}
+		}(chans[i])
+	}
+	defer func() {
+		for _, ch := range chans {
+			close(ch)
+		}
+		wg.Wait()
+	}()
+
+	rng := stats.NewStream(e.Seed)
+	return playback(ctx, e.clk, e.Subinterval, f, func(level, dt float64) error {
+		busy := 0
+		for i := 0; i < n; i++ {
+			if workerBusy(i, level, rng) {
+				busy++
+			}
+		}
+		// Dispatch the busy workers; they spin concurrently while the
+		// coordinator sleeps through the subinterval.
+		for i := 0; i < busy; i++ {
+			select {
+			case chans[i] <- job{d: dt}:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		e.clk.Sleep(dt)
+		return nil
+	})
+}
+
+// calibration state for Spin.
+var (
+	calOnce     sync.Once
+	calChunk    int
+	calIterRate float64
+)
+
+// Calibrate measures the busy-wait loop rate (iterations per second) and
+// derives the chunk size Spin uses between clock checks. It runs once;
+// later calls return the cached rate.
+func Calibrate() float64 {
+	calOnce.Do(func() {
+		const probe = 20 * time.Millisecond
+		start := time.Now()
+		iters := 0
+		for time.Since(start) < probe {
+			for i := 0; i < 1000; i++ {
+				spinSink++
+			}
+			iters += 1000
+		}
+		elapsed := time.Since(start).Seconds()
+		calIterRate = float64(iters) / elapsed
+		// Check the clock roughly every 50 microseconds of spinning.
+		calChunk = int(calIterRate * 50e-6)
+		if calChunk < 100 {
+			calChunk = 100
+		}
+	})
+	return calIterRate
+}
+
+// spinSink defeats dead-code elimination of the busy loop.
+var spinSink uint64
+
+// Spin busy-waits for d seconds using the calibrated loop.
+func Spin(d float64) {
+	if d <= 0 {
+		return
+	}
+	Calibrate()
+	deadline := time.Now().Add(time.Duration(d * float64(time.Second)))
+	for time.Now().Before(deadline) {
+		for i := 0; i < calChunk; i++ {
+			spinSink++
+		}
+	}
+}
+
+// VerifyPlayback is the §2.2 verification for the real CPU exerciser:
+// it plays a constant-contention function for the given duration while a
+// competing calibrated reference loop runs, and returns the reference
+// loop's achieved rate relative to running alone. On an otherwise idle
+// machine with at least 1+c free cores unavailable (i.e. a saturated
+// machine), the expectation is 1/(1+c); on multi-core machines with idle
+// cores the reference thread is not slowed until cores fill up, so this
+// is primarily useful pinned to one CPU.
+func VerifyPlayback(c float64, duration float64, seed uint64) (float64, error) {
+	if c < 0 || duration <= 0 {
+		return 0, fmt.Errorf("exerciser: invalid contention %g or duration %g", c, duration)
+	}
+	Calibrate()
+	// Solo baseline.
+	solo := countIters(duration / 2)
+
+	f := testcase.ExerciseFunction{Rate: 1, Values: constLevels(c, duration)}
+	ex := NewCPU(seed)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- ex.Play(ctx, f) }()
+	contended := countIters(duration / 2)
+	cancel()
+	<-done
+	if solo == 0 {
+		return 0, fmt.Errorf("exerciser: calibration produced no iterations")
+	}
+	return float64(contended) / float64(solo), nil
+}
+
+// countIters runs the reference loop for d seconds and counts iterations.
+func countIters(d float64) int {
+	deadline := time.Now().Add(time.Duration(d * float64(time.Second)))
+	iters := 0
+	for time.Now().Before(deadline) {
+		for i := 0; i < calChunk; i++ {
+			spinSink++
+		}
+		iters += calChunk
+	}
+	return iters
+}
+
+// constLevels builds a constant exercise vector.
+func constLevels(c, duration float64) []float64 {
+	n := int(duration)
+	if n < 1 {
+		n = 1
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = c
+	}
+	return vals
+}

@@ -1,0 +1,369 @@
+package exerciser
+
+import (
+	"context"
+	"math"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// burnRecorder collects dispatched busy durations thread-safely.
+type burnRecorder struct {
+	mu    sync.Mutex
+	total float64
+	calls int
+}
+
+func (r *burnRecorder) burn(d float64) {
+	r.mu.Lock()
+	r.total += d
+	r.calls++
+	r.mu.Unlock()
+}
+
+func (r *burnRecorder) snapshot() (float64, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total, r.calls
+}
+
+func TestCPUPlaybackBusyFraction(t *testing.T) {
+	// At constant contention c, total busy time over duration T must be
+	// ~c*T — the defining property of time-based playback.
+	for _, c := range []float64{0.5, 1.0, 1.5, 3.2} {
+		clk := NewFakeClock()
+		rec := &burnRecorder{}
+		ex := NewCPUForTest(42, clk, rec.burn)
+		f := testcase.ExerciseFunction{Rate: 1, Values: constLevels(c, 120)}
+		if err := ex.Play(context.Background(), f); err != nil {
+			t.Fatalf("c=%v: %v", c, err)
+		}
+		busy, _ := rec.snapshot()
+		want := c * 120
+		if math.Abs(busy-want) > 0.08*want+1 {
+			t.Errorf("c=%v: busy time %v, want ~%v", c, busy, want)
+		}
+	}
+}
+
+func TestCPUPlaybackTracksRamp(t *testing.T) {
+	clk := NewFakeClock()
+	var mu sync.Mutex
+	perPhase := map[int]float64{} // busy seconds per 30s phase
+	ex := NewCPUForTest(7, clk, func(d float64) {
+		mu.Lock()
+		perPhase[int(clk.Now()/30)] += d
+		mu.Unlock()
+	})
+	f := testcase.Ramp(4, 120, 1)
+	if err := ex.Play(context.Background(), f); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// A ramp's busy time must grow phase over phase.
+	for p := 1; p < 4; p++ {
+		if perPhase[p] <= perPhase[p-1] {
+			t.Errorf("phase %d busy %v not greater than phase %d busy %v",
+				p, perPhase[p], p-1, perPhase[p-1])
+		}
+	}
+}
+
+func TestCPUPlaybackCancellation(t *testing.T) {
+	clk := NewFakeClock()
+	rec := &burnRecorder{}
+	ex := NewCPUForTest(1, clk, rec.burn)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	f := testcase.ExerciseFunction{Rate: 1, Values: constLevels(2, 60)}
+	if err := ex.Play(ctx, f); err == nil {
+		t.Fatal("canceled playback returned nil")
+	}
+	if _, calls := rec.snapshot(); calls != 0 {
+		t.Errorf("canceled playback dispatched %d burns", calls)
+	}
+}
+
+func TestCPUPlaybackExhaustsOnTime(t *testing.T) {
+	clk := NewFakeClock()
+	rec := &burnRecorder{}
+	ex := NewCPUForTest(1, clk, rec.burn)
+	f := testcase.ExerciseFunction{Rate: 1, Values: constLevels(1, 10)}
+	if err := ex.Play(context.Background(), f); err != nil {
+		t.Fatal(err)
+	}
+	if got := clk.Now(); math.Abs(got-10) > 0.2 {
+		t.Errorf("playback consumed %v fake seconds, want ~10", got)
+	}
+}
+
+func TestWorkerBusyRule(t *testing.T) {
+	rng := stats.NewStream(3)
+	// Integer level: workers below it always busy, others never.
+	for i := 0; i < 100; i++ {
+		if !workerBusy(0, 2, rng) || !workerBusy(1, 2, rng) {
+			t.Fatal("worker below floor(c) must be busy")
+		}
+		if workerBusy(2, 2, rng) || workerBusy(3, 2, rng) {
+			t.Fatal("worker at/above c must be idle for integer c")
+		}
+		if workerBusy(0, 0, rng) {
+			t.Fatal("zero level must idle everyone")
+		}
+	}
+	// Fractional level: the boundary worker is busy ~frac of the time.
+	busy := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		if workerBusy(1, 1.3, rng) {
+			busy++
+		}
+	}
+	frac := float64(busy) / float64(n)
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Errorf("boundary worker busy fraction %v, want ~0.3", frac)
+	}
+}
+
+func TestWorkersNeeded(t *testing.T) {
+	cases := []struct {
+		max  float64
+		want int
+	}{{0, 1}, {0.5, 1}, {1, 1}, {1.5, 2}, {2, 2}, {7.01, 8}}
+	for _, c := range cases {
+		f := testcase.ExerciseFunction{Rate: 1, Values: []float64{c.max}}
+		if got := workersNeeded(f); got != c.want {
+			t.Errorf("workersNeeded(max=%v) = %d, want %d", c.max, got, c.want)
+		}
+	}
+}
+
+func TestCalibrateAndSpin(t *testing.T) {
+	rate := Calibrate()
+	if rate <= 0 {
+		t.Fatalf("calibration rate = %v", rate)
+	}
+	start := time.Now()
+	Spin(0.02)
+	elapsed := time.Since(start).Seconds()
+	if elapsed < 0.018 {
+		t.Errorf("Spin(20ms) returned after %v", elapsed)
+	}
+	if elapsed > 0.2 {
+		t.Errorf("Spin(20ms) took %v, far too long", elapsed)
+	}
+	Spin(-1) // must be a no-op
+}
+
+func TestRealCPUPlaybackShortRun(t *testing.T) {
+	// A real 0.5s playback at contention 1 must consume about 0.5s of
+	// wall time and actually spin.
+	ex := NewCPU(1)
+	f := testcase.ExerciseFunction{Rate: 1, Values: []float64{1}}
+	start := time.Now()
+	if err := ex.Play(context.Background(), f); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed < 0.9 || elapsed > 3 {
+		t.Errorf("1s playback took %v", elapsed)
+	}
+}
+
+func TestDiskPlaybackOpDispatch(t *testing.T) {
+	clk := NewFakeClock()
+	var mu sync.Mutex
+	ops := 0
+	var totalBytes int64
+	ex := NewDiskForTest(t.TempDir(), 4, 5, clk, func(_ *os.File, size int64, _ *stats.Stream) error {
+		mu.Lock()
+		ops++
+		totalBytes += size
+		mu.Unlock()
+		return nil
+	})
+	f := testcase.ExerciseFunction{Rate: 1, Values: constLevels(2, 30)}
+	if err := ex.Play(context.Background(), f); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// 2 streams x 10 subintervals/s x 30s = ~600 ops.
+	if ops < 550 || ops > 650 {
+		t.Errorf("ops = %d, want ~600", ops)
+	}
+	if totalBytes <= 0 {
+		t.Error("no bytes dispatched")
+	}
+}
+
+func TestDiskPlaybackFractionalStreams(t *testing.T) {
+	clk := NewFakeClock()
+	var mu sync.Mutex
+	ops := 0
+	ex := NewDiskForTest(t.TempDir(), 4, 6, clk, func(*os.File, int64, *stats.Stream) error {
+		mu.Lock()
+		ops++
+		mu.Unlock()
+		return nil
+	})
+	f := testcase.ExerciseFunction{Rate: 1, Values: constLevels(0.5, 60)}
+	if err := ex.Play(context.Background(), f); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// 0.5 streams x 600 subintervals = ~300 ops.
+	if ops < 240 || ops > 360 {
+		t.Errorf("ops = %d, want ~300", ops)
+	}
+}
+
+func TestRealDiskExerciserWrites(t *testing.T) {
+	dir := t.TempDir()
+	ex := NewDisk(dir, 2, 7)
+	ex.MaxWriteKB = 16
+	f := testcase.ExerciseFunction{Rate: 2, Values: []float64{1, 1}} // 1 second
+	if err := ex.Play(context.Background(), f); err != nil {
+		t.Fatal(err)
+	}
+	// The scratch file is removed after playback.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("scratch not cleaned up: %v", entries)
+	}
+}
+
+func TestDiskValidation(t *testing.T) {
+	ex := NewDisk(t.TempDir(), 0, 1)
+	f := testcase.ExerciseFunction{Rate: 1, Values: []float64{1}}
+	if err := ex.Play(context.Background(), f); err == nil {
+		t.Error("zero-size scratch accepted")
+	}
+}
+
+func TestMemPlaybackTouchesFraction(t *testing.T) {
+	clk := NewFakeClock()
+	var mu sync.Mutex
+	touches := 0
+	ex := NewMemForTest(1, clk, func([]byte) { // 1 MB pool = 256 pages
+		mu.Lock()
+		touches++
+		mu.Unlock()
+	})
+	f := testcase.ExerciseFunction{Rate: 1, Values: constLevels(0.5, 10)}
+	if err := ex.Play(context.Background(), f); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// 128 pages x 100 subintervals = 12800 touches.
+	if touches != 128*100 {
+		t.Errorf("touches = %d, want %d", touches, 128*100)
+	}
+}
+
+func TestMemRejectsThrashingLevels(t *testing.T) {
+	ex := NewMem(1)
+	f := testcase.ExerciseFunction{Rate: 1, Values: []float64{1.5}}
+	if err := ex.Play(context.Background(), f); err == nil {
+		t.Error("memory contention > 1 accepted")
+	}
+}
+
+func TestRealMemExerciser(t *testing.T) {
+	ex := NewMem(4) // 4 MB pool
+	f := testcase.ExerciseFunction{Rate: 2, Values: []float64{0.5, 1.0}}
+	if err := ex.Play(context.Background(), f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhysicalMemoryDetection(t *testing.T) {
+	if _, err := os.Stat("/proc/meminfo"); err != nil {
+		t.Skip("no /proc/meminfo")
+	}
+	mb := PhysicalMemoryMB()
+	if mb < 64 {
+		t.Errorf("physical memory = %d MB, implausible", mb)
+	}
+}
+
+func TestNetExerciserLoopback(t *testing.T) {
+	sink, addr, err := NewSink("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	ex := NewNet(addr, 64, 9) // contention 1.0 = 64 KB/s
+	ex.PacketBytes = 512
+	f := testcase.ExerciseFunction{Rate: 2, Values: []float64{1, 1}} // 1 second
+	if err := ex.Play(context.Background(), f); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the sink drain
+	// ~64 KB in 512B packets = ~128 packets.
+	if p := sink.Packets(); p < 100 || p > 160 {
+		t.Errorf("sink received %d packets, want ~128", p)
+	}
+}
+
+func TestNetExerciserRefusesNonLoopback(t *testing.T) {
+	ex := NewNet("192.0.2.1:9", 64, 1)
+	f := testcase.ExerciseFunction{Rate: 1, Values: []float64{1}}
+	if err := ex.Play(context.Background(), f); err == nil {
+		t.Error("non-loopback sink accepted without override")
+	}
+}
+
+func TestSetRunsTestcase(t *testing.T) {
+	set := NewSet(t.TempDir(), 2, 2, 11)
+	set.Disk.MaxWriteKB = 8
+	tc := testcase.New("real", 2)
+	tc.Functions[testcase.CPU] = testcase.ExerciseFunction{Rate: 2, Values: []float64{0.5, 0.5}}
+	tc.Functions[testcase.Memory] = testcase.ExerciseFunction{Rate: 2, Values: []float64{0.3, 0.3}}
+	tc.Functions[testcase.Disk] = testcase.ExerciseFunction{Rate: 2, Values: []float64{1, 1}}
+	start := time.Now()
+	if err := set.Run(context.Background(), tc); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start).Seconds(); elapsed < 0.9 {
+		t.Errorf("set finished in %v, functions last 1s", elapsed)
+	}
+}
+
+func TestSetStopsOnCancel(t *testing.T) {
+	set := NewSet(t.TempDir(), 2, 2, 12)
+	tc := testcase.New("cancel", 1)
+	tc.Functions[testcase.CPU] = testcase.ExerciseFunction{Rate: 1, Values: constLevels(1, 30)}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := set.Run(ctx, tc)
+	if err == nil {
+		t.Fatal("canceled set returned nil")
+	}
+	if elapsed := time.Since(start).Seconds(); elapsed > 2 {
+		t.Errorf("cancellation took %v, want immediate", elapsed)
+	}
+}
+
+func TestSetValidatesTestcase(t *testing.T) {
+	set := NewSet(t.TempDir(), 2, 2, 13)
+	bad := testcase.New("", 1)
+	if err := set.Run(context.Background(), bad); err == nil {
+		t.Error("invalid testcase accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package exerciser
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"uucs/internal/testcase"
+)
+
+// MemExerciser implements the paper's memory exerciser: "It keeps a pool
+// of allocated pages equal to the size of physical memory in the machine
+// and then touches the fraction corresponding to the contention level
+// with a high frequency, making its working set size inflate to that
+// fraction of the physical memory" (§2.2). The paper avoids contention
+// above 1.0 because it "immediately results in thrashing which is not
+// only very irritating to all users ... but also very difficult to stop
+// punctually"; Play enforces that bound.
+type MemExerciser struct {
+	// PoolMB is the pool size; 0 auto-detects physical memory.
+	PoolMB int
+	// PageKB is the touch granularity.
+	PageKB int
+	// Subinterval is the touch-pass pacing interval.
+	Subinterval float64
+
+	clk Clock
+	// touch visits one page; tests inject a counter.
+	touch func(page []byte)
+
+	pool [][]byte
+}
+
+// NewMem returns a real memory exerciser. poolMB of 0 sizes the pool to
+// physical memory, as in the paper.
+func NewMem(poolMB int) *MemExerciser {
+	return &MemExerciser{
+		PoolMB:      poolMB,
+		PageKB:      4,
+		Subinterval: DefaultSubinterval,
+		clk:         NewRealClock(),
+		touch:       func(p []byte) { p[0]++ },
+	}
+}
+
+// NewMemForTest injects a clock and touch recorder.
+func NewMemForTest(poolMB int, clk Clock, touch func([]byte)) *MemExerciser {
+	m := NewMem(poolMB)
+	m.clk = clk
+	m.touch = touch
+	return m
+}
+
+// Resource implements Exerciser.
+func (e *MemExerciser) Resource() testcase.Resource { return testcase.Memory }
+
+// Play implements Exerciser: it allocates the pool, then each
+// subinterval touches the first fraction of pages given by the
+// contention level. Pages beyond the touched fraction stay allocated but
+// cold, so the OS can reclaim them — only the touched fraction is truly
+// borrowed.
+func (e *MemExerciser) Play(ctx context.Context, f testcase.ExerciseFunction) error {
+	if f.Max() > 1 {
+		return fmt.Errorf("exerciser: memory contention %g > 1 would thrash (the paper avoids this)", f.Max())
+	}
+	if err := e.allocate(); err != nil {
+		return err
+	}
+	defer func() { e.pool = nil }() // release to the collector
+
+	return playback(ctx, e.clk, e.Subinterval, f, func(level, dt float64) error {
+		if level < 0 {
+			level = 0
+		}
+		if level > 1 {
+			level = 1
+		}
+		target := int(level * float64(len(e.pool)))
+		start := e.clk.Now()
+		for i := 0; i < target; i++ {
+			e.touch(e.pool[i])
+			if i%4096 == 0 && ctx.Err() != nil {
+				return ctx.Err()
+			}
+		}
+		// Sleep out the rest of the subinterval.
+		if spent := e.clk.Now() - start; spent < dt {
+			e.clk.Sleep(dt - spent)
+		}
+		return nil
+	})
+}
+
+// allocate builds the page pool.
+func (e *MemExerciser) allocate() error {
+	poolMB := e.PoolMB
+	if poolMB <= 0 {
+		poolMB = PhysicalMemoryMB()
+	}
+	if poolMB <= 0 {
+		return fmt.Errorf("exerciser: cannot determine pool size")
+	}
+	if e.PageKB <= 0 {
+		return fmt.Errorf("exerciser: non-positive page size")
+	}
+	pages := poolMB * 1024 / e.PageKB
+	if pages < 1 {
+		pages = 1
+	}
+	// One backing slab, sliced into pages, so allocation is a single
+	// request and touching has no pointer-chasing overhead.
+	slab := make([]byte, pages*e.PageKB<<10)
+	e.pool = make([][]byte, pages)
+	for i := range e.pool {
+		e.pool[i] = slab[i*e.PageKB<<10 : (i+1)*e.PageKB<<10]
+	}
+	return nil
+}
+
+// PhysicalMemoryMB reports the machine's physical memory from
+// /proc/meminfo, or 0 when unavailable (non-Linux hosts must set PoolMB
+// explicitly).
+func PhysicalMemoryMB() int {
+	f, err := os.Open("/proc/meminfo")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "MemTotal:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return 0
+		}
+		return kb / 1024
+	}
+	return 0
+}

@@ -1,0 +1,154 @@
+package exerciser
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync/atomic"
+
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// NetExerciser implements the network exerciser the paper prototyped but
+// excluded from its study because "all create a significant impact
+// beyond the client machine" (§2.2) — implemented here as the paper's
+// planned future work. Contention level c borrows c times UnitKBps of
+// network bandwidth by pacing UDP datagrams at a sink. Pointing it
+// anywhere but loopback recreates the paper's objection, so the
+// constructor refuses non-loopback sinks unless explicitly overridden.
+type NetExerciser struct {
+	// SinkAddr is the UDP destination.
+	SinkAddr string
+	// UnitKBps is the bandwidth meaning of contention 1.0.
+	UnitKBps float64
+	// PacketBytes is the datagram size.
+	PacketBytes int
+	// Subinterval is the pacing interval.
+	Subinterval float64
+	// AllowNonLoopback permits external sinks (off by default).
+	AllowNonLoopback bool
+	// Seed randomizes payloads.
+	Seed uint64
+
+	clk Clock
+	// send transmits one datagram; tests may inject a recorder.
+	send func(conn *net.UDPConn, payload []byte) error
+}
+
+// NewNet returns a network exerciser targeting the given UDP sink.
+func NewNet(sinkAddr string, unitKBps float64, seed uint64) *NetExerciser {
+	return &NetExerciser{
+		SinkAddr:    sinkAddr,
+		UnitKBps:    unitKBps,
+		PacketBytes: 1024,
+		Subinterval: DefaultSubinterval,
+		Seed:        seed,
+		clk:         NewRealClock(),
+		send: func(conn *net.UDPConn, payload []byte) error {
+			_, err := conn.Write(payload)
+			return err
+		},
+	}
+}
+
+// Resource implements Exerciser. Network is not one of the study's three
+// resources; it reports as "network" for run records of extended
+// deployments.
+func (e *NetExerciser) Resource() testcase.Resource { return testcase.Resource("network") }
+
+// Play implements Exerciser: each subinterval it sends enough paced
+// datagrams to consume level x UnitKBps.
+func (e *NetExerciser) Play(ctx context.Context, f testcase.ExerciseFunction) error {
+	if e.UnitKBps <= 0 || e.PacketBytes <= 0 {
+		return fmt.Errorf("exerciser: net needs positive unit bandwidth and packet size")
+	}
+	raddr, err := net.ResolveUDPAddr("udp", e.SinkAddr)
+	if err != nil {
+		return fmt.Errorf("exerciser: net sink: %w", err)
+	}
+	if !e.AllowNonLoopback && !raddr.IP.IsLoopback() {
+		return fmt.Errorf("exerciser: refusing non-loopback sink %s (the paper excluded network exercising because it impacts other hosts; set AllowNonLoopback to override)", e.SinkAddr)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	rng := stats.NewStream(e.Seed)
+	payload := make([]byte, e.PacketBytes)
+	for i := range payload {
+		payload[i] = byte(rng.Uint64())
+	}
+	return playback(ctx, e.clk, e.Subinterval, f, func(level, dt float64) error {
+		if level < 0 {
+			level = 0
+		}
+		bytes := level * e.UnitKBps * 1024 * dt
+		packets := int(bytes / float64(e.PacketBytes))
+		start := e.clk.Now()
+		for i := 0; i < packets; i++ {
+			if err := e.send(conn, payload); err != nil {
+				return err
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+		}
+		if spent := e.clk.Now() - start; spent < dt {
+			e.clk.Sleep(dt - spent)
+		}
+		return nil
+	})
+}
+
+// Sink is a UDP discard service for loopback network exercising.
+type Sink struct {
+	conn  *net.UDPConn
+	count atomic.Int64
+	bytes atomic.Int64
+	done  chan struct{}
+}
+
+// NewSink starts a sink on addr (e.g. "127.0.0.1:0") and returns it with
+// its bound address.
+func NewSink(addr string) (*Sink, string, error) {
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, "", err
+	}
+	s := &Sink{conn: conn, done: make(chan struct{})}
+	go s.drain()
+	return s, conn.LocalAddr().String(), nil
+}
+
+func (s *Sink) drain() {
+	defer close(s.done)
+	buf := make([]byte, 64<<10)
+	for {
+		n, _, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		s.count.Add(1)
+		s.bytes.Add(int64(n))
+	}
+}
+
+// Packets returns how many datagrams arrived.
+func (s *Sink) Packets() int64 { return s.count.Load() }
+
+// Bytes returns how many payload bytes arrived.
+func (s *Sink) Bytes() int64 { return s.bytes.Load() }
+
+// Close stops the sink.
+func (s *Sink) Close() error {
+	err := s.conn.Close()
+	<-s.done
+	return err
+}

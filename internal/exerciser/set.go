@@ -1,0 +1,86 @@
+package exerciser
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"uucs/internal/testcase"
+)
+
+// Set runs all of a testcase's exercise functions together on the real
+// machine — the client core's execution path (paper Figure 5): "the
+// appropriate exercisers are started, passed their exercise functions,
+// synchronized, and then let run", and all stop immediately when the
+// user expresses discomfort (context cancellation).
+type Set struct {
+	// CPU, Mem, Disk handle their resources; nil members fall back to
+	// defaults built by NewSet.
+	CPU  *CPUExerciser
+	Mem  *MemExerciser
+	Disk *DiskExerciser
+}
+
+// NewSet builds a real-machine exerciser set. scratchDir hosts the disk
+// exerciser's file; diskFileMB sizes it (the paper used twice physical
+// memory; anything large enough to defeat locality works with synced
+// writes); memPoolMB of 0 auto-detects physical memory.
+func NewSet(scratchDir string, diskFileMB, memPoolMB int, seed uint64) *Set {
+	return &Set{
+		CPU:  NewCPU(seed),
+		Mem:  NewMem(memPoolMB),
+		Disk: NewDisk(scratchDir, diskFileMB, seed+1),
+	}
+}
+
+// Run plays every exercise function in the testcase concurrently and
+// waits for all to finish. It returns the first error; context
+// cancellation stops every exerciser immediately.
+func (s *Set) Run(ctx context.Context, tc *testcase.Testcase) error {
+	if err := tc.Validate(); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 3)
+	start := func(ex Exerciser, f testcase.ExerciseFunction) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := ex.Play(ctx, f); err != nil && ctx.Err() == nil {
+				errCh <- fmt.Errorf("%s exerciser: %w", ex.Resource(), err)
+				cancel() // one failure stops the set
+			}
+		}()
+	}
+	for r, f := range tc.Functions {
+		switch r {
+		case testcase.CPU:
+			if s.CPU == nil {
+				return fmt.Errorf("exerciser: set has no CPU exerciser")
+			}
+			start(s.CPU, f)
+		case testcase.Memory:
+			if s.Mem == nil {
+				return fmt.Errorf("exerciser: set has no memory exerciser")
+			}
+			start(s.Mem, f)
+		case testcase.Disk:
+			if s.Disk == nil {
+				return fmt.Errorf("exerciser: set has no disk exerciser")
+			}
+			start(s.Disk, f)
+		default:
+			return fmt.Errorf("exerciser: no exerciser for resource %q", r)
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	return ctx.Err()
+}

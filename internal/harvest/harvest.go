@@ -1,0 +1,174 @@
+// Package harvest evaluates resource-borrowing policies end to end: how
+// much background work a cycle-stealing framework extracts from a
+// desktop fleet, and how many users it discomforts doing so. It
+// operationalizes the paper's motivation and advice:
+//
+//   - §1: "the default behavior in Condor, Sprite and SETI@Home is to
+//     execute only when they are quite sure the user is away, when the
+//     screen saver has been activated ... If less conservative resource
+//     borrowing does not lead to significantly increased user
+//     discomfort, the performance of current systems could be increased."
+//   - §1: "if they cause the user to feel that the machine is slower
+//     than is desirable, the user is likely to disable them" — modeled
+//     here as uninstalls after repeated complaints, after which a policy
+//     harvests nothing from that machine.
+//   - §5: set the throttle from the CDFs, know the user's context, use
+//     feedback directly.
+//
+// The evaluation runs each policy over a simulated work day per user:
+// alternating active sessions (the user performs one of the four study
+// tasks) and idle gaps. Active windows execute through the same engine,
+// app and user models as the controlled study, so discomfort is decided
+// by exactly the machinery the paper's CDFs summarize.
+package harvest
+
+import (
+	"fmt"
+
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// Context is what a policy may observe when choosing a borrowing level —
+// deliberately limited to what real frameworks can see (activity and,
+// for context-aware policies, the foreground task class).
+type Context struct {
+	// UserActive reports whether the user is at the machine.
+	UserActive bool
+	// IdleFor is the time since the last user activity, in seconds.
+	IdleFor float64
+	// Task is the user's foreground task while active.
+	Task testcase.Task
+}
+
+// Policy decides the CPU borrowing level for the next scheduling window.
+type Policy interface {
+	// Name labels the policy in reports.
+	Name() string
+	// Level returns the CPU contention to apply during the next window.
+	Level(ctx Context) float64
+	// OnFeedback notifies the policy that the user expressed discomfort.
+	OnFeedback()
+}
+
+// ScreensaverOnly is the conservative default of Condor and SETI@Home:
+// borrow only after the machine has been idle long enough for the
+// screen saver, then take everything.
+type ScreensaverOnly struct {
+	// Delay is the screensaver timeout in seconds.
+	Delay float64
+	// Max is the level used once borrowing starts.
+	Max float64
+}
+
+// Name implements Policy.
+func (p ScreensaverOnly) Name() string { return "screensaver-only" }
+
+// Level implements Policy.
+func (p ScreensaverOnly) Level(ctx Context) float64 {
+	if ctx.UserActive || ctx.IdleFor < p.Delay {
+		return 0
+	}
+	return p.Max
+}
+
+// OnFeedback implements Policy; the screensaver policy never runs while
+// the user is present, so feedback never reaches it.
+func (p ScreensaverOnly) OnFeedback() {}
+
+// FixedLevel borrows a constant level at all times — the "run at low
+// priority" approach, expressed in contention units.
+type FixedLevel struct {
+	// L is the constant borrowing level.
+	L float64
+	// Max is the level used when the machine is idle.
+	Max float64
+}
+
+// Name implements Policy.
+func (p FixedLevel) Name() string { return fmt.Sprintf("fixed-%.2g", p.L) }
+
+// Level implements Policy.
+func (p FixedLevel) Level(ctx Context) float64 {
+	if !ctx.UserActive {
+		return p.Max
+	}
+	return p.L
+}
+
+// OnFeedback implements Policy; a fixed policy ignores feedback (that is
+// its failure mode).
+func (p FixedLevel) OnFeedback() {}
+
+// CDFThrottle sets the level per context from measured discomfort CDFs
+// at a target percentile — the paper's §5 advice ("Exploit our CDFs to
+// set the throttle ... Know what the user is doing").
+type CDFThrottle struct {
+	// Ceilings maps each task to its c_target level.
+	Ceilings map[testcase.Task]float64
+	// Max is the level used when the machine is idle.
+	Max float64
+	// Backoff, when positive, multiplies the active level by Backoff on
+	// every feedback — the §5 "use user feedback directly" refinement.
+	// Zero disables feedback handling.
+	Backoff float64
+	// MinWorthwhile suppresses borrowing entirely when the context
+	// ceiling falls below it: the paper's noise floor means the
+	// framework gets blamed for jitter whenever it runs during
+	// jitter-sensitive tasks, so borrowing 2% of a CPU is all blame and
+	// no harvest.
+	MinWorthwhile float64
+
+	scale float64
+}
+
+// Name implements Policy.
+func (p *CDFThrottle) Name() string {
+	if p.Backoff > 0 {
+		return "cdf+feedback"
+	}
+	return "cdf-throttle"
+}
+
+// Level implements Policy.
+func (p *CDFThrottle) Level(ctx Context) float64 {
+	if !ctx.UserActive {
+		return p.Max
+	}
+	if p.scale == 0 {
+		p.scale = 1
+	}
+	level := p.Ceilings[ctx.Task] * p.scale
+	if level < p.MinWorthwhile {
+		return 0
+	}
+	return level
+}
+
+// OnFeedback implements Policy.
+func (p *CDFThrottle) OnFeedback() {
+	if p.Backoff <= 0 {
+		return
+	}
+	if p.scale == 0 {
+		p.scale = 1
+	}
+	p.scale *= p.Backoff
+}
+
+// CeilingsFromStudy extracts per-task CPU ceilings at the target
+// percentile from controlled-study results.
+func CeilingsFromStudy(db interface {
+	TaskResourceCDF(testcase.Task, testcase.Resource) *stats.CDF
+}, target float64) map[testcase.Task]float64 {
+	out := make(map[testcase.Task]float64, 4)
+	for _, task := range testcase.Tasks() {
+		cdf := db.TaskResourceCDF(task, testcase.CPU)
+		if v, ok := cdf.Percentile(target); ok {
+			out[task] = v
+		} else {
+			out[task] = cdf.Max() // nobody reacted in the explored range
+		}
+	}
+	return out
+}

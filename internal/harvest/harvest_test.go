@@ -1,0 +1,255 @@
+package harvest
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"uucs/internal/comfort"
+	"uucs/internal/core"
+	"uucs/internal/study"
+	"uucs/internal/testcase"
+)
+
+// testDay is a short day so the fleet evaluation stays fast in tests.
+func testDay() Day {
+	d := DefaultDay()
+	d.Hours = 3
+	return d
+}
+
+func testUsers(t *testing.T, n int) []*comfort.User {
+	t.Helper()
+	users, err := comfort.SamplePopulation(n, comfort.DefaultPopulation(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return users
+}
+
+var (
+	ceilOnce sync.Once
+	ceilMap  map[testcase.Task]float64
+	ceilErr  error
+)
+
+// studyCeilings runs a compact study once to derive CDF ceilings.
+func studyCeilings(t *testing.T) map[testcase.Task]float64 {
+	t.Helper()
+	ceilOnce.Do(func() {
+		cfg := study.DefaultConfig()
+		cfg.Users = 12
+		res, err := study.Run(cfg)
+		if err != nil {
+			ceilErr = err
+			return
+		}
+		ceilMap = CeilingsFromStudy(res.DB, 0.05)
+	})
+	if ceilErr != nil {
+		t.Fatal(ceilErr)
+	}
+	return ceilMap
+}
+
+func TestPolicies(t *testing.T) {
+	ss := ScreensaverOnly{Delay: 600, Max: 1}
+	if ss.Level(Context{UserActive: true}) != 0 {
+		t.Error("screensaver borrowed while active")
+	}
+	if ss.Level(Context{IdleFor: 300}) != 0 {
+		t.Error("screensaver borrowed before the timeout")
+	}
+	if ss.Level(Context{IdleFor: 900}) != 1 {
+		t.Error("screensaver did not borrow after the timeout")
+	}
+	fx := FixedLevel{L: 0.2, Max: 1}
+	if fx.Level(Context{UserActive: true, Task: testcase.Quake}) != 0.2 {
+		t.Error("fixed level wrong while active")
+	}
+	if fx.Level(Context{}) != 1 {
+		t.Error("fixed level wrong while idle")
+	}
+	cd := &CDFThrottle{Ceilings: map[testcase.Task]float64{testcase.Word: 2, testcase.Quake: 0.1}, Max: 1, Backoff: 0.5}
+	if cd.Level(Context{UserActive: true, Task: testcase.Word}) != 2 {
+		t.Error("cdf ceiling wrong for word")
+	}
+	if cd.Level(Context{UserActive: true, Task: testcase.Quake}) != 0.1 {
+		t.Error("cdf ceiling wrong for quake")
+	}
+	cd.OnFeedback()
+	if got := cd.Level(Context{UserActive: true, Task: testcase.Word}); got != 1 {
+		t.Errorf("backoff not applied: %v", got)
+	}
+	if cd.Name() != "cdf+feedback" {
+		t.Errorf("name = %q", cd.Name())
+	}
+	if (&CDFThrottle{}).Name() != "cdf-throttle" {
+		t.Error("feedbackless name wrong")
+	}
+}
+
+func TestHarvestAccounting(t *testing.T) {
+	if got := harvestIdle(1, 120); got != 120 {
+		t.Errorf("idle harvest at level 1 = %v", got)
+	}
+	if got := harvestIdle(3, 120); got != 120 {
+		t.Errorf("idle harvest saturates at one core: %v", got)
+	}
+	if got := harvestActive(0, 0.5, 120); got != 0 {
+		t.Errorf("no level, no harvest: %v", got)
+	}
+	// At level 1 against a 0.5-demand app, the borrower gets 2/3.
+	if got := harvestActive(1, 0.5, 120); got < 79 || got > 81 {
+		t.Errorf("active harvest = %v, want ~80", got)
+	}
+	// The single core caps low levels.
+	if got := harvestActive(0.1, 0.01, 100); got > 10.001 {
+		t.Errorf("active harvest exceeded level cap: %v", got)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	users := testUsers(t, 2)
+	if _, err := Evaluate(func() Policy { return FixedLevel{L: 0.1, Max: 1} }, nil, testDay(), nil, 1); err == nil {
+		t.Error("no users accepted")
+	}
+	bad := testDay()
+	bad.Window = 0
+	if _, err := Evaluate(func() Policy { return FixedLevel{L: 0.1, Max: 1} }, users, bad, nil, 1); err == nil {
+		t.Error("bad day accepted")
+	}
+}
+
+func TestScreensaverHarvestsOnlyIdle(t *testing.T) {
+	users := testUsers(t, 6)
+	r, err := Evaluate(func() Policy { return ScreensaverOnly{Delay: 600, Max: 1} }, users, testDay(), nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ActiveCPUHours != 0 {
+		t.Errorf("screensaver harvested %v active hours", r.ActiveCPUHours)
+	}
+	if r.Complaints != 0 {
+		t.Errorf("screensaver caused %d complaints", r.Complaints)
+	}
+	if r.IdleCPUHours <= 0 {
+		t.Error("screensaver harvested nothing at all")
+	}
+}
+
+func TestAggressiveFixedPolicyAnnoysUsers(t *testing.T) {
+	users := testUsers(t, 6)
+	r, err := Evaluate(func() Policy { return FixedLevel{L: 2.0, Max: 1} }, users, testDay(), nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Complaints == 0 {
+		t.Error("constant contention 2.0 produced no complaints")
+	}
+	if r.Uninstalls == 0 {
+		t.Error("no uninstalls despite sustained annoyance")
+	}
+}
+
+func TestCDFPolicyBeatsScreensaverWithFewComplaints(t *testing.T) {
+	// The paper's argument in one test: CDF-guided borrowing harvests
+	// strictly more than screensaver-only while keeping complaints to a
+	// small fraction of the fleet's windows.
+	users := testUsers(t, 8)
+	ceilings := studyCeilings(t)
+	day := testDay()
+	engine := core.NewEngine()
+
+	ss, err := Evaluate(func() Policy { return ScreensaverOnly{Delay: 600, Max: 1} }, users, day, engine, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdf, err := Evaluate(func() Policy {
+		return &CDFThrottle{Ceilings: ceilings, Max: 1, Backoff: 0.5}
+	}, users, day, engine, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdf.HarvestedCPUHours <= ss.HarvestedCPUHours {
+		t.Errorf("CDF policy harvested %v <= screensaver %v", cdf.HarvestedCPUHours, ss.HarvestedCPUHours)
+	}
+	if cdf.Uninstalls > len(users)/3 {
+		t.Errorf("CDF policy lost %d of %d machines", cdf.Uninstalls, len(users))
+	}
+}
+
+func TestCompareRendersTable(t *testing.T) {
+	users := testUsers(t, 4)
+	day := testDay()
+	factories := []func() Policy{
+		func() Policy { return ScreensaverOnly{Delay: 600, Max: 1} },
+		func() Policy { return FixedLevel{L: 0.2, Max: 1} },
+	}
+	results, table, err := Compare(factories, users, day, nil, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if !strings.Contains(table, "screensaver-only") || !strings.Contains(table, "fixed-0.2") {
+		t.Errorf("table missing policies:\n%s", table)
+	}
+}
+
+func TestEvaluateDeterminism(t *testing.T) {
+	users := testUsers(t, 4)
+	f := func() Policy { return FixedLevel{L: 0.5, Max: 1} }
+	a, err := Evaluate(f, users, testDay(), nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(f, users, testDay(), nil, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HarvestedCPUHours != b.HarvestedCPUHours || a.Complaints != b.Complaints {
+		t.Errorf("evaluation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestMinWorthwhileSuppressesBlameOnlyBorrowing(t *testing.T) {
+	p := &CDFThrottle{
+		Ceilings:      map[testcase.Task]float64{testcase.Quake: 0.02, testcase.Word: 2},
+		Max:           1,
+		MinWorthwhile: 0.1,
+	}
+	if got := p.Level(Context{UserActive: true, Task: testcase.Quake}); got != 0 {
+		t.Errorf("borrowed %v during Quake despite a worthless ceiling", got)
+	}
+	if got := p.Level(Context{UserActive: true, Task: testcase.Word}); got != 2 {
+		t.Errorf("Word ceiling suppressed: %v", got)
+	}
+}
+
+func TestFeedbackPolicyPreservesFleet(t *testing.T) {
+	// The §5 policy (CDF ceilings + direct feedback + worthwhileness
+	// floor) must harvest more than screensaver-only while losing almost
+	// no machines — the paper's thesis, end to end.
+	users := testUsers(t, 8)
+	ceilings := studyCeilings(t)
+	day := testDay()
+	engine := core.NewEngine()
+	ss, err := Evaluate(func() Policy { return ScreensaverOnly{Delay: 600, Max: 1} }, users, day, engine, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := Evaluate(func() Policy {
+		return &CDFThrottle{Ceilings: ceilings, Max: 1, Backoff: 0.3, MinWorthwhile: 0.1}
+	}, users, day, engine, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.HarvestedCPUHours <= ss.HarvestedCPUHours {
+		t.Errorf("feedback policy harvested %v <= screensaver %v", fb.HarvestedCPUHours, ss.HarvestedCPUHours)
+	}
+	if fb.Uninstalls > 2 {
+		t.Errorf("feedback policy lost %d of %d machines", fb.Uninstalls, len(users))
+	}
+}

@@ -1,0 +1,274 @@
+package harvest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uucs/internal/apps"
+	"uucs/internal/comfort"
+	"uucs/internal/core"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// Day parameterizes the simulated work day each policy is evaluated
+// over.
+type Day struct {
+	// Hours is the day length.
+	Hours float64
+	// Window is the scheduling window in seconds (the throttle
+	// granularity; the paper's testcases are 120s).
+	Window float64
+	// ActiveSessionMean and IdleGapMean are the mean lengths of user
+	// sessions and the gaps between them, in seconds.
+	ActiveSessionMean float64
+	IdleGapMean       float64
+	// UninstallAfter is the number of complaints after which the user
+	// disables the framework on that machine (§1: "the user is likely
+	// to disable them"). Zero means never.
+	UninstallAfter int
+	// TaskMix weights the task a user works on per session; nil selects
+	// an office-heavy default.
+	TaskMix map[testcase.Task]float64
+}
+
+// DefaultDay is an eight-hour office day with two-minute windows.
+func DefaultDay() Day {
+	return Day{
+		Hours:             8,
+		Window:            120,
+		ActiveSessionMean: 2400, // ~40-minute work sessions
+		IdleGapMean:       900,  // ~15-minute breaks, meetings
+		UninstallAfter:    3,
+		TaskMix: map[testcase.Task]float64{
+			testcase.Word:       0.35,
+			testcase.Powerpoint: 0.20,
+			testcase.IE:         0.35,
+			testcase.Quake:      0.10,
+		},
+	}
+}
+
+// Result aggregates one policy's day over a fleet of users.
+type Result struct {
+	Policy string
+	// HarvestedCPUHours is the background CPU time obtained (one-core
+	// machine, so a full idle day harvests Hours).
+	HarvestedCPUHours float64
+	// IdleCPUHours and ActiveCPUHours split the harvest by machine state.
+	IdleCPUHours, ActiveCPUHours float64
+	// Complaints counts discomfort events across the fleet.
+	Complaints int
+	// Uninstalls counts machines lost to repeated complaints.
+	Uninstalls int
+	// Users is the fleet size.
+	Users int
+}
+
+// String renders the result row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-18s harvested %6.1f CPU-h (idle %6.1f + active %5.1f)  complaints %3d  uninstalls %2d",
+		r.Policy, r.HarvestedCPUHours, r.IdleCPUHours, r.ActiveCPUHours, r.Complaints, r.Uninstalls)
+}
+
+// Evaluate runs one policy instance per user over the day and aggregates
+// the fleet result. The factory is called once per user so stateful
+// policies (feedback throttles) do not leak across machines.
+func Evaluate(factory func() Policy, users []*comfort.User, day Day, engine *core.Engine, seed uint64) (Result, error) {
+	if len(users) == 0 {
+		return Result{}, fmt.Errorf("harvest: no users")
+	}
+	if day.Hours <= 0 || day.Window <= 0 || day.ActiveSessionMean <= 0 || day.IdleGapMean <= 0 {
+		return Result{}, fmt.Errorf("harvest: invalid day %+v", day)
+	}
+	if engine == nil {
+		engine = core.NewEngine()
+	}
+	res := Result{Policy: factory().Name(), Users: len(users)}
+	rng := stats.NewStream(seed)
+	appCache := map[testcase.Task]apps.App{}
+	appDemand := map[testcase.Task]float64{}
+	for _, task := range testcase.Tasks() {
+		app, err := apps.New(task)
+		if err != nil {
+			return Result{}, err
+		}
+		appCache[task] = app
+		appDemand[task] = perSecondCPU(app, rng.Fork())
+	}
+
+	for _, u := range users {
+		policy := factory()
+		urng := rng.Fork()
+		complaints := 0
+		uninstalled := false
+		dayLen := day.Hours * 3600
+
+		t := 0.0
+		active := urng.Bool(0.7) // most users start the day working
+		sessionTask := sampleTask(day.TaskMix, urng)
+		sessionEnd := t + urng.Exp(sessionLen(day, active))
+		idleSince := 0.0
+		for t < dayLen {
+			winEnd := t + day.Window
+			if winEnd > sessionEnd {
+				winEnd = sessionEnd
+			}
+			window := winEnd - t
+			if window <= 0 {
+				// Session boundary: flip state.
+				active = !active
+				if active {
+					sessionTask = sampleTask(day.TaskMix, urng)
+				} else {
+					idleSince = t
+				}
+				sessionEnd = t + urng.Exp(sessionLen(day, active))
+				continue
+			}
+			ctx := Context{UserActive: active, Task: sessionTask}
+			if !active {
+				ctx.IdleFor = t - idleSince
+			}
+			level := 0.0
+			if !uninstalled {
+				level = policy.Level(ctx)
+				if level < 0 {
+					level = 0
+				}
+			}
+			if level > 0 {
+				if active {
+					// Run the window through the study machinery: does the
+					// user click?
+					tc := constTestcase(level, window)
+					run, err := engine.Execute(tc, appCache[sessionTask], u, urng.Uint64())
+					if err != nil {
+						return Result{}, err
+					}
+					borrowed := window
+					if run.Terminated == core.Discomfort {
+						complaints++
+						res.Complaints++
+						policy.OnFeedback()
+						borrowed = run.Offset // exercisers stop at the click
+						if day.UninstallAfter > 0 && complaints >= day.UninstallAfter {
+							uninstalled = true
+							res.Uninstalls++
+						}
+					}
+					// The borrower's threads share the CPU with the app.
+					res.ActiveCPUHours += harvestActive(level, appDemand[sessionTask], borrowed) / 3600
+				} else {
+					res.IdleCPUHours += harvestIdle(level, window) / 3600
+				}
+			}
+			t = winEnd
+		}
+	}
+	res.HarvestedCPUHours = res.IdleCPUHours + res.ActiveCPUHours
+	return res, nil
+}
+
+// harvestActive returns the CPU-seconds the borrower obtains during an
+// active window: its level-worth of threads share the single CPU with
+// the application's demand.
+func harvestActive(level, appDemand, window float64) float64 {
+	if level <= 0 {
+		return 0
+	}
+	share := level / (level + appDemand)
+	got := window * share
+	if cap := window * min64(level, 1); got > cap {
+		got = cap
+	}
+	return got
+}
+
+// harvestIdle returns the CPU-seconds obtained on an idle machine: a
+// single core saturates at level 1.
+func harvestIdle(level, window float64) float64 {
+	return window * min64(level, 1)
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// sessionLen picks the mean for the next session.
+func sessionLen(day Day, active bool) float64 {
+	if active {
+		return day.ActiveSessionMean
+	}
+	return day.IdleGapMean
+}
+
+// sampleTask draws a session task from the mix.
+func sampleTask(mix map[testcase.Task]float64, s *stats.Stream) testcase.Task {
+	if len(mix) == 0 {
+		return testcase.Word
+	}
+	tasks := make([]testcase.Task, 0, len(mix))
+	for t := range mix {
+		tasks = append(tasks, t)
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i] < tasks[j] })
+	total := 0.0
+	for _, t := range tasks {
+		total += mix[t]
+	}
+	u := s.Float64() * total
+	acc := 0.0
+	for _, t := range tasks {
+		acc += mix[t]
+		if u < acc {
+			return t
+		}
+	}
+	return tasks[len(tasks)-1]
+}
+
+// constTestcase builds a constant-level CPU testcase for one window.
+func constTestcase(level, window float64) *testcase.Testcase {
+	tc := testcase.New(fmt.Sprintf("harvest-%.2f", level), 1)
+	tc.Shape = testcase.ShapeStep
+	tc.Params = fmt.Sprintf("%.2f,%.0f,0", level, window)
+	tc.Functions[testcase.CPU] = testcase.Step(level, window, 0, 1)
+	return tc
+}
+
+// perSecondCPU estimates an app's average CPU demand.
+func perSecondCPU(app apps.App, s *stats.Stream) float64 {
+	evs := app.Events(300, s)
+	total := 0.0
+	for _, ev := range evs {
+		total += ev.CPU
+	}
+	return total / 300
+}
+
+// Compare evaluates several policies over the same fleet and day and
+// renders a comparison table (most harvest first).
+func Compare(factories []func() Policy, users []*comfort.User, day Day, engine *core.Engine, seed uint64) ([]Result, string, error) {
+	var out []Result
+	for _, f := range factories {
+		r, err := Evaluate(f, users, day, engine, seed)
+		if err != nil {
+			return nil, "", err
+		}
+		out = append(out, r)
+	}
+	sorted := make([]Result, len(out))
+	copy(sorted, out)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].HarvestedCPUHours > sorted[j].HarvestedCPUHours })
+	var b strings.Builder
+	fmt.Fprintf(&b, "Borrowing-policy harvest over a %.0fh day, %d users (1 CPU each):\n", day.Hours, len(users))
+	for _, r := range sorted {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	return out, b.String(), nil
+}

@@ -1,0 +1,155 @@
+// Package hostload generates realistic host background-load traces and
+// converts them into exercise functions. The paper's CPU exerciser
+// "implements time-based playback of the exercise function, as we
+// describe and evaluate in detail in earlier work" — Dinda &
+// O'Hallaron's host-load trace playback — and Dinda's characterization
+// of host load found it strongly autocorrelated with epochal behaviour:
+// load hovers around a local mean that occasionally shifts. This package
+// provides that class of trace, so UUCS deployments can play back
+// realistic machine-room load instead of (or alongside) the synthetic
+// step/ramp/queueing shapes of Figure 3.
+package hostload
+
+import (
+	"fmt"
+	"math"
+
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// Model parameterizes the load-trace generator: an AR(1) process around
+// a piecewise-constant epochal mean.
+type Model struct {
+	// Mean is the long-term average load (number of runnable tasks).
+	Mean float64
+	// AR is the lag-1 autocorrelation of the within-epoch process, in
+	// [0, 1). Host load measurements show strong autocorrelation (~0.95+
+	// at one-second resolution).
+	AR float64
+	// Sigma is the innovation standard deviation.
+	Sigma float64
+	// EpochMeanGap is the mean epoch length in seconds; at each epoch
+	// boundary the local mean is redrawn around Mean.
+	EpochMeanGap float64
+	// EpochSpread scales how far epoch means wander from Mean
+	// (multiplicative, lognormal).
+	EpochSpread float64
+	// Max clamps the trace (exercisers are verified to bounded levels).
+	Max float64
+}
+
+// DefaultModel resembles a moderately loaded shared workstation.
+func DefaultModel() Model {
+	return Model{
+		Mean:         0.8,
+		AR:           0.95,
+		Sigma:        0.12,
+		EpochMeanGap: 150,
+		EpochSpread:  0.5,
+		Max:          10,
+	}
+}
+
+// Validate checks model parameters.
+func (m Model) Validate() error {
+	if m.Mean < 0 || m.Sigma < 0 || m.Max <= 0 {
+		return fmt.Errorf("hostload: negative mean/sigma or non-positive max in %+v", m)
+	}
+	if m.AR < 0 || m.AR >= 1 {
+		return fmt.Errorf("hostload: AR %g out of [0, 1)", m.AR)
+	}
+	if m.EpochMeanGap <= 0 || m.EpochSpread < 0 {
+		return fmt.Errorf("hostload: bad epoch parameters in %+v", m)
+	}
+	return nil
+}
+
+// Generate produces a load trace of the given duration and sample rate,
+// deterministically from the seed.
+func (m Model) Generate(duration, rate float64, seed uint64) (testcase.ExerciseFunction, error) {
+	if err := m.Validate(); err != nil {
+		return testcase.ExerciseFunction{}, err
+	}
+	if duration <= 0 || rate <= 0 {
+		return testcase.ExerciseFunction{}, fmt.Errorf("hostload: need positive duration and rate")
+	}
+	s := stats.NewStream(seed)
+	n := int(math.Ceil(duration * rate))
+	vals := make([]float64, n)
+
+	epochMean := m.Mean * s.LognormMedian(1, m.EpochSpread)
+	nextEpoch := s.Exp(m.EpochMeanGap)
+	level := epochMean
+	dt := 1 / rate
+	for i := range vals {
+		t := float64(i) * dt
+		if t >= nextEpoch {
+			epochMean = m.Mean * s.LognormMedian(1, m.EpochSpread)
+			nextEpoch = t + s.Exp(m.EpochMeanGap)
+		}
+		// AR(1) step toward the epoch mean.
+		level = epochMean + m.AR*(level-epochMean) + s.Norm(0, m.Sigma)
+		v := level
+		if v < 0 {
+			v = 0
+		}
+		if v > m.Max {
+			v = m.Max
+		}
+		vals[i] = v
+	}
+	return testcase.ExerciseFunction{Rate: rate, Values: vals}, nil
+}
+
+// Testcase wraps a generated trace into a CPU testcase for playback.
+func (m Model) Testcase(id string, duration, rate float64, seed uint64) (*testcase.Testcase, error) {
+	f, err := m.Generate(duration, rate, seed)
+	if err != nil {
+		return nil, err
+	}
+	tc := testcase.New(id, rate)
+	tc.Shape = testcase.Shape("hostload")
+	tc.Params = fmt.Sprintf("mean=%.2f,ar=%.2f", m.Mean, m.AR)
+	tc.Functions[testcase.CPU] = f
+	return tc, tc.Validate()
+}
+
+// FromSamples converts measured load samples (e.g. a recorded
+// /proc/loadavg trace) into an exercise function for playback — the
+// direct "host load trace playback" use.
+func FromSamples(samples []float64, rate float64) (testcase.ExerciseFunction, error) {
+	if len(samples) == 0 || rate <= 0 {
+		return testcase.ExerciseFunction{}, fmt.Errorf("hostload: need samples and a positive rate")
+	}
+	vals := make([]float64, len(samples))
+	for i, v := range samples {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return testcase.ExerciseFunction{}, fmt.Errorf("hostload: bad sample %v at %d", v, i)
+		}
+		vals[i] = v
+	}
+	return testcase.ExerciseFunction{Rate: rate, Values: vals}, nil
+}
+
+// Autocorrelation estimates the lag-k autocorrelation of a series; the
+// tests use it to confirm generated traces carry the strong correlation
+// structure real host load shows.
+func Autocorrelation(vals []float64, lag int) float64 {
+	if lag <= 0 || lag >= len(vals) {
+		return 0
+	}
+	mean := stats.Mean(vals)
+	num, den := 0.0, 0.0
+	for i := range vals {
+		d := vals[i] - mean
+		den += d * d
+		if i+lag < len(vals) {
+			num += d * (vals[i+lag] - mean)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,176 @@
+package hostload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+func TestGenerateBasicProperties(t *testing.T) {
+	m := DefaultModel()
+	f, err := m.Generate(3600, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Values) != 3600 {
+		t.Fatalf("samples = %d", len(f.Values))
+	}
+	for i, v := range f.Values {
+		if v < 0 || v > m.Max {
+			t.Fatalf("sample %d out of range: %v", i, v)
+		}
+	}
+	mean := stats.Mean(f.Values)
+	if mean < 0.3 || mean > 2.0 {
+		t.Errorf("trace mean = %v, want around %v", mean, m.Mean)
+	}
+}
+
+func TestGenerateAutocorrelation(t *testing.T) {
+	// Real host load is strongly autocorrelated; the generator must
+	// reproduce that structure.
+	m := DefaultModel()
+	f, err := m.Generate(3600, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac1 := Autocorrelation(f.Values, 1)
+	if ac1 < 0.7 {
+		t.Errorf("lag-1 autocorrelation = %v, host load should be strongly correlated", ac1)
+	}
+	ac60 := Autocorrelation(f.Values, 60)
+	if ac60 >= ac1 {
+		t.Errorf("autocorrelation should decay: lag1=%v lag60=%v", ac1, ac60)
+	}
+}
+
+func TestGenerateEpochalBehaviour(t *testing.T) {
+	// Epoch means must actually shift: the variance of long-window means
+	// should exceed what the within-epoch process alone would give.
+	m := DefaultModel()
+	m.EpochMeanGap = 120
+	f, err := m.Generate(7200, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var windowMeans []float64
+	for i := 0; i+300 <= len(f.Values); i += 300 {
+		windowMeans = append(windowMeans, stats.Mean(f.Values[i:i+300]))
+	}
+	if sd := stats.StdDev(windowMeans); sd < 0.05 {
+		t.Errorf("window-mean stddev = %v; epochs should shift the local mean", sd)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	m := DefaultModel()
+	a, _ := m.Generate(300, 1, 5)
+	b, _ := m.Generate(300, 1, 5)
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatalf("trace not deterministic at %d", i)
+		}
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	bad := []Model{
+		{Mean: -1, AR: 0.9, Sigma: 0.1, EpochMeanGap: 100, EpochSpread: 0.5, Max: 10},
+		{Mean: 1, AR: 1.0, Sigma: 0.1, EpochMeanGap: 100, EpochSpread: 0.5, Max: 10},
+		{Mean: 1, AR: 0.9, Sigma: 0.1, EpochMeanGap: 0, EpochSpread: 0.5, Max: 10},
+		{Mean: 1, AR: 0.9, Sigma: 0.1, EpochMeanGap: 100, EpochSpread: 0.5, Max: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+	m := DefaultModel()
+	if _, err := m.Generate(0, 1, 1); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestTestcaseWrapping(t *testing.T) {
+	m := DefaultModel()
+	tc, err := m.Testcase("trace-1", 120, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.PrimaryResource() != testcase.CPU {
+		t.Errorf("primary = %v", tc.PrimaryResource())
+	}
+	if err := tc.Validate(); err != nil {
+		t.Error(err)
+	}
+	// The text store must round-trip the trace.
+	s, err := testcase.EncodeString(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := testcase.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Functions[testcase.CPU].Values[50] != tc.Functions[testcase.CPU].Values[50] {
+		t.Error("trace did not round-trip the store format")
+	}
+}
+
+func TestFromSamples(t *testing.T) {
+	f, err := FromSamples([]float64{0.5, 1.2, 0.8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Value(1.5) != 1.2 {
+		t.Errorf("Value(1.5) = %v", f.Value(1.5))
+	}
+	if _, err := FromSamples(nil, 1); err == nil {
+		t.Error("empty samples accepted")
+	}
+	if _, err := FromSamples([]float64{1}, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := FromSamples([]float64{-1}, 1); err == nil {
+		t.Error("negative sample accepted")
+	}
+	if _, err := FromSamples([]float64{math.NaN()}, 1); err == nil {
+		t.Error("NaN sample accepted")
+	}
+}
+
+func TestAutocorrelationEdges(t *testing.T) {
+	if Autocorrelation([]float64{1, 2, 3}, 0) != 0 {
+		t.Error("lag 0 should return 0")
+	}
+	if Autocorrelation([]float64{1, 2}, 5) != 0 {
+		t.Error("oversized lag should return 0")
+	}
+	if Autocorrelation([]float64{2, 2, 2, 2}, 1) != 0 {
+		t.Error("constant series should return 0")
+	}
+}
+
+func TestGenerateBoundsProperty(t *testing.T) {
+	check := func(seed uint64, meanRaw, arRaw uint8) bool {
+		m := DefaultModel()
+		m.Mean = float64(meanRaw%40) / 10
+		m.AR = float64(arRaw%99) / 100
+		f, err := m.Generate(200, 1, seed)
+		if err != nil {
+			return false
+		}
+		for _, v := range f.Values {
+			if v < 0 || v > m.Max || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

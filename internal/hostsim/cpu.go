@@ -1,0 +1,142 @@
+package hostsim
+
+import "uucs/internal/testcase"
+
+// CPU model. Interactive work is expressed as bursts: a keystroke echo,
+// a slide redraw, a game frame. Under the equal-priority scheduling the
+// paper's exercisers rely on, a foreground burst that needs s seconds of
+// CPU completes in s·(1+c) wall-clock seconds when c exerciser threads
+// are busy — "that thread will execute at a rate 1/(1.5+1) = 40% that of
+// the maximum possible rate" (§2.2).
+//
+// Fractional contention is realized exactly as the paper does it: with
+// contention 1.5, one thread is always busy and a second is busy with
+// probability 0.5 in each scheduling subinterval. Short bursts therefore
+// see an integer number of competitors sampled per subinterval — the
+// source of frame-time jitter that makes low contention levels
+// perceptible in Quake — while long bursts average to the fluid 1/(1+c)
+// rate.
+
+// shortBurstLimit is the work size (in local CPU seconds) below which
+// bursts use per-subinterval stochastic contention sampling; larger
+// bursts use fluid integration, where the law of large numbers makes the
+// distinction irrelevant.
+const shortBurstLimit = 0.5
+
+// fluidStep is the integration step for long bursts; the controlled
+// study's exercise functions are sampled at 1 Hz, so 0.25 s resolves
+// them comfortably.
+const fluidStep = 0.25
+
+// CPUBurst returns the wall-clock time at which a foreground CPU burst
+// submitted at start completes. refWork is the burst's demand in seconds
+// on the reference 2.0 GHz machine; slower hardware scales it up.
+func (m *Machine) CPUBurst(start, refWork float64) float64 {
+	if refWork <= 0 {
+		return start
+	}
+	work := refWork * m.speedFactor()
+	if work <= shortBurstLimit {
+		return m.cpuBurstSampled(start, work)
+	}
+	return m.cpuBurstFluid(start, work)
+}
+
+// cpuBurstSampled advances subinterval by subinterval, sampling the
+// integer number of busy exerciser threads in each one. Background-noise
+// stalls preempt fully: OS services and interrupt handlers run above
+// normal priority, so a foreground burst makes no progress while one is
+// active — that is what turns a stall into a visible hitch.
+func (m *Machine) cpuBurstSampled(start, work float64) float64 {
+	t := start
+	remaining := work
+	for remaining > 1e-12 {
+		if m.noise.CPUBusy(t) > 0 {
+			t = m.noise.nextCPUChange(t)
+			continue
+		}
+		c := m.ContentionAt(testcase.CPU, t)
+		n := m.sampleThreads(c)
+		share := 1 / (1 + n)
+		// CPU work completable within this subinterval at this share.
+		capacity := m.subinterval * share
+		if capacity >= remaining {
+			t += remaining / share
+			remaining = 0
+		} else {
+			remaining -= capacity
+			t += m.subinterval
+		}
+	}
+	return t
+}
+
+// cpuBurstFluid integrates the expected processor share over time.
+// Noise stalls preempt fully, as in cpuBurstSampled.
+func (m *Machine) cpuBurstFluid(start, work float64) float64 {
+	t := start
+	remaining := work
+	for remaining > 1e-12 {
+		if m.noise.CPUBusy(t) > 0 {
+			t = m.noise.nextCPUChange(t)
+			continue
+		}
+		c := m.ContentionAt(testcase.CPU, t)
+		share := 1 / (1 + c)
+		capacity := fluidStep * share
+		if capacity >= remaining {
+			t += remaining / share
+			remaining = 0
+		} else {
+			remaining -= capacity
+			t += fluidStep
+		}
+	}
+	return t
+}
+
+// sampleThreads converts fractional contention c into an integer thread
+// count for one subinterval: floor(c) always-busy threads plus one more
+// with probability frac(c) — the paper's stochastic borrowing mechanism.
+func (m *Machine) sampleThreads(c float64) float64 {
+	if c <= 0 {
+		return 0
+	}
+	whole := float64(int(c))
+	frac := c - whole
+	if frac > 0 && m.rng.Bool(frac) {
+		whole++
+	}
+	return whole
+}
+
+// CPUBurstSmoothed is like CPUBurst but always integrates the expected
+// (fluid) processor share, with no per-subinterval contention sampling.
+// Use it for work whose perception averages over many fine updates — a
+// continuous drag-render loop — where a single slow subinterval is
+// invisible but a sustained slowdown is not.
+func (m *Machine) CPUBurstSmoothed(start, refWork float64) float64 {
+	if refWork <= 0 {
+		return start
+	}
+	return m.cpuBurstFluid(start, refWork*m.speedFactor())
+}
+
+// CPUBaseline returns the uncontended duration of a reference CPU burst
+// on this machine — the latency the user has acclimatized to.
+func (m *Machine) CPUBaseline(refWork float64) float64 {
+	if refWork <= 0 {
+		return 0
+	}
+	return refWork * m.speedFactor()
+}
+
+// CPUStallEnd returns when a burst that began at start would finish if it
+// also had to wait for an ongoing background-noise stall to clear; it is
+// a convenience for app models that poll for jitter.
+func (m *Machine) CPUStallEnd(t float64) float64 {
+	if m.noise.CPUBusy(t) == 0 {
+		return t
+	}
+	return m.noise.nextCPUChange(t)
+}

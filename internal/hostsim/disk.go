@@ -1,0 +1,85 @@
+package hostsim
+
+import "uucs/internal/testcase"
+
+// Disk model. The disk serves one request at a time from a FIFO queue.
+// The paper's disk exerciser creates contention c by keeping c competing
+// seek+write streams outstanding, each performing "a random seek in a
+// large file (2x the memory of the machine) followed by a write of a
+// random amount of data", write-through and synced (§2.2). The effect on
+// a foreground I/O-busy thread is a slowdown similar to the CPU
+// exerciser: each of its requests queues behind roughly c exerciser
+// requests.
+
+// exerciser request geometry: a random seek plus a modest write.
+const (
+	exerciserWriteKB = 128
+	appChunkKB       = 64
+)
+
+// exerciserServiceTime is the mean service time of one exerciser
+// seek+write request on this hardware.
+func (m *Machine) exerciserServiceTime() float64 {
+	return m.cfg.DiskSeekMs/1000 + exerciserWriteKB/1024.0/m.cfg.DiskMBps
+}
+
+// seekTime returns one randomized seek+rotational latency.
+func (m *Machine) seekTime() float64 {
+	// +-35% uniform jitter around the configured average.
+	return m.cfg.DiskSeekMs / 1000 * m.rng.Range(0.65, 1.35)
+}
+
+// DiskIO returns the wall-clock completion time of a foreground I/O of
+// the given size submitted at start. The request is split into chunks;
+// with contention c, each chunk waits behind about c exerciser requests,
+// and interleaved exerciser seeks force the head away so every chunk
+// pays a seek.
+func (m *Machine) DiskIO(start float64, bytesKB float64) float64 {
+	if bytesKB <= 0 {
+		return start
+	}
+	t := start
+	if m.diskFreeAt > t {
+		t = m.diskFreeAt // wait for the queue to drain
+	}
+	remaining := bytesKB
+	for remaining > 0 {
+		chunk := remaining
+		if chunk > appChunkKB {
+			chunk = appChunkKB
+		}
+		remaining -= chunk
+		// The exerciser's random seeks defeat any sequential locality, so
+		// every chunk pays a seek; with c competing streams the disk
+		// round-robins among 1+c requesters, so the chunk's service time
+		// stretches by (1+c) — the same equal-share behaviour the paper
+		// verified for its disk exerciser.
+		c := m.ContentionAt(testcase.Disk, t) + m.noise.DiskBusy(t)
+		svc := m.seekTime() + chunk/1024.0/m.cfg.DiskMBps
+		t += svc * (1 + c)
+	}
+	m.diskFreeAt = t
+	return t
+}
+
+// DiskIOBaseline returns the typical uncontended duration of a
+// foreground I/O of the given size — the feel the user is acclimatized
+// to — using average seek time and no queueing.
+func (m *Machine) DiskIOBaseline(bytesKB float64) float64 {
+	if bytesKB <= 0 {
+		return 0
+	}
+	chunks := int((bytesKB + appChunkKB - 1) / appChunkKB)
+	return float64(chunks)*m.cfg.DiskSeekMs/1000 + bytesKB/1024.0/m.cfg.DiskMBps
+}
+
+// DiskIOBackground behaves like DiskIO but does not force later requests
+// to queue behind it; it models write-behind I/O (autosaves flushed by
+// the OS) whose latency the app still observes but which does not block
+// subsequent foreground requests at submission time.
+func (m *Machine) DiskIOBackground(start float64, bytesKB float64) float64 {
+	savedFree := m.diskFreeAt
+	end := m.DiskIO(start, bytesKB)
+	m.diskFreeAt = savedFree
+	return end
+}

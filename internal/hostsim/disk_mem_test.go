@@ -1,0 +1,253 @@
+package hostsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"uucs/internal/testcase"
+)
+
+func TestDiskIOUncontended(t *testing.T) {
+	m := newTestMachine(t, NoNoise(), 20)
+	// 64 KB: one chunk = one seek + transfer; roughly 8ms + 1.6ms.
+	end := m.DiskIO(0, 64)
+	if end < 0.005 || end > 0.02 {
+		t.Errorf("64KB I/O took %v, want ~10ms", end)
+	}
+}
+
+func TestDiskIOScalesWithContention(t *testing.T) {
+	baseM := newTestMachine(t, NoNoise(), 21)
+	base := avgIO(baseM, 512)
+	for _, c := range []float64{1, 4, 7} {
+		m := newTestMachine(t, NoNoise(), 21)
+		cc := c
+		m.SetContention(testcase.Disk, func(float64) float64 { return cc })
+		got := avgIO(m, 512)
+		ratio := got / base
+		want := 1 + cc*0.9 // contention adds ~c exerciser services per chunk
+		if ratio < want*0.6 || ratio > (1+cc)*1.6 {
+			t.Errorf("c=%v: slowdown ratio = %v, want around %v", cc, ratio, 1+cc)
+		}
+	}
+}
+
+func avgIO(m *Machine, kb float64) float64 {
+	total := 0.0
+	n := 50
+	for i := 0; i < n; i++ {
+		start := float64(i) * 100
+		m.diskFreeAt = 0 // isolate each measurement
+		total += m.DiskIO(start, kb) - start
+	}
+	return total / float64(n)
+}
+
+func TestDiskQueueSerializes(t *testing.T) {
+	m := newTestMachine(t, NoNoise(), 22)
+	end1 := m.DiskIO(0, 1024)
+	end2 := m.DiskIO(0, 64) // submitted at the same instant: must wait
+	if end2 <= end1 {
+		t.Errorf("second request (%v) did not queue behind first (%v)", end2, end1)
+	}
+}
+
+func TestDiskIOBackgroundDoesNotBlockQueue(t *testing.T) {
+	m := newTestMachine(t, NoNoise(), 23)
+	m.DiskIOBackground(0, 4096)
+	end := m.DiskIO(0, 64)
+	if end > 0.05 {
+		t.Errorf("foreground I/O blocked by background write: %v", end)
+	}
+}
+
+func TestDiskIOZeroBytes(t *testing.T) {
+	m := newTestMachine(t, NoNoise(), 24)
+	if got := m.DiskIO(5, 0); got != 5 {
+		t.Errorf("zero-byte I/O advanced time: %v", got)
+	}
+}
+
+func TestMemMissNoPressure(t *testing.T) {
+	m := newTestMachine(t, NoNoise(), 30)
+	// 110 OS + 60 app on a 512 MB machine with no exerciser: no misses.
+	cold, hot := m.MemMiss(0, WorkingSet{TotalMB: 60, HotMB: 10})
+	if cold != 0 || hot != 0 {
+		t.Errorf("unexpected misses: cold=%v hot=%v", cold, hot)
+	}
+}
+
+func TestMemMissColdPagesLoseHotSurvive(t *testing.T) {
+	m := newTestMachine(t, NoNoise(), 31)
+	level := 0.8
+	m.SetContention(testcase.Memory, func(float64) float64 { return level })
+	ws := WorkingSet{TotalMB: 200, HotMB: 50}
+	// avail for the exerciser = 512-110-50 = 352; at m=0.8 it is capped
+	// at 352, so overflow = 110+200+352-512 = 150 = all the cold pages.
+	cold, hot := m.MemMiss(0, ws)
+	if cold != 1 {
+		t.Errorf("cold miss = %v, want 1", cold)
+	}
+	if hot != 0 {
+		t.Errorf("hot miss = %v, want 0 (hot pages defend themselves)", hot)
+	}
+	// Lower pressure: cold pages partially affected.
+	level = 0.45 // overflow = 110+200+230.4-512 = 28.4
+	cold, hot = m.MemMiss(0, ws)
+	if hot != 0 {
+		t.Errorf("hot miss = %v under mild pressure, want 0", hot)
+	}
+	if math.Abs(cold-28.4/150) > 0.01 {
+		t.Errorf("cold miss = %v, want ~%v", cold, 28.4/150)
+	}
+}
+
+func TestMemMissClampsBorrowed(t *testing.T) {
+	m := newTestMachine(t, NoNoise(), 32)
+	m.SetContention(testcase.Memory, func(float64) float64 { return 5 }) // out of spec
+	// Hot-only working set: the exerciser cannot displace it, so even an
+	// out-of-spec contention level produces no misses.
+	cold, hot := m.MemMiss(0, WorkingSet{TotalMB: 100, HotMB: 100})
+	if cold != 0 || hot != 0 {
+		t.Errorf("miss = (%v, %v), want (0, 0)", cold, hot)
+	}
+}
+
+func TestMemMissPathologicalHotCore(t *testing.T) {
+	// An app whose hot core plus the OS exceed RAM thrashes even without
+	// any exerciser.
+	m := newTestMachine(t, NoNoise(), 36)
+	cold, hot := m.MemMiss(0, WorkingSet{TotalMB: 450, HotMB: 450})
+	if cold != 0 {
+		t.Errorf("cold miss = %v with no cold pages", cold)
+	}
+	if hot <= 0 {
+		t.Errorf("hot miss = %v, want positive (110+450 > 512)", hot)
+	}
+}
+
+func TestMemMissMonotoneProperty(t *testing.T) {
+	check := func(seed uint64, wsRaw, hotRaw uint8) bool {
+		m, err := NewMachine(StudyMachine(), NoNoise(), seed)
+		if err != nil {
+			return false
+		}
+		total := float64(wsRaw%200) + 20
+		hot := math.Min(float64(hotRaw%100)+1, total)
+		ws := WorkingSet{TotalMB: total, HotMB: hot}
+		prevCold, prevHot := -1.0, -1.0
+		for level := 0.0; level <= 1.0; level += 0.05 {
+			lv := level
+			m.SetContention(testcase.Memory, func(float64) float64 { return lv })
+			cold, hotm := m.MemMiss(0, ws)
+			if cold < prevCold-1e-9 || hotm < prevHot-1e-9 {
+				return false // misses must grow with borrowed memory
+			}
+			if cold < 0 || cold > 1 || hotm < 0 || hotm > 1 {
+				return false
+			}
+			prevCold, prevHot = cold, hotm
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFaultCount(t *testing.T) {
+	m := newTestMachine(t, NoNoise(), 33)
+	if m.FaultCount(10, 0) != 0 {
+		t.Error("faults with zero miss fraction")
+	}
+	if m.FaultCount(10, 1) != 10 {
+		t.Error("miss fraction 1 should fault every touch")
+	}
+	if m.FaultCount(0, 0.5) != 0 {
+		t.Error("faults with zero touches")
+	}
+	total := 0
+	for i := 0; i < 200; i++ {
+		total += m.FaultCount(10, 0.3)
+	}
+	avg := float64(total) / 200
+	if avg < 2 || avg > 4 {
+		t.Errorf("mean fault count = %v, want ~3", avg)
+	}
+}
+
+func TestFaultCostGrowsWithPressure(t *testing.T) {
+	ws := WorkingSet{TotalMB: 200, HotMB: 50}
+	cost := func(level float64) float64 {
+		m := newTestMachine(t, NoNoise(), 34)
+		m.SetContention(testcase.Memory, func(float64) float64 { return level })
+		total := 0.0
+		for i := 0; i < 50; i++ {
+			total += m.FaultCost(0, 5, ws)
+		}
+		return total / 50
+	}
+	mild, heavy := cost(0.5), cost(1.0)
+	if heavy <= mild {
+		t.Errorf("fault cost did not grow with pressure: %v vs %v", mild, heavy)
+	}
+	if c := cost(0.5); c <= 0 {
+		t.Errorf("fault cost = %v", c)
+	}
+	m := newTestMachine(t, NoNoise(), 35)
+	if m.FaultCost(0, 0, ws) != 0 {
+		t.Error("zero faults should cost nothing")
+	}
+}
+
+func TestMicroCPUShareMatchesFluid(t *testing.T) {
+	// The paper verified the CPU exerciser to contention 10: an equal
+	// priority reference thread must get ~1/(1+c) of the CPU.
+	ms := DefaultMicroSim()
+	for _, c := range []float64{0, 1, 1.5, 4, 10} {
+		share, err := ms.MeasureCPUShare(c, 120, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 / (1 + c)
+		if math.Abs(share-want) > 0.05*want+0.01 {
+			t.Errorf("c=%v: CPU share = %v, want ~%v", c, share, want)
+		}
+	}
+}
+
+func TestMicroDiskShareMatchesFluid(t *testing.T) {
+	// The paper verified the disk exerciser to contention 7.
+	ms := DefaultMicroSim()
+	for _, c := range []float64{0, 1, 3, 7} {
+		share, err := ms.MeasureDiskShare(c, 120, StudyMachine(), 78)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 / (1 + c)
+		if math.Abs(share-want) > 0.1*want+0.02 {
+			t.Errorf("c=%v: disk share = %v, want ~%v", c, share, want)
+		}
+	}
+}
+
+func TestMicroSimErrors(t *testing.T) {
+	ms := DefaultMicroSim()
+	if _, err := ms.MeasureCPUShare(-1, 10, 1); err == nil {
+		t.Error("negative contention accepted")
+	}
+	if _, err := ms.MeasureCPUShare(1, 0, 1); err == nil {
+		t.Error("zero duration accepted")
+	}
+	bad := MicroSim{Quantum: 0, Subinterval: 0.1}
+	if _, err := bad.MeasureCPUShare(1, 10, 1); err == nil {
+		t.Error("zero quantum accepted")
+	}
+	if _, err := ms.MeasureDiskShare(-1, 10, StudyMachine(), 1); err == nil {
+		t.Error("negative disk contention accepted")
+	}
+	if _, err := ms.MeasureDiskShare(1, 10, Config{}, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -1,0 +1,181 @@
+// Package hostsim simulates the host machine on which testcases run: a
+// CPU shared among equal-priority threads, a physical-memory hierarchy
+// with page faults, a single disk with a FIFO queue, and background
+// operating-system noise.
+//
+// The paper ran its controlled study on real Windows XP machines
+// (Figure 7: 2.0 GHz P4, 512 MB, 80 GB Dell GX270). This package is the
+// substitute substrate: the resource exercisers inject contention into
+// the simulated machine, the foreground application models consume
+// machine time, and the same end-to-end behaviour the paper relies on —
+// an equal-priority thread running at 1/(1+c) of full speed under CPU
+// contention c — emerges from the model and is verified by tests, just
+// as the paper experimentally verified its exercisers (§2.2).
+//
+// The simulation is hybrid: interactive bursts and I/O requests are
+// resolved analytically against the contention profile (fast enough to
+// run the full 33-user study in seconds), while the micro-level quantum
+// scheduler in microsched.go reproduces the exercisers' busy/sleep
+// subinterval mechanics for fidelity experiments.
+package hostsim
+
+import (
+	"fmt"
+
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// Config describes the hardware of a simulated machine.
+type Config struct {
+	// Name labels the configuration (e.g. "dell-gx270").
+	Name string
+	// CPUGHz is the clock speed; CPU work in this package is expressed in
+	// seconds on a reference 2.0 GHz machine, so a 1.0 GHz machine takes
+	// twice as long for the same burst.
+	CPUGHz float64
+	// MemMB is physical memory size.
+	MemMB float64
+	// OSBaseMB is memory held by the OS and services; it comes out of
+	// MemMB before applications and exercisers get anything.
+	OSBaseMB float64
+	// DiskSeekMs is the average seek+rotational latency per random I/O.
+	DiskSeekMs float64
+	// DiskMBps is the sequential transfer bandwidth.
+	DiskMBps float64
+	// PageKB is the VM page size.
+	PageKB float64
+	// NoHotPageDefense disables the LRU protection of hot application
+	// pages against the memory exerciser — an ablation switch; with it
+	// set, even Word thrashes under full memory borrowing, which is NOT
+	// what the paper observed.
+	NoHotPageDefense bool
+}
+
+// StudyMachine returns the controlled study's machine configuration
+// (paper Figure 7): a 2.0 GHz Pentium 4 with 512 MB RAM and an 80 GB
+// disk.
+func StudyMachine() Config {
+	return Config{
+		Name:       "dell-gx270",
+		CPUGHz:     2.0,
+		MemMB:      512,
+		OSBaseMB:   110,
+		DiskSeekMs: 8,
+		DiskMBps:   40,
+		PageKB:     4,
+	}
+}
+
+// Validate checks the configuration for physically sensible values.
+func (c Config) Validate() error {
+	if c.CPUGHz <= 0 || c.MemMB <= 0 || c.DiskSeekMs <= 0 || c.DiskMBps <= 0 {
+		return fmt.Errorf("hostsim: non-positive hardware parameter in %+v", c)
+	}
+	if c.OSBaseMB < 0 || c.OSBaseMB >= c.MemMB {
+		return fmt.Errorf("hostsim: OS base %g MB out of range for %g MB machine", c.OSBaseMB, c.MemMB)
+	}
+	if c.PageKB <= 0 {
+		return fmt.Errorf("hostsim: non-positive page size")
+	}
+	return nil
+}
+
+// ContentionFunc reports the contention applied to a resource at time t
+// seconds into a run. For CPU and disk it is the (possibly fractional)
+// number of competing equal-priority tasks; for memory it is the
+// fraction of physical memory borrowed.
+type ContentionFunc func(t float64) float64
+
+// Machine is one simulated host during one run. A Machine is single-use:
+// create a fresh one per testcase run so disk-queue and fault state do
+// not leak between runs. It is not safe for concurrent use.
+type Machine struct {
+	cfg   Config
+	rng   *stats.Stream
+	noise *Noise
+
+	contention map[testcase.Resource]ContentionFunc
+
+	// diskFreeAt is the time the disk queue drains; requests submitted
+	// before then wait behind earlier ones (FIFO).
+	diskFreeAt float64
+
+	// subinterval is the exerciser playback subinterval: fractional CPU
+	// contention is realized as an extra thread that is busy with
+	// probability frac(c) in each subinterval (§2.2).
+	subinterval float64
+}
+
+// NewMachine builds a machine with the given hardware and noise profile.
+// seed fixes all stochastic behaviour (seek jitter, fractional-contention
+// sampling, noise timing).
+func NewMachine(cfg Config, noiseProfile NoiseProfile, seed uint64) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewStream(seed)
+	m := &Machine{
+		cfg:         cfg,
+		rng:         rng,
+		noise:       newNoise(noiseProfile, rng.Fork()),
+		contention:  make(map[testcase.Resource]ContentionFunc),
+		subinterval: 0.1,
+	}
+	return m, nil
+}
+
+// Config returns the machine's hardware description.
+func (m *Machine) Config() Config { return m.cfg }
+
+// SetContention attaches an exerciser's contention profile for one
+// resource. Passing nil detaches the resource.
+func (m *Machine) SetContention(r testcase.Resource, f ContentionFunc) {
+	if f == nil {
+		delete(m.contention, r)
+		return
+	}
+	m.contention[r] = f
+}
+
+// ClearContention detaches all exercisers — the paper's client stops all
+// exercisers immediately when the user expresses discomfort.
+func (m *Machine) ClearContention() {
+	m.contention = make(map[testcase.Resource]ContentionFunc)
+}
+
+// ContentionAt returns the contention applied to resource r at time t.
+func (m *Machine) ContentionAt(r testcase.Resource, t float64) float64 {
+	f, ok := m.contention[r]
+	if !ok {
+		return 0
+	}
+	c := f(t)
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// speedFactor converts reference CPU seconds to this machine's seconds.
+func (m *Machine) speedFactor() float64 { return 2.0 / m.cfg.CPUGHz }
+
+// Load is a point-in-time load snapshot, recorded by the system monitor
+// with every run (the paper stores CPU, memory and disk load measurements
+// for the entire duration of each testcase, §2.3).
+type Load struct {
+	Time    float64 // seconds into the run
+	CPU     float64 // total CPU demand (exerciser + noise), in tasks
+	MemFrac float64 // fraction of physical memory borrowed
+	DiskQ   float64 // disk contention, in competing streams
+}
+
+// LoadAt samples the machine load at time t.
+func (m *Machine) LoadAt(t float64) Load {
+	return Load{
+		Time:    t,
+		CPU:     m.ContentionAt(testcase.CPU, t) + m.noise.CPUBusy(t),
+		MemFrac: m.ContentionAt(testcase.Memory, t),
+		DiskQ:   m.ContentionAt(testcase.Disk, t) + m.noise.DiskBusy(t),
+	}
+}

@@ -1,0 +1,212 @@
+package hostsim
+
+import (
+	"math"
+	"testing"
+
+	"uucs/internal/testcase"
+)
+
+func newTestMachine(t *testing.T, noise NoiseProfile, seed uint64) *Machine {
+	t.Helper()
+	m, err := NewMachine(StudyMachine(), noise, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := StudyMachine().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{CPUGHz: 0, MemMB: 512, DiskSeekMs: 8, DiskMBps: 40, PageKB: 4},
+		{CPUGHz: 2, MemMB: 512, OSBaseMB: 600, DiskSeekMs: 8, DiskMBps: 40, PageKB: 4},
+		{CPUGHz: 2, MemMB: 512, DiskSeekMs: 8, DiskMBps: 40, PageKB: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := NewMachine(Config{}, NoNoise(), 1); err == nil {
+		t.Error("NewMachine accepted invalid config")
+	}
+}
+
+func TestCPUBurstNoContention(t *testing.T) {
+	m := newTestMachine(t, NoNoise(), 1)
+	end := m.CPUBurst(10, 0.05)
+	if math.Abs(end-10.05) > 1e-9 {
+		t.Errorf("uncontended 50ms burst finished at %v, want 10.05", end)
+	}
+	if got := m.CPUBurst(5, 0); got != 5 {
+		t.Errorf("zero-work burst advanced time to %v", got)
+	}
+}
+
+func TestCPUBurstIntegerContention(t *testing.T) {
+	// With integer contention c, a burst must take exactly (1+c)x longer
+	// regardless of burst size (no stochastic component).
+	m := newTestMachine(t, NoNoise(), 2)
+	m.SetContention(testcase.CPU, func(float64) float64 { return 3 })
+	for _, work := range []float64{0.011, 0.3, 2.0} {
+		end := m.CPUBurst(0, work)
+		want := work * 4
+		if math.Abs(end-want) > 0.02*want+1e-9 {
+			t.Errorf("work %v: end = %v, want ~%v", work, end, want)
+		}
+	}
+}
+
+func TestCPUBurstFractionalContentionAverages(t *testing.T) {
+	// Fractional contention 1.5 must slow a foreground thread to ~40% on
+	// average — the paper's §2.2 worked example.
+	m := newTestMachine(t, NoNoise(), 3)
+	m.SetContention(testcase.CPU, func(float64) float64 { return 1.5 })
+	total := 0.0
+	n := 400
+	for i := 0; i < n; i++ {
+		start := float64(i) * 10
+		end := m.CPUBurst(start, 0.1)
+		total += end - start
+	}
+	avg := total / float64(n)
+	want := 0.1 * 2.5
+	if math.Abs(avg-want) > 0.015 {
+		t.Errorf("avg contended burst = %v, want ~%v (rate 40%%)", avg, want)
+	}
+}
+
+func TestCPUBurstFractionalJitter(t *testing.T) {
+	// Short bursts under fractional contention must exhibit variance —
+	// this is the frame-jitter mechanism that makes Quake sensitive.
+	m := newTestMachine(t, NoNoise(), 4)
+	m.SetContention(testcase.CPU, func(float64) float64 { return 0.5 })
+	fast, slow := 0, 0
+	for i := 0; i < 200; i++ {
+		start := float64(i)
+		d := m.CPUBurst(start, 0.011) - start
+		if d < 0.012 {
+			fast++
+		} else {
+			slow++
+		}
+	}
+	if fast == 0 || slow == 0 {
+		t.Errorf("no jitter: fast=%d slow=%d", fast, slow)
+	}
+}
+
+func TestCPUBurstSpeedScaling(t *testing.T) {
+	cfg := StudyMachine()
+	cfg.CPUGHz = 1.0 // half the reference speed
+	m, err := NewMachine(cfg, NoNoise(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := m.CPUBurst(0, 0.1)
+	if math.Abs(end-0.2) > 1e-9 {
+		t.Errorf("1 GHz machine: 100ms reference burst took %v, want 0.2", end)
+	}
+}
+
+func TestCPUBurstRampProfile(t *testing.T) {
+	// Under a ramp the integrated completion time must exceed the
+	// uncontended time and grow with start time.
+	ramp := testcase.Ramp(4, 120, 1)
+	m := newTestMachine(t, NoNoise(), 6)
+	m.SetContention(testcase.CPU, ramp.Value)
+	early := m.CPUBurst(10, 1.0) - 10
+	late := m.CPUBurst(100, 1.0) - 100
+	if late <= early {
+		t.Errorf("ramp: late burst (%v) not slower than early (%v)", late, early)
+	}
+	// At t=100 contention ~3.37, so a 1s burst should take ~4.4s.
+	if late < 3.5 || late > 5.5 {
+		t.Errorf("late burst duration = %v, want ~4.4", late)
+	}
+}
+
+func TestNoiseProducesStalls(t *testing.T) {
+	m := newTestMachine(t, DefaultNoise(), 7)
+	busy := 0.0
+	const dur = 600.0
+	for tt := 0.0; tt < dur; tt += 0.01 {
+		if m.noise.CPUBusy(tt) > 0 {
+			busy += 0.01
+		}
+	}
+	frac := busy / dur
+	// Expected ~ (median stall / gap) order of magnitude; just require
+	// non-zero and small.
+	if frac == 0 {
+		t.Error("default noise produced no CPU stalls in 10 minutes")
+	}
+	if frac > 0.05 {
+		t.Errorf("noise CPU fraction = %v, machine should be mostly idle", frac)
+	}
+}
+
+func TestNoNoiseIsSilent(t *testing.T) {
+	m := newTestMachine(t, NoNoise(), 8)
+	for tt := 0.0; tt < 300; tt += 0.5 {
+		if m.noise.CPUBusy(tt) != 0 || m.noise.DiskBusy(tt) != 0 {
+			t.Fatalf("NoNoise profile active at t=%v", tt)
+		}
+	}
+}
+
+func TestLoadAt(t *testing.T) {
+	m := newTestMachine(t, NoNoise(), 9)
+	m.SetContention(testcase.CPU, func(float64) float64 { return 2 })
+	m.SetContention(testcase.Memory, func(float64) float64 { return 0.5 })
+	l := m.LoadAt(10)
+	if l.CPU != 2 || l.MemFrac != 0.5 || l.DiskQ != 0 {
+		t.Errorf("LoadAt = %+v", l)
+	}
+	if l.Time != 10 {
+		t.Errorf("Load.Time = %v", l.Time)
+	}
+}
+
+func TestClearContention(t *testing.T) {
+	m := newTestMachine(t, NoNoise(), 10)
+	m.SetContention(testcase.CPU, func(float64) float64 { return 5 })
+	m.ClearContention()
+	if got := m.ContentionAt(testcase.CPU, 0); got != 0 {
+		t.Errorf("contention after clear = %v", got)
+	}
+	m.SetContention(testcase.Disk, func(float64) float64 { return 1 })
+	m.SetContention(testcase.Disk, nil)
+	if got := m.ContentionAt(testcase.Disk, 0); got != 0 {
+		t.Errorf("contention after nil set = %v", got)
+	}
+}
+
+func TestNegativeContentionClamped(t *testing.T) {
+	m := newTestMachine(t, NoNoise(), 11)
+	m.SetContention(testcase.CPU, func(float64) float64 { return -3 })
+	if got := m.ContentionAt(testcase.CPU, 0); got != 0 {
+		t.Errorf("negative contention not clamped: %v", got)
+	}
+}
+
+func TestMachineDeterminism(t *testing.T) {
+	run := func() []float64 {
+		m := newTestMachine(t, DefaultNoise(), 42)
+		m.SetContention(testcase.CPU, func(float64) float64 { return 1.5 })
+		var out []float64
+		for i := 0; i < 50; i++ {
+			out = append(out, m.CPUBurst(float64(i), 0.05))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("machine not deterministic at burst %d", i)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package hostsim
+
+import "uucs/internal/testcase"
+
+// Memory model. The paper's memory exerciser "keeps a pool of allocated
+// pages equal to the size of physical memory ... and then touches the
+// fraction corresponding to the contention level with a high frequency,
+// making its working set size inflate to that fraction of the physical
+// memory" (§2.2). Contention m therefore tries to take m·MemMB of
+// physical memory away from everyone else.
+//
+// Replacement is frequency-based, as in a real LRU-approximating VM
+// system. The foreground application's hot pages (UI, current document
+// region, live game state) are touched every interaction — far more
+// often than the exerciser can re-touch each page of a pool spanning
+// most of physical memory — so hot pages win the replacement race and
+// the exerciser's effective resident share is capped at what is left
+// after the OS and the app's hot core. The app's cold pages (caches,
+// far-away document regions, old web pages, out-of-view textures) lose
+// first. This is why the paper found office applications immune ("once
+// office applications like Word and Powerpoint form their working set,
+// significant portions of the remaining physical memory can be borrowed
+// with marginal impact") while IE and Quake, with their dynamic memory
+// demands, fault visibly (§3.3.3).
+
+// WorkingSet describes an application's memory footprint at an instant.
+type WorkingSet struct {
+	// TotalMB is the full resident footprint the app would like.
+	TotalMB float64
+	// HotMB is the subset touched on virtually every interaction.
+	HotMB float64
+}
+
+// memOverflow returns how many MB of the app's cold pages are displaced
+// at time t, given the exerciser's borrowed fraction.
+func (m *Machine) memOverflow(t float64, ws WorkingSet) float64 {
+	borrowed := m.ContentionAt(testcase.Memory, t)
+	if borrowed < 0 {
+		borrowed = 0
+	}
+	if borrowed > 1 {
+		borrowed = 1
+	}
+	// Hot pages defend themselves: the exerciser's resident share is
+	// capped at physical memory minus the OS base and the app's hot core.
+	// The NoHotPageDefense ablation removes the cap.
+	borrowedMB := borrowed * m.cfg.MemMB
+	if !m.cfg.NoHotPageDefense {
+		avail := m.cfg.MemMB - m.cfg.OSBaseMB - ws.HotMB
+		if avail < 0 {
+			avail = 0
+		}
+		if borrowedMB > avail {
+			borrowedMB = avail
+		}
+	}
+	overflow := m.cfg.OSBaseMB + ws.TotalMB + borrowedMB - m.cfg.MemMB
+	if overflow < 0 {
+		return 0
+	}
+	return overflow
+}
+
+// MemMiss returns the fractions of the app's cold and hot pages that are
+// not resident at time t. Hot pages stay resident except in the
+// pathological case where the OS base plus the hot core alone exceed
+// physical memory.
+func (m *Machine) MemMiss(t float64, ws WorkingSet) (coldMiss, hotMiss float64) {
+	coldMB := ws.TotalMB - ws.HotMB
+	if coldMB < 0 {
+		coldMB = 0
+	}
+	overflow := m.memOverflow(t, ws)
+	if coldMB > 0 {
+		coldMiss = overflow / coldMB
+		if coldMiss > 1 {
+			coldMiss = 1
+		}
+	}
+	// Overflow beyond the cold pages spills into the hot core. With the
+	// hot-page defense on (the default), overflow never exceeds coldMB,
+	// so this only fires under the NoHotPageDefense ablation.
+	if spill := overflow - coldMB; spill > 0 && ws.HotMB > 0 {
+		hotMiss = spill / ws.HotMB
+	}
+	// Hot-core pressure independent of the exerciser: a machine whose
+	// base demand exceeds RAM thrashes with or without borrowing.
+	if hotShort := m.cfg.OSBaseMB + ws.HotMB - m.cfg.MemMB; hotShort > 0 && ws.HotMB > 0 {
+		hotMiss += hotShort / ws.HotMB
+	}
+	if hotMiss > 1 {
+		hotMiss = 1
+	}
+	return coldMiss, hotMiss
+}
+
+// FaultCount samples how many of the given page touches fault, given a
+// miss fraction.
+func (m *Machine) FaultCount(touches int, missFrac float64) int {
+	if touches <= 0 || missFrac <= 0 {
+		return 0
+	}
+	if missFrac >= 1 {
+		return touches
+	}
+	n := 0
+	for i := 0; i < touches; i++ {
+		if m.rng.Bool(missFrac) {
+			n++
+		}
+	}
+	return n
+}
+
+// FaultCost returns the wall-clock time to service nfaults page-ins
+// starting at time t. Each fault is a small random disk read; under
+// overflow the exerciser's own touch loop is faulting too (a paging
+// storm), which inflates the effective cost — the steep onset of
+// thrashing the paper is careful to avoid by capping memory contention
+// at 1.0.
+func (m *Machine) FaultCost(t float64, nfaults int, ws WorkingSet) float64 {
+	if nfaults <= 0 {
+		return 0
+	}
+	overflow := m.memOverflow(t, ws)
+	storm := 0.0
+	if overflow > 0 {
+		// Fraction of the paging device consumed by everyone else's
+		// faults; saturates below 1 so costs stay finite.
+		storm = overflow / (overflow + 150)
+		if storm > 0.8 {
+			storm = 0.8
+		}
+	}
+	perFault := m.cfg.DiskSeekMs/1000*m.rng.Range(0.7, 1.3) + m.cfg.PageKB/1024.0/m.cfg.DiskMBps
+	// Faults also queue behind disk-exerciser requests.
+	diskC := m.ContentionAt(testcase.Disk, t)
+	perFault += diskC * m.exerciserServiceTime()
+	return float64(nfaults) * perFault / (1 - storm)
+}

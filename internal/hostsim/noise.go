@@ -1,0 +1,144 @@
+package hostsim
+
+import (
+	"sort"
+
+	"uucs/internal/stats"
+)
+
+// Noise models the background activity of an otherwise quiescent
+// machine: OS services, daemons and interrupt handlers that occasionally
+// grab the CPU or the disk. The paper observes (§3.3.3) that users
+// expressed discomfort even on blank testcases, but only in IE and Quake
+// — "there are sources of jitter on even an otherwise quiescent
+// machine". This component is that jitter source; it is what produces
+// the study's non-zero noise floor.
+type Noise struct {
+	profile NoiseProfile
+	cpu     []window
+	disk    []window
+	horizon float64
+	rng     *stats.Stream
+}
+
+// window is a half-open interval [start, end) during which a background
+// task is active.
+type window struct{ start, end float64 }
+
+// NoiseProfile parameterizes background activity.
+type NoiseProfile struct {
+	// CPUStallMeanGap is the mean time between background CPU bursts.
+	CPUStallMeanGap float64
+	// CPUStallMedian and CPUStallSigma give the lognormal burst length.
+	CPUStallMedian float64
+	CPUStallSigma  float64
+	// CPUStallMax caps burst length (a runaway service would be killed).
+	CPUStallMax float64
+	// DiskBurstMeanGap is the mean time between background disk bursts.
+	DiskBurstMeanGap float64
+	// DiskBurstMedian and DiskBurstSigma give the lognormal burst length.
+	DiskBurstMedian float64
+	DiskBurstSigma  float64
+	// DiskBurstMax caps disk burst length.
+	DiskBurstMax float64
+}
+
+// DefaultNoise is the quiescent-Windows-XP-desktop profile used by the
+// controlled study: a noticeable stall every half minute or so, almost
+// always short.
+func DefaultNoise() NoiseProfile {
+	return NoiseProfile{
+		CPUStallMeanGap:  22,
+		CPUStallMedian:   0.040,
+		CPUStallSigma:    0.9,
+		CPUStallMax:      0.12,
+		DiskBurstMeanGap: 45,
+		DiskBurstMedian:  0.12,
+		DiskBurstSigma:   0.8,
+		DiskBurstMax:     1.0,
+	}
+}
+
+// NoNoise disables background activity, for experiments that need a
+// perfectly clean machine (e.g. exerciser fidelity verification).
+func NoNoise() NoiseProfile { return NoiseProfile{} }
+
+func newNoise(p NoiseProfile, rng *stats.Stream) *Noise {
+	return &Noise{profile: p, rng: rng}
+}
+
+// extend lazily generates noise windows out to time t.
+func (n *Noise) extend(t float64) {
+	if t <= n.horizon {
+		return
+	}
+	target := t + 60 // generate ahead in chunks
+	if n.profile.CPUStallMeanGap > 0 {
+		n.cpu = extendWindows(n.cpu, n.horizon, target, n.rng,
+			n.profile.CPUStallMeanGap, n.profile.CPUStallMedian, n.profile.CPUStallSigma, n.profile.CPUStallMax)
+	}
+	if n.profile.DiskBurstMeanGap > 0 {
+		n.disk = extendWindows(n.disk, n.horizon, target, n.rng,
+			n.profile.DiskBurstMeanGap, n.profile.DiskBurstMedian, n.profile.DiskBurstSigma, n.profile.DiskBurstMax)
+	}
+	n.horizon = target
+}
+
+func extendWindows(ws []window, from, to float64, rng *stats.Stream, gap, median, sigma, maxLen float64) []window {
+	t := from
+	if len(ws) > 0 && ws[len(ws)-1].end > t {
+		t = ws[len(ws)-1].end
+	}
+	for {
+		t += rng.Exp(gap)
+		if t >= to {
+			break
+		}
+		d := rng.LognormMedian(median, sigma)
+		if d > maxLen {
+			d = maxLen
+		}
+		ws = append(ws, window{start: t, end: t + d})
+		t += d
+	}
+	return ws
+}
+
+// inWindows reports whether t falls inside any window.
+func inWindows(ws []window, t float64) bool {
+	i := sort.Search(len(ws), func(i int) bool { return ws[i].end > t })
+	return i < len(ws) && ws[i].start <= t
+}
+
+// CPUBusy returns 1 if a background CPU task is running at time t.
+func (n *Noise) CPUBusy(t float64) float64 {
+	n.extend(t)
+	if inWindows(n.cpu, t) {
+		return 1
+	}
+	return 0
+}
+
+// DiskBusy returns 1 if background disk I/O is in flight at time t.
+func (n *Noise) DiskBusy(t float64) float64 {
+	n.extend(t)
+	if inWindows(n.disk, t) {
+		return 1
+	}
+	return 0
+}
+
+// nextCPUChange returns the next time after t at which the background CPU
+// activity toggles, or +infDuration if none before the horizon needed.
+func (n *Noise) nextCPUChange(t float64) float64 {
+	n.extend(t + 1)
+	i := sort.Search(len(n.cpu), func(i int) bool { return n.cpu[i].end > t })
+	if i >= len(n.cpu) {
+		return t + 1 // no change within the generated horizon chunk
+	}
+	w := n.cpu[i]
+	if w.start > t {
+		return w.start
+	}
+	return w.end
+}

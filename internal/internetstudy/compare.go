@@ -1,0 +1,39 @@
+package internetstudy
+
+import (
+	"fmt"
+
+	"uucs/internal/analysis"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// CompareToControlled tests whether the fleet's discomfort levels for a
+// resource are statistically consistent with the controlled study's —
+// the §4 question of whether the Internet study's "better estimates for
+// the aggregated resource CDFs" agree with the lab. A non-significant
+// KS result means the fleet data refines the same distribution; a
+// significant one means the populations genuinely differ (different
+// hardware mix, different task mix, self-selection).
+func CompareToControlled(fleet *Results, controlled *analysis.DB, res testcase.Resource) (stats.KSResult, error) {
+	fleetLevels := discomfortLevels(fleet.DB, res)
+	labLevels := discomfortLevels(controlled, res)
+	if len(fleetLevels) < 5 || len(labLevels) < 5 {
+		return stats.KSResult{}, fmt.Errorf("internetstudy: too few discomforted %s runs to compare (%d fleet, %d lab)",
+			res, len(fleetLevels), len(labLevels))
+	}
+	return stats.KSTest(fleetLevels, labLevels)
+}
+
+// discomfortLevels extracts the discomfort levels of a resource's ramp
+// runs.
+func discomfortLevels(db *analysis.DB, res testcase.Resource) []float64 {
+	runs := db.Filter(analysis.ByResource(res), analysis.ByShape(testcase.ShapeRamp), analysis.Discomforted())
+	var out []float64
+	for _, r := range runs {
+		if lvl, ok := r.Level(); ok {
+			out = append(out, lvl)
+		}
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+// Package internetstudy simulates the paper's Internet-wide study (§4):
+// a fleet of heterogeneous hosts, each running the UUCS client, with
+// Poisson arrivals of testcase executions and periodic hot syncs against
+// a real server over the loopback network. The paper ran this study to
+// sharpen the aggregated CDF estimates, to broaden the context coverage,
+// and "to measure the effect of the raw performance of the machine,
+// which was not studied in our controlled study" — this package includes
+// that host-speed analysis.
+package internetstudy
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"uucs/internal/analysis"
+	"uucs/internal/apps"
+	"uucs/internal/client"
+	"uucs/internal/comfort"
+	"uucs/internal/core"
+	"uucs/internal/hostsim"
+	"uucs/internal/protocol"
+	"uucs/internal/server"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// Config parameterizes a fleet simulation.
+type Config struct {
+	// Hosts is the number of participating machines (the paper had
+	// "about 100 users").
+	Hosts int
+	// RunsPerHost is how many testcase executions each host performs.
+	RunsPerHost int
+	// TestcaseCount is the server's testcase population (the paper had
+	// over 2000).
+	TestcaseCount int
+	// SyncEvery makes each host hot sync after this many runs.
+	SyncEvery int
+	// MeanGap is the mean time between testcase executions on a host in
+	// seconds of simulated wall-clock (Poisson arrivals).
+	MeanGap float64
+	// WorkDir hosts the per-client stores (text files, as in the paper).
+	WorkDir string
+	// Seed drives everything.
+	Seed uint64
+	// Population parameterizes the user models.
+	Population comfort.PopulationParams
+}
+
+// DefaultConfig mirrors the paper's scale. TestcaseCount is kept to a
+// few hundred so the default run stays fast; raise it to 2000+ for the
+// full population.
+func DefaultConfig(workDir string) Config {
+	return Config{
+		Hosts:         100,
+		RunsPerHost:   12,
+		TestcaseCount: 400,
+		SyncEvery:     4,
+		MeanGap:       1800,
+		WorkDir:       workDir,
+		Seed:          2004,
+		Population:    comfort.DefaultPopulation(),
+	}
+}
+
+// Host describes one fleet member.
+type Host struct {
+	// ID indexes the host; runs carry it as the user id.
+	ID int
+	// Machine is the host's hardware.
+	Machine hostsim.Config
+	// User is the person behind it.
+	User *comfort.User
+	// ClientID is the server-assigned identifier.
+	ClientID string
+}
+
+// Results holds everything the fleet produced.
+type Results struct {
+	Config Config
+	Hosts  []*Host
+	// Runs is every uploaded run record (from the server's store).
+	Runs []*core.Run
+	DB   *analysis.DB
+}
+
+// Run simulates the fleet: starts a server, populates its testcase
+// store, runs every host's client lifecycle (register, sync, execute
+// with Poisson arrivals, sync), and collects the uploaded results.
+func Run(cfg Config) (*Results, error) {
+	if cfg.Hosts <= 0 || cfg.RunsPerHost <= 0 {
+		return nil, fmt.Errorf("internetstudy: need positive hosts and runs per host")
+	}
+	if cfg.WorkDir == "" {
+		return nil, fmt.Errorf("internetstudy: need a work directory for client stores")
+	}
+	if cfg.SyncEvery <= 0 {
+		cfg.SyncEvery = 4
+	}
+	rng := stats.NewStream(cfg.Seed)
+
+	// Server with the testcase population.
+	srv := server.New(rng.Uint64())
+	gen := testcase.DefaultGeneratorConfig()
+	gen.Count = cfg.TestcaseCount
+	tcs, err := testcase.Generate("inet", gen, rng.Fork())
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.AddTestcases(tcs...); err != nil {
+		return nil, err
+	}
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	users, err := comfort.SamplePopulation(cfg.Hosts, cfg.Population, rng.Uint64())
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Results{Config: cfg}
+	for i := 0; i < cfg.Hosts; i++ {
+		host := &Host{ID: i, Machine: sampleMachine(rng.Fork()), User: users[i]}
+		if err := runHost(cfg, addr, host, rng.Fork()); err != nil {
+			return nil, fmt.Errorf("internetstudy: host %d: %w", i, err)
+		}
+		res.Hosts = append(res.Hosts, host)
+	}
+	res.Runs = srv.Results()
+	res.DB = analysis.NewDB(res.Runs)
+	return res, nil
+}
+
+// sampleMachine draws a heterogeneous host configuration — the spread of
+// desktop hardware an open Internet study would see around 2004.
+func sampleMachine(s *stats.Stream) hostsim.Config {
+	memChoices := []float64{256, 384, 512, 768, 1024}
+	mem := memChoices[s.IntN(len(memChoices))]
+	return hostsim.Config{
+		Name:       fmt.Sprintf("host-%08x", uint32(s.Uint64())),
+		CPUGHz:     s.Range(0.8, 3.2),
+		MemMB:      mem,
+		OSBaseMB:   s.Range(90, 140),
+		DiskSeekMs: s.Range(6, 14),
+		DiskMBps:   s.Range(20, 60),
+		PageKB:     4,
+	}
+}
+
+// taskWeights is the fleet's foreground-task mix: mostly office work and
+// browsing, with a gaming minority.
+var taskWeights = []struct {
+	task testcase.Task
+	w    float64
+}{
+	{testcase.Word, 0.30},
+	{testcase.Powerpoint, 0.15},
+	{testcase.IE, 0.40},
+	{testcase.Quake, 0.15},
+}
+
+func sampleTask(s *stats.Stream) testcase.Task {
+	u := s.Float64()
+	acc := 0.0
+	for _, tw := range taskWeights {
+		acc += tw.w
+		if u < acc {
+			return tw.task
+		}
+	}
+	return taskWeights[len(taskWeights)-1].task
+}
+
+// runHost runs one host's client lifecycle.
+func runHost(cfg Config, addr string, host *Host, rng *stats.Stream) error {
+	store, err := client.OpenStore(filepath.Join(cfg.WorkDir, fmt.Sprintf("host-%03d", host.ID)))
+	if err != nil {
+		return err
+	}
+	engine := &core.Engine{Machine: host.Machine, Noise: hostsim.DefaultNoise(), MonitorRate: 0}
+	snap := protocol.Snapshot{
+		Hostname: host.Machine.Name,
+		OS:       "winxp",
+		CPUGHz:   host.Machine.CPUGHz,
+		MemMB:    host.Machine.MemMB,
+		DiskGB:   80,
+	}
+	cl, err := client.New(store, snap, engine, rng.Uint64())
+	if err != nil {
+		return err
+	}
+	if err := cl.Register(addr); err != nil {
+		return err
+	}
+	host.ClientID = cl.ID()
+	if _, err := cl.HotSync(addr); err != nil {
+		return err
+	}
+	// Poisson testcase executions; the simulated wall clock only paces
+	// the arrival process, so we don't sleep.
+	clock := 0.0
+	for r := 0; r < cfg.RunsPerHost; r++ {
+		clock += cl.NextArrival(cfg.MeanGap)
+		tc, err := cl.ChooseTestcase()
+		if err != nil {
+			return err
+		}
+		task := sampleTask(rng)
+		app, err := apps.New(task)
+		if err != nil {
+			return err
+		}
+		// The user model's population index equals the host ID, so run
+		// records are keyed by host automatically.
+		if _, err := cl.ExecuteRun(tc, app, host.User); err != nil {
+			return err
+		}
+		if (r+1)%cfg.SyncEvery == 0 {
+			if _, err := cl.HotSync(addr); err != nil {
+				return err
+			}
+		}
+	}
+	// Final sync flushes remaining results.
+	_, err = cl.HotSync(addr)
+	return err
+}

@@ -1,0 +1,217 @@
+package internetstudy
+
+import (
+	"sync"
+	"testing"
+
+	"uucs/internal/analysis"
+	"uucs/internal/stats"
+	"uucs/internal/study"
+	"uucs/internal/testcase"
+)
+
+var (
+	once   sync.Once
+	fleet  *Results
+	fleetE error
+)
+
+// fixture runs a moderate fleet once and shares it; the full default
+// config is exercised by the benchmark harness.
+func fixture(t *testing.T) *Results {
+	t.Helper()
+	once.Do(func() {
+		cfg := DefaultConfig(t.TempDir())
+		cfg.Hosts = 24
+		cfg.RunsPerHost = 8
+		cfg.TestcaseCount = 120
+		fleet, fleetE = Run(cfg)
+	})
+	if fleetE != nil {
+		t.Fatal(fleetE)
+	}
+	return fleet
+}
+
+func TestFleetShape(t *testing.T) {
+	res := fixture(t)
+	if len(res.Hosts) != 24 {
+		t.Fatalf("hosts = %d", len(res.Hosts))
+	}
+	if len(res.Runs) != 24*8 {
+		t.Fatalf("runs = %d, want %d", len(res.Runs), 24*8)
+	}
+	ids := map[string]bool{}
+	for _, h := range res.Hosts {
+		if h.ClientID == "" {
+			t.Errorf("host %d unregistered", h.ID)
+		}
+		if ids[h.ClientID] {
+			t.Errorf("duplicate client id %s", h.ClientID)
+		}
+		ids[h.ClientID] = true
+		if err := h.Machine.Validate(); err != nil {
+			t.Errorf("host %d machine: %v", h.ID, err)
+		}
+	}
+}
+
+func TestFleetHeterogeneity(t *testing.T) {
+	res := fixture(t)
+	minGHz, maxGHz := 99.0, 0.0
+	mems := map[float64]bool{}
+	for _, h := range res.Hosts {
+		if h.Machine.CPUGHz < minGHz {
+			minGHz = h.Machine.CPUGHz
+		}
+		if h.Machine.CPUGHz > maxGHz {
+			maxGHz = h.Machine.CPUGHz
+		}
+		mems[h.Machine.MemMB] = true
+	}
+	if maxGHz-minGHz < 1.0 {
+		t.Errorf("CPU spread too narrow: %v..%v", minGHz, maxGHz)
+	}
+	if len(mems) < 3 {
+		t.Errorf("memory sizes: %v", mems)
+	}
+}
+
+func TestFleetTaskAndResourceCoverage(t *testing.T) {
+	res := fixture(t)
+	tasks := map[testcase.Task]int{}
+	shapes := map[testcase.Shape]int{}
+	for _, r := range res.Runs {
+		tasks[r.Task]++
+		shapes[r.Shape]++
+	}
+	if len(tasks) < 3 {
+		t.Errorf("task coverage: %v", tasks)
+	}
+	if len(shapes) < 4 {
+		t.Errorf("shape coverage: %v", shapes)
+	}
+	// Some runs must have produced discomfort, some exhaustion.
+	df := len(res.DB.Filter(analysis.Discomforted()))
+	if df == 0 || df == len(res.Runs) {
+		t.Errorf("discomforted = %d of %d, implausible", df, len(res.Runs))
+	}
+}
+
+func TestHostSpeedEffect(t *testing.T) {
+	res := fixture(t)
+	se, err := HostSpeedEffect(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.Slow.Hosts+se.Fast.Hosts != len(res.Hosts) {
+		t.Errorf("split lost hosts: %d+%d", se.Slow.Hosts, se.Fast.Hosts)
+	}
+	if se.Slow.MeanGHz >= se.Fast.MeanGHz {
+		t.Errorf("split means inverted: %v vs %v", se.Slow.MeanGHz, se.Fast.MeanGHz)
+	}
+	if se.String() == "" {
+		t.Error("empty report")
+	}
+}
+
+func TestHostSpeedEffectDirection(t *testing.T) {
+	// With a bigger, CPU-focused fleet, slow hosts must be discomforted
+	// at least as often as fast ones — the emergent raw-speed effect the
+	// paper's Internet study targets.
+	dir := t.TempDir()
+	cfg := DefaultConfig(dir)
+	cfg.Hosts = 40
+	cfg.RunsPerHost = 10
+	cfg.TestcaseCount = 150
+	cfg.Seed = 7
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := HostSpeedEffect(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.Slow.Runs < 20 || se.Fast.Runs < 20 {
+		t.Skipf("too few CPU runs for a stable comparison: %d/%d", se.Slow.Runs, se.Fast.Runs)
+	}
+	if se.Slow.Fd+0.05 < se.Fast.Fd {
+		t.Errorf("slow hosts less discomforted than fast: slow f_d=%v fast f_d=%v", se.Slow.Fd, se.Fast.Fd)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Hosts: 0, RunsPerHost: 1, WorkDir: t.TempDir()}); err == nil {
+		t.Error("zero hosts accepted")
+	}
+	if _, err := Run(Config{Hosts: 1, RunsPerHost: 1}); err == nil {
+		t.Error("missing workdir accepted")
+	}
+}
+
+func TestHostSpeedEffectNeedsHosts(t *testing.T) {
+	if _, err := HostSpeedEffect(&Results{}); err == nil {
+		t.Error("tiny fleet accepted")
+	}
+}
+
+func TestSampleTaskDistribution(t *testing.T) {
+	s := stats.NewStream(9)
+	counts := map[testcase.Task]int{}
+	for i := 0; i < 10000; i++ {
+		counts[sampleTask(s)]++
+	}
+	for _, tw := range taskWeights {
+		frac := float64(counts[tw.task]) / 10000
+		if frac < tw.w-0.03 || frac > tw.w+0.03 {
+			t.Errorf("task %s frequency %v, want ~%v", tw.task, frac, tw.w)
+		}
+	}
+}
+
+func TestMemorySizeSplit(t *testing.T) {
+	res := fixture(t)
+	se, err := MemorySizeSplit(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.Small.Hosts+se.Large.Hosts != len(res.Hosts) {
+		t.Errorf("split lost hosts: %d+%d", se.Small.Hosts, se.Large.Hosts)
+	}
+	if se.Small.MeanMB >= se.Large.MeanMB {
+		t.Errorf("split means inverted: %v vs %v", se.Small.MeanMB, se.Large.MeanMB)
+	}
+	if se.String() == "" {
+		t.Error("empty report")
+	}
+	if _, err := MemorySizeSplit(&Results{}); err == nil {
+		t.Error("tiny fleet accepted")
+	}
+}
+
+func TestCompareToControlled(t *testing.T) {
+	res := fixture(t)
+	cfg := study.DefaultConfig()
+	cfg.Users = 16
+	lab, err := study.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := CompareToControlled(res, lab.DB, testcase.CPU)
+	if err != nil {
+		t.Skipf("not enough discomforted CPU runs in this draw: %v", err)
+	}
+	if ks.D < 0 || ks.D > 1 || ks.P < 0 || ks.P > 1 {
+		t.Errorf("implausible KS result: %+v", ks)
+	}
+	if ks.NA < 5 || ks.NB < 5 {
+		t.Errorf("KS sample sizes: %+v", ks)
+	}
+	// The fleet differs from the lab (heterogeneous hardware, different
+	// task mix), but both measure the same human phenomenon, so the CDFs
+	// should not be wildly disjoint.
+	if ks.D > 0.9 {
+		t.Errorf("fleet and lab CDFs disjoint: D = %v", ks.D)
+	}
+}

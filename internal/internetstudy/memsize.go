@@ -1,0 +1,92 @@
+package internetstudy
+
+import (
+	"fmt"
+	"sort"
+
+	"uucs/internal/analysis"
+	"uucs/internal/core"
+	"uucs/internal/testcase"
+)
+
+// MemorySizeEffect complements the host-speed analysis: memory
+// borrowing is specified as a *fraction* of physical memory, so the same
+// contention level removes twice the megabytes on a 1 GB machine — but
+// the same machine also has twice the slack. The net effect the fleet
+// data shows is that small-memory machines overflow earlier: the OS base
+// and application working sets consume a larger fraction of RAM, so the
+// same borrowed fraction displaces application pages sooner.
+type MemorySizeEffect struct {
+	// SplitMB is the fleet-median memory size.
+	SplitMB float64
+	// Small and Large summarize memory-testcase runs on each half.
+	Small, Large SpeedGroup
+}
+
+// MemorySizeSplit computes the analysis from fleet results.
+func MemorySizeSplit(res *Results) (MemorySizeEffect, error) {
+	if len(res.Hosts) < 4 {
+		return MemorySizeEffect{}, fmt.Errorf("internetstudy: need at least 4 hosts for a memory split")
+	}
+	sizes := make([]float64, len(res.Hosts))
+	byID := make(map[int]*Host, len(res.Hosts))
+	for i, h := range res.Hosts {
+		sizes[i] = h.Machine.MemMB
+		byID[h.ID] = h
+	}
+	sort.Float64s(sizes)
+	median := sizes[len(sizes)/2]
+
+	var se MemorySizeEffect
+	se.SplitMB = median
+	smallMB, largeMB := 0.0, 0.0
+	for _, h := range res.Hosts {
+		if h.Machine.MemMB < median {
+			se.Small.Hosts++
+			smallMB += h.Machine.MemMB
+		} else {
+			se.Large.Hosts++
+			largeMB += h.Machine.MemMB
+		}
+	}
+	if se.Small.Hosts > 0 {
+		se.Small.MeanMB = smallMB / float64(se.Small.Hosts)
+	}
+	if se.Large.Hosts > 0 {
+		se.Large.MeanMB = largeMB / float64(se.Large.Hosts)
+	}
+	smallDf, largeDf := 0, 0
+	for _, r := range res.DB.Filter(analysis.ByResource(testcase.Memory)) {
+		h, ok := byID[r.UserID]
+		if !ok {
+			continue
+		}
+		small := h.Machine.MemMB < median
+		if small {
+			se.Small.Runs++
+		} else {
+			se.Large.Runs++
+		}
+		if r.Terminated == core.Discomfort {
+			if small {
+				smallDf++
+			} else {
+				largeDf++
+			}
+		}
+	}
+	if se.Small.Runs > 0 {
+		se.Small.Fd = float64(smallDf) / float64(se.Small.Runs)
+	}
+	if se.Large.Runs > 0 {
+		se.Large.Fd = float64(largeDf) / float64(se.Large.Runs)
+	}
+	return se, nil
+}
+
+// String renders the analysis.
+func (se MemorySizeEffect) String() string {
+	return fmt.Sprintf("memory split at %.0f MB: small(%d hosts, %.0f MB avg) f_d=%.2f over %d runs; large(%d hosts, %.0f MB avg) f_d=%.2f over %d runs",
+		se.SplitMB, se.Small.Hosts, se.Small.MeanMB, se.Small.Fd, se.Small.Runs,
+		se.Large.Hosts, se.Large.MeanMB, se.Large.Fd, se.Large.Runs)
+}

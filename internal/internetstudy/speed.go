@@ -1,0 +1,126 @@
+package internetstudy
+
+import (
+	"fmt"
+	"sort"
+
+	"uucs/internal/analysis"
+	"uucs/internal/core"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// SpeedEffect answers the paper's open question 6 — "How does the level
+// depend on the raw power of the host?" — by splitting the fleet at the
+// median CPU clock and comparing discomfort with CPU borrowing between
+// the two halves. On a slower machine the same foreground work occupies
+// a larger CPU share, so the same contention level stretches interactive
+// latency further; slow hosts should show a higher discomfort fraction
+// and a lower mean tolerated level.
+type SpeedEffect struct {
+	// MedianGHz is the split point.
+	MedianGHz float64
+	// Slow and Fast summarize CPU-testcase runs on each half.
+	Slow, Fast SpeedGroup
+	// TTest compares discomfort levels between the groups (slow minus
+	// fast; negative Diff means slow hosts tolerate less).
+	TTest stats.TTestResult
+	// TTestOK reports whether both groups had enough discomforted runs
+	// to test.
+	TTestOK bool
+}
+
+// SpeedGroup summarizes one half of the fleet (also reused by the
+// memory-size split, which fills MeanMB instead of MeanGHz).
+type SpeedGroup struct {
+	Hosts   int
+	Runs    int
+	Fd      float64
+	MeanGHz float64
+	MeanMB  float64
+}
+
+// HostSpeedEffect computes the speed analysis from fleet results.
+func HostSpeedEffect(res *Results) (SpeedEffect, error) {
+	if len(res.Hosts) < 4 {
+		return SpeedEffect{}, fmt.Errorf("internetstudy: need at least 4 hosts for a speed split")
+	}
+	speeds := make([]float64, len(res.Hosts))
+	byID := make(map[int]*Host, len(res.Hosts))
+	for i, h := range res.Hosts {
+		speeds[i] = h.Machine.CPUGHz
+		byID[h.ID] = h
+	}
+	sort.Float64s(speeds)
+	median := speeds[len(speeds)/2]
+
+	var se SpeedEffect
+	se.MedianGHz = median
+	var slowLevels, fastLevels []float64
+	slowGHz, fastGHz := 0.0, 0.0
+	for _, h := range res.Hosts {
+		if h.Machine.CPUGHz < median {
+			se.Slow.Hosts++
+			slowGHz += h.Machine.CPUGHz
+		} else {
+			se.Fast.Hosts++
+			fastGHz += h.Machine.CPUGHz
+		}
+	}
+	if se.Slow.Hosts > 0 {
+		se.Slow.MeanGHz = slowGHz / float64(se.Slow.Hosts)
+	}
+	if se.Fast.Hosts > 0 {
+		se.Fast.MeanGHz = fastGHz / float64(se.Fast.Hosts)
+	}
+
+	slowDf, fastDf := 0, 0
+	for _, r := range res.DB.Filter(analysis.ByResource(testcase.CPU)) {
+		h, ok := byID[r.UserID]
+		if !ok {
+			continue
+		}
+		slow := h.Machine.CPUGHz < median
+		if slow {
+			se.Slow.Runs++
+		} else {
+			se.Fast.Runs++
+		}
+		if r.Terminated != core.Discomfort {
+			continue
+		}
+		lvl, ok := r.Level()
+		if !ok {
+			continue
+		}
+		if slow {
+			slowDf++
+			slowLevels = append(slowLevels, lvl)
+		} else {
+			fastDf++
+			fastLevels = append(fastLevels, lvl)
+		}
+	}
+	if se.Slow.Runs > 0 {
+		se.Slow.Fd = float64(slowDf) / float64(se.Slow.Runs)
+	}
+	if se.Fast.Runs > 0 {
+		se.Fast.Fd = float64(fastDf) / float64(se.Fast.Runs)
+	}
+	if tt, err := stats.WelchTTest(slowLevels, fastLevels); err == nil {
+		se.TTest = tt
+		se.TTestOK = true
+	}
+	return se, nil
+}
+
+// String renders the analysis for reports.
+func (se SpeedEffect) String() string {
+	s := fmt.Sprintf("host speed split at %.2f GHz: slow(%d hosts, %.2f GHz avg) f_d=%.2f over %d runs; fast(%d hosts, %.2f GHz avg) f_d=%.2f over %d runs",
+		se.MedianGHz, se.Slow.Hosts, se.Slow.MeanGHz, se.Slow.Fd, se.Slow.Runs,
+		se.Fast.Hosts, se.Fast.MeanGHz, se.Fast.Fd, se.Fast.Runs)
+	if se.TTestOK {
+		s += fmt.Sprintf("; level diff slow-fast = %.3f (p=%.4f)", se.TTest.Diff, se.TTest.P)
+	}
+	return s
+}

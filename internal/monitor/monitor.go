@@ -1,0 +1,77 @@
+// Package monitor records system load for the duration of a testcase
+// run. The paper's client stores "CPU, memory and Disk load measurements
+// for entire duration of the testcase" with every result (§2.3); this
+// package is that recorder, plus summary reduction for analysis.
+package monitor
+
+import (
+	"fmt"
+
+	"uucs/internal/hostsim"
+)
+
+// Recorder collects load samples during one run.
+type Recorder struct {
+	rate    float64
+	samples []hostsim.Load
+}
+
+// NewRecorder returns a recorder sampling at the given rate in Hz.
+func NewRecorder(rate float64) (*Recorder, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("monitor: sample rate must be positive, got %g", rate)
+	}
+	return &Recorder{rate: rate}, nil
+}
+
+// Rate returns the sampling rate in Hz.
+func (r *Recorder) Rate() float64 { return r.rate }
+
+// CaptureRun samples the machine's load from time 0 to end.
+func (r *Recorder) CaptureRun(m *hostsim.Machine, end float64) {
+	step := 1 / r.rate
+	for t := 0.0; t <= end; t += step {
+		r.samples = append(r.samples, m.LoadAt(t))
+	}
+}
+
+// Record appends one externally obtained sample.
+func (r *Recorder) Record(l hostsim.Load) { r.samples = append(r.samples, l) }
+
+// Samples returns the collected samples.
+func (r *Recorder) Samples() []hostsim.Load { return r.samples }
+
+// Summary reduces the recording for reports.
+type Summary struct {
+	N                  int
+	AvgCPU, MaxCPU     float64
+	AvgMem, MaxMem     float64
+	AvgDiskQ, MaxDiskQ float64
+}
+
+// Summarize computes the summary of the recording.
+func (r *Recorder) Summarize() Summary {
+	s := Summary{N: len(r.samples)}
+	if s.N == 0 {
+		return s
+	}
+	for _, l := range r.samples {
+		s.AvgCPU += l.CPU
+		s.AvgMem += l.MemFrac
+		s.AvgDiskQ += l.DiskQ
+		if l.CPU > s.MaxCPU {
+			s.MaxCPU = l.CPU
+		}
+		if l.MemFrac > s.MaxMem {
+			s.MaxMem = l.MemFrac
+		}
+		if l.DiskQ > s.MaxDiskQ {
+			s.MaxDiskQ = l.DiskQ
+		}
+	}
+	n := float64(s.N)
+	s.AvgCPU /= n
+	s.AvgMem /= n
+	s.AvgDiskQ /= n
+	return s
+}

@@ -1,0 +1,75 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+
+	"uucs/internal/hostsim"
+	"uucs/internal/testcase"
+)
+
+func TestNewRecorderValidation(t *testing.T) {
+	if _, err := NewRecorder(0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewRecorder(-1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	r, err := NewRecorder(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rate() != 2 {
+		t.Errorf("Rate = %v", r.Rate())
+	}
+}
+
+func TestCaptureRun(t *testing.T) {
+	m, err := hostsim.NewMachine(hostsim.StudyMachine(), hostsim.NoNoise(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetContention(testcase.CPU, func(tt float64) float64 { return tt / 10 })
+	r, err := NewRecorder(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.CaptureRun(m, 60)
+	samples := r.Samples()
+	if len(samples) != 61 {
+		t.Fatalf("samples = %d, want 61", len(samples))
+	}
+	if samples[0].Time != 0 || math.Abs(samples[30].CPU-3) > 1e-9 {
+		t.Errorf("sample content wrong: %+v", samples[30])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r, err := NewRecorder(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Record(hostsim.Load{Time: 0, CPU: 1, MemFrac: 0.2, DiskQ: 0})
+	r.Record(hostsim.Load{Time: 1, CPU: 3, MemFrac: 0.4, DiskQ: 2})
+	s := r.Summarize()
+	if s.N != 2 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.AvgCPU != 2 || s.MaxCPU != 3 {
+		t.Errorf("cpu summary: %+v", s)
+	}
+	if math.Abs(s.AvgMem-0.3) > 1e-12 || s.MaxMem != 0.4 {
+		t.Errorf("mem summary: %+v", s)
+	}
+	if s.AvgDiskQ != 1 || s.MaxDiskQ != 2 {
+		t.Errorf("disk summary: %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	r, _ := NewRecorder(1)
+	s := r.Summarize()
+	if s.N != 0 || s.AvgCPU != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+}

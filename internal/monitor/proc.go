@@ -1,0 +1,234 @@
+package monitor
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"uucs/internal/hostsim"
+)
+
+// Real system monitoring. The paper's client records actual CPU, memory
+// and disk load on the user's machine for the duration of every run;
+// this file is the live counterpart of the simulated CaptureRun, reading
+// Linux /proc counters. It powers real deployments (cmd/uucs-exercise
+// runs alongside it); on other platforms ProcSampler reports
+// unavailability and callers fall back to simulation-side capture.
+
+// ProcSampler samples live load from /proc.
+type ProcSampler struct {
+	statPath, memPath, diskPath string
+
+	// previous CPU counters for utilization deltas.
+	prevBusy, prevTotal uint64
+	// previous disk io-ticks for utilization deltas.
+	prevIOTicks uint64
+	havePrev    bool
+}
+
+// NewProcSampler returns a sampler over the standard /proc files.
+func NewProcSampler() *ProcSampler {
+	return &ProcSampler{
+		statPath: "/proc/stat",
+		memPath:  "/proc/meminfo",
+		diskPath: "/proc/diskstats",
+	}
+}
+
+// Available reports whether live sampling can work on this system.
+func (p *ProcSampler) Available() bool {
+	_, err1 := os.Stat(p.statPath)
+	_, err2 := os.Stat(p.memPath)
+	return err1 == nil && err2 == nil
+}
+
+// Sample reads one load snapshot. CPU is reported as busy fraction times
+// the CPU count (comparable to contention "tasks"), MemFrac as the used
+// fraction of physical memory, DiskQ as the average I/O utilization
+// across devices. The first call primes the counters and reports zero
+// CPU/disk activity.
+func (p *ProcSampler) Sample(t float64) (hostsim.Load, error) {
+	load := hostsim.Load{Time: t}
+	busy, total, ncpu, err := p.readCPU()
+	if err != nil {
+		return load, err
+	}
+	memFrac, err := p.readMem()
+	if err != nil {
+		return load, err
+	}
+	ioTicks, _ := p.readDisk() // diskstats may be absent in containers
+
+	if p.havePrev && total > p.prevTotal {
+		dBusy := float64(busy - p.prevBusy)
+		dTotal := float64(total - p.prevTotal)
+		load.CPU = dBusy / dTotal * float64(ncpu)
+		// io-ticks are milliseconds of device busy time; normalize by the
+		// wall time the CPU delta spans.
+		wallMs := dTotal / float64(ncpu) * 10 // USER_HZ=100 ticks/s
+		if wallMs > 0 && ioTicks >= p.prevIOTicks {
+			load.DiskQ = float64(ioTicks-p.prevIOTicks) / wallMs
+		}
+	}
+	load.MemFrac = memFrac
+	p.prevBusy, p.prevTotal, p.prevIOTicks = busy, total, ioTicks
+	p.havePrev = true
+	return load, nil
+}
+
+// readCPU parses the aggregate cpu line of /proc/stat and counts CPUs.
+func (p *ProcSampler) readCPU() (busy, total uint64, ncpu int, err error) {
+	f, err := os.Open(p.statPath)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "cpu") && !strings.HasPrefix(line, "cpu ") {
+			ncpu++
+			continue
+		}
+		if !strings.HasPrefix(line, "cpu ") {
+			continue
+		}
+		fields := strings.Fields(line)[1:]
+		vals := make([]uint64, len(fields))
+		for i, s := range fields {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				return 0, 0, 0, fmt.Errorf("monitor: bad /proc/stat field %q: %w", s, err)
+			}
+			vals[i] = v
+		}
+		if len(vals) < 4 {
+			return 0, 0, 0, fmt.Errorf("monitor: short cpu line in %s", p.statPath)
+		}
+		for i, v := range vals {
+			total += v
+			// idle (3) and iowait (4) are the non-busy states.
+			if i != 3 && i != 4 {
+				busy += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, 0, err
+	}
+	if total == 0 {
+		return 0, 0, 0, fmt.Errorf("monitor: no cpu line in %s", p.statPath)
+	}
+	if ncpu == 0 {
+		ncpu = 1
+	}
+	return busy, total, ncpu, nil
+}
+
+// readMem computes the used fraction of physical memory.
+func (p *ProcSampler) readMem() (float64, error) {
+	f, err := os.Open(p.memPath)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var totalKB, availKB float64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[0] {
+		case "MemTotal:":
+			totalKB = v
+		case "MemAvailable:":
+			availKB = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if totalKB <= 0 {
+		return 0, fmt.Errorf("monitor: no MemTotal in %s", p.memPath)
+	}
+	frac := 1 - availKB/totalKB
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return frac, nil
+}
+
+// readDisk sums io-ticks (field 13 of /proc/diskstats) over whole
+// devices, skipping partitions heuristically (names ending in a digit on
+// sd/hd devices are partitions; nvme uses pN suffixes).
+func (p *ProcSampler) readDisk() (uint64, error) {
+	f, err := os.Open(p.diskPath)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var total uint64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 13 {
+			continue
+		}
+		name := fields[2]
+		if isPartition(name) {
+			continue
+		}
+		v, err := strconv.ParseUint(fields[12], 10, 64)
+		if err != nil {
+			continue
+		}
+		total += v
+	}
+	return total, sc.Err()
+}
+
+// isPartition filters partition rows out of diskstats.
+func isPartition(name string) bool {
+	if strings.Contains(name, "loop") || strings.Contains(name, "ram") {
+		return true
+	}
+	if strings.HasPrefix(name, "nvme") {
+		return strings.Contains(name, "p")
+	}
+	if strings.HasPrefix(name, "sd") || strings.HasPrefix(name, "hd") || strings.HasPrefix(name, "vd") {
+		last := name[len(name)-1]
+		return last >= '0' && last <= '9'
+	}
+	return false
+}
+
+// CaptureLive samples the real system every interval for the given
+// duration, appending to the recorder. It is the live analogue of
+// CaptureRun.
+func (r *Recorder) CaptureLive(p *ProcSampler, duration float64, sleep func(seconds float64)) error {
+	if !p.Available() {
+		return fmt.Errorf("monitor: /proc sampling unavailable on this system")
+	}
+	step := 1 / r.rate
+	for t := 0.0; t <= duration; t += step {
+		load, err := p.Sample(t)
+		if err != nil {
+			return err
+		}
+		r.Record(load)
+		if t+step <= duration {
+			sleep(step)
+		}
+	}
+	return nil
+}

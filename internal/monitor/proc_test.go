@@ -1,0 +1,148 @@
+package monitor
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeProc builds fake /proc files for deterministic parsing tests.
+func writeProc(t *testing.T, stat, mem, disk string) *ProcSampler {
+	t.Helper()
+	dir := t.TempDir()
+	p := NewProcSampler()
+	p.statPath = filepath.Join(dir, "stat")
+	p.memPath = filepath.Join(dir, "meminfo")
+	p.diskPath = filepath.Join(dir, "diskstats")
+	for path, content := range map[string]string{p.statPath: stat, p.memPath: mem, p.diskPath: disk} {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+const memSample = `MemTotal:        1000000 kB
+MemFree:          200000 kB
+MemAvailable:     400000 kB
+`
+
+func statSample(busy, idle uint64) string {
+	// user nice system idle iowait irq softirq
+	return "cpu  " + u(busy) + " 0 0 " + u(idle) + " 0 0 0\ncpu0 0 0 0 0 0 0 0\ncpu1 0 0 0 0 0 0 0\n"
+}
+
+func u(v uint64) string {
+	return string(appendUint(nil, v))
+}
+
+func appendUint(b []byte, v uint64) []byte {
+	if v >= 10 {
+		b = appendUint(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}
+
+const diskSample = `   8       0 sda 100 0 0 0 50 0 0 0 0 5000 0
+   8       1 sda1 10 0 0 0 5 0 0 0 0 500 0
+ 259       0 nvme0n1 10 0 0 0 5 0 0 0 0 700 0
+`
+
+func TestProcSamplerParsing(t *testing.T) {
+	p := writeProc(t, statSample(100, 900), memSample, diskSample)
+	if !p.Available() {
+		t.Fatal("fake proc not available")
+	}
+	// First sample primes the counters.
+	l0, err := p.Sample(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l0.CPU != 0 || l0.DiskQ != 0 {
+		t.Errorf("first sample should report zero deltas: %+v", l0)
+	}
+	if l0.MemFrac < 0.59 || l0.MemFrac > 0.61 { // 1 - 400/1000
+		t.Errorf("mem frac = %v, want 0.6", l0.MemFrac)
+	}
+	// Advance the counters: +100 busy, +100 idle over 2 CPUs, disk +200ms.
+	if err := os.WriteFile(p.statPath, []byte(statSample(200, 1000)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	disk2 := `   8       0 sda 100 0 0 0 50 0 0 0 0 5200 0
+ 259       0 nvme0n1 10 0 0 0 5 0 0 0 0 700 0
+`
+	if err := os.WriteFile(p.diskPath, []byte(disk2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l1, err := p.Sample(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// busy delta 100 of total delta 200 over 2 cpus -> 1.0 "tasks".
+	if l1.CPU < 0.99 || l1.CPU > 1.01 {
+		t.Errorf("cpu = %v, want ~1.0", l1.CPU)
+	}
+	// wall = 200/2*10 = 1000ms; disk delta 200ms -> 0.2 utilization.
+	if l1.DiskQ < 0.19 || l1.DiskQ > 0.21 {
+		t.Errorf("diskq = %v, want ~0.2", l1.DiskQ)
+	}
+}
+
+func TestProcSamplerErrors(t *testing.T) {
+	p := writeProc(t, "garbage\n", memSample, diskSample)
+	if _, err := p.Sample(0); err == nil {
+		t.Error("garbage stat accepted")
+	}
+	p = writeProc(t, statSample(1, 1), "NoTotalHere: 5 kB\n", diskSample)
+	if _, err := p.Sample(0); err == nil {
+		t.Error("meminfo without MemTotal accepted")
+	}
+	p = writeProc(t, "cpu  x 0 0 0 0\n", memSample, diskSample)
+	if _, err := p.Sample(0); err == nil {
+		t.Error("non-numeric cpu field accepted")
+	}
+}
+
+func TestIsPartition(t *testing.T) {
+	cases := map[string]bool{
+		"sda": false, "sda1": true, "nvme0n1": false, "nvme0n1p2": true,
+		"vdb": false, "vdb3": true, "loop0": true, "ram1": true, "hdc": false,
+	}
+	for name, want := range cases {
+		if got := isPartition(name); got != want {
+			t.Errorf("isPartition(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestCaptureLiveOnRealProcIfPresent(t *testing.T) {
+	p := NewProcSampler()
+	if !p.Available() {
+		t.Skip("no /proc on this system")
+	}
+	rec, err := NewRecorder(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capture 0.3s with an instant fake sleep to keep the test fast but
+	// the parsing real.
+	if err := rec.CaptureLive(p, 0.3, func(float64) {}); err != nil {
+		t.Fatal(err)
+	}
+	s := rec.Summarize()
+	if s.N < 3 {
+		t.Fatalf("samples = %d", s.N)
+	}
+	if s.MaxMem <= 0 || s.MaxMem > 1 {
+		t.Errorf("live mem frac = %v", s.MaxMem)
+	}
+}
+
+func TestCaptureLiveUnavailable(t *testing.T) {
+	p := NewProcSampler()
+	p.statPath = "/nonexistent/stat"
+	rec, _ := NewRecorder(1)
+	if err := rec.CaptureLive(p, 1, func(float64) {}); err == nil {
+		t.Error("unavailable proc accepted")
+	}
+}

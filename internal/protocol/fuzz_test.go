@@ -1,0 +1,42 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRecv throws arbitrary bytes at the wire decoder: the server reads
+// these straight off TCP connections from untrusted clients, so Recv
+// must never panic and must terminate.
+func FuzzRecv(f *testing.F) {
+	seed := [][]byte{
+		nil,
+		[]byte("{}\n"),
+		[]byte(`{"type":"register","ver":1,"snapshot":{"hostname":"h","cpu_ghz":2,"mem_mb":512}}` + "\n"),
+		[]byte(`{"type":"sync","client_id":"x","have":["a","b"],"want":5}` + "\n"),
+		[]byte(`{"type":"results","payload":"run t\nendrun\n"}` + "\n"),
+		[]byte("not json at all\n"),
+		[]byte(`{"type":1234}` + "\n"),
+		[]byte(`{"type":"ack"`), // truncated
+		bytes.Repeat([]byte("x"), 4096),
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input []byte) {
+		conn := NewConn(rwBuffer{in: bytes.NewBuffer(input), out: &bytes.Buffer{}})
+		for i := 0; i < 16; i++ { // bounded: a stream yields finite messages
+			m, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			if m.Type == "" {
+				t.Fatal("Recv returned a typeless message without error")
+			}
+			// Anything accepted must re-send cleanly.
+			if err := conn.Send(m); err != nil {
+				t.Fatalf("accepted message failed to send: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,180 @@
+// Package protocol defines the wire protocol between UUCS clients and
+// the server (paper Figure 1). There are exactly two interactions, both
+// initiated by the client: registration, where the client presents a
+// detailed hardware/software snapshot and receives a globally unique
+// identifier, and hot sync, where the client downloads new testcases (a
+// growing random sample) and uploads new results.
+//
+// Messages are JSON objects, one per line, over a TCP connection.
+// Testcases and run records travel inside messages in their text-store
+// encodings, so the same bytes that sit in the on-disk stores cross the
+// wire.
+package protocol
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version; mismatches are rejected at
+// registration.
+const Version = 1
+
+// MsgType discriminates protocol messages.
+type MsgType string
+
+// Message types.
+const (
+	// TypeRegister carries a machine snapshot; the server answers with
+	// TypeRegistered.
+	TypeRegister   MsgType = "register"
+	TypeRegistered MsgType = "registered"
+	// TypeSync requests a batch of new testcases; the server answers
+	// with TypeTestcases.
+	TypeSync      MsgType = "sync"
+	TypeTestcases MsgType = "testcases"
+	// TypeResults uploads run records; the server answers with TypeAck.
+	TypeResults MsgType = "results"
+	TypeAck     MsgType = "ack"
+	// TypeError reports a server-side failure.
+	TypeError MsgType = "error"
+)
+
+// Snapshot is the detailed machine description presented at
+// registration (paper §2: "providing it with a detailed snapshot of the
+// hardware and software of the client machine").
+type Snapshot struct {
+	Hostname string   `json:"hostname"`
+	OS       string   `json:"os"`
+	CPUGHz   float64  `json:"cpu_ghz"`
+	MemMB    float64  `json:"mem_mb"`
+	DiskGB   float64  `json:"disk_gb"`
+	Apps     []string `json:"apps,omitempty"`
+}
+
+// Validate checks the snapshot for the fields the server needs to
+// associate results with hardware classes.
+func (s Snapshot) Validate() error {
+	if s.Hostname == "" {
+		return fmt.Errorf("protocol: snapshot missing hostname")
+	}
+	if s.CPUGHz <= 0 || s.MemMB <= 0 {
+		return fmt.Errorf("protocol: snapshot has implausible hardware (cpu %g GHz, mem %g MB)", s.CPUGHz, s.MemMB)
+	}
+	return nil
+}
+
+// Message is the single wire envelope.
+type Message struct {
+	Type MsgType `json:"type"`
+	// Ver is the protocol version (TypeRegister only).
+	Ver int `json:"ver,omitempty"`
+	// Snapshot accompanies TypeRegister.
+	Snapshot *Snapshot `json:"snapshot,omitempty"`
+	// ClientID identifies the client after registration.
+	ClientID string `json:"client_id,omitempty"`
+	// Have lists testcase IDs already held (TypeSync), so the server
+	// extends the client's random sample instead of resending.
+	Have []string `json:"have,omitempty"`
+	// Want is the number of new testcases requested (TypeSync).
+	Want int `json:"want,omitempty"`
+	// Payload carries text-encoded testcases (TypeTestcases) or run
+	// records (TypeResults).
+	Payload string `json:"payload,omitempty"`
+	// Count reports how many items were accepted (TypeAck) or returned
+	// (TypeTestcases).
+	Count int `json:"count,omitempty"`
+	// Err is the error text (TypeError).
+	Err string `json:"err,omitempty"`
+}
+
+// Conn frames Messages over any stream.
+type Conn struct {
+	r *bufio.Reader
+	w *bufio.Writer
+	c io.Closer
+}
+
+// maxLine bounds a single message; testcase payloads are sizable but a
+// 2000-testcase store is still only a few MB.
+const maxLine = 64 << 20
+
+// NewConn wraps a stream. If rw also implements io.Closer, Close closes
+// it.
+func NewConn(rw io.ReadWriter) *Conn {
+	c, _ := rw.(io.Closer)
+	r := bufio.NewReaderSize(rw, 64<<10)
+	return &Conn{r: r, w: bufio.NewWriter(rw), c: c}
+}
+
+// Send writes one message.
+func (c *Conn) Send(m Message) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("protocol: marshal: %w", err)
+	}
+	if len(b) > maxLine {
+		return fmt.Errorf("protocol: message too large (%d bytes)", len(b))
+	}
+	if _, err := c.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Recv reads one message.
+func (c *Conn) Recv() (Message, error) {
+	var m Message
+	line, err := c.readLine()
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(line, &m); err != nil {
+		return m, fmt.Errorf("protocol: bad message: %w", err)
+	}
+	if m.Type == "" {
+		return m, fmt.Errorf("protocol: message without type")
+	}
+	return m, nil
+}
+
+func (c *Conn) readLine() ([]byte, error) {
+	var buf []byte
+	for {
+		chunk, isPrefix, err := c.r.ReadLine()
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, chunk...)
+		if len(buf) > maxLine {
+			return nil, fmt.Errorf("protocol: line exceeds %d bytes", maxLine)
+		}
+		if !isPrefix {
+			return buf, nil
+		}
+	}
+}
+
+// Close closes the underlying stream when it is closable.
+func (c *Conn) Close() error {
+	if c.c != nil {
+		return c.c.Close()
+	}
+	return nil
+}
+
+// SendError is a server helper for reporting a failure in-band.
+func (c *Conn) SendError(err error) error {
+	return c.Send(Message{Type: TypeError, Err: err.Error()})
+}
+
+// AsError converts a TypeError message into a Go error, passing other
+// messages through.
+func AsError(m Message) error {
+	if m.Type == TypeError {
+		return fmt.Errorf("protocol: server error: %s", m.Err)
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"uucs/internal/core"
+	"uucs/internal/protocol"
+	"uucs/internal/testcase"
+)
+
+// Server-side permanent storage. Like the client, the paper's server
+// stores testcases and results in text files; this file round-trips the
+// server's full state (testcase store, result store, client registry)
+// through a directory so restarts lose nothing.
+
+// State file names.
+const (
+	serverTestcases = "testcases.txt"
+	serverResults   = "results.txt"
+	serverClients   = "clients.txt"
+)
+
+// clientRecord is one line of the client registry.
+type clientRecord struct {
+	ID       string            `json:"id"`
+	Snapshot protocol.Snapshot `json:"snapshot"`
+}
+
+// SaveState writes the server's stores to dir (creating it if needed).
+func (s *Server) SaveState(dir string) error {
+	if dir == "" {
+		return fmt.Errorf("server: empty state directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	tcs := make([]*testcase.Testcase, len(s.testcases))
+	copy(tcs, s.testcases)
+	runs := make([]*core.Run, len(s.results))
+	copy(runs, s.results)
+	clients := make([]clientRecord, 0, len(s.clients))
+	for id, snap := range s.clients {
+		clients = append(clients, clientRecord{ID: id, Snapshot: snap})
+	}
+	nextID := s.nextID
+	s.mu.Unlock()
+
+	if err := writeFileAtomic(filepath.Join(dir, serverTestcases), func(f *os.File) error {
+		return testcase.EncodeAll(f, tcs)
+	}); err != nil {
+		return err
+	}
+	if err := writeFileAtomic(filepath.Join(dir, serverResults), func(f *os.File) error {
+		return core.EncodeRuns(f, runs, true)
+	}); err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(dir, serverClients), func(f *os.File) error {
+		w := bufio.NewWriter(f)
+		fmt.Fprintf(w, "# next-id %d\n", nextID)
+		for _, c := range clients {
+			b, err := json.Marshal(c)
+			if err != nil {
+				return err
+			}
+			w.Write(b)
+			w.WriteByte('\n')
+		}
+		return w.Flush()
+	})
+}
+
+// LoadState restores a server's stores from dir. Missing files are
+// treated as empty stores, so a fresh directory loads cleanly.
+func (s *Server) LoadState(dir string) error {
+	if dir == "" {
+		return fmt.Errorf("server: empty state directory")
+	}
+	tcs, err := loadTestcases(filepath.Join(dir, serverTestcases))
+	if err != nil {
+		return err
+	}
+	runs, err := loadRuns(filepath.Join(dir, serverResults))
+	if err != nil {
+		return err
+	}
+	clients, nextID, err := loadClients(filepath.Join(dir, serverClients))
+	if err != nil {
+		return err
+	}
+	if err := s.AddTestcases(tcs...); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.results = append(s.results, runs...)
+	for _, c := range clients {
+		s.clients[c.ID] = c.Snapshot
+	}
+	if nextID > s.nextID {
+		s.nextID = nextID
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+func loadTestcases(path string) ([]*testcase.Testcase, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return testcase.DecodeAll(f)
+}
+
+func loadRuns(path string) ([]*core.Run, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.DecodeRuns(f)
+}
+
+func loadClients(path string) ([]clientRecord, int, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	var out []clientRecord
+	nextID := 0
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if n, err := fmt.Sscanf(text, "# next-id %d", &nextID); n == 1 && err == nil {
+			continue
+		}
+		var c clientRecord
+		if err := json.Unmarshal([]byte(text), &c); err != nil {
+			return nil, 0, fmt.Errorf("server: clients line %d: %w", line, err)
+		}
+		if c.ID == "" {
+			return nil, 0, fmt.Errorf("server: clients line %d: empty id", line)
+		}
+		out = append(out, c)
+	}
+	return out, nextID, sc.Err()
+}
+
+func writeFileAtomic(path string, fill func(*os.File) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := fill(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"uucs/internal/core"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+func TestSaveLoadStateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := New(1)
+	tcs, err := testcase.Generate("p", testcase.GeneratorConfig{
+		Count: 15, Rate: 1, Duration: 20,
+		BlankFraction: 0.1, QueueFraction: 0.4, MaxCPU: 10, MaxDisk: 7,
+	}, stats.NewStream(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTestcases(tcs...); err != nil {
+		t.Fatal(err)
+	}
+	id := s.register(testSnapshot())
+	s.addResults([]*core.Run{{
+		TestcaseID: "p-00001", Task: testcase.IE, UserID: 3,
+		Terminated: core.Discomfort, Offset: 55,
+		PrimaryResource: testcase.Disk,
+		Levels:          map[testcase.Resource]float64{testcase.Disk: 2.5},
+		LastFive:        map[testcase.Resource][]float64{testcase.Disk: {2.1, 2.2, 2.3, 2.4, 2.5}},
+	}})
+	if err := s.SaveState(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := New(2)
+	if err := restored.LoadState(dir); err != nil {
+		t.Fatal(err)
+	}
+	if restored.TestcaseCount() != 15 {
+		t.Errorf("testcases = %d", restored.TestcaseCount())
+	}
+	runs := restored.Results()
+	if len(runs) != 1 || runs[0].Offset != 55 || runs[0].LastFive[testcase.Disk][4] != 2.5 {
+		t.Errorf("results = %+v", runs)
+	}
+	snap, ok := restored.Snapshot(id)
+	if !ok || snap.Hostname != "host" {
+		t.Errorf("client registry lost: %v %v", snap, ok)
+	}
+	// New registrations after a restore must not collide with old ids.
+	id2 := restored.register(testSnapshot())
+	if id2 == id {
+		t.Error("restored server reissued an existing id")
+	}
+}
+
+func TestLoadStateEmptyDir(t *testing.T) {
+	s := New(1)
+	if err := s.LoadState(t.TempDir()); err != nil {
+		t.Fatalf("fresh dir: %v", err)
+	}
+	if s.TestcaseCount() != 0 || len(s.Results()) != 0 {
+		t.Error("fresh dir produced state")
+	}
+	if err := s.LoadState(""); err == nil {
+		t.Error("empty dir path accepted")
+	}
+	if err := s.SaveState(""); err == nil {
+		t.Error("empty save path accepted")
+	}
+}
+
+func TestLoadStateCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, serverClients), []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(1)
+	if err := s.LoadState(dir); err == nil {
+		t.Error("corrupt client registry accepted")
+	}
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, serverTestcases), []byte("bogus\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := New(1).LoadState(dir2); err == nil {
+		t.Error("corrupt testcase store accepted")
+	}
+	dir3 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir3, serverClients), []byte(`{"id":"","snapshot":{}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := New(1).LoadState(dir3); err == nil {
+		t.Error("empty client id accepted")
+	}
+}
+
+func TestStatePersistsAcrossServeCycle(t *testing.T) {
+	dir := t.TempDir()
+	s, addr := startServer(t, 10)
+	conn := dialT(t, addr)
+	register(t, conn)
+	if err := s.SaveState(dir); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(7)
+	if err := s2.LoadState(dir); err != nil {
+		t.Fatal(err)
+	}
+	if s2.ClientCount() != 1 || s2.TestcaseCount() != 10 {
+		t.Errorf("restored: clients=%d testcases=%d", s2.ClientCount(), s2.TestcaseCount())
+	}
+}

@@ -1,0 +1,257 @@
+// Package server implements the UUCS server (paper Figure 1): it stores
+// testcases and results in text form, registers clients by handing out
+// globally unique identifiers for their machine snapshots, serves
+// growing random samples of testcases at hot sync, and collects uploaded
+// results for the analysis phase (Figure 2).
+package server
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"uucs/internal/core"
+	"uucs/internal/protocol"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// Server is a UUCS server. All methods are safe for concurrent use; one
+// goroutine is spawned per client connection.
+type Server struct {
+	mu        sync.Mutex
+	testcases []*testcase.Testcase
+	tcIndex   map[string]int
+	results   []*core.Run
+	clients   map[string]protocol.Snapshot
+	nextID    int
+	rng       *stats.Stream
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// New returns an empty server. seed drives the random testcase sampling.
+func New(seed uint64) *Server {
+	return &Server{
+		tcIndex: make(map[string]int),
+		clients: make(map[string]protocol.Snapshot),
+		rng:     stats.NewStream(seed),
+	}
+}
+
+// AddTestcases adds testcases to the store; new testcases can be added
+// to the server at any time and propagate to clients at their next hot
+// sync. Duplicate IDs are replaced.
+func (s *Server) AddTestcases(tcs ...*testcase.Testcase) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, tc := range tcs {
+		if err := tc.Validate(); err != nil {
+			return err
+		}
+		if i, ok := s.tcIndex[tc.ID]; ok {
+			s.testcases[i] = tc
+			continue
+		}
+		s.tcIndex[tc.ID] = len(s.testcases)
+		s.testcases = append(s.testcases, tc)
+	}
+	return nil
+}
+
+// TestcaseCount returns the number of stored testcases.
+func (s *Server) TestcaseCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.testcases)
+}
+
+// Results returns a copy of all uploaded run records.
+func (s *Server) Results() []*core.Run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*core.Run, len(s.results))
+	copy(out, s.results)
+	return out
+}
+
+// ClientCount returns the number of registered clients.
+func (s *Server) ClientCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.clients)
+}
+
+// Snapshot returns the registration snapshot for a client id.
+func (s *Server) Snapshot(clientID string) (protocol.Snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap, ok := s.clients[clientID]
+	return snap, ok
+}
+
+// register assigns a globally unique identifier to a snapshot.
+func (s *Server) register(snap protocol.Snapshot) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := fmt.Sprintf("uucs-%06d-%08x", s.nextID, uint32(s.rng.Uint64()))
+	s.clients[id] = snap
+	return id
+}
+
+// sample returns up to want testcases the client does not yet have,
+// chosen uniformly at random — combined with the client's local random
+// choice and Poisson execution times, this makes the fleet execute a
+// random sample with respect to testcases, users, and times (§2).
+func (s *Server) sample(have map[string]bool, want int) []*testcase.Testcase {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var candidates []*testcase.Testcase
+	for _, tc := range s.testcases {
+		if !have[tc.ID] {
+			candidates = append(candidates, tc)
+		}
+	}
+	if want >= len(candidates) {
+		return candidates
+	}
+	s.rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	return candidates[:want]
+}
+
+// addResults ingests uploaded run records.
+func (s *Server) addResults(runs []*core.Run) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.results = append(s.results, runs...)
+}
+
+// Serve accepts connections on ln until Close. It blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(protocol.NewConn(conn))
+		}()
+	}
+}
+
+// ListenAndServe listens on addr (e.g. "127.0.0.1:0") and serves in a
+// background goroutine, returning the bound address.
+func (s *Server) ListenAndServe(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		_ = s.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops accepting and waits for in-flight sessions.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// handle runs one client session: any number of requests until EOF.
+func (s *Server) handle(conn *protocol.Conn) {
+	defer conn.Close()
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return // EOF or broken connection
+		}
+		if err := s.dispatch(conn, msg); err != nil {
+			_ = conn.SendError(err)
+		}
+	}
+}
+
+func (s *Server) dispatch(conn *protocol.Conn, msg protocol.Message) error {
+	switch msg.Type {
+	case protocol.TypeRegister:
+		if msg.Ver != protocol.Version {
+			return fmt.Errorf("unsupported protocol version %d", msg.Ver)
+		}
+		if msg.Snapshot == nil {
+			return fmt.Errorf("register without snapshot")
+		}
+		if err := msg.Snapshot.Validate(); err != nil {
+			return err
+		}
+		id := s.register(*msg.Snapshot)
+		return conn.Send(protocol.Message{Type: protocol.TypeRegistered, ClientID: id})
+
+	case protocol.TypeSync:
+		if err := s.checkClient(msg.ClientID); err != nil {
+			return err
+		}
+		want := msg.Want
+		if want <= 0 {
+			want = 16
+		}
+		have := make(map[string]bool, len(msg.Have))
+		for _, id := range msg.Have {
+			have[id] = true
+		}
+		tcs := s.sample(have, want)
+		var b strings.Builder
+		if err := testcase.EncodeAll(&b, tcs); err != nil {
+			return err
+		}
+		return conn.Send(protocol.Message{Type: protocol.TypeTestcases, Payload: b.String(), Count: len(tcs)})
+
+	case protocol.TypeResults:
+		if err := s.checkClient(msg.ClientID); err != nil {
+			return err
+		}
+		runs, err := core.DecodeRuns(strings.NewReader(msg.Payload))
+		if err != nil {
+			return fmt.Errorf("bad results payload: %w", err)
+		}
+		s.addResults(runs)
+		return conn.Send(protocol.Message{Type: protocol.TypeAck, Count: len(runs)})
+
+	default:
+		return fmt.Errorf("unexpected message type %q", msg.Type)
+	}
+}
+
+func (s *Server) checkClient(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.clients[id]; !ok {
+		return fmt.Errorf("unknown client %q (register first)", id)
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution function over discomfort
+// levels, in the style of the paper's Figures 10-12 and 18. It carries
+// both the observed discomfort levels and the number of censored
+// ("exhausted") runs that reached the end of their testcase without any
+// feedback; censored runs contribute to the denominator but never to the
+// cumulative count, so the CDF saturates at the paper's f_d rather than at
+// 1.0.
+type CDF struct {
+	levels    []float64 // sorted discomfort levels
+	exhausted int       // censored runs
+}
+
+// NewCDF builds an empirical CDF from the given discomfort levels and a
+// count of exhausted (censored) runs. The input slice is copied.
+func NewCDF(discomfortLevels []float64, exhausted int) *CDF {
+	levels := make([]float64, len(discomfortLevels))
+	copy(levels, discomfortLevels)
+	sort.Float64s(levels)
+	return &CDF{levels: levels, exhausted: exhausted}
+}
+
+// DfCount returns the number of runs that ended in discomfort, matching
+// the DfCount label on the paper's CDF plots.
+func (c *CDF) DfCount() int { return len(c.levels) }
+
+// ExCount returns the number of exhausted (censored) runs, matching the
+// ExCount label on the paper's CDF plots.
+func (c *CDF) ExCount() int { return c.exhausted }
+
+// N returns the total number of runs behind the CDF.
+func (c *CDF) N() int { return len(c.levels) + c.exhausted }
+
+// Fd returns f_d = DfCount / (DfCount + ExCount), the fraction of runs
+// that provoked discomfort (paper Figure 14).
+func (c *CDF) Fd() float64 {
+	if c.N() == 0 {
+		return 0
+	}
+	return float64(c.DfCount()) / float64(c.N())
+}
+
+// At returns the cumulative fraction of runs discomforted at contention
+// level <= x.
+func (c *CDF) At(x float64) float64 {
+	if c.N() == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.levels, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(c.N())
+}
+
+// Percentile returns c_p: the contention level at which fraction p of all
+// runs have expressed discomfort (paper's c_0.05 uses p = 0.05). It
+// returns (0, false) when the CDF never reaches p within the explored
+// range — the paper's "insufficient information" case (marked * in
+// Figure 15).
+func (c *CDF) Percentile(p float64) (float64, bool) {
+	if c.N() == 0 || p <= 0 {
+		return 0, false
+	}
+	need := p * float64(c.N())
+	idx := int(math.Ceil(need)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(c.levels) {
+		return 0, false
+	}
+	return c.levels[idx], true
+}
+
+// MeanLevel returns c_a, the average contention level at which discomfort
+// occurred, over discomforted runs only (paper Figure 16). It returns
+// (0, false) when there were no discomforted runs.
+func (c *CDF) MeanLevel() (float64, bool) {
+	if len(c.levels) == 0 {
+		return 0, false
+	}
+	return Mean(c.levels), true
+}
+
+// MeanLevelCI returns c_a together with its two-sided 95% confidence
+// interval, as reported in the paper's Figure 16.
+func (c *CDF) MeanLevelCI() (mean, lo, hi float64, ok bool) {
+	if len(c.levels) == 0 {
+		return 0, 0, 0, false
+	}
+	mean, lo, hi = MeanCI(c.levels, 0.95)
+	return mean, lo, hi, true
+}
+
+// Levels returns a copy of the sorted discomfort levels.
+func (c *CDF) Levels() []float64 {
+	out := make([]float64, len(c.levels))
+	copy(out, c.levels)
+	return out
+}
+
+// Max returns the largest observed discomfort level, or 0 when empty.
+func (c *CDF) Max() float64 {
+	if len(c.levels) == 0 {
+		return 0
+	}
+	return c.levels[len(c.levels)-1]
+}
+
+// Merge returns a new CDF combining the runs behind c and other, used to
+// aggregate per-task CDFs into the paper's all-task Figures 10-12.
+func (c *CDF) Merge(other *CDF) *CDF {
+	levels := make([]float64, 0, len(c.levels)+len(other.levels))
+	levels = append(levels, c.levels...)
+	levels = append(levels, other.levels...)
+	return NewCDF(levels, c.exhausted+other.exhausted)
+}
+
+// Render draws the CDF as an ASCII plot of the given width and height with
+// the DfCount/ExCount annotation used in the paper's figures. xmax bounds
+// the horizontal axis; pass 0 to use the maximum observed level.
+func (c *CDF) Render(title string, width, height int, xmax float64) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	if xmax <= 0 {
+		xmax = c.Max()
+		if xmax <= 0 {
+			xmax = 1
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (DfCount=%d ExCount=%d)\n", title, c.DfCount(), c.ExCount())
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for col := 0; col < width; col++ {
+		x := xmax * float64(col) / float64(width-1)
+		frac := c.At(x)
+		row := int(math.Round(frac * float64(height-1)))
+		if row > height-1 {
+			row = height - 1
+		}
+		grid[height-1-row][col] = '*'
+	}
+	for i, row := range grid {
+		frac := float64(height-1-i) / float64(height-1)
+		fmt.Fprintf(&b, "%5.2f |%s\n", frac, string(row))
+	}
+	fmt.Fprintf(&b, "      +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "       0%*s%.2f\n", width-4, "", xmax)
+	return b.String()
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{0.5, 1.0, 2.0, 3.0}, 4)
+	if c.DfCount() != 4 || c.ExCount() != 4 || c.N() != 8 {
+		t.Fatalf("counts: df=%d ex=%d n=%d", c.DfCount(), c.ExCount(), c.N())
+	}
+	if got := c.Fd(); got != 0.5 {
+		t.Errorf("Fd = %v, want 0.5", got)
+	}
+	if got := c.At(0); got != 0 {
+		t.Errorf("At(0) = %v, want 0", got)
+	}
+	if got := c.At(1.0); got != 0.25 {
+		t.Errorf("At(1.0) = %v, want 0.25", got)
+	}
+	if got := c.At(10); got != 0.5 {
+		t.Errorf("At(10) = %v, want Fd = 0.5", got)
+	}
+}
+
+func TestCDFAtIsInclusive(t *testing.T) {
+	c := NewCDF([]float64{1, 1, 2}, 0)
+	if got := c.At(1); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("At(1) = %v, want 2/3 (inclusive)", got)
+	}
+}
+
+func TestCDFPercentile(t *testing.T) {
+	levels := make([]float64, 100)
+	for i := range levels {
+		levels[i] = float64(i + 1) // 1..100
+	}
+	c := NewCDF(levels, 0)
+	if v, ok := c.Percentile(0.05); !ok || v != 5 {
+		t.Errorf("Percentile(0.05) = %v, %v; want 5, true", v, ok)
+	}
+	if v, ok := c.Percentile(1.0); !ok || v != 100 {
+		t.Errorf("Percentile(1.0) = %v, %v; want 100, true", v, ok)
+	}
+}
+
+func TestCDFPercentileCensored(t *testing.T) {
+	// 5 discomforts among 100 runs: the 5% level exists, but 10% does not —
+	// the paper's "insufficient information" (*) case.
+	c := NewCDF([]float64{1, 2, 3, 4, 5}, 95)
+	if v, ok := c.Percentile(0.05); !ok || v != 5 {
+		t.Errorf("Percentile(0.05) = %v, %v; want 5, true", v, ok)
+	}
+	if _, ok := c.Percentile(0.10); ok {
+		t.Error("Percentile(0.10) should be unavailable with f_d = 0.05")
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil, 0)
+	if c.Fd() != 0 || c.At(1) != 0 {
+		t.Error("empty CDF should report zero everywhere")
+	}
+	if _, ok := c.Percentile(0.05); ok {
+		t.Error("empty CDF has no percentile")
+	}
+	if _, ok := c.MeanLevel(); ok {
+		t.Error("empty CDF has no mean level")
+	}
+}
+
+func TestCDFMeanLevelCI(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5}, 10)
+	mean, lo, hi, ok := c.MeanLevelCI()
+	if !ok {
+		t.Fatal("MeanLevelCI unavailable")
+	}
+	if mean != 3 {
+		t.Errorf("mean = %v, want 3", mean)
+	}
+	if !(lo < mean && mean < hi) {
+		t.Errorf("CI [%v, %v] does not bracket mean %v", lo, hi, mean)
+	}
+	// 95% CI for {1..5}: half-width = t_{0.975,4} * sd/sqrt(5) ≈ 2.776*1.581/2.236 ≈ 1.963.
+	if math.Abs((hi-lo)/2-1.963) > 0.01 {
+		t.Errorf("CI half-width = %v, want ~1.963", (hi-lo)/2)
+	}
+}
+
+func TestCDFMerge(t *testing.T) {
+	a := NewCDF([]float64{1, 3}, 2)
+	b := NewCDF([]float64{2}, 1)
+	m := a.Merge(b)
+	if m.DfCount() != 3 || m.ExCount() != 3 {
+		t.Fatalf("merge counts: df=%d ex=%d", m.DfCount(), m.ExCount())
+	}
+	if got := m.Levels(); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("merged levels not sorted: %v", got)
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	check := func(seed uint64, nLevels, nEx uint8) bool {
+		s := NewStream(seed)
+		levels := make([]float64, int(nLevels%40)+1)
+		for i := range levels {
+			levels[i] = s.Range(0, 10)
+		}
+		c := NewCDF(levels, int(nEx%20))
+		prev := -1.0
+		for x := 0.0; x <= 11; x += 0.25 {
+			v := c.At(x)
+			if v < prev || v < 0 || v > c.Fd()+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFPercentileConsistentWithAt(t *testing.T) {
+	check := func(seed uint64, nLevels uint8) bool {
+		s := NewStream(seed)
+		levels := make([]float64, int(nLevels%40)+5)
+		for i := range levels {
+			levels[i] = s.Range(0, 10)
+		}
+		c := NewCDF(levels, 10)
+		for _, p := range []float64{0.05, 0.1, 0.25} {
+			v, ok := c.Percentile(p)
+			if !ok {
+				continue
+			}
+			if c.At(v) < p-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFRender(t *testing.T) {
+	c := NewCDF([]float64{0.5, 1, 1.5, 2}, 2)
+	out := c.Render("CPU", 40, 8, 0)
+	if !strings.Contains(out, "DfCount=4") || !strings.Contains(out, "ExCount=2") {
+		t.Errorf("render missing counts:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("render contains no plot points")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 11 { // title + 8 rows + axis + label
+		t.Errorf("render has %d lines, want 11:\n%s", len(lines), out)
+	}
+}
+
+func TestCDFRenderEmptyDoesNotPanic(t *testing.T) {
+	c := NewCDF(nil, 0)
+	if out := c.Render("empty", 30, 6, 0); out == "" {
+		t.Error("empty render produced no output")
+	}
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); math.Abs(v-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || StdErr(nil) != 0 {
+		t.Error("empty-slice stats should be 0")
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Error("singleton variance should be 0")
+	}
+	m, lo, hi := MeanCI([]float64{5}, 0.95)
+	if m != 5 || lo != 5 || hi != 5 {
+		t.Errorf("singleton CI = (%v,%v,%v), want degenerate (5,5,5)", m, lo, hi)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.3); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Quantile interp = %v, want 3", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("Min/Max of empty should be 0")
+	}
+}
+
+func TestMeanCICoverageProperty(t *testing.T) {
+	// The 95% CI must bracket the true mean about 95% of the time.
+	s := NewStream(99)
+	hits, trials := 0, 400
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 20)
+		for j := range xs {
+			xs[j] = s.Norm(10, 3)
+		}
+		_, lo, hi := MeanCI(xs, 0.95)
+		if lo <= 10 && 10 <= hi {
+			hits++
+		}
+	}
+	cov := float64(hits) / float64(trials)
+	if cov < 0.90 || cov > 0.99 {
+		t.Errorf("CI coverage = %v, want ~0.95", cov)
+	}
+}
+
+func TestVarianceNonNegativeProperty(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		s := NewStream(seed)
+		xs := make([]float64, int(n%30)+2)
+		for i := range xs {
+			xs[i] = s.Range(-100, 100)
+		}
+		v := Variance(xs)
+		return v >= 0 && !math.IsNaN(v)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileBoundsProperty(t *testing.T) {
+	check := func(seed uint64, n uint8, qraw uint8) bool {
+		s := NewStream(seed)
+		xs := make([]float64, int(n%30)+1)
+		for i := range xs {
+			xs[i] = s.Range(-50, 50)
+		}
+		q := float64(qraw) / 255
+		v := Quantile(xs, q)
+		return v >= Min(xs)-1e-9 && v <= Max(xs)+1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

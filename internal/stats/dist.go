@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dist is a one-dimensional probability distribution that can be sampled
+// from a Stream. Distributions are value types and safe to copy.
+type Dist interface {
+	// Sample draws one variate.
+	Sample(s *Stream) float64
+	// Mean returns the distribution mean (may be +Inf, e.g. Pareto with
+	// alpha <= 1).
+	Mean() float64
+	// String renders the distribution for result files and logs.
+	String() string
+}
+
+// Constant is the degenerate distribution at V.
+type Constant struct{ V float64 }
+
+// Sample implements Dist.
+func (c Constant) Sample(*Stream) float64 { return c.V }
+
+// Mean implements Dist.
+func (c Constant) Mean() float64 { return c.V }
+
+func (c Constant) String() string { return fmt.Sprintf("const(%g)", c.V) }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Dist.
+func (u Uniform) Sample(s *Stream) float64 { return s.Range(u.Lo, u.Hi) }
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%g,%g)", u.Lo, u.Hi) }
+
+// Exponential has the given mean (rate 1/Mu).
+type Exponential struct{ Mu float64 }
+
+// Sample implements Dist.
+func (e Exponential) Sample(s *Stream) float64 { return s.Exp(e.Mu) }
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 { return e.Mu }
+
+func (e Exponential) String() string { return fmt.Sprintf("exp(%g)", e.Mu) }
+
+// Pareto has scale Xm (minimum) and shape Alpha. The paper's exppar
+// exercise functions draw job sizes from this heavy-tailed distribution
+// (M/G/1 model).
+type Pareto struct{ Xm, Alpha float64 }
+
+// Sample implements Dist.
+func (p Pareto) Sample(s *Stream) float64 { return s.Pareto(p.Xm, p.Alpha) }
+
+// Mean implements Dist. It is +Inf for Alpha <= 1.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+func (p Pareto) String() string { return fmt.Sprintf("pareto(%g,%g)", p.Xm, p.Alpha) }
+
+// Lognormal is parameterized by its Median and the log-space standard
+// deviation Sigma — the form used by the comfort models, where Median is a
+// human-meaningful tolerance and Sigma the population spread.
+type Lognormal struct{ Median, Sigma float64 }
+
+// Sample implements Dist.
+func (l Lognormal) Sample(s *Stream) float64 { return s.LognormMedian(l.Median, l.Sigma) }
+
+// Mean implements Dist.
+func (l Lognormal) Mean() float64 { return l.Median * math.Exp(l.Sigma*l.Sigma/2) }
+
+func (l Lognormal) String() string { return fmt.Sprintf("lognorm(%g,%g)", l.Median, l.Sigma) }
+
+// Normal has the given Mu and Sigma.
+type Normal struct{ Mu, Sigma float64 }
+
+// Sample implements Dist.
+func (n Normal) Sample(s *Stream) float64 { return s.Norm(n.Mu, n.Sigma) }
+
+// Mean implements Dist.
+func (n Normal) Mean() float64 { return n.Mu }
+
+func (n Normal) String() string { return fmt.Sprintf("norm(%g,%g)", n.Mu, n.Sigma) }
+
+// TruncLognormal is a lognormal clamped to [Lo, Hi]; it keeps tolerance
+// samples physically sensible (e.g. a frame-rate tolerance cannot be
+// negative or above the display refresh rate).
+type TruncLognormal struct {
+	Median, Sigma float64
+	Lo, Hi        float64
+}
+
+// Sample implements Dist.
+func (t TruncLognormal) Sample(s *Stream) float64 {
+	v := s.LognormMedian(t.Median, t.Sigma)
+	if v < t.Lo {
+		return t.Lo
+	}
+	if v > t.Hi {
+		return t.Hi
+	}
+	return v
+}
+
+// Mean implements Dist. It returns the untruncated mean clamped to the
+// bounds, which is adequate for reporting.
+func (t TruncLognormal) Mean() float64 {
+	m := t.Median * math.Exp(t.Sigma*t.Sigma/2)
+	if m < t.Lo {
+		return t.Lo
+	}
+	if m > t.Hi {
+		return t.Hi
+	}
+	return m
+}
+
+func (t TruncLognormal) String() string {
+	return fmt.Sprintf("trunclognorm(%g,%g,[%g,%g])", t.Median, t.Sigma, t.Lo, t.Hi)
+}

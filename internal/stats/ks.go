@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Two-sample Kolmogorov-Smirnov test. The Internet-wide study's purpose
+// includes "creat[ing] better estimates for the aggregated resource
+// CDFs" (§4); the KS statistic quantifies how far the fleet's CDF sits
+// from the controlled study's, and whether the difference is within
+// sampling noise.
+
+// KSResult is the outcome of a two-sample KS test.
+type KSResult struct {
+	// D is the supremum distance between the two empirical CDFs.
+	D float64
+	// P approximates the two-sided p-value of observing D under the null
+	// hypothesis that both samples come from one distribution
+	// (asymptotic Kolmogorov distribution with the small-sample
+	// correction).
+	P float64
+	// NA, NB are the sample sizes.
+	NA, NB int
+}
+
+// Significant reports whether the distributions differ at level alpha.
+func (r KSResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// String renders the result.
+func (r KSResult) String() string {
+	return fmt.Sprintf("KS D=%.3f p=%.4f (n=%d vs %d)", r.D, r.P, r.NA, r.NB)
+}
+
+// KSTest performs the two-sample Kolmogorov-Smirnov test on raw samples.
+func KSTest(a, b []float64) (KSResult, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return KSResult{}, fmt.Errorf("stats: KS test needs non-empty samples (got %d, %d)", len(a), len(b))
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	na, nb := float64(len(as)), float64(len(bs))
+
+	d := 0.0
+	i, j := 0, 0
+	for i < len(as) && j < len(bs) {
+		x := math.Min(as[i], bs[j])
+		for i < len(as) && as[i] <= x {
+			i++
+		}
+		for j < len(bs) && bs[j] <= x {
+			j++
+		}
+		if diff := math.Abs(float64(i)/na - float64(j)/nb); diff > d {
+			d = diff
+		}
+	}
+	ne := na * nb / (na + nb)
+	// Asymptotic Kolmogorov distribution with Stephens' correction.
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return KSResult{D: d, P: kolmogorovQ(lambda), NA: len(a), NB: len(b)}, nil
+}
+
+// kolmogorovQ is the survival function of the Kolmogorov distribution:
+// Q(λ) = 2 Σ_{k≥1} (-1)^{k-1} exp(-2 k² λ²).
+func kolmogorovQ(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k)*float64(k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	q := 2 * sum
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKSIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	r, err := KSTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.D != 0 {
+		t.Errorf("D = %v for identical samples", r.D)
+	}
+	if r.P < 0.99 {
+		t.Errorf("p = %v for identical samples", r.P)
+	}
+}
+
+func TestKSSameDistribution(t *testing.T) {
+	s := NewStream(4)
+	falsePos, trials := 0, 200
+	for i := 0; i < trials; i++ {
+		a := make([]float64, 60)
+		b := make([]float64, 60)
+		for j := range a {
+			a[j] = s.Norm(0, 1)
+			b[j] = s.Norm(0, 1)
+		}
+		r, err := KSTest(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Significant(0.05) {
+			falsePos++
+		}
+	}
+	rate := float64(falsePos) / float64(trials)
+	if rate > 0.10 {
+		t.Errorf("false positive rate = %v, want ~0.05", rate)
+	}
+}
+
+func TestKSDifferentDistributions(t *testing.T) {
+	s := NewStream(5)
+	a := make([]float64, 100)
+	b := make([]float64, 100)
+	for i := range a {
+		a[i] = s.Norm(0, 1)
+		b[i] = s.Norm(1.2, 1)
+	}
+	r, err := KSTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Significant(0.01) {
+		t.Errorf("shifted distributions not detected: %v", r)
+	}
+	if r.D < 0.3 {
+		t.Errorf("D = %v, want substantial", r.D)
+	}
+}
+
+func TestKSKnownD(t *testing.T) {
+	// a entirely below b: D must be 1.
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	r, err := KSTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.D-1) > 1e-12 {
+		t.Errorf("D = %v, want 1", r.D)
+	}
+	if r.P > 0.1 {
+		t.Errorf("p = %v for disjoint samples", r.P)
+	}
+}
+
+func TestKSValidation(t *testing.T) {
+	if _, err := KSTest(nil, []float64{1}); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if KSResult.String(KSResult{D: 0.5, P: 0.01, NA: 3, NB: 4}) == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestKolmogorovQ(t *testing.T) {
+	if q := kolmogorovQ(0); q != 1 {
+		t.Errorf("Q(0) = %v", q)
+	}
+	// Known value: Q(1.36) ≈ 0.049 (the classic 5% critical point).
+	if q := kolmogorovQ(1.36); math.Abs(q-0.049) > 0.003 {
+		t.Errorf("Q(1.36) = %v, want ~0.049", q)
+	}
+	if q := kolmogorovQ(3); q > 1e-6 {
+		t.Errorf("Q(3) = %v, want ~0", q)
+	}
+}

@@ -1,0 +1,165 @@
+// Package stats provides the statistical substrate for UUCS: deterministic
+// random number streams, the distributions used by exercise functions and
+// user models, empirical CDFs, descriptive statistics with confidence
+// intervals, and unpaired t-tests as used in the paper's skill-level
+// analysis (Figure 17).
+//
+// Everything in this package is deterministic given a seed, which makes the
+// controlled study (internal/study) exactly reproducible run-to-run.
+package stats
+
+import "math"
+
+// Stream is a deterministic pseudo-random number stream based on the
+// splitmix64 generator. It is intentionally independent of math/rand so
+// that study results are stable across Go releases. Stream is not safe for
+// concurrent use; derive independent streams with Fork.
+type Stream struct {
+	state uint64
+	// spare holds a cached second normal variate from the polar method.
+	spare    float64
+	hasSpare bool
+}
+
+// NewStream returns a stream seeded with seed. Streams with distinct seeds
+// are effectively independent.
+func NewStream(seed uint64) *Stream {
+	// Avoid the all-zero state producing a short low-entropy prefix.
+	return &Stream{state: seed ^ 0x9e3779b97f4a7c15}
+}
+
+// Fork derives a new independent stream from the current one. The parent
+// advances by one step, so forking is itself deterministic.
+func (s *Stream) Fork() *Stream {
+	return NewStream(s.Uint64() ^ 0xbf58476d1ce4e5b9)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// IntN returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Stream) IntN(n int) int {
+	if n <= 0 {
+		panic("stats: IntN with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (s *Stream) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// Range returns a uniform variate in [lo, hi).
+func (s *Stream) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Exp returns an exponential variate with the given mean.
+func (s *Stream) Exp(mean float64) float64 {
+	u := s.Float64()
+	for u == 0 {
+		u = s.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Norm returns a normal variate with the given mean and standard
+// deviation, using the Marsaglia polar method.
+func (s *Stream) Norm(mean, stddev float64) float64 {
+	if s.hasSpare {
+		s.hasSpare = false
+		return mean + stddev*s.spare
+	}
+	var u, v, q float64
+	for {
+		u = 2*s.Float64() - 1
+		v = 2*s.Float64() - 1
+		q = u*u + v*v
+		if q > 0 && q < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(q) / q)
+	s.spare = v * f
+	s.hasSpare = true
+	return mean + stddev*u*f
+}
+
+// Lognorm returns a lognormal variate whose underlying normal has mean mu
+// and standard deviation sigma (both in log space). The median of the
+// distribution is exp(mu).
+func (s *Stream) Lognorm(mu, sigma float64) float64 {
+	return math.Exp(s.Norm(mu, sigma))
+}
+
+// LognormMedian returns a lognormal variate with the given median and log-
+// space standard deviation sigma. This is the paper-calibration-friendly
+// parameterization used throughout the comfort models.
+func (s *Stream) LognormMedian(median, sigma float64) float64 {
+	return median * math.Exp(s.Norm(0, sigma))
+}
+
+// Pareto returns a Pareto variate with scale xm (minimum value) and shape
+// alpha. Used by the exppar (M/G/1) exercise-function generator.
+func (s *Stream) Pareto(xm, alpha float64) float64 {
+	u := s.Float64()
+	for u == 0 {
+		u = s.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Poisson returns a Poisson variate with the given mean, using Knuth's
+// method for small means and a normal approximation for large ones.
+func (s *Stream) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := s.Norm(mean, math.Sqrt(mean))
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Perm returns a deterministic pseudo-random permutation of [0, n).
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle performs a Fisher-Yates shuffle of n elements using swap.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.IntN(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,228 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamDeterminism(t *testing.T) {
+	a := NewStream(42)
+	b := NewStream(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with the same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestStreamSeedsDiffer(t *testing.T) {
+	a := NewStream(1)
+	b := NewStream(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds produced %d identical values", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := NewStream(7)
+	child := parent.Fork()
+	// The child must not replay the parent's sequence.
+	p := NewStream(7)
+	p.Uint64() // account for the fork step
+	for i := 0; i < 100; i++ {
+		if child.Uint64() == p.Uint64() {
+			t.Fatalf("forked stream tracked the parent at step %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewStream(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64MeanVariance(t *testing.T) {
+	s := NewStream(11)
+	n := 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.01 {
+		t.Errorf("uniform variance = %v, want ~%v", variance, 1.0/12)
+	}
+}
+
+func TestIntNBounds(t *testing.T) {
+	s := NewStream(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := s.IntN(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("IntN(7) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("IntN(7) hit %d distinct values, want 7", len(seen))
+	}
+}
+
+func TestIntNPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntN(0) did not panic")
+		}
+	}()
+	NewStream(1).IntN(0)
+}
+
+func TestExpMean(t *testing.T) {
+	s := NewStream(9)
+	n := 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.Exp(2.5)
+		if v < 0 {
+			t.Fatalf("negative exponential variate: %v", v)
+		}
+		sum += v
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-2.5) > 0.05 {
+		t.Errorf("exponential mean = %v, want ~2.5", mean)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	s := NewStream(13)
+	n := 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Norm(3, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean-3) > 0.02 {
+		t.Errorf("normal mean = %v, want ~3", mean)
+	}
+	if math.Abs(variance-4) > 0.1 {
+		t.Errorf("normal variance = %v, want ~4", variance)
+	}
+}
+
+func TestLognormMedian(t *testing.T) {
+	s := NewStream(17)
+	n := 100001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = s.LognormMedian(5, 0.5)
+	}
+	med := Quantile(vals, 0.5)
+	if math.Abs(med-5) > 0.15 {
+		t.Errorf("lognormal median = %v, want ~5", med)
+	}
+}
+
+func TestParetoProperties(t *testing.T) {
+	s := NewStream(19)
+	n := 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.Pareto(1.5, 3)
+		if v < 1.5 {
+			t.Fatalf("Pareto variate below scale: %v", v)
+		}
+		sum += v
+	}
+	mean := sum / float64(n)
+	want := 3 * 1.5 / 2.0 // alpha*xm/(alpha-1)
+	if math.Abs(mean-want) > 0.1 {
+		t.Errorf("Pareto mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := NewStream(23)
+	for _, mean := range []float64{0.5, 3, 50} {
+		n := 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += s.Poisson(mean)
+		}
+		got := float64(sum) / float64(n)
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Errorf("Poisson(%v) mean = %v", mean, got)
+		}
+	}
+	if NewStream(1).Poisson(0) != 0 {
+		t.Error("Poisson(0) != 0")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		size := int(n%50) + 1
+		p := NewStream(seed).Perm(size)
+		if len(p) != size {
+			return false
+		}
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := NewStream(29)
+	n := 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", frac)
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := NewStream(31)
+	for i := 0; i < 1000; i++ {
+		v := s.Range(-2, 5)
+		if v < -2 || v >= 5 {
+			t.Fatalf("Range(-2,5) out of bounds: %v", v)
+		}
+	}
+}

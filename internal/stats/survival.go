@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Kaplan-Meier estimation for the discomfort data. The study's exhausted
+// runs are right-censored observations: the user's true discomfort level
+// lies somewhere above the largest contention the testcase explored. The
+// paper's empirical CDFs treat censored runs by letting the CDF saturate
+// at f_d; the Kaplan-Meier estimator uses the censoring information
+// properly and recovers the underlying discomfort distribution the runs
+// sampled — an extension beyond the paper's analysis.
+
+// Censored is one observation for survival estimation.
+type Censored struct {
+	// Level is the contention at discomfort, or the largest explored
+	// contention for censored (exhausted) runs.
+	Level float64
+	// Censored marks an exhausted run.
+	Censored bool
+}
+
+// KMPoint is one step of the Kaplan-Meier curve.
+type KMPoint struct {
+	// Level is the contention level of a discomfort event.
+	Level float64
+	// S is the survival probability just after Level: the estimated
+	// fraction of users still comfortable above it.
+	S float64
+	// AtRisk and Events record the step's inputs.
+	AtRisk, Events int
+}
+
+// KaplanMeier estimates the survival function S(level) = P(comfortable
+// beyond level) from censored discomfort observations. The returned
+// curve is nonincreasing, starting below 1 at the smallest event level.
+func KaplanMeier(obs []Censored) ([]KMPoint, error) {
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("stats: Kaplan-Meier needs observations")
+	}
+	sorted := make([]Censored, len(obs))
+	copy(sorted, obs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Level < sorted[j].Level })
+
+	var curve []KMPoint
+	s := 1.0
+	i := 0
+	n := len(sorted)
+	for i < n {
+		level := sorted[i].Level
+		events, censored := 0, 0
+		j := i
+		for j < n && sorted[j].Level == level {
+			if sorted[j].Censored {
+				censored++
+			} else {
+				events++
+			}
+			j++
+		}
+		atRisk := n - i
+		if events > 0 {
+			s *= 1 - float64(events)/float64(atRisk)
+			curve = append(curve, KMPoint{Level: level, S: s, AtRisk: atRisk, Events: events})
+		}
+		_ = censored // censored observations only shrink the risk set
+		i = j
+	}
+	if len(curve) == 0 {
+		return nil, fmt.Errorf("stats: all %d observations censored; no events to estimate from", n)
+	}
+	return curve, nil
+}
+
+// KMQuantile returns the smallest level at which the estimated
+// discomfort probability 1-S reaches p, or (0, false) when the curve
+// never reaches it (possible with heavy censoring).
+func KMQuantile(curve []KMPoint, p float64) (float64, bool) {
+	if p <= 0 || p >= 1 {
+		return 0, false
+	}
+	for _, pt := range curve {
+		if 1-pt.S >= p-1e-12 {
+			return pt.Level, true
+		}
+	}
+	return 0, false
+}
+
+// KMDiscomfortAt returns the estimated discomfort probability at the
+// given level (1 - S(level)).
+func KMDiscomfortAt(curve []KMPoint, level float64) float64 {
+	p := 0.0
+	for _, pt := range curve {
+		if pt.Level > level {
+			break
+		}
+		p = 1 - pt.S
+	}
+	return p
+}
+
+// KMMedianLevel returns the level at which half the population is
+// estimated to be discomforted, when reached.
+func KMMedianLevel(curve []KMPoint) (float64, bool) { return KMQuantile(curve, 0.5) }
+
+// ValidateKM checks the invariants of a curve (for tests and callers
+// that construct curves manually).
+func ValidateKM(curve []KMPoint) error {
+	prevLevel := math.Inf(-1)
+	prevS := 1.0
+	for i, pt := range curve {
+		if pt.Level <= prevLevel {
+			return fmt.Errorf("stats: KM level not increasing at %d", i)
+		}
+		if pt.S < 0 || pt.S > prevS+1e-12 {
+			return fmt.Errorf("stats: KM survival not nonincreasing at %d (%g after %g)", i, pt.S, prevS)
+		}
+		if pt.Events <= 0 || pt.AtRisk <= 0 {
+			return fmt.Errorf("stats: KM step %d has no events or risk set", i)
+		}
+		prevLevel, prevS = pt.Level, pt.S
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKaplanMeierNoCensoring(t *testing.T) {
+	// Without censoring, KM must match the empirical CDF.
+	obs := []Censored{{1, false}, {2, false}, {3, false}, {4, false}}
+	curve, err := KaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 4 {
+		t.Fatalf("curve steps = %d", len(curve))
+	}
+	wantS := []float64{0.75, 0.5, 0.25, 0}
+	for i, pt := range curve {
+		if math.Abs(pt.S-wantS[i]) > 1e-12 {
+			t.Errorf("step %d S = %v, want %v", i, pt.S, wantS[i])
+		}
+	}
+	if err := ValidateKM(curve); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKaplanMeierTextbookExample(t *testing.T) {
+	// Events at 1 and 3; censored at 2: S(1)=5/6... classic worked
+	// example with n=3: event at 1 (S=2/3), censored at 2, event at 3
+	// (risk set 1, S=0).
+	obs := []Censored{{1, false}, {2, true}, {3, false}}
+	curve, err := KaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 2 {
+		t.Fatalf("steps = %d", len(curve))
+	}
+	if math.Abs(curve[0].S-2.0/3.0) > 1e-12 {
+		t.Errorf("S after first event = %v, want 2/3", curve[0].S)
+	}
+	if math.Abs(curve[1].S-0) > 1e-12 {
+		t.Errorf("S after last event = %v, want 0", curve[1].S)
+	}
+}
+
+func TestKaplanMeierCensoringRaisesEstimate(t *testing.T) {
+	// The naive CDF treats exhausted runs as never-discomforted, which
+	// underestimates discomfort probability at explored levels when
+	// censoring is informative. KM corrects upward.
+	obs := []Censored{
+		{1, false}, {2, true}, {2, true}, {3, false},
+	}
+	curve, err := KaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kmAt3 := KMDiscomfortAt(curve, 3)
+	naive := 2.0 / 4.0 // CDF: 2 of 4 discomforted by level 3
+	if kmAt3 <= naive {
+		t.Errorf("KM discomfort at 3 = %v, want > naive %v", kmAt3, naive)
+	}
+}
+
+func TestKaplanMeierAllCensored(t *testing.T) {
+	if _, err := KaplanMeier([]Censored{{1, true}, {2, true}}); err == nil {
+		t.Error("all-censored input accepted")
+	}
+	if _, err := KaplanMeier(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestKMQuantile(t *testing.T) {
+	obs := make([]Censored, 100)
+	for i := range obs {
+		obs[i] = Censored{Level: float64(i + 1)}
+	}
+	curve, err := KaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := KMQuantile(curve, 0.05); !ok || v != 5 {
+		t.Errorf("KMQuantile(0.05) = %v, %v", v, ok)
+	}
+	if v, ok := KMMedianLevel(curve); !ok || v != 50 {
+		t.Errorf("median = %v, %v", v, ok)
+	}
+	if _, ok := KMQuantile(curve, 0); ok {
+		t.Error("p=0 accepted")
+	}
+	// Heavy censoring: the median may be unreachable.
+	obs2 := []Censored{{1, false}, {2, true}, {2, true}, {2, true}, {2, true}}
+	curve2, err := KaplanMeier(obs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := KMQuantile(curve2, 0.9); ok {
+		t.Error("unreachable quantile reported")
+	}
+}
+
+func TestKMDiscomfortAtBelowFirstEvent(t *testing.T) {
+	curve, err := KaplanMeier([]Censored{{2, false}, {3, false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := KMDiscomfortAt(curve, 1); got != 0 {
+		t.Errorf("discomfort below first event = %v", got)
+	}
+}
+
+func TestKaplanMeierInvariantsProperty(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		s := NewStream(seed)
+		obs := make([]Censored, int(n%60)+2)
+		hasEvent := false
+		for i := range obs {
+			obs[i] = Censored{Level: s.Range(0, 8), Censored: s.Bool(0.4)}
+			if !obs[i].Censored {
+				hasEvent = true
+			}
+		}
+		curve, err := KaplanMeier(obs)
+		if !hasEvent {
+			return err != nil
+		}
+		if err != nil {
+			return false
+		}
+		return ValidateKM(curve) == nil
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

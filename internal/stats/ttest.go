@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// TTestResult carries the outcome of an unpaired two-sample t-test, as
+// used in the paper's Figure 17 to compare discomfort levels between
+// user-perceived skill classes.
+type TTestResult struct {
+	T    float64 // t statistic
+	DF   float64 // degrees of freedom
+	P    float64 // two-sided p-value
+	Diff float64 // mean(a) - mean(b); the paper's "Diff" column
+	NA   int     // sample size of a
+	NB   int     // sample size of b
+}
+
+// Significant reports whether the two-sided p-value is below alpha.
+func (r TTestResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// String renders the result in the style of the paper's Figure 17 rows.
+func (r TTestResult) String() string {
+	return fmt.Sprintf("t=%.3f df=%.1f p=%.4f diff=%.3f (n=%d vs %d)", r.T, r.DF, r.P, r.Diff, r.NA, r.NB)
+}
+
+// WelchTTest performs an unpaired two-sample t-test without assuming equal
+// variances (Welch's test, with the Welch–Satterthwaite degrees of
+// freedom). It returns an error when either sample has fewer than two
+// observations or when both samples have zero variance.
+func WelchTTest(a, b []float64) (TTestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, fmt.Errorf("stats: t-test needs >= 2 samples per group (got %d, %d)", len(a), len(b))
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	se2 := va/na + vb/nb
+	if se2 == 0 {
+		return TTestResult{}, fmt.Errorf("stats: t-test with zero variance in both groups")
+	}
+	t := (ma - mb) / math.Sqrt(se2)
+	df := se2 * se2 / ((va*va)/(na*na*(na-1)) + (vb*vb)/(nb*nb*(nb-1)))
+	p := 2 * TCDF(-math.Abs(t), df)
+	return TTestResult{T: t, DF: df, P: p, Diff: ma - mb, NA: len(a), NB: len(b)}, nil
+}
+
+// PairedTTest performs a paired t-test on matched samples a[i], b[i]: a
+// one-sample t-test of the differences against zero. The study's
+// frog-in-the-pot analysis (§3.3.5) pairs each user's ramp and step runs
+// this way.
+func PairedTTest(a, b []float64) (TTestResult, error) {
+	if len(a) != len(b) {
+		return TTestResult{}, fmt.Errorf("stats: paired t-test needs equal lengths (got %d, %d)", len(a), len(b))
+	}
+	if len(a) < 2 {
+		return TTestResult{}, fmt.Errorf("stats: paired t-test needs >= 2 pairs (got %d)", len(a))
+	}
+	d := make([]float64, len(a))
+	for i := range a {
+		d[i] = a[i] - b[i]
+	}
+	se := StdErr(d)
+	if se == 0 {
+		return TTestResult{}, fmt.Errorf("stats: paired t-test with zero variance")
+	}
+	df := float64(len(d) - 1)
+	t := Mean(d) / se
+	p := 2 * TCDF(-math.Abs(t), df)
+	return TTestResult{T: t, DF: df, P: p, Diff: Mean(d), NA: len(a), NB: len(b)}, nil
+}
+
+// PooledTTest performs the classic unpaired t-test assuming equal
+// variances, with n_a + n_b - 2 degrees of freedom. The paper does not
+// state which variant it used; both are provided and the study harness
+// defaults to Welch, which is the safer choice for unequal group sizes.
+func PooledTTest(a, b []float64) (TTestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, fmt.Errorf("stats: t-test needs >= 2 samples per group (got %d, %d)", len(a), len(b))
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	df := na + nb - 2
+	sp2 := ((na-1)*va + (nb-1)*vb) / df
+	se := math.Sqrt(sp2 * (1/na + 1/nb))
+	if se == 0 {
+		return TTestResult{}, fmt.Errorf("stats: t-test with zero pooled variance")
+	}
+	t := (ma - mb) / se
+	p := 2 * TCDF(-math.Abs(t), df)
+	return TTestResult{T: t, DF: df, P: p, Diff: ma - mb, NA: len(a), NB: len(b)}, nil
+}

@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	cases := []struct{ a, b, x, want float64 }{
+		{1, 1, 0.5, 0.5},   // uniform CDF
+		{1, 1, 0.25, 0.25}, // uniform CDF
+		{2, 2, 0.5, 0.5},   // symmetric
+		{2, 1, 0.5, 0.25},  // I_x(2,1) = x^2
+		{1, 2, 0.5, 0.75},  // I_x(1,2) = 1-(1-x)^2
+		{5, 3, 1, 1},
+		{5, 3, 0, 0},
+	}
+	for _, c := range cases {
+		if got := RegIncBeta(c.a, c.b, c.x); math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("RegIncBeta(%v,%v,%v) = %v, want %v", c.a, c.b, c.x, got, c.want)
+		}
+	}
+}
+
+func TestTCDFKnownValues(t *testing.T) {
+	// Reference values from standard t tables.
+	cases := []struct{ tt, nu, want, tol float64 }{
+		{0, 5, 0.5, 1e-12},
+		{1.812, 10, 0.95, 1e-3},   // t_{0.95,10}
+		{2.228, 10, 0.975, 1e-3},  // t_{0.975,10}
+		{-2.228, 10, 0.025, 1e-3}, // symmetry
+		{2.776, 4, 0.975, 1e-3},   // t_{0.975,4}
+		{1.96, 1e6, 0.975, 1e-3},  // converges to normal
+	}
+	for _, c := range cases {
+		if got := TCDF(c.tt, c.nu); math.Abs(got-c.want) > c.tol {
+			t.Errorf("TCDF(%v,%v) = %v, want %v", c.tt, c.nu, got, c.want)
+		}
+	}
+}
+
+func TestTInvRoundTrip(t *testing.T) {
+	for _, nu := range []float64{1, 4, 10, 30, 100} {
+		for _, p := range []float64{0.025, 0.05, 0.5, 0.9, 0.975} {
+			x := TInv(p, nu)
+			if got := TCDF(x, nu); math.Abs(got-p) > 1e-6 {
+				t.Errorf("TCDF(TInv(%v,%v)) = %v", p, nu, got)
+			}
+		}
+	}
+}
+
+func TestTInvKnownValue(t *testing.T) {
+	if got := TInv(0.975, 4); math.Abs(got-2.776) > 1e-3 {
+		t.Errorf("t_{0.975,4} = %v, want 2.776", got)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5}, {1.96, 0.975}, {-1.96, 0.025},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); math.Abs(got-c.want) > 1e-3 {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestWelchTTestSeparatedGroups(t *testing.T) {
+	a := []float64{5.1, 5.3, 4.9, 5.2, 5.0, 5.1, 4.8, 5.2}
+	b := []float64{3.0, 3.2, 2.9, 3.1, 3.0, 2.8, 3.1, 3.2}
+	r, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P > 1e-6 {
+		t.Errorf("clearly separated groups: p = %v", r.P)
+	}
+	if math.Abs(r.Diff-2.0375) > 1e-9 {
+		t.Errorf("Diff = %v, want 2.0375", r.Diff)
+	}
+	if !r.Significant(0.05) {
+		t.Error("expected significance at alpha=0.05")
+	}
+}
+
+func TestWelchTTestIdenticalGroups(t *testing.T) {
+	s := NewStream(123)
+	a := make([]float64, 50)
+	b := make([]float64, 50)
+	for i := range a {
+		a[i] = s.Norm(10, 2)
+		b[i] = s.Norm(10, 2)
+	}
+	r, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P < 0.001 {
+		t.Errorf("same-distribution groups improbably significant: p = %v", r.P)
+	}
+}
+
+func TestTTestErrors(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected error for tiny sample")
+	}
+	if _, err := WelchTTest([]float64{1, 1}, []float64{2, 2}); err == nil {
+		t.Error("expected error for zero variance in both groups")
+	}
+	if _, err := PooledTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected pooled error for tiny sample")
+	}
+	if _, err := PooledTTest([]float64{1, 1}, []float64{1, 1}); err == nil {
+		t.Error("expected pooled error for zero variance")
+	}
+}
+
+func TestPooledMatchesWelchForEqualVariance(t *testing.T) {
+	s := NewStream(7)
+	a := make([]float64, 40)
+	b := make([]float64, 40)
+	for i := range a {
+		a[i] = s.Norm(5, 1)
+		b[i] = s.Norm(6, 1)
+	}
+	w, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PooledTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w.T-p.T) > 0.05 {
+		t.Errorf("Welch t=%v vs pooled t=%v diverge for equal variances", w.T, p.T)
+	}
+}
+
+func TestTTestFalsePositiveRate(t *testing.T) {
+	// With the null hypothesis true, p < 0.05 must occur about 5% of the
+	// time — this validates the whole p-value pipeline end to end.
+	s := NewStream(55)
+	sig, trials := 0, 500
+	for i := 0; i < trials; i++ {
+		a := make([]float64, 15)
+		b := make([]float64, 15)
+		for j := range a {
+			a[j] = s.Norm(0, 1)
+			b[j] = s.Norm(0, 1)
+		}
+		r, err := WelchTTest(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Significant(0.05) {
+			sig++
+		}
+	}
+	rate := float64(sig) / float64(trials)
+	if rate < 0.02 || rate > 0.09 {
+		t.Errorf("false positive rate = %v, want ~0.05", rate)
+	}
+}
+
+func TestDistInterfaces(t *testing.T) {
+	s := NewStream(77)
+	dists := []Dist{
+		Constant{2},
+		Uniform{1, 3},
+		Exponential{2},
+		Pareto{1, 3},
+		Lognormal{2, 0.5},
+		Normal{2, 0.5},
+		TruncLognormal{2, 0.5, 1, 4},
+	}
+	for _, d := range dists {
+		if d.String() == "" {
+			t.Errorf("%T has empty String()", d)
+		}
+		n := 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += d.Sample(s)
+		}
+		got := sum / float64(n)
+		want := d.Mean()
+		if math.IsInf(want, 0) {
+			continue
+		}
+		if math.Abs(got-want) > 0.1*want+0.05 {
+			t.Errorf("%s sample mean = %v, analytic mean = %v", d, got, want)
+		}
+	}
+}
+
+func TestTruncLognormalBounds(t *testing.T) {
+	s := NewStream(88)
+	d := TruncLognormal{Median: 2, Sigma: 1, Lo: 1, Hi: 3}
+	for i := 0; i < 5000; i++ {
+		v := d.Sample(s)
+		if v < 1 || v > 3 {
+			t.Fatalf("truncated sample out of bounds: %v", v)
+		}
+	}
+}
+
+func TestParetoInfiniteMean(t *testing.T) {
+	if !math.IsInf(Pareto{1, 1}.Mean(), 1) {
+		t.Error("Pareto alpha<=1 should have infinite mean")
+	}
+}

@@ -1,0 +1,156 @@
+package study
+
+import (
+	"fmt"
+	"strings"
+
+	"uucs/internal/analysis"
+	"uucs/internal/apps"
+	"uucs/internal/hostsim"
+	"uucs/internal/testcase"
+)
+
+// Ablations rerun the controlled study with one model mechanism removed
+// at a time, demonstrating that each is load-bearing for a specific
+// paper finding (DESIGN.md motivates them):
+//
+//   - no-jitter: background OS activity and game frame spikes off. The
+//     paper's noise floor (blank-testcase discomfort, Figure 9) should
+//     collapse for Quake; IE keeps its network component.
+//   - no-habituation: the frog-in-the-pot term off. The ramp-vs-step
+//     difference (§3.3.5) should shrink toward zero.
+//   - no-fluency-floor: the universal direct-manipulation threshold off;
+//     Powerpoint's knife-edge CPU CDF (c_0.05 = 1.00) should smear
+//     toward low levels.
+//   - no-hot-page-defense: the memory exerciser displaces hot pages too.
+//     Word's memory immunity (Figure 14's 0.00) should break.
+type Ablation struct {
+	// Name identifies the removed mechanism ("baseline" for none).
+	Name string
+	// Configure mutates a study config.
+	Configure func(*Config)
+}
+
+// Ablations returns the standard ablation set, baseline first.
+func Ablations() []Ablation {
+	return []Ablation{
+		{Name: "baseline", Configure: func(*Config) {}},
+		{Name: "no-jitter", Configure: func(cfg *Config) {
+			// Remove both jitter sources: OS background activity and the
+			// game's internal frame spikes. Quake's blank-testcase noise
+			// floor (paper: 0.30) should collapse.
+			cfg.Engine.Noise = hostsim.NoNoise()
+			cfg.AppFactory = func(task testcase.Task) (apps.App, error) {
+				if task != testcase.Quake {
+					return apps.New(task)
+				}
+				p := apps.DefaultQuakeParams()
+				p.SpikeProb = 0
+				return apps.NewQuake(p), nil
+			}
+		}},
+		{Name: "no-habituation", Configure: func(cfg *Config) {
+			cfg.Population.HabituationGain.Median = 1e-9
+		}},
+		{Name: "no-fluency-floor", Configure: func(cfg *Config) {
+			// Fluency judged purely by per-user tolerance instead of the
+			// universal break-at-~2x-normal threshold; the Powerpoint CPU
+			// cliff (paper: c_0.05 = 1.00) should smear downward.
+			cfg.Population.FlowMargin = 1.0
+		}},
+		{Name: "no-hot-page-defense", Configure: func(cfg *Config) {
+			cfg.Engine.Machine.NoHotPageDefense = true
+		}},
+	}
+}
+
+// AblationResult summarizes the metrics each ablation targets.
+type AblationResult struct {
+	Name string
+	// QuakeNoiseFloor is the blank-testcase discomfort probability in
+	// Quake (paper: 0.30; collapses under no-noise).
+	QuakeNoiseFloor float64
+	// OfficeNoiseFloor is the blank-testcase discomfort probability over
+	// Word and Powerpoint (paper: 0.00; explodes without
+	// acclimatization).
+	OfficeNoiseFloor float64
+	// WordMemFd is Word's memory f_d (paper: 0.00; breaks without the
+	// hot-page defense).
+	WordMemFd float64
+	// FrogDiff is the Powerpoint/CPU ramp-minus-step difference (paper:
+	// +0.22; shrinks without habituation).
+	FrogDiff float64
+	// FrogOK reports whether enough pairs existed.
+	FrogOK bool
+	// PPTCPUC05 is the Powerpoint CPU c_0.05 (paper: 1.00; smears
+	// downward without the fluency floor).
+	PPTCPUC05 float64
+	// PPTCPUC05OK reports whether the percentile was reachable.
+	PPTCPUC05OK bool
+}
+
+// RunAblations executes the study once per ablation and collects the
+// targeted metrics.
+func RunAblations(base Config) ([]AblationResult, error) {
+	var out []AblationResult
+	for _, ab := range Ablations() {
+		cfg := base
+		// Deep-copy the engine so ablations do not leak into each other.
+		engine := *base.Engine
+		cfg.Engine = &engine
+		ab.Configure(&cfg)
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("study: ablation %s: %w", ab.Name, err)
+		}
+		out = append(out, summarizeAblation(ab.Name, res))
+	}
+	return out, nil
+}
+
+func summarizeAblation(name string, res *Results) AblationResult {
+	ar := AblationResult{Name: name}
+	for _, row := range res.DB.Breakdown() {
+		switch row.Task {
+		case testcase.Quake:
+			ar.QuakeNoiseFloor = row.NoiseFloor()
+		case testcase.Word, testcase.Powerpoint:
+			// Average the two office tasks.
+			ar.OfficeNoiseFloor += row.NoiseFloor() / 2
+		}
+	}
+	table := res.DB.MetricsTable()
+	if m, err := analysis.Cell(table, testcase.Word, testcase.Memory); err == nil {
+		ar.WordMemFd = m.Fd
+	}
+	if m, err := analysis.Cell(table, testcase.Powerpoint, testcase.CPU); err == nil && m.HasC05 {
+		ar.PPTCPUC05 = m.C05
+		ar.PPTCPUC05OK = true
+	}
+	if fr, err := res.DB.FrogInPot(testcase.Powerpoint, testcase.CPU); err == nil && fr.Pairs >= 5 {
+		ar.FrogDiff = fr.Result.Diff
+		ar.FrogOK = true
+	}
+	return ar
+}
+
+// RenderAblations renders the ablation table.
+func RenderAblations(results []AblationResult) string {
+	var b strings.Builder
+	b.WriteString("Ablations: each removed mechanism breaks one paper finding.\n")
+	fmt.Fprintf(&b, "%-22s %12s %13s %10s %9s %10s\n",
+		"ablation", "quake-noise", "office-noise", "word-mem", "frogdiff", "ppt-c05")
+	for _, r := range results {
+		frog := "n/a"
+		if r.FrogOK {
+			frog = fmt.Sprintf("%+.3f", r.FrogDiff)
+		}
+		c05 := "n/a"
+		if r.PPTCPUC05OK {
+			c05 = fmt.Sprintf("%.2f", r.PPTCPUC05)
+		}
+		fmt.Fprintf(&b, "%-22s %12.2f %13.2f %10.2f %9s %10s\n",
+			r.Name, r.QuakeNoiseFloor, r.OfficeNoiseFloor, r.WordMemFd, frog, c05)
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package study
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	ablOnce sync.Once
+	ablRes  []AblationResult
+	ablErr  error
+)
+
+func ablations(t *testing.T) map[string]AblationResult {
+	t.Helper()
+	ablOnce.Do(func() {
+		ablRes, ablErr = RunAblations(DefaultConfig())
+	})
+	if ablErr != nil {
+		t.Fatal(ablErr)
+	}
+	out := make(map[string]AblationResult, len(ablRes))
+	for _, r := range ablRes {
+		out[r.Name] = r
+	}
+	return out
+}
+
+func TestAblationSetShape(t *testing.T) {
+	abls := Ablations()
+	if len(abls) != 5 || abls[0].Name != "baseline" {
+		t.Fatalf("ablation set: %d entries, first %q", len(abls), abls[0].Name)
+	}
+	res := ablations(t)
+	if len(res) != 5 {
+		t.Fatalf("results: %d", len(res))
+	}
+	table := RenderAblations(ablRes)
+	for name := range res {
+		if !strings.Contains(table, name) {
+			t.Errorf("render missing %q", name)
+		}
+	}
+}
+
+func TestAblationNoJitterCollapsesQuakeNoiseFloor(t *testing.T) {
+	res := ablations(t)
+	base, abl := res["baseline"], res["no-jitter"]
+	if base.QuakeNoiseFloor < 0.15 {
+		t.Fatalf("baseline Quake noise floor = %v, fixture broken", base.QuakeNoiseFloor)
+	}
+	if abl.QuakeNoiseFloor > base.QuakeNoiseFloor/2 {
+		t.Errorf("no-jitter Quake noise floor = %v, want well below baseline %v",
+			abl.QuakeNoiseFloor, base.QuakeNoiseFloor)
+	}
+}
+
+func TestAblationNoHabituationShrinksFrogEffect(t *testing.T) {
+	res := ablations(t)
+	base, abl := res["baseline"], res["no-habituation"]
+	if !base.FrogOK || !abl.FrogOK {
+		t.Skip("insufficient frog pairs in one variant")
+	}
+	if abl.FrogDiff >= base.FrogDiff {
+		t.Errorf("no-habituation frog diff = %v, want below baseline %v", abl.FrogDiff, base.FrogDiff)
+	}
+}
+
+func TestAblationNoFluencyFloorSmearsPPTCliff(t *testing.T) {
+	res := ablations(t)
+	base, abl := res["baseline"], res["no-fluency-floor"]
+	if !base.PPTCPUC05OK || !abl.PPTCPUC05OK {
+		t.Fatal("PPT c05 unavailable")
+	}
+	if abl.PPTCPUC05 >= base.PPTCPUC05*0.75 {
+		t.Errorf("no-fluency-floor PPT c05 = %v, want well below baseline %v",
+			abl.PPTCPUC05, base.PPTCPUC05)
+	}
+}
+
+func TestAblationNoHotPageDefenseBreaksWordImmunity(t *testing.T) {
+	res := ablations(t)
+	base, abl := res["baseline"], res["no-hot-page-defense"]
+	if base.WordMemFd > 0.06 {
+		t.Fatalf("baseline Word memory f_d = %v, fixture broken", base.WordMemFd)
+	}
+	if abl.WordMemFd < 0.15 {
+		t.Errorf("no-hot-page-defense Word memory f_d = %v, immunity should break", abl.WordMemFd)
+	}
+}
+
+func TestAblationsDoNotLeakIntoEachOther(t *testing.T) {
+	// Running the ablation set must leave a fresh default study
+	// unaffected (the configure functions mutate copies).
+	ablations(t)
+	res, err := Run(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 1056 {
+		t.Fatalf("post-ablation default study runs = %d", len(res.Runs))
+	}
+}

@@ -1,0 +1,285 @@
+package study
+
+import (
+	"fmt"
+	"strings"
+
+	"uucs/internal/analysis"
+	"uucs/internal/testcase"
+)
+
+// This file renders the study results as the paper's figures and tables,
+// in plain text. Figure identifiers follow the paper: "9", "10", "11",
+// "12", "13", "14", "15", "16", "17", "18", and "frog" for the §3.3.5
+// ramp-vs-step analysis.
+
+// FigureIDs lists the renderable figures in paper order, plus the
+// Kaplan-Meier extension ("km").
+func FigureIDs() []string {
+	return []string{"9", "10", "11", "12", "13", "14", "15", "16", "17", "18", "frog", "km"}
+}
+
+// Figure renders one figure by identifier.
+func (r *Results) Figure(id string) (string, error) {
+	switch id {
+	case "9":
+		return r.RenderBreakdown(), nil
+	case "10":
+		return r.RenderResourceCDF(testcase.CPU), nil
+	case "11":
+		return r.RenderResourceCDF(testcase.Memory), nil
+	case "12":
+		return r.RenderResourceCDF(testcase.Disk), nil
+	case "13":
+		return r.RenderSensitivity(), nil
+	case "14":
+		return r.RenderFd(), nil
+	case "15":
+		return r.RenderC05(), nil
+	case "16":
+		return r.RenderCa(), nil
+	case "17":
+		return r.RenderSkill(), nil
+	case "18":
+		return r.RenderGrid(), nil
+	case "frog":
+		return r.RenderFrog(), nil
+	case "km":
+		return r.RenderKM(), nil
+	default:
+		return "", fmt.Errorf("study: unknown figure %q (want one of %v)", id, FigureIDs())
+	}
+}
+
+// RenderAll renders every figure.
+func (r *Results) RenderAll() string {
+	var b strings.Builder
+	for _, id := range FigureIDs() {
+		s, err := r.Figure(id)
+		if err != nil {
+			continue
+		}
+		b.WriteString(s)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderBreakdown renders Figure 9.
+func (r *Results) RenderBreakdown() string {
+	var b strings.Builder
+	b.WriteString("Figure 9. Breakdown of runs.\n")
+	for _, row := range r.DB.Breakdown() {
+		label := "Total"
+		if row.Task != "" {
+			label = testcase.TaskLabel(row.Task)
+		}
+		fmt.Fprintf(&b, "%-18s\n", label)
+		fmt.Fprintf(&b, "  %-14s %9s %6s\n", "", "Non-Blank", "Blank")
+		fmt.Fprintf(&b, "  %-14s %9d %6d\n", "Discomforted", row.NonBlankDiscomforted, row.BlankDiscomforted)
+		fmt.Fprintf(&b, "  %-14s %9d %6d\n", "Exhausted", row.NonBlankExhausted, row.BlankExhausted)
+		fmt.Fprintf(&b, "  Prob of discomfort from blank testcase %.2f\n", row.NoiseFloor())
+	}
+	return b.String()
+}
+
+// figureNumber maps a resource to its aggregated-CDF figure number.
+func figureNumber(res testcase.Resource) int {
+	switch res {
+	case testcase.CPU:
+		return 10
+	case testcase.Memory:
+		return 11
+	default:
+		return 12
+	}
+}
+
+// RenderResourceCDF renders Figure 10, 11 or 12.
+func (r *Results) RenderResourceCDF(res testcase.Resource) string {
+	c := r.DB.ResourceCDF(res)
+	name := string(res)
+	if name != "" {
+		name = strings.ToUpper(name[:1]) + name[1:]
+	}
+	title := fmt.Sprintf("Figure %d. CDF of discomfort for %s.", figureNumber(res), name)
+	return c.Render(title, 60, 12, 0)
+}
+
+// RenderGrid renders the Figure 18 grid: a CDF for every context and
+// resource pair.
+func (r *Results) RenderGrid() string {
+	var b strings.Builder
+	b.WriteString("Figure 18. CDFs for each context and resource pair.\n")
+	for _, task := range testcase.Tasks() {
+		for _, res := range testcase.Resources() {
+			c := r.DB.TaskResourceCDF(task, res)
+			title := fmt.Sprintf("%s / %s", testcase.TaskLabel(task), res)
+			b.WriteString(c.Render(title, 48, 8, 0))
+		}
+	}
+	return b.String()
+}
+
+// renderMetricHeader writes the shared table header.
+func renderMetricHeader(b *strings.Builder) {
+	fmt.Fprintf(b, "%-12s %8s %8s %8s\n", "", "CPU", "Memory", "Disk")
+}
+
+// rowLabel names a metrics row.
+func rowLabel(task testcase.Task) string {
+	if task == "" {
+		return "Total"
+	}
+	return testcase.TaskLabel(task)
+}
+
+// RenderFd renders Figure 14 (f_d by task and resource).
+func (r *Results) RenderFd() string {
+	table := r.DB.MetricsTable()
+	var b strings.Builder
+	b.WriteString("Figure 14. f_d by task and resource.\n")
+	renderMetricHeader(&b)
+	for _, task := range append(taskRows(), testcase.Task("")) {
+		fmt.Fprintf(&b, "%-12s", rowLabel(task))
+		for _, res := range testcase.Resources() {
+			m, err := analysis.Cell(table, task, res)
+			if err != nil {
+				fmt.Fprintf(&b, " %8s", "?")
+				continue
+			}
+			fmt.Fprintf(&b, " %8.2f", m.Fd)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderC05 renders Figure 15 (c_0.05 by task and resource; "*" marks
+// insufficient information).
+func (r *Results) RenderC05() string {
+	table := r.DB.MetricsTable()
+	var b strings.Builder
+	b.WriteString("Figure 15. c_0.05 by task and resource (*: insufficient information).\n")
+	renderMetricHeader(&b)
+	for _, task := range append(taskRows(), testcase.Task("")) {
+		fmt.Fprintf(&b, "%-12s", rowLabel(task))
+		for _, res := range testcase.Resources() {
+			m, err := analysis.Cell(table, task, res)
+			if err != nil || !m.HasC05 {
+				fmt.Fprintf(&b, " %8s", "*")
+				continue
+			}
+			fmt.Fprintf(&b, " %8.2f", m.C05)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderCa renders Figure 16 (c_a with 95% confidence intervals).
+func (r *Results) RenderCa() string {
+	table := r.DB.MetricsTable()
+	var b strings.Builder
+	b.WriteString("Figure 16. c_a by task and resource, with 95% CIs (*: insufficient information).\n")
+	fmt.Fprintf(&b, "%-12s %20s %20s %20s\n", "", "CPU", "Memory", "Disk")
+	for _, task := range append(taskRows(), testcase.Task("")) {
+		fmt.Fprintf(&b, "%-12s", rowLabel(task))
+		for _, res := range testcase.Resources() {
+			m, err := analysis.Cell(table, task, res)
+			if err != nil || !m.HasCa {
+				fmt.Fprintf(&b, " %20s", "*")
+				continue
+			}
+			fmt.Fprintf(&b, " %6.2f (%5.2f,%5.2f)", m.Ca, m.CaLo, m.CaHi)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderSensitivity renders Figure 13.
+func (r *Results) RenderSensitivity() string {
+	table := r.DB.MetricsTable()
+	letters := analysis.SensitivityTable(table)
+	var b strings.Builder
+	b.WriteString("Figure 13. User sensitivity by task and resource (Low, Medium, High).\n")
+	renderMetricHeader(&b)
+	for _, task := range append(taskRows(), testcase.Task("")) {
+		fmt.Fprintf(&b, "%-12s", rowLabel(task))
+		for _, res := range testcase.Resources() {
+			fmt.Fprintf(&b, " %8s", letters[task][res])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderSkill renders Figure 17 (significant skill-level differences at
+// p < 0.05).
+func (r *Results) RenderSkill() string {
+	diffs := r.DB.SkillDifferences(r.UserByID(), 0.05)
+	var b strings.Builder
+	b.WriteString("Figure 17. Significant differences based on user-perceived skill level.\n")
+	fmt.Fprintf(&b, "%-12s %-8s %-32s %8s %8s\n", "App", "Rsrc", "Rating", "p", "Diff")
+	for _, d := range diffs {
+		fmt.Fprintf(&b, "%-12s %-8s %-32s %8.3f %8.3f\n",
+			testcase.TaskLabel(d.Task), d.Resource, d.Rating(), d.Result.P, d.Result.Diff)
+	}
+	if len(diffs) == 0 {
+		b.WriteString("(no significant differences at p < 0.05)\n")
+	}
+	return b.String()
+}
+
+// RenderFrog renders the §3.3.5 ramp-vs-step analysis for every
+// task/resource pair with enough data, leading with the paper's
+// Powerpoint/CPU case.
+func (r *Results) RenderFrog() string {
+	var b strings.Builder
+	b.WriteString("Frog-in-the-pot (§3.3.5): ramp vs step tolerated levels.\n")
+	fmt.Fprintf(&b, "%-12s %-8s %6s %10s %8s %8s\n", "App", "Rsrc", "Pairs", "FracRamp>", "Diff", "p")
+	for _, task := range taskRows() {
+		for _, res := range testcase.Resources() {
+			fr, err := r.DB.FrogInPot(task, res)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(&b, "%-12s %-8s %6d %10.2f %8.3f %8.4f\n",
+				testcase.TaskLabel(task), res, fr.Pairs, fr.FracHigherInRamp, fr.Result.Diff, fr.Result.P)
+		}
+	}
+	return b.String()
+}
+
+// RenderKM renders the Kaplan-Meier extension: the censoring-corrected
+// discomfort estimate per resource next to the naive CDF's c_0.05.
+// Exhausted runs are right-censored observations of the user's true
+// tolerance; the KM estimator uses them properly instead of letting the
+// CDF saturate at f_d.
+func (r *Results) RenderKM() string {
+	var b strings.Builder
+	b.WriteString("Kaplan-Meier extension: censoring-corrected discomfort estimates.\n")
+	fmt.Fprintf(&b, "%-8s %10s %8s %12s %12s\n", "resource", "events", "censored", "naive c_05", "KM c_05")
+	for _, res := range testcase.Resources() {
+		curve, err := r.DB.KMResourceCurve(res)
+		if err != nil {
+			fmt.Fprintf(&b, "%-8s (no events)\n", res)
+			continue
+		}
+		cdf := r.DB.ResourceCDF(res)
+		naive := "*"
+		if v, ok := cdf.Percentile(0.05); ok {
+			naive = fmt.Sprintf("%.2f", v)
+		}
+		km := "*"
+		if v, ok := analysis.KMC05(curve); ok {
+			km = fmt.Sprintf("%.2f", v)
+		}
+		fmt.Fprintf(&b, "%-8s %10d %8d %12s %12s\n", res, cdf.DfCount(), cdf.ExCount(), naive, km)
+	}
+	return b.String()
+}
+
+// taskRows returns the tasks in paper row order.
+func taskRows() []testcase.Task { return testcase.Tasks() }

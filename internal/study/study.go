@@ -1,0 +1,123 @@
+// Package study reproduces the paper's controlled study (§3): a
+// population of users each performs the four tasks for 16 minutes while
+// the UUCS client runs the eight Figure 8 testcases per task in random
+// order, and the resulting run records are reduced to every figure and
+// table of the paper's results section.
+package study
+
+import (
+	"fmt"
+
+	"uucs/internal/analysis"
+	"uucs/internal/apps"
+	"uucs/internal/comfort"
+	"uucs/internal/core"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// Config parameterizes a controlled study.
+type Config struct {
+	// Users is the number of participants (the paper had 33).
+	Users int
+	// Seed makes the whole study deterministic.
+	Seed uint64
+	// Engine runs the testcases; nil selects the default study machine.
+	Engine *core.Engine
+	// Population parameterizes the synthetic participants.
+	Population comfort.PopulationParams
+	// AppFactory builds the foreground model per task; nil selects the
+	// calibrated defaults (apps.New). Ablations override it.
+	AppFactory func(testcase.Task) (apps.App, error)
+}
+
+// DefaultConfig mirrors the paper's controlled study.
+func DefaultConfig() Config {
+	return Config{
+		Users:      33,
+		Seed:       2004, // HPDC 2004
+		Engine:     core.NewEngine(),
+		Population: comfort.DefaultPopulation(),
+	}
+}
+
+// Results carries everything the analysis needs.
+type Results struct {
+	Config Config
+	Users  []*comfort.User
+	Runs   []*core.Run
+	DB     *analysis.DB
+}
+
+// UserByID indexes the participants for the Figure 17 analysis.
+func (r *Results) UserByID() map[int]*comfort.User {
+	out := make(map[int]*comfort.User, len(r.Users))
+	for _, u := range r.Users {
+		out[u.ID] = u
+	}
+	return out
+}
+
+// Run executes the controlled study: every user runs every task's eight
+// testcases in a per-user random order, exactly as in the paper ("They
+// are run in a random order for each 16-minute task").
+func Run(cfg Config) (*Results, error) {
+	if cfg.Users <= 0 {
+		return nil, fmt.Errorf("study: need at least one user")
+	}
+	engine := cfg.Engine
+	if engine == nil {
+		engine = core.NewEngine()
+	}
+	users, err := comfort.SamplePopulation(cfg.Users, cfg.Population, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	suites, err := testcase.ControlledSuiteAll()
+	if err != nil {
+		return nil, err
+	}
+	orderRng := stats.NewStream(cfg.Seed ^ 0xa5a5a5a5)
+	res := &Results{Config: cfg, Users: users}
+	appFactory := cfg.AppFactory
+	if appFactory == nil {
+		appFactory = apps.New
+	}
+	for _, u := range users {
+		for _, task := range testcase.Tasks() {
+			app, err := appFactory(task)
+			if err != nil {
+				return nil, err
+			}
+			suite := suites[task]
+			order := orderRng.Perm(len(suite))
+			for _, idx := range order {
+				tc := suite[idx]
+				seed := runSeed(cfg.Seed, u.ID, task, idx)
+				run, err := engine.Execute(tc, app, u, seed)
+				if err != nil {
+					return nil, fmt.Errorf("study: user %d task %s testcase %d: %w", u.ID, task, idx, err)
+				}
+				res.Runs = append(res.Runs, run)
+			}
+		}
+	}
+	res.DB = analysis.NewDB(res.Runs)
+	return res, nil
+}
+
+// runSeed derives a stable per-run seed.
+func runSeed(seed uint64, user int, task testcase.Task, idx int) uint64 {
+	h := seed
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0x100000001b3
+		h ^= h >> 29
+	}
+	mix(uint64(user) + 1)
+	for _, b := range []byte(task) {
+		mix(uint64(b))
+	}
+	mix(uint64(idx) + 17)
+	return h
+}

@@ -1,0 +1,317 @@
+package study
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"uucs/internal/analysis"
+	"uucs/internal/testcase"
+)
+
+// The full controlled study is deterministic, so run it once and share
+// the results across tests.
+var (
+	once       sync.Once
+	fixtureRes *Results
+	fixtureErr error
+)
+
+func fixture(t *testing.T) *Results {
+	t.Helper()
+	once.Do(func() {
+		fixtureRes, fixtureErr = Run(DefaultConfig())
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixtureRes
+}
+
+func cell(t *testing.T, res *Results, task testcase.Task, r testcase.Resource) analysis.Metrics {
+	t.Helper()
+	m, err := analysis.Cell(res.DB.MetricsTable(), task, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestStudyShape(t *testing.T) {
+	res := fixture(t)
+	if len(res.Users) != 33 {
+		t.Fatalf("users = %d", len(res.Users))
+	}
+	// 33 users x 4 tasks x 8 testcases.
+	if len(res.Runs) != 1056 {
+		t.Fatalf("runs = %d, want 1056", len(res.Runs))
+	}
+	blanks := len(res.DB.Filter(analysis.Blank()))
+	if blanks != 264 {
+		t.Errorf("blank runs = %d, want 264 (2 per task per user)", blanks)
+	}
+}
+
+func TestStudyDeterminism(t *testing.T) {
+	a := fixture(t)
+	b, err := Run(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Runs) != len(b.Runs) {
+		t.Fatal("run counts differ")
+	}
+	for i := range a.Runs {
+		if a.Runs[i].Terminated != b.Runs[i].Terminated || a.Runs[i].Offset != b.Runs[i].Offset {
+			t.Fatalf("run %d differs between identical studies", i)
+		}
+	}
+}
+
+func TestStudyRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Users = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero users accepted")
+	}
+}
+
+// The following tests assert the paper's headline, seed-robust findings.
+// Exact values vary with the population draw (n = 33, as in the study);
+// the assertions use generous brackets around the paper's numbers.
+
+func TestNoiseFloorOnlyInIEAndQuake(t *testing.T) {
+	res := fixture(t)
+	rows := res.DB.Breakdown()
+	byTask := make(map[testcase.Task]analysis.Breakdown)
+	for _, row := range rows[1:] {
+		byTask[row.Task] = row
+	}
+	// Paper Figure 9: Word 0.00, Powerpoint 0.00, IE 0.22, Quake 0.30.
+	if nf := byTask[testcase.Word].NoiseFloor(); nf > 0.05 {
+		t.Errorf("Word noise floor = %v, paper found 0.00", nf)
+	}
+	if nf := byTask[testcase.Powerpoint].NoiseFloor(); nf > 0.08 {
+		t.Errorf("Powerpoint noise floor = %v, paper found 0.00", nf)
+	}
+	if nf := byTask[testcase.IE].NoiseFloor(); nf < 0.05 || nf > 0.40 {
+		t.Errorf("IE noise floor = %v, paper found 0.22", nf)
+	}
+	if nf := byTask[testcase.Quake].NoiseFloor(); nf < 0.15 || nf > 0.50 {
+		t.Errorf("Quake noise floor = %v, paper found 0.30", nf)
+	}
+}
+
+func TestCPUToleranceOrderingAcrossTasks(t *testing.T) {
+	res := fixture(t)
+	// Paper Figure 16 CPU column: Word 4.35 >> PPT 1.17 ~ IE 1.20 >> Quake 0.64.
+	word := cell(t, res, testcase.Word, testcase.CPU)
+	ppt := cell(t, res, testcase.Powerpoint, testcase.CPU)
+	ie := cell(t, res, testcase.IE, testcase.CPU)
+	quake := cell(t, res, testcase.Quake, testcase.CPU)
+	for name, m := range map[string]analysis.Metrics{"word": word, "ppt": ppt, "ie": ie, "quake": quake} {
+		if !m.HasCa {
+			t.Fatalf("%s CPU has no c_a", name)
+		}
+	}
+	if !(word.Ca > 2*ppt.Ca && word.Ca > 2*ie.Ca) {
+		t.Errorf("Word CPU tolerance (%v) should dwarf PPT (%v) and IE (%v)", word.Ca, ppt.Ca, ie.Ca)
+	}
+	if !(quake.Ca < ppt.Ca && quake.Ca < ie.Ca) {
+		t.Errorf("Quake (%v) should be the most CPU-sensitive (ppt %v, ie %v)", quake.Ca, ppt.Ca, ie.Ca)
+	}
+	if word.Ca < 3.0 || word.Ca > 6.5 {
+		t.Errorf("Word CPU c_a = %v, paper found 4.35", word.Ca)
+	}
+	if quake.Ca < 0.25 || quake.Ca > 1.0 {
+		t.Errorf("Quake CPU c_a = %v, paper found 0.64", quake.Ca)
+	}
+	if ppt.Ca < 0.8 || ppt.Ca > 1.6 {
+		t.Errorf("PPT CPU c_a = %v, paper found 1.17", ppt.Ca)
+	}
+}
+
+func TestWordMemoryImmunity(t *testing.T) {
+	res := fixture(t)
+	// Paper: "* indicates insufficient information" — no Word memory
+	// discomfort was recorded at all.
+	m := cell(t, res, testcase.Word, testcase.Memory)
+	if m.Fd > 0.06 {
+		t.Errorf("Word memory f_d = %v, paper found 0.00", m.Fd)
+	}
+}
+
+func TestMemorySensitivityOrdering(t *testing.T) {
+	res := fixture(t)
+	// Paper Figure 14 memory column: Word 0.00 < PPT 0.07 < IE 0.30 < Quake 0.45.
+	word := cell(t, res, testcase.Word, testcase.Memory).Fd
+	ppt := cell(t, res, testcase.Powerpoint, testcase.Memory).Fd
+	ie := cell(t, res, testcase.IE, testcase.Memory).Fd
+	quake := cell(t, res, testcase.Quake, testcase.Memory).Fd
+	if !(word <= ppt && ppt < ie && ie <= quake) {
+		t.Errorf("memory f_d ordering violated: word=%v ppt=%v ie=%v quake=%v", word, ppt, ie, quake)
+	}
+	if quake < 0.25 || quake > 0.70 {
+		t.Errorf("Quake memory f_d = %v, paper found 0.45", quake)
+	}
+}
+
+func TestIEIsMostDiskSensitive(t *testing.T) {
+	res := fixture(t)
+	// Paper Figure 14 disk column: IE 0.61 dominates Word 0.10, PPT 0.17,
+	// Quake 0.29.
+	ie := cell(t, res, testcase.IE, testcase.Disk).Fd
+	word := cell(t, res, testcase.Word, testcase.Disk).Fd
+	ppt := cell(t, res, testcase.Powerpoint, testcase.Disk).Fd
+	if !(ie > word && ie > ppt) {
+		t.Errorf("IE disk f_d (%v) should dominate word (%v) and ppt (%v)", ie, word, ppt)
+	}
+	if ie < 0.35 || ie > 0.80 {
+		t.Errorf("IE disk f_d = %v, paper found 0.61", ie)
+	}
+}
+
+func TestAggregateAdviceHolds(t *testing.T) {
+	res := fixture(t)
+	// Paper §5: "Borrow disk and memory aggressively, CPU less so." In
+	// aggregate, CPU provokes discomfort in the largest fraction of runs.
+	table := res.DB.MetricsTable()
+	cpu, _ := analysis.Cell(table, "", testcase.CPU)
+	mem, _ := analysis.Cell(table, "", testcase.Memory)
+	disk, _ := analysis.Cell(table, "", testcase.Disk)
+	if !(cpu.Fd > mem.Fd && cpu.Fd > disk.Fd) {
+		t.Errorf("aggregate f_d: cpu=%v mem=%v disk=%v; paper found CPU dominant (0.86 vs 0.21/0.33)",
+			cpu.Fd, mem.Fd, disk.Fd)
+	}
+	// Paper Figure 15 totals: memory and disk support substantial
+	// borrowing before 5%% of users react (0.33 and 1.11).
+	if mem.HasC05 && mem.C05 < 0.04 {
+		t.Errorf("aggregate memory c_05 = %v, implausibly sensitive", mem.C05)
+	}
+	if disk.HasC05 && disk.C05 < 0.2 {
+		t.Errorf("aggregate disk c_05 = %v, implausibly sensitive", disk.C05)
+	}
+}
+
+func TestFrogInPotPowerpointCPU(t *testing.T) {
+	res := fixture(t)
+	fr, err := res.DB.FrogInPot(testcase.Powerpoint, testcase.CPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Pairs < 10 {
+		t.Fatalf("only %d ramp/step pairs", fr.Pairs)
+	}
+	// Paper §3.3.5: users tolerated higher levels under the ramp, mean
+	// difference 0.22.
+	if fr.Result.Diff <= 0 {
+		t.Errorf("frog-in-pot diff = %v, paper found +0.22", fr.Result.Diff)
+	}
+	if fr.FracHigherInRamp < 0.5 {
+		t.Errorf("frac tolerating more in ramp = %v, paper found 0.96", fr.FracHigherInRamp)
+	}
+}
+
+func TestSkillDifferencesExist(t *testing.T) {
+	res := fixture(t)
+	diffs := res.DB.SkillDifferences(res.UserByID(), 0.05)
+	if len(diffs) == 0 {
+		t.Fatal("no significant skill differences; paper found six")
+	}
+	// The paper's largest effects: higher-skill groups tolerate less, so
+	// Diff (lower-skill mean minus higher-skill mean) is mostly positive.
+	positive := 0
+	for _, d := range diffs {
+		if d.Result.Diff > 0 {
+			positive++
+		}
+	}
+	if positive*2 < len(diffs) {
+		t.Errorf("only %d/%d skill differences have the expected sign", positive, len(diffs))
+	}
+}
+
+func TestDiscomfortLevelsWithinExploredRange(t *testing.T) {
+	res := fixture(t)
+	suites, err := testcase.ControlledSuiteAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLevel := make(map[testcase.Task]map[testcase.Resource]float64)
+	for task, suite := range suites {
+		maxLevel[task] = make(map[testcase.Resource]float64)
+		for _, tc := range suite {
+			for r, f := range tc.Functions {
+				if f.Max() > maxLevel[task][r] {
+					maxLevel[task][r] = f.Max()
+				}
+			}
+		}
+	}
+	for _, r := range res.Runs {
+		lvl, ok := r.Level()
+		if !ok {
+			continue
+		}
+		if lvl < 0 || lvl > maxLevel[r.Task][r.PrimaryResource]+1e-9 {
+			t.Fatalf("run %s level %v outside explored range", r.String(), lvl)
+		}
+		if r.Offset < 0 || r.Offset > 120 {
+			t.Fatalf("run %s offset %v outside testcase duration", r.String(), r.Offset)
+		}
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	res := fixture(t)
+	for _, id := range FigureIDs() {
+		s, err := res.Figure(id)
+		if err != nil {
+			t.Fatalf("figure %s: %v", id, err)
+		}
+		if len(s) < 40 {
+			t.Errorf("figure %s suspiciously short: %q", id, s)
+		}
+	}
+	if _, err := res.Figure("99"); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	all := res.RenderAll()
+	for _, want := range []string{"Figure 9", "Figure 14", "Figure 15", "Figure 16", "Figure 17", "Figure 18", "Frog"} {
+		if !strings.Contains(all, want) {
+			t.Errorf("RenderAll missing %q", want)
+		}
+	}
+}
+
+func TestSensitivityJudgementOnPaperNumbers(t *testing.T) {
+	// The Figure 13 rule must reproduce the paper's letters when fed the
+	// paper's own Figure 14/15 values.
+	paper := []struct {
+		task testcase.Task
+		res  testcase.Resource
+		fd   float64
+		c05  float64
+		has  bool
+		want analysis.Sensitivity
+	}{
+		{testcase.Word, testcase.CPU, 0.71, 3.06, true, analysis.Low},
+		{testcase.Word, testcase.Memory, 0.00, 0, false, analysis.Low},
+		{testcase.Word, testcase.Disk, 0.10, 3.28, true, analysis.Low},
+		{testcase.Powerpoint, testcase.CPU, 0.95, 1.00, true, analysis.Medium},
+		{testcase.Powerpoint, testcase.Memory, 0.07, 0.64, true, analysis.Low},
+		{testcase.Powerpoint, testcase.Disk, 0.17, 3.84, true, analysis.Low},
+		{testcase.IE, testcase.CPU, 0.75, 0.61, true, analysis.Medium},
+		{testcase.IE, testcase.Memory, 0.30, 0.31, true, analysis.Medium},
+		{testcase.IE, testcase.Disk, 0.61, 2.02, true, analysis.High},
+		{testcase.Quake, testcase.CPU, 0.95, 0.18, true, analysis.High},
+		{testcase.Quake, testcase.Memory, 0.45, 0.08, true, analysis.Medium},
+		{testcase.Quake, testcase.Disk, 0.29, 0.69, true, analysis.Medium},
+	}
+	for _, c := range paper {
+		m := analysis.Metrics{Task: c.task, Resource: c.res, Fd: c.fd, C05: c.c05, HasC05: c.has}
+		if got := analysis.Judge(m); got != c.want {
+			t.Errorf("Judge(%s/%s paper values) = %s, want %s", c.task, c.res, got, c.want)
+		}
+	}
+}

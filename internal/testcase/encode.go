@@ -1,0 +1,180 @@
+package testcase
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The wire/storage format is line-oriented text, matching the paper's
+// design of text-file testcase stores that a human can inspect and a
+// disconnected client can sync:
+//
+//	testcase <id>
+//	rate <hz>
+//	shape <family> <params>
+//	function <resource> <v0> <v1> ... <vn>
+//	end
+//
+// Blank lines and lines starting with '#' are ignored. A stream may hold
+// any number of testcases.
+
+// Encode writes the testcase to w in the text format.
+func Encode(w io.Writer, tc *Testcase) error {
+	if err := tc.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "testcase %s\n", tc.ID)
+	fmt.Fprintf(bw, "rate %g\n", tc.SampleRate)
+	if tc.Shape != "" {
+		if tc.Params != "" {
+			fmt.Fprintf(bw, "shape %s %s\n", tc.Shape, tc.Params)
+		} else {
+			fmt.Fprintf(bw, "shape %s\n", tc.Shape)
+		}
+	}
+	for _, r := range Resources() {
+		f, ok := tc.Functions[r]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(bw, "function %s", r)
+		for _, v := range f.Values {
+			fmt.Fprintf(bw, " %g", v)
+		}
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// EncodeAll writes every testcase to w.
+func EncodeAll(w io.Writer, tcs []*Testcase) error {
+	for _, tc := range tcs {
+		if err := Encode(w, tc); err != nil {
+			return fmt.Errorf("testcase %s: %w", tc.ID, err)
+		}
+	}
+	return nil
+}
+
+// EncodeString renders one testcase as a string.
+func EncodeString(tc *Testcase) (string, error) {
+	var b strings.Builder
+	if err := Encode(&b, tc); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// DecodeAll parses every testcase from r.
+func DecodeAll(r io.Reader) ([]*Testcase, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24) // exercise functions can be long lines
+	var (
+		out  []*Testcase
+		cur  *Testcase
+		line int
+	)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "testcase":
+			if cur != nil {
+				return nil, fmt.Errorf("testcase: line %d: nested testcase without end", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("testcase: line %d: want 'testcase <id>'", line)
+			}
+			cur = New(fields[1], 0)
+			cur.SampleRate = 0
+		case "rate":
+			if cur == nil {
+				return nil, fmt.Errorf("testcase: line %d: rate outside testcase", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("testcase: line %d: want 'rate <hz>'", line)
+			}
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("testcase: line %d: bad rate: %w", line, err)
+			}
+			cur.SampleRate = v
+		case "shape":
+			if cur == nil {
+				return nil, fmt.Errorf("testcase: line %d: shape outside testcase", line)
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("testcase: line %d: want 'shape <family> [params]'", line)
+			}
+			cur.Shape = Shape(fields[1])
+			if len(fields) > 2 {
+				cur.Params = strings.Join(fields[2:], " ")
+			}
+		case "function":
+			if cur == nil {
+				return nil, fmt.Errorf("testcase: line %d: function outside testcase", line)
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("testcase: line %d: want 'function <resource> <values...>'", line)
+			}
+			res, err := ParseResource(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("testcase: line %d: %w", line, err)
+			}
+			vals := make([]float64, 0, len(fields)-2)
+			for _, f := range fields[2:] {
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, fmt.Errorf("testcase: line %d: bad sample %q: %w", line, f, err)
+				}
+				vals = append(vals, v)
+			}
+			cur.Functions[res] = ExerciseFunction{Rate: cur.SampleRate, Values: vals}
+		case "end":
+			if cur == nil {
+				return nil, fmt.Errorf("testcase: line %d: end outside testcase", line)
+			}
+			// Bind the function rates here so the rate directive may
+			// appear anywhere within the testcase block.
+			for r, f := range cur.Functions {
+				f.Rate = cur.SampleRate
+				cur.Functions[r] = f
+			}
+			if err := cur.Validate(); err != nil {
+				return nil, fmt.Errorf("testcase: line %d: %w", line, err)
+			}
+			out = append(out, cur)
+			cur = nil
+		default:
+			return nil, fmt.Errorf("testcase: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("testcase: unterminated testcase %s at EOF", cur.ID)
+	}
+	return out, nil
+}
+
+// DecodeString parses exactly one testcase from s.
+func DecodeString(s string) (*Testcase, error) {
+	tcs, err := DecodeAll(strings.NewReader(s))
+	if err != nil {
+		return nil, err
+	}
+	if len(tcs) != 1 {
+		return nil, fmt.Errorf("testcase: want exactly 1 testcase, got %d", len(tcs))
+	}
+	return tcs[0], nil
+}

@@ -1,0 +1,273 @@
+// Package testcase implements UUCS testcases and exercise functions
+// (paper §2.1). A testcase encodes how to "exercise" a collection of
+// resources: it has a unique identifier, a sample rate, and one exercise
+// function per resource. An exercise function is a vector of contention
+// values sampled at that rate; each value indicates the extent of
+// resource borrowing at the corresponding time into the testcase.
+//
+// The package provides the six exercise-function families of the paper's
+// Figure 3 (step, ramp, sin, saw, expexp, exppar), a line-oriented text
+// encoding compatible with the paper's text-file testcase stores, the
+// exact controlled-study suite of Figure 8, and the randomized generator
+// used to populate an Internet-study server with a large testcase
+// population.
+package testcase
+
+import (
+	"fmt"
+	"math"
+
+	"uucs/internal/stats"
+)
+
+// ExerciseFunction is a time series of contention values for one
+// resource, sampled at Rate samples per second. Value i applies from time
+// i/Rate to (i+1)/Rate seconds into the testcase. The meaning of
+// "contention" is resource-specific (paper §2.2): for CPU and disk it is
+// the number of competing equal-priority tasks (possibly fractional); for
+// memory it is the fraction of physical memory borrowed.
+type ExerciseFunction struct {
+	// Rate is the sample rate in Hz. Must be positive.
+	Rate float64
+	// Values holds the contention level per sample.
+	Values []float64
+}
+
+// Duration returns the length of the exercise function in seconds.
+func (f ExerciseFunction) Duration() float64 {
+	if f.Rate <= 0 {
+		return 0
+	}
+	return float64(len(f.Values)) / f.Rate
+}
+
+// Value returns the contention level t seconds into the testcase. Before
+// time zero and after exhaustion it returns 0.
+func (f ExerciseFunction) Value(t float64) float64 {
+	if f.Rate <= 0 || t < 0 {
+		return 0
+	}
+	i := int(t * f.Rate)
+	if i < 0 || i >= len(f.Values) {
+		return 0
+	}
+	return f.Values[i]
+}
+
+// LastN returns the last n contention values at or before time t, oldest
+// first — the paper records "the last five contention values used in each
+// exercise function at the point of user feedback" with every run.
+func (f ExerciseFunction) LastN(t float64, n int) []float64 {
+	if f.Rate <= 0 || n <= 0 {
+		return nil
+	}
+	i := int(t * f.Rate)
+	if i >= len(f.Values) {
+		i = len(f.Values) - 1
+	}
+	if i < 0 {
+		return nil
+	}
+	start := i - n + 1
+	if start < 0 {
+		start = 0
+	}
+	out := make([]float64, i-start+1)
+	copy(out, f.Values[start:i+1])
+	return out
+}
+
+// Max returns the largest contention value in the function.
+func (f ExerciseFunction) Max() float64 {
+	m := 0.0
+	for _, v := range f.Values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the average contention value of the function.
+func (f ExerciseFunction) Mean() float64 { return stats.Mean(f.Values) }
+
+// IsBlank reports whether the function applies no contention at all.
+func (f ExerciseFunction) IsBlank() bool {
+	for _, v := range f.Values {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// samples computes the number of samples covering dur seconds at rate Hz.
+func samples(dur, rate float64) int {
+	n := int(math.Ceil(dur * rate))
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Step returns the paper's step(x, t, b) function: zero contention until
+// time b, then contention x until time t, sampled at rate Hz (Figure 4,
+// right).
+func Step(x, t, b, rate float64) ExerciseFunction {
+	n := samples(t, rate)
+	vals := make([]float64, n)
+	for i := range vals {
+		if float64(i)/rate >= b {
+			vals[i] = x
+		}
+	}
+	return ExerciseFunction{Rate: rate, Values: vals}
+}
+
+// Ramp returns the paper's ramp(x, t) function: contention rising
+// linearly from zero at time 0 to x at time t (Figure 4, left).
+func Ramp(x, t, rate float64) ExerciseFunction {
+	n := samples(t, rate)
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = x * (float64(i) / rate) / t
+	}
+	return ExerciseFunction{Rate: rate, Values: vals}
+}
+
+// Sin returns a rectified sine wave oscillating between 0 and amp with
+// the given period over duration t (Figure 3 "sin"). Values are clamped
+// at zero so contention is never negative.
+func Sin(amp, period, t, rate float64) ExerciseFunction {
+	n := samples(t, rate)
+	vals := make([]float64, n)
+	for i := range vals {
+		tt := float64(i) / rate
+		v := amp / 2 * (1 + math.Sin(2*math.Pi*tt/period-math.Pi/2))
+		if v < 0 {
+			v = 0
+		}
+		vals[i] = v
+	}
+	return ExerciseFunction{Rate: rate, Values: vals}
+}
+
+// Saw returns a sawtooth wave rising from 0 to amp each period over
+// duration t (Figure 3 "saw").
+func Saw(amp, period, t, rate float64) ExerciseFunction {
+	n := samples(t, rate)
+	vals := make([]float64, n)
+	for i := range vals {
+		tt := float64(i) / rate
+		frac := tt/period - math.Floor(tt/period)
+		vals[i] = amp * frac
+	}
+	return ExerciseFunction{Rate: rate, Values: vals}
+}
+
+// Blank returns an all-zero exercise function of duration t — the paper's
+// blank testcases measure the background level of discomfort (the "noise
+// floor").
+func Blank(t, rate float64) ExerciseFunction {
+	return ExerciseFunction{Rate: rate, Values: make([]float64, samples(t, rate))}
+}
+
+// ExpExp returns a contention series generated by an M/M/1-style model
+// (Figure 3 "expexp"): jobs arrive in a Poisson process with the given
+// arrival rate (jobs/second) and carry exponentially distributed service
+// demand with mean meanSize seconds; contention at any instant is the
+// number of jobs in the system. The series is deterministic given the
+// stream.
+func ExpExp(arrivalRate, meanSize, t, rate float64, s *stats.Stream) ExerciseFunction {
+	return queueSeries(arrivalRate, stats.Exponential{Mu: meanSize}, t, rate, s)
+}
+
+// ExpPar returns a contention series from an M/G/1-style model with
+// Pareto job sizes (Figure 3 "exppar"): Poisson arrivals, Pareto(xm,
+// alpha) service demand. Heavy-tailed sizes produce the long contention
+// bursts the paper's Internet-study testcases predominantly use.
+func ExpPar(arrivalRate, xm, alpha, t, rate float64, s *stats.Stream) ExerciseFunction {
+	return queueSeries(arrivalRate, stats.Pareto{Xm: xm, Alpha: alpha}, t, rate, s)
+}
+
+// queueSeries simulates a single-server queue with Poisson arrivals and
+// the given service-size distribution and samples the number-in-system.
+func queueSeries(arrivalRate float64, size stats.Dist, t, rate float64, s *stats.Stream) ExerciseFunction {
+	n := samples(t, rate)
+	vals := make([]float64, n)
+	if arrivalRate <= 0 {
+		return ExerciseFunction{Rate: rate, Values: vals}
+	}
+	// Generate arrivals and compute departures under FIFO service.
+	type job struct{ arrive, depart float64 }
+	var jobs []job
+	now := s.Exp(1 / arrivalRate)
+	serverFree := 0.0
+	for now < t {
+		start := now
+		if serverFree > start {
+			start = serverFree
+		}
+		dur := size.Sample(s)
+		// Cap pathological Pareto draws at the testcase length: a single
+		// job longer than the run saturates contention anyway.
+		if dur > t {
+			dur = t
+		}
+		serverFree = start + dur
+		jobs = append(jobs, job{arrive: now, depart: serverFree})
+		now += s.Exp(1 / arrivalRate)
+	}
+	for i := range vals {
+		tt := float64(i) / rate
+		c := 0
+		for _, j := range jobs {
+			if j.arrive <= tt && tt < j.depart {
+				c++
+			}
+		}
+		vals[i] = float64(c)
+	}
+	return ExerciseFunction{Rate: rate, Values: vals}
+}
+
+// Shape identifies an exercise-function family (Figure 3).
+type Shape string
+
+// The exercise-function families from the paper's Figure 3.
+const (
+	ShapeStep   Shape = "step"
+	ShapeRamp   Shape = "ramp"
+	ShapeSin    Shape = "sin"
+	ShapeSaw    Shape = "saw"
+	ShapeExpExp Shape = "expexp"
+	ShapeExpPar Shape = "exppar"
+	ShapeBlank  Shape = "blank"
+)
+
+// Shapes lists all families in catalog order.
+func Shapes() []Shape {
+	return []Shape{ShapeStep, ShapeRamp, ShapeSin, ShapeSaw, ShapeExpExp, ShapeExpPar, ShapeBlank}
+}
+
+// Describe returns the Figure 3 description of a shape.
+func Describe(sh Shape) string {
+	switch sh {
+	case ShapeStep:
+		return "step(x,t,b): contention of zero to time b, then x to time t"
+	case ShapeRamp:
+		return "ramp(x,t): ramp from zero to x over times 0 to t"
+	case ShapeSin:
+		return "sin: sine wave"
+	case ShapeSaw:
+		return "saw: sawtooth wave"
+	case ShapeExpExp:
+		return "expexp: Poisson arrivals of exponential-sized jobs (M/M/1)"
+	case ShapeExpPar:
+		return "exppar: Poisson arrivals of Pareto-sized jobs (M/G/1)"
+	case ShapeBlank:
+		return "blank: no contention (noise-floor probe)"
+	default:
+		return fmt.Sprintf("unknown shape %q", string(sh))
+	}
+}

@@ -1,0 +1,200 @@
+package testcase
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"uucs/internal/stats"
+)
+
+func TestStepShape(t *testing.T) {
+	// The paper's Figure 4 example: step(2.0, 120, 40).
+	f := Step(2.0, 120, 40, 1)
+	if len(f.Values) != 120 {
+		t.Fatalf("step has %d samples, want 120", len(f.Values))
+	}
+	if f.Value(0) != 0 || f.Value(39.5) != 0 {
+		t.Error("step should be zero before b")
+	}
+	if f.Value(40) != 2.0 || f.Value(119) != 2.0 {
+		t.Error("step should be x from b to t")
+	}
+	if f.Value(121) != 0 {
+		t.Error("step should be zero after exhaustion")
+	}
+	if f.Max() != 2.0 {
+		t.Errorf("Max = %v, want 2", f.Max())
+	}
+}
+
+func TestRampShape(t *testing.T) {
+	// The paper's Figure 4 example: ramp(2.0, 120).
+	f := Ramp(2.0, 120, 1)
+	if len(f.Values) != 120 {
+		t.Fatalf("ramp has %d samples, want 120", len(f.Values))
+	}
+	if f.Value(0) != 0 {
+		t.Error("ramp should start at zero")
+	}
+	if got := f.Value(60); math.Abs(got-1.0) > 0.02 {
+		t.Errorf("ramp midpoint = %v, want ~1.0", got)
+	}
+	// Monotone nondecreasing.
+	for i := 1; i < len(f.Values); i++ {
+		if f.Values[i] < f.Values[i-1] {
+			t.Fatalf("ramp decreases at sample %d", i)
+		}
+	}
+}
+
+func TestRampValueExample(t *testing.T) {
+	// The paper's §2.1 example: rate 1 Hz, vector [0, 0.5, 1.0, 1.5, 2.0];
+	// from 3 to 4 seconds the contention should be 1.5.
+	f := ExerciseFunction{Rate: 1, Values: []float64{0, 0.5, 1.0, 1.5, 2.0}}
+	if got := f.Value(3.5); got != 1.5 {
+		t.Errorf("Value(3.5) = %v, want 1.5", got)
+	}
+	if got := f.Value(4.5); got != 2.0 {
+		t.Errorf("Value(4.5) = %v, want 2.0", got)
+	}
+	if got := f.Duration(); got != 5 {
+		t.Errorf("Duration = %v, want 5", got)
+	}
+}
+
+func TestSinShape(t *testing.T) {
+	f := Sin(2.0, 30, 120, 2)
+	if f.Max() > 2.0+1e-9 {
+		t.Errorf("sin exceeds amplitude: %v", f.Max())
+	}
+	for i, v := range f.Values {
+		if v < 0 {
+			t.Fatalf("sin negative at %d: %v", i, v)
+		}
+	}
+	if f.Value(0) > 0.01 {
+		t.Errorf("sin should start near zero, got %v", f.Value(0))
+	}
+	if got := f.Value(15); math.Abs(got-2.0) > 0.05 {
+		t.Errorf("sin peak at half period = %v, want ~2", got)
+	}
+}
+
+func TestSawShape(t *testing.T) {
+	f := Saw(3.0, 20, 60, 1)
+	if f.Value(0) != 0 {
+		t.Error("saw should start at zero")
+	}
+	if got := f.Value(10); math.Abs(got-1.5) > 0.2 {
+		t.Errorf("saw midperiod = %v, want ~1.5", got)
+	}
+	if got := f.Value(21); got > 0.5 {
+		t.Errorf("saw should reset each period, got %v just after reset", got)
+	}
+	if f.Max() > 3.0 {
+		t.Errorf("saw exceeds amplitude: %v", f.Max())
+	}
+}
+
+func TestBlankIsBlank(t *testing.T) {
+	f := Blank(120, 1)
+	if !f.IsBlank() {
+		t.Error("Blank not blank")
+	}
+	if f.Duration() != 120 {
+		t.Errorf("blank duration = %v", f.Duration())
+	}
+	if Step(1, 10, 0, 1).IsBlank() {
+		t.Error("step reported blank")
+	}
+}
+
+func TestExpExpLoad(t *testing.T) {
+	// With rho = arrival*meanSize = 0.5 the average number-in-system of an
+	// M/M/1 queue is rho/(1-rho) = 1.0; the sampled series should be in
+	// that neighborhood.
+	s := stats.NewStream(42)
+	f := ExpExp(0.25, 2.0, 2000, 1, s)
+	mean := f.Mean()
+	if mean < 0.5 || mean > 1.8 {
+		t.Errorf("M/M/1 mean contention = %v, want ~1.0", mean)
+	}
+	for _, v := range f.Values {
+		if v < 0 || v != math.Trunc(v) {
+			t.Fatalf("queue contention must be a non-negative integer, got %v", v)
+		}
+	}
+}
+
+func TestExpParHeavyTail(t *testing.T) {
+	s := stats.NewStream(43)
+	f := ExpPar(0.2, 0.5, 1.5, 1000, 1, s)
+	if f.Max() < 2 {
+		t.Errorf("Pareto job sizes should produce bursts, max = %v", f.Max())
+	}
+	if f.IsBlank() {
+		t.Error("exppar produced a blank series")
+	}
+}
+
+func TestQueueSeriesDeterminism(t *testing.T) {
+	a := ExpExp(0.5, 1.0, 200, 1, stats.NewStream(7))
+	b := ExpExp(0.5, 1.0, 200, 1, stats.NewStream(7))
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatalf("expexp not deterministic at sample %d", i)
+		}
+	}
+}
+
+func TestLastN(t *testing.T) {
+	f := ExerciseFunction{Rate: 1, Values: []float64{1, 2, 3, 4, 5}}
+	got := f.LastN(3.5, 5)
+	want := []float64{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("LastN = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LastN = %v, want %v", got, want)
+		}
+	}
+	// Past exhaustion: the last five values of the function.
+	got = f.LastN(100, 5)
+	if len(got) != 5 || got[4] != 5 {
+		t.Errorf("LastN past end = %v", got)
+	}
+	if f.LastN(-1, 5) != nil {
+		t.Error("LastN before start should be nil")
+	}
+	if f.LastN(2, 0) != nil {
+		t.Error("LastN with n=0 should be nil")
+	}
+}
+
+func TestValueOutOfRangeProperty(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		s := stats.NewStream(seed)
+		f := Ramp(s.Range(0.1, 5), float64(n%100)+10, 1)
+		return f.Value(-1) == 0 && f.Value(f.Duration()+1) == 0
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShapesCatalog(t *testing.T) {
+	shapes := Shapes()
+	if len(shapes) != 7 {
+		t.Fatalf("got %d shapes, want 7 (Figure 3 families + blank)", len(shapes))
+	}
+	for _, sh := range shapes {
+		if d := Describe(sh); d == "" || d[:7] == "unknown" {
+			t.Errorf("Describe(%s) = %q", sh, d)
+		}
+	}
+	if d := Describe(Shape("bogus")); d == "" {
+		t.Error("Describe of unknown shape should still return text")
+	}
+}

@@ -1,0 +1,55 @@
+package testcase
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeAll exercises the testcase text decoder: it must never
+// panic, and anything it accepts must re-encode and decode to the same
+// testcases (the store format is the wire format, so robustness here is
+// robustness against a hostile server or a corrupted store).
+func FuzzDecodeAll(f *testing.F) {
+	seed := []string{
+		"",
+		"testcase a\nrate 1\nshape ramp 2,120\nfunction cpu 0 1 2\nend\n",
+		"testcase b\nrate 2\nfunction memory 0.1 0.5 1\nend\n",
+		"# comment\n\ntestcase c\nrate 1\nfunction disk 7\nend\n",
+		"testcase x\nrate 1\nfunction cpu 1e300\nend\n",
+		"testcase y\nrate -1\nend\n",
+		"testcase z\nrate 1\nfunction gpu 1\nend\n",
+		"end\n",
+		"testcase dup\nrate 1\nfunction cpu 1\nfunction cpu 2\nend\n",
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		tcs, err := DecodeAll(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var b strings.Builder
+		if err := EncodeAll(&b, tcs); err != nil {
+			t.Fatalf("decoded testcases failed to re-encode: %v", err)
+		}
+		again, err := DecodeAll(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("re-encoded form failed to decode: %v\n%s", err, b.String())
+		}
+		if len(again) != len(tcs) {
+			t.Fatalf("round trip changed count: %d -> %d", len(tcs), len(again))
+		}
+		for i := range tcs {
+			if again[i].ID != tcs[i].ID || again[i].SampleRate != tcs[i].SampleRate {
+				t.Fatalf("round trip changed testcase %d", i)
+			}
+			for r, fn := range tcs[i].Functions {
+				g := again[i].Functions[r]
+				if len(g.Values) != len(fn.Values) {
+					t.Fatalf("round trip changed %s sample count", r)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package testcase
+
+import (
+	"fmt"
+
+	"uucs/internal/stats"
+)
+
+// GeneratorConfig controls randomized testcase generation for the
+// Internet-wide study, which uses a large population of testcases (over
+// 2000 in the paper) spanning a range of parameters for each exercise
+// function type, predominantly from the M/M/1 and M/G/1 models (§2.1).
+type GeneratorConfig struct {
+	// Count is the number of testcases to generate.
+	Count int
+	// Rate is the sample rate in Hz.
+	Rate float64
+	// Duration is each testcase's length in seconds.
+	Duration float64
+	// BlankFraction is the fraction of blank (noise-floor) testcases.
+	BlankFraction float64
+	// QueueFraction is the fraction of expexp/exppar testcases among the
+	// non-blank ones; the remainder is split among step/ramp/sin/saw.
+	QueueFraction float64
+	// MaxCPU, MaxDisk bound contention levels; memory is always in (0,1].
+	MaxCPU, MaxDisk float64
+}
+
+// DefaultGeneratorConfig mirrors the Internet study's emphasis: mostly
+// queueing-model testcases over a wide parameter range.
+func DefaultGeneratorConfig() GeneratorConfig {
+	return GeneratorConfig{
+		Count:         2000,
+		Rate:          1,
+		Duration:      120,
+		BlankFraction: 0.10,
+		QueueFraction: 0.60,
+		MaxCPU:        10, // the CPU exerciser is verified to contention 10
+		MaxDisk:       7,  // the disk exerciser is verified to contention 7
+	}
+}
+
+// Generate produces cfg.Count randomized testcases with identifiers
+// prefixed by prefix, deterministically from the stream.
+func Generate(prefix string, cfg GeneratorConfig, s *stats.Stream) ([]*Testcase, error) {
+	if cfg.Count <= 0 {
+		return nil, fmt.Errorf("testcase: generator count must be positive")
+	}
+	if cfg.Rate <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("testcase: generator needs positive rate and duration")
+	}
+	out := make([]*Testcase, 0, cfg.Count)
+	for i := 0; i < cfg.Count; i++ {
+		tc, err := generateOne(fmt.Sprintf("%s-%05d", prefix, i), cfg, s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tc)
+	}
+	return out, nil
+}
+
+func generateOne(id string, cfg GeneratorConfig, s *stats.Stream) (*Testcase, error) {
+	tc := New(id, cfg.Rate)
+	if s.Bool(cfg.BlankFraction) {
+		tc.Shape = ShapeBlank
+		tc.Functions[CPU] = Blank(cfg.Duration, cfg.Rate)
+		return tc, tc.Validate()
+	}
+	res := Resources()[s.IntN(3)]
+	maxLevel := cfg.MaxCPU
+	switch res {
+	case Disk:
+		maxLevel = cfg.MaxDisk
+	case Memory:
+		maxLevel = 1
+	}
+	var f ExerciseFunction
+	if s.Bool(cfg.QueueFraction) && res != Memory {
+		// Queueing-model testcases: arrival rate and size chosen so that
+		// offered load (rho) spans light to heavily overloaded.
+		rho := s.Range(0.2, 2.5)
+		meanSize := s.Range(0.5, 8)
+		arrival := rho / meanSize
+		if s.Bool(0.5) {
+			tc.Shape = ShapeExpExp
+			tc.Params = fmt.Sprintf("%.3f,%.3f", arrival, meanSize)
+			f = ExpExp(arrival, meanSize, cfg.Duration, cfg.Rate, s)
+		} else {
+			alpha := s.Range(1.1, 2.5)
+			xm := meanSize * (alpha - 1) / alpha // keep the same mean size
+			tc.Shape = ShapeExpPar
+			tc.Params = fmt.Sprintf("%.3f,%.3f,%.2f", arrival, xm, alpha)
+			f = ExpPar(arrival, xm, alpha, cfg.Duration, cfg.Rate, s)
+		}
+		f = clampFunction(f, maxLevel)
+	} else {
+		level := s.Range(0.1*maxLevel, maxLevel)
+		switch s.IntN(4) {
+		case 0:
+			tc.Shape = ShapeStep
+			b := s.Range(0.1, 0.6) * cfg.Duration
+			tc.Params = fmt.Sprintf("%.2f,%g,%.0f", level, cfg.Duration, b)
+			f = Step(level, cfg.Duration, b, cfg.Rate)
+		case 1:
+			tc.Shape = ShapeRamp
+			tc.Params = fmt.Sprintf("%.2f,%g", level, cfg.Duration)
+			f = Ramp(level, cfg.Duration, cfg.Rate)
+		case 2:
+			tc.Shape = ShapeSin
+			period := s.Range(10, 60)
+			tc.Params = fmt.Sprintf("%.2f,%.0f", level, period)
+			f = Sin(level, period, cfg.Duration, cfg.Rate)
+		default:
+			tc.Shape = ShapeSaw
+			period := s.Range(10, 60)
+			tc.Params = fmt.Sprintf("%.2f,%.0f", level, period)
+			f = Saw(level, period, cfg.Duration, cfg.Rate)
+		}
+	}
+	tc.Functions[res] = f
+	return tc, tc.Validate()
+}
+
+// clampFunction caps every sample at maxLevel, used to keep queue-model
+// bursts within the range the exercisers are verified for.
+func clampFunction(f ExerciseFunction, maxLevel float64) ExerciseFunction {
+	for i, v := range f.Values {
+		if v > maxLevel {
+			f.Values[i] = maxLevel
+		}
+	}
+	return f
+}

@@ -1,0 +1,115 @@
+package testcase
+
+import "fmt"
+
+// Manipulation tools. The paper's workflow (Figure 2) includes "a set of
+// tools for creating, viewing, and manipulating testcases"; these are
+// the manipulation primitives: scaling, slicing, concatenating and
+// repeating exercise functions, and composing testcases from parts. The
+// analysis loop the paper describes — results "guide us to other
+// interesting testcases" — uses exactly these operations to zoom into
+// the contention region where discomfort began.
+
+// Scale returns a copy of f with every contention value multiplied by
+// factor. Scaling a ramp that provoked discomfort at its top by 0.5
+// re-explores the lower half at double resolution-in-time.
+func Scale(f ExerciseFunction, factor float64) (ExerciseFunction, error) {
+	if factor < 0 {
+		return ExerciseFunction{}, fmt.Errorf("testcase: negative scale factor %g", factor)
+	}
+	out := ExerciseFunction{Rate: f.Rate, Values: make([]float64, len(f.Values))}
+	for i, v := range f.Values {
+		out.Values[i] = v * factor
+	}
+	return out, nil
+}
+
+// Slice returns the sub-function covering [from, to) seconds of f.
+func Slice(f ExerciseFunction, from, to float64) (ExerciseFunction, error) {
+	if f.Rate <= 0 {
+		return ExerciseFunction{}, fmt.Errorf("testcase: slice of unrated function")
+	}
+	if from < 0 || to <= from || to > f.Duration()+1e-9 {
+		return ExerciseFunction{}, fmt.Errorf("testcase: slice [%g, %g) outside [0, %g)", from, to, f.Duration())
+	}
+	lo := int(from * f.Rate)
+	hi := int(to * f.Rate)
+	if hi > len(f.Values) {
+		hi = len(f.Values)
+	}
+	out := ExerciseFunction{Rate: f.Rate, Values: make([]float64, hi-lo)}
+	copy(out.Values, f.Values[lo:hi])
+	return out, nil
+}
+
+// Concat joins functions end to end. All parts must share a sample rate.
+func Concat(parts ...ExerciseFunction) (ExerciseFunction, error) {
+	if len(parts) == 0 {
+		return ExerciseFunction{}, fmt.Errorf("testcase: concat of nothing")
+	}
+	rate := parts[0].Rate
+	if rate <= 0 {
+		return ExerciseFunction{}, fmt.Errorf("testcase: concat of unrated function")
+	}
+	total := 0
+	for i, p := range parts {
+		if p.Rate != rate {
+			return ExerciseFunction{}, fmt.Errorf("testcase: concat rate mismatch at part %d (%g vs %g)", i, p.Rate, rate)
+		}
+		total += len(p.Values)
+	}
+	out := ExerciseFunction{Rate: rate, Values: make([]float64, 0, total)}
+	for _, p := range parts {
+		out.Values = append(out.Values, p.Values...)
+	}
+	return out, nil
+}
+
+// Repeat tiles f n times.
+func Repeat(f ExerciseFunction, n int) (ExerciseFunction, error) {
+	if n <= 0 {
+		return ExerciseFunction{}, fmt.Errorf("testcase: repeat count %d", n)
+	}
+	parts := make([]ExerciseFunction, n)
+	for i := range parts {
+		parts[i] = f
+	}
+	return Concat(parts...)
+}
+
+// Clamp caps every value of f at maxLevel (e.g. to keep a derived
+// function within an exerciser's verified range).
+func Clamp(f ExerciseFunction, maxLevel float64) (ExerciseFunction, error) {
+	if maxLevel < 0 {
+		return ExerciseFunction{}, fmt.Errorf("testcase: negative clamp %g", maxLevel)
+	}
+	out := ExerciseFunction{Rate: f.Rate, Values: make([]float64, len(f.Values))}
+	for i, v := range f.Values {
+		if v > maxLevel {
+			v = maxLevel
+		}
+		out.Values[i] = v
+	}
+	return out, nil
+}
+
+// ZoomRamp builds the follow-up testcase the analysis loop wants after a
+// ramp run: a new ramp over [level*(1-margin), level*(1+margin)] around
+// the discomfort level, exploring the onset region at fine granularity.
+func ZoomRamp(id string, level, margin, duration, rate float64) (*Testcase, error) {
+	if level <= 0 || margin <= 0 || margin >= 1 {
+		return nil, fmt.Errorf("testcase: zoom needs positive level and margin in (0,1)")
+	}
+	lo := level * (1 - margin)
+	hi := level * (1 + margin)
+	n := samples(duration, rate)
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	tc := New(id, rate)
+	tc.Shape = ShapeRamp
+	tc.Params = fmt.Sprintf("zoom:%.2f±%.0f%%", level, margin*100)
+	tc.Functions[CPU] = ExerciseFunction{Rate: rate, Values: vals}
+	return tc, tc.Validate()
+}

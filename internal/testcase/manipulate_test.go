@@ -1,0 +1,150 @@
+package testcase
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"uucs/internal/stats"
+)
+
+func TestScale(t *testing.T) {
+	f := Ramp(2, 10, 1)
+	half, err := Scale(f, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(half.Max()-f.Max()/2) > 1e-12 {
+		t.Errorf("scaled max = %v", half.Max())
+	}
+	if len(half.Values) != len(f.Values) {
+		t.Error("scale changed length")
+	}
+	if _, err := Scale(f, -1); err == nil {
+		t.Error("negative factor accepted")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	f := Ramp(4, 40, 1)
+	mid, err := Slice(f, 10, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Duration() != 20 {
+		t.Errorf("slice duration = %v", mid.Duration())
+	}
+	if mid.Values[0] != f.Values[10] || mid.Values[19] != f.Values[29] {
+		t.Error("slice content wrong")
+	}
+	for _, bad := range [][2]float64{{-1, 5}, {5, 5}, {5, 100}} {
+		if _, err := Slice(f, bad[0], bad[1]); err == nil {
+			t.Errorf("slice %v accepted", bad)
+		}
+	}
+	if _, err := Slice(ExerciseFunction{}, 0, 1); err == nil {
+		t.Error("unrated slice accepted")
+	}
+}
+
+func TestConcatAndRepeat(t *testing.T) {
+	a := Step(1, 10, 0, 1)
+	b := Step(2, 5, 0, 1)
+	joined, err := Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.Duration() != 15 {
+		t.Errorf("concat duration = %v", joined.Duration())
+	}
+	if joined.Value(12) != 2 || joined.Value(5) != 1 {
+		t.Error("concat content wrong")
+	}
+	if _, err := Concat(); err == nil {
+		t.Error("empty concat accepted")
+	}
+	mixed := ExerciseFunction{Rate: 2, Values: []float64{1}}
+	if _, err := Concat(a, mixed); err == nil {
+		t.Error("rate mismatch accepted")
+	}
+	tiled, err := Repeat(b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiled.Duration() != 15 {
+		t.Errorf("repeat duration = %v", tiled.Duration())
+	}
+	if _, err := Repeat(b, 0); err == nil {
+		t.Error("zero repeat accepted")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	f := Ramp(10, 20, 1)
+	capped, err := Clamp(f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Max() > 4 {
+		t.Errorf("clamp max = %v", capped.Max())
+	}
+	if capped.Value(2) != f.Value(2) {
+		t.Error("clamp altered sub-threshold values")
+	}
+	if _, err := Clamp(f, -1); err == nil {
+		t.Error("negative clamp accepted")
+	}
+}
+
+func TestZoomRamp(t *testing.T) {
+	tc, err := ZoomRamp("zoom-1", 2.0, 0.25, 120, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := tc.Functions[CPU]
+	if math.Abs(f.Values[0]-1.5) > 1e-9 {
+		t.Errorf("zoom start = %v, want 1.5", f.Values[0])
+	}
+	if f.Max() > 2.5+1e-9 || f.Max() < 2.4 {
+		t.Errorf("zoom top = %v, want ~2.5", f.Max())
+	}
+	if _, err := ZoomRamp("z", 0, 0.25, 120, 1); err == nil {
+		t.Error("zero level accepted")
+	}
+	if _, err := ZoomRamp("z", 1, 1.5, 120, 1); err == nil {
+		t.Error("margin >= 1 accepted")
+	}
+}
+
+func TestManipulationPreservesInvariantsProperty(t *testing.T) {
+	check := func(seed uint64, factorRaw uint8) bool {
+		s := stats.NewStream(seed)
+		f := Ramp(s.Range(0.5, 8), 30, 1)
+		factor := float64(factorRaw%30) / 10
+		scaled, err := Scale(f, factor)
+		if err != nil {
+			return false
+		}
+		clamped, err := Clamp(scaled, 5)
+		if err != nil {
+			return false
+		}
+		for _, v := range clamped.Values {
+			if v < 0 || v > 5 || math.IsNaN(v) {
+				return false
+			}
+		}
+		half, err := Slice(clamped, 0, 15)
+		if err != nil {
+			return false
+		}
+		doubled, err := Concat(half, half)
+		if err != nil {
+			return false
+		}
+		return doubled.Duration() == 30
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

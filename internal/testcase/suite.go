@@ -1,0 +1,152 @@
+package testcase
+
+import "fmt"
+
+// Task identifies the user's foreground context during a run. The
+// controlled study used four tasks chosen to represent typical user
+// workloads (paper §3.1).
+type Task string
+
+// The four controlled-study tasks.
+const (
+	Word       Task = "word"       // word processing with Microsoft Word
+	Powerpoint Task = "powerpoint" // presentation making with complex diagrams
+	IE         Task = "ie"         // browsing and research with Internet Explorer
+	Quake      Task = "quake"      // playing Quake III, the most resource-intensive task
+)
+
+// Tasks lists the controlled-study tasks in paper order.
+func Tasks() []Task { return []Task{Word, Powerpoint, IE, Quake} }
+
+// ParseTask converts a string into a Task.
+func ParseTask(s string) (Task, error) {
+	for _, t := range Tasks() {
+		if string(t) == s {
+			return t, nil
+		}
+	}
+	return "", fmt.Errorf("testcase: unknown task %q", s)
+}
+
+// TaskLabel returns the paper's display name for a task.
+func TaskLabel(t Task) string {
+	switch t {
+	case Word:
+		return "MS Word"
+	case Powerpoint:
+		return "MS Powerpoint"
+	case IE:
+		return "Internet Explorer"
+	case Quake:
+		return "Quake"
+	default:
+		return string(t)
+	}
+}
+
+// SuiteRate is the sample rate used by the controlled-study testcases.
+const SuiteRate = 1.0
+
+// suiteDuration is the length of each controlled-study testcase: each
+// task had 8 associated testcases, each 2 minutes long (paper §3.2).
+const suiteDuration = 120.0
+
+// fig8 holds the exact per-task testcase parameters of the paper's
+// Figure 8. Entry i describes testcase number i+1. Ramp parameters are
+// (x, t); step parameters are (x, t, b).
+var fig8 = map[Task][8]struct {
+	resource Resource
+	shape    Shape
+	p        [3]float64
+}{
+	Word: {
+		{CPU, ShapeRamp, [3]float64{7.0, 120, 0}},
+		{"", ShapeBlank, [3]float64{}},
+		{Disk, ShapeRamp, [3]float64{7.0, 120, 0}},
+		{Memory, ShapeRamp, [3]float64{1.0, 120, 0}},
+		{CPU, ShapeStep, [3]float64{5.5, 120, 40}},
+		{Disk, ShapeStep, [3]float64{5.0, 120, 40}},
+		{"", ShapeBlank, [3]float64{}},
+		{Memory, ShapeStep, [3]float64{1.0, 120, 40}},
+	},
+	Powerpoint: {
+		{CPU, ShapeRamp, [3]float64{2.0, 120, 0}},
+		{"", ShapeBlank, [3]float64{}},
+		{Disk, ShapeRamp, [3]float64{8.0, 120, 0}},
+		{Memory, ShapeRamp, [3]float64{1.0, 120, 0}},
+		{CPU, ShapeStep, [3]float64{0.98, 120, 40}},
+		{Disk, ShapeStep, [3]float64{6.0, 120, 40}},
+		{"", ShapeBlank, [3]float64{}},
+		{Memory, ShapeStep, [3]float64{1.0, 120, 40}},
+	},
+	IE: {
+		{CPU, ShapeRamp, [3]float64{2.0, 120, 0}},
+		{"", ShapeBlank, [3]float64{}},
+		{Disk, ShapeRamp, [3]float64{5.0, 120, 0}},
+		{Memory, ShapeRamp, [3]float64{1.0, 120, 0}},
+		{CPU, ShapeStep, [3]float64{1.0, 120, 40}},
+		{Disk, ShapeStep, [3]float64{4.0, 120, 40}},
+		{"", ShapeBlank, [3]float64{}},
+		{Memory, ShapeStep, [3]float64{1.0, 120, 40}},
+	},
+	Quake: {
+		{CPU, ShapeRamp, [3]float64{1.3, 120, 0}},
+		{"", ShapeBlank, [3]float64{}},
+		{Disk, ShapeRamp, [3]float64{5.0, 120, 0}},
+		{Memory, ShapeRamp, [3]float64{1.0, 120, 0}},
+		{CPU, ShapeStep, [3]float64{0.5, 120, 40}},
+		{Disk, ShapeStep, [3]float64{5.0, 120, 40}},
+		{"", ShapeBlank, [3]float64{}},
+		{Memory, ShapeStep, [3]float64{1.0, 120, 40}},
+	},
+}
+
+// ControlledSuite returns the eight testcases the controlled study runs
+// for the given task, exactly as specified in the paper's Figure 8. The
+// paper ran them in a random order for each 16-minute task; ordering is
+// the study harness's job.
+func ControlledSuite(task Task) ([]*Testcase, error) {
+	spec, ok := fig8[task]
+	if !ok {
+		return nil, fmt.Errorf("testcase: no controlled suite for task %q", task)
+	}
+	out := make([]*Testcase, 0, len(spec))
+	for i, e := range spec {
+		tc := New(fmt.Sprintf("ctrl-%s-%d", task, i+1), SuiteRate)
+		tc.Shape = e.shape
+		switch e.shape {
+		case ShapeBlank:
+			// A blank testcase still occupies its two-minute slot; give it
+			// an explicit all-zero CPU function so it has a duration.
+			tc.Functions[CPU] = Blank(suiteDuration, SuiteRate)
+			tc.Params = ""
+		case ShapeRamp:
+			tc.Functions[e.resource] = Ramp(e.p[0], e.p[1], SuiteRate)
+			tc.Params = fmt.Sprintf("%g,%g", e.p[0], e.p[1])
+		case ShapeStep:
+			tc.Functions[e.resource] = Step(e.p[0], e.p[1], e.p[2], SuiteRate)
+			tc.Params = fmt.Sprintf("%g,%g,%g", e.p[0], e.p[1], e.p[2])
+		default:
+			return nil, fmt.Errorf("testcase: unexpected shape %q in controlled suite", e.shape)
+		}
+		if err := tc.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, tc)
+	}
+	return out, nil
+}
+
+// ControlledSuiteAll returns the full 4-task controlled suite keyed by
+// task.
+func ControlledSuiteAll() (map[Task][]*Testcase, error) {
+	out := make(map[Task][]*Testcase, len(fig8))
+	for _, t := range Tasks() {
+		s, err := ControlledSuite(t)
+		if err != nil {
+			return nil, err
+		}
+		out[t] = s
+	}
+	return out, nil
+}

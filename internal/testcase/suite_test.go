@@ -1,0 +1,211 @@
+package testcase
+
+import (
+	"testing"
+
+	"uucs/internal/stats"
+)
+
+func TestControlledSuiteMatchesFigure8(t *testing.T) {
+	// Spot-check the exact parameters from the paper's Figure 8.
+	checks := []struct {
+		task     Task
+		idx      int // 0-based testcase number
+		resource Resource
+		shape    Shape
+		max      float64
+	}{
+		{Word, 0, CPU, ShapeRamp, 7.0},
+		{Word, 4, CPU, ShapeStep, 5.5},
+		{Powerpoint, 4, CPU, ShapeStep, 0.98},
+		{Powerpoint, 2, Disk, ShapeRamp, 8.0},
+		{IE, 2, Disk, ShapeRamp, 5.0},
+		{IE, 4, CPU, ShapeStep, 1.0},
+		{Quake, 0, CPU, ShapeRamp, 1.3},
+		{Quake, 4, CPU, ShapeStep, 0.5},
+		{Quake, 5, Disk, ShapeStep, 5.0},
+	}
+	for _, c := range checks {
+		suite, err := ControlledSuite(c.task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(suite) != 8 {
+			t.Fatalf("%s suite has %d testcases, want 8", c.task, len(suite))
+		}
+		tc := suite[c.idx]
+		if tc.Shape != c.shape {
+			t.Errorf("%s[%d] shape = %s, want %s", c.task, c.idx, tc.Shape, c.shape)
+		}
+		if got := tc.PrimaryResource(); got != c.resource {
+			t.Errorf("%s[%d] resource = %s, want %s", c.task, c.idx, got, c.resource)
+		}
+		f := tc.Functions[c.resource]
+		// Ramp maxima fall one sample short of the target level x because
+		// the final sample is at t-1/rate; allow that margin.
+		if got := f.Max(); got > c.max+1e-9 || got < c.max*0.98 {
+			t.Errorf("%s[%d] max = %v, want ~%v", c.task, c.idx, got, c.max)
+		}
+	}
+}
+
+func TestControlledSuiteBlanksAndMemory(t *testing.T) {
+	for _, task := range Tasks() {
+		suite, err := ControlledSuite(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blanks := 0
+		for _, tc := range suite {
+			if tc.IsBlank() {
+				blanks++
+			}
+			if tc.Duration() != 120 {
+				t.Errorf("%s: testcase %s duration = %v, want 120", task, tc.ID, tc.Duration())
+			}
+			if err := tc.Validate(); err != nil {
+				t.Errorf("%s: %v", task, err)
+			}
+		}
+		if blanks != 2 {
+			t.Errorf("%s suite has %d blanks, want 2 (testcases 2 and 7)", task, blanks)
+		}
+		// Memory testcases always ramp/step to 1.0 in every task.
+		for _, idx := range []int{3, 7} {
+			f, ok := suite[idx].Functions[Memory]
+			if !ok {
+				t.Errorf("%s[%d] is not a memory testcase", task, idx)
+				continue
+			}
+			if f.Max() > 1 || f.Max() < 0.97 {
+				t.Errorf("%s[%d] memory max = %v, want ~1.0", task, idx, f.Max())
+			}
+		}
+	}
+}
+
+func TestControlledSuiteAll(t *testing.T) {
+	all, err := ControlledSuiteAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("suite covers %d tasks", len(all))
+	}
+	total := 0
+	ids := make(map[string]bool)
+	for _, tcs := range all {
+		total += len(tcs)
+		for _, tc := range tcs {
+			if ids[tc.ID] {
+				t.Errorf("duplicate testcase id %s", tc.ID)
+			}
+			ids[tc.ID] = true
+		}
+	}
+	if total != 32 {
+		t.Errorf("total testcases = %d, want 32", total)
+	}
+}
+
+func TestControlledSuiteUnknownTask(t *testing.T) {
+	if _, err := ControlledSuite(Task("emacs")); err == nil {
+		t.Error("unknown task accepted")
+	}
+}
+
+func TestParseTask(t *testing.T) {
+	for _, task := range Tasks() {
+		got, err := ParseTask(string(task))
+		if err != nil || got != task {
+			t.Errorf("ParseTask(%s) = %v, %v", task, got, err)
+		}
+		if TaskLabel(task) == "" {
+			t.Errorf("TaskLabel(%s) empty", task)
+		}
+	}
+	if _, err := ParseTask("vi"); err == nil {
+		t.Error("ParseTask accepted unknown task")
+	}
+	if TaskLabel(Task("other")) != "other" {
+		t.Error("TaskLabel fallback wrong")
+	}
+}
+
+func TestGenerator(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Count = 200
+	s := stats.NewStream(1)
+	tcs, err := Generate("inet", cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tcs) != 200 {
+		t.Fatalf("generated %d", len(tcs))
+	}
+	blanks, queues := 0, 0
+	shapes := make(map[Shape]int)
+	for _, tc := range tcs {
+		if err := tc.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", tc.ID, err)
+		}
+		shapes[tc.Shape]++
+		if tc.IsBlank() {
+			blanks++
+		}
+		if tc.Shape == ShapeExpExp || tc.Shape == ShapeExpPar {
+			queues++
+		}
+		for r, f := range tc.Functions {
+			limit := cfg.MaxCPU
+			switch r {
+			case Disk:
+				limit = cfg.MaxDisk
+			case Memory:
+				limit = 1
+			}
+			if f.Max() > limit+1e-9 {
+				t.Errorf("%s: %s exceeds verified range: %v > %v", tc.ID, r, f.Max(), limit)
+			}
+		}
+	}
+	if blanks < 5 || blanks > 50 {
+		t.Errorf("blank count = %d, want ~10%%", blanks)
+	}
+	if queues < 60 {
+		t.Errorf("queue-model count = %d, want predominately M/M/1 and M/G/1", queues)
+	}
+	if len(shapes) < 5 {
+		t.Errorf("only %d shape families generated: %v", len(shapes), shapes)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.Count = 20
+	a, err := Generate("x", cfg, stats.NewStream(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("x", cfg, stats.NewStream(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		as, _ := EncodeString(a[i])
+		bs, _ := EncodeString(b[i])
+		if as != bs {
+			t.Fatalf("generator not deterministic at %d", i)
+		}
+	}
+}
+
+func TestGeneratorBadConfig(t *testing.T) {
+	s := stats.NewStream(1)
+	if _, err := Generate("x", GeneratorConfig{Count: 0, Rate: 1, Duration: 10}, s); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := Generate("x", GeneratorConfig{Count: 1, Rate: 0, Duration: 10}, s); err == nil {
+		t.Error("zero rate accepted")
+	}
+}

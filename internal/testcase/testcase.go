@@ -1,0 +1,172 @@
+package testcase
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Resource identifies one of the borrowable resources (paper §2.2).
+type Resource string
+
+// The three resources UUCS exercises. The paper also prototyped network
+// exercisers but excluded them from the study because they impact hosts
+// beyond the client machine; we follow the paper and omit network.
+const (
+	CPU    Resource = "cpu"
+	Memory Resource = "memory"
+	Disk   Resource = "disk"
+)
+
+// Resources lists all resources in canonical order.
+func Resources() []Resource { return []Resource{CPU, Memory, Disk} }
+
+// ParseResource converts a string to a Resource.
+func ParseResource(s string) (Resource, error) {
+	switch Resource(strings.ToLower(s)) {
+	case CPU:
+		return CPU, nil
+	case Memory:
+		return Memory, nil
+	case Disk:
+		return Disk, nil
+	}
+	return "", fmt.Errorf("testcase: unknown resource %q", s)
+}
+
+// Testcase encodes the details of resource borrowing for one run: a
+// unique identifier, a sample rate, and a collection of exercise
+// functions, one per resource used during the run (paper §2.1).
+type Testcase struct {
+	// ID is the globally unique testcase identifier.
+	ID string
+	// SampleRate is the sample rate in Hz shared by all exercise
+	// functions in the testcase.
+	SampleRate float64
+	// Functions maps each exercised resource to its exercise function.
+	// Resources absent from the map are not exercised (contention 0).
+	Functions map[Resource]ExerciseFunction
+	// Shape records the generating family for analysis grouping; blank
+	// testcases use ShapeBlank.
+	Shape Shape
+	// Params records the generator parameters (e.g. "7.0,120" for a
+	// ramp), mirroring the paper's Figure 8 notation.
+	Params string
+}
+
+// New returns a testcase with the given id and sample rate and no
+// exercise functions (a blank testcase until functions are added).
+func New(id string, rate float64) *Testcase {
+	return &Testcase{ID: id, SampleRate: rate, Functions: make(map[Resource]ExerciseFunction), Shape: ShapeBlank}
+}
+
+// Duration returns the longest exercise-function duration in the
+// testcase, which is how long a run lasts if the user never reacts.
+func (tc *Testcase) Duration() float64 {
+	d := 0.0
+	for _, f := range tc.Functions {
+		if fd := f.Duration(); fd > d {
+			d = fd
+		}
+	}
+	return d
+}
+
+// IsBlank reports whether the testcase exercises nothing — the paper's
+// blank testcases, used to measure the discomfort noise floor.
+func (tc *Testcase) IsBlank() bool {
+	for _, f := range tc.Functions {
+		if !f.IsBlank() {
+			return false
+		}
+	}
+	return true
+}
+
+// ExercisedResources returns the resources with non-blank exercise
+// functions, in canonical order.
+func (tc *Testcase) ExercisedResources() []Resource {
+	var out []Resource
+	for _, r := range Resources() {
+		if f, ok := tc.Functions[r]; ok && !f.IsBlank() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PrimaryResource returns the single exercised resource for the
+// single-resource testcases used throughout the controlled study, or ""
+// for blank or multi-resource testcases.
+func (tc *Testcase) PrimaryResource() Resource {
+	rs := tc.ExercisedResources()
+	if len(rs) == 1 {
+		return rs[0]
+	}
+	return ""
+}
+
+// Contention returns the contention level for resource r at time t.
+func (tc *Testcase) Contention(r Resource, t float64) float64 {
+	f, ok := tc.Functions[r]
+	if !ok {
+		return 0
+	}
+	return f.Value(t)
+}
+
+// LastFive returns, per exercised resource, the last five contention
+// values at time t — exactly the per-run data the paper stores (§2.3).
+func (tc *Testcase) LastFive(t float64) map[Resource][]float64 {
+	out := make(map[Resource][]float64, len(tc.Functions))
+	for r, f := range tc.Functions {
+		out[r] = f.LastN(t, 5)
+	}
+	return out
+}
+
+// Validate checks internal consistency: positive sample rate, matching
+// per-function rates, non-negative contention, and memory contention no
+// greater than one (the paper avoids memory contention > 1 because it
+// immediately causes thrashing and is hard to stop punctually).
+func (tc *Testcase) Validate() error {
+	if tc.ID == "" {
+		return fmt.Errorf("testcase: empty id")
+	}
+	if tc.SampleRate <= 0 {
+		return fmt.Errorf("testcase %s: non-positive sample rate %g", tc.ID, tc.SampleRate)
+	}
+	for r, f := range tc.Functions {
+		if f.Rate != tc.SampleRate {
+			return fmt.Errorf("testcase %s: %s function rate %g != testcase rate %g", tc.ID, r, f.Rate, tc.SampleRate)
+		}
+		for i, v := range f.Values {
+			if v < 0 {
+				return fmt.Errorf("testcase %s: %s sample %d is negative (%g)", tc.ID, r, i, v)
+			}
+			if r == Memory && v > 1 {
+				return fmt.Errorf("testcase %s: memory contention %g > 1 at sample %d (would thrash)", tc.ID, v, i)
+			}
+		}
+	}
+	return nil
+}
+
+// String summarizes the testcase for logs.
+func (tc *Testcase) String() string {
+	var parts []string
+	for _, r := range Resources() {
+		if f, ok := tc.Functions[r]; ok && !f.IsBlank() {
+			parts = append(parts, fmt.Sprintf("%s max=%.2f", r, f.Max()))
+		}
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "blank")
+	}
+	return fmt.Sprintf("%s [%s %s] %.0fs %s", tc.ID, tc.Shape, tc.Params, tc.Duration(), strings.Join(parts, " "))
+}
+
+// SortByID sorts testcases by identifier, for deterministic stores.
+func SortByID(tcs []*Testcase) {
+	sort.Slice(tcs, func(i, j int) bool { return tcs[i].ID < tcs[j].ID })
+}

@@ -1,0 +1,237 @@
+package testcase
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"uucs/internal/stats"
+)
+
+func TestTestcaseBasics(t *testing.T) {
+	tc := New("t1", 1)
+	tc.Functions[CPU] = Ramp(2, 120, 1)
+	tc.Shape = ShapeRamp
+	tc.Params = "2,120"
+	if err := tc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tc.Duration() != 120 {
+		t.Errorf("Duration = %v", tc.Duration())
+	}
+	if tc.IsBlank() {
+		t.Error("ramp testcase reported blank")
+	}
+	if got := tc.PrimaryResource(); got != CPU {
+		t.Errorf("PrimaryResource = %v", got)
+	}
+	if got := tc.Contention(CPU, 60); got < 0.9 || got > 1.1 {
+		t.Errorf("Contention(CPU, 60) = %v", got)
+	}
+	if got := tc.Contention(Disk, 60); got != 0 {
+		t.Errorf("unexercised resource contention = %v", got)
+	}
+}
+
+func TestTestcaseValidation(t *testing.T) {
+	tc := New("", 1)
+	if err := tc.Validate(); err == nil {
+		t.Error("empty id should fail validation")
+	}
+	tc = New("x", 0)
+	if err := tc.Validate(); err == nil {
+		t.Error("zero rate should fail validation")
+	}
+	tc = New("x", 1)
+	tc.Functions[Memory] = ExerciseFunction{Rate: 1, Values: []float64{0.5, 1.5}}
+	if err := tc.Validate(); err == nil || !strings.Contains(err.Error(), "thrash") {
+		t.Errorf("memory contention > 1 should fail validation, got %v", err)
+	}
+	tc = New("x", 1)
+	tc.Functions[CPU] = ExerciseFunction{Rate: 1, Values: []float64{-0.1}}
+	if err := tc.Validate(); err == nil {
+		t.Error("negative contention should fail validation")
+	}
+	tc = New("x", 1)
+	tc.Functions[CPU] = ExerciseFunction{Rate: 2, Values: []float64{0.1}}
+	if err := tc.Validate(); err == nil {
+		t.Error("mismatched rates should fail validation")
+	}
+}
+
+func TestBlankTestcase(t *testing.T) {
+	tc := New("b", 1)
+	tc.Functions[CPU] = Blank(120, 1)
+	if !tc.IsBlank() {
+		t.Error("blank testcase not blank")
+	}
+	if rs := tc.ExercisedResources(); len(rs) != 0 {
+		t.Errorf("blank testcase exercises %v", rs)
+	}
+	if tc.PrimaryResource() != "" {
+		t.Error("blank testcase has a primary resource")
+	}
+	if !strings.Contains(tc.String(), "blank") {
+		t.Errorf("String = %q", tc.String())
+	}
+}
+
+func TestLastFive(t *testing.T) {
+	tc := New("t", 1)
+	tc.Functions[CPU] = ExerciseFunction{Rate: 1, Values: []float64{0, 1, 2, 3, 4, 5, 6}}
+	lf := tc.LastFive(5.5)
+	vals := lf[CPU]
+	if len(vals) != 5 || vals[0] != 1 || vals[4] != 5 {
+		t.Errorf("LastFive = %v", vals)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tc := New("round-1", 2)
+	tc.Shape = ShapeStep
+	tc.Params = "2,60,20"
+	tc.Functions[CPU] = Step(2, 60, 20, 2)
+	tc.Functions[Memory] = ExerciseFunction{Rate: 2, Values: []float64{0.1, 0.2, 0.3}}
+	s, err := EncodeString(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeString(s)
+	if err != nil {
+		t.Fatalf("decode: %v\n%s", err, s)
+	}
+	if got.ID != tc.ID || got.SampleRate != tc.SampleRate || got.Shape != tc.Shape || got.Params != tc.Params {
+		t.Errorf("metadata mismatch: %+v vs %+v", got, tc)
+	}
+	if len(got.Functions) != 2 {
+		t.Fatalf("decoded %d functions", len(got.Functions))
+	}
+	for r, f := range tc.Functions {
+		gf := got.Functions[r]
+		if len(gf.Values) != len(f.Values) {
+			t.Fatalf("%s: %d values vs %d", r, len(gf.Values), len(f.Values))
+		}
+		for i := range f.Values {
+			if gf.Values[i] != f.Values[i] {
+				t.Fatalf("%s sample %d: %v vs %v", r, i, gf.Values[i], f.Values[i])
+			}
+		}
+	}
+}
+
+func TestDecodeMultiple(t *testing.T) {
+	text := `# a comment
+testcase a
+rate 1
+shape blank
+function cpu 0 0 0
+end
+
+testcase b
+rate 1
+shape ramp 1,3
+function disk 0 0.5 1
+end
+`
+	tcs, err := DecodeAll(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tcs) != 2 || tcs[0].ID != "a" || tcs[1].ID != "b" {
+		t.Fatalf("decoded %d testcases", len(tcs))
+	}
+	if !tcs[0].IsBlank() {
+		t.Error("testcase a should be blank")
+	}
+	if tcs[1].Functions[Disk].Values[2] != 1 {
+		t.Error("testcase b disk function wrong")
+	}
+}
+
+func TestDecodeRateAfterFunction(t *testing.T) {
+	text := "testcase a\nfunction cpu 1 2\nrate 4\nend\n"
+	tcs, err := DecodeAll(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tcs[0].Functions[CPU].Rate; got != 4 {
+		t.Errorf("function rate = %v, want bound to 4", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"rate 1\n",                                   // rate outside testcase
+		"testcase a\nrate 1\n",                       // unterminated
+		"testcase a\nrate x\nend\n",                  // bad rate
+		"testcase a\nrate 1\nfunction gpu 1\nend\n",  // unknown resource
+		"testcase a\nrate 1\nfunction cpu z\nend\n",  // bad sample
+		"testcase a\ntestcase b\n",                   // nested
+		"bogus directive\n",                          // unknown directive
+		"end\n",                                      // end outside
+		"testcase a\nrate 1\nshape\nend\n",           // shape missing family
+		"testcase a\nrate 1\nfunction cpu -1\nend\n", // negative contention
+	}
+	for _, c := range cases {
+		if _, err := DecodeAll(strings.NewReader(c)); err == nil {
+			t.Errorf("decode accepted invalid input %q", c)
+		}
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	tc := New("", 1)
+	var b strings.Builder
+	if err := Encode(&b, tc); err == nil {
+		t.Error("Encode accepted invalid testcase")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		s := stats.NewStream(seed)
+		tcs, err := Generate("p", GeneratorConfig{
+			Count: 3, Rate: 1, Duration: 30,
+			BlankFraction: 0.2, QueueFraction: 0.5, MaxCPU: 10, MaxDisk: 7,
+		}, s)
+		if err != nil {
+			return false
+		}
+		var b strings.Builder
+		if err := EncodeAll(&b, tcs); err != nil {
+			return false
+		}
+		got, err := DecodeAll(strings.NewReader(b.String()))
+		if err != nil || len(got) != len(tcs) {
+			return false
+		}
+		for i := range tcs {
+			if got[i].ID != tcs[i].ID || got[i].Shape != tcs[i].Shape {
+				return false
+			}
+			for r, f := range tcs[i].Functions {
+				gf, ok := got[i].Functions[r]
+				if !ok || len(gf.Values) != len(f.Values) {
+					return false
+				}
+				for j := range f.Values {
+					if gf.Values[j] != f.Values[j] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortByID(t *testing.T) {
+	tcs := []*Testcase{New("c", 1), New("a", 1), New("b", 1)}
+	SortByID(tcs)
+	if tcs[0].ID != "a" || tcs[2].ID != "c" {
+		t.Errorf("sort order: %v %v %v", tcs[0].ID, tcs[1].ID, tcs[2].ID)
+	}
+}

@@ -1,0 +1,95 @@
+package throttle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// Set manages one throttle per resource. The subtlety it handles is the
+// attribution problem in the paper's feedback design: the user's click
+// says "the machine feels slow", not which resource caused it. A Set
+// therefore backs every resource off on feedback, while recovery is
+// independent per resource — the resources the user actually tolerates
+// drift back to their ceilings, and the culprit keeps getting knocked
+// down each time it recovers enough to annoy again.
+type Set struct {
+	throttles map[testcase.Resource]*Throttle
+}
+
+// NewSet builds a throttle per resource from its CDF. targets and maxima
+// must cover every provided CDF.
+func NewSet(cdfs map[testcase.Resource]*stats.CDF, target float64, maxima map[testcase.Resource]float64, opts ...Option) (*Set, error) {
+	if len(cdfs) == 0 {
+		return nil, fmt.Errorf("throttle: set needs at least one resource CDF")
+	}
+	s := &Set{throttles: make(map[testcase.Resource]*Throttle, len(cdfs))}
+	for res, cdf := range cdfs {
+		maxLevel, ok := maxima[res]
+		if !ok {
+			return nil, fmt.Errorf("throttle: no max level for %s", res)
+		}
+		th, err := New(cdf, target, maxLevel, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("throttle: %s: %w", res, err)
+		}
+		s.throttles[res] = th
+	}
+	return s, nil
+}
+
+// Level returns the current borrowing level for a resource (0 for
+// unmanaged resources).
+func (s *Set) Level(res testcase.Resource) float64 {
+	th, ok := s.throttles[res]
+	if !ok {
+		return 0
+	}
+	return th.Level()
+}
+
+// Levels returns the current level per managed resource.
+func (s *Set) Levels() map[testcase.Resource]float64 {
+	out := make(map[testcase.Resource]float64, len(s.throttles))
+	for res, th := range s.throttles {
+		out[res] = th.Level()
+	}
+	return out
+}
+
+// OnFeedback applies a user complaint to every resource: the click does
+// not say which resource hurt.
+func (s *Set) OnFeedback() {
+	for _, th := range s.throttles {
+		th.OnFeedback()
+	}
+}
+
+// OnQuiet advances complaint-free time on every resource.
+func (s *Set) OnQuiet(dt float64) {
+	for _, th := range s.throttles {
+		th.OnQuiet(dt)
+	}
+}
+
+// Throttle exposes one resource's throttle (nil if unmanaged), for
+// retargeting or inspection.
+func (s *Set) Throttle(res testcase.Resource) *Throttle { return s.throttles[res] }
+
+// String renders the set state.
+func (s *Set) String() string {
+	resources := make([]string, 0, len(s.throttles))
+	for res := range s.throttles {
+		resources = append(resources, string(res))
+	}
+	sort.Strings(resources)
+	parts := make([]string, 0, len(resources))
+	for _, res := range resources {
+		th := s.throttles[testcase.Resource(res)]
+		parts = append(parts, fmt.Sprintf("%s=%.2f/%.2f", res, th.Level(), th.Ceiling()))
+	}
+	return "throttleset(" + strings.Join(parts, " ") + ")"
+}

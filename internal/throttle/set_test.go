@@ -1,0 +1,99 @@
+package throttle
+
+import (
+	"strings"
+	"testing"
+
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+func testCDFs() map[testcase.Resource]*stats.CDF {
+	return map[testcase.Resource]*stats.CDF{
+		testcase.CPU:    cdf100(100, 0), // c05 = 0.5
+		testcase.Memory: stats.NewCDF([]float64{0.3, 0.5, 0.7, 0.9}, 60),
+		testcase.Disk:   cdf100(50, 50),
+	}
+}
+
+func testMaxima() map[testcase.Resource]float64 {
+	return map[testcase.Resource]float64{testcase.CPU: 10, testcase.Memory: 1, testcase.Disk: 7}
+}
+
+func TestNewSet(t *testing.T) {
+	s, err := NewSet(testCDFs(), 0.05, testMaxima())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Level(testcase.CPU); got != 0.5 {
+		t.Errorf("cpu level = %v", got)
+	}
+	if got := s.Level(testcase.Memory); got <= 0 || got > 1 {
+		t.Errorf("memory level = %v", got)
+	}
+	if got := s.Level(testcase.Resource("network")); got != 0 {
+		t.Errorf("unmanaged resource level = %v", got)
+	}
+	if len(s.Levels()) != 3 {
+		t.Errorf("levels = %v", s.Levels())
+	}
+	out := s.String()
+	for _, want := range []string{"cpu=", "memory=", "disk="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String missing %s: %q", want, out)
+		}
+	}
+}
+
+func TestNewSetValidation(t *testing.T) {
+	if _, err := NewSet(nil, 0.05, testMaxima()); err == nil {
+		t.Error("empty set accepted")
+	}
+	cdfs := testCDFs()
+	maxima := testMaxima()
+	delete(maxima, testcase.Disk)
+	if _, err := NewSet(cdfs, 0.05, maxima); err == nil {
+		t.Error("missing max accepted")
+	}
+	if _, err := NewSet(cdfs, 0, testMaxima()); err == nil {
+		t.Error("zero target accepted")
+	}
+}
+
+func TestSetFeedbackHitsAllRecoveryIsIndependent(t *testing.T) {
+	s, err := NewSet(testCDFs(), 0.10, testMaxima(), WithBackoff(0.5), WithRecovery(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Levels()
+	s.OnFeedback()
+	for res, lvl := range s.Levels() {
+		if lvl != before[res]/2 {
+			t.Errorf("%s not backed off: %v vs %v", res, lvl, before[res])
+		}
+	}
+	// Generous recovery returns everyone to their own ceiling.
+	s.OnQuiet(10)
+	for res, lvl := range s.Levels() {
+		if lvl != s.Throttle(res).Ceiling() {
+			t.Errorf("%s did not recover: %v vs %v", res, lvl, s.Throttle(res).Ceiling())
+		}
+	}
+}
+
+func TestSetThrottleAccess(t *testing.T) {
+	s, err := NewSet(testCDFs(), 0.05, testMaxima())
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := s.Throttle(testcase.CPU)
+	if th == nil {
+		t.Fatal("managed throttle not exposed")
+	}
+	if err := th.Retarget(0.2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Throttle(testcase.Resource("gpu")) != nil {
+		t.Error("unmanaged throttle returned")
+	}
+}

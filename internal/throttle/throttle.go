@@ -1,0 +1,150 @@
+// Package throttle implements the paper's advice to implementors (§5):
+// a resource-borrowing throttle that is set from the measured discomfort
+// CDFs according to the fraction of users the implementor is willing to
+// affect, and that additionally reacts to direct user feedback with
+// multiplicative backoff and slow additive recovery.
+package throttle
+
+import (
+	"fmt"
+	"math"
+
+	"uucs/internal/stats"
+)
+
+// Throttle controls the borrowing level for one resource on one host.
+// It is not safe for concurrent use.
+type Throttle struct {
+	cdf    *stats.CDF
+	target float64
+	max    float64
+
+	// ceiling is the CDF-derived level that discomforts the target
+	// fraction of users.
+	ceiling float64
+	level   float64
+
+	// backoff and recoverPerSec shape the feedback response.
+	backoff       float64
+	recoverPerSec float64
+
+	feedbacks int
+}
+
+// Option customizes a Throttle.
+type Option func(*Throttle)
+
+// WithBackoff sets the multiplicative decrease applied on user feedback
+// (default 0.5).
+func WithBackoff(f float64) Option {
+	return func(t *Throttle) { t.backoff = f }
+}
+
+// WithRecovery sets the additive recovery rate in contention units per
+// second of quiet operation (default: ceiling/600, i.e. ten quiet
+// minutes to return to the ceiling from zero).
+func WithRecovery(perSec float64) Option {
+	return func(t *Throttle) { t.recoverPerSec = perSec }
+}
+
+// New builds a throttle for one resource from its measured discomfort
+// CDF. target is the fraction of users the caller is willing to
+// discomfort (the paper highlights the 5% level, c_0.05); maxLevel caps
+// borrowing regardless of the CDF (e.g. 1.0 for memory). If the CDF
+// never reaches the target within its explored range, the ceiling is the
+// largest explored level — the data says nobody complains below it.
+func New(cdf *stats.CDF, target, maxLevel float64, opts ...Option) (*Throttle, error) {
+	if cdf == nil {
+		return nil, fmt.Errorf("throttle: nil CDF")
+	}
+	if target <= 0 || target >= 1 {
+		return nil, fmt.Errorf("throttle: target fraction %g out of (0,1)", target)
+	}
+	if maxLevel <= 0 {
+		return nil, fmt.Errorf("throttle: non-positive max level")
+	}
+	ceiling, ok := cdf.Percentile(target)
+	if !ok {
+		// Fewer than target users ever reacted: borrow up to the edge of
+		// the explored range.
+		ceiling = cdf.Max()
+		if ceiling == 0 {
+			ceiling = maxLevel
+		}
+	}
+	ceiling = math.Min(ceiling, maxLevel)
+	t := &Throttle{
+		cdf:     cdf,
+		target:  target,
+		max:     maxLevel,
+		ceiling: ceiling,
+		level:   ceiling,
+		backoff: 0.5,
+	}
+	t.recoverPerSec = ceiling / 600
+	for _, o := range opts {
+		o(t)
+	}
+	if t.backoff <= 0 || t.backoff >= 1 {
+		return nil, fmt.Errorf("throttle: backoff %g out of (0,1)", t.backoff)
+	}
+	if t.recoverPerSec < 0 {
+		return nil, fmt.Errorf("throttle: negative recovery rate")
+	}
+	return t, nil
+}
+
+// Level returns the current borrowing level.
+func (t *Throttle) Level() float64 { return t.level }
+
+// Ceiling returns the CDF-derived target level.
+func (t *Throttle) Ceiling() float64 { return t.ceiling }
+
+// ExpectedDiscomfort returns the fraction of users the current level is
+// expected to discomfort, read off the CDF.
+func (t *Throttle) ExpectedDiscomfort() float64 { return t.cdf.At(t.level) }
+
+// Feedbacks returns how many user complaints the throttle has absorbed.
+func (t *Throttle) Feedbacks() int { return t.feedbacks }
+
+// OnFeedback reacts to a user discomfort signal: multiplicative
+// decrease, exactly the "consider using user feedback directly in your
+// application" advice.
+func (t *Throttle) OnFeedback() {
+	t.feedbacks++
+	t.level *= t.backoff
+}
+
+// OnQuiet advances dt seconds of complaint-free operation: the level
+// recovers additively toward the ceiling (never beyond it).
+func (t *Throttle) OnQuiet(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	t.level = math.Min(t.ceiling, t.level+t.recoverPerSec*dt)
+}
+
+// Retarget recomputes the ceiling for a new target fraction, keeping the
+// current level if it is below the new ceiling.
+func (t *Throttle) Retarget(target float64) error {
+	if target <= 0 || target >= 1 {
+		return fmt.Errorf("throttle: target fraction %g out of (0,1)", target)
+	}
+	ceiling, ok := t.cdf.Percentile(target)
+	if !ok {
+		ceiling = t.cdf.Max()
+		if ceiling == 0 {
+			ceiling = t.max
+		}
+	}
+	t.target = target
+	t.ceiling = math.Min(ceiling, t.max)
+	t.level = math.Min(t.level, t.ceiling)
+	return nil
+}
+
+// String summarizes the throttle state.
+func (t *Throttle) String() string {
+	return fmt.Sprintf("throttle(level=%.2f ceiling=%.2f target=%.0f%% feedbacks=%d expected=%.1f%%)",
+		t.level, t.ceiling, t.target*100, t.feedbacks, t.ExpectedDiscomfort()*100)
+}

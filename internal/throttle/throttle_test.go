@@ -1,0 +1,177 @@
+package throttle
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"uucs/internal/stats"
+)
+
+// cdf100 builds a CDF with discomfort levels 0.1, 0.2 ... up to n/10.
+func cdf100(n, exhausted int) *stats.CDF {
+	levels := make([]float64, n)
+	for i := range levels {
+		levels[i] = float64(i+1) / 10
+	}
+	return stats.NewCDF(levels, exhausted)
+}
+
+func TestNewSetsCeilingFromCDF(t *testing.T) {
+	c := cdf100(100, 0) // levels 0.1..10.0
+	th, err := New(c, 0.05, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Ceiling() != 0.5 { // 5th percentile of 100 runs
+		t.Errorf("ceiling = %v, want 0.5", th.Ceiling())
+	}
+	if th.Level() != th.Ceiling() {
+		t.Errorf("initial level = %v", th.Level())
+	}
+	if got := th.ExpectedDiscomfort(); math.Abs(got-0.05) > 1e-9 {
+		t.Errorf("expected discomfort = %v", got)
+	}
+}
+
+func TestNewCapsAtMaxLevel(t *testing.T) {
+	c := cdf100(100, 0)
+	th, err := New(c, 0.5, 1.0) // 50th percentile = 5.0, capped at 1.0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Ceiling() != 1.0 {
+		t.Errorf("ceiling = %v, want cap 1.0", th.Ceiling())
+	}
+}
+
+func TestNewWithUnreachedTarget(t *testing.T) {
+	// Only 2 of 100 runs discomforted: the 5% level does not exist, so
+	// borrow to the edge of the explored range.
+	c := stats.NewCDF([]float64{3, 4}, 98)
+	th, err := New(c, 0.05, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Ceiling() != 4 {
+		t.Errorf("ceiling = %v, want max explored 4", th.Ceiling())
+	}
+	// Empty CDF: fall back to the cap.
+	th, err = New(stats.NewCDF(nil, 0), 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Ceiling() != 7 {
+		t.Errorf("empty-CDF ceiling = %v", th.Ceiling())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	c := cdf100(10, 0)
+	if _, err := New(nil, 0.05, 1); err == nil {
+		t.Error("nil CDF accepted")
+	}
+	if _, err := New(c, 0, 1); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := New(c, 1, 1); err == nil {
+		t.Error("target 1 accepted")
+	}
+	if _, err := New(c, 0.05, 0); err == nil {
+		t.Error("zero max accepted")
+	}
+	if _, err := New(c, 0.05, 1, WithBackoff(1.5)); err == nil {
+		t.Error("backoff > 1 accepted")
+	}
+	if _, err := New(c, 0.05, 1, WithRecovery(-1)); err == nil {
+		t.Error("negative recovery accepted")
+	}
+}
+
+func TestFeedbackBackoffAndRecovery(t *testing.T) {
+	c := cdf100(100, 0)
+	th, err := New(c, 0.10, 20, WithBackoff(0.5), WithRecovery(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := th.Level() // 1.0
+	th.OnFeedback()
+	if th.Level() != start/2 {
+		t.Errorf("after feedback: %v", th.Level())
+	}
+	th.OnFeedback()
+	if th.Level() != start/4 {
+		t.Errorf("after 2nd feedback: %v", th.Level())
+	}
+	if th.Feedbacks() != 2 {
+		t.Errorf("feedbacks = %d", th.Feedbacks())
+	}
+	// Recovery climbs back but never beyond the ceiling.
+	th.OnQuiet(10) // +0.1
+	if math.Abs(th.Level()-(start/4+0.1)) > 1e-12 {
+		t.Errorf("after quiet: %v", th.Level())
+	}
+	th.OnQuiet(1e6)
+	if th.Level() != th.Ceiling() {
+		t.Errorf("recovery overshot: %v > %v", th.Level(), th.Ceiling())
+	}
+	th.OnQuiet(-5) // ignored
+	if th.Level() != th.Ceiling() {
+		t.Error("negative quiet changed level")
+	}
+}
+
+func TestRetarget(t *testing.T) {
+	c := cdf100(100, 0)
+	th, err := New(c, 0.05, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Retarget(0.20); err != nil {
+		t.Fatal(err)
+	}
+	if th.Ceiling() != 2.0 {
+		t.Errorf("retargeted ceiling = %v", th.Ceiling())
+	}
+	// Level stays where it was (below the new ceiling).
+	if th.Level() != 0.5 {
+		t.Errorf("level after retarget = %v", th.Level())
+	}
+	// Tightening the target clamps the level.
+	if err := th.Retarget(0.01); err != nil {
+		t.Fatal(err)
+	}
+	if th.Level() != th.Ceiling() {
+		t.Errorf("level not clamped: %v vs %v", th.Level(), th.Ceiling())
+	}
+	if err := th.Retarget(2); err == nil {
+		t.Error("bad retarget accepted")
+	}
+	if th.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestThrottleInvariantsProperty(t *testing.T) {
+	check := func(seed uint64, events uint8) bool {
+		s := stats.NewStream(seed)
+		th, err := New(cdf100(50, 25), 0.08, 4)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < int(events); i++ {
+			if s.Bool(0.3) {
+				th.OnFeedback()
+			} else {
+				th.OnQuiet(s.Range(0, 120))
+			}
+			if th.Level() < 0 || th.Level() > th.Ceiling()+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

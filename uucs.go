@@ -1,0 +1,318 @@
+// Package uucs is the public API of the UUCS reproduction — the
+// Understanding User Comfort System of "Measuring and Understanding User
+// Comfort With Resource Borrowing" (Gupta, Lin, Dinda; HPDC 2004).
+//
+// The system measures how resource borrowing (of CPU time, memory space
+// and disk bandwidth) relates to end-user comfort. A client executes
+// testcases that exercise resources according to parameterized exercise
+// functions while a user works in the foreground; the moment the user
+// expresses discomfort is recorded, and collections of such runs are
+// reduced to empirical CDFs and derived metrics (f_d, c_0.05, c_a) that
+// tell an implementor how aggressively each resource can be borrowed.
+//
+// Layering, bottom to top:
+//
+//   - Testcases and exercise functions (step, ramp, sin, saw, expexp,
+//     exppar): NewTestcase, Step, Ramp, ControlledSuite, ...
+//   - The simulated host (the substitute for the paper's Windows XP
+//     machines): StudyMachine, NewMachine.
+//   - Foreground application models (Word, Powerpoint, IE, Quake III):
+//     NewApp.
+//   - Synthetic users (the substitute for the paper's 33 participants):
+//     SamplePopulation.
+//   - The run engine: NewEngine, (*Engine).Execute.
+//   - Studies and analysis: RunControlledStudy, RunInternetStudy,
+//     NewDB and the figure/table computations.
+//   - The client/server system: NewServer, NewClient, OpenStore.
+//   - The §5 advice: NewThrottle.
+//
+// The quickest start is the controlled study:
+//
+//	res, err := uucs.RunControlledStudy(uucs.DefaultStudyConfig())
+//	if err != nil { ... }
+//	fmt.Println(res.RenderAll()) // every figure of the paper's §3
+package uucs
+
+import (
+	"uucs/internal/analysis"
+	"uucs/internal/apps"
+	"uucs/internal/client"
+	"uucs/internal/comfort"
+	"uucs/internal/core"
+	"uucs/internal/harvest"
+	"uucs/internal/hostsim"
+	"uucs/internal/internetstudy"
+	"uucs/internal/protocol"
+	"uucs/internal/server"
+	"uucs/internal/stats"
+	"uucs/internal/study"
+	"uucs/internal/testcase"
+	"uucs/internal/throttle"
+)
+
+// Testcases and exercise functions.
+type (
+	// Testcase encodes the details of resource borrowing for one run.
+	Testcase = testcase.Testcase
+	// ExerciseFunction is a sampled contention time series.
+	ExerciseFunction = testcase.ExerciseFunction
+	// Resource identifies CPU, Memory or Disk.
+	Resource = testcase.Resource
+	// Task identifies the foreground context.
+	Task = testcase.Task
+	// Shape identifies an exercise-function family.
+	Shape = testcase.Shape
+)
+
+// Resources.
+const (
+	CPU    = testcase.CPU
+	Memory = testcase.Memory
+	Disk   = testcase.Disk
+)
+
+// Controlled-study tasks.
+const (
+	Word       = testcase.Word
+	Powerpoint = testcase.Powerpoint
+	IE         = testcase.IE
+	Quake      = testcase.Quake
+)
+
+// Exercise-function constructors (paper Figure 3).
+var (
+	Step   = testcase.Step
+	Ramp   = testcase.Ramp
+	Sin    = testcase.Sin
+	Saw    = testcase.Saw
+	Blank  = testcase.Blank
+	ExpExp = testcase.ExpExp
+	ExpPar = testcase.ExpPar
+)
+
+// NewTestcase returns an empty testcase with the given id and rate.
+func NewTestcase(id string, rate float64) *Testcase { return testcase.New(id, rate) }
+
+// ControlledSuite returns the paper's Figure 8 testcases for one task.
+func ControlledSuite(task Task) ([]*Testcase, error) { return testcase.ControlledSuite(task) }
+
+// GenerateTestcases produces a randomized Internet-study population.
+func GenerateTestcases(prefix string, cfg testcase.GeneratorConfig, seed uint64) ([]*Testcase, error) {
+	return testcase.Generate(prefix, cfg, stats.NewStream(seed))
+}
+
+// DefaultGeneratorConfig mirrors the paper's Internet-study emphasis.
+var DefaultGeneratorConfig = testcase.DefaultGeneratorConfig
+
+// Host simulation.
+type (
+	// MachineConfig describes simulated hardware.
+	MachineConfig = hostsim.Config
+	// Machine is one simulated host during one run.
+	Machine = hostsim.Machine
+	// NoiseProfile parameterizes background OS activity.
+	NoiseProfile = hostsim.NoiseProfile
+)
+
+var (
+	// StudyMachine is the controlled study's hardware (Figure 7).
+	StudyMachine = hostsim.StudyMachine
+	// DefaultNoise is the quiescent-desktop background profile.
+	DefaultNoise = hostsim.DefaultNoise
+	// NoNoise disables background activity.
+	NoNoise = hostsim.NoNoise
+)
+
+// NewMachine builds a simulated host.
+func NewMachine(cfg MachineConfig, noise NoiseProfile, seed uint64) (*Machine, error) {
+	return hostsim.NewMachine(cfg, noise, seed)
+}
+
+// Application models.
+type App = apps.App
+
+// NewApp returns the foreground model for a controlled-study task.
+func NewApp(task Task) (App, error) { return apps.New(task) }
+
+// NewMediaPlayer returns the video-playback model — a fifth context
+// beyond the paper's four tasks.
+var (
+	NewMediaPlayer     = apps.NewMediaPlayer
+	DefaultMediaParams = apps.DefaultMediaParams
+)
+
+// Exercise-function manipulation tools (the paper's Figure 2 toolchain).
+var (
+	ScaleFunction = testcase.Scale
+	SliceFunction = testcase.Slice
+	Concat        = testcase.Concat
+	Repeat        = testcase.Repeat
+	ClampFunction = testcase.Clamp
+	ZoomRamp      = testcase.ZoomRamp
+)
+
+// Users.
+type (
+	// User is one synthetic participant.
+	User = comfort.User
+	// PopulationParams holds the tolerance distributions.
+	PopulationParams = comfort.PopulationParams
+)
+
+// DefaultPopulation is the calibrated study population.
+var DefaultPopulation = comfort.DefaultPopulation
+
+// SamplePopulation draws n users deterministically.
+func SamplePopulation(n int, p PopulationParams, seed uint64) ([]*User, error) {
+	return comfort.SamplePopulation(n, p, seed)
+}
+
+// Run engine.
+type (
+	// Engine executes testcases.
+	Engine = core.Engine
+	// Run is one testcase execution record.
+	Run = core.Run
+)
+
+// Run outcomes.
+const (
+	Discomfort = core.Discomfort
+	Exhausted  = core.Exhausted
+)
+
+// NewEngine returns an engine for the study machine.
+func NewEngine() *Engine { return core.NewEngine() }
+
+// EncodeRuns and DecodeRuns move run records through the text format.
+var (
+	EncodeRuns = core.EncodeRuns
+	DecodeRuns = core.DecodeRuns
+)
+
+// Studies.
+type (
+	// StudyConfig parameterizes the controlled study.
+	StudyConfig = study.Config
+	// StudyResults carries the runs and every figure of §3.
+	StudyResults = study.Results
+	// FleetConfig parameterizes the Internet-wide study.
+	FleetConfig = internetstudy.Config
+	// FleetResults carries the fleet outcome.
+	FleetResults = internetstudy.Results
+)
+
+var (
+	// DefaultStudyConfig mirrors the paper (33 users).
+	DefaultStudyConfig = study.DefaultConfig
+	// DefaultFleetConfig mirrors the paper's ~100-host study.
+	DefaultFleetConfig = internetstudy.DefaultConfig
+	// HostSpeedEffect answers the paper's raw-host-speed question.
+	HostSpeedEffect = internetstudy.HostSpeedEffect
+)
+
+// RunControlledStudy executes the paper's §3 study.
+func RunControlledStudy(cfg StudyConfig) (*StudyResults, error) { return study.Run(cfg) }
+
+// RunInternetStudy executes the paper's §4 fleet study.
+func RunInternetStudy(cfg FleetConfig) (*FleetResults, error) { return internetstudy.Run(cfg) }
+
+// Analysis.
+type (
+	// DB is the in-memory result database of the analysis phase.
+	DB = analysis.DB
+	// Metrics is one f_d / c_0.05 / c_a cell.
+	Metrics = analysis.Metrics
+	// CDF is an empirical discomfort CDF.
+	CDF = stats.CDF
+)
+
+var (
+	// NewDB imports run records for analysis.
+	NewDB = analysis.NewDB
+	// MetricsCell looks up a table cell.
+	MetricsCell = analysis.Cell
+	// NewCDF builds an empirical CDF directly.
+	NewCDF = stats.NewCDF
+	// KMCurve builds a censoring-corrected Kaplan-Meier discomfort
+	// estimate from run records (exhausted runs are right-censored).
+	KMCurve = analysis.KMCurve
+	// KaplanMeier estimates a survival curve from raw censored levels.
+	KaplanMeier = stats.KaplanMeier
+)
+
+// KMPoint is one step of a Kaplan-Meier discomfort curve.
+type KMPoint = stats.KMPoint
+
+// KMPointC05 returns the censoring-corrected c_0.05 from a KM curve.
+func KMPointC05(curve []KMPoint) (float64, bool) { return stats.KMQuantile(curve, 0.05) }
+
+// RunAblations reruns the controlled study with one model mechanism
+// removed at a time (see internal/study).
+var (
+	RunAblations    = study.RunAblations
+	RenderAblations = study.RenderAblations
+	StudyAblations  = study.Ablations
+)
+
+// Client/server system.
+type (
+	// Server is the UUCS server.
+	Server = server.Server
+	// Client is the UUCS client.
+	Client = client.Client
+	// ClientStore is the client's text-file storage.
+	ClientStore = client.Store
+	// Snapshot is the registration machine description.
+	Snapshot = protocol.Snapshot
+)
+
+// NewServer returns an empty server.
+func NewServer(seed uint64) *Server { return server.New(seed) }
+
+// OpenStore opens a client store directory.
+func OpenStore(dir string) (*ClientStore, error) { return client.OpenStore(dir) }
+
+// NewClient builds a client over a store.
+func NewClient(store *ClientStore, snap Snapshot, engine *Engine, seed uint64) (*Client, error) {
+	return client.New(store, snap, engine, seed)
+}
+
+// Harvest-policy evaluation (§1 motivation, §5 advice): how much work a
+// borrowing policy extracts from a fleet and how many users it annoys.
+type (
+	// HarvestPolicy decides the borrowing level per scheduling window.
+	HarvestPolicy = harvest.Policy
+	// HarvestDay parameterizes the simulated fleet day.
+	HarvestDay = harvest.Day
+	// HarvestResult aggregates one policy's day.
+	HarvestResult = harvest.Result
+	// HarvestContext is what a policy observes per scheduling window.
+	HarvestContext = harvest.Context
+)
+
+var (
+	// DefaultHarvestDay is an eight-hour office day.
+	DefaultHarvestDay = harvest.DefaultDay
+	// EvaluateHarvest runs one policy over a fleet day.
+	EvaluateHarvest = harvest.Evaluate
+	// CompareHarvest evaluates several policies and renders a table.
+	CompareHarvest = harvest.Compare
+	// HarvestCeilingsFromStudy derives per-task CPU ceilings from study
+	// results.
+	HarvestCeilingsFromStudy = harvest.CeilingsFromStudy
+)
+
+// Throttle (§5 advice to implementors).
+type Throttle = throttle.Throttle
+
+// NewThrottle builds a CDF-driven borrowing throttle.
+func NewThrottle(cdf *CDF, target, maxLevel float64, opts ...throttle.Option) (*Throttle, error) {
+	return throttle.New(cdf, target, maxLevel, opts...)
+}
+
+// Throttle options.
+var (
+	WithBackoff  = throttle.WithBackoff
+	WithRecovery = throttle.WithRecovery
+)

@@ -1,0 +1,208 @@
+package uucs_test
+
+import (
+	"testing"
+
+	"uucs"
+)
+
+// The facade tests exercise the public API end to end at small scale;
+// the internal packages carry the deep tests.
+
+func TestFacadeTestcases(t *testing.T) {
+	tc := uucs.NewTestcase("t", 1)
+	tc.Functions[uucs.CPU] = uucs.Ramp(2, 60, 1)
+	tc.Shape = "ramp"
+	if err := tc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	suite, err := uucs.ControlledSuite(uucs.Quake)
+	if err != nil || len(suite) != 8 {
+		t.Fatalf("suite: %d, %v", len(suite), err)
+	}
+	gen := uucs.DefaultGeneratorConfig()
+	gen.Count = 10
+	tcs, err := uucs.GenerateTestcases("x", gen, 1)
+	if err != nil || len(tcs) != 10 {
+		t.Fatalf("generate: %d, %v", len(tcs), err)
+	}
+}
+
+func TestFacadeExecuteRun(t *testing.T) {
+	engine := uucs.NewEngine()
+	app, err := uucs.NewApp(uucs.Word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users, err := uucs.SamplePopulation(1, uucs.DefaultPopulation(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := uucs.NewTestcase("t", 1)
+	tc.Functions[uucs.CPU] = uucs.Blank(30, 1)
+	run, err := engine.Execute(tc, app, users[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Task != uucs.Word {
+		t.Errorf("run task = %v", run.Task)
+	}
+}
+
+func TestFacadeSmallStudy(t *testing.T) {
+	cfg := uucs.DefaultStudyConfig()
+	cfg.Users = 4
+	res, err := uucs.RunControlledStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 4*4*8 {
+		t.Fatalf("runs = %d", len(res.Runs))
+	}
+	cdf := res.DB.ResourceCDF(uucs.CPU)
+	if cdf.N() == 0 {
+		t.Fatal("empty CPU CDF")
+	}
+	th, err := uucs.NewThrottle(cdf, 0.05, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Level() <= 0 {
+		t.Errorf("throttle level = %v", th.Level())
+	}
+}
+
+func TestFacadeMachine(t *testing.T) {
+	m, err := uucs.NewMachine(uucs.StudyMachine(), uucs.NoNoise(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end := m.CPUBurst(0, 0.01); end <= 0 {
+		t.Errorf("burst end = %v", end)
+	}
+}
+
+func TestFacadeClientServer(t *testing.T) {
+	srv := uucs.NewServer(1)
+	gen := uucs.DefaultGeneratorConfig()
+	gen.Count = 12
+	tcs, err := uucs.GenerateTestcases("s", gen, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddTestcases(tcs...); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	store, err := uucs.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := uucs.Snapshot{Hostname: "h", OS: "linux", CPUGHz: 2, MemMB: 512}
+	cl, err := uucs.NewClient(store, snap, uucs.NewEngine(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Register(addr); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.HotSync(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NewTestcases == 0 {
+		t.Error("no testcases synced")
+	}
+}
+
+func TestFacadeManipulationTools(t *testing.T) {
+	f := uucs.Ramp(4, 40, 1)
+	half, err := uucs.ScaleFunction(f, 0.5)
+	if err != nil || half.Max() > 2 {
+		t.Fatalf("scale: %v, max %v", err, half.Max())
+	}
+	part, err := uucs.SliceFunction(f, 10, 20)
+	if err != nil || part.Duration() != 10 {
+		t.Fatalf("slice: %v, dur %v", err, part.Duration())
+	}
+	joined, err := uucs.Concat(part, part)
+	if err != nil || joined.Duration() != 20 {
+		t.Fatalf("concat: %v", err)
+	}
+	tiled, err := uucs.Repeat(part, 3)
+	if err != nil || tiled.Duration() != 30 {
+		t.Fatalf("repeat: %v", err)
+	}
+	capped, err := uucs.ClampFunction(f, 1)
+	if err != nil || capped.Max() > 1 {
+		t.Fatalf("clamp: %v", err)
+	}
+	tc, err := uucs.ZoomRamp("z", 2, 0.2, 60, 1)
+	if err != nil || tc.PrimaryResource() != uucs.CPU {
+		t.Fatalf("zoom: %v", err)
+	}
+}
+
+func TestFacadeMediaPlayerAndKM(t *testing.T) {
+	media := uucs.NewMediaPlayer(uucs.DefaultMediaParams())
+	if media.FrameHz() != 24 {
+		t.Errorf("media FrameHz = %v", media.FrameHz())
+	}
+	users, err := uucs.SamplePopulation(6, uucs.DefaultPopulation(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := uucs.NewEngine()
+	tc := uucs.NewTestcase("m", 1)
+	tc.Shape = "ramp"
+	tc.Functions[uucs.CPU] = uucs.Ramp(4, 60, 1)
+	var runs []*uucs.Run
+	for i, u := range users {
+		run, err := engine.Execute(tc, media, u, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, run)
+	}
+	if curve, err := uucs.KMCurve(runs); err == nil {
+		if v, ok := uucs.KMPointC05(curve); ok && v < 0 {
+			t.Errorf("km c05 = %v", v)
+		}
+	}
+}
+
+func TestFacadeHarvest(t *testing.T) {
+	users, err := uucs.SamplePopulation(3, uucs.DefaultPopulation(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := uucs.DefaultHarvestDay()
+	day.Hours = 1
+	r, err := uucs.EvaluateHarvest(func() uucs.HarvestPolicy {
+		return harvestScreensaver{}
+	}, users, day, uucs.NewEngine(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Users != 3 {
+		t.Errorf("users = %d", r.Users)
+	}
+}
+
+// harvestScreensaver is a local HarvestPolicy proving the interface is
+// implementable from outside the internal packages.
+type harvestScreensaver struct{}
+
+func (harvestScreensaver) Name() string { return "ext-screensaver" }
+func (harvestScreensaver) Level(ctx uucs.HarvestContext) float64 {
+	if ctx.UserActive || ctx.IdleFor < 300 {
+		return 0
+	}
+	return 1
+}
+func (harvestScreensaver) OnFeedback() {}
