@@ -28,6 +28,7 @@ package uucs_test
 // comparison.
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -219,13 +220,54 @@ func BenchmarkFrogInPot(b *testing.B) {
 }
 
 // BenchmarkControlledStudy measures the full §3 pipeline: 33 users x 4
-// tasks x 8 testcases through the machine, app and user models.
+// tasks x 8 testcases through the machine, app and user models, at the
+// default worker count (GOMAXPROCS).
 func BenchmarkControlledStudy(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := study.Run(study.DefaultConfig()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkStudyParallel tracks the worker-pool speedup of the full
+// study at fixed worker counts; w1 is the serial baseline. Results are
+// bit-identical across all variants (TestStudyParallelMatchesSerial),
+// so this measures scheduling alone.
+func BenchmarkStudyParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			cfg := study.DefaultConfig()
+			cfg.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := study.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInternetStudyParallel tracks the per-host fan-out of the
+// fleet simulation at fixed worker counts.
+func BenchmarkInternetStudyParallel(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := internetstudy.DefaultConfig(b.TempDir())
+				cfg.Hosts = 12
+				cfg.RunsPerHost = 4
+				cfg.TestcaseCount = 60
+				cfg.Workers = workers
+				if _, err := internetstudy.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

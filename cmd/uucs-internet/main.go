@@ -24,6 +24,7 @@ func main() {
 		runs    = flag.Int("runs", 12, "testcase executions per host")
 		tcCount = flag.Int("testcases", 400, "server testcase population")
 		seed    = flag.Uint64("seed", 2004, "fleet seed")
+		workers = flag.Int("workers", 0, "concurrent hosts (0 = GOMAXPROCS, 1 = serial; results are identical)")
 		workdir = flag.String("workdir", "", "client store directory (default: temp)")
 	)
 	flag.Parse()
@@ -43,6 +44,7 @@ func main() {
 	cfg.RunsPerHost = *runs
 	cfg.TestcaseCount = *tcCount
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	fmt.Printf("uucs-internet: %d hosts x %d runs against %d testcases\n", cfg.Hosts, cfg.RunsPerHost, cfg.TestcaseCount)
 
 	res, err := internetstudy.Run(cfg)

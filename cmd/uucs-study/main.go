@@ -25,6 +25,7 @@ func main() {
 		figure   = flag.String("figure", "", "figure to print (9..18, frog); empty prints all")
 		users    = flag.Int("users", 33, "number of study participants")
 		seed     = flag.Uint64("seed", 2004, "study seed")
+		workers  = flag.Int("workers", 0, "concurrent study units (0 = GOMAXPROCS, 1 = serial; results are identical)")
 		suite    = flag.Bool("suite", false, "print the Figure 8 testcase suite and exit")
 		ablate   = flag.Bool("ablate", false, "run the model ablations and exit")
 		runsPath = flag.String("runs", "", "also write raw run records to this file")
@@ -42,6 +43,7 @@ func main() {
 	cfg := study.DefaultConfig()
 	cfg.Users = *users
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
 	if *ablate {
 		results, err := study.RunAblations(cfg)

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"uucs/internal/apps"
+	"uucs/internal/comfort"
+	"uucs/internal/testcase"
+)
+
+// TestEngineConcurrentExecuteMatchesSerial drives one shared Engine (and
+// one shared App and User, both immutable after construction) from many
+// goroutines and checks every run record equals its serially produced
+// twin. Run with -race this doubles as the engine's shared-state audit.
+func TestEngineConcurrentExecuteMatchesSerial(t *testing.T) {
+	engine := NewEngine()
+	users, err := comfort.SamplePopulation(2, comfort.DefaultPopulation(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := testcase.ControlledSuite(testcase.IE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := apps.New(testcase.IE)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type job struct {
+		tc   *testcase.Testcase
+		user *comfort.User
+		seed uint64
+	}
+	var jobs []job
+	for i, tc := range suite {
+		for _, u := range users {
+			jobs = append(jobs, job{tc: tc, user: u, seed: uint64(i*31 + u.ID)})
+		}
+	}
+
+	serial := make([]*Run, len(jobs))
+	for i, j := range jobs {
+		run, err := engine.Execute(j.tc, app, j.user, j.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = run
+	}
+
+	concurrent := make([]*Run, len(jobs))
+	errs := make(chan error, len(jobs))
+	for i, j := range jobs {
+		go func(i int, j job) {
+			run, err := engine.Execute(j.tc, app, j.user, j.seed)
+			concurrent[i] = run
+			errs <- err
+		}(i, j)
+	}
+	for range jobs {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := range jobs {
+		if !reflect.DeepEqual(serial[i], concurrent[i]) {
+			t.Fatalf("job %d: concurrent run differs from serial\nserial:     %v\nconcurrent: %v",
+				i, serial[i], concurrent[i])
+		}
+	}
+}

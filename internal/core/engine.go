@@ -17,6 +17,12 @@ import (
 // are started with their exercise functions, a high-priority watcher
 // waits for user feedback, and the run ends at feedback or exhaustion
 // with everything recorded.
+//
+// An Engine holds only the run configuration; Execute allocates all
+// per-run state (machine, perceiver, RNG streams) itself, so one Engine
+// is safe for any number of concurrent Execute calls as long as its
+// fields are not mutated mid-flight. The parallel study scheduler
+// relies on this.
 type Engine struct {
 	// Machine is the hardware configuration runs execute on.
 	Machine hostsim.Config

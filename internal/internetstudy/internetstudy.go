@@ -11,6 +11,7 @@ package internetstudy
 import (
 	"fmt"
 	"path/filepath"
+	"sort"
 
 	"uucs/internal/analysis"
 	"uucs/internal/apps"
@@ -18,6 +19,7 @@ import (
 	"uucs/internal/comfort"
 	"uucs/internal/core"
 	"uucs/internal/hostsim"
+	"uucs/internal/pool"
 	"uucs/internal/protocol"
 	"uucs/internal/server"
 	"uucs/internal/stats"
@@ -45,6 +47,12 @@ type Config struct {
 	Seed uint64
 	// Population parameterizes the user models.
 	Population comfort.PopulationParams
+	// Workers bounds the number of concurrently simulated hosts; 0
+	// selects GOMAXPROCS and 1 reproduces the serial path. Per-host
+	// random streams are derived before the fan-out and the server's
+	// responses depend only on each request's identity, so collected
+	// results are bit-identical for every value.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's scale. TestcaseCount is kept to a
@@ -121,15 +129,31 @@ func Run(cfg Config) (*Results, error) {
 		return nil, err
 	}
 
+	// Derive every host's machine and random stream serially, in host
+	// order, so the fan-out below cannot perturb the draw sequence.
 	res := &Results{Config: cfg}
+	hosts := make([]*Host, cfg.Hosts)
+	hostRngs := make([]*stats.Stream, cfg.Hosts)
 	for i := 0; i < cfg.Hosts; i++ {
-		host := &Host{ID: i, Machine: sampleMachine(rng.Fork()), User: users[i]}
-		if err := runHost(cfg, addr, host, rng.Fork()); err != nil {
-			return nil, fmt.Errorf("internetstudy: host %d: %w", i, err)
-		}
-		res.Hosts = append(res.Hosts, host)
+		hosts[i] = &Host{ID: i, Machine: sampleMachine(rng.Fork()), User: users[i]}
+		hostRngs[i] = rng.Fork()
 	}
-	res.Runs = srv.Results()
+	err = pool.Run(cfg.Workers, cfg.Hosts, func(i int) error {
+		if err := runHost(cfg, addr, hosts[i], hostRngs[i]); err != nil {
+			return fmt.Errorf("internetstudy: host %d: %w", i, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Hosts = hosts
+	// Uploads from concurrent hosts interleave at the server; each
+	// host's own batches stay in execution order, so a stable sort by
+	// host restores the serial collection order exactly.
+	runs := srv.Results()
+	sort.SliceStable(runs, func(i, j int) bool { return runs[i].UserID < runs[j].UserID })
+	res.Runs = runs
 	res.DB = analysis.NewDB(res.Runs)
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package internetstudy
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 
@@ -138,6 +139,47 @@ func TestHostSpeedEffectDirection(t *testing.T) {
 	}
 	if se.Slow.Fd+0.05 < se.Fast.Fd {
 		t.Errorf("slow hosts less discomforted than fast: slow f_d=%v fast f_d=%v", se.Slow.Fd, se.Fast.Fd)
+	}
+}
+
+// TestFleetParallelMatchesSerial asserts the fleet simulation's
+// determinism contract: with per-host streams derived ahead of the
+// fan-out and a server whose responses depend only on request identity,
+// a parallel fleet collects bit-identical runs in identical order.
+func TestFleetParallelMatchesSerial(t *testing.T) {
+	run := func(workers int) *Results {
+		t.Helper()
+		cfg := DefaultConfig(t.TempDir())
+		cfg.Hosts = 8
+		cfg.RunsPerHost = 4
+		cfg.TestcaseCount = 80
+		cfg.Workers = workers
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+
+	if len(serial.Runs) != len(parallel.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(serial.Runs), len(parallel.Runs))
+	}
+	for i := range serial.Runs {
+		if !reflect.DeepEqual(serial.Runs[i], parallel.Runs[i]) {
+			t.Fatalf("run %d differs between serial and parallel fleet\nserial:   %v\nparallel: %v",
+				i, serial.Runs[i], parallel.Runs[i])
+		}
+	}
+	for i := range serial.Hosts {
+		if serial.Hosts[i].ClientID != parallel.Hosts[i].ClientID {
+			t.Errorf("host %d client id differs: %s vs %s",
+				i, serial.Hosts[i].ClientID, parallel.Hosts[i].ClientID)
+		}
+		if serial.Hosts[i].Machine != parallel.Hosts[i].Machine {
+			t.Errorf("host %d machine differs", i)
+		}
 	}
 }
 

@@ -1,0 +1,89 @@
+// Package pool provides the bounded worker pool that parallelizes the
+// embarrassingly parallel simulation units of this repository — the
+// controlled study's per-(user, task) testcase sequences and the
+// Internet study's per-host client lifecycles. Units are identified by
+// index and callers write each unit's output into a pre-allocated slot,
+// so result ordering is fully determined by the unit list and never by
+// goroutine scheduling.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Run executes fn(0) … fn(n-1) using at most workers concurrent
+// goroutines and returns the first error, preferring the lowest-index
+// failure so error reporting is deterministic under concurrency.
+//
+// workers <= 0 selects runtime.GOMAXPROCS(0). workers is clamped to n.
+// With one worker, units run on the calling goroutine in index order —
+// exactly a plain loop, with a plain loop's error semantics. With more,
+// units are dispatched in index order to free workers; after the first
+// failure no new units start, but units already running finish (their
+// slot writes stay consistent).
+func Run(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		mu       sync.Mutex
+		next     int
+		errIdx   = -1
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	// claim hands out the next unit index, or reports that dispatch is
+	// over (all units claimed, or a unit has failed).
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil || i < errIdx {
+			firstErr, errIdx = err, i
+		}
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

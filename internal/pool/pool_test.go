@@ -1,0 +1,142 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunAllUnits(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		out := make([]int, 100)
+		if err := Run(workers, len(out), func(i int) error {
+			out[i] = i + 1
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i+1 {
+				t.Fatalf("workers=%d: unit %d not executed (slot=%d)", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestRunDefaultsWorkers(t *testing.T) {
+	// Workers=0 must behave like GOMAXPROCS workers: all units execute.
+	var calls atomic.Int64
+	if err := Run(0, 37, func(int) error {
+		calls.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 37 {
+		t.Fatalf("calls = %d, want 37", calls.Load())
+	}
+}
+
+func TestRunWorkersExceedUnits(t *testing.T) {
+	var calls atomic.Int64
+	if err := Run(16, 3, func(int) error {
+		calls.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestRunZeroUnits(t *testing.T) {
+	if err := Run(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrorPropagation(t *testing.T) {
+	// Every odd unit fails; the lowest-index failure must be returned
+	// regardless of scheduling.
+	for _, workers := range []int{1, 2, 8} {
+		err := Run(workers, 50, func(i int) error {
+			if i%2 == 1 {
+				return fmt.Errorf("unit %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "unit 1 failed" {
+			t.Fatalf("workers=%d: err = %v, want lowest-index failure", workers, err)
+		}
+	}
+}
+
+func TestRunErrorCancelsRemaining(t *testing.T) {
+	// Serial semantics: an error stops dispatch immediately.
+	calls := 0
+	err := Run(1, 100, func(i int) error {
+		calls++
+		if i == 3 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4 (dispatch stops at first error)", calls)
+	}
+}
+
+func TestRunErrorStopsDispatchConcurrent(t *testing.T) {
+	// With unit 0 failing before any other unit is claimed, far fewer
+	// than n units may start; at minimum the pool must not run all of
+	// them after the failure is recorded. The gate channel holds the
+	// other workers until the failure is in place, making the assertion
+	// deterministic.
+	gate := make(chan struct{})
+	var calls atomic.Int64
+	err := Run(4, 1000, func(i int) error {
+		if i == 0 {
+			defer close(gate)
+			return errors.New("early failure")
+		}
+		<-gate
+		calls.Add(1)
+		return nil
+	})
+	if err == nil || err.Error() != "early failure" {
+		t.Fatalf("err = %v", err)
+	}
+	// Only units claimed before the failure was recorded ran: at most
+	// one per other worker.
+	if got := calls.Load(); got > 3 {
+		t.Fatalf("%d units ran after failure, want <= 3", got)
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const workers = 3
+	var cur, max atomic.Int64
+	if err := Run(workers, 200, func(int) error {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if max.Load() > workers {
+		t.Fatalf("observed %d concurrent units, want <= %d", max.Load(), workers)
+	}
+}

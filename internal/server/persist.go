@@ -49,7 +49,6 @@ func (s *Server) SaveState(dir string) error {
 	for id, snap := range s.clients {
 		clients = append(clients, clientRecord{ID: id, Snapshot: snap})
 	}
-	nextID := s.nextID
 	s.mu.Unlock()
 
 	if err := writeFileAtomic(filepath.Join(dir, serverTestcases), func(f *os.File) error {
@@ -64,7 +63,10 @@ func (s *Server) SaveState(dir string) error {
 	}
 	return writeFileAtomic(filepath.Join(dir, serverClients), func(f *os.File) error {
 		w := bufio.NewWriter(f)
-		fmt.Fprintf(w, "# next-id %d\n", nextID)
+		// The next-id header is kept for registry-format compatibility;
+		// ids now derive from snapshot content, so only the count is
+		// recorded.
+		fmt.Fprintf(w, "# next-id %d\n", len(clients))
 		for _, c := range clients {
 			b, err := json.Marshal(c)
 			if err != nil {
@@ -91,7 +93,7 @@ func (s *Server) LoadState(dir string) error {
 	if err != nil {
 		return err
 	}
-	clients, nextID, err := loadClients(filepath.Join(dir, serverClients))
+	clients, _, err := loadClients(filepath.Join(dir, serverClients))
 	if err != nil {
 		return err
 	}
@@ -102,9 +104,6 @@ func (s *Server) LoadState(dir string) error {
 	s.results = append(s.results, runs...)
 	for _, c := range clients {
 		s.clients[c.ID] = c.Snapshot
-	}
-	if nextID > s.nextID {
-		s.nextID = nextID
 	}
 	s.mu.Unlock()
 	return nil

@@ -7,6 +7,7 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"net"
 	"strings"
 	"sync"
@@ -19,14 +20,19 @@ import (
 
 // Server is a UUCS server. All methods are safe for concurrent use; one
 // goroutine is spawned per client connection.
+//
+// All server-side randomness (registration ids, testcase sampling) is
+// derived from the seed and the request's own identity rather than
+// drawn from a shared stream, so responses do not depend on the order
+// concurrent clients happen to arrive in. This is what keeps a
+// parallel fleet simulation bit-identical to a serial one.
 type Server struct {
 	mu        sync.Mutex
+	seed      uint64
 	testcases []*testcase.Testcase
 	tcIndex   map[string]int
 	results   []*core.Run
 	clients   map[string]protocol.Snapshot
-	nextID    int
-	rng       *stats.Stream
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -36,9 +42,9 @@ type Server struct {
 // New returns an empty server. seed drives the random testcase sampling.
 func New(seed uint64) *Server {
 	return &Server{
+		seed:    seed,
 		tcIndex: make(map[string]int),
 		clients: make(map[string]protocol.Snapshot),
-		rng:     stats.NewStream(seed),
 	}
 }
 
@@ -93,12 +99,50 @@ func (s *Server) Snapshot(clientID string) (protocol.Snapshot, bool) {
 	return snap, ok
 }
 
-// register assigns a globally unique identifier to a snapshot.
+// hashMix folds v into an FNV-1a style running hash.
+func hashMix(h, v uint64) uint64 {
+	h ^= v
+	h *= 0x100000001b3
+	h ^= h >> 29
+	return h
+}
+
+// hashString folds a string into a running hash byte by byte.
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = hashMix(h, uint64(s[i]))
+	}
+	return hashMix(h, uint64(len(s))+1)
+}
+
+// snapshotHash derives a 64-bit identity from a registration snapshot
+// and the server seed.
+func (s *Server) snapshotHash(snap protocol.Snapshot) uint64 {
+	h := hashMix(s.seed, 0x75756373) // "uucs"
+	h = hashString(h, snap.Hostname)
+	h = hashString(h, snap.OS)
+	h = hashMix(h, math.Float64bits(snap.CPUGHz))
+	h = hashMix(h, math.Float64bits(snap.MemMB))
+	h = hashMix(h, math.Float64bits(snap.DiskGB))
+	return h
+}
+
+// register assigns a globally unique identifier to a snapshot. The id
+// derives from the snapshot content, so distinct machines get the same
+// id regardless of registration order; repeated registrations of an
+// identical snapshot are disambiguated deterministically by remixing.
 func (s *Server) register(snap protocol.Snapshot) string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.nextID++
-	id := fmt.Sprintf("uucs-%06d-%08x", s.nextID, uint32(s.rng.Uint64()))
+	h := s.snapshotHash(snap)
+	id := fmt.Sprintf("uucs-%016x", h)
+	for {
+		if _, taken := s.clients[id]; !taken {
+			break
+		}
+		h = hashMix(h, 0x9e3779b97f4a7c15)
+		id = fmt.Sprintf("uucs-%016x", h)
+	}
 	s.clients[id] = snap
 	return id
 }
@@ -106,8 +150,11 @@ func (s *Server) register(snap protocol.Snapshot) string {
 // sample returns up to want testcases the client does not yet have,
 // chosen uniformly at random — combined with the client's local random
 // choice and Poisson execution times, this makes the fleet execute a
-// random sample with respect to testcases, users, and times (§2).
-func (s *Server) sample(have map[string]bool, want int) []*testcase.Testcase {
+// random sample with respect to testcases, users, and times (§2). The
+// shuffle stream derives from (seed, client, sync generation), never
+// from shared state, so a client's sample sequence is the same whether
+// the fleet runs serially or fully interleaved.
+func (s *Server) sample(clientID string, have map[string]bool, want int) []*testcase.Testcase {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var candidates []*testcase.Testcase
@@ -119,7 +166,10 @@ func (s *Server) sample(have map[string]bool, want int) []*testcase.Testcase {
 	if want >= len(candidates) {
 		return candidates
 	}
-	s.rng.Shuffle(len(candidates), func(i, j int) {
+	h := hashString(hashMix(s.seed, 0x73616d70), clientID) // "samp"
+	h = hashMix(h, uint64(len(have)))
+	rng := stats.NewStream(h)
+	rng.Shuffle(len(candidates), func(i, j int) {
 		candidates[i], candidates[j] = candidates[j], candidates[i]
 	})
 	return candidates[:want]
@@ -224,7 +274,7 @@ func (s *Server) dispatch(conn *protocol.Conn, msg protocol.Message) error {
 		for _, id := range msg.Have {
 			have[id] = true
 		}
-		tcs := s.sample(have, want)
+		tcs := s.sample(msg.ClientID, have, want)
 		var b strings.Builder
 		if err := testcase.EncodeAll(&b, tcs); err != nil {
 			return err

@@ -7,6 +7,7 @@ import (
 	"uucs/internal/analysis"
 	"uucs/internal/apps"
 	"uucs/internal/hostsim"
+	"uucs/internal/pool"
 	"uucs/internal/testcase"
 )
 
@@ -90,10 +91,14 @@ type AblationResult struct {
 }
 
 // RunAblations executes the study once per ablation and collects the
-// targeted metrics.
+// targeted metrics. Ablations are independent full studies, so they fan
+// out across base.Workers goroutines (each inner study inherits the
+// same worker budget); results keep the Ablations() order.
 func RunAblations(base Config) ([]AblationResult, error) {
-	var out []AblationResult
-	for _, ab := range Ablations() {
+	abls := Ablations()
+	out := make([]AblationResult, len(abls))
+	err := pool.Run(base.Workers, len(abls), func(i int) error {
+		ab := abls[i]
 		cfg := base
 		// Deep-copy the engine so ablations do not leak into each other.
 		engine := *base.Engine
@@ -101,9 +106,13 @@ func RunAblations(base Config) ([]AblationResult, error) {
 		ab.Configure(&cfg)
 		res, err := Run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("study: ablation %s: %w", ab.Name, err)
+			return fmt.Errorf("study: ablation %s: %w", ab.Name, err)
 		}
-		out = append(out, summarizeAblation(ab.Name, res))
+		out[i] = summarizeAblation(ab.Name, res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

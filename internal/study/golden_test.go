@@ -1,0 +1,54 @@
+package study
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGoldens = flag.Bool("update", false, "rewrite the golden figure snapshots in testdata/")
+
+// goldenFigures maps the snapshotted figures to their files. These are
+// the paper-shape tables (run breakdown, f_d, c_0.05, c_a); any change
+// to the models, the seeds, or the scheduler that shifts them must be
+// deliberate — rerun with -update and review the diff.
+var goldenFigures = map[string]string{
+	"9":  "fig09_breakdown.golden",
+	"14": "fig14_fd.golden",
+	"15": "fig15_c005.golden",
+	"16": "fig16_ca.golden",
+}
+
+// TestGoldenFigures diffs the default-seed study's rendered tables
+// against the snapshots in testdata/.
+func TestGoldenFigures(t *testing.T) {
+	res := fixture(t)
+	for fig, file := range goldenFigures {
+		fig, file := fig, file
+		t.Run("fig"+fig, func(t *testing.T) {
+			got, err := res.Figure(fig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", file)
+			if *updateGoldens {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden %s (run `go test ./internal/study -run TestGoldenFigures -update`): %v", path, err)
+			}
+			if got != string(want) {
+				t.Errorf("figure %s drifted from golden %s.\n--- got\n%s\n--- want\n%s\nIf the change is intentional, rerun with -update.",
+					fig, path, got, want)
+			}
+		})
+	}
+}

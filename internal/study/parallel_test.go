@@ -1,0 +1,123 @@
+package study
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"uucs/internal/apps"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// TestStudyParallelMatchesSerial is the determinism contract of the
+// parallel scheduler: for several seeds, an 8-worker study must produce
+// run-for-run identical results — outcomes, offsets, levels, ordering —
+// and identical rendered figure tables, compared to the serial path.
+func TestStudyParallelMatchesSerial(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 0xdeadbeef} {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		cfg.Users = 12 // full task × testcase coverage at test-friendly cost
+
+		cfg.Workers = 1
+		serial, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %#x serial: %v", seed, err)
+		}
+		cfg.Workers = 8
+		parallel, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %#x parallel: %v", seed, err)
+		}
+
+		if len(serial.Runs) != len(parallel.Runs) {
+			t.Fatalf("seed %#x: run counts differ: %d vs %d", seed, len(serial.Runs), len(parallel.Runs))
+		}
+		for i := range serial.Runs {
+			if !reflect.DeepEqual(serial.Runs[i], parallel.Runs[i]) {
+				t.Fatalf("seed %#x: run %d differs between serial and parallel\nserial:   %v\nparallel: %v",
+					seed, i, serial.Runs[i], parallel.Runs[i])
+			}
+		}
+		// The paper-shape tables must match to the byte.
+		for _, fig := range []string{"9", "14", "15", "16"} {
+			a, err := serial.Figure(fig)
+			if err != nil {
+				t.Fatalf("seed %#x figure %s: %v", seed, fig, err)
+			}
+			b, err := parallel.Figure(fig)
+			if err != nil {
+				t.Fatalf("seed %#x figure %s: %v", seed, fig, err)
+			}
+			if a != b {
+				t.Errorf("seed %#x: figure %s differs between serial and parallel:\n--- serial\n%s\n--- parallel\n%s",
+					seed, fig, a, b)
+			}
+		}
+	}
+}
+
+// TestOrderSeedPinnedPermutation pins one user's task schedules: they
+// derive from (Seed, user, task) alone, so they must never shift when
+// the population size, scheduling, or the surrounding code changes.
+func TestOrderSeedPinnedPermutation(t *testing.T) {
+	want := map[testcase.Task][]int{
+		testcase.Word:       {4, 5, 7, 1, 0, 2, 6, 3},
+		testcase.Powerpoint: {0, 6, 7, 5, 1, 2, 3, 4},
+		testcase.IE:         {2, 0, 5, 1, 6, 3, 4, 7},
+		testcase.Quake:      {0, 7, 6, 1, 4, 5, 2, 3},
+	}
+	for task, w := range want {
+		got := stats.NewStream(orderSeed(2004, 5, task)).Perm(8)
+		if !reflect.DeepEqual(got, w) {
+			t.Errorf("user 5 %s schedule = %v, want pinned %v", task, got, w)
+		}
+	}
+}
+
+// TestOrderSeedIndependentOfPopulation asserts the fix for the shared
+// orderRng coupling: a user's schedule is the same whether the study has
+// 1 user or 33.
+func TestOrderSeedIndependentOfPopulation(t *testing.T) {
+	small := DefaultConfig()
+	small.Users = 3
+	big := DefaultConfig()
+	big.Users = 9
+
+	a, err := Run(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first 3 users' runs (3 users × 4 tasks × 8 testcases) must be
+	// identical records in identical order.
+	n := 3 * 4 * 8
+	if len(a.Runs) != n || len(b.Runs) < n {
+		t.Fatalf("run counts: %d and %d, want %d and >= %d", len(a.Runs), len(b.Runs), n, n)
+	}
+	for i := 0; i < n; i++ {
+		if !reflect.DeepEqual(a.Runs[i], b.Runs[i]) {
+			t.Fatalf("run %d depends on population size:\nsmall: %v\nbig:   %v", i, a.Runs[i], b.Runs[i])
+		}
+	}
+}
+
+// TestStudyWorkersErrorPropagation: a failing unit must surface its
+// error and fail the whole study, serial or parallel.
+func TestStudyWorkersErrorPropagation(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		cfg := DefaultConfig()
+		cfg.Users = 4
+		cfg.Workers = workers
+		cfg.AppFactory = func(task testcase.Task) (apps.App, error) {
+			return nil, errors.New("factory exploded")
+		}
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("workers=%d: factory error not propagated", workers)
+		}
+	}
+}

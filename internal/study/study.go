@@ -12,6 +12,7 @@ import (
 	"uucs/internal/apps"
 	"uucs/internal/comfort"
 	"uucs/internal/core"
+	"uucs/internal/pool"
 	"uucs/internal/stats"
 	"uucs/internal/testcase"
 )
@@ -29,6 +30,12 @@ type Config struct {
 	// AppFactory builds the foreground model per task; nil selects the
 	// calibrated defaults (apps.New). Ablations override it.
 	AppFactory func(testcase.Task) (apps.App, error)
+	// Workers bounds the number of concurrently executing (user, task)
+	// units; 0 selects GOMAXPROCS and 1 reproduces the serial path.
+	// Results are bit-identical for every value: each run's seed and
+	// each unit's testcase order derive from (Seed, user, task), and
+	// runs land in pre-indexed result slots.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's controlled study.
@@ -58,9 +65,24 @@ func (r *Results) UserByID() map[int]*comfort.User {
 	return out
 }
 
+// unit is one schedulable piece of the study: one user performing one
+// task's testcase suite in that user's random order. Units are fully
+// independent — per-run seeds and the testcase order derive from the
+// study seed and the unit's identity — which is what lets the scheduler
+// run them in any order or concurrently without changing any result.
+type unit struct {
+	user  *comfort.User
+	task  testcase.Task
+	order []int
+	// base indexes the unit's first run within Results.Runs.
+	base int
+}
+
 // Run executes the controlled study: every user runs every task's eight
 // testcases in a per-user random order, exactly as in the paper ("They
-// are run in a random order for each 16-minute task").
+// are run in a random order for each 16-minute task"). Units of one
+// user and task fan out across cfg.Workers goroutines; results are
+// bit-identical to the serial path regardless of worker count.
 func Run(cfg Config) (*Results, error) {
 	if cfg.Users <= 0 {
 		return nil, fmt.Errorf("study: need at least one user")
@@ -77,38 +99,53 @@ func Run(cfg Config) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	orderRng := stats.NewStream(cfg.Seed ^ 0xa5a5a5a5)
 	res := &Results{Config: cfg, Users: users}
 	appFactory := cfg.AppFactory
 	if appFactory == nil {
 		appFactory = apps.New
 	}
+
+	// Lay out the unit list and the result slots up front; the schedule
+	// then has no say in output ordering.
+	units := make([]unit, 0, len(users)*len(testcase.Tasks()))
+	total := 0
 	for _, u := range users {
 		for _, task := range testcase.Tasks() {
-			app, err := appFactory(task)
-			if err != nil {
-				return nil, err
-			}
 			suite := suites[task]
-			order := orderRng.Perm(len(suite))
-			for _, idx := range order {
-				tc := suite[idx]
-				seed := runSeed(cfg.Seed, u.ID, task, idx)
-				run, err := engine.Execute(tc, app, u, seed)
-				if err != nil {
-					return nil, fmt.Errorf("study: user %d task %s testcase %d: %w", u.ID, task, idx, err)
-				}
-				res.Runs = append(res.Runs, run)
-			}
+			order := stats.NewStream(orderSeed(cfg.Seed, u.ID, task)).Perm(len(suite))
+			units = append(units, unit{user: u, task: task, order: order, base: total})
+			total += len(suite)
 		}
 	}
+	runs := make([]*core.Run, total)
+	err = pool.Run(cfg.Workers, len(units), func(i int) error {
+		un := units[i]
+		app, err := appFactory(un.task)
+		if err != nil {
+			return err
+		}
+		suite := suites[un.task]
+		for j, idx := range un.order {
+			tc := suite[idx]
+			seed := runSeed(cfg.Seed, un.user.ID, un.task, idx)
+			run, err := engine.Execute(tc, app, un.user, seed)
+			if err != nil {
+				return fmt.Errorf("study: user %d task %s testcase %d: %w", un.user.ID, un.task, idx, err)
+			}
+			runs[un.base+j] = run
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Runs = runs
 	res.DB = analysis.NewDB(res.Runs)
 	return res, nil
 }
 
-// runSeed derives a stable per-run seed.
-func runSeed(seed uint64, user int, task testcase.Task, idx int) uint64 {
-	h := seed
+// seedMix folds a unit identity into a seed with an FNV-style mix.
+func seedMix(h uint64, user int, task testcase.Task) uint64 {
 	mix := func(v uint64) {
 		h ^= v
 		h *= 0x100000001b3
@@ -118,6 +155,22 @@ func runSeed(seed uint64, user int, task testcase.Task, idx int) uint64 {
 	for _, b := range []byte(task) {
 		mix(uint64(b))
 	}
-	mix(uint64(idx) + 17)
+	return h
+}
+
+// orderSeed derives the testcase-order seed for one user performing one
+// task. Deriving it from the identity — rather than drawing permutations
+// from one shared stream, as the serial implementation used to — keeps a
+// user's schedule stable no matter how many users run or in what order.
+func orderSeed(seed uint64, user int, task testcase.Task) uint64 {
+	return seedMix(seed^0xa5a5a5a5, user, task)
+}
+
+// runSeed derives a stable per-run seed.
+func runSeed(seed uint64, user int, task testcase.Task, idx int) uint64 {
+	h := seedMix(seed, user, task)
+	h ^= uint64(idx) + 17
+	h *= 0x100000001b3
+	h ^= h >> 29
 	return h
 }
