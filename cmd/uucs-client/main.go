@@ -8,12 +8,19 @@
 //	uucs-client -server 127.0.0.1:7060 -store ./clientdir -runs 10
 //	uucs-client -server ... -task quake -mean-gap 60
 //	uucs-client -server ... -script ids.txt     # deterministic mode
+//	uucs-client -server ... -timeout 10s -retries 5 -retry-base 100ms
+//
+// Network calls are bounded by -timeout and retried with capped,
+// jittered exponential backoff (-retries attempts starting at
+// -retry-base, capped at -retry-max); a crashed or flaky server costs
+// retries, never lost or duplicated results.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"uucs/internal/apps"
 	"uucs/internal/client"
@@ -34,6 +41,11 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "client seed")
 		scriptPath = flag.String("script", "", "deterministic mode: run testcase IDs from this file in order")
 		hostname   = flag.String("hostname", "sim-host", "snapshot hostname")
+		defBackoff = client.DefaultBackoff()
+		ioTimeout  = flag.Duration("timeout", 30*time.Second, "per-message network deadline (0 disables)")
+		retries    = flag.Int("retries", defBackoff.Attempts, "attempts per network operation before giving up")
+		retryBase  = flag.Duration("retry-base", defBackoff.Base, "initial retry backoff delay")
+		retryMax   = flag.Duration("retry-max", defBackoff.Max, "retry backoff cap")
 	)
 	flag.Parse()
 
@@ -65,6 +77,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cl.Timeout = *ioTimeout
+	cl.Retry = client.Backoff{Base: *retryBase, Max: *retryMax, Attempts: *retries}
 	if err := cl.Register(*serverAddr); err != nil {
 		fatal(err)
 	}

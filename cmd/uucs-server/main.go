@@ -6,6 +6,13 @@
 //
 //	uucs-server -addr 127.0.0.1:7060 -testcases tcs.txt -out results.txt
 //	uucs-server -generate 2000        # self-populate like the paper's server
+//	uucs-server -state ./srvstate -idle-timeout 2m
+//
+// With -state, every accepted registration and result batch is
+// journaled to disk before it is acknowledged, so a crash between
+// flushes loses nothing; the journal is compacted into a snapshot on
+// each flush and at shutdown. -idle-timeout disconnects clients that go
+// silent mid-conversation (0 keeps them forever).
 package main
 
 import (
@@ -30,13 +37,17 @@ func main() {
 		outPath  = flag.String("out", "uucs-results.txt", "file to write collected results to")
 		seed     = flag.Uint64("seed", 1, "sampling seed")
 		interval = flag.Duration("flush", 30*time.Second, "result flush interval")
-		stateDir = flag.String("state", "", "state directory: restore on start, persist on flush/shutdown")
+		stateDir = flag.String("state", "", "state directory: restore on start, journal live, compact on flush/shutdown")
+		idle     = flag.Duration("idle-timeout", 0, "disconnect clients silent for this long (0 = never)")
 	)
 	flag.Parse()
 
 	srv := server.New(*seed)
+	srv.IdleTimeout = *idle
 	if *stateDir != "" {
-		if err := srv.LoadState(*stateDir); err != nil {
+		// OpenState restores AND keeps a journal: state survives even a
+		// kill -9 between flushes.
+		if err := srv.OpenState(*stateDir); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("uucs-server: restored %d testcases, %d results, %d clients from %s\n",

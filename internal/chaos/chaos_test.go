@@ -1,0 +1,196 @@
+package chaos
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestClockVirtualSleep(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 || c.Sleeps() != 0 {
+		t.Fatalf("fresh clock: now=%v sleeps=%d", c.Now(), c.Sleeps())
+	}
+	start := time.Now()
+	c.Sleep(time.Hour)
+	c.Sleep(30 * time.Minute)
+	c.Sleep(-time.Second) // negative durations advance nothing
+	if real := time.Since(start); real > time.Second {
+		t.Fatalf("virtual sleep took %v of real time", real)
+	}
+	if c.Now() != 90*time.Minute {
+		t.Errorf("now = %v, want 90m", c.Now())
+	}
+	if c.Sleeps() != 3 {
+		t.Errorf("sleeps = %d, want 3", c.Sleeps())
+	}
+}
+
+func TestNetworkDialRefusedWithoutListener(t *testing.T) {
+	nw := NewNetwork()
+	if _, err := nw.Dial("nowhere"); err == nil {
+		t.Fatal("dial to unknown address succeeded")
+	}
+	if _, err := nw.Listen(""); err == nil {
+		t.Fatal("empty listen address accepted")
+	}
+}
+
+func TestNetworkRoundTrip(t *testing.T) {
+	nw := NewNetwork()
+	ln, err := nw.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if ln.Addr().String() != "srv" {
+		t.Errorf("listener addr = %q", ln.Addr())
+	}
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 5)
+		if _, err := conn.Read(buf); err == nil {
+			conn.Write(bytes.ToUpper(buf))
+		}
+	}()
+	conn, err := nw.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if conn.RemoteAddr().String() != "srv" {
+		t.Errorf("remote addr = %q", conn.RemoteAddr())
+	}
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "HELLO" {
+		t.Errorf("echo = %q", buf)
+	}
+}
+
+func TestNetworkSupportsDeadlines(t *testing.T) {
+	nw := NewNetwork()
+	ln, err := nw.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	conn, err := nw.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = conn.Read(make([]byte, 1))
+	if err == nil {
+		t.Fatal("read from silent peer succeeded")
+	}
+	if time.Since(start) > time.Second {
+		t.Errorf("deadline took %v to fire", time.Since(start))
+	}
+}
+
+func TestNetworkRelistenAfterClose(t *testing.T) {
+	nw := NewNetwork()
+	ln, err := nw.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Listen("srv"); err == nil {
+		t.Fatal("double listen accepted")
+	}
+	ln.Close()
+	if _, err := nw.Dial("srv"); err == nil {
+		t.Fatal("dial to closed listener succeeded")
+	}
+	if _, err := ln.Accept(); err == nil {
+		t.Fatal("accept on closed listener succeeded")
+	}
+	// The crash-and-restart move: the address is free again.
+	ln2, err := nw.Listen("srv")
+	if err != nil {
+		t.Fatalf("re-listen failed: %v", err)
+	}
+	defer ln2.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := ln2.Accept()
+		if err == nil {
+			conn.Close()
+		}
+	}()
+	conn, err := nw.Dial("srv")
+	if err != nil {
+		t.Fatalf("dial after re-listen failed: %v", err)
+	}
+	conn.Close()
+	<-done
+}
+
+func TestNetworkReorderWindow(t *testing.T) {
+	nw := NewNetwork()
+	nw.SetReorderWindow(3)
+	ln, err := nw.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Dial three times; each client writes its index once accepted.
+	for i := 0; i < 3; i++ {
+		conn, err := nw.Dial("srv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		go func(b byte, c net.Conn) { c.Write([]byte{b}) }(byte(i), conn)
+	}
+	var order []byte
+	for i := 0; i < 3; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1)
+		if _, err := conn.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		order = append(order, buf[0])
+		conn.Close()
+	}
+	if order[0] != 2 || order[1] != 1 || order[2] != 0 {
+		t.Errorf("accept order = %v, want [2 1 0]", order)
+	}
+	// A lone dial below the window size is flushed, not starved.
+	conn, err := nw.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := ln.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("held dial never delivered")
+	}
+}

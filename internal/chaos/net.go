@@ -1,0 +1,215 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Network is an in-memory transport: a set of named listeners that
+// Dial connects to over synchronous in-process pipes (net.Pipe, which
+// supports deadlines like TCP). It drops in for the TCP functions the
+// client and server use, with no sockets, ports, or OS dependencies —
+// the substrate every chaos scenario runs on.
+//
+// A listener's address can be re-listened after it closes, which is how
+// scenarios model a server crash and restart on the same endpoint.
+type Network struct {
+	mu        sync.Mutex
+	listeners map[string]*listener
+	// reorder > 1 buffers accepted connections in windows of that size
+	// and delivers each window in reverse — the "reordered dials"
+	// fault: a volunteer fleet's connections do not reach the server's
+	// accept queue in dial order.
+	reorder int
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{listeners: make(map[string]*listener)}
+}
+
+// SetReorderWindow makes the network deliver dials to listeners in
+// reversed windows of k (k <= 1 restores in-order delivery). A held
+// window is flushed after a short real delay so a lone dial is never
+// starved.
+func (n *Network) SetReorderWindow(k int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.reorder = k
+}
+
+// Listen opens a listener on the given name. The name is opaque — any
+// non-empty string works — and is what Dial and net.Conn addresses
+// report.
+func (n *Network) Listen(addr string) (net.Listener, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("chaos: empty listen address")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, taken := n.listeners[addr]; taken {
+		return nil, fmt.Errorf("chaos: address %s already in use", addr)
+	}
+	l := &listener{
+		net:  n,
+		addr: addr,
+		ch:   make(chan net.Conn, 1024),
+		done: make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to the listener named addr. The server half is
+// delivered to the listener's accept queue (possibly reordered, see
+// SetReorderWindow); the client half returns immediately.
+func (n *Network) Dial(addr string) (net.Conn, error) {
+	n.mu.Lock()
+	l := n.listeners[addr]
+	reorder := n.reorder
+	n.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("chaos: dial %s: connection refused", addr)
+	}
+	client, server := pipePair(addr)
+	if err := l.deliver(server, reorder); err != nil {
+		client.Close()
+		return nil, err
+	}
+	return client, nil
+}
+
+// pipePair returns the two halves of an in-memory connection with
+// cosmetic addresses attached.
+func pipePair(addr string) (client, server net.Conn) {
+	c, s := net.Pipe()
+	return addrConn{Conn: c, local: "chaos-client", remote: addr},
+		addrConn{Conn: s, local: addr, remote: "chaos-client"}
+}
+
+// addrConn decorates a pipe conn with stable address strings.
+type addrConn struct {
+	net.Conn
+	local, remote string
+}
+
+func (a addrConn) LocalAddr() net.Addr  { return chaosAddr(a.local) }
+func (a addrConn) RemoteAddr() net.Addr { return chaosAddr(a.remote) }
+
+// chaosAddr is a net.Addr over a plain string.
+type chaosAddr string
+
+func (a chaosAddr) Network() string { return "chaos" }
+func (a chaosAddr) String() string  { return string(a) }
+
+// listener implements net.Listener over an accept channel.
+type listener struct {
+	net  *Network
+	addr string
+	ch   chan net.Conn
+	done chan struct{}
+	once sync.Once
+
+	mu   sync.Mutex
+	held []net.Conn
+}
+
+// deliver hands the server half to the accept queue, honoring the
+// reorder window.
+func (l *listener) deliver(conn net.Conn, reorder int) error {
+	if reorder <= 1 {
+		return l.push(conn)
+	}
+	l.mu.Lock()
+	l.held = append(l.held, conn)
+	full := len(l.held) >= reorder
+	var flushNow []net.Conn
+	if full {
+		flushNow = l.held
+		l.held = nil
+	}
+	l.mu.Unlock()
+	if full {
+		return l.flush(flushNow)
+	}
+	// Guarantee progress even if the window never fills: flush what is
+	// held after a short real delay.
+	time.AfterFunc(2*time.Millisecond, func() {
+		l.mu.Lock()
+		pending := l.held
+		l.held = nil
+		l.mu.Unlock()
+		_ = l.flush(pending)
+	})
+	return nil
+}
+
+// flush delivers held conns in reverse order.
+func (l *listener) flush(conns []net.Conn) error {
+	var firstErr error
+	for i := len(conns) - 1; i >= 0; i-- {
+		if err := l.push(conns[i]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (l *listener) push(conn net.Conn) error {
+	select {
+	case <-l.done:
+		conn.Close()
+		return fmt.Errorf("chaos: dial %s: connection refused (listener closed)", l.addr)
+	case l.ch <- conn:
+		return nil
+	}
+}
+
+// Accept returns the next delivered connection.
+func (l *listener) Accept() (net.Conn, error) {
+	select {
+	case conn := <-l.ch:
+		return conn, nil
+	case <-l.done:
+		// Drain anything that raced in before close.
+		select {
+		case conn := <-l.ch:
+			return conn, nil
+		default:
+		}
+		return nil, net.ErrClosed
+	}
+}
+
+// Close unregisters the listener and refuses queued and future dials.
+func (l *listener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		if l.net.listeners[l.addr] == l {
+			delete(l.net.listeners, l.addr)
+		}
+		l.net.mu.Unlock()
+		l.mu.Lock()
+		held := l.held
+		l.held = nil
+		l.mu.Unlock()
+		for _, c := range held {
+			c.Close()
+		}
+		for {
+			select {
+			case c := <-l.ch:
+				c.Close()
+			default:
+				return
+			}
+		}
+	})
+	return nil
+}
+
+// Addr reports the listener's name.
+func (l *listener) Addr() net.Addr { return chaosAddr(l.addr) }

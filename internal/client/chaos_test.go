@@ -1,0 +1,256 @@
+package client
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"uucs/internal/apps"
+	"uucs/internal/chaos"
+	"uucs/internal/core"
+	"uucs/internal/server"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// startChaosServer serves a real server over the in-memory chaos
+// network.
+func startChaosServer(t *testing.T, nw *chaos.Network, nTestcases int) *server.Server {
+	t.Helper()
+	s := server.New(11)
+	if nTestcases > 0 {
+		tcs, err := testcase.Generate("inet", testcase.GeneratorConfig{
+			Count: nTestcases, Rate: 1, Duration: 20,
+			BlankFraction: 0.1, QueueFraction: 0.4, MaxCPU: 10, MaxDisk: 7,
+		}, stats.NewStream(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddTestcases(tcs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ln, err := nw.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// chaosClient builds a client wired to the chaos network through an
+// injector, with fast virtual-clock retries.
+func chaosClient(t *testing.T, nw *chaos.Network, in *chaos.Injector, seed uint64) (*Client, *chaos.Clock) {
+	t.Helper()
+	c := newClient(t, seed)
+	c.Dialer = in.WrapDial(nw.Dial)
+	c.Retry = Backoff{Base: time.Millisecond, Max: 4 * time.Millisecond, Attempts: 8}
+	clock := chaos.NewClock()
+	c.Sleep = clock.Sleep
+	return c, clock
+}
+
+// TestClientRetriesThroughFaults scripts a failed dial at registration
+// and a dropped upload ack: the client must converge to exactly the
+// fault-free outcome — registered once, every run uploaded once.
+func TestClientRetriesThroughFaults(t *testing.T) {
+	nw := chaos.NewNetwork()
+	srv := startChaosServer(t, nw, 30)
+	// Op order: dial#1 fails (registration attempt 1). After that:
+	// read#1 registration, read#2 sync-1 download (no upload — nothing
+	// pending), read#3 sync-2 download, read#4 sync-2 upload ack — the
+	// drop lands after the server applied the batch, so the retried
+	// upload must be detected as a duplicate, not double-counted.
+	in := chaos.NewInjector(1, chaos.Profile{}).Scripted(
+		chaos.ScriptFault{Op: "dial", N: 1, Kind: chaos.KindDialFail},
+		chaos.ScriptFault{Op: "read", N: 4, Kind: chaos.KindDrop},
+	)
+	c, clock := chaosClient(t, nw, in, 21)
+
+	if err := c.Register("srv"); err != nil {
+		t.Fatalf("register did not survive dial failure: %v", err)
+	}
+	if _, err := c.HotSync("srv"); err != nil {
+		t.Fatal(err)
+	}
+	tc, err := c.ChooseTestcase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := apps.New(testcase.Word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExecuteRun(tc, app, testUser(t)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.HotSync("srv")
+	if err != nil {
+		t.Fatalf("sync did not survive ack loss: %v", err)
+	}
+	if st.UploadedRuns != 1 {
+		t.Errorf("uploaded %d runs, want 1", st.UploadedRuns)
+	}
+	if got := srv.Results(); len(got) != 1 || got[0].TestcaseID != tc.ID {
+		t.Errorf("server dataset after ack loss: %d runs", len(got))
+	}
+	if pending, _ := c.Store.PendingRuns(); len(pending) != 0 {
+		t.Errorf("%d runs stuck pending", len(pending))
+	}
+	if batches, _ := c.Store.Outboxes(); len(batches) != 0 {
+		t.Errorf("%d batches stuck in outbox", len(batches))
+	}
+	if archived, _ := c.Store.UploadedRuns(); len(archived) != 1 {
+		t.Errorf("archive holds %d runs, want 1", len(archived))
+	}
+	want := []string{"dial#1 dialfail", "read#4 drop"}
+	if !reflect.DeepEqual(in.Events(), want) {
+		t.Errorf("events = %v, want %v", in.Events(), want)
+	}
+	if clock.Sleeps() != 2 {
+		t.Errorf("backoff sleeps = %d, want 2 (one per injected fault)", clock.Sleeps())
+	}
+}
+
+// TestClientRegistrationIdempotentAcrossLostResponse drops the
+// registration response itself: the server has registered the client,
+// the client never learned its id. The nonce-keyed retry must receive
+// the same id, not mint a second identity.
+func TestClientRegistrationIdempotentAcrossLostResponse(t *testing.T) {
+	nw := chaos.NewNetwork()
+	srv := startChaosServer(t, nw, 0)
+	in := chaos.NewInjector(1, chaos.Profile{}).Scripted(
+		chaos.ScriptFault{Op: "read", N: 1, Kind: chaos.KindDrop},
+	)
+	c, _ := chaosClient(t, nw, in, 22)
+	if err := c.Register("srv"); err != nil {
+		t.Fatal(err)
+	}
+	if srv.ClientCount() != 1 {
+		t.Errorf("server registered %d clients, want 1", srv.ClientCount())
+	}
+	// A fresh client process over the same store (a crashed-and-restarted
+	// host) also keeps its identity.
+	c2, err := New(c.Store, testSnap(), core.NewEngine(), 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Dialer = nw.Dial
+	if err := c2.Register("srv"); err != nil {
+		t.Fatal(err)
+	}
+	if c2.ID() != c.ID() {
+		t.Errorf("restarted client changed identity: %s vs %s", c2.ID(), c.ID())
+	}
+	if srv.ClientCount() != 1 {
+		t.Errorf("restart created a second registration: %d clients", srv.ClientCount())
+	}
+}
+
+// TestClientPermanentErrorsAreNotRetried: an in-band server rejection
+// cannot be fixed by reconnecting, so the client must fail fast without
+// burning its retry budget.
+func TestClientPermanentErrorsAreNotRetried(t *testing.T) {
+	nw := chaos.NewNetwork()
+	startChaosServer(t, nw, 5)
+	c := newClient(t, 23)
+	c.Dialer = nw.Dial
+	c.Retry = Backoff{Base: time.Millisecond, Max: 4 * time.Millisecond, Attempts: 8}
+	clock := chaos.NewClock()
+	c.Sleep = clock.Sleep
+	// Forge an identity the server does not know: sync is rejected
+	// in-band.
+	if err := c.Store.SetClientID("uucs-ghost"); err != nil {
+		t.Fatal(err)
+	}
+	c.id = "uucs-ghost"
+	if _, err := c.HotSync("srv"); err == nil {
+		t.Fatal("sync with unknown id succeeded")
+	}
+	if clock.Sleeps() != 0 {
+		t.Errorf("permanent error was retried %d times", clock.Sleeps())
+	}
+}
+
+// TestClientRetriesExhaustOnDeadServer: every attempt fails, the budget
+// runs out, the error surfaces, and the pending results survive — all
+// waits on the virtual clock.
+func TestClientRetriesExhaustOnDeadServer(t *testing.T) {
+	nw := chaos.NewNetwork() // nothing listens
+	c := newClient(t, 24)
+	c.Dialer = nw.Dial
+	c.Retry = Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Attempts: 5}
+	clock := chaos.NewClock()
+	c.Sleep = clock.Sleep
+	start := time.Now()
+	if err := c.Register("srv"); err == nil {
+		t.Fatal("register against dead network succeeded")
+	}
+	if real := time.Since(start); real > time.Second {
+		t.Errorf("retries took %v of real time under a virtual clock", real)
+	}
+	if clock.Sleeps() != 4 {
+		t.Errorf("sleeps = %d, want attempts-1 = 4", clock.Sleeps())
+	}
+	if clock.Now() == 0 {
+		t.Error("virtual clock recorded no waiting")
+	}
+}
+
+// TestBackoffDelaysCappedAndJittered checks the backoff envelope:
+// attempt n waits ~Base<<(n-1), jittered in [0.5x, 1.5x), never above
+// Max.
+func TestBackoffDelaysCappedAndJittered(t *testing.T) {
+	c := newClient(t, 25)
+	c.Retry = Backoff{Base: 100 * time.Millisecond, Max: time.Second, Attempts: 10}
+	for n := 1; n <= 10; n++ {
+		d := c.backoffDelay(n)
+		ideal := c.Retry.Base << (n - 1)
+		if ideal > c.Retry.Max {
+			ideal = c.Retry.Max
+		}
+		lo := ideal / 2
+		if d < lo || d > c.Retry.Max+c.Retry.Max/2 {
+			t.Errorf("attempt %d: delay %v outside [%v, 1.5*Max]", n, d, lo)
+		}
+		if d > c.Retry.Max {
+			t.Errorf("attempt %d: delay %v exceeds cap %v", n, d, c.Retry.Max)
+		}
+	}
+}
+
+// TestRetryJitterDoesNotPerturbMainStream: the jitter rng is separate
+// from the client's main rng, so a client that suffered retries makes
+// the same testcase choices as one that did not — the property that
+// keeps a faulty fleet's dataset bit-identical to a fault-free one.
+func TestRetryJitterDoesNotPerturbMainStream(t *testing.T) {
+	suite, err := testcase.ControlledSuite(testcase.Word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	choices := func(withBackoffDraws bool) []string {
+		c := newClient(t, 26)
+		if err := c.Store.SaveTestcases(suite); err != nil {
+			t.Fatal(err)
+		}
+		if withBackoffDraws {
+			for i := 1; i <= 7; i++ {
+				c.backoffDelay(i) // consume jitter draws
+			}
+		}
+		var ids []string
+		for i := 0; i < 10; i++ {
+			tc, err := c.ChooseTestcase()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, tc.ID)
+		}
+		return ids
+	}
+	smooth, bumpy := choices(false), choices(true)
+	if !reflect.DeepEqual(smooth, bumpy) {
+		t.Errorf("retries perturbed testcase choices:\n%v\n%v", smooth, bumpy)
+	}
+}

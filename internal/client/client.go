@@ -1,9 +1,11 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"strings"
+	"time"
 
 	"uucs/internal/apps"
 	"uucs/internal/comfort"
@@ -13,8 +15,35 @@ import (
 	"uucs/internal/testcase"
 )
 
+// Backoff parameterizes the client's capped exponential backoff with
+// jitter. Attempt n (n >= 1) waits roughly Base<<(n-1), jittered
+// uniformly in [0.5x, 1.5x) and capped at Max, before retrying.
+type Backoff struct {
+	// Base is the first retry delay.
+	Base time.Duration
+	// Max caps the delay growth.
+	Max time.Duration
+	// Attempts is the total number of tries (1 = no retries).
+	Attempts int
+}
+
+// DefaultBackoff is the client's stock retry policy.
+func DefaultBackoff() Backoff {
+	return Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second, Attempts: 3}
+}
+
 // Client is a UUCS client instance. It is not safe for concurrent use;
 // a host runs one client.
+//
+// All network operations are fault-tolerant: they run under the Retry
+// policy with capped, jittered exponential backoff, reconnecting on
+// every attempt. Registration is idempotent (the client presents a
+// persistent nonce, so a lost response cannot create a second
+// identity), downloads are idempotent (a retried sync with the same
+// have-list receives the same sample), and uploads are idempotent
+// (pending results are sealed into journaled, sequence-numbered outbox
+// batches that the server deduplicates). A client killed at any point
+// resumes from its store without losing or double-reporting a run.
 type Client struct {
 	// Store is the client's permanent storage.
 	Store *Store
@@ -26,14 +55,31 @@ type Client struct {
 	// the sample grows by this much each time, implementing the paper's
 	// "growing random sample of testcases".
 	SyncBatch int
+	// Dialer opens the transport connection; nil means TCP. Chaos tests
+	// inject simulated, fault-carrying networks here.
+	Dialer func(addr string) (net.Conn, error)
+	// Timeout bounds each protocol message send/receive; zero disables
+	// deadlines.
+	Timeout time.Duration
+	// Retry is the reconnect policy for every network operation.
+	Retry Backoff
+	// Sleep waits between retries; nil means time.Sleep. Chaos tests
+	// inject a virtual clock here.
+	Sleep func(d time.Duration)
 
 	id    string
+	nonce string
 	syncs int
 	rng   *stats.Stream
+	// retryRng drives backoff jitter only. It is deliberately separate
+	// from rng: retries must not perturb testcase choice or arrival
+	// draws, or a faulty run would diverge from a fault-free one.
+	retryRng *stats.Stream
 }
 
 // New builds a client over the given store. seed fixes the local random
-// choices (testcase selection, Poisson arrival times).
+// choices (testcase selection, Poisson arrival times) and, on first
+// use of a store, the registration nonce.
 func New(store *Store, snap protocol.Snapshot, engine *core.Engine, seed uint64) (*Client, error) {
 	if store == nil {
 		return nil, fmt.Errorf("client: nil store")
@@ -48,13 +94,27 @@ func New(store *Store, snap protocol.Snapshot, engine *core.Engine, seed uint64)
 	if err != nil {
 		return nil, err
 	}
+	nonce, err := store.Nonce()
+	if err != nil {
+		return nil, err
+	}
+	if nonce == "" {
+		ns := stats.NewStream(seed ^ 0x6e6f6e6365) // "nonce"
+		nonce = fmt.Sprintf("n-%016x%016x", ns.Uint64(), ns.Uint64())
+		if err := store.SetNonce(nonce); err != nil {
+			return nil, err
+		}
+	}
 	return &Client{
 		Store:     store,
 		Snapshot:  snap,
 		Engine:    engine,
 		SyncBatch: 16,
+		Retry:     DefaultBackoff(),
 		id:        id,
+		nonce:     nonce,
 		rng:       stats.NewStream(seed),
+		retryRng:  stats.NewStream(seed ^ 0x7265747279), // "retry"
 	}, nil
 }
 
@@ -62,45 +122,129 @@ func New(store *Store, snap protocol.Snapshot, engine *core.Engine, seed uint64)
 func (c *Client) ID() string { return c.id }
 
 // dial opens a protocol connection to the server.
-func dial(addr string) (*protocol.Conn, error) {
-	nc, err := net.Dial("tcp", addr)
+func (c *Client) dial(addr string) (*protocol.Conn, error) {
+	dialer := c.Dialer
+	if dialer == nil {
+		dialer = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	nc, err := dialer(addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
-	return protocol.NewConn(nc), nil
+	conn := protocol.NewConn(nc)
+	conn.SetTimeout(c.Timeout)
+	return conn, nil
+}
+
+// permanentError marks a failure that a reconnect cannot fix (an
+// in-band server rejection, a local store failure); withRetry stops
+// immediately instead of burning attempts.
+type permanentError struct{ err error }
+
+func (e permanentError) Error() string { return e.err.Error() }
+func (e permanentError) Unwrap() error { return e.err }
+
+// permanent wraps err as non-retryable.
+func permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return permanentError{err}
+}
+
+// backoffDelay returns the jittered delay before retry attempt n >= 1.
+func (c *Client) backoffDelay(n int) time.Duration {
+	d := c.Retry.Base
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	for i := 1; i < n && d < c.Retry.Max; i++ {
+		d *= 2
+	}
+	if c.Retry.Max > 0 && d > c.Retry.Max {
+		d = c.Retry.Max
+	}
+	// Jitter uniformly in [0.5d, 1.5d) to decorrelate a fleet of
+	// clients retrying against a just-restarted server.
+	j := time.Duration((0.5 + c.retryRng.Float64()) * float64(d))
+	if c.Retry.Max > 0 && j > c.Retry.Max {
+		j = c.Retry.Max
+	}
+	return j
+}
+
+// withRetry runs fn over a fresh connection, reconnecting with backoff
+// on transient failures until the retry budget is spent.
+func (c *Client) withRetry(addr string, fn func(conn *protocol.Conn) error) error {
+	attempts := c.Retry.Attempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	sleep := c.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var lastErr error
+	for a := 1; a <= attempts; a++ {
+		if a > 1 {
+			sleep(c.backoffDelay(a - 1))
+		}
+		conn, err := c.dial(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		err = fn(conn)
+		conn.Close()
+		if err == nil {
+			return nil
+		}
+		var perm permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		lastErr = err
+	}
+	return lastErr
 }
 
 // Register performs initial registration: the client presents its
-// snapshot and stores the unique identifier the server assigns. It is
-// idempotent — an already-registered client keeps its id.
+// snapshot plus a persistent nonce and stores the unique identifier
+// the server assigns. It is idempotent both locally (an
+// already-registered client keeps its id) and on the wire (a retried
+// registration with the same nonce receives the same id).
 func (c *Client) Register(addr string) error {
 	if c.id != "" {
 		return nil
 	}
-	conn, err := dial(addr)
+	var assigned string
+	err := c.withRetry(addr, func(conn *protocol.Conn) error {
+		if err := conn.Send(protocol.Message{
+			Type: protocol.TypeRegister, Ver: protocol.Version,
+			Snapshot: &c.Snapshot, Nonce: c.nonce,
+		}); err != nil {
+			return err
+		}
+		resp, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		if err := protocol.AsError(resp); err != nil {
+			return permanent(err)
+		}
+		if resp.Type != protocol.TypeRegistered || resp.ClientID == "" {
+			return permanent(fmt.Errorf("client: unexpected registration response %+v", resp))
+		}
+		assigned = resp.ClientID
+		return nil
+	})
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
-	if err := conn.Send(protocol.Message{
-		Type: protocol.TypeRegister, Ver: protocol.Version, Snapshot: &c.Snapshot,
-	}); err != nil {
+	if err := c.Store.SetClientID(assigned); err != nil {
 		return err
 	}
-	resp, err := conn.Recv()
-	if err != nil {
-		return err
-	}
-	if err := protocol.AsError(resp); err != nil {
-		return err
-	}
-	if resp.Type != protocol.TypeRegistered || resp.ClientID == "" {
-		return fmt.Errorf("client: unexpected registration response %+v", resp)
-	}
-	if err := c.Store.SetClientID(resp.ClientID); err != nil {
-		return err
-	}
-	c.id = resp.ClientID
+	c.id = assigned
 	return nil
 }
 
@@ -108,25 +252,30 @@ func (c *Client) Register(addr string) error {
 type SyncStats struct {
 	// NewTestcases is how many previously unseen testcases arrived.
 	NewTestcases int
-	// UploadedRuns is how many pending run records were accepted.
+	// UploadedRuns is how many pending run records were accepted
+	// (including batches a previous, crashed sync had already uploaded
+	// without learning of the ack).
 	UploadedRuns int
 }
 
 // HotSync performs one hot sync (paper §2): download new testcases —
 // a growing random sample — and upload new results. The client must be
-// registered.
+// registered. The two phases are retried independently so a fault in
+// one cannot re-execute the other: the download request is a pure
+// function of the have-list, and uploads ride on sealed,
+// sequence-numbered batches the server deduplicates, so a HotSync
+// interrupted at any point and retried converges to exactly the state
+// a fault-free sync would have produced.
 func (c *Client) HotSync(addr string) (SyncStats, error) {
 	var st SyncStats
 	if c.id == "" {
 		return st, fmt.Errorf("client: not registered")
 	}
-	conn, err := dial(addr)
-	if err != nil {
-		return st, err
-	}
-	defer conn.Close()
 
-	// Download: ask for a growing sample.
+	// Download: ask for a growing sample. The testcase store is only
+	// updated after the full payload arrives intact, so a retried
+	// request carries the identical have-list and receives the
+	// identical sample.
 	existing, err := c.Store.Testcases()
 	if err != nil {
 		return st, err
@@ -137,64 +286,101 @@ func (c *Client) HotSync(addr string) (SyncStats, error) {
 	}
 	c.syncs++
 	want := c.SyncBatch * c.syncs
-	if err := conn.Send(protocol.Message{
-		Type: protocol.TypeSync, ClientID: c.id, Have: have, Want: want,
-	}); err != nil {
-		return st, err
-	}
-	resp, err := conn.Recv()
+	var fetched []*testcase.Testcase
+	err = c.withRetry(addr, func(conn *protocol.Conn) error {
+		if err := conn.Send(protocol.Message{
+			Type: protocol.TypeSync, ClientID: c.id, Have: have, Want: want,
+		}); err != nil {
+			return err
+		}
+		resp, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		if err := protocol.AsError(resp); err != nil {
+			return permanent(err)
+		}
+		if resp.Type != protocol.TypeTestcases {
+			return fmt.Errorf("client: unexpected sync response %q", resp.Type)
+		}
+		fetched = nil
+		if resp.Payload != "" {
+			tcs, err := testcase.DecodeAll(strings.NewReader(resp.Payload))
+			if err != nil {
+				return fmt.Errorf("client: bad testcase payload: %w", err)
+			}
+			fetched = tcs
+		}
+		return nil
+	})
 	if err != nil {
 		return st, err
 	}
-	if err := protocol.AsError(resp); err != nil {
-		return st, err
-	}
-	if resp.Type != protocol.TypeTestcases {
-		return st, fmt.Errorf("client: unexpected sync response %q", resp.Type)
-	}
-	if resp.Payload != "" {
-		tcs, err := testcase.DecodeAll(strings.NewReader(resp.Payload))
-		if err != nil {
-			return st, fmt.Errorf("client: bad testcase payload: %w", err)
-		}
-		added, err := c.Store.AddTestcases(tcs)
+	if len(fetched) > 0 {
+		added, err := c.Store.AddTestcases(fetched)
 		if err != nil {
 			return st, err
 		}
 		st.NewTestcases = added
 	}
 
-	// Upload pending results.
-	pending, err := c.Store.PendingRuns()
+	// Upload: ship every sealed outbox batch (oldest first — earlier
+	// batches may be survivors of a crashed previous sync), then seal
+	// and ship the current pending runs.
+	uploaded, err := c.uploadOutboxes(addr)
+	st.UploadedRuns = uploaded
+	return st, err
+}
+
+// uploadOutboxes seals pending runs into a new outbox batch and pushes
+// every unacked batch to the server in sequence order. Each batch is
+// retried until acked; the server drops duplicates, so a batch whose
+// ack was lost is simply confirmed on the next attempt.
+func (c *Client) uploadOutboxes(addr string) (int, error) {
+	if _, err := c.Store.SealPending(); err != nil {
+		return 0, err
+	}
+	batches, err := c.Store.Outboxes()
 	if err != nil {
-		return st, err
+		return 0, err
 	}
-	if len(pending) > 0 {
+	uploaded := 0
+	for _, batch := range batches {
 		var b strings.Builder
-		if err := core.EncodeRuns(&b, pending, false); err != nil {
-			return st, err
+		if err := core.EncodeRuns(&b, batch.Runs, false); err != nil {
+			return uploaded, err
 		}
-		if err := conn.Send(protocol.Message{
-			Type: protocol.TypeResults, ClientID: c.id, Payload: b.String(),
-		}); err != nil {
-			return st, err
-		}
-		ack, err := conn.Recv()
+		seq := batch.Seq
+		err := c.withRetry(addr, func(conn *protocol.Conn) error {
+			if err := conn.Send(protocol.Message{
+				Type: protocol.TypeResults, ClientID: c.id, Payload: b.String(), Seq: seq,
+			}); err != nil {
+				return err
+			}
+			ack, err := conn.Recv()
+			if err != nil {
+				return err
+			}
+			if err := protocol.AsError(ack); err != nil {
+				return permanent(err)
+			}
+			if ack.Type != protocol.TypeAck {
+				return fmt.Errorf("client: unexpected upload response %q", ack.Type)
+			}
+			if ack.Seq != seq {
+				return fmt.Errorf("client: ack for batch %d, want %d", ack.Seq, seq)
+			}
+			return nil
+		})
 		if err != nil {
-			return st, err
+			return uploaded, err
 		}
-		if err := protocol.AsError(ack); err != nil {
-			return st, err
+		if err := c.Store.MarkBatchUploaded(seq); err != nil {
+			return uploaded, err
 		}
-		if ack.Type != protocol.TypeAck {
-			return st, fmt.Errorf("client: unexpected upload response %q", ack.Type)
-		}
-		st.UploadedRuns = ack.Count
-		if err := c.Store.MarkUploaded(); err != nil {
-			return st, err
-		}
+		uploaded += len(batch.Runs)
 	}
-	return st, nil
+	return uploaded, nil
 }
 
 // ChooseTestcase picks a testcase uniformly at random from the local

@@ -1,0 +1,280 @@
+package client
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"uucs/internal/core"
+	"uucs/internal/testcase"
+)
+
+func crashRun(id string) *core.Run {
+	return &core.Run{
+		TestcaseID: id, Task: testcase.Word, UserID: 1,
+		Terminated: core.Exhausted, Offset: 60,
+		Levels:   map[testcase.Resource]float64{testcase.CPU: 1},
+		LastFive: map[testcase.Resource][]float64{},
+	}
+}
+
+// TestStoreCrashPaths simulates a client killed at every dangerous
+// instant of the run-record lifecycle — mid-append, between the
+// sequence bump and the rename, between rename and upload, between ack
+// and cleanup — and asserts the store resumes without losing or
+// duplicating a run.
+func TestStoreCrashPaths(t *testing.T) {
+	cases := []struct {
+		name  string
+		crash func(t *testing.T, st *Store)
+		check func(t *testing.T, st *Store)
+	}{
+		{
+			// writeAtomically was killed between temp-file write and
+			// rename: the leftover temp file must be invisible.
+			name: "leftover-temp-file",
+			crash: func(t *testing.T, st *Store) {
+				if err := st.AppendRun(crashRun("a")); err != nil {
+					t.Fatal(err)
+				}
+				tmp := filepath.Join(st.Dir(), testcasesFile+".tmp12345")
+				if err := os.WriteFile(tmp, []byte("half-written garbage"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			check: func(t *testing.T, st *Store) {
+				if runs, err := st.PendingRuns(); err != nil || len(runs) != 1 {
+					t.Fatalf("pending = %d, %v", len(runs), err)
+				}
+				if tcs, err := st.Testcases(); err != nil || len(tcs) != 0 {
+					t.Fatalf("temp file leaked into testcases: %d, %v", len(tcs), err)
+				}
+			},
+		},
+		{
+			// AppendRun was killed mid-write: the pending file ends in a
+			// torn record. The complete prefix survives, the tail is
+			// dropped, and the file is appendable again.
+			name: "torn-pending-tail",
+			crash: func(t *testing.T, st *Store) {
+				if err := st.AppendRun(crashRun("a")); err != nil {
+					t.Fatal(err)
+				}
+				if err := st.AppendRun(crashRun("b")); err != nil {
+					t.Fatal(err)
+				}
+				f, err := os.OpenFile(filepath.Join(st.Dir(), pendingFile), os.O_APPEND|os.O_WRONLY, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.WriteString("run c\ntask word\nuser 1\nterm"); err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+			},
+			check: func(t *testing.T, st *Store) {
+				runs, err := st.PendingRuns()
+				if err != nil || len(runs) != 2 {
+					t.Fatalf("salvage kept %d runs, %v; want 2", len(runs), err)
+				}
+				if runs[0].TestcaseID != "a" || runs[1].TestcaseID != "b" {
+					t.Fatalf("salvaged wrong runs: %v", runs)
+				}
+				if err := st.AppendRun(crashRun("d")); err != nil {
+					t.Fatal(err)
+				}
+				if runs, _ := st.PendingRuns(); len(runs) != 3 {
+					t.Fatalf("append after salvage: %d runs", len(runs))
+				}
+			},
+		},
+		{
+			// The very first AppendRun was killed mid-write: the whole
+			// pending file is one torn record, which is dropped entirely.
+			name: "fully-torn-pending",
+			crash: func(t *testing.T, st *Store) {
+				path := filepath.Join(st.Dir(), pendingFile)
+				if err := os.WriteFile(path, []byte("run a\ntask word\n"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			check: func(t *testing.T, st *Store) {
+				if runs, err := st.PendingRuns(); err != nil || len(runs) != 0 {
+					t.Fatalf("torn-only pending: %d runs, %v", len(runs), err)
+				}
+				if err := st.AppendRun(crashRun("a")); err != nil {
+					t.Fatal(err)
+				}
+				if runs, _ := st.PendingRuns(); len(runs) != 1 {
+					t.Fatal("append after full tear failed")
+				}
+			},
+		},
+		{
+			// SealPending was killed after bumping the sequence counter
+			// but before renaming pending into the outbox. The number is
+			// wasted — the next seal must use a fresh one, never reuse.
+			name: "killed-between-seq-bump-and-rename",
+			crash: func(t *testing.T, st *Store) {
+				if err := st.AppendRun(crashRun("a")); err != nil {
+					t.Fatal(err)
+				}
+				if err := st.setNextSeq(2); err != nil { // bumped, no rename
+					t.Fatal(err)
+				}
+			},
+			check: func(t *testing.T, st *Store) {
+				seq, err := st.SealPending()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seq != 2 {
+					t.Fatalf("seal reused or skipped wrong seq: %d, want 2", seq)
+				}
+				if next, _ := st.NextSeq(); next != 3 {
+					t.Fatalf("next seq = %d, want 3", next)
+				}
+				batches, err := st.Outboxes()
+				if err != nil || len(batches) != 1 || batches[0].Seq != 2 {
+					t.Fatalf("outboxes = %+v, %v", batches, err)
+				}
+			},
+		},
+		{
+			// Killed after sealing but before upload: a restarted client
+			// must find the batch and ship it under its original number.
+			name: "killed-between-seal-and-upload",
+			crash: func(t *testing.T, st *Store) {
+				if err := st.AppendRun(crashRun("a")); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := st.SealPending(); err != nil {
+					t.Fatal(err)
+				}
+			},
+			check: func(t *testing.T, st *Store) {
+				batches, err := st.Outboxes()
+				if err != nil || len(batches) != 1 || batches[0].Seq != 1 || len(batches[0].Runs) != 1 {
+					t.Fatalf("outboxes after restart = %+v, %v", batches, err)
+				}
+				if runs, _ := st.PendingRuns(); len(runs) != 0 {
+					t.Fatal("sealed runs still pending")
+				}
+				// New runs seal into the NEXT batch; the old one is
+				// untouched.
+				if err := st.AppendRun(crashRun("b")); err != nil {
+					t.Fatal(err)
+				}
+				seq, err := st.SealPending()
+				if err != nil || seq != 2 {
+					t.Fatalf("second seal: %d, %v", seq, err)
+				}
+				if err := st.MarkBatchUploaded(1); err != nil {
+					t.Fatal(err)
+				}
+				if err := st.MarkBatchUploaded(2); err != nil {
+					t.Fatal(err)
+				}
+				if archived, _ := st.UploadedRuns(); len(archived) != 2 {
+					t.Fatalf("archive = %d runs", len(archived))
+				}
+			},
+		},
+		{
+			// Killed between receiving the ack and MarkBatchUploaded: the
+			// batch is re-sent (the server discards it as a duplicate)
+			// and the second MarkBatchUploaded for a gone batch is a
+			// no-op — the archive gains the runs exactly once.
+			name: "killed-between-ack-and-cleanup",
+			crash: func(t *testing.T, st *Store) {
+				if err := st.AppendRun(crashRun("a")); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := st.SealPending(); err != nil {
+					t.Fatal(err)
+				}
+			},
+			check: func(t *testing.T, st *Store) {
+				if err := st.MarkBatchUploaded(1); err != nil {
+					t.Fatal(err)
+				}
+				if err := st.MarkBatchUploaded(1); err != nil { // retried after restart
+					t.Fatal(err)
+				}
+				if archived, _ := st.UploadedRuns(); len(archived) != 1 {
+					t.Fatalf("archive = %d runs, want 1", len(archived))
+				}
+				if batches, _ := st.Outboxes(); len(batches) != 0 {
+					t.Fatal("acked batch still in outbox")
+				}
+			},
+		},
+		{
+			// A corrupted sequence file must surface as an error, not
+			// silently restart numbering (which would collide with
+			// batches the server already applied).
+			name: "corrupt-seq-file",
+			crash: func(t *testing.T, st *Store) {
+				if err := st.AppendRun(crashRun("a")); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(st.Dir(), seqFile), []byte("garbage\n"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			check: func(t *testing.T, st *Store) {
+				if _, err := st.NextSeq(); err == nil {
+					t.Fatal("corrupt seq file accepted")
+				}
+				if _, err := st.SealPending(); err == nil {
+					t.Fatal("seal with corrupt seq file succeeded")
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			st, err := OpenStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.crash(t, st)
+			// The "restart": a fresh Store over the same directory, as a
+			// rebooted client process would open.
+			st2, err := OpenStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, st2)
+		})
+	}
+}
+
+// TestStoreOutboxIgnoresStrayFiles: files that merely look like outbox
+// batches must not be decoded as run data.
+func TestStoreOutboxIgnoresStrayFiles(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"outbox-notanumber.txt", "outbox-1.log"} {
+		if err := os.WriteFile(filepath.Join(st.Dir(), name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batches, err := st.Outboxes()
+	if err != nil || len(batches) != 0 {
+		t.Fatalf("stray files decoded as batches: %+v, %v", batches, err)
+	}
+	// A real outbox file with corrupt contents IS an error — that data
+	// was sealed run records and must not be silently discarded.
+	if err := os.WriteFile(filepath.Join(st.Dir(), "outbox-00000003.txt"), []byte("junk\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Outboxes(); err == nil || !strings.Contains(err.Error(), "outbox") {
+		t.Fatalf("corrupt outbox batch not surfaced: %v", err)
+	}
+}

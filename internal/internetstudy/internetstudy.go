@@ -10,8 +10,10 @@ package internetstudy
 
 import (
 	"fmt"
+	"net"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"uucs/internal/analysis"
 	"uucs/internal/apps"
@@ -53,6 +55,25 @@ type Config struct {
 	// responses depend only on each request's identity, so collected
 	// results are bit-identical for every value.
 	Workers int
+
+	// Listen, when non-nil, opens the server's listener instead of a
+	// loopback TCP socket — chaos tests plug their in-memory network in
+	// here. The listener's Addr().String() becomes the fleet's server
+	// address.
+	Listen func(addr string) (net.Listener, error)
+	// Dial, when non-nil, opens host hostID's connections — chaos tests
+	// wrap each host's transport with its own deterministic fault
+	// injector here.
+	Dial func(hostID int, addr string) (net.Conn, error)
+	// IOTimeout bounds each client protocol message (zero: none).
+	IOTimeout time.Duration
+	// IdleTimeout reaps silent server-side connections (zero: never).
+	IdleTimeout time.Duration
+	// Retry overrides the clients' backoff policy when non-zero.
+	Retry client.Backoff
+	// Sleep, when non-nil, replaces time.Sleep for client backoff —
+	// chaos tests inject a virtual clock so retries cost no wall time.
+	Sleep func(d time.Duration)
 }
 
 // DefaultConfig mirrors the paper's scale. TestcaseCount is kept to a
@@ -118,9 +139,21 @@ func Run(cfg Config) (*Results, error) {
 	if err := srv.AddTestcases(tcs...); err != nil {
 		return nil, err
 	}
-	addr, err := srv.ListenAndServe("127.0.0.1:0")
-	if err != nil {
-		return nil, err
+	srv.IdleTimeout = cfg.IdleTimeout
+	var addr string
+	if cfg.Listen != nil {
+		ln, err := cfg.Listen("uucs-server")
+		if err != nil {
+			return nil, err
+		}
+		go func() { _ = srv.Serve(ln) }()
+		addr = ln.Addr().String()
+	} else {
+		var err error
+		addr, err = srv.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
 	}
 	defer srv.Close()
 
@@ -215,6 +248,19 @@ func runHost(cfg Config, addr string, host *Host, rng *stats.Stream) error {
 	cl, err := client.New(store, snap, engine, rng.Uint64())
 	if err != nil {
 		return err
+	}
+	if cfg.Dial != nil {
+		hostID := host.ID
+		cl.Dialer = func(addr string) (net.Conn, error) { return cfg.Dial(hostID, addr) }
+	}
+	if cfg.IOTimeout > 0 {
+		cl.Timeout = cfg.IOTimeout
+	}
+	if cfg.Retry != (client.Backoff{}) {
+		cl.Retry = cfg.Retry
+	}
+	if cfg.Sleep != nil {
+		cl.Sleep = cfg.Sleep
 	}
 	if err := cl.Register(addr); err != nil {
 		return err

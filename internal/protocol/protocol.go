@@ -9,18 +9,34 @@
 // Testcases and run records travel inside messages in their text-store
 // encodings, so the same bytes that sit in the on-disk stores cross the
 // wire.
+//
+// Version 2 hardens the protocol for the volunteer-computing fault
+// model (clients crash, links flap, the server restarts mid-study):
+//
+//   - Every message carries a CRC32 checksum so corrupted bytes are
+//     detected and rejected instead of silently ingested.
+//   - Registration carries a client-chosen nonce, making it idempotent:
+//     a retried registration whose first response was lost receives the
+//     same identifier again.
+//   - Result uploads carry a per-client sequence number and the ack
+//     echoes it, making uploads idempotent: a retried batch whose ack
+//     was lost is detected as a duplicate and not double-counted.
+//   - Conn supports per-message read/write deadlines so neither side
+//     can be pinned forever by a stalled peer.
 package protocol
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"time"
 )
 
 // Version is the protocol version; mismatches are rejected at
 // registration.
-const Version = 1
+const Version = 2
 
 // MsgType discriminates protocol messages.
 type MsgType string
@@ -73,6 +89,10 @@ type Message struct {
 	Ver int `json:"ver,omitempty"`
 	// Snapshot accompanies TypeRegister.
 	Snapshot *Snapshot `json:"snapshot,omitempty"`
+	// Nonce is a client-chosen registration token (TypeRegister). The
+	// server keys registrations by it, so a retried registration whose
+	// response was lost yields the same id instead of a duplicate.
+	Nonce string `json:"nonce,omitempty"`
 	// ClientID identifies the client after registration.
 	ClientID string `json:"client_id,omitempty"`
 	// Have lists testcase IDs already held (TypeSync), so the server
@@ -86,15 +106,48 @@ type Message struct {
 	// Count reports how many items were accepted (TypeAck) or returned
 	// (TypeTestcases).
 	Count int `json:"count,omitempty"`
+	// Seq is the client's upload batch sequence number (TypeResults);
+	// the server's TypeAck echoes it. Sequence numbers start at 1 and
+	// increase, so the server can drop retried duplicates.
+	Seq uint64 `json:"seq,omitempty"`
+	// Dup marks an ack for a batch the server had already applied
+	// (TypeAck): the client's retry was harmless.
+	Dup bool `json:"dup,omitempty"`
 	// Err is the error text (TypeError).
 	Err string `json:"err,omitempty"`
+	// Sum is the CRC32 (IEEE) of the message's JSON encoding with Sum
+	// itself zeroed. Send always sets it; Recv verifies it when
+	// present, so in-flight byte corruption surfaces as an error
+	// instead of bad data. (A message whose sum field itself was
+	// destroyed parses unchecked, but then the rest of its bytes are
+	// intact — single-error detection either way.)
+	Sum uint32 `json:"sum,omitempty"`
+}
+
+// checksum returns the CRC32 of m's canonical encoding with Sum zeroed.
+func checksum(m Message) (uint32, error) {
+	m.Sum = 0
+	b, err := json.Marshal(m)
+	if err != nil {
+		return 0, err
+	}
+	return crc32.ChecksumIEEE(b), nil
+}
+
+// deadliner is the deadline surface of net.Conn; net.Pipe and TCP
+// connections both implement it.
+type deadliner interface {
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
 }
 
 // Conn frames Messages over any stream.
 type Conn struct {
-	r *bufio.Reader
-	w *bufio.Writer
-	c io.Closer
+	rw      io.ReadWriter
+	r       *lineReader
+	c       io.Closer
+	d       deadliner
+	timeout time.Duration
 }
 
 // maxLine bounds a single message; testcase payloads are sizable but a
@@ -102,15 +155,31 @@ type Conn struct {
 const maxLine = 64 << 20
 
 // NewConn wraps a stream. If rw also implements io.Closer, Close closes
-// it.
+// it; if it implements deadline setting (net.Conn does), SetTimeout
+// enables per-message deadlines.
 func NewConn(rw io.ReadWriter) *Conn {
 	c, _ := rw.(io.Closer)
-	r := bufio.NewReaderSize(rw, 64<<10)
-	return &Conn{r: r, w: bufio.NewWriter(rw), c: c}
+	d, _ := rw.(deadliner)
+	return &Conn{rw: rw, r: newLineReader(rw), c: c, d: d}
 }
 
-// Send writes one message.
+// SetTimeout sets the per-message I/O deadline: every subsequent Send
+// must complete within d of starting, and every Recv must receive a
+// full message within d of being called — which doubles as an idle
+// timeout for a server waiting on a silent client. Zero disables
+// deadlines. It is a no-op if the underlying stream cannot set
+// deadlines.
+func (c *Conn) SetTimeout(d time.Duration) {
+	c.timeout = d
+}
+
+// Send writes one message, stamping its checksum.
 func (c *Conn) Send(m Message) error {
+	sum, err := checksum(m)
+	if err != nil {
+		return fmt.Errorf("protocol: marshal: %w", err)
+	}
+	m.Sum = sum
 	b, err := json.Marshal(m)
 	if err != nil {
 		return fmt.Errorf("protocol: marshal: %w", err)
@@ -118,16 +187,26 @@ func (c *Conn) Send(m Message) error {
 	if len(b) > maxLine {
 		return fmt.Errorf("protocol: message too large (%d bytes)", len(b))
 	}
-	if _, err := c.w.Write(append(b, '\n')); err != nil {
+	if c.d != nil && c.timeout > 0 {
+		if err := c.d.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+			return err
+		}
+	}
+	if _, err := c.rw.Write(append(b, '\n')); err != nil {
 		return err
 	}
-	return c.w.Flush()
+	return nil
 }
 
-// Recv reads one message.
+// Recv reads one message and verifies its checksum when present.
 func (c *Conn) Recv() (Message, error) {
 	var m Message
-	line, err := c.readLine()
+	if c.d != nil && c.timeout > 0 {
+		if err := c.d.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+			return m, err
+		}
+	}
+	line, err := c.r.readLine()
 	if err != nil {
 		return m, err
 	}
@@ -137,13 +216,34 @@ func (c *Conn) Recv() (Message, error) {
 	if m.Type == "" {
 		return m, fmt.Errorf("protocol: message without type")
 	}
+	if m.Sum != 0 {
+		want, err := checksum(m)
+		if err != nil {
+			return m, fmt.Errorf("protocol: marshal: %w", err)
+		}
+		if want != m.Sum {
+			return m, fmt.Errorf("protocol: checksum mismatch (message corrupted in flight)")
+		}
+	}
 	return m, nil
 }
 
-func (c *Conn) readLine() ([]byte, error) {
+// lineReader is a thin alias over bufio.Reader that reassembles long
+// lines and bounds them at maxLine.
+type lineReader struct {
+	r *bufio.Reader
+}
+
+func newLineReader(r io.Reader) *lineReader {
+	return &lineReader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// readLine returns the next newline-terminated line, excluding the
+// newline.
+func (l *lineReader) readLine() ([]byte, error) {
 	var buf []byte
 	for {
-		chunk, isPrefix, err := c.r.ReadLine()
+		chunk, isPrefix, err := l.r.ReadLine()
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,161 @@
+package protocol
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestChecksumDetectsCorruption flips every non-newline byte of an
+// encoded message in turn: Recv must either reject the frame or (when
+// the flip lands inside the sum field itself) deliver the original
+// content intact — never silently deliver corrupted data.
+func TestChecksumDetectsCorruption(t *testing.T) {
+	var wire bytes.Buffer
+	s := NewConn(rwBuffer{in: &bytes.Buffer{}, out: &wire})
+	orig := Message{Type: TypeResults, ClientID: "uucs-1", Seq: 7, Payload: "run a\nendrun\n"}
+	if err := s.Send(orig); err != nil {
+		t.Fatal(err)
+	}
+	frame := append([]byte(nil), wire.Bytes()...)
+	corrupted, delivered := 0, 0
+	for i := 0; i < len(frame)-1; i++ { // skip the trailing newline
+		mut := append([]byte(nil), frame...)
+		mut[i] ^= 0x01
+		if mut[i] == '\n' { // do not break framing; that is a different fault
+			continue
+		}
+		corrupted++
+		r := NewConn(rwBuffer{in: bytes.NewBuffer(mut), out: &bytes.Buffer{}})
+		m, err := r.Recv()
+		if err != nil {
+			continue
+		}
+		delivered++
+		// Accepted despite the flip: only legal if the content survived
+		// (the flip hit the sum field's own digits).
+		if m.Type != orig.Type || m.ClientID != orig.ClientID || m.Seq != orig.Seq || m.Payload != orig.Payload {
+			t.Fatalf("flip at byte %d delivered corrupted content: %+v", i, m)
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("no byte was flipped; test is vacuous")
+	}
+	if delivered == corrupted {
+		t.Error("no corruption was ever detected")
+	}
+}
+
+// TestLegacySumlessMessageAccepted: messages without a checksum (from
+// older senders, or handwritten tests) still pass — the checksum is
+// verified only when present.
+func TestLegacySumlessMessageAccepted(t *testing.T) {
+	r := NewConn(rwBuffer{in: bytes.NewBufferString(`{"type":"ack","count":3,"seq":9}` + "\n"), out: &bytes.Buffer{}})
+	m, err := r.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != TypeAck || m.Count != 3 || m.Seq != 9 {
+		t.Errorf("sumless message mangled: %+v", m)
+	}
+}
+
+// TestSeqAckRoundTrip covers the fault-tolerance envelope fields.
+func TestSeqAckRoundTrip(t *testing.T) {
+	var wire bytes.Buffer
+	s := NewConn(rwBuffer{in: &bytes.Buffer{}, out: &wire})
+	msgs := []Message{
+		{Type: TypeRegister, Ver: Version, Nonce: "n-00ff", Snapshot: &Snapshot{Hostname: "h", OS: "w", CPUGHz: 2, MemMB: 512}},
+		{Type: TypeResults, ClientID: "uucs-1", Seq: 42, Payload: "run a\nendrun\n"},
+		{Type: TypeAck, Count: 1, Seq: 42, Dup: true},
+	}
+	for _, m := range msgs {
+		if err := s.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewConn(rwBuffer{in: &wire, out: &bytes.Buffer{}})
+	for i, want := range msgs {
+		got, err := r.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Sum == 0 {
+			t.Errorf("message %d sent without checksum", i)
+		}
+		if got.Type != want.Type || got.Nonce != want.Nonce || got.Seq != want.Seq || got.Dup != want.Dup || got.Count != want.Count {
+			t.Errorf("message %d: got %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+// TestTimeoutBoundsSilentPeer: with SetTimeout, a Recv against a silent
+// peer and a Send against a non-reading peer both fail within the
+// deadline instead of blocking forever.
+func TestTimeoutBoundsSilentPeer(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	conn := NewConn(a)
+	conn.SetTimeout(30 * time.Millisecond)
+
+	start := time.Now()
+	if _, err := conn.Recv(); err == nil {
+		t.Fatal("Recv from silent peer succeeded")
+	}
+	if time.Since(start) > time.Second {
+		t.Errorf("Recv deadline took %v", time.Since(start))
+	}
+
+	start = time.Now()
+	// The peer never reads; an unbuffered pipe write must hit the write
+	// deadline.
+	if err := conn.Send(Message{Type: TypeAck}); err == nil {
+		t.Fatal("Send to non-reading peer succeeded")
+	}
+	if time.Since(start) > time.Second {
+		t.Errorf("Send deadline took %v", time.Since(start))
+	}
+}
+
+// TestZeroTimeoutMeansNoDeadline: SetTimeout(0) restores blocking
+// semantics (verified by success after a slow reader wakes up).
+func TestZeroTimeoutMeansNoDeadline(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	conn := NewConn(a)
+	conn.SetTimeout(50 * time.Millisecond)
+	conn.SetTimeout(0)
+	done := make(chan error, 1)
+	go func() {
+		time.Sleep(120 * time.Millisecond) // longer than the cleared timeout
+		peer := NewConn(b)
+		_, err := peer.Recv()
+		done <- err
+	}()
+	if err := conn.Send(Message{Type: TypeAck}); err != nil {
+		t.Fatalf("Send with cleared timeout failed: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimeoutIsNoOpWithoutDeadlineSupport: plain buffers cannot set
+// deadlines; SetTimeout must be harmless there.
+func TestTimeoutIsNoOpWithoutDeadlineSupport(t *testing.T) {
+	var wire bytes.Buffer
+	s := NewConn(rwBuffer{in: &bytes.Buffer{}, out: &wire})
+	s.SetTimeout(time.Millisecond)
+	if err := s.Send(Message{Type: TypeAck, Payload: strings.Repeat("x", 1024)}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewConn(rwBuffer{in: &wire, out: &bytes.Buffer{}})
+	r.SetTimeout(time.Millisecond)
+	if _, err := r.Recv(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"uucs/internal/chaos"
+	"uucs/internal/core"
+	"uucs/internal/protocol"
+)
+
+// TestIdleTimeoutReapsSilentClients: a connected client that goes
+// silent must be disconnected after IdleTimeout, so abandoned volunteer
+// connections cannot pin server goroutines forever.
+func TestIdleTimeoutReapsSilentClients(t *testing.T) {
+	s := New(1)
+	s.IdleTimeout = 50 * time.Millisecond
+	addr, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	conn := dialT(t, addr)
+	register(t, conn) // the connection works while the client talks
+	// Now go silent: the server must cut the connection. Bound our own
+	// wait so a regression fails fast instead of hanging.
+	conn.SetTimeout(2 * time.Second)
+	start := time.Now()
+	if _, err := conn.Recv(); err == nil {
+		t.Fatal("server answered a request we never sent")
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Errorf("idle connection reaped after %v, want ~50ms", waited)
+	}
+}
+
+// TestIdleTimeoutIsPerMessage: the deadline restarts at every request,
+// so a client whose requests are each faster than IdleTimeout is never
+// reaped no matter how long the session runs.
+func TestIdleTimeoutIsPerMessage(t *testing.T) {
+	s := New(1)
+	s.IdleTimeout = 500 * time.Millisecond
+	addr, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	conn := dialT(t, addr)
+	id := register(t, conn)
+	for i := 0; i < 4; i++ {
+		time.Sleep(150 * time.Millisecond) // inside the window, total beyond it
+		if err := conn.Send(protocol.Message{Type: protocol.TypeSync, ClientID: id, Want: 1}); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		resp, err := conn.Recv()
+		if err != nil {
+			t.Fatalf("request %d: connection reaped despite activity: %v", i, err)
+		}
+		if resp.Type != protocol.TypeTestcases {
+			t.Fatalf("request %d: %+v", i, resp)
+		}
+	}
+}
+
+// TestZeroIdleTimeoutNeverReaps: the default (zero) keeps the legacy
+// behavior — silent connections stay open.
+func TestZeroIdleTimeoutNeverReaps(t *testing.T) {
+	_, addr := startServer(t, 0) // startServer leaves IdleTimeout at 0
+	conn := dialT(t, addr)
+	time.Sleep(150 * time.Millisecond)
+	register(t, conn) // still works after the silence
+}
+
+// TestServerSurvivesAbandonedTornFrame: a client that dies mid-message
+// (the torn-frame crash) must not wedge the server; the next client
+// proceeds normally.
+func TestServerSurvivesAbandonedTornFrame(t *testing.T) {
+	nw := chaos.NewNetwork()
+	s := New(1)
+	s.IdleTimeout = 100 * time.Millisecond
+	ln, err := nw.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+
+	dead, err := nw.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dead.Write([]byte(`{"type":"regi`)); err != nil {
+		t.Fatal(err)
+	}
+	dead.Close()
+
+	nc, err := nw.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := protocol.NewConn(nc)
+	defer conn.Close()
+	snap := testSnapshot()
+	if err := conn.Send(protocol.Message{Type: protocol.TypeRegister, Ver: protocol.Version, Snapshot: &snap}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := conn.Recv()
+	if err != nil || resp.Type != protocol.TypeRegistered {
+		t.Fatalf("registration after torn frame: %+v, %v", resp, err)
+	}
+	if s.ClientCount() != 1 {
+		t.Errorf("client count = %d", s.ClientCount())
+	}
+}
+
+// TestDuplicateBatchesNotDoubleCounted exercises the wire-level dedup:
+// the same sequence-numbered batch uploaded twice lands once, and the
+// retry ack is flagged Dup.
+func TestDuplicateBatchesNotDoubleCounted(t *testing.T) {
+	s, addr := startServer(t, 0)
+	conn := dialT(t, addr)
+	id := register(t, conn)
+	payload := encodeRuns(t, []*core.Run{testRun()})
+	send := func() protocol.Message {
+		t.Helper()
+		if err := conn.Send(protocol.Message{Type: protocol.TypeResults, ClientID: id, Payload: payload, Seq: 1}); err != nil {
+			t.Fatal(err)
+		}
+		ack, err := conn.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ack.Type != protocol.TypeAck || ack.Seq != 1 {
+			t.Fatalf("ack = %+v", ack)
+		}
+		return ack
+	}
+	if ack := send(); ack.Dup {
+		t.Error("first upload flagged as duplicate")
+	}
+	if ack := send(); !ack.Dup {
+		t.Error("retried upload not flagged as duplicate")
+	}
+	if got := s.Results(); len(got) != 1 {
+		t.Errorf("server stored %d runs, want 1", len(got))
+	}
+	// A later batch with a gap (a client crash wasted seq 2) is fine.
+	if err := conn.Send(protocol.Message{Type: protocol.TypeResults, ClientID: id, Payload: payload, Seq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := conn.Recv()
+	if err != nil || ack.Dup {
+		t.Fatalf("gapped batch rejected: %+v, %v", ack, err)
+	}
+	if got := s.Results(); len(got) != 2 {
+		t.Errorf("server stored %d runs, want 2", len(got))
+	}
+}

@@ -2,12 +2,15 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"uucs/internal/core"
 	"uucs/internal/protocol"
@@ -16,23 +19,102 @@ import (
 
 // Server-side permanent storage. Like the client, the paper's server
 // stores testcases and results in text files; this file round-trips the
-// server's full state (testcase store, result store, client registry)
-// through a directory so restarts lose nothing.
+// server's full state through a directory so restarts lose nothing.
+//
+// The layout is crash-safe: a compacted snapshot file written
+// atomically (temp file + rename) plus an append-only journal. Every
+// registration and accepted result batch is appended to the journal
+// before it is acknowledged to the client. SaveState compacts: it
+// writes a fresh snapshot, then truncates the journal. A crash at any
+// point leaves either the old snapshot + full journal or the new
+// snapshot + stale journal — and replay is idempotent (registrations
+// dedup by nonce, result batches dedup by per-client sequence number,
+// testcases dedup by ID), so both recover to the same state. A partial
+// final journal line (crash mid-append) is detected and dropped.
+//
+// Both files hold one JSON op per line. The snapshot is simply a
+// compacted journal, so one parser reads both.
 
 // State file names.
 const (
-	serverTestcases = "testcases.txt"
-	serverResults   = "results.txt"
-	serverClients   = "clients.txt"
+	snapshotFile = "snapshot.txt"
+	journalFile  = "journal.txt"
 )
 
-// clientRecord is one line of the client registry.
-type clientRecord struct {
-	ID       string            `json:"id"`
-	Snapshot protocol.Snapshot `json:"snapshot"`
+// Journal op kinds.
+const (
+	opMeta      = "meta"
+	opTestcases = "tc"
+	opClient    = "client"
+	opResults   = "results"
+)
+
+// stateVersion identifies the state file format.
+const stateVersion = 2
+
+// journalOp is one line of the snapshot or journal.
+type journalOp struct {
+	Op string `json:"op"`
+	// Ver is the format version (opMeta).
+	Ver int `json:"ver,omitempty"`
+	// ID is the client id (opClient: the registered id; opResults: the
+	// uploading client).
+	ID string `json:"id,omitempty"`
+	// Nonce is the registration nonce (opClient).
+	Nonce string `json:"nonce,omitempty"`
+	// Snapshot is the machine description (opClient).
+	Snapshot *protocol.Snapshot `json:"snapshot,omitempty"`
+	// LastSeq is the client's highest applied batch (opClient, snapshot
+	// compaction only).
+	LastSeq uint64 `json:"last_seq,omitempty"`
+	// Seq is the batch sequence number (opResults).
+	Seq uint64 `json:"seq,omitempty"`
+	// Payload holds text-encoded testcases (opTestcases) or run
+	// records (opResults).
+	Payload string `json:"payload,omitempty"`
 }
 
-// SaveState writes the server's stores to dir (creating it if needed).
+// appendJournalLocked writes one op to the journal and flushes it to
+// the OS. Callers hold s.mu.
+func (s *Server) appendJournalLocked(op journalOp) error {
+	b, err := json.Marshal(op)
+	if err != nil {
+		return err
+	}
+	if _, err := s.journal.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("server: journal append: %w", err)
+	}
+	return nil
+}
+
+// OpenState attaches the server to a state directory: it restores any
+// existing snapshot + journal, then opens the journal for appending so
+// every subsequent registration and accepted result batch is durable
+// before it is acknowledged. Call SaveState periodically to compact.
+func (s *Server) OpenState(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := s.LoadState(dir); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.journal != nil {
+		s.journal.Close()
+	}
+	s.journal = f
+	s.stateDir = dir
+	s.mu.Unlock()
+	return nil
+}
+
+// SaveState writes a compacted snapshot of the server's stores to dir
+// (creating it if needed) and truncates the journal. It is safe to call
+// on a live server.
 func (s *Server) SaveState(dir string) error {
 	if dir == "" {
 		return fmt.Errorf("server: empty state directory")
@@ -45,126 +127,197 @@ func (s *Server) SaveState(dir string) error {
 	copy(tcs, s.testcases)
 	runs := make([]*core.Run, len(s.results))
 	copy(runs, s.results)
-	clients := make([]clientRecord, 0, len(s.clients))
+	type clientEntry struct {
+		id    string
+		nonce string
+		snap  protocol.Snapshot
+		seq   uint64
+	}
+	clients := make([]clientEntry, 0, len(s.clients))
+	nonceByID := make(map[string]string, len(s.nonces))
+	for nonce, id := range s.nonces {
+		nonceByID[id] = nonce
+	}
 	for id, snap := range s.clients {
-		clients = append(clients, clientRecord{ID: id, Snapshot: snap})
+		clients = append(clients, clientEntry{id: id, nonce: nonceByID[id], snap: snap, seq: s.lastSeq[id]})
 	}
+	journaling := s.journal != nil
 	s.mu.Unlock()
+	sort.Slice(clients, func(i, j int) bool { return clients[i].id < clients[j].id })
 
-	if err := writeFileAtomic(filepath.Join(dir, serverTestcases), func(f *os.File) error {
-		return testcase.EncodeAll(f, tcs)
-	}); err != nil {
-		return err
-	}
-	if err := writeFileAtomic(filepath.Join(dir, serverResults), func(f *os.File) error {
-		return core.EncodeRuns(f, runs, true)
-	}); err != nil {
-		return err
-	}
-	return writeFileAtomic(filepath.Join(dir, serverClients), func(f *os.File) error {
+	err := writeFileAtomic(filepath.Join(dir, snapshotFile), func(f *os.File) error {
 		w := bufio.NewWriter(f)
-		// The next-id header is kept for registry-format compatibility;
-		// ids now derive from snapshot content, so only the count is
-		// recorded.
-		fmt.Fprintf(w, "# next-id %d\n", len(clients))
-		for _, c := range clients {
-			b, err := json.Marshal(c)
+		emit := func(op journalOp) error {
+			b, err := json.Marshal(op)
 			if err != nil {
 				return err
 			}
 			w.Write(b)
-			w.WriteByte('\n')
+			return w.WriteByte('\n')
+		}
+		if err := emit(journalOp{Op: opMeta, Ver: stateVersion}); err != nil {
+			return err
+		}
+		if len(tcs) > 0 {
+			var b strings.Builder
+			if err := testcase.EncodeAll(&b, tcs); err != nil {
+				return err
+			}
+			if err := emit(journalOp{Op: opTestcases, Payload: b.String()}); err != nil {
+				return err
+			}
+		}
+		for _, c := range clients {
+			snap := c.snap
+			if err := emit(journalOp{Op: opClient, ID: c.id, Nonce: c.nonce, Snapshot: &snap, LastSeq: c.seq}); err != nil {
+				return err
+			}
+		}
+		if len(runs) > 0 {
+			var b strings.Builder
+			if err := core.EncodeRuns(&b, runs, true); err != nil {
+				return err
+			}
+			if err := emit(journalOp{Op: opResults, Payload: b.String()}); err != nil {
+				return err
+			}
 		}
 		return w.Flush()
 	})
+	if err != nil {
+		return err
+	}
+
+	// The snapshot now covers everything the journal held; truncate it.
+	// A crash before the truncate is harmless: replay dedups.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal != nil {
+		if err := s.journal.Truncate(0); err != nil {
+			return err
+		}
+		if _, err := s.journal.Seek(0, 0); err != nil {
+			return err
+		}
+		return nil
+	}
+	if journaling || fileExists(filepath.Join(dir, journalFile)) {
+		return os.WriteFile(filepath.Join(dir, journalFile), nil, 0o644)
+	}
+	return nil
 }
 
-// LoadState restores a server's stores from dir. Missing files are
-// treated as empty stores, so a fresh directory loads cleanly.
+// LoadState restores a server's stores from dir: the snapshot first,
+// then the journal replayed on top. Missing files are treated as empty
+// stores, so a fresh directory loads cleanly. A truncated final journal
+// line — the signature of a crash mid-append — is dropped; corruption
+// anywhere else is an error.
 func (s *Server) LoadState(dir string) error {
 	if dir == "" {
 		return fmt.Errorf("server: empty state directory")
 	}
-	tcs, err := loadTestcases(filepath.Join(dir, serverTestcases))
+	if err := s.loadOps(filepath.Join(dir, snapshotFile), false); err != nil {
+		return err
+	}
+	return s.loadOps(filepath.Join(dir, journalFile), true)
+}
+
+// loadOps replays one op-per-line file. tolerateTail drops a partial or
+// corrupt final line instead of failing (journals can lose their tail
+// to a crash mid-append; snapshots are written atomically and cannot).
+func (s *Server) loadOps(path string, tolerateTail bool) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
 	if err != nil {
 		return err
 	}
-	runs, err := loadRuns(filepath.Join(dir, serverResults))
-	if err != nil {
-		return err
+	lines := bytes.Split(data, []byte("\n"))
+	// A well-formed file ends in '\n', leaving one empty trailing
+	// element; anything after the last newline is a torn tail.
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		last := i == len(lines)-1
+		var op journalOp
+		if err := json.Unmarshal(line, &op); err != nil {
+			if tolerateTail && last {
+				return nil
+			}
+			return fmt.Errorf("server: %s line %d: %w", filepath.Base(path), i+1, err)
+		}
+		if err := s.applyOp(op); err != nil {
+			if tolerateTail && last {
+				return nil
+			}
+			return fmt.Errorf("server: %s line %d: %w", filepath.Base(path), i+1, err)
+		}
 	}
-	clients, _, err := loadClients(filepath.Join(dir, serverClients))
-	if err != nil {
-		return err
-	}
-	if err := s.AddTestcases(tcs...); err != nil {
-		return err
-	}
-	s.mu.Lock()
-	s.results = append(s.results, runs...)
-	for _, c := range clients {
-		s.clients[c.ID] = c.Snapshot
-	}
-	s.mu.Unlock()
 	return nil
 }
 
-func loadTestcases(path string) ([]*testcase.Testcase, error) {
-	f, err := os.Open(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return nil, nil
+// applyOp replays one journal op into the in-memory stores,
+// deduplicating so replay is idempotent.
+func (s *Server) applyOp(op journalOp) error {
+	switch op.Op {
+	case opMeta:
+		if op.Ver != stateVersion {
+			return fmt.Errorf("unsupported state version %d", op.Ver)
+		}
+		return nil
+	case opTestcases:
+		tcs, err := testcase.DecodeAll(strings.NewReader(op.Payload))
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.addTestcasesLocked(tcs, false)
+	case opClient:
+		if op.ID == "" {
+			return fmt.Errorf("client op without id")
+		}
+		if op.Snapshot == nil {
+			return fmt.Errorf("client op without snapshot")
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.clients[op.ID] = *op.Snapshot
+		if op.Nonce != "" {
+			s.nonces[op.Nonce] = op.ID
+		}
+		if op.LastSeq > s.lastSeq[op.ID] {
+			s.lastSeq[op.ID] = op.LastSeq
+		}
+		return nil
+	case opResults:
+		runs, err := core.DecodeRuns(strings.NewReader(op.Payload))
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if op.Seq > 0 {
+			if _, ok := s.clients[op.ID]; !ok {
+				return fmt.Errorf("results op for unknown client %q", op.ID)
+			}
+			if op.Seq <= s.lastSeq[op.ID] {
+				return nil // already covered by the snapshot
+			}
+			s.lastSeq[op.ID] = op.Seq
+		}
+		s.results = append(s.results, runs...)
+		return nil
+	default:
+		return fmt.Errorf("unknown op %q", op.Op)
 	}
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return testcase.DecodeAll(f)
 }
 
-func loadRuns(path string) ([]*core.Run, error) {
-	f, err := os.Open(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return core.DecodeRuns(f)
-}
-
-func loadClients(path string) ([]clientRecord, int, error) {
-	f, err := os.Open(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return nil, 0, nil
-	}
-	if err != nil {
-		return nil, 0, err
-	}
-	defer f.Close()
-	var out []clientRecord
-	nextID := 0
-	sc := bufio.NewScanner(f)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := sc.Text()
-		if text == "" {
-			continue
-		}
-		if n, err := fmt.Sscanf(text, "# next-id %d", &nextID); n == 1 && err == nil {
-			continue
-		}
-		var c clientRecord
-		if err := json.Unmarshal([]byte(text), &c); err != nil {
-			return nil, 0, fmt.Errorf("server: clients line %d: %w", line, err)
-		}
-		if c.ID == "" {
-			return nil, 0, fmt.Errorf("server: clients line %d: empty id", line)
-		}
-		out = append(out, c)
-	}
-	return out, nextID, sc.Err()
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 func writeFileAtomic(path string, fill func(*os.File) error) error {

@@ -3,12 +3,32 @@ package server
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"uucs/internal/core"
 	"uucs/internal/stats"
 	"uucs/internal/testcase"
 )
+
+func testRun() *core.Run {
+	return &core.Run{
+		TestcaseID: "p-00001", Task: testcase.IE, UserID: 3,
+		Terminated: core.Discomfort, Offset: 55,
+		PrimaryResource: testcase.Disk,
+		Levels:          map[testcase.Resource]float64{testcase.Disk: 2.5},
+		LastFive:        map[testcase.Resource][]float64{testcase.Disk: {2.1, 2.2, 2.3, 2.4, 2.5}},
+	}
+}
+
+func encodeRuns(t *testing.T, runs []*core.Run) string {
+	t.Helper()
+	var b strings.Builder
+	if err := core.EncodeRuns(&b, runs, true); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
 
 func TestSaveLoadStateRoundTrip(t *testing.T) {
 	dir := t.TempDir()
@@ -23,14 +43,14 @@ func TestSaveLoadStateRoundTrip(t *testing.T) {
 	if err := s.AddTestcases(tcs...); err != nil {
 		t.Fatal(err)
 	}
-	id := s.register(testSnapshot())
-	s.addResults([]*core.Run{{
-		TestcaseID: "p-00001", Task: testcase.IE, UserID: 3,
-		Terminated: core.Discomfort, Offset: 55,
-		PrimaryResource: testcase.Disk,
-		Levels:          map[testcase.Resource]float64{testcase.Disk: 2.5},
-		LastFive:        map[testcase.Resource][]float64{testcase.Disk: {2.1, 2.2, 2.3, 2.4, 2.5}},
-	}})
+	id, err := s.register(testSnapshot(), "nonce-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := []*core.Run{testRun()}
+	if _, err := s.addResults(id, 1, encodeRuns(t, runs), runs); err != nil {
+		t.Fatal(err)
+	}
 	if err := s.SaveState(dir); err != nil {
 		t.Fatal(err)
 	}
@@ -42,18 +62,41 @@ func TestSaveLoadStateRoundTrip(t *testing.T) {
 	if restored.TestcaseCount() != 15 {
 		t.Errorf("testcases = %d", restored.TestcaseCount())
 	}
-	runs := restored.Results()
-	if len(runs) != 1 || runs[0].Offset != 55 || runs[0].LastFive[testcase.Disk][4] != 2.5 {
-		t.Errorf("results = %+v", runs)
+	got := restored.Results()
+	if len(got) != 1 || got[0].Offset != 55 || got[0].LastFive[testcase.Disk][4] != 2.5 {
+		t.Errorf("results = %+v", got)
 	}
 	snap, ok := restored.Snapshot(id)
 	if !ok || snap.Hostname != "host" {
 		t.Errorf("client registry lost: %v %v", snap, ok)
 	}
 	// New registrations after a restore must not collide with old ids.
-	id2 := restored.register(testSnapshot())
+	id2, err := restored.register(testSnapshot(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if id2 == id {
 		t.Error("restored server reissued an existing id")
+	}
+	// The nonce map must survive a restore: a retried registration with
+	// the original nonce gets the original id back.
+	id3, err := restored.register(testSnapshot(), "nonce-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 != id {
+		t.Errorf("retried registration after restore: got %s, want %s", id3, id)
+	}
+	// So must the sequence high-water mark: the acked batch is a dup.
+	dup, err := restored.addResults(id, 1, encodeRuns(t, runs), runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup {
+		t.Error("restored server re-applied an acked batch")
+	}
+	if len(restored.Results()) != 1 {
+		t.Errorf("results after dup = %d", len(restored.Results()))
 	}
 }
 
@@ -74,27 +117,143 @@ func TestLoadStateEmptyDir(t *testing.T) {
 }
 
 func TestLoadStateCorruptFiles(t *testing.T) {
+	// Snapshots are written atomically, so corruption anywhere in one is
+	// an error.
 	dir := t.TempDir()
-	if err := os.WriteFile(filepath.Join(dir, serverClients), []byte("not json\n"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, snapshotFile), []byte("not json\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	s := New(1)
-	if err := s.LoadState(dir); err == nil {
-		t.Error("corrupt client registry accepted")
+	if err := New(1).LoadState(dir); err == nil {
+		t.Error("corrupt snapshot accepted")
 	}
+
+	// A corrupt journal line that is NOT the final line is an error too —
+	// only a torn tail is explainable by a crash mid-append.
 	dir2 := t.TempDir()
-	if err := os.WriteFile(filepath.Join(dir2, serverTestcases), []byte("bogus\n"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir2, journalFile), []byte("bogus\n{\"op\":\"meta\",\"ver\":2}\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if err := New(1).LoadState(dir2); err == nil {
-		t.Error("corrupt testcase store accepted")
+		t.Error("corrupt mid-journal line accepted")
 	}
+
+	// A client op without an id is rejected even in a snapshot.
 	dir3 := t.TempDir()
-	if err := os.WriteFile(filepath.Join(dir3, serverClients), []byte(`{"id":"","snapshot":{}}`+"\n"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir3, snapshotFile), []byte(`{"op":"client","snapshot":{}}`+"\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if err := New(1).LoadState(dir3); err == nil {
 		t.Error("empty client id accepted")
+	}
+
+	// An unknown state version is rejected.
+	dir4 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir4, snapshotFile), []byte(`{"op":"meta","ver":99}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := New(1).LoadState(dir4); err == nil {
+		t.Error("future state version accepted")
+	}
+}
+
+func TestLoadStateToleratesTornJournalTail(t *testing.T) {
+	dir := t.TempDir()
+	s := New(1)
+	if err := s.OpenState(dir); err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.register(testSnapshot(), "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := []*core.Run{testRun()}
+	if _, err := s.addResults(id, 1, encodeRuns(t, runs), runs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: tear the final journal line.
+	path := filepath.Join(dir, journalFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, []byte(`{"op":"results","id":"`+id+`","seq`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(1)
+	if err := restored.LoadState(dir); err != nil {
+		t.Fatalf("torn journal tail rejected: %v", err)
+	}
+	if restored.ClientCount() != 1 || len(restored.Results()) != 1 {
+		t.Errorf("restored clients=%d results=%d", restored.ClientCount(), len(restored.Results()))
+	}
+}
+
+func TestOpenStateJournalsBeforeAck(t *testing.T) {
+	dir := t.TempDir()
+	s := New(1)
+	if err := s.OpenState(dir); err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.register(testSnapshot(), "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := []*core.Run{testRun()}
+	if _, err := s.addResults(id, 1, encodeRuns(t, runs), runs); err != nil {
+		t.Fatal(err)
+	}
+	// Crash without SaveState: the journal alone must restore everything.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(1)
+	if err := restored.LoadState(dir); err != nil {
+		t.Fatal(err)
+	}
+	if restored.ClientCount() != 1 {
+		t.Errorf("clients = %d", restored.ClientCount())
+	}
+	if got := restored.Results(); len(got) != 1 || got[0].Offset != 55 {
+		t.Errorf("results = %+v", got)
+	}
+}
+
+func TestSaveStateCompactsJournal(t *testing.T) {
+	dir := t.TempDir()
+	s := New(1)
+	if err := s.OpenState(dir); err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.register(testSnapshot(), "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := []*core.Run{testRun()}
+	if _, err := s.addResults(id, 1, encodeRuns(t, runs), runs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveState(dir); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != 0 {
+		t.Errorf("journal not truncated after compaction: %d bytes", info.Size())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(1)
+	if err := restored.LoadState(dir); err != nil {
+		t.Fatal(err)
+	}
+	if restored.ClientCount() != 1 || len(restored.Results()) != 1 {
+		t.Errorf("restored clients=%d results=%d", restored.ClientCount(), len(restored.Results()))
 	}
 }
 

@@ -3,14 +3,25 @@
 // globally unique identifiers for their machine snapshots, serves
 // growing random samples of testcases at hot sync, and collects uploaded
 // results for the analysis phase (Figure 2).
+//
+// The server is built for the volunteer-computing fault model the
+// paper's fleet ran under: clients vanish mid-request, uploads are
+// retried after lost acks, and the server process itself restarts. Idle
+// connections are reaped after IdleTimeout, retried upload batches are
+// deduplicated by (client, sequence number), registration is idempotent
+// by client nonce, and — when a state directory is attached — every
+// accepted batch is journaled to disk before it is acknowledged, so a
+// crash after an ack can never lose the acked results.
 package server
 
 import (
 	"fmt"
 	"math"
 	"net"
+	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"uucs/internal/core"
 	"uucs/internal/protocol"
@@ -27,15 +38,33 @@ import (
 // concurrent clients happen to arrive in. This is what keeps a
 // parallel fleet simulation bit-identical to a serial one.
 type Server struct {
+	// IdleTimeout bounds how long a connected client may stay silent
+	// between requests (and how long a single request may take to
+	// arrive or be answered). Zero means no limit. Set before Serve.
+	IdleTimeout time.Duration
+
 	mu        sync.Mutex
 	seed      uint64
 	testcases []*testcase.Testcase
 	tcIndex   map[string]int
 	results   []*core.Run
 	clients   map[string]protocol.Snapshot
+	// nonces maps a registration nonce to the id it was assigned, so a
+	// retried registration is answered with the same id.
+	nonces map[string]string
+	// lastSeq tracks, per client, the highest applied upload batch
+	// sequence number; retried batches at or below it are duplicates.
+	lastSeq map[string]uint64
+	// journal, when non-nil, is the append-only on-disk log: every
+	// registration and accepted result batch is written (and synced to
+	// the OS) before it is acknowledged.
+	journal *os.File
+	// stateDir is the attached state directory ("" when detached).
+	stateDir string
 
 	ln     net.Listener
 	wg     sync.WaitGroup
+	conns  map[*protocol.Conn]struct{}
 	closed bool
 }
 
@@ -45,6 +74,9 @@ func New(seed uint64) *Server {
 		seed:    seed,
 		tcIndex: make(map[string]int),
 		clients: make(map[string]protocol.Snapshot),
+		nonces:  make(map[string]string),
+		lastSeq: make(map[string]uint64),
+		conns:   make(map[*protocol.Conn]struct{}),
 	}
 }
 
@@ -54,10 +86,25 @@ func New(seed uint64) *Server {
 func (s *Server) AddTestcases(tcs ...*testcase.Testcase) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.addTestcasesLocked(tcs, true)
+}
+
+func (s *Server) addTestcasesLocked(tcs []*testcase.Testcase, journal bool) error {
 	for _, tc := range tcs {
 		if err := tc.Validate(); err != nil {
 			return err
 		}
+	}
+	if journal && s.journal != nil {
+		var b strings.Builder
+		if err := testcase.EncodeAll(&b, tcs); err != nil {
+			return err
+		}
+		if err := s.appendJournalLocked(journalOp{Op: opTestcases, Payload: b.String()}); err != nil {
+			return err
+		}
+	}
+	for _, tc := range tcs {
 		if i, ok := s.tcIndex[tc.ID]; ok {
 			s.testcases[i] = tc
 			continue
@@ -131,9 +178,17 @@ func (s *Server) snapshotHash(snap protocol.Snapshot) uint64 {
 // derives from the snapshot content, so distinct machines get the same
 // id regardless of registration order; repeated registrations of an
 // identical snapshot are disambiguated deterministically by remixing.
-func (s *Server) register(snap protocol.Snapshot) string {
+// A non-empty nonce makes registration idempotent: if the nonce was
+// seen before, its original id is returned, so a client retrying after
+// a lost response does not register twice.
+func (s *Server) register(snap protocol.Snapshot, nonce string) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if nonce != "" {
+		if id, ok := s.nonces[nonce]; ok {
+			return id, nil
+		}
+	}
 	h := s.snapshotHash(snap)
 	id := fmt.Sprintf("uucs-%016x", h)
 	for {
@@ -143,8 +198,17 @@ func (s *Server) register(snap protocol.Snapshot) string {
 		h = hashMix(h, 0x9e3779b97f4a7c15)
 		id = fmt.Sprintf("uucs-%016x", h)
 	}
+	if s.journal != nil {
+		op := journalOp{Op: opClient, ID: id, Nonce: nonce, Snapshot: &snap}
+		if err := s.appendJournalLocked(op); err != nil {
+			return "", err
+		}
+	}
 	s.clients[id] = snap
-	return id
+	if nonce != "" {
+		s.nonces[nonce] = id
+	}
+	return id, nil
 }
 
 // sample returns up to want testcases the client does not yet have,
@@ -153,7 +217,8 @@ func (s *Server) register(snap protocol.Snapshot) string {
 // random sample with respect to testcases, users, and times (§2). The
 // shuffle stream derives from (seed, client, sync generation), never
 // from shared state, so a client's sample sequence is the same whether
-// the fleet runs serially or fully interleaved.
+// the fleet runs serially or fully interleaved — and a retried sync
+// with the same have-list receives the identical sample again.
 func (s *Server) sample(clientID string, have map[string]bool, want int) []*testcase.Testcase {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -175,11 +240,28 @@ func (s *Server) sample(clientID string, have map[string]bool, want int) []*test
 	return candidates[:want]
 }
 
-// addResults ingests uploaded run records.
-func (s *Server) addResults(runs []*core.Run) {
+// addResults ingests an uploaded run batch. seq 0 marks an unsequenced
+// (legacy) upload, applied unconditionally. For seq > 0 the batch is
+// applied exactly once per client: a retried batch (seq at or below the
+// last applied) reports dup without storing anything. The batch is
+// journaled before it is applied, so an acked batch survives a crash.
+func (s *Server) addResults(clientID string, seq uint64, payload string, runs []*core.Run) (dup bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if seq > 0 && seq <= s.lastSeq[clientID] {
+		return true, nil
+	}
+	if s.journal != nil {
+		op := journalOp{Op: opResults, ID: clientID, Seq: seq, Payload: payload}
+		if err := s.appendJournalLocked(op); err != nil {
+			return false, err
+		}
+	}
 	s.results = append(s.results, runs...)
+	if seq > 0 {
+		s.lastSeq[clientID] = seq
+	}
+	return false, nil
 }
 
 // Serve accepts connections on ln until Close. It blocks.
@@ -198,10 +280,23 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
+		pc := protocol.NewConn(conn)
+		pc.SetTimeout(s.IdleTimeout)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			pc.Close()
+			return nil
+		}
+		s.conns[pc] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.handle(protocol.NewConn(conn))
+			s.handle(pc)
+			s.mu.Lock()
+			delete(s.conns, pc)
+			s.mu.Unlock()
 		}()
 	}
 }
@@ -219,27 +314,38 @@ func (s *Server) ListenAndServe(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops accepting and waits for in-flight sessions.
+// Close stops accepting, severs all live client connections (a crashing
+// server does not say goodbye), and waits for in-flight sessions.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	ln := s.ln
+	for pc := range s.conns {
+		pc.Close()
+	}
 	s.mu.Unlock()
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
 	s.wg.Wait()
+	s.mu.Lock()
+	if s.journal != nil {
+		s.journal.Close()
+		s.journal = nil
+	}
+	s.mu.Unlock()
 	return err
 }
 
-// handle runs one client session: any number of requests until EOF.
+// handle runs one client session: any number of requests until EOF,
+// a broken connection, or an idle timeout.
 func (s *Server) handle(conn *protocol.Conn) {
 	defer conn.Close()
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
-			return // EOF or broken connection
+			return // EOF, broken connection, or idle timeout
 		}
 		if err := s.dispatch(conn, msg); err != nil {
 			_ = conn.SendError(err)
@@ -259,7 +365,10 @@ func (s *Server) dispatch(conn *protocol.Conn, msg protocol.Message) error {
 		if err := msg.Snapshot.Validate(); err != nil {
 			return err
 		}
-		id := s.register(*msg.Snapshot)
+		id, err := s.register(*msg.Snapshot, msg.Nonce)
+		if err != nil {
+			return err
+		}
 		return conn.Send(protocol.Message{Type: protocol.TypeRegistered, ClientID: id})
 
 	case protocol.TypeSync:
@@ -289,8 +398,11 @@ func (s *Server) dispatch(conn *protocol.Conn, msg protocol.Message) error {
 		if err != nil {
 			return fmt.Errorf("bad results payload: %w", err)
 		}
-		s.addResults(runs)
-		return conn.Send(protocol.Message{Type: protocol.TypeAck, Count: len(runs)})
+		dup, err := s.addResults(msg.ClientID, msg.Seq, msg.Payload, runs)
+		if err != nil {
+			return err
+		}
+		return conn.Send(protocol.Message{Type: protocol.TypeAck, Count: len(runs), Seq: msg.Seq, Dup: dup})
 
 	default:
 		return fmt.Errorf("unexpected message type %q", msg.Type)

@@ -14,10 +14,32 @@ var updateGoldens = flag.Bool("update", false, "rewrite the golden figure snapsh
 // to the models, the seeds, or the scheduler that shifts them must be
 // deliberate — rerun with -update and review the diff.
 var goldenFigures = map[string]string{
-	"9":  "fig09_breakdown.golden",
-	"14": "fig14_fd.golden",
-	"15": "fig15_c005.golden",
-	"16": "fig16_ca.golden",
+	"9":    "fig09_breakdown.golden",
+	"10":   "fig10_cpu_cdf.golden",
+	"11":   "fig11_mem_cdf.golden",
+	"12":   "fig12_disk_cdf.golden",
+	"13":   "fig13_sensitivity.golden",
+	"14":   "fig14_fd.golden",
+	"15":   "fig15_c005.golden",
+	"16":   "fig16_ca.golden",
+	"17":   "fig17_skill.golden",
+	"18":   "fig18_grid.golden",
+	"frog": "frog_ramp_step.golden",
+	"km":   "km_survival.golden",
+}
+
+// TestGoldenFiguresCoverAllIDs keeps the snapshot set in lock-step with
+// the report: adding a figure without a golden is a test failure, not a
+// silent gap.
+func TestGoldenFiguresCoverAllIDs(t *testing.T) {
+	for _, id := range FigureIDs() {
+		if _, ok := goldenFigures[id]; !ok {
+			t.Errorf("figure %q has no golden snapshot", id)
+		}
+	}
+	if len(goldenFigures) != len(FigureIDs()) {
+		t.Errorf("%d goldens for %d figures", len(goldenFigures), len(FigureIDs()))
+	}
 }
 
 // TestGoldenFigures diffs the default-seed study's rendered tables
