@@ -67,6 +67,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// First use of this store: take the registration nonce from the OS
+	// entropy source. The deterministic seed-derived nonce is for
+	// simulated fleets only — real volunteer hosts sharing the default
+	// -seed must never collide, or the server would merge them into one
+	// identity and drop the second host's uploads as duplicates.
+	if n, err := store.Nonce(); err != nil {
+		fatal(err)
+	} else if n == "" {
+		nonce, err := client.RandomNonce()
+		if err != nil {
+			fatal(err)
+		}
+		if err := store.SetNonce(nonce); err != nil {
+			fatal(err)
+		}
+	}
 	machine := hostsim.StudyMachine()
 	snap := protocol.Snapshot{
 		Hostname: *hostname, OS: "sim",

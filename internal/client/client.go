@@ -1,8 +1,10 @@
 package client
 
 import (
+	"crypto/rand"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"strings"
 	"time"
@@ -78,8 +80,10 @@ type Client struct {
 }
 
 // New builds a client over the given store. seed fixes the local random
-// choices (testcase selection, Poisson arrival times) and, on first
-// use of a store, the registration nonce.
+// choices (testcase selection, Poisson arrival times) and — mixed with
+// the machine snapshot — the registration nonce on first use of a
+// store. Real (non-simulated) deployments should pre-seed the store
+// with RandomNonce instead.
 func New(store *Store, snap protocol.Snapshot, engine *core.Engine, seed uint64) (*Client, error) {
 	if store == nil {
 		return nil, fmt.Errorf("client: nil store")
@@ -99,7 +103,12 @@ func New(store *Store, snap protocol.Snapshot, engine *core.Engine, seed uint64)
 		return nil, err
 	}
 	if nonce == "" {
-		ns := stats.NewStream(seed ^ 0x6e6f6e6365) // "nonce"
+		// Mix the machine snapshot into the derivation: two hosts that
+		// happen to share a seed (e.g. two volunteers on the default
+		// CLI seed) must still present distinct nonces, or the server's
+		// nonce dedup would merge them into one identity and drop the
+		// second host's uploads as duplicates.
+		ns := stats.NewStream(seed ^ 0x6e6f6e6365 ^ snapshotSeed(snap)) // "nonce"
 		nonce = fmt.Sprintf("n-%016x%016x", ns.Uint64(), ns.Uint64())
 		if err := store.SetNonce(nonce); err != nil {
 			return nil, err
@@ -116,6 +125,40 @@ func New(store *Store, snap protocol.Snapshot, engine *core.Engine, seed uint64)
 		rng:       stats.NewStream(seed),
 		retryRng:  stats.NewStream(seed ^ 0x7265747279), // "retry"
 	}, nil
+}
+
+// snapshotSeed folds a machine snapshot into a 64-bit value (FNV-1a
+// over the identifying fields), used to decorrelate nonce derivation
+// across hosts that share a seed.
+func snapshotSeed(snap protocol.Snapshot) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0x100000001b3
+	}
+	for _, s := range []string{snap.Hostname, snap.OS} {
+		for i := 0; i < len(s); i++ {
+			mix(uint64(s[i]))
+		}
+		mix(uint64(len(s)) + 1)
+	}
+	mix(math.Float64bits(snap.CPUGHz))
+	mix(math.Float64bits(snap.MemMB))
+	mix(math.Float64bits(snap.DiskGB))
+	return h
+}
+
+// RandomNonce returns a registration nonce drawn from the operating
+// system's entropy source. Real deployments should seed their store
+// with it (see cmd/uucs-client): unlike the deterministic derivation in
+// New — which only has to be unique within a simulated fleet — it
+// cannot collide across real volunteer hosts that share a -seed.
+func RandomNonce() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("client: nonce entropy: %w", err)
+	}
+	return fmt.Sprintf("n-%x", b), nil
 }
 
 // ID returns the registration id, or "" before registration.

@@ -13,8 +13,9 @@
 // Version 2 hardens the protocol for the volunteer-computing fault
 // model (clients crash, links flap, the server restarts mid-study):
 //
-//   - Every message carries a CRC32 checksum so corrupted bytes are
-//     detected and rejected instead of silently ingested.
+//   - Every message carries a mandatory CRC32 checksum — a message
+//     without one is rejected — so corrupted bytes are detected and
+//     refused instead of silently ingested.
 //   - Registration carries a client-chosen nonce, making it idempotent:
 //     a retried registration whose first response was lost receives the
 //     same identifier again.
@@ -116,17 +117,17 @@ type Message struct {
 	// Err is the error text (TypeError).
 	Err string `json:"err,omitempty"`
 	// Sum is the CRC32 (IEEE) of the message's JSON encoding with Sum
-	// itself zeroed. Send always sets it; Recv verifies it when
-	// present, so in-flight byte corruption surfaces as an error
-	// instead of bad data. (A message whose sum field itself was
-	// destroyed parses unchecked, but then the rest of its bytes are
-	// intact — single-error detection either way.)
-	Sum uint32 `json:"sum,omitempty"`
+	// itself absent. Send always sets it, and Recv rejects any message
+	// without one, so in-flight byte corruption surfaces as an error
+	// instead of bad data — including corruption that destroys the sum
+	// field itself. A pointer, so absence (rejected) is distinguishable
+	// from a genuine CRC of zero (verified like any other value).
+	Sum *uint32 `json:"sum,omitempty"`
 }
 
-// checksum returns the CRC32 of m's canonical encoding with Sum zeroed.
+// checksum returns the CRC32 of m's canonical encoding with Sum absent.
 func checksum(m Message) (uint32, error) {
-	m.Sum = 0
+	m.Sum = nil
 	b, err := json.Marshal(m)
 	if err != nil {
 		return 0, err
@@ -179,7 +180,7 @@ func (c *Conn) Send(m Message) error {
 	if err != nil {
 		return fmt.Errorf("protocol: marshal: %w", err)
 	}
-	m.Sum = sum
+	m.Sum = &sum
 	b, err := json.Marshal(m)
 	if err != nil {
 		return fmt.Errorf("protocol: marshal: %w", err)
@@ -198,7 +199,8 @@ func (c *Conn) Send(m Message) error {
 	return nil
 }
 
-// Recv reads one message and verifies its checksum when present.
+// Recv reads one message and verifies its checksum; a message without
+// a checksum is rejected.
 func (c *Conn) Recv() (Message, error) {
 	var m Message
 	if c.d != nil && c.timeout > 0 {
@@ -216,14 +218,15 @@ func (c *Conn) Recv() (Message, error) {
 	if m.Type == "" {
 		return m, fmt.Errorf("protocol: message without type")
 	}
-	if m.Sum != 0 {
-		want, err := checksum(m)
-		if err != nil {
-			return m, fmt.Errorf("protocol: marshal: %w", err)
-		}
-		if want != m.Sum {
-			return m, fmt.Errorf("protocol: checksum mismatch (message corrupted in flight)")
-		}
+	if m.Sum == nil {
+		return m, fmt.Errorf("protocol: message without checksum")
+	}
+	want, err := checksum(m)
+	if err != nil {
+		return m, fmt.Errorf("protocol: marshal: %w", err)
+	}
+	if want != *m.Sum {
+		return m, fmt.Errorf("protocol: checksum mismatch (message corrupted in flight)")
 	}
 	return m, nil
 }

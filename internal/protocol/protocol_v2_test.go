@@ -48,17 +48,31 @@ func TestChecksumDetectsCorruption(t *testing.T) {
 	}
 }
 
-// TestLegacySumlessMessageAccepted: messages without a checksum (from
-// older senders, or handwritten tests) still pass — the checksum is
-// verified only when present.
-func TestLegacySumlessMessageAccepted(t *testing.T) {
-	r := NewConn(rwBuffer{in: bytes.NewBufferString(`{"type":"ack","count":3,"seq":9}` + "\n"), out: &bytes.Buffer{}})
-	m, err := r.Recv()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if m.Type != TypeAck || m.Count != 3 || m.Seq != 9 {
-		t.Errorf("sumless message mangled: %+v", m)
+// TestSumlessMessageRejected: the checksum is mandatory in v2. A
+// message that arrives without one — whether from a pre-v2 sender or
+// because corruption destroyed the sum field itself — is rejected, so
+// a zeroed or dropped sum can never smuggle an unverified body through.
+func TestSumlessMessageRejected(t *testing.T) {
+	for _, raw := range []string{
+		`{"type":"ack","count":3,"seq":9}`,         // no sum at all
+		`{"type":"ack","count":3,"seq":9,"sum":0}`, // explicit zero still verified
+	} {
+		r := NewConn(rwBuffer{in: bytes.NewBufferString(raw + "\n"), out: &bytes.Buffer{}})
+		m, err := r.Recv()
+		if raw == `{"type":"ack","count":3,"seq":9}` {
+			if err == nil {
+				t.Errorf("sumless message accepted: %+v", m)
+			}
+			continue
+		}
+		// A present-but-wrong sum (0 is almost surely wrong for this
+		// body) must fail verification, not bypass it.
+		if err == nil {
+			want, cerr := checksum(m)
+			if cerr != nil || want != 0 {
+				t.Errorf("zero-sum message accepted without matching CRC: %+v", m)
+			}
+		}
 	}
 }
 
@@ -82,7 +96,7 @@ func TestSeqAckRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got.Sum == 0 {
+		if got.Sum == nil {
 			t.Errorf("message %d sent without checksum", i)
 		}
 		if got.Type != want.Type || got.Nonce != want.Nonce || got.Seq != want.Seq || got.Dup != want.Dup || got.Count != want.Count {

@@ -23,14 +23,17 @@ import (
 //
 // The layout is crash-safe: a compacted snapshot file written
 // atomically (temp file + rename) plus an append-only journal. Every
-// registration and accepted result batch is appended to the journal
-// before it is acknowledged to the client. SaveState compacts: it
-// writes a fresh snapshot, then truncates the journal. A crash at any
-// point leaves either the old snapshot + full journal or the new
-// snapshot + stale journal — and replay is idempotent (registrations
-// dedup by nonce, result batches dedup by per-client sequence number,
-// testcases dedup by ID), so both recover to the same state. A partial
-// final journal line (crash mid-append) is detected and dropped.
+// registration and accepted result batch is appended to the journal and
+// synced to stable storage before it is acknowledged to the client.
+// SaveState compacts: it writes a fresh snapshot covering the journal
+// up to a recorded offset, then atomically replaces the journal with
+// whatever was appended past that offset while the snapshot was being
+// written (acked ops are never dropped). A crash at any point leaves
+// either the old snapshot + full journal or the new snapshot + tail
+// journal — and replay is idempotent (registrations dedup by nonce,
+// result batches dedup by per-client sequence number, testcases dedup
+// by ID), so both recover to the same state. A partial final journal
+// line (crash mid-append) is detected and dropped.
 //
 // Both files hold one JSON op per line. The snapshot is simply a
 // compacted journal, so one parser reads both.
@@ -51,6 +54,12 @@ const (
 
 // stateVersion identifies the state file format.
 const stateVersion = 2
+
+// testHookAfterSnapshot, when non-nil, runs between SaveState's
+// snapshot write and its journal compaction — the window in which a
+// live server keeps accepting (journaling and acking) ops that the
+// snapshot's state copy predates. Tests use it to pin that race open.
+var testHookAfterSnapshot func(*Server)
 
 // journalOp is one line of the snapshot or journal.
 type journalOp struct {
@@ -74,8 +83,9 @@ type journalOp struct {
 	Payload string `json:"payload,omitempty"`
 }
 
-// appendJournalLocked writes one op to the journal and flushes it to
-// the OS. Callers hold s.mu.
+// appendJournalLocked writes one op to the journal and syncs it to
+// stable storage, so an op is durable — even across an OS crash or
+// power loss — before the caller acknowledges it. Callers hold s.mu.
 func (s *Server) appendJournalLocked(op journalOp) error {
 	b, err := json.Marshal(op)
 	if err != nil {
@@ -83,6 +93,9 @@ func (s *Server) appendJournalLocked(op journalOp) error {
 	}
 	if _, err := s.journal.Write(append(b, '\n')); err != nil {
 		return fmt.Errorf("server: journal append: %w", err)
+	}
+	if err := s.journal.Sync(); err != nil {
+		return fmt.Errorf("server: journal sync: %w", err)
 	}
 	return nil
 }
@@ -113,8 +126,12 @@ func (s *Server) OpenState(dir string) error {
 }
 
 // SaveState writes a compacted snapshot of the server's stores to dir
-// (creating it if needed) and truncates the journal. It is safe to call
-// on a live server.
+// (creating it if needed) and compacts the journal. It is safe to call
+// on a live server: registrations and result batches keep flowing while
+// the snapshot is written, and any op journaled in that window — already
+// acked to its client — is preserved in the compacted journal rather
+// than truncated away, so the journal-before-ack guarantee holds across
+// compaction.
 func (s *Server) SaveState(dir string) error {
 	if dir == "" {
 		return fmt.Errorf("server: empty state directory")
@@ -142,6 +159,19 @@ func (s *Server) SaveState(dir string) error {
 		clients = append(clients, clientEntry{id: id, nonce: nonceByID[id], snap: snap, seq: s.lastSeq[id]})
 	}
 	journaling := s.journal != nil
+	// The in-memory copy above covers the journal only up to this byte
+	// offset; ops appended while the snapshot is being written (the lock
+	// is released below) live past it and must survive compaction.
+	var journalOff int64
+	compactJournal := journaling && s.stateDir == dir
+	if compactJournal {
+		fi, err := s.journal.Stat()
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		journalOff = fi.Size()
+	}
 	s.mu.Unlock()
 	sort.Slice(clients, func(i, j int) bool { return clients[i].id < clients[j].id })
 
@@ -187,20 +217,55 @@ func (s *Server) SaveState(dir string) error {
 	if err != nil {
 		return err
 	}
+	if testHookAfterSnapshot != nil {
+		testHookAfterSnapshot(s)
+	}
 
-	// The snapshot now covers everything the journal held; truncate it.
-	// A crash before the truncate is harmless: replay dedups.
+	// The snapshot covers the journal up to journalOff. Ops appended
+	// past it while the snapshot was being written are journaled and
+	// acked but in neither the snapshot nor (after a blind truncate) the
+	// journal — so carry that tail into the compacted journal. A crash
+	// before the swap is harmless: old prefix + tail replay dedups.
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.journal != nil {
-		if err := s.journal.Truncate(0); err != nil {
+	if compactJournal {
+		journalPath := filepath.Join(dir, journalFile)
+		var tail []byte
+		if fi, err := os.Stat(journalPath); err == nil && fi.Size() > journalOff {
+			data, err := os.ReadFile(journalPath)
+			if err != nil {
+				return err
+			}
+			if int64(len(data)) > journalOff {
+				tail = data[journalOff:]
+			}
+		}
+		// Atomically replace the journal with just the tail (empty when
+		// nothing raced the snapshot), then swap the append handle onto
+		// the new file.
+		if err := writeFileAtomic(journalPath, func(f *os.File) error {
+			if len(tail) == 0 {
+				return nil
+			}
+			_, err := f.Write(tail)
+			return err
+		}); err != nil {
 			return err
 		}
-		if _, err := s.journal.Seek(0, 0); err != nil {
-			return err
+		if s.journal != nil {
+			f, err := os.OpenFile(journalPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+			if err != nil {
+				return err
+			}
+			s.journal.Close()
+			s.journal = f
 		}
 		return nil
 	}
+	// Not journaling into dir (detached server, or a snapshot exported
+	// to a foreign directory): leave any live journal alone, but empty
+	// dir's own journal file so a stale one is not replayed on top of
+	// the fresh snapshot.
 	if journaling || fileExists(filepath.Join(dir, journalFile)) {
 		return os.WriteFile(filepath.Join(dir, journalFile), nil, 0o644)
 	}
@@ -327,6 +392,10 @@ func writeFileAtomic(path string, fill func(*os.File) error) error {
 	}
 	defer os.Remove(tmp.Name())
 	if err := fill(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return err
 	}

@@ -257,6 +257,85 @@ func TestSaveStateCompactsJournal(t *testing.T) {
 	}
 }
 
+// TestSaveStateKeepsOpsAckedDuringSnapshot pins open the race between
+// a live server's intake and compaction: ops journaled (and acked to
+// their clients) while the snapshot file is being written are covered
+// by neither the snapshot's state copy nor — if compaction blindly
+// truncated — the journal. They must survive in the compacted journal
+// and restore after a crash, or an acked batch would be silently lost.
+func TestSaveStateKeepsOpsAckedDuringSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := New(1)
+	if err := s.OpenState(dir); err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.register(testSnapshot(), "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := []*core.Run{testRun()}
+	if _, err := s.addResults(id, 1, encodeRuns(t, runs), runs); err != nil {
+		t.Fatal(err)
+	}
+	raced := testRun()
+	raced.Offset = 99
+	racedRuns := []*core.Run{raced}
+	defer func() { testHookAfterSnapshot = nil }()
+	testHookAfterSnapshot = func(srv *Server) {
+		// A client upload and a registration land after the state copy
+		// but before compaction: journaled, acked, not in the snapshot.
+		if _, err := srv.addResults(id, 2, encodeRuns(t, racedRuns), racedRuns); err != nil {
+			t.Error(err)
+		}
+		late := testSnapshot()
+		late.Hostname = "late-host"
+		if _, err := srv.register(late, "n-late"); err != nil {
+			t.Error(err)
+		}
+	}
+	if err := s.SaveState(dir); err != nil {
+		t.Fatal(err)
+	}
+	testHookAfterSnapshot = nil
+	// The compacted journal holds exactly the raced ops, nothing stale.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(1)
+	if err := restored.LoadState(dir); err != nil {
+		t.Fatal(err)
+	}
+	if restored.ClientCount() != 2 {
+		t.Errorf("clients = %d, want 2 (raced registration lost)", restored.ClientCount())
+	}
+	got := restored.Results()
+	if len(got) != 2 {
+		t.Fatalf("results = %d, want 2 (raced acked batch lost)", len(got))
+	}
+	offsets := map[float64]bool{got[0].Offset: true, got[1].Offset: true}
+	if !offsets[55] || !offsets[99] {
+		t.Errorf("restored offsets = %v, want {55, 99}", offsets)
+	}
+	// The raced batch's sequence number must survive too: a retry after
+	// restart is still a dup, not a double count.
+	dup, err := restored.addResults(id, 2, encodeRuns(t, racedRuns), racedRuns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup {
+		t.Error("restored server re-applied the raced acked batch")
+	}
+	// A retried registration with the raced nonce gets its id back.
+	late := testSnapshot()
+	late.Hostname = "late-host"
+	if _, err := restored.register(late, "n-late"); err != nil {
+		t.Fatal(err)
+	}
+	if restored.ClientCount() != 2 {
+		t.Errorf("raced nonce not restored: clients = %d", restored.ClientCount())
+	}
+}
+
 func TestStatePersistsAcrossServeCycle(t *testing.T) {
 	dir := t.TempDir()
 	s, addr := startServer(t, 10)
