@@ -1,0 +1,31 @@
+# Build, test and benchmark entry points. The bench targets are the
+# performance counterpart of the golden-figure tests: `make bench`
+# refreshes BENCH_results.json, `make bench-check` gates the current
+# tree against the committed BENCH_baseline.json, and `make
+# bench-baseline` promotes fresh results to the new baseline (do this
+# only on the reference machine, with the regression understood).
+
+GO ?= go
+THRESHOLD ?= 0.15
+
+.PHONY: all build test race bench bench-check bench-baseline
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) run ./cmd/uucs-bench -out BENCH_results.json
+
+bench-check:
+	$(GO) run ./cmd/uucs-bench -out BENCH_results.json -compare BENCH_baseline.json -threshold $(THRESHOLD)
+
+bench-baseline:
+	$(GO) run ./cmd/uucs-bench -out BENCH_baseline.json

@@ -1,0 +1,309 @@
+// Command uucs-bench runs the repository's key benchmarks in-process
+// and records them as machine-readable JSON, so performance is tracked
+// the same way figures are: against a committed baseline.
+//
+// It drives testing.Benchmark directly rather than shelling out to
+// `go test -bench` and parsing text, which keeps the result schema
+// stable and the tool dependency-free. The suite covers the benchmarks
+// the regression gate cares about: the full controlled-study pipeline,
+// the fleet simulation, testcase-suite construction, single-run
+// execution per task, and the §2.2 exerciser-fidelity kernels.
+//
+// Usage:
+//
+//	uucs-bench -out BENCH_results.json
+//	uucs-bench -out BENCH_results.json -compare BENCH_baseline.json -threshold 0.15
+//
+// With -compare, the exit status is nonzero if any benchmark's ns/op
+// regressed by more than the threshold fraction against the baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"testing"
+
+	"uucs"
+	"uucs/internal/hostsim"
+	"uucs/internal/internetstudy"
+	"uucs/internal/study"
+	"uucs/internal/testcase"
+)
+
+// Result is one benchmark's recorded measurement.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the on-disk schema of BENCH_results.json / BENCH_baseline.json.
+type File struct {
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_results.json", "write results to this file (empty disables)")
+	compare := flag.String("compare", "", "baseline file to compare against; nonzero exit on regression")
+	threshold := flag.Float64("threshold", 0.15, "allowed fractional ns/op regression before failing")
+	only := flag.String("only", "", "run only the benchmark with this name")
+	count := flag.Int("count", 3, "repetitions per benchmark; the fastest is recorded")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	results := runSuite(*only, *count)
+
+	file := File{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: results,
+	}
+	for _, r := range results {
+		fmt.Printf("%-28s %12.0f ns/op %12d B/op %8d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	if *out != "" {
+		buf, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *compare != "" {
+		if err := compareBaseline(*compare, results, *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uucs-bench:", err)
+	os.Exit(2)
+}
+
+// suite lists the gated benchmarks. Names match the bench_test.go
+// benchmarks they mirror, so `go test -bench` and uucs-bench agree on
+// what "BenchmarkControlledStudy" means.
+func suite() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"BenchmarkControlledStudy", benchControlledStudy},
+		{"BenchmarkInternetStudy", benchInternetStudy},
+		{"BenchmarkFig08Suite", benchFig08Suite},
+		{"BenchmarkRunExecution/word", benchRunExecution(testcase.Word)},
+		{"BenchmarkRunExecution/powerpoint", benchRunExecution(testcase.Powerpoint)},
+		{"BenchmarkRunExecution/ie", benchRunExecution(testcase.IE)},
+		{"BenchmarkRunExecution/quake", benchRunExecution(testcase.Quake)},
+		{"BenchmarkExerciserFidelityCPU", benchFidelityCPU},
+		{"BenchmarkExerciserFidelityDisk", benchFidelityDisk},
+	}
+}
+
+func runSuite(only string, count int) []Result {
+	if count < 1 {
+		count = 1
+	}
+	var results []Result
+	for _, bm := range suite() {
+		if only != "" && bm.name != only {
+			continue
+		}
+		// Record the fastest of count repetitions: scheduling and cache
+		// noise only ever slows a run down, so the minimum is the most
+		// repeatable estimate of the code's cost.
+		var best Result
+		for rep := 0; rep < count; rep++ {
+			r := testing.Benchmark(bm.fn)
+			res := Result{
+				Name:        bm.name,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			}
+			if len(r.Extra) > 0 {
+				res.Metrics = make(map[string]float64, len(r.Extra))
+				for k, v := range r.Extra {
+					res.Metrics[k] = v
+				}
+			}
+			if rep == 0 || res.NsPerOp < best.NsPerOp {
+				best = res
+			}
+		}
+		results = append(results, best)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	return results
+}
+
+// compareBaseline fails if any benchmark present in both files
+// regressed in ns/op by more than the threshold fraction. Benchmarks
+// only on one side are reported but never fail the gate, so the suite
+// can grow without invalidating old baselines.
+func compareBaseline(path string, results []Result, threshold float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("uucs-bench: read baseline: %w", err)
+	}
+	var base File
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("uucs-bench: parse baseline: %w", err)
+	}
+	baseline := make(map[string]Result, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	var regressions []string
+	for _, r := range results {
+		b, ok := baseline[r.Name]
+		if !ok {
+			fmt.Printf("%-28s (new, no baseline)\n", r.Name)
+			continue
+		}
+		ratio := r.NsPerOp / b.NsPerOp
+		fmt.Printf("%-28s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+			r.Name, b.NsPerOp, r.NsPerOp, (ratio-1)*100)
+		if ratio > 1+threshold {
+			regressions = append(regressions,
+				fmt.Sprintf("%s regressed %.1f%% (%.0f -> %.0f ns/op, threshold %.0f%%)",
+					r.Name, (ratio-1)*100, b.NsPerOp, r.NsPerOp, threshold*100))
+		}
+	}
+	if len(regressions) > 0 {
+		for _, s := range regressions {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", s)
+		}
+		return fmt.Errorf("uucs-bench: %d benchmark(s) regressed beyond %.0f%%", len(regressions), threshold*100)
+	}
+	fmt.Println("benchmark gate: ok")
+	return nil
+}
+
+func benchControlledStudy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.Run(study.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchInternetStudy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dir, err := os.MkdirTemp("", "uucs-bench-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := internetstudy.DefaultConfig(dir)
+		cfg.Hosts = 12
+		cfg.RunsPerHost = 4
+		cfg.TestcaseCount = 60
+		res, err := internetstudy.Run(cfg)
+		os.RemoveAll(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Runs) == 0 {
+			b.Fatal("no runs")
+		}
+	}
+}
+
+func benchFig08Suite(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := testcase.ControlledSuiteAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRunExecution(task testcase.Task) func(b *testing.B) {
+	return func(b *testing.B) {
+		users, err := uucs.SamplePopulation(1, uucs.DefaultPopulation(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		app, err := uucs.NewApp(task)
+		if err != nil {
+			b.Fatal(err)
+		}
+		suite, err := testcase.ControlledSuite(task)
+		if err != nil {
+			b.Fatal(err)
+		}
+		engine := uucs.NewEngine()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Execute(suite[0], app, users[0], uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchFidelityCPU(b *testing.B) {
+	ms := hostsim.DefaultMicroSim()
+	var share float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		share, err = ms.MeasureCPUShare(1.5, 60, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(share, "share_at_c1.5")
+}
+
+func benchFidelityDisk(b *testing.B) {
+	ms := hostsim.DefaultMicroSim()
+	var share float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		share, err = ms.MeasureDiskShare(7, 60, hostsim.StudyMachine(), 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(share, "share_at_c7")
+}

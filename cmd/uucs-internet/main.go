@@ -15,19 +15,28 @@ import (
 	"os"
 
 	"uucs/internal/internetstudy"
+	"uucs/internal/profiling"
 	"uucs/internal/testcase"
 )
 
 func main() {
 	var (
-		hosts   = flag.Int("hosts", 100, "number of fleet hosts")
-		runs    = flag.Int("runs", 12, "testcase executions per host")
-		tcCount = flag.Int("testcases", 400, "server testcase population")
-		seed    = flag.Uint64("seed", 2004, "fleet seed")
-		workers = flag.Int("workers", 0, "concurrent hosts (0 = GOMAXPROCS, 1 = serial; results are identical)")
-		workdir = flag.String("workdir", "", "client store directory (default: temp)")
+		hosts      = flag.Int("hosts", 100, "number of fleet hosts")
+		runs       = flag.Int("runs", 12, "testcase executions per host")
+		tcCount    = flag.Int("testcases", 400, "server testcase population")
+		seed       = flag.Uint64("seed", 2004, "fleet seed")
+		workers    = flag.Int("workers", 0, "concurrent hosts (0 = GOMAXPROCS, 1 = serial; results are identical)")
+		workdir    = flag.String("workdir", "", "client store directory (default: temp)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	dir := *workdir
 	if dir == "" {

@@ -16,8 +16,11 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the debug listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,10 +42,24 @@ func main() {
 		interval = flag.Duration("flush", 30*time.Second, "result flush interval")
 		stateDir = flag.String("state", "", "state directory: restore on start, journal live, compact on flush/shutdown")
 		idle     = flag.Duration("idle-timeout", 0, "disconnect clients silent for this long (0 = never)")
+		debug    = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (off when empty)")
 	)
 	flag.Parse()
 
 	srv := server.New(*seed)
+	if *debug != "" {
+		// The default mux already carries /debug/pprof and /debug/vars;
+		// add the server's own gauges next to the runtime's.
+		expvar.Publish("uucs_clients", expvar.Func(func() any { return srv.ClientCount() }))
+		expvar.Publish("uucs_results", expvar.Func(func() any { return len(srv.Results()) }))
+		expvar.Publish("uucs_testcases", expvar.Func(func() any { return srv.TestcaseCount() }))
+		go func() {
+			fmt.Printf("uucs-server: debug listener on http://%s/debug/pprof\n", *debug)
+			if err := http.ListenAndServe(*debug, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "uucs-server: debug listener:", err)
+			}
+		}()
+	}
 	srv.IdleTimeout = *idle
 	if *stateDir != "" {
 		// OpenState restores AND keeps a journal: state survives even a

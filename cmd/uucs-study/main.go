@@ -16,22 +16,31 @@ import (
 	"os"
 
 	"uucs/internal/core"
+	"uucs/internal/profiling"
 	"uucs/internal/study"
 	"uucs/internal/testcase"
 )
 
 func main() {
 	var (
-		figure   = flag.String("figure", "", "figure to print (9..18, frog); empty prints all")
-		users    = flag.Int("users", 33, "number of study participants")
-		seed     = flag.Uint64("seed", 2004, "study seed")
-		workers  = flag.Int("workers", 0, "concurrent study units (0 = GOMAXPROCS, 1 = serial; results are identical)")
-		suite    = flag.Bool("suite", false, "print the Figure 8 testcase suite and exit")
-		ablate   = flag.Bool("ablate", false, "run the model ablations and exit")
-		runsPath = flag.String("runs", "", "also write raw run records to this file")
-		withLoad = flag.Bool("load", false, "include monitor load samples in -runs output")
+		figure     = flag.String("figure", "", "figure to print (9..18, frog); empty prints all")
+		users      = flag.Int("users", 33, "number of study participants")
+		seed       = flag.Uint64("seed", 2004, "study seed")
+		workers    = flag.Int("workers", 0, "concurrent study units (0 = GOMAXPROCS, 1 = serial; results are identical)")
+		suite      = flag.Bool("suite", false, "print the Figure 8 testcase suite and exit")
+		ablate     = flag.Bool("ablate", false, "run the model ablations and exit")
+		runsPath   = flag.String("runs", "", "also write raw run records to this file")
+		withLoad   = flag.Bool("load", false, "include monitor load samples in -runs output")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	if *suite {
 		if err := printSuite(); err != nil {

@@ -96,6 +96,26 @@ type App interface {
 	Events(duration float64, s *stats.Stream) []Event
 }
 
+// EventsAppender is an optional App capability: generate the event
+// stream into a caller-owned buffer so hot loops can reuse one
+// allocation across runs. AppendEvents must produce exactly the events
+// Events would (same values, same order, same stream draws); dst is
+// truncated and reused, never retained.
+type EventsAppender interface {
+	AppendEvents(dst []Event, duration float64, s *stats.Stream) []Event
+}
+
+// EventsInto generates app's event stream, reusing dst's backing array
+// when the app supports buffer reuse and falling back to Events
+// otherwise. The returned slice is valid until the next EventsInto call
+// with the same buffer.
+func EventsInto(app App, dst []Event, duration float64, s *stats.Stream) []Event {
+	if ea, ok := app.(EventsAppender); ok {
+		return ea.AppendEvents(dst[:0], duration, s)
+	}
+	return app.Events(duration, s)
+}
+
 // New returns the model for a controlled-study task.
 func New(task testcase.Task) (App, error) {
 	switch task {

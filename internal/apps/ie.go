@@ -98,7 +98,12 @@ func (b *ie) WorkingSet(t float64) hostsim.WorkingSet {
 }
 
 func (b *ie) Events(duration float64, s *stats.Stream) []Event {
-	var evs []Event
+	return b.AppendEvents(nil, duration, s)
+}
+
+// AppendEvents implements EventsAppender, generating into dst.
+func (b *ie) AppendEvents(dst []Event, duration float64, s *stats.Stream) []Event {
+	evs := dst
 	usage := s.LognormMedian(1, b.p.UsageSigma)
 	for t := s.Exp(b.p.PageMeanGap); t < duration; t += s.Exp(b.p.PageMeanGap) {
 		net := s.LognormMedian(b.p.PageNetMedian, b.p.PageNetSigma)

@@ -68,10 +68,18 @@ func (m *media) WorkingSet(float64) hostsim.WorkingSet {
 }
 
 func (m *media) Events(duration float64, s *stats.Stream) []Event {
+	return m.AppendEvents(nil, duration, s)
+}
+
+// AppendEvents implements EventsAppender, generating into dst.
+func (m *media) AppendEvents(dst []Event, duration float64, s *stats.Stream) []Event {
 	usage := s.LognormMedian(1, m.p.UsageSigma)
 	frameGap := 1 / m.p.FrameHz
 	n := int(duration / frameGap)
-	evs := make([]Event, 0, n+32)
+	evs := dst
+	if cap(evs) < n+32 {
+		evs = make([]Event, 0, n+32)
+	}
 	for i := 0; i < n; i++ {
 		evs = append(evs, Event{
 			At: float64(i) * frameGap, Class: Frame,

@@ -65,7 +65,12 @@ func (pp *powerpoint) WorkingSet(float64) hostsim.WorkingSet {
 }
 
 func (pp *powerpoint) Events(duration float64, s *stats.Stream) []Event {
-	var evs []Event
+	return pp.AppendEvents(nil, duration, s)
+}
+
+// AppendEvents implements EventsAppender, generating into dst.
+func (pp *powerpoint) AppendEvents(dst []Event, duration float64, s *stats.Stream) []Event {
+	evs := dst
 	usage := s.LognormMedian(1, pp.p.UsageSigma)
 	for t := s.Exp(1 / pp.p.DragRate); t < duration; t += s.Exp(1 / pp.p.DragRate) {
 		evs = append(evs, Event{

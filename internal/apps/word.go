@@ -73,7 +73,12 @@ func (w *word) WorkingSet(float64) hostsim.WorkingSet {
 }
 
 func (w *word) Events(duration float64, s *stats.Stream) []Event {
-	var evs []Event
+	return w.AppendEvents(nil, duration, s)
+}
+
+// AppendEvents implements EventsAppender, generating into dst.
+func (w *word) AppendEvents(dst []Event, duration float64, s *stats.Stream) []Event {
+	evs := dst
 	usage := s.LognormMedian(1, w.p.UsageSigma)
 	// Keystrokes: steady typing with exponential gaps.
 	for t := s.Exp(1 / w.p.TypingRate); t < duration; t += s.Exp(1 / w.p.TypingRate) {

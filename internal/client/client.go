@@ -68,6 +68,11 @@ type Client struct {
 	// Sleep waits between retries; nil means time.Sleep. Chaos tests
 	// inject a virtual clock here.
 	Sleep func(d time.Duration)
+	// Scratch, when non-nil, is caller-owned reusable per-run state for
+	// testcase execution. Drivers that run many clients per worker (the
+	// Internet study) share one per worker; runs are bit-identical with
+	// or without it.
+	Scratch *core.Scratch
 
 	id    string
 	nonce string
@@ -449,7 +454,13 @@ func (c *Client) NextArrival(meanGap float64) float64 {
 // ExecuteRun runs one testcase against the given foreground app and
 // user model and appends the result to the pending store.
 func (c *Client) ExecuteRun(tc *testcase.Testcase, app apps.App, user *comfort.User) (*core.Run, error) {
-	run, err := c.Engine.Execute(tc, app, user, c.rng.Uint64())
+	var run *core.Run
+	var err error
+	if c.Scratch != nil {
+		run, err = c.Engine.ExecuteScratch(c.Scratch, tc, app, user, c.rng.Uint64())
+	} else {
+		run, err = c.Engine.Execute(tc, app, user, c.rng.Uint64())
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -99,6 +99,16 @@ const defaultFlowMargin = 1.85
 // context. rng must be a per-run stream; the same user perceives
 // independently in different runs, as real users do.
 func NewPerceiver(u *User, task testcase.Task, rng *stats.Stream) *Perceiver {
+	p := &Perceiver{}
+	p.Reset(u, task, rng)
+	return p
+}
+
+// Reset reinitializes the perceiver in place for a new run, exactly as
+// NewPerceiver would construct it (including the initial threshold draw
+// from rng). It exists so hot loops can reuse one Perceiver allocation
+// across runs.
+func (p *Perceiver) Reset(u *User, task testcase.Task, rng *stats.Stream) {
 	margin := u.BaselineMargin
 	if margin <= 0 {
 		margin = defaultBaselineMargin
@@ -107,7 +117,7 @@ func NewPerceiver(u *User, task testcase.Task, rng *stats.Stream) *Perceiver {
 	if flowMargin <= 0 {
 		flowMargin = defaultFlowMargin
 	}
-	return &Perceiver{
+	*p = Perceiver{
 		user:       u,
 		tols:       u.TolerancesFor(task),
 		margin:     margin,

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"uucs/internal/testcase"
+)
+
+// suiteCaseFor returns the first controlled-suite testcase for the task
+// whose primary resource is r.
+func suiteCaseFor(t *testing.T, task testcase.Task, r testcase.Resource) *testcase.Testcase {
+	t.Helper()
+	suite, err := testcase.ControlledSuite(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range suite {
+		if tc.PrimaryResource() == r {
+			return tc
+		}
+	}
+	t.Fatalf("no %s testcase in the %s suite", r, task)
+	return nil
+}
+
+// TestExecuteScratchAllocCeiling pins the warm-path allocation count of
+// one run per exercised resource. The remaining allocations are the run
+// record itself (the Run struct, its Levels map, LastFive and monitor
+// samples) — per-run state the caller keeps. Anything above the ceiling
+// means a hot-loop allocation crept back in.
+func TestExecuteScratchAllocCeiling(t *testing.T) {
+	const ceiling = 12
+	e := NewEngine()
+	user := testUser(t, 1)
+	for _, r := range testcase.Resources() {
+		r := r
+		t.Run(string(r), func(t *testing.T) {
+			tc := suiteCaseFor(t, testcase.Word, r)
+			app := testApp(t, testcase.Word)
+			s := NewScratch()
+			// Warm the scratch: buffers reach steady-state size on the
+			// first run; the ceiling applies from the second on.
+			if _, err := e.ExecuteScratch(s, tc, app, user, 1); err != nil {
+				t.Fatal(err)
+			}
+			seed := uint64(2)
+			avg := testing.AllocsPerRun(10, func() {
+				if _, err := e.ExecuteScratch(s, tc, app, user, seed); err != nil {
+					t.Fatal(err)
+				}
+				seed++
+			})
+			if avg > ceiling {
+				t.Errorf("ExecuteScratch(%s) allocates %.1f/run, ceiling %d", r, avg, ceiling)
+			}
+		})
+	}
+}
+
+// TestExecuteWarmScratchMatchesFresh verifies the reuse machinery is
+// invisible: a scratch that has executed arbitrary prior runs yields
+// bit-identical records to a freshly allocated one, for every task.
+func TestExecuteWarmScratchMatchesFresh(t *testing.T) {
+	e := NewEngine()
+	e.TraceEvents = true
+	user := testUser(t, 7)
+	warm := NewScratch()
+	for _, task := range testcase.Tasks() {
+		suite, err := testcase.ControlledSuite(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app := testApp(t, task)
+		for i, tc := range suite {
+			seed := uint64(100 + i)
+			got, err := e.ExecuteScratch(warm, tc, app, user, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := e.ExecuteScratch(NewScratch(), tc, app, user, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s testcase %s: warm-scratch run differs from fresh", task, tc.ID)
+			}
+		}
+	}
+}

@@ -8,7 +8,6 @@ import (
 	"uucs/internal/comfort"
 	"uucs/internal/hostsim"
 	"uucs/internal/monitor"
-	"uucs/internal/stats"
 	"uucs/internal/testcase"
 )
 
@@ -48,10 +47,10 @@ func NewEngine() *Engine {
 // frameWindow is the aggregation window for frame-loop perception.
 const frameWindow = 1.0
 
-// frameSlack is the lateness a frame-driven app absorbs before dropping
-// a frame: one frame period of buffering.
-func frameSlack(app apps.App) float64 {
-	if hz := app.FrameHz(); hz > 0 {
+// frameSlackFor is the lateness a frame-driven app absorbs before
+// dropping a frame: one frame period of buffering.
+func frameSlackFor(hz float64) float64 {
+	if hz > 0 {
 		return 1 / hz
 	}
 	return 0
@@ -60,22 +59,44 @@ func frameSlack(app apps.App) float64 {
 // baselineLatency is the typical uncontended latency of an event on
 // this machine — what the user acclimatized to during the study's
 // warm-up period (§3.1).
-func baselineLatency(m *hostsim.Machine, ev apps.Event) float64 {
+func baselineLatency(m *hostsim.Machine, ev *apps.Event) float64 {
 	return m.CPUBaseline(ev.CPU) + m.DiskIOBaseline(ev.DiskKB) + ev.BaselineExtra
 }
 
 // Execute runs one testcase for one user doing one task and returns the
-// run record. seed makes the run fully deterministic.
+// run record. seed makes the run fully deterministic. Per-run state is
+// drawn from an internal scratch pool; drivers that fan out across
+// workers should own one Scratch per worker and call ExecuteScratch.
 func (e *Engine) Execute(tc *testcase.Testcase, app apps.App, user *comfort.User, seed uint64) (*Run, error) {
+	s := scratchPool.Get().(*Scratch)
+	run, err := e.ExecuteScratch(s, tc, app, user, seed)
+	scratchPool.Put(s)
+	return run, err
+}
+
+// ExecuteScratch is Execute with caller-owned reusable per-run state.
+// It is bit-identical to Execute for any scratch: every stochastic
+// stream is reseeded through the same derivation chain a fresh run
+// uses, and all reused buffers are cleared before use.
+func (e *Engine) ExecuteScratch(s *Scratch, tc *testcase.Testcase, app apps.App, user *comfort.User, seed uint64) (*Run, error) {
 	if err := tc.Validate(); err != nil {
 		return nil, err
 	}
 	if app == nil || user == nil {
 		return nil, fmt.Errorf("core: nil app or user")
 	}
-	rng := stats.NewStream(seed)
-	machine, err := hostsim.NewMachine(e.Machine, e.Noise, rng.Fork().Uint64())
-	if err != nil {
+	rng := &s.rng
+	rng.Reseed(seed)
+	machineSeed := rng.ForkSeed()
+	machine := s.machine
+	if machine == nil {
+		var err error
+		machine, err = hostsim.NewMachine(e.Machine, e.Noise, machineSeed)
+		if err != nil {
+			return nil, err
+		}
+		s.machine = machine
+	} else if err := machine.Reset(e.Machine, e.Noise, machineSeed); err != nil {
 		return nil, err
 	}
 	// Start the exercisers: attach each exercise function's playback to
@@ -84,14 +105,25 @@ func (e *Engine) Execute(tc *testcase.Testcase, app apps.App, user *comfort.User
 		machine.SetContention(r, f.Value)
 	}
 	duration := tc.Duration()
-	events := app.Events(duration, rng.Fork())
-	perceiver := comfort.NewPerceiver(user, app.Task(), rng.Fork())
+	rng.ForkInto(&s.evRng)
+	events := apps.EventsInto(app, s.events, duration, &s.evRng)
+	s.events = events // keep the (possibly grown) buffer for the next run
+	// Per-event loop invariants, hoisted: the app's identity, frame
+	// geometry and slack do not change mid-run.
+	appTask := app.Task()
+	frameHz := app.FrameHz()
+	frameDriven := frameHz > 0
+	slack := frameSlackFor(frameHz)
+
+	rng.ForkInto(&s.perRng)
+	perceiver := &s.perceiver
+	perceiver.Reset(user, appTask, &s.perRng)
 
 	run := &Run{
 		TestcaseID:      tc.ID,
 		Shape:           tc.Shape,
 		Params:          tc.Params,
-		Task:            app.Task(),
+		Task:            appTask,
 		UserID:          user.ID,
 		Blank:           tc.IsBlank(),
 		PrimaryResource: tc.PrimaryResource(),
@@ -99,16 +131,19 @@ func (e *Engine) Execute(tc *testcase.Testcase, app apps.App, user *comfort.User
 		Offset:          duration,
 		Events:          len(events),
 	}
+	if e.TraceEvents {
+		// One sample per event plus one per frame window, worst case.
+		run.Trace = make([]TraceSample, 0, len(events)+int(duration/frameWindow)+2)
+	}
 
 	var (
-		uiBusy      float64 // the UI/render thread (echo, op, frame)
-		loadBusy    float64 // the worker thread for long operations
-		winStart    float64 // current frame window start
-		winFrames   int
-		winWorst    float64
-		clicked     bool
-		clickAt     float64
-		frameDriven = app.FrameHz() > 0
+		uiBusy    float64 // the UI/render thread (echo, op, frame)
+		loadBusy  float64 // the worker thread for long operations
+		winStart  float64 // current frame window start
+		winFrames int
+		winWorst  float64
+		clicked   bool
+		clickAt   float64
 	)
 
 	observe := func(o comfort.Observation) {
@@ -136,7 +171,8 @@ func (e *Engine) Execute(tc *testcase.Testcase, app apps.App, user *comfort.User
 		winStart = endOfWindow
 	}
 
-	for _, ev := range events {
+	for i := range events {
+		ev := &events[i]
 		if clicked && ev.At >= clickAt {
 			break
 		}
@@ -153,7 +189,7 @@ func (e *Engine) Execute(tc *testcase.Testcase, app apps.App, user *comfort.User
 			}
 		}
 
-		if ev.Class == apps.Frame && uiBusy > ev.At+frameSlack(app) {
+		if ev.Class == apps.Frame && uiBusy > ev.At+slack {
 			// The render loop has fallen more than a frame behind: this
 			// frame is dropped. Double-buffering absorbs smaller
 			// overruns, so slow frames become a lower frame rate rather

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"sync"
+
+	"uucs/internal/apps"
+	"uucs/internal/comfort"
+	"uucs/internal/hostsim"
+	"uucs/internal/stats"
+)
+
+// Scratch is the reusable per-run state of one Execute call: the
+// simulated machine (with its noise window buffers), the event buffer,
+// the perceiver, and the derived RNG streams. Reusing a Scratch across
+// runs removes every warm-path allocation from the engine's hot loop
+// while remaining bit-identical to fresh allocation — each piece is
+// reseeded or truncated through exactly the derivation a fresh run
+// performs.
+//
+// A Scratch may be used by one Execute call at a time. The parallel
+// study drivers own one per worker (see pool.RunScratch); Execute
+// without an explicit scratch draws from an internal sync.Pool, so
+// one-off callers get the reuse for free after warm-up.
+type Scratch struct {
+	machine   *hostsim.Machine
+	events    []apps.Event
+	perceiver comfort.Perceiver
+	rng       stats.Stream // per-run master stream (reseeded from the run seed)
+	evRng     stats.Stream // events fork
+	perRng    stats.Stream // perceiver fork
+}
+
+// NewScratch returns an empty scratch; buffers grow to steady-state
+// sizes over the first few runs and are then reused.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// scratchPool backs Execute calls that do not bring their own scratch.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}

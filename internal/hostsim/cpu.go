@@ -1,7 +1,5 @@
 package hostsim
 
-import "uucs/internal/testcase"
-
 // CPU model. Interactive work is expressed as bursts: a keystroke echo,
 // a slide redraw, a game frame. Under the equal-priority scheduling the
 // paper's exercisers rely on, a foreground burst that needs s seconds of
@@ -55,7 +53,7 @@ func (m *Machine) cpuBurstSampled(start, work float64) float64 {
 			t = m.noise.nextCPUChange(t)
 			continue
 		}
-		c := m.ContentionAt(testcase.CPU, t)
+		c := m.contentionAt(cpuIdx, t)
 		n := m.sampleThreads(c)
 		share := 1 / (1 + n)
 		// CPU work completable within this subinterval at this share.
@@ -81,7 +79,7 @@ func (m *Machine) cpuBurstFluid(start, work float64) float64 {
 			t = m.noise.nextCPUChange(t)
 			continue
 		}
-		c := m.ContentionAt(testcase.CPU, t)
+		c := m.contentionAt(cpuIdx, t)
 		share := 1 / (1 + c)
 		capacity := fluidStep * share
 		if capacity >= remaining {

@@ -1,7 +1,5 @@
 package hostsim
 
-import "uucs/internal/testcase"
-
 // Disk model. The disk serves one request at a time from a FIFO queue.
 // The paper's disk exerciser creates contention c by keeping c competing
 // seek+write streams outstanding, each performing "a random seek in a
@@ -54,7 +52,7 @@ func (m *Machine) DiskIO(start float64, bytesKB float64) float64 {
 		// round-robins among 1+c requesters, so the chunk's service time
 		// stretches by (1+c) — the same equal-share behaviour the paper
 		// verified for its disk exerciser.
-		c := m.ContentionAt(testcase.Disk, t) + m.noise.DiskBusy(t)
+		c := m.contentionAt(diskIdx, t) + m.noise.DiskBusy(t)
 		svc := m.seekTime() + chunk/1024.0/m.cfg.DiskMBps
 		t += svc * (1 + c)
 	}

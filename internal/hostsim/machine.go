@@ -87,15 +87,42 @@ func (c Config) Validate() error {
 // fraction of physical memory borrowed.
 type ContentionFunc func(t float64) float64
 
-// Machine is one simulated host during one run. A Machine is single-use:
-// create a fresh one per testcase run so disk-queue and fault state do
-// not leak between runs. It is not safe for concurrent use.
+// numResources is the number of borrowable resources a machine tracks;
+// contention profiles live in a fixed array indexed by resourceIndex so
+// the per-event hot paths never hash a map key.
+const numResources = 3
+
+// resourceIndex maps a resource to its contention slot, or -1 for
+// unknown resources (which always read contention 0).
+func resourceIndex(r testcase.Resource) int {
+	switch r {
+	case testcase.CPU:
+		return cpuIdx
+	case testcase.Memory:
+		return memIdx
+	case testcase.Disk:
+		return diskIdx
+	}
+	return -1
+}
+
+// Contention slots, in the canonical testcase.Resources() order.
+const (
+	cpuIdx = iota
+	memIdx
+	diskIdx
+)
+
+// Machine is one simulated host during one run. Create one per testcase
+// run with NewMachine, or reuse one across runs with Reset, so
+// disk-queue and fault state do not leak between runs. It is not safe
+// for concurrent use.
 type Machine struct {
 	cfg   Config
 	rng   *stats.Stream
 	noise *Noise
 
-	contention map[testcase.Resource]ContentionFunc
+	contention [numResources]ContentionFunc
 
 	// diskFreeAt is the time the disk queue drains; requests submitted
 	// before then wait behind earlier ones (FIFO).
@@ -119,10 +146,27 @@ func NewMachine(cfg Config, noiseProfile NoiseProfile, seed uint64) (*Machine, e
 		cfg:         cfg,
 		rng:         rng,
 		noise:       newNoise(noiseProfile, rng.Fork()),
-		contention:  make(map[testcase.Resource]ContentionFunc),
 		subinterval: 0.1,
 	}
 	return m, nil
+}
+
+// Reset reinitializes the machine in place for a new run, reusing the
+// noise window buffers and RNG allocations. A machine reset with the
+// same (cfg, noiseProfile, seed) behaves bit-identically to a fresh
+// NewMachine: the RNG is reseeded through the same derivation and all
+// per-run state (contention, disk queue, noise windows) is cleared.
+func (m *Machine) Reset(cfg Config, noiseProfile NoiseProfile, seed uint64) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	m.cfg = cfg
+	m.rng.Reseed(seed)
+	m.noise.reset(noiseProfile, m.rng)
+	m.contention = [numResources]ContentionFunc{}
+	m.diskFreeAt = 0
+	m.subinterval = 0.1
+	return nil
 }
 
 // Config returns the machine's hardware description.
@@ -131,23 +175,31 @@ func (m *Machine) Config() Config { return m.cfg }
 // SetContention attaches an exerciser's contention profile for one
 // resource. Passing nil detaches the resource.
 func (m *Machine) SetContention(r testcase.Resource, f ContentionFunc) {
-	if f == nil {
-		delete(m.contention, r)
-		return
+	if i := resourceIndex(r); i >= 0 {
+		m.contention[i] = f
 	}
-	m.contention[r] = f
 }
 
 // ClearContention detaches all exercisers — the paper's client stops all
 // exercisers immediately when the user expresses discomfort.
 func (m *Machine) ClearContention() {
-	m.contention = make(map[testcase.Resource]ContentionFunc)
+	m.contention = [numResources]ContentionFunc{}
 }
 
 // ContentionAt returns the contention applied to resource r at time t.
 func (m *Machine) ContentionAt(r testcase.Resource, t float64) float64 {
-	f, ok := m.contention[r]
-	if !ok {
+	i := resourceIndex(r)
+	if i < 0 {
+		return 0
+	}
+	return m.contentionAt(i, t)
+}
+
+// contentionAt is the hot-path form of ContentionAt for pre-resolved
+// resource indices.
+func (m *Machine) contentionAt(i int, t float64) float64 {
+	f := m.contention[i]
+	if f == nil {
 		return 0
 	}
 	c := f(t)
@@ -174,8 +226,8 @@ type Load struct {
 func (m *Machine) LoadAt(t float64) Load {
 	return Load{
 		Time:    t,
-		CPU:     m.ContentionAt(testcase.CPU, t) + m.noise.CPUBusy(t),
-		MemFrac: m.ContentionAt(testcase.Memory, t),
-		DiskQ:   m.ContentionAt(testcase.Disk, t) + m.noise.DiskBusy(t),
+		CPU:     m.contentionAt(cpuIdx, t) + m.noise.CPUBusy(t),
+		MemFrac: m.contentionAt(memIdx, t),
+		DiskQ:   m.contentionAt(diskIdx, t) + m.noise.DiskBusy(t),
 	}
 }

@@ -1,7 +1,5 @@
 package hostsim
 
-import "uucs/internal/testcase"
-
 // Memory model. The paper's memory exerciser "keeps a pool of allocated
 // pages equal to the size of physical memory ... and then touches the
 // fraction corresponding to the contention level with a high frequency,
@@ -34,7 +32,7 @@ type WorkingSet struct {
 // memOverflow returns how many MB of the app's cold pages are displaced
 // at time t, given the exerciser's borrowed fraction.
 func (m *Machine) memOverflow(t float64, ws WorkingSet) float64 {
-	borrowed := m.ContentionAt(testcase.Memory, t)
+	borrowed := m.contentionAt(memIdx, t)
 	if borrowed < 0 {
 		borrowed = 0
 	}
@@ -134,7 +132,7 @@ func (m *Machine) FaultCost(t float64, nfaults int, ws WorkingSet) float64 {
 	}
 	perFault := m.cfg.DiskSeekMs/1000*m.rng.Range(0.7, 1.3) + m.cfg.PageKB/1024.0/m.cfg.DiskMBps
 	// Faults also queue behind disk-exerciser requests.
-	diskC := m.ContentionAt(testcase.Disk, t)
+	diskC := m.contentionAt(diskIdx, t)
 	perFault += diskC * m.exerciserServiceTime()
 	return float64(nfaults) * perFault / (1 - storm)
 }

@@ -1,0 +1,112 @@
+package hostsim
+
+import (
+	"math"
+	"sync"
+)
+
+// Kernel memoization. The micro-level quantum kernels are pure functions
+// of their full input tuple — (quantum, subinterval, contention,
+// duration, seed) plus, for the disk, the hardware config — so their
+// results can be cached and replayed with no fidelity loss at all: a
+// memo hit returns the exact float the direct computation produced when
+// the entry was populated, and entries are only ever populated from the
+// direct computation. Bit-identical by construction.
+//
+// Keys carry the exact IEEE-754 bit patterns of every float input
+// (math.Float64bits), not a lossy rounding: two calls share an entry
+// only when every input is identical, which is what makes replay safe.
+// The study drivers hit this table hard — fidelity sweeps and fleet
+// calibration re-run the same (contention, duration) grid thousands of
+// times — which is exactly the workload the ROADMAP's "near-free
+// simulated runs" goal needs.
+//
+// The table is sharded by key hash; each shard holds its entries behind
+// its own mutex so concurrent workers do not serialize on one lock.
+// Shards are bounded: on overflow a shard is emptied rather than
+// LRU-tracked — values are pure, so eviction can never change a result,
+// only cost a recomputation.
+
+const (
+	memoShards      = 16
+	memoShardMaxLen = 4096
+)
+
+// memoKind distinguishes the cached kernels.
+type memoKind uint8
+
+const (
+	memoCPUShare memoKind = iota
+	memoDiskShare
+)
+
+// memoKey is the full input tuple of one micro-kernel evaluation.
+// Config is embedded by value; all its fields are comparable.
+type memoKey struct {
+	kind                 memoKind
+	quantum, subinterval uint64 // Float64bits
+	c, duration          uint64 // Float64bits
+	seed                 uint64
+	cfg                  Config
+}
+
+type memoShard struct {
+	mu sync.Mutex
+	m  map[memoKey]float64
+}
+
+type memoTable struct {
+	shards [memoShards]memoShard
+}
+
+// microMemo is the process-wide kernel memo table.
+var microMemo memoTable
+
+func (k memoKey) shard() uint64 {
+	// FNV-1a over the scalar fields; the config only varies across
+	// hosts, so the scalars carry the entropy that matters.
+	h := uint64(14695981039346656037)
+	for _, v := range [...]uint64{uint64(k.kind), k.quantum, k.subinterval, k.c, k.duration, k.seed} {
+		h ^= v
+		h *= 1099511628211
+	}
+	return h % memoShards
+}
+
+func (t *memoTable) get(k memoKey) (float64, bool) {
+	s := &t.shards[k.shard()]
+	s.mu.Lock()
+	v, ok := s.m[k]
+	s.mu.Unlock()
+	return v, ok
+}
+
+func (t *memoTable) put(k memoKey, v float64) {
+	s := &t.shards[k.shard()]
+	s.mu.Lock()
+	if s.m == nil || len(s.m) >= memoShardMaxLen {
+		s.m = make(map[memoKey]float64, 64)
+	}
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// cpuShareKey builds the memo key for a MeasureCPUShare call.
+func (ms MicroSim) cpuShareKey(c, duration float64, seed uint64) memoKey {
+	return memoKey{
+		kind:        memoCPUShare,
+		quantum:     math.Float64bits(ms.Quantum),
+		subinterval: math.Float64bits(ms.Subinterval),
+		c:           math.Float64bits(c),
+		duration:    math.Float64bits(duration),
+		seed:        seed,
+	}
+}
+
+// diskShareKey builds the memo key for a MeasureDiskShare call.
+func (ms MicroSim) diskShareKey(c, duration float64, cfg Config, seed uint64) memoKey {
+	k := ms.cpuShareKey(c, duration, seed)
+	k.kind = memoDiskShare
+	k.cfg = cfg
+	return k
+}

@@ -1,0 +1,146 @@
+package hostsim
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"uucs/internal/stats"
+)
+
+// TestCPUShareFastPathBitIdentical sweeps a randomized grid of
+// (contention, duration, quantum, subinterval, seed) inputs and asserts
+// the optimized MeasureCPUShare — closed form for integer contention,
+// memo for fractional — returns the exact bits the direct quantum-stepped
+// computation produces.
+func TestCPUShareFastPathBitIdentical(t *testing.T) {
+	rng := stats.NewStream(42)
+	for i := 0; i < 200; i++ {
+		quantum := rng.Range(0.001, 0.02)
+		ms := MicroSim{Quantum: quantum, Subinterval: quantum * rng.Range(1, 20)}
+		c := rng.Range(0, 10)
+		if i%3 == 0 {
+			c = float64(rng.IntN(11)) // exercise the closed-form integer path
+		}
+		duration := rng.Range(0.5, 30)
+		seed := rng.Uint64()
+
+		want, err := ms.MeasureCPUShareDirect(c, duration, seed)
+		if err != nil {
+			t.Fatalf("direct(%g, %g): %v", c, duration, err)
+		}
+		// Twice: once computing (or closed-form), once from the memo.
+		for pass := 0; pass < 2; pass++ {
+			got, err := ms.MeasureCPUShare(c, duration, seed)
+			if err != nil {
+				t.Fatalf("fast(%g, %g): %v", c, duration, err)
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("pass %d: MeasureCPUShare(c=%v, dur=%v, q=%v, sub=%v, seed=%v) = %v, direct = %v",
+					pass, c, duration, ms.Quantum, ms.Subinterval, seed, got, want)
+			}
+		}
+	}
+}
+
+// TestDiskShareMemoBitIdentical does the same for the disk kernel,
+// varying the hardware config as well (it is part of the memo key).
+func TestDiskShareMemoBitIdentical(t *testing.T) {
+	rng := stats.NewStream(7)
+	ms := DefaultMicroSim()
+	for i := 0; i < 60; i++ {
+		cfg := StudyMachine()
+		cfg.DiskSeekMs = rng.Range(4, 16)
+		cfg.DiskMBps = rng.Range(15, 80)
+		c := rng.Range(0, 7)
+		duration := rng.Range(1, 20)
+		seed := rng.Uint64()
+
+		want, err := ms.MeasureDiskShareDirect(c, duration, cfg, seed)
+		if err != nil {
+			t.Fatalf("direct(%g, %g): %v", c, duration, err)
+		}
+		for pass := 0; pass < 2; pass++ {
+			got, err := ms.MeasureDiskShare(c, duration, cfg, seed)
+			if err != nil {
+				t.Fatalf("memo(%g, %g): %v", c, duration, err)
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("pass %d: MeasureDiskShare(c=%v, dur=%v, cfg=%+v, seed=%v) = %v, direct = %v",
+					pass, c, duration, cfg, seed, got, want)
+			}
+		}
+	}
+}
+
+// TestDiskShareMemoKeyedOnConfig guards against key collisions: two
+// configs differing only in hardware must not share a memo entry.
+func TestDiskShareMemoKeyedOnConfig(t *testing.T) {
+	ms := DefaultMicroSim()
+	slow := StudyMachine()
+	slow.DiskSeekMs = 20
+	a, err := ms.MeasureDiskShare(3, 10, StudyMachine(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ms.MeasureDiskShare(3, 10, slow, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := ms.MeasureDiskShareDirect(3, 10, slow, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(b) != math.Float64bits(wantB) {
+		t.Fatalf("config not part of memo key: got %v want %v (study-machine value %v)", b, wantB, a)
+	}
+}
+
+// TestMemoConcurrentAccess hammers the memo table from many goroutines
+// over a small key grid; the race detector checks safety, and every
+// returned value must match the direct computation.
+func TestMemoConcurrentAccess(t *testing.T) {
+	ms := DefaultMicroSim()
+	type in struct {
+		c, dur float64
+		seed   uint64
+	}
+	grid := make([]in, 0, 16)
+	rng := stats.NewStream(11)
+	for i := 0; i < 16; i++ {
+		grid = append(grid, in{c: rng.Range(0.1, 5), dur: rng.Range(1, 5), seed: rng.Uint64()})
+	}
+	want := make([]float64, len(grid))
+	for i, g := range grid {
+		v, err := ms.MeasureCPUShareDirect(g.c, g.dur, g.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				i := (w + rep) % len(grid)
+				v, err := ms.MeasureCPUShare(grid[i].c, grid[i].dur, grid[i].seed)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if math.Float64bits(v) != math.Float64bits(want[i]) {
+					t.Errorf("concurrent memo value diverged: got %v want %v", v, want[i])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

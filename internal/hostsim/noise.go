@@ -67,6 +67,18 @@ func newNoise(p NoiseProfile, rng *stats.Stream) *Noise {
 	return &Noise{profile: p, rng: rng}
 }
 
+// reset reinitializes the noise source for a new run, reusing the window
+// buffers. The noise stream is re-derived from the parent exactly as
+// newNoise(p, parent.Fork()) would, so a reset machine generates the
+// same windows a fresh one does.
+func (n *Noise) reset(p NoiseProfile, parent *stats.Stream) {
+	n.profile = p
+	parent.ForkInto(n.rng)
+	n.cpu = n.cpu[:0]
+	n.disk = n.disk[:0]
+	n.horizon = 0
+}
+
 // extend lazily generates noise windows out to time t.
 func (n *Noise) extend(t float64) {
 	if t <= n.horizon {

@@ -171,8 +171,10 @@ func Run(cfg Config) (*Results, error) {
 		hosts[i] = &Host{ID: i, Machine: sampleMachine(rng.Fork()), User: users[i]}
 		hostRngs[i] = rng.Fork()
 	}
-	err = pool.Run(cfg.Workers, cfg.Hosts, func(i int) error {
-		if err := runHost(cfg, addr, hosts[i], hostRngs[i]); err != nil {
+	// One Scratch per worker: every host the worker serves reuses the
+	// same run buffers through its client, with bit-identical results.
+	err = pool.RunScratch(cfg.Workers, cfg.Hosts, core.NewScratch, func(i int, scratch *core.Scratch) error {
+		if err := runHost(cfg, addr, hosts[i], hostRngs[i], scratch); err != nil {
 			return fmt.Errorf("internetstudy: host %d: %w", i, err)
 		}
 		return nil
@@ -231,8 +233,9 @@ func sampleTask(s *stats.Stream) testcase.Task {
 	return taskWeights[len(taskWeights)-1].task
 }
 
-// runHost runs one host's client lifecycle.
-func runHost(cfg Config, addr string, host *Host, rng *stats.Stream) error {
+// runHost runs one host's client lifecycle. scratch is the worker-owned
+// reusable run state shared by all hosts this worker serves.
+func runHost(cfg Config, addr string, host *Host, rng *stats.Stream, scratch *core.Scratch) error {
 	store, err := client.OpenStore(filepath.Join(cfg.WorkDir, fmt.Sprintf("host-%03d", host.ID)))
 	if err != nil {
 		return err
@@ -249,6 +252,7 @@ func runHost(cfg Config, addr string, host *Host, rng *stats.Stream) error {
 	if err != nil {
 		return err
 	}
+	cl.Scratch = scratch
 	if cfg.Dial != nil {
 		hostID := host.ID
 		cl.Dialer = func(addr string) (net.Conn, error) { return cfg.Dial(hostID, addr) }

@@ -30,6 +30,11 @@ func (r *Recorder) Rate() float64 { return r.rate }
 // CaptureRun samples the machine's load from time 0 to end.
 func (r *Recorder) CaptureRun(m *hostsim.Machine, end float64) {
 	step := 1 / r.rate
+	if r.samples == nil {
+		// One sample per step plus the t=0 sample; +2 absorbs the float
+		// accumulation of t landing exactly on end.
+		r.samples = make([]hostsim.Load, 0, int(end*r.rate)+2)
+	}
 	for t := 0.0; t <= end; t += step {
 		r.samples = append(r.samples, m.LoadAt(t))
 	}

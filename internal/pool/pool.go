@@ -87,3 +87,77 @@ func Run(workers, n int, fn func(i int) error) error {
 	wg.Wait()
 	return firstErr
 }
+
+// RunScratch is Run with per-worker scratch state: newScratch is called
+// once per worker goroutine (once total in the serial case) and the
+// resulting value is passed to every unit that worker executes. It
+// exists for unit bodies whose dominant cost is re-allocating identical
+// working state per unit — a worker-owned scratch amortizes that across
+// the units the worker happens to claim without any locking, and
+// because units must already be order-independent, which worker (and
+// hence which scratch) serves a unit cannot affect results.
+func RunScratch[S any](workers, n int, newScratch func() S, fn func(i int, scratch S) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		scratch := newScratch()
+		for i := 0; i < n; i++ {
+			if err := fn(i, scratch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		mu       sync.Mutex
+		next     int
+		errIdx   = -1
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil || i < errIdx {
+			firstErr, errIdx = err, i
+		}
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			scratch := newScratch()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				if err := fn(i, scratch); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -140,3 +140,74 @@ func TestRunBoundsConcurrency(t *testing.T) {
 		t.Fatalf("observed %d concurrent units, want <= %d", max.Load(), workers)
 	}
 }
+
+func TestRunScratchAllUnits(t *testing.T) {
+	type scratch struct{ hits int }
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		var made atomic.Int64
+		out := make([]int, 100)
+		err := RunScratch(workers, len(out), func() *scratch {
+			made.Add(1)
+			return &scratch{}
+		}, func(i int, s *scratch) error {
+			if s == nil {
+				return fmt.Errorf("unit %d: nil scratch", i)
+			}
+			s.hits++
+			out[i] = i + 1
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i+1 {
+				t.Fatalf("workers=%d: unit %d not executed (slot=%d)", workers, i, v)
+			}
+		}
+		want := int64(workers)
+		if workers <= 0 {
+			want = int64(runtime.GOMAXPROCS(0))
+		}
+		if want > int64(len(out)) {
+			want = int64(len(out))
+		}
+		if made.Load() != want {
+			t.Fatalf("workers=%d: newScratch called %d times, want %d", workers, made.Load(), want)
+		}
+	}
+}
+
+func TestRunScratchSerialReusesOneScratch(t *testing.T) {
+	type scratch struct{ hits int }
+	var only *scratch
+	err := RunScratch(1, 50, func() *scratch {
+		only = &scratch{}
+		return only
+	}, func(i int, s *scratch) error {
+		if s != only {
+			return fmt.Errorf("unit %d: got a different scratch", i)
+		}
+		s.hits++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if only.hits != 50 {
+		t.Fatalf("scratch served %d units, want 50", only.hits)
+	}
+}
+
+func TestRunScratchErrorPropagation(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := RunScratch(4, 100, func() int { return 0 }, func(i int, _ int) error {
+		if i == 17 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err=%v, want %v", err, sentinel)
+	}
+}

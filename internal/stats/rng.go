@@ -28,10 +28,32 @@ func NewStream(seed uint64) *Stream {
 	return &Stream{state: seed ^ 0x9e3779b97f4a7c15}
 }
 
+// Reseed resets the stream in place to the exact state NewStream(seed)
+// would produce, clearing any cached normal variate. It exists so hot
+// paths can reuse a Stream allocation across runs without changing a
+// single drawn value.
+func (s *Stream) Reseed(seed uint64) {
+	*s = Stream{state: seed ^ 0x9e3779b97f4a7c15}
+}
+
 // Fork derives a new independent stream from the current one. The parent
 // advances by one step, so forking is itself deterministic.
 func (s *Stream) Fork() *Stream {
 	return NewStream(s.Uint64() ^ 0xbf58476d1ce4e5b9)
+}
+
+// ForkInto reseeds child to the exact state Fork would have returned,
+// without allocating. The parent advances by one step, as in Fork.
+func (s *Stream) ForkInto(child *Stream) {
+	child.Reseed(s.Uint64() ^ 0xbf58476d1ce4e5b9)
+}
+
+// ForkSeed returns Fork().Uint64() without allocating the intermediate
+// stream: the first value of a fork, advancing the parent by one step.
+func (s *Stream) ForkSeed() uint64 {
+	var child Stream
+	s.ForkInto(&child)
+	return child.Uint64()
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.

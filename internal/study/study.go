@@ -118,7 +118,10 @@ func Run(cfg Config) (*Results, error) {
 		}
 	}
 	runs := make([]*core.Run, total)
-	err = pool.Run(cfg.Workers, len(units), func(i int) error {
+	// Each worker owns one Scratch: runs are bit-identical regardless of
+	// which scratch executes them, so reuse across the units a worker
+	// claims is free of both locking and determinism hazards.
+	err = pool.RunScratch(cfg.Workers, len(units), core.NewScratch, func(i int, scratch *core.Scratch) error {
 		un := units[i]
 		app, err := appFactory(un.task)
 		if err != nil {
@@ -128,7 +131,7 @@ func Run(cfg Config) (*Results, error) {
 		for j, idx := range un.order {
 			tc := suite[idx]
 			seed := runSeed(cfg.Seed, un.user.ID, un.task, idx)
-			run, err := engine.Execute(tc, app, un.user, seed)
+			run, err := engine.ExecuteScratch(scratch, tc, app, un.user, seed)
 			if err != nil {
 				return fmt.Errorf("study: user %d task %s testcase %d: %w", un.user.ID, un.task, idx, err)
 			}
