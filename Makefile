@@ -1,14 +1,17 @@
 # Build, test and benchmark entry points. The bench targets are the
 # performance counterpart of the golden-figure tests: `make bench`
-# refreshes BENCH_results.json, `make bench-check` gates the current
-# tree against the committed BENCH_baseline.json, and `make
-# bench-baseline` promotes fresh results to the new baseline (do this
-# only on the reference machine, with the regression understood).
+# refreshes BENCH_results.json (generated, not committed), `make
+# bench-check` gates the current tree against the committed
+# BENCH_baseline.json, and `make bench-baseline` promotes fresh results
+# to the new baseline (do this only on the reference machine, with the
+# regression understood). `make loadgen-smoke` drives a short
+# closed-loop ingest run under the race detector and fails if any
+# acked batch is lost or double-counted.
 
 GO ?= go
 THRESHOLD ?= 0.15
 
-.PHONY: all build test race bench bench-check bench-baseline
+.PHONY: all build test race bench bench-check bench-baseline loadgen-smoke
 
 all: build test
 
@@ -29,3 +32,6 @@ bench-check:
 
 bench-baseline:
 	$(GO) run ./cmd/uucs-bench -out BENCH_baseline.json
+
+loadgen-smoke:
+	$(GO) run -race ./cmd/uucs-loadgen -clients 8 -duration 2s -smoke

@@ -20,6 +20,7 @@ package uucs_test
 //	§2.2     BenchmarkExerciserFidelityCPU / BenchmarkExerciserFidelityDisk
 //	§3       BenchmarkControlledStudy (the full pipeline)
 //	§4       BenchmarkInternetStudy
+//	§4       BenchmarkServerIngest (fleet-scale server intake)
 //	§5       BenchmarkThrottle
 //
 // Figure-shaped outputs are additionally reported as custom benchmark
@@ -39,6 +40,7 @@ import (
 	"uucs/internal/hostload"
 	"uucs/internal/hostsim"
 	"uucs/internal/internetstudy"
+	"uucs/internal/loadgen"
 	"uucs/internal/stats"
 	"uucs/internal/study"
 	"uucs/internal/testcase"
@@ -317,6 +319,24 @@ func BenchmarkInternetStudy(b *testing.B) {
 			b.Fatal("no runs")
 		}
 	}
+}
+
+// BenchmarkServerIngest measures the server's concurrent ingest path
+// end to end — wire codec, shard dedup, group-commit journal fsyncs —
+// with 16 closed-loop clients over loopback TCP. ns/op is the cost per
+// acked batch; the batches/sec metric is the sustained rate.
+func BenchmarkServerIngest(b *testing.B) {
+	rep, err := loadgen.Run(loadgen.Config{
+		Clients: 16, Batches: b.N, RunsPerBatch: 3,
+		StateDir: b.TempDir(), Net: "tcp", Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Lost > 0 || rep.Duplicated > 0 {
+		b.Fatalf("ingest broke durability: lost=%d duplicated=%d", rep.Lost, rep.Duplicated)
+	}
+	b.ReportMetric(rep.BatchesPerSec, "batches/sec")
 }
 
 // BenchmarkThrottle measures the §5 feedback throttle control loop.

@@ -31,6 +31,7 @@ import (
 	"uucs"
 	"uucs/internal/hostsim"
 	"uucs/internal/internetstudy"
+	"uucs/internal/loadgen"
 	"uucs/internal/study"
 	"uucs/internal/testcase"
 )
@@ -133,6 +134,7 @@ func suite() []struct {
 		{"BenchmarkRunExecution/quake", benchRunExecution(testcase.Quake)},
 		{"BenchmarkExerciserFidelityCPU", benchFidelityCPU},
 		{"BenchmarkExerciserFidelityDisk", benchFidelityDisk},
+		{"BenchmarkServerIngest", benchServerIngest},
 	}
 }
 
@@ -280,6 +282,27 @@ func benchRunExecution(task testcase.Task) func(b *testing.B) {
 			}
 		}
 	}
+}
+
+// benchServerIngest mirrors bench_test.go's BenchmarkServerIngest: 16
+// closed-loop clients over loopback TCP against a journaling server.
+func benchServerIngest(b *testing.B) {
+	dir, err := os.MkdirTemp("", "uucs-bench-ingest-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	rep, err := loadgen.Run(loadgen.Config{
+		Clients: 16, Batches: b.N, RunsPerBatch: 3,
+		StateDir: dir, Net: "tcp", Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Lost > 0 || rep.Duplicated > 0 {
+		b.Fatalf("ingest broke durability: lost=%d duplicated=%d", rep.Lost, rep.Duplicated)
+	}
+	b.ReportMetric(rep.BatchesPerSec, "batches/sec")
 }
 
 func benchFidelityCPU(b *testing.B) {

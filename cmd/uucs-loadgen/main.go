@@ -1,0 +1,132 @@
+// Command uucs-loadgen measures UUCS server ingest throughput with a
+// closed-loop load: K concurrent clients over loopback TCP (or the
+// in-memory chaos transport), each uploading its next result batch the
+// moment the previous ack arrives. It reports batches/sec, ack latency
+// quantiles, the journal's group-commit batch-size histogram, and
+// verifies that no acked batch was lost or double-counted.
+//
+// Usage:
+//
+//	uucs-loadgen -clients 32 -duration 5s -state ./lgstate
+//	uucs-loadgen -clients 32 -duration 5s -compare   # group commit vs fsync-per-op
+//	uucs-loadgen -clients 8 -duration 2s -smoke      # CI: nonzero exit on lost/dup
+//
+// With -compare, the rig runs twice against fresh state directories —
+// once with the journal forced to fsync-per-op (-journal-batch 1, the
+// pre-group-commit behavior) and once with the configured batching —
+// and prints the throughput ratio.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"uucs/internal/loadgen"
+)
+
+func main() {
+	var (
+		clients   = flag.Int("clients", 32, "closed-loop client concurrency")
+		duration  = flag.Duration("duration", 5*time.Second, "measurement window")
+		batches   = flag.Int("batches", 0, "fixed total batch budget instead of a timed window")
+		runsPer   = flag.Int("runs-per-batch", 3, "run records per upload batch")
+		netKind   = flag.String("net", "tcp", "transport: tcp (loopback) or mem (in-memory)")
+		addr      = flag.String("addr", "", "drive an external server at this address instead of in-process")
+		stateDir  = flag.String("state", "", "server state directory (default: a fresh temp dir; 'none' disables journaling)")
+		jBatch    = flag.Int("journal-batch", 0, "max ops per group-commit fsync (0 = server default, 1 = fsync per op)")
+		jDelay    = flag.Duration("journal-delay", 0, "group-commit accumulation window (0 = never wait)")
+		fsyncCost = flag.Duration("fsync-cost", 0, "modeled storage device: stretch each fsync to at least this long (e.g. 8ms for a paper-era disk)")
+		seed      = flag.Uint64("seed", 1, "server sampling seed")
+		compare   = flag.Bool("compare", false, "also run an fsync-per-op baseline and print the speedup")
+		smoke     = flag.Bool("smoke", false, "exit nonzero if any batch was lost or duplicated")
+		jsonOut   = flag.Bool("json", false, "print reports as JSON")
+	)
+	flag.Parse()
+
+	base := loadgen.Config{
+		Clients: *clients, Duration: *duration, Batches: *batches,
+		RunsPerBatch: *runsPer, Net: *netKind, Addr: *addr,
+		JournalBatch: *jBatch, JournalDelay: *jDelay,
+		FsyncCost: *fsyncCost, Seed: *seed,
+	}
+
+	run := func(label string, cfg loadgen.Config) *loadgen.Report {
+		switch {
+		case cfg.Addr != "":
+			// External server: its state handling is its own business.
+		case *stateDir == "none":
+		case *stateDir != "":
+			cfg.StateDir = *stateDir
+		default:
+			dir, err := os.MkdirTemp("", "uucs-loadgen-")
+			if err != nil {
+				fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			cfg.StateDir = dir
+		}
+		rep, err := loadgen.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		print(label, rep, *jsonOut)
+		if *smoke && rep.Verified() && (rep.Lost > 0 || rep.Duplicated > 0) {
+			fmt.Fprintf(os.Stderr, "uucs-loadgen: FAILED: %d lost, %d duplicated batches\n", rep.Lost, rep.Duplicated)
+			os.Exit(1)
+		}
+		if *smoke && !rep.Verified() {
+			fmt.Fprintln(os.Stderr, "uucs-loadgen: -smoke needs an in-process server to verify against")
+			os.Exit(1)
+		}
+		return rep
+	}
+
+	if *compare {
+		baseline := base
+		baseline.JournalBatch = 1
+		baseCfg := run("fsync-per-op", baseline)
+		groupCfg := run("group-commit", base)
+		if baseCfg.BatchesPerSec > 0 {
+			fmt.Printf("\nspeedup: %.1fx (%.0f -> %.0f batches/sec at %d clients)\n",
+				groupCfg.BatchesPerSec/baseCfg.BatchesPerSec,
+				baseCfg.BatchesPerSec, groupCfg.BatchesPerSec, base.Clients)
+		}
+		return
+	}
+	run("ingest", base)
+}
+
+func print(label string, rep *loadgen.Report, asJSON bool) {
+	if asJSON {
+		buf, err := json.MarshalIndent(struct {
+			Label string `json:"label"`
+			*loadgen.Report
+		}{label, rep}, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(buf))
+		return
+	}
+	fmt.Printf("%s: %d clients, %d batches (%d runs) in %v = %.0f batches/sec\n",
+		label, rep.Clients, rep.Batches, rep.Runs, rep.Elapsed.Round(time.Millisecond), rep.BatchesPerSec)
+	fmt.Printf("%s: ack latency p50 %v  p90 %v  p99 %v  max %v\n",
+		label, rep.LatP50.Round(time.Microsecond), rep.LatP90.Round(time.Microsecond),
+		rep.LatP99.Round(time.Microsecond), rep.LatMax.Round(time.Microsecond))
+	if st := rep.Server; st != nil {
+		if st.JournalFsyncs > 0 {
+			fmt.Printf("%s: journal %d ops / %d fsyncs (mean batch %.1f), %d bytes\n",
+				label, st.JournalOps, st.JournalFsyncs, st.MeanBatch, st.JournalBytes)
+			fmt.Printf("%s: batch-size histogram (1, 2, ≤4, ≤8, ...): %v\n", label, st.BatchHist)
+		}
+		fmt.Printf("%s: verification: %d lost, %d duplicated\n", label, rep.Lost, rep.Duplicated)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uucs-loadgen:", err)
+	os.Exit(2)
+}

@@ -11,8 +11,13 @@
 // With -state, every accepted registration and result batch is
 // journaled to disk before it is acknowledged, so a crash between
 // flushes loses nothing; the journal is compacted into a snapshot on
-// each flush and at shutdown. -idle-timeout disconnects clients that go
-// silent mid-conversation (0 keeps them forever).
+// each flush and at shutdown. Journal appends are group-committed: ops
+// arriving while a flush is in flight share the next fsync
+// (-journal-batch caps the batch, -journal-delay optionally waits for
+// more ops). -idle-timeout disconnects clients that go silent
+// mid-conversation (0 keeps them forever). With -debug-addr, the
+// /debug/vars page exposes the ingest counters (uucs_ingest: batches,
+// journal fsyncs, group-commit batch histogram, per-shard lock spread).
 package main
 
 import (
@@ -43,16 +48,22 @@ func main() {
 		stateDir = flag.String("state", "", "state directory: restore on start, journal live, compact on flush/shutdown")
 		idle     = flag.Duration("idle-timeout", 0, "disconnect clients silent for this long (0 = never)")
 		debug    = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (off when empty)")
+		jBatch   = flag.Int("journal-batch", 0, "max ops per group-commit fsync (0 = default, 1 = fsync per op)")
+		jDelay   = flag.Duration("journal-delay", 0, "wait this long for more ops before fsyncing a sub-capacity batch (0 = never wait)")
 	)
 	flag.Parse()
 
 	srv := server.New(*seed)
 	if *debug != "" {
 		// The default mux already carries /debug/pprof and /debug/vars;
-		// add the server's own gauges next to the runtime's.
+		// add the server's own gauges next to the runtime's. The ingest
+		// block exposes the group-commit counters: watch
+		// journal_ops/journal_fsyncs (the amortization ratio), the
+		// batch-size histogram, and the per-shard lock spread.
 		expvar.Publish("uucs_clients", expvar.Func(func() any { return srv.ClientCount() }))
 		expvar.Publish("uucs_results", expvar.Func(func() any { return len(srv.Results()) }))
 		expvar.Publish("uucs_testcases", expvar.Func(func() any { return srv.TestcaseCount() }))
+		expvar.Publish("uucs_ingest", expvar.Func(func() any { return srv.Stats() }))
 		go func() {
 			fmt.Printf("uucs-server: debug listener on http://%s/debug/pprof\n", *debug)
 			if err := http.ListenAndServe(*debug, nil); err != nil {
@@ -61,6 +72,8 @@ func main() {
 		}()
 	}
 	srv.IdleTimeout = *idle
+	srv.JournalBatch = *jBatch
+	srv.JournalDelay = *jDelay
 	if *stateDir != "" {
 		// OpenState restores AND keeps a journal: state survives even a
 		// kill -9 between flushes.

@@ -54,8 +54,10 @@ type fleetResult struct {
 }
 
 // runFleet drives the full internetstudy fleet over the chaos network,
-// one injector per host, retries under a virtual clock.
-func runFleet(t *testing.T, profile chaos.Profile, script map[int][]chaos.ScriptFault, reorder int) fleetResult {
+// one injector per host, retries under a virtual clock. Optional
+// mutators adjust the config before the run (e.g. to attach a durable
+// state directory).
+func runFleet(t *testing.T, profile chaos.Profile, script map[int][]chaos.ScriptFault, reorder int, mut ...func(*internetstudy.Config)) fleetResult {
 	t.Helper()
 	nw := chaos.NewNetwork()
 	if reorder > 1 {
@@ -82,6 +84,9 @@ func runFleet(t *testing.T, profile chaos.Profile, script map[int][]chaos.Script
 	}
 	cfg.Dial = func(hostID int, addr string) (net.Conn, error) {
 		return injectors[hostID].WrapDial(nw.Dial)(addr)
+	}
+	for _, m := range mut {
+		m(&cfg)
 	}
 	res, err := internetstudy.Run(cfg)
 	if err != nil {
@@ -146,6 +151,45 @@ func TestFleetScenarios(t *testing.T) {
 			}
 			if injecting && got.sleeps == 0 {
 				t.Error("faults were injected but no retry ever backed off")
+			}
+		})
+	}
+}
+
+// TestGroupCommitFleetBitIdentical runs the fleet against a journaling
+// server — group commit enabled, with an accumulation delay, under the
+// mixed fault profile — and against the fsync-per-op degenerate case.
+// Both datasets must be bit-identical to the in-memory fault-free
+// baseline: the commit batching is a throughput lever, never a
+// semantic one.
+func TestGroupCommitFleetBitIdentical(t *testing.T) {
+	baseline := runFleet(t, chaos.Profile{}, nil, 0)
+	mixed := chaos.Profile{DialFail: 0.06, Drop: 0.04, PartialWrite: 0.04, Corrupt: 0.04, MaxFaults: 6}
+	variants := []struct {
+		name string
+		mut  func(*internetstudy.Config)
+	}{
+		{"group-commit", func(cfg *internetstudy.Config) {
+			cfg.StateDir = t.TempDir()
+			cfg.JournalDelay = 200 * time.Microsecond
+		}},
+		{"fsync-per-op", func(cfg *internetstudy.Config) {
+			cfg.StateDir = t.TempDir()
+			cfg.JournalBatch = 1
+		}},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			got := runFleet(t, mixed, nil, 2, v.mut)
+			if len(got.events) == 0 {
+				t.Fatal("scenario injected no faults; it proves nothing")
+			}
+			if got.n != baseline.n {
+				t.Errorf("collected %d runs, want %d (faults: %v)", got.n, baseline.n, got.events)
+			}
+			if got.fp != baseline.fp {
+				t.Errorf("durable dataset diverged from in-memory fault-free baseline: %v", got.events)
 			}
 		})
 	}

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"bytes"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -393,8 +394,11 @@ func (c *Client) uploadOutboxes(addr string) (int, error) {
 		return 0, err
 	}
 	uploaded := 0
+	// One encode buffer for the whole upload loop: batch payloads reuse
+	// its capacity, so only the final string conversion allocates.
+	var b bytes.Buffer
 	for _, batch := range batches {
-		var b strings.Builder
+		b.Reset()
 		if err := core.EncodeRuns(&b, batch.Runs, false); err != nil {
 			return uploaded, err
 		}

@@ -74,6 +74,17 @@ type Config struct {
 	// Sleep, when non-nil, replaces time.Sleep for client backoff —
 	// chaos tests inject a virtual clock so retries cost no wall time.
 	Sleep func(d time.Duration)
+
+	// StateDir, when non-empty, attaches a durable state directory to
+	// the server: every accepted op is journaled (and fsynced, group
+	// committed) before its ack, exactly as a production deployment
+	// would run.
+	StateDir string
+	// JournalBatch and JournalDelay forward to the server's group-commit
+	// writer (meaningful only with StateDir; zero values pick the
+	// server defaults).
+	JournalBatch int
+	JournalDelay time.Duration
 }
 
 // DefaultConfig mirrors the paper's scale. TestcaseCount is kept to a
@@ -130,6 +141,13 @@ func Run(cfg Config) (*Results, error) {
 
 	// Server with the testcase population.
 	srv := server.New(rng.Uint64())
+	if cfg.StateDir != "" {
+		srv.JournalBatch = cfg.JournalBatch
+		srv.JournalDelay = cfg.JournalDelay
+		if err := srv.OpenState(cfg.StateDir); err != nil {
+			return nil, err
+		}
+	}
 	gen := testcase.DefaultGeneratorConfig()
 	gen.Count = cfg.TestcaseCount
 	tcs, err := testcase.Generate("inet", gen, rng.Fork())

@@ -1,0 +1,68 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestClosedLoopBatchBudget drives a fixed batch budget over the
+// in-memory transport against a journaling server and checks the
+// accounting: every batch acked, none lost, none duplicated.
+func TestClosedLoopBatchBudget(t *testing.T) {
+	rep, err := Run(Config{
+		Clients: 4, Batches: 40, RunsPerBatch: 2,
+		StateDir: t.TempDir(), Net: "mem", Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Batches != 40 {
+		t.Errorf("acked %d batches, want 40", rep.Batches)
+	}
+	if rep.Runs != 80 {
+		t.Errorf("runs = %d, want 80", rep.Runs)
+	}
+	if !rep.Verified() {
+		t.Fatal("in-process run did not verify")
+	}
+	if rep.Lost != 0 || rep.Duplicated != 0 {
+		t.Errorf("lost=%d duplicated=%d, want 0/0", rep.Lost, rep.Duplicated)
+	}
+	if rep.Server.JournalFsyncs == 0 {
+		t.Error("journaling server reported zero fsyncs")
+	}
+	if rep.LatP50 <= 0 || rep.LatMax < rep.LatP99 || rep.LatP99 < rep.LatP50 {
+		t.Errorf("latency quantiles disordered: p50=%v p99=%v max=%v", rep.LatP50, rep.LatP99, rep.LatMax)
+	}
+}
+
+// TestTimedWindowTCP exercises the loopback-TCP path and the timed
+// budget, without a journal (the in-memory ceiling).
+func TestTimedWindowTCP(t *testing.T) {
+	rep, err := Run(Config{
+		Clients: 2, Duration: 100 * time.Millisecond, RunsPerBatch: 1,
+		Net: "tcp", Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Batches == 0 {
+		t.Error("timed window acked no batches")
+	}
+	if rep.Lost != 0 || rep.Duplicated != 0 {
+		t.Errorf("lost=%d duplicated=%d, want 0/0", rep.Lost, rep.Duplicated)
+	}
+	if rep.Server.JournalFsyncs != 0 {
+		t.Error("journal-less server reported fsyncs")
+	}
+}
+
+// TestConfigValidation pins the rejected configurations.
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Net: "carrier-pigeon", Batches: 1}); err == nil {
+		t.Error("unknown transport accepted")
+	}
+	if _, err := Run(Config{Net: "mem", Addr: "elsewhere:1", Batches: 1}); err == nil {
+		t.Error("mem transport with external addr accepted")
+	}
+}

@@ -28,10 +28,13 @@ package protocol
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"strconv"
+	"sync"
 	"time"
 )
 
@@ -125,14 +128,39 @@ type Message struct {
 	Sum *uint32 `json:"sum,omitempty"`
 }
 
+// wireEncoder is a pooled buffer + JSON encoder pair for the message
+// hot path. Encoding a Message through a pooled encoder instead of
+// json.Marshal removes the per-message output allocation; the encoder's
+// trailing newline doubles as the wire frame terminator.
+type wireEncoder struct {
+	buf     bytes.Buffer
+	enc     *json.Encoder
+	scratch [24]byte // strconv staging for the spliced sum digits
+}
+
+var encPool = sync.Pool{New: func() any {
+	e := &wireEncoder{}
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
+// encodeSumless encodes m with Sum forced absent into e.buf as one
+// newline-terminated line — the canonical form both checksum ends hash.
+func (e *wireEncoder) encodeSumless(m Message) error {
+	m.Sum = nil
+	e.buf.Reset()
+	return e.enc.Encode(m)
+}
+
 // checksum returns the CRC32 of m's canonical encoding with Sum absent.
 func checksum(m Message) (uint32, error) {
-	m.Sum = nil
-	b, err := json.Marshal(m)
-	if err != nil {
+	e := encPool.Get().(*wireEncoder)
+	defer encPool.Put(e)
+	if err := e.encodeSumless(m); err != nil {
 		return 0, err
 	}
-	return crc32.ChecksumIEEE(b), nil
+	b := e.buf.Bytes()
+	return crc32.ChecksumIEEE(b[:len(b)-1]), nil // exclude Encode's newline
 }
 
 // deadliner is the deadline surface of net.Conn; net.Pipe and TCP
@@ -174,26 +202,35 @@ func (c *Conn) SetTimeout(d time.Duration) {
 	c.timeout = d
 }
 
-// Send writes one message, stamping its checksum.
+// Send writes one message, stamping its checksum. The message is
+// encoded exactly once through a pooled buffer: the CRC is computed
+// over the sum-less encoding, then the sum field is spliced in before
+// the closing brace, so the hot ingest path neither marshals twice nor
+// allocates per message.
 func (c *Conn) Send(m Message) error {
-	sum, err := checksum(m)
-	if err != nil {
+	e := encPool.Get().(*wireEncoder)
+	defer encPool.Put(e)
+	if err := e.encodeSumless(m); err != nil {
 		return fmt.Errorf("protocol: marshal: %w", err)
 	}
-	m.Sum = &sum
-	b, err := json.Marshal(m)
-	if err != nil {
-		return fmt.Errorf("protocol: marshal: %w", err)
-	}
-	if len(b) > maxLine {
-		return fmt.Errorf("protocol: message too large (%d bytes)", len(b))
+	b := e.buf.Bytes() // `{...}` + '\n'
+	sum := crc32.ChecksumIEEE(b[:len(b)-1])
+	// Splice `,"sum":N` in place of the final `}\n`. Receivers verify by
+	// re-encoding the decoded message sum-less, so the spliced frame is
+	// checksum-equivalent to a full marshal with Sum set.
+	e.buf.Truncate(len(b) - 2)
+	e.buf.WriteString(`,"sum":`)
+	e.buf.Write(strconv.AppendUint(e.scratch[:0], uint64(sum), 10))
+	e.buf.WriteString("}\n")
+	if e.buf.Len() > maxLine {
+		return fmt.Errorf("protocol: message too large (%d bytes)", e.buf.Len())
 	}
 	if c.d != nil && c.timeout > 0 {
 		if err := c.d.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
 			return err
 		}
 	}
-	if _, err := c.rw.Write(append(b, '\n')); err != nil {
+	if _, err := c.rw.Write(e.buf.Bytes()); err != nil {
 		return err
 	}
 	return nil
@@ -232,9 +269,12 @@ func (c *Conn) Recv() (Message, error) {
 }
 
 // lineReader is a thin alias over bufio.Reader that reassembles long
-// lines and bounds them at maxLine.
+// lines and bounds them at maxLine. The assembly buffer persists across
+// reads — each Conn has exactly one in-flight line, so reuse is safe
+// and the steady state reads without allocating.
 type lineReader struct {
-	r *bufio.Reader
+	r   *bufio.Reader
+	buf []byte
 }
 
 func newLineReader(r io.Reader) *lineReader {
@@ -242,20 +282,20 @@ func newLineReader(r io.Reader) *lineReader {
 }
 
 // readLine returns the next newline-terminated line, excluding the
-// newline.
+// newline. The returned slice is valid only until the next readLine.
 func (l *lineReader) readLine() ([]byte, error) {
-	var buf []byte
+	l.buf = l.buf[:0]
 	for {
 		chunk, isPrefix, err := l.r.ReadLine()
 		if err != nil {
 			return nil, err
 		}
-		buf = append(buf, chunk...)
-		if len(buf) > maxLine {
+		l.buf = append(l.buf, chunk...)
+		if len(l.buf) > maxLine {
 			return nil, fmt.Errorf("protocol: line exceeds %d bytes", maxLine)
 		}
 		if !isPrefix {
-			return buf, nil
+			return l.buf, nil
 		}
 	}
 }

@@ -1,0 +1,9 @@
+//go:build !race
+
+package protocol
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. The allocation-ceiling tests skip under race: sync.Pool
+// deliberately drops items at random in race mode, so the pooled
+// encoder's steady state does not exist there.
+const raceEnabled = false

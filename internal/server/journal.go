@@ -1,0 +1,358 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Group-commit journaling. PR 2 made every accepted op durable before
+// its ack by running a synchronous marshal + write + fsync under the
+// server's one big lock — correct, but it priced every message at a
+// full disk flush. The journalWriter below keeps the guarantee and
+// amortizes the flush: appenders enqueue pre-marshaled ops and block on
+// a per-op done channel; a single writer goroutine drains whatever has
+// queued up, writes it as one buffered append, calls fsync once, and
+// only then releases every op the flush covered. Under K concurrent
+// clients the fsync cost is paid once per batch instead of once per op,
+// which is where the ingest throughput multiplier comes from.
+//
+// Correctness hinges on two properties callers rely on:
+//
+//   - An op's done channel fires only after the fsync covering its
+//     bytes returns, so journal-before-ack survives unchanged: nothing
+//     is acknowledged that a crash could lose.
+//   - Ops are written in enqueue order (single writer, FIFO queue), so
+//     a barrier op observes everything enqueued before it, and a
+//     client's registration always precedes its uploads on disk
+//     because the upload cannot start until the registration's ack —
+//     and therefore its fsync — has completed.
+//
+// A write or sync failure poisons the writer: the failing batch and
+// every later append report the error, so no ack can ever be emitted
+// on top of a journal in an unknown state (the fsync-failure stance
+// databases take: stop acking rather than guess).
+
+// Group-commit defaults, overridable via Server.JournalBatch /
+// Server.JournalDelay (-journal-batch / -journal-delay on uucs-server).
+const (
+	defaultJournalBatch = 64
+	// defaultJournalDelay of zero means "never wait": a batch is
+	// whatever queued while the previous fsync was in flight. That is
+	// the right default for closed-loop clients — waiting would add
+	// latency without adding throughput — but a positive delay can
+	// trade latency for bigger batches on spinning disks.
+	defaultJournalDelay = 0 * time.Millisecond
+)
+
+// batchHistBuckets is the number of power-of-two group-commit batch
+// size buckets tracked for observability (1, 2, 3-4, 5-8, ... ops).
+const batchHistBuckets = 17
+
+// testHookBeforeJournalSync, when non-nil, runs between a batch's
+// buffered write and its fsync — the window in which a crash leaves
+// appended-but-unsynced bytes whose fate the page cache decides. A
+// non-nil return is treated exactly like an fsync failure, which is how
+// crash tests kill the server inside that window.
+var testHookBeforeJournalSync func() error
+
+// journalReq is one queued append. A nil data slice is a barrier: it
+// carries no bytes but its done channel still fires only after every
+// earlier op is durable.
+type journalReq struct {
+	data []byte
+	done chan error
+}
+
+// journalWriter owns the journal file and the group-commit loop.
+type journalWriter struct {
+	maxBatch int
+	maxDelay time.Duration
+	// syncCost, when positive, models a slower storage device by
+	// stretching every fsync to at least that long. Group-commit
+	// throughput is a function of fsync latency, so measurement rigs
+	// (uucs-loadgen) use this to reproduce the paper-era spinning-disk
+	// deployment on hardware whose fsync is microseconds.
+	syncCost time.Duration
+
+	// qmu guards the append queue and the logical enqueue offset.
+	qmu    sync.Mutex
+	queue  []*journalReq
+	closed bool
+	err    error // sticky first failure; set under qmu
+	// enq is the logical journal offset: total bytes ever accepted into
+	// the queue, counted from the start of the journal's life. Because
+	// the writer is FIFO, an op enqueued when enq == x occupies logical
+	// bytes [x, x+len). SaveState records this as the offset its state
+	// copy covers.
+	enq int64
+
+	kick   chan struct{}
+	exited chan struct{}
+
+	// fmu serializes file access between the writer's commits and
+	// compaction's read-tail-and-swap.
+	fmu  sync.Mutex
+	f    *os.File
+	// base is the logical offset of the file's byte 0: zero at open,
+	// then the compaction offset after each journal swap (the compacted
+	// file holds only the tail past it).
+	base int64
+
+	wbuf []byte // writer-goroutine-only coalescing buffer
+
+	// Observability counters (atomic; read by Server.Stats).
+	ops       atomic.Uint64 // non-barrier ops made durable
+	fsyncs    atomic.Uint64 // fsync calls issued
+	bytesOut  atomic.Uint64 // journal bytes written
+	batchHist [batchHistBuckets]atomic.Uint64
+}
+
+// newJournalWriter wraps an append-only journal file whose current size
+// is size (the logical offset already on disk). Call go w.run() to
+// start the commit loop.
+func newJournalWriter(f *os.File, size int64, maxBatch int, maxDelay time.Duration) *journalWriter {
+	if maxBatch <= 0 {
+		maxBatch = defaultJournalBatch
+	}
+	return &journalWriter{
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		f:        f,
+		enq:      size,
+		kick:     make(chan struct{}, 1),
+		exited:   make(chan struct{}),
+	}
+}
+
+// enqueue accepts one pre-marshaled op (or a barrier, data == nil) into
+// the commit queue and returns its pending handle. It never blocks on
+// I/O, so callers may hold state locks across it — that is what makes
+// "state visible in memory implies op already enqueued" cheap to
+// guarantee.
+func (w *journalWriter) enqueue(data []byte) *journalReq {
+	r := &journalReq{data: data, done: make(chan error, 1)}
+	w.qmu.Lock()
+	if w.err != nil || w.closed {
+		err := w.err
+		if err == nil {
+			err = fmt.Errorf("server: journal closed")
+		}
+		w.qmu.Unlock()
+		r.done <- err
+		return r
+	}
+	w.queue = append(w.queue, r)
+	w.enq += int64(len(data))
+	w.qmu.Unlock()
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+	return r
+}
+
+// append enqueues data and blocks until the fsync covering it returns.
+func (w *journalWriter) append(data []byte) error {
+	return <-w.enqueue(data).done
+}
+
+// barrier blocks until every op enqueued before it is durable. The dup
+// path uses it: re-acking a batch whose original upload may still be
+// mid-group-commit must wait for that commit, or the dup ack would
+// claim durability the disk does not yet have.
+func (w *journalWriter) barrier() error {
+	return <-w.enqueue(nil).done
+}
+
+// enqueued returns the logical journal offset covering everything
+// accepted so far. Callers that hold all server state locks get the
+// compaction invariant: every op below this offset is already applied
+// to the state they are about to copy.
+func (w *journalWriter) enqueued() int64 {
+	w.qmu.Lock()
+	defer w.qmu.Unlock()
+	return w.enq
+}
+
+// take grabs the entire pending queue, reporting whether the writer
+// should exit (closed and drained).
+func (w *journalWriter) take() (batch []*journalReq, exit bool) {
+	w.qmu.Lock()
+	defer w.qmu.Unlock()
+	batch = w.queue
+	w.queue = nil
+	return batch, batch == nil && w.closed
+}
+
+// run is the group-commit loop. One goroutine per journalWriter.
+func (w *journalWriter) run() {
+	defer close(w.exited)
+	for range w.kick {
+		for {
+			batch, exit := w.take()
+			if batch == nil {
+				if exit {
+					return
+				}
+				break
+			}
+			if w.maxDelay > 0 && len(batch) < w.maxBatch {
+				// Optional accumulation window: trade ack latency for
+				// fewer, larger fsyncs.
+				time.Sleep(w.maxDelay)
+				more, _ := w.take()
+				batch = append(batch, more...)
+			}
+			for len(batch) > 0 {
+				n := len(batch)
+				if n > w.maxBatch {
+					n = w.maxBatch
+				}
+				w.commit(batch[:n])
+				batch = batch[n:]
+			}
+		}
+	}
+}
+
+// commit writes one batch as a single buffered append, fsyncs once, and
+// releases every member. A failure poisons the writer and is reported
+// to the whole batch.
+func (w *journalWriter) commit(batch []*journalReq) {
+	w.qmu.Lock()
+	err := w.err
+	w.qmu.Unlock()
+	if err == nil {
+		w.wbuf = w.wbuf[:0]
+		ops := 0
+		for _, r := range batch {
+			if len(r.data) > 0 {
+				w.wbuf = append(w.wbuf, r.data...)
+				ops++
+			}
+		}
+		if len(w.wbuf) > 0 {
+			var start time.Time
+			if w.syncCost > 0 {
+				start = time.Now()
+			}
+			w.fmu.Lock()
+			if _, werr := w.f.Write(w.wbuf); werr != nil {
+				err = fmt.Errorf("server: journal append: %w", werr)
+			} else {
+				if testHookBeforeJournalSync != nil {
+					err = testHookBeforeJournalSync()
+				}
+				if err == nil {
+					if serr := w.f.Sync(); serr != nil {
+						err = fmt.Errorf("server: journal sync: %w", serr)
+					}
+				}
+			}
+			if err == nil && w.syncCost > 0 {
+				// Modeled device: the flush takes at least syncCost; ops
+				// keep queueing behind it, exactly as on a slow disk.
+				if d := w.syncCost - time.Since(start); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			w.fmu.Unlock()
+			if err == nil {
+				w.ops.Add(uint64(ops))
+				w.fsyncs.Add(1)
+				w.bytesOut.Add(uint64(len(w.wbuf)))
+				w.batchHist[histBucket(ops)].Add(1)
+			}
+		}
+		if err != nil {
+			w.qmu.Lock()
+			if w.err == nil {
+				w.err = err
+			}
+			w.qmu.Unlock()
+		}
+	}
+	for _, r := range batch {
+		r.done <- err
+	}
+}
+
+// histBucket maps a batch size to its power-of-two histogram bucket:
+// bucket b counts batches of (2^(b-1), 2^b] ops, bucket 0 is size 1.
+func histBucket(n int) int {
+	b := 0
+	for n > 1 {
+		n = (n + 1) / 2
+		b++
+	}
+	if b >= batchHistBuckets {
+		b = batchHistBuckets - 1
+	}
+	return b
+}
+
+// compactTo swaps the journal for its tail past the logical offset off:
+// everything below off is covered by the snapshot the caller just
+// wrote; everything at or past it — journaled and possibly acked while
+// the snapshot was being written — must survive, preserving the PR 2
+// offset-tracking fix. The caller must have barrier()ed first so the
+// file is complete through off.
+func (w *journalWriter) compactTo(off int64, path string) error {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	var tail []byte
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if keep := off - w.base; int64(len(data)) > keep {
+		tail = data[keep:]
+	}
+	if err := writeFileAtomic(path, func(f *os.File) error {
+		if len(tail) == 0 {
+			return nil
+		}
+		_, err := f.Write(tail)
+		return err
+	}); err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f.Close()
+	w.f = nf
+	w.base = off
+	return nil
+}
+
+// close flushes every queued op, stops the writer, and closes the file.
+// Appends issued after close fail rather than vanish.
+func (w *journalWriter) close() error {
+	w.qmu.Lock()
+	if w.closed {
+		w.qmu.Unlock()
+		<-w.exited
+		return nil
+	}
+	w.closed = true
+	w.qmu.Unlock()
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+	<-w.exited
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	return w.f.Close()
+}
+
+// journalPathIn returns dir's journal file path.
+func journalPathIn(dir string) string {
+	return filepath.Join(dir, journalFile)
+}

@@ -24,16 +24,20 @@ import (
 // The layout is crash-safe: a compacted snapshot file written
 // atomically (temp file + rename) plus an append-only journal. Every
 // registration and accepted result batch is appended to the journal and
-// synced to stable storage before it is acknowledged to the client.
-// SaveState compacts: it writes a fresh snapshot covering the journal
-// up to a recorded offset, then atomically replaces the journal with
-// whatever was appended past that offset while the snapshot was being
-// written (acked ops are never dropped). A crash at any point leaves
-// either the old snapshot + full journal or the new snapshot + tail
-// journal — and replay is idempotent (registrations dedup by nonce,
-// result batches dedup by per-client sequence number, testcases dedup
-// by ID), so both recover to the same state. A partial final journal
-// line (crash mid-append) is detected and dropped.
+// synced to stable storage — by the group-commit writer in journal.go,
+// one fsync per batch of concurrent ops — before it is acknowledged to
+// the client. SaveState compacts: it records the journal's logical
+// offset while holding every state lock (so the state copy provably
+// covers all ops below the offset — each op is enqueued before it
+// becomes visible under those locks), writes a fresh snapshot, then
+// atomically replaces the journal with whatever was appended past that
+// offset while the snapshot was being written (acked ops are never
+// dropped). A crash at any point leaves either the old snapshot + full
+// journal or the new snapshot + tail journal — and replay is idempotent
+// (registrations dedup by nonce, result batches dedup by per-client
+// sequence number, testcases dedup by ID), so both recover to the same
+// state. A partial final journal line (crash mid-append) is detected
+// and dropped.
 //
 // Both files hold one JSON op per line. The snapshot is simply a
 // compacted journal, so one parser reads both.
@@ -83,27 +87,11 @@ type journalOp struct {
 	Payload string `json:"payload,omitempty"`
 }
 
-// appendJournalLocked writes one op to the journal and syncs it to
-// stable storage, so an op is durable — even across an OS crash or
-// power loss — before the caller acknowledges it. Callers hold s.mu.
-func (s *Server) appendJournalLocked(op journalOp) error {
-	b, err := json.Marshal(op)
-	if err != nil {
-		return err
-	}
-	if _, err := s.journal.Write(append(b, '\n')); err != nil {
-		return fmt.Errorf("server: journal append: %w", err)
-	}
-	if err := s.journal.Sync(); err != nil {
-		return fmt.Errorf("server: journal sync: %w", err)
-	}
-	return nil
-}
-
 // OpenState attaches the server to a state directory: it restores any
-// existing snapshot + journal, then opens the journal for appending so
-// every subsequent registration and accepted result batch is durable
-// before it is acknowledged. Call SaveState periodically to compact.
+// existing snapshot + journal, then starts the group-commit journal
+// writer so every subsequent registration and accepted result batch is
+// durable before it is acknowledged. Call SaveState periodically to
+// compact. JournalBatch and JournalDelay must be set before OpenState.
 func (s *Server) OpenState(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -115,14 +103,96 @@ func (s *Server) OpenState(dir string) error {
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	if s.journal != nil {
-		s.journal.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
 	}
-	s.journal = f
+	jw := newJournalWriter(f, fi.Size(), s.JournalBatch, s.JournalDelay)
+	jw.syncCost = s.JournalSyncCost
+	go jw.run()
+	s.stateMu.Lock()
+	old := s.jw
+	s.jw = jw
 	s.stateDir = dir
-	s.mu.Unlock()
+	s.stateMu.Unlock()
+	if old != nil {
+		return old.close()
+	}
 	return nil
+}
+
+// stateCopy is the coordinated cut SaveState works from.
+type stateCopy struct {
+	tcs     []*testcase.Testcase
+	runs    []*core.Run
+	clients []clientEntry
+	// journalOff is the logical journal offset the copy covers; ops at
+	// or past it must survive compaction. Valid only when compact.
+	journalOff int64
+	journaling bool
+	compact    bool
+	jw         *journalWriter
+}
+
+type clientEntry struct {
+	id    string
+	nonce string
+	snap  protocol.Snapshot
+	seq   uint64
+}
+
+// copyState takes every state lock in hierarchy order (regMu, tcMu,
+// shards, resMu) and copies the stores. Because every mutation enqueues
+// its journal op before becoming visible under these locks, the copy
+// covers every journal op below the recorded offset — the invariant
+// that makes compaction lossless on a live server.
+func (s *Server) copyState(dir string) stateCopy {
+	jw := s.journal()
+	s.stateMu.Lock()
+	stateDir := s.stateDir
+	s.stateMu.Unlock()
+
+	s.regMu.Lock()
+	s.tcMu.RLock()
+	for i := range s.shards {
+		s.shards[i].lock()
+	}
+	s.resMu.Lock()
+
+	c := stateCopy{
+		jw:         jw,
+		journaling: jw != nil,
+		compact:    jw != nil && stateDir == dir,
+	}
+	c.tcs = make([]*testcase.Testcase, len(s.testcases))
+	copy(c.tcs, s.testcases)
+	c.runs = make([]*core.Run, len(s.results))
+	copy(c.runs, s.results)
+	nonceByID := make(map[string]string, len(s.nonces))
+	for nonce, id := range s.nonces {
+		nonceByID[id] = nonce
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for id, snap := range sh.clients {
+			c.clients = append(c.clients, clientEntry{id: id, nonce: nonceByID[id], snap: snap, seq: sh.lastSeq[id]})
+		}
+	}
+	if c.compact {
+		// Everything enqueued so far is visible in the copy above; the
+		// tail past this offset is preserved by compactTo.
+		c.journalOff = jw.enqueued()
+	}
+
+	s.resMu.Unlock()
+	for i := numShards - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
+	}
+	s.tcMu.RUnlock()
+	s.regMu.Unlock()
+	sort.Slice(c.clients, func(i, j int) bool { return c.clients[i].id < c.clients[j].id })
+	return c
 }
 
 // SaveState writes a compacted snapshot of the server's stores to dir
@@ -139,41 +209,7 @@ func (s *Server) SaveState(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	tcs := make([]*testcase.Testcase, len(s.testcases))
-	copy(tcs, s.testcases)
-	runs := make([]*core.Run, len(s.results))
-	copy(runs, s.results)
-	type clientEntry struct {
-		id    string
-		nonce string
-		snap  protocol.Snapshot
-		seq   uint64
-	}
-	clients := make([]clientEntry, 0, len(s.clients))
-	nonceByID := make(map[string]string, len(s.nonces))
-	for nonce, id := range s.nonces {
-		nonceByID[id] = nonce
-	}
-	for id, snap := range s.clients {
-		clients = append(clients, clientEntry{id: id, nonce: nonceByID[id], snap: snap, seq: s.lastSeq[id]})
-	}
-	journaling := s.journal != nil
-	// The in-memory copy above covers the journal only up to this byte
-	// offset; ops appended while the snapshot is being written (the lock
-	// is released below) live past it and must survive compaction.
-	var journalOff int64
-	compactJournal := journaling && s.stateDir == dir
-	if compactJournal {
-		fi, err := s.journal.Stat()
-		if err != nil {
-			s.mu.Unlock()
-			return err
-		}
-		journalOff = fi.Size()
-	}
-	s.mu.Unlock()
-	sort.Slice(clients, func(i, j int) bool { return clients[i].id < clients[j].id })
+	c := s.copyState(dir)
 
 	err := writeFileAtomic(filepath.Join(dir, snapshotFile), func(f *os.File) error {
 		w := bufio.NewWriter(f)
@@ -188,24 +224,24 @@ func (s *Server) SaveState(dir string) error {
 		if err := emit(journalOp{Op: opMeta, Ver: stateVersion}); err != nil {
 			return err
 		}
-		if len(tcs) > 0 {
+		if len(c.tcs) > 0 {
 			var b strings.Builder
-			if err := testcase.EncodeAll(&b, tcs); err != nil {
+			if err := testcase.EncodeAll(&b, c.tcs); err != nil {
 				return err
 			}
 			if err := emit(journalOp{Op: opTestcases, Payload: b.String()}); err != nil {
 				return err
 			}
 		}
-		for _, c := range clients {
-			snap := c.snap
-			if err := emit(journalOp{Op: opClient, ID: c.id, Nonce: c.nonce, Snapshot: &snap, LastSeq: c.seq}); err != nil {
+		for _, cl := range c.clients {
+			snap := cl.snap
+			if err := emit(journalOp{Op: opClient, ID: cl.id, Nonce: cl.nonce, Snapshot: &snap, LastSeq: cl.seq}); err != nil {
 				return err
 			}
 		}
-		if len(runs) > 0 {
+		if len(c.runs) > 0 {
 			var b strings.Builder
-			if err := core.EncodeRuns(&b, runs, true); err != nil {
+			if err := core.EncodeRuns(&b, c.runs, true); err != nil {
 				return err
 			}
 			if err := emit(journalOp{Op: opResults, Payload: b.String()}); err != nil {
@@ -221,53 +257,25 @@ func (s *Server) SaveState(dir string) error {
 		testHookAfterSnapshot(s)
 	}
 
-	// The snapshot covers the journal up to journalOff. Ops appended
-	// past it while the snapshot was being written are journaled and
-	// acked but in neither the snapshot nor (after a blind truncate) the
-	// journal — so carry that tail into the compacted journal. A crash
-	// before the swap is harmless: old prefix + tail replay dedups.
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if compactJournal {
-		journalPath := filepath.Join(dir, journalFile)
-		var tail []byte
-		if fi, err := os.Stat(journalPath); err == nil && fi.Size() > journalOff {
-			data, err := os.ReadFile(journalPath)
-			if err != nil {
-				return err
-			}
-			if int64(len(data)) > journalOff {
-				tail = data[journalOff:]
-			}
-		}
-		// Atomically replace the journal with just the tail (empty when
-		// nothing raced the snapshot), then swap the append handle onto
-		// the new file.
-		if err := writeFileAtomic(journalPath, func(f *os.File) error {
-			if len(tail) == 0 {
-				return nil
-			}
-			_, err := f.Write(tail)
-			return err
-		}); err != nil {
+	if c.compact {
+		// The snapshot covers the journal below c.journalOff. Ops
+		// appended past it while the snapshot was being written are
+		// journaled and acked but in neither the snapshot nor (after a
+		// blind truncate) the journal — so carry that tail into the
+		// compacted journal. A crash before the swap is harmless: old
+		// prefix + tail replay dedups. The barrier flushes the queue so
+		// the on-disk file is complete through the offset.
+		if err := c.jw.barrier(); err != nil {
 			return err
 		}
-		if s.journal != nil {
-			f, err := os.OpenFile(journalPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
-			if err != nil {
-				return err
-			}
-			s.journal.Close()
-			s.journal = f
-		}
-		return nil
+		return c.jw.compactTo(c.journalOff, journalPathIn(dir))
 	}
 	// Not journaling into dir (detached server, or a snapshot exported
 	// to a foreign directory): leave any live journal alone, but empty
 	// dir's own journal file so a stale one is not replayed on top of
 	// the fresh snapshot.
-	if journaling || fileExists(filepath.Join(dir, journalFile)) {
-		return os.WriteFile(filepath.Join(dir, journalFile), nil, 0o644)
+	if c.journaling || fileExists(journalPathIn(dir)) {
+		return os.WriteFile(journalPathIn(dir), nil, 0o644)
 	}
 	return nil
 }
@@ -284,7 +292,7 @@ func (s *Server) LoadState(dir string) error {
 	if err := s.loadOps(filepath.Join(dir, snapshotFile), false); err != nil {
 		return err
 	}
-	return s.loadOps(filepath.Join(dir, journalFile), true)
+	return s.loadOps(journalPathIn(dir), true)
 }
 
 // loadOps replays one op-per-line file. tolerateTail drops a partial or
@@ -337,9 +345,7 @@ func (s *Server) applyOp(op journalOp) error {
 		if err != nil {
 			return err
 		}
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return s.addTestcasesLocked(tcs, false)
+		return s.addTestcases(tcs, false)
 	case opClient:
 		if op.ID == "" {
 			return fmt.Errorf("client op without id")
@@ -347,33 +353,41 @@ func (s *Server) applyOp(op journalOp) error {
 		if op.Snapshot == nil {
 			return fmt.Errorf("client op without snapshot")
 		}
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		s.clients[op.ID] = *op.Snapshot
+		s.regMu.Lock()
+		sh := s.shardFor(op.ID)
+		sh.lock()
+		sh.clients[op.ID] = *op.Snapshot
+		if op.LastSeq > sh.lastSeq[op.ID] {
+			sh.lastSeq[op.ID] = op.LastSeq
+		}
+		sh.mu.Unlock()
 		if op.Nonce != "" {
 			s.nonces[op.Nonce] = op.ID
 		}
-		if op.LastSeq > s.lastSeq[op.ID] {
-			s.lastSeq[op.ID] = op.LastSeq
-		}
+		s.regMu.Unlock()
 		return nil
 	case opResults:
 		runs, err := core.DecodeRuns(strings.NewReader(op.Payload))
 		if err != nil {
 			return err
 		}
-		s.mu.Lock()
-		defer s.mu.Unlock()
+		sh := s.shardFor(op.ID)
+		sh.lock()
 		if op.Seq > 0 {
-			if _, ok := s.clients[op.ID]; !ok {
+			if _, ok := sh.clients[op.ID]; !ok {
+				sh.mu.Unlock()
 				return fmt.Errorf("results op for unknown client %q", op.ID)
 			}
-			if op.Seq <= s.lastSeq[op.ID] {
+			if op.Seq <= sh.lastSeq[op.ID] {
+				sh.mu.Unlock()
 				return nil // already covered by the snapshot
 			}
-			s.lastSeq[op.ID] = op.Seq
+			sh.lastSeq[op.ID] = op.Seq
 		}
+		s.resMu.Lock()
 		s.results = append(s.results, runs...)
+		s.resMu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	default:
 		return fmt.Errorf("unknown op %q", op.Op)

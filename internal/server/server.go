@@ -12,13 +12,24 @@
 // by client nonce, and — when a state directory is attached — every
 // accepted batch is journaled to disk before it is acknowledged, so a
 // crash after an ack can never lose the acked results.
+//
+// The ingest path is built for fleet-scale concurrency: per-client
+// state (registration lookups, upload-sequence dedup) lives in hash
+// shards so concurrent clients contend only when they collide on a
+// shard, and journal appends go through a group-commit writer
+// (journal.go) that amortizes one fsync across every op that arrived
+// while the previous flush was in flight. Mutations follow a strict
+// apply-then-journal-then-ack order: state changes become visible in
+// memory (with the journal op already enqueued) before the fsync, and
+// the client ack waits for the fsync — so a snapshot taken under all
+// state locks always covers every journaled byte below the recorded
+// offset, which is what keeps live compaction (SaveState) lossless.
 package server
 
 import (
 	"fmt"
 	"math"
 	"net"
-	"os"
 	"strings"
 	"sync"
 	"time"
@@ -28,6 +39,34 @@ import (
 	"uucs/internal/stats"
 	"uucs/internal/testcase"
 )
+
+// numShards is the number of per-client state shards. A power of two so
+// shard selection is a mask; 16 comfortably exceeds the core counts the
+// server runs on, so shard collisions — not the shard count — bound
+// contention.
+const numShards = 16
+
+// shard holds the per-client state for the client ids that hash to it.
+// Lock ordering: regMu < tcMu < shard.mu (ascending index) < resMu;
+// any path holding several must acquire them in that order.
+type shard struct {
+	mu sync.Mutex
+	// clients maps registered client ids to their machine snapshots.
+	clients map[string]protocol.Snapshot
+	// lastSeq tracks, per client, the highest upload batch sequence
+	// number whose journal op has been enqueued; retried batches at or
+	// below it are duplicates.
+	lastSeq map[string]uint64
+	// locks counts acquisitions, exported via Stats for contention
+	// observability.
+	locks counter
+}
+
+// lock acquires the shard mutex, counting the acquisition.
+func (sh *shard) lock() {
+	sh.mu.Lock()
+	sh.locks.Add(1)
+}
 
 // Server is a UUCS server. All methods are safe for concurrent use; one
 // goroutine is spawned per client connection.
@@ -43,66 +82,117 @@ type Server struct {
 	// arrive or be answered). Zero means no limit. Set before Serve.
 	IdleTimeout time.Duration
 
-	mu        sync.Mutex
-	seed      uint64
+	// JournalBatch caps how many ops one group-commit fsync may cover
+	// (0 means the default, 64; 1 degenerates to PR 2's fsync-per-op
+	// behavior and is the loadgen baseline). Set before OpenState.
+	JournalBatch int
+	// JournalDelay, when positive, lets the journal writer wait that
+	// long for more ops before fsyncing a sub-capacity batch — trading
+	// ack latency for fewer flushes. Zero (the default) never waits.
+	// Set before OpenState.
+	JournalDelay time.Duration
+	// JournalSyncCost, when positive, stretches every journal fsync to
+	// at least this long, modeling a slower storage device. Measurement
+	// rigs use it to make group-commit behavior reproducible on
+	// hardware whose real fsync is near-free; production leaves it
+	// zero. Set before OpenState.
+	JournalSyncCost time.Duration
+
+	seed uint64
+
+	// tcMu guards the testcase store (read-mostly: every sync samples
+	// it, additions are rare).
+	tcMu      sync.RWMutex
 	testcases []*testcase.Testcase
 	tcIndex   map[string]int
-	results   []*core.Run
-	clients   map[string]protocol.Snapshot
+
+	// resMu guards the uploaded-run store (append-only).
+	resMu   sync.Mutex
+	results []*core.Run
+
+	// regMu serializes registration: the nonce table and the id
+	// assignment probe. Registration happens once per client lifetime,
+	// so this stays cold while per-message paths run on the shards.
+	regMu sync.Mutex
 	// nonces maps a registration nonce to the id it was assigned, so a
 	// retried registration is answered with the same id.
 	nonces map[string]string
-	// lastSeq tracks, per client, the highest applied upload batch
-	// sequence number; retried batches at or below it are duplicates.
-	lastSeq map[string]uint64
-	// journal, when non-nil, is the append-only on-disk log: every
-	// registration and accepted result batch is written (and synced to
-	// the OS) before it is acknowledged.
-	journal *os.File
-	// stateDir is the attached state directory ("" when detached).
+
+	shards [numShards]shard
+
+	// stateMu guards the journal writer handle and state directory.
+	stateMu  sync.Mutex
+	jw       *journalWriter
 	stateDir string
 
+	connMu sync.Mutex
 	ln     net.Listener
 	wg     sync.WaitGroup
 	conns  map[*protocol.Conn]struct{}
 	closed bool
+
+	stats ingestCounters
 }
 
 // New returns an empty server. seed drives the random testcase sampling.
 func New(seed uint64) *Server {
-	return &Server{
+	s := &Server{
 		seed:    seed,
 		tcIndex: make(map[string]int),
-		clients: make(map[string]protocol.Snapshot),
 		nonces:  make(map[string]string),
-		lastSeq: make(map[string]uint64),
 		conns:   make(map[*protocol.Conn]struct{}),
 	}
+	for i := range s.shards {
+		s.shards[i].clients = make(map[string]protocol.Snapshot)
+		s.shards[i].lastSeq = make(map[string]uint64)
+	}
+	return s
+}
+
+// shardFor returns the shard owning a client id.
+func (s *Server) shardFor(clientID string) *shard {
+	return &s.shards[hashString(0xcbf29ce484222325, clientID)&(numShards-1)]
+}
+
+// journal returns the attached journal writer, nil when detached.
+func (s *Server) journal() *journalWriter {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	return s.jw
 }
 
 // AddTestcases adds testcases to the store; new testcases can be added
 // to the server at any time and propagate to clients at their next hot
 // sync. Duplicate IDs are replaced.
 func (s *Server) AddTestcases(tcs ...*testcase.Testcase) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.addTestcasesLocked(tcs, true)
+	return s.addTestcases(tcs, true)
 }
 
-func (s *Server) addTestcasesLocked(tcs []*testcase.Testcase, journal bool) error {
+func (s *Server) addTestcases(tcs []*testcase.Testcase, journal bool) error {
 	for _, tc := range tcs {
 		if err := tc.Validate(); err != nil {
 			return err
 		}
 	}
-	if journal && s.journal != nil {
+	var op []byte
+	jw := s.journal()
+	if journal && jw != nil {
 		var b strings.Builder
 		if err := testcase.EncodeAll(&b, tcs); err != nil {
 			return err
 		}
-		if err := s.appendJournalLocked(journalOp{Op: opTestcases, Payload: b.String()}); err != nil {
+		var err error
+		op, err = marshalOp(journalOp{Op: opTestcases, Payload: b.String()})
+		if err != nil {
 			return err
 		}
+	}
+	s.tcMu.Lock()
+	var pending *journalReq
+	if op != nil {
+		// Enqueued under tcMu: state visible under this lock implies
+		// the op is in the journal queue (the compaction invariant).
+		pending = jw.enqueue(op)
 	}
 	for _, tc := range tcs {
 		if i, ok := s.tcIndex[tc.ID]; ok {
@@ -112,20 +202,24 @@ func (s *Server) addTestcasesLocked(tcs []*testcase.Testcase, journal bool) erro
 		s.tcIndex[tc.ID] = len(s.testcases)
 		s.testcases = append(s.testcases, tc)
 	}
+	s.tcMu.Unlock()
+	if pending != nil {
+		return <-pending.done
+	}
 	return nil
 }
 
 // TestcaseCount returns the number of stored testcases.
 func (s *Server) TestcaseCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.tcMu.RLock()
+	defer s.tcMu.RUnlock()
 	return len(s.testcases)
 }
 
 // Results returns a copy of all uploaded run records.
 func (s *Server) Results() []*core.Run {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
 	out := make([]*core.Run, len(s.results))
 	copy(out, s.results)
 	return out
@@ -133,16 +227,22 @@ func (s *Server) Results() []*core.Run {
 
 // ClientCount returns the number of registered clients.
 func (s *Server) ClientCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.clients)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.lock()
+		n += len(sh.clients)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Snapshot returns the registration snapshot for a client id.
 func (s *Server) Snapshot(clientID string) (protocol.Snapshot, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	snap, ok := s.clients[clientID]
+	sh := s.shardFor(clientID)
+	sh.lock()
+	defer sh.mu.Unlock()
+	snap, ok := sh.clients[clientID]
 	return snap, ok
 }
 
@@ -182,33 +282,70 @@ func (s *Server) snapshotHash(snap protocol.Snapshot) uint64 {
 // seen before, its original id is returned, so a client retrying after
 // a lost response does not register twice.
 func (s *Server) register(snap protocol.Snapshot, nonce string) (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.regMu.Lock()
 	if nonce != "" {
 		if id, ok := s.nonces[nonce]; ok {
+			s.regMu.Unlock()
 			return id, nil
 		}
 	}
 	h := s.snapshotHash(snap)
-	id := fmt.Sprintf("uucs-%016x", h)
+	var id string
+	var home *shard
 	for {
-		if _, taken := s.clients[id]; !taken {
+		id = fmt.Sprintf("uucs-%016x", h)
+		home = s.shardFor(id)
+		home.lock()
+		_, taken := home.clients[id]
+		if !taken {
+			home.clients[id] = snap
+			home.mu.Unlock()
 			break
 		}
+		home.mu.Unlock()
 		h = hashMix(h, 0x9e3779b97f4a7c15)
-		id = fmt.Sprintf("uucs-%016x", h)
 	}
-	if s.journal != nil {
-		op := journalOp{Op: opClient, ID: id, Nonce: nonce, Snapshot: &snap}
-		if err := s.appendJournalLocked(op); err != nil {
-			return "", err
-		}
-	}
-	s.clients[id] = snap
 	if nonce != "" {
 		s.nonces[nonce] = id
 	}
+	var pending *journalReq
+	jw := s.journal()
+	if jw != nil {
+		op, err := marshalOp(journalOp{Op: opClient, ID: id, Nonce: nonce, Snapshot: &snap})
+		if err == nil {
+			// Enqueued while regMu pins the nonce/id assignment, so any
+			// state copy taken under regMu covers this op.
+			pending = jw.enqueue(op)
+		} else {
+			pending = failedReq(err)
+		}
+	}
+	s.regMu.Unlock()
+	if pending != nil {
+		if err := <-pending.done; err != nil {
+			// The registration never became durable and was never
+			// acked; withdraw it so a crashless server does not carry
+			// state its journal cannot explain.
+			s.regMu.Lock()
+			home.lock()
+			delete(home.clients, id)
+			home.mu.Unlock()
+			if nonce != "" && s.nonces[nonce] == id {
+				delete(s.nonces, nonce)
+			}
+			s.regMu.Unlock()
+			return "", err
+		}
+	}
+	s.stats.registrations.Add(1)
 	return id, nil
+}
+
+// failedReq returns a journalReq that already carries err.
+func failedReq(err error) *journalReq {
+	r := &journalReq{done: make(chan error, 1)}
+	r.done <- err
+	return r
 }
 
 // sample returns up to want testcases the client does not yet have,
@@ -220,8 +357,8 @@ func (s *Server) register(snap protocol.Snapshot, nonce string) (string, error) 
 // the fleet runs serially or fully interleaved — and a retried sync
 // with the same have-list receives the identical sample again.
 func (s *Server) sample(clientID string, have map[string]bool, want int) []*testcase.Testcase {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.tcMu.RLock()
+	defer s.tcMu.RUnlock()
 	var candidates []*testcase.Testcase
 	for _, tc := range s.testcases {
 		if !have[tc.ID] {
@@ -243,38 +380,65 @@ func (s *Server) sample(clientID string, have map[string]bool, want int) []*test
 // addResults ingests an uploaded run batch. seq 0 marks an unsequenced
 // (legacy) upload, applied unconditionally. For seq > 0 the batch is
 // applied exactly once per client: a retried batch (seq at or below the
-// last applied) reports dup without storing anything. The batch is
-// journaled before it is applied, so an acked batch survives a crash.
+// last applied) reports dup without storing anything. The batch's
+// journal op is enqueued before the shard lock is released and the ack
+// waits for the fsync covering it, so an acked batch survives a crash.
 func (s *Server) addResults(clientID string, seq uint64, payload string, runs []*core.Run) (dup bool, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if seq > 0 && seq <= s.lastSeq[clientID] {
-		return true, nil
-	}
-	if s.journal != nil {
-		op := journalOp{Op: opResults, ID: clientID, Seq: seq, Payload: payload}
-		if err := s.appendJournalLocked(op); err != nil {
+	jw := s.journal()
+	var op []byte
+	if jw != nil {
+		op, err = marshalOp(journalOp{Op: opResults, ID: clientID, Seq: seq, Payload: payload})
+		if err != nil {
 			return false, err
 		}
 	}
-	s.results = append(s.results, runs...)
-	if seq > 0 {
-		s.lastSeq[clientID] = seq
+	sh := s.shardFor(clientID)
+	sh.lock()
+	if seq > 0 && seq <= sh.lastSeq[clientID] {
+		sh.mu.Unlock()
+		if jw != nil {
+			// The original upload may still be inside a group commit
+			// (its client timed out and retried); the dup ack must not
+			// claim durability before that commit lands.
+			if err := jw.barrier(); err != nil {
+				return false, err
+			}
+		}
+		s.stats.dupBatches.Add(1)
+		return true, nil
 	}
+	var pending *journalReq
+	if jw != nil {
+		pending = jw.enqueue(op)
+	}
+	if seq > 0 {
+		sh.lastSeq[clientID] = seq
+	}
+	s.resMu.Lock()
+	s.results = append(s.results, runs...)
+	s.resMu.Unlock()
+	sh.mu.Unlock()
+	if pending != nil {
+		if err := <-pending.done; err != nil {
+			return false, err
+		}
+	}
+	s.stats.batches.Add(1)
+	s.stats.runs.Add(uint64(len(runs)))
 	return false, nil
 }
 
 // Serve accepts connections on ln until Close. It blocks.
 func (s *Server) Serve(ln net.Listener) error {
-	s.mu.Lock()
+	s.connMu.Lock()
 	s.ln = ln
-	s.mu.Unlock()
+	s.connMu.Unlock()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			s.mu.Lock()
+			s.connMu.Lock()
 			closed := s.closed
-			s.mu.Unlock()
+			s.connMu.Unlock()
 			if closed {
 				return nil
 			}
@@ -282,21 +446,21 @@ func (s *Server) Serve(ln net.Listener) error {
 		}
 		pc := protocol.NewConn(conn)
 		pc.SetTimeout(s.IdleTimeout)
-		s.mu.Lock()
+		s.connMu.Lock()
 		if s.closed {
-			s.mu.Unlock()
+			s.connMu.Unlock()
 			pc.Close()
 			return nil
 		}
 		s.conns[pc] = struct{}{}
-		s.mu.Unlock()
+		s.connMu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			s.handle(pc)
-			s.mu.Lock()
+			s.connMu.Lock()
 			delete(s.conns, pc)
-			s.mu.Unlock()
+			s.connMu.Unlock()
 		}()
 	}
 }
@@ -315,26 +479,30 @@ func (s *Server) ListenAndServe(addr string) (string, error) {
 }
 
 // Close stops accepting, severs all live client connections (a crashing
-// server does not say goodbye), and waits for in-flight sessions.
+// server does not say goodbye), flushes the journal, and waits for
+// in-flight sessions.
 func (s *Server) Close() error {
-	s.mu.Lock()
+	s.connMu.Lock()
 	s.closed = true
 	ln := s.ln
 	for pc := range s.conns {
 		pc.Close()
 	}
-	s.mu.Unlock()
+	s.connMu.Unlock()
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
 	s.wg.Wait()
-	s.mu.Lock()
-	if s.journal != nil {
-		s.journal.Close()
-		s.journal = nil
+	s.stateMu.Lock()
+	jw := s.jw
+	s.jw = nil
+	s.stateMu.Unlock()
+	if jw != nil {
+		if cerr := jw.close(); err == nil {
+			err = cerr
+		}
 	}
-	s.mu.Unlock()
 	return err
 }
 
@@ -410,10 +578,17 @@ func (s *Server) dispatch(conn *protocol.Conn, msg protocol.Message) error {
 }
 
 func (s *Server) checkClient(id string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.clients[id]; !ok {
+	sh := s.shardFor(id)
+	sh.lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.clients[id]; !ok {
 		return fmt.Errorf("unknown client %q (register first)", id)
 	}
 	return nil
+}
+
+// marshalOp encodes one journal op as a newline-terminated JSON line,
+// returning a private copy safe to hand to the journal writer queue.
+func marshalOp(op journalOp) ([]byte, error) {
+	return appendJSONLine(nil, op)
 }

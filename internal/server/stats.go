@@ -1,0 +1,115 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+)
+
+// Ingest observability. Every counter here is lock-free so reading
+// stats never perturbs the hot path it is measuring; uucs-server
+// publishes them as expvar entries on the -debug-addr listener and
+// uucs-loadgen prints them after a run.
+
+// counter is an atomic accumulator.
+type counter = atomic.Uint64
+
+// ingestCounters aggregates the server-level ingest counters (journal
+// counters live on the journalWriter).
+type ingestCounters struct {
+	registrations counter
+	batches       counter
+	dupBatches    counter
+	runs          counter
+}
+
+// IngestStats is a point-in-time snapshot of the server's ingest and
+// journal activity.
+type IngestStats struct {
+	// Registrations is the number of accepted (non-dedup) registrations.
+	Registrations uint64 `json:"registrations"`
+	// Batches is the number of applied (non-duplicate) result batches.
+	Batches uint64 `json:"batches"`
+	// DupBatches is the number of retried batches answered as dups.
+	DupBatches uint64 `json:"dup_batches"`
+	// Runs is the total run records ingested.
+	Runs uint64 `json:"runs"`
+	// JournalOps is the number of ops made durable by the journal.
+	JournalOps uint64 `json:"journal_ops"`
+	// JournalFsyncs is the number of fsync calls issued — the group
+	// commit amortization is JournalOps / JournalFsyncs.
+	JournalFsyncs uint64 `json:"journal_fsyncs"`
+	// JournalBytes is the total bytes appended to the journal.
+	JournalBytes uint64 `json:"journal_bytes"`
+	// MeanBatch is JournalOps / JournalFsyncs (0 when no fsync ran).
+	MeanBatch float64 `json:"mean_batch"`
+	// BatchHist counts group-commit batches by power-of-two size
+	// bucket: BatchHist[0] is batches of 1 op, BatchHist[b] covers
+	// (2^(b-1), 2^b] ops.
+	BatchHist []uint64 `json:"batch_hist,omitempty"`
+	// ShardLocks is the per-shard lock acquisition count, the direct
+	// measure of how ingest load spreads across the shards.
+	ShardLocks []uint64 `json:"shard_locks"`
+}
+
+// Stats returns a snapshot of the ingest counters.
+func (s *Server) Stats() IngestStats {
+	st := IngestStats{
+		Registrations: s.stats.registrations.Load(),
+		Batches:       s.stats.batches.Load(),
+		DupBatches:    s.stats.dupBatches.Load(),
+		Runs:          s.stats.runs.Load(),
+		ShardLocks:    make([]uint64, numShards),
+	}
+	for i := range s.shards {
+		st.ShardLocks[i] = s.shards[i].locks.Load()
+	}
+	if jw := s.journal(); jw != nil {
+		st.JournalOps = jw.ops.Load()
+		st.JournalFsyncs = jw.fsyncs.Load()
+		st.JournalBytes = jw.bytesOut.Load()
+		if st.JournalFsyncs > 0 {
+			st.MeanBatch = float64(st.JournalOps) / float64(st.JournalFsyncs)
+		}
+		hist := make([]uint64, 0, batchHistBuckets)
+		for i := range jw.batchHist {
+			hist = append(hist, jw.batchHist[i].Load())
+		}
+		// Trim trailing empty buckets so small runs print compactly.
+		for len(hist) > 0 && hist[len(hist)-1] == 0 {
+			hist = hist[:len(hist)-1]
+		}
+		st.BatchHist = hist
+	}
+	return st
+}
+
+// jsonLineEncoder is a pooled buffer + encoder pair for one-line JSON
+// encodings (journal ops and state snapshots share it with nothing on
+// the wire path — protocol has its own pool).
+type jsonLineEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonLinePool = sync.Pool{New: func() any {
+	e := &jsonLineEncoder{}
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
+// appendJSONLine appends v's JSON encoding plus a trailing newline to
+// dst via the pooled encoder, so hot callers allocate only the returned
+// slice growth.
+func appendJSONLine(dst []byte, v any) ([]byte, error) {
+	e := jsonLinePool.Get().(*jsonLineEncoder)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		jsonLinePool.Put(e)
+		return dst, err
+	}
+	dst = append(dst, e.buf.Bytes()...) // Encode already appended '\n'
+	jsonLinePool.Put(e)
+	return dst, nil
+}
