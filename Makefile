@@ -6,12 +6,15 @@
 # to the new baseline (do this only on the reference machine, with the
 # regression understood). `make loadgen-smoke` drives a short
 # closed-loop ingest run under the race detector and fails if any
-# acked batch is lost or double-counted.
+# acked batch is lost or double-counted. `make e2e` runs the
+# process-level chaos suite (real binaries, kill -9 inside the journal
+# fsync window, seeded regression replay); `make e2e-smoke` and `make
+# e2e-seeds` run its halves.
 
 GO ?= go
 THRESHOLD ?= 0.15
 
-.PHONY: all build test race bench bench-check bench-baseline loadgen-smoke
+.PHONY: all build test race bench bench-check bench-baseline loadgen-smoke e2e e2e-smoke e2e-seeds
 
 all: build test
 
@@ -35,3 +38,12 @@ bench-baseline:
 
 loadgen-smoke:
 	$(GO) run -race ./cmd/uucs-loadgen -clients 8 -duration 2s -smoke
+
+e2e:
+	scripts/e2e/run.sh
+
+e2e-smoke:
+	scripts/e2e/run.sh -smoke
+
+e2e-seeds:
+	scripts/e2e/run.sh -seeds

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"uucs/internal/loadgen"
+	"uucs/internal/telemetry"
 )
 
 func main() {
@@ -123,6 +124,14 @@ func print(label string, rep *loadgen.Report, asJSON bool) {
 			fmt.Printf("%s: batch-size histogram (1, 2, ≤4, ≤8, ...): %v\n", label, st.BatchHist)
 		}
 		fmt.Printf("%s: verification: %d lost, %d duplicated\n", label, rep.Lost, rep.Duplicated)
+	}
+	if rep.Telemetry != nil {
+		// The USE snapshot closes every run: if throughput regressed,
+		// the saturated-resource verdict says which resource to blame.
+		fmt.Printf("\n%s: ", label)
+		if err := telemetry.WriteTable(os.Stdout, rep.Telemetry); err != nil {
+			fatal(err)
+		}
 	}
 }
 

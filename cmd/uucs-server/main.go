@@ -17,13 +17,19 @@
 // more ops). -idle-timeout disconnects clients that go silent
 // mid-conversation (0 keeps them forever). With -debug-addr, the
 // /debug/vars page exposes the ingest counters (uucs_ingest: batches,
-// journal fsyncs, group-commit batch histogram, per-shard lock spread).
+// journal fsyncs, group-commit batch histogram, per-shard lock spread)
+// and /telemetry serves the USE-method snapshot — utilization,
+// saturation and errors per ingest resource, with a 0-100 health score
+// naming the saturated resource (watch it live with uucs-top -w).
+// -crash-after N is the e2e chaos hook: the process SIGKILLs itself
+// between the Nth journaled op's buffered write and its fsync.
 package main
 
 import (
 	"expvar"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the debug listener
 	"os"
@@ -34,6 +40,7 @@ import (
 	"uucs/internal/core"
 	"uucs/internal/server"
 	"uucs/internal/stats"
+	"uucs/internal/telemetry"
 	"uucs/internal/testcase"
 )
 
@@ -47,9 +54,11 @@ func main() {
 		interval = flag.Duration("flush", 30*time.Second, "result flush interval")
 		stateDir = flag.String("state", "", "state directory: restore on start, journal live, compact on flush/shutdown")
 		idle     = flag.Duration("idle-timeout", 0, "disconnect clients silent for this long (0 = never)")
-		debug    = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (off when empty)")
+		debug    = flag.String("debug-addr", "", "serve net/http/pprof, expvar and /telemetry on this address (off when empty)")
 		jBatch   = flag.Int("journal-batch", 0, "max ops per group-commit fsync (0 = default, 1 = fsync per op)")
 		jDelay   = flag.Duration("journal-delay", 0, "wait this long for more ops before fsyncing a sub-capacity batch (0 = never wait)")
+		jSync    = flag.Duration("fsync-cost", 0, "modeled storage device: stretch each journal fsync to at least this long (0 = real device)")
+		crashAft = flag.Int("crash-after", 0, "TEST HOOK: SIGKILL this process between the Nth journaled op's write and its fsync (requires -state; 0 = off)")
 	)
 	flag.Parse()
 
@@ -64,9 +73,17 @@ func main() {
 		expvar.Publish("uucs_results", expvar.Func(func() any { return len(srv.Results()) }))
 		expvar.Publish("uucs_testcases", expvar.Func(func() any { return srv.TestcaseCount() }))
 		expvar.Publish("uucs_ingest", expvar.Func(func() any { return srv.Stats() }))
+		// /telemetry is the USE-organized view of the same collectors:
+		// a table for humans (and uucs-top -w), ?format=json for tools,
+		// with the 0-100 health score naming the saturated resource.
+		http.Handle("/telemetry", telemetry.Handler(srv.Telemetry))
+		ln, err := net.Listen("tcp", *debug)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("uucs-server: debug listener on http://%s/debug/pprof (telemetry on /telemetry)\n", ln.Addr())
 		go func() {
-			fmt.Printf("uucs-server: debug listener on http://%s/debug/pprof\n", *debug)
-			if err := http.ListenAndServe(*debug, nil); err != nil {
+			if err := http.Serve(ln, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "uucs-server: debug listener:", err)
 			}
 		}()
@@ -74,6 +91,11 @@ func main() {
 	srv.IdleTimeout = *idle
 	srv.JournalBatch = *jBatch
 	srv.JournalDelay = *jDelay
+	srv.JournalSyncCost = *jSync
+	srv.CrashAfterJournalOps = *crashAft
+	if *crashAft > 0 && *stateDir == "" {
+		fatal(fmt.Errorf("-crash-after needs -state (the crash window is the journal fsync)"))
+	}
 	if *stateDir != "" {
 		// OpenState restores AND keeps a journal: state survives even a
 		// kill -9 between flushes.

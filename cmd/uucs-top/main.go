@@ -1,0 +1,140 @@
+// Command uucs-top is `top` for a UUCS server: it polls the server's
+// /telemetry debug endpoint and renders the USE-method snapshot —
+// utilization, saturation and errors per ingest resource, headed by
+// the 0-100 health score and the saturated-resource verdict.
+//
+// Usage:
+//
+//	uucs-top -addr 127.0.0.1:7061            # one snapshot, exit
+//	uucs-top -addr 127.0.0.1:7061 -w         # live watch, 2s refresh
+//	uucs-top -addr 127.0.0.1:7061 -w -interval 500ms
+//	uucs-top -addr 127.0.0.1:7061 -json      # raw snapshot JSON
+//
+// -addr is the server's -debug-addr listener. In watch mode the screen
+// is redrawn each interval and per-interval deltas of the cumulative
+// counters are appended, so a saturating resource is visible as it
+// saturates rather than only in the lifetime averages.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"uucs/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7061", "server -debug-addr to poll")
+		watch    = flag.Bool("w", false, "watch: redraw every -interval")
+		interval = flag.Duration("interval", 2*time.Second, "refresh interval in watch mode")
+		rawJSON  = flag.Bool("json", false, "print the raw snapshot JSON and exit")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	url := fmt.Sprintf("http://%s/telemetry?format=json", *addr)
+
+	if !*watch {
+		snap, err := fetch(client, url)
+		if err != nil {
+			fatal(err)
+		}
+		if *rawJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(snap); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if err := telemetry.WriteTable(os.Stdout, snap); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var prev *telemetry.Snapshot
+	failures := 0
+	for {
+		snap, err := fetch(client, url)
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "uucs-top: %v (attempt %d)\n", err, failures)
+			if failures >= 5 {
+				os.Exit(1)
+			}
+			time.Sleep(*interval)
+			continue
+		}
+		failures = 0
+		// Clear screen + home, then the fresh table.
+		fmt.Print("\x1b[2J\x1b[H")
+		if err := telemetry.WriteTable(os.Stdout, snap); err != nil {
+			fatal(err)
+		}
+		printDeltas(os.Stdout, prev, snap, *interval)
+		prev = snap
+		time.Sleep(*interval)
+	}
+}
+
+// printDeltas reports per-interval movement of the cumulative count
+// samples (units like ops/batches/reqs), turning lifetime counters
+// into rates a watcher can read saturation from.
+func printDeltas(w io.Writer, prev, cur *telemetry.Snapshot, interval time.Duration) {
+	if prev == nil {
+		return
+	}
+	last := make(map[string]float64, len(prev.Samples))
+	for _, sm := range prev.Samples {
+		last[string(sm.Axis)+"/"+sm.Resource+"/"+sm.Metric] = sm.Value
+	}
+	secs := interval.Seconds()
+	if secs <= 0 {
+		return
+	}
+	wrote := false
+	for _, sm := range cur.Samples {
+		switch sm.Unit {
+		case "ops", "batches", "reqs":
+		default:
+			continue
+		}
+		before, ok := last[string(sm.Axis)+"/"+sm.Resource+"/"+sm.Metric]
+		if !ok {
+			continue
+		}
+		if !wrote {
+			fmt.Fprintf(w, "\nper-second over last %v:\n", interval)
+			wrote = true
+		}
+		fmt.Fprintf(w, "  %-16s %-28s %10.1f %s/s\n", sm.Resource, sm.Metric, (sm.Value-before)/secs, sm.Unit)
+	}
+}
+
+func fetch(client *http.Client, url string) (*telemetry.Snapshot, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var snap telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return &snap, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uucs-top:", err)
+	os.Exit(1)
+}

@@ -25,6 +25,7 @@ import (
 	"uucs/internal/core"
 	"uucs/internal/protocol"
 	"uucs/internal/server"
+	"uucs/internal/telemetry"
 	"uucs/internal/testcase"
 )
 
@@ -86,6 +87,12 @@ type Report struct {
 	// Server is the in-process server's ingest counters (nil when
 	// driving an external server).
 	Server *server.IngestStats `json:"server,omitempty"`
+
+	// Telemetry is the USE snapshot taken the moment the load stopped
+	// (nil when driving an external server). Its saturated-resource
+	// verdict is what makes a perf regression self-diagnosing: a run
+	// that got slower says *which* ingest resource saturated.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 
 	// Lost counts acked batches missing from the server's dataset;
 	// Duplicated counts batches present more than once. Both must be
@@ -237,6 +244,7 @@ func Run(cfg Config) (*Report, error) {
 	if srv != nil {
 		st := srv.Stats()
 		rep.Server = &st
+		rep.Telemetry = srv.Telemetry()
 		// Verification: every acked batch in the dataset exactly once.
 		// The workers never retry (the transport is reliable), so the
 		// server must report zero dups and exactly rep.Runs records.

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"uucs/internal/telemetry"
 )
 
 // Group-commit journaling. PR 2 made every accepted op durable before
@@ -104,11 +106,31 @@ type journalWriter struct {
 
 	wbuf []byte // writer-goroutine-only coalescing buffer
 
+	// crashAfter, when positive, SIGKILLs the process (via crashFn)
+	// once opsWritten reaches it — after the buffered write of the
+	// batch that crosses the threshold, before its fsync. Test hook
+	// only; see Server.CrashAfterJournalOps.
+	crashAfter int
+	crashFn    func()
+	opsWritten uint64 // writer-goroutine-only
+
 	// Observability counters (atomic; read by Server.Stats).
 	ops       atomic.Uint64 // non-barrier ops made durable
 	fsyncs    atomic.Uint64 // fsync calls issued
 	bytesOut  atomic.Uint64 // journal bytes written
 	batchHist [batchHistBuckets]atomic.Uint64
+
+	// USE collectors (telemetry): queueDepth tracks reqs accepted but
+	// not yet taken by the writer, ackBacklog tracks ops written or
+	// queued whose ack is still waiting on a covering fsync, flushLat
+	// samples the duration of each flush (write+fsync, including any
+	// modeled syncCost), and flushBusy accumulates total nanoseconds
+	// spent flushing — flushBusy/uptime is the journal device's busy
+	// fraction, the single best "is the disk the bottleneck" reading.
+	queueDepth telemetry.Gauge
+	ackBacklog telemetry.Gauge
+	flushLat   telemetry.Ring
+	flushBusy  telemetry.Counter
 }
 
 // newJournalWriter wraps an append-only journal file whose current size
@@ -148,6 +170,10 @@ func (w *journalWriter) enqueue(data []byte) *journalReq {
 	w.queue = append(w.queue, r)
 	w.enq += int64(len(data))
 	w.qmu.Unlock()
+	w.queueDepth.Add(1)
+	if data != nil {
+		w.ackBacklog.Add(1)
+	}
 	select {
 	case w.kick <- struct{}{}:
 	default:
@@ -185,7 +211,18 @@ func (w *journalWriter) take() (batch []*journalReq, exit bool) {
 	defer w.qmu.Unlock()
 	batch = w.queue
 	w.queue = nil
+	if len(batch) > 0 {
+		w.queueDepth.Add(-int64(len(batch)))
+	}
 	return batch, batch == nil && w.closed
+}
+
+// failed returns the writer's sticky error (nil while healthy) — the
+// USE errors reading for journal poison.
+func (w *journalWriter) failed() error {
+	w.qmu.Lock()
+	defer w.qmu.Unlock()
+	return w.err
 }
 
 // run is the group-commit loop. One goroutine per journalWriter.
@@ -236,14 +273,18 @@ func (w *journalWriter) commit(batch []*journalReq) {
 			}
 		}
 		if len(w.wbuf) > 0 {
-			var start time.Time
-			if w.syncCost > 0 {
-				start = time.Now()
-			}
+			start := time.Now()
 			w.fmu.Lock()
 			if _, werr := w.f.Write(w.wbuf); werr != nil {
 				err = fmt.Errorf("server: journal append: %w", werr)
 			} else {
+				w.opsWritten += uint64(ops)
+				if w.crashAfter > 0 && w.opsWritten >= uint64(w.crashAfter) && w.crashFn != nil {
+					// Crash-test hook: die between the buffered write and
+					// the fsync — bytes appended, nothing durable, no ack
+					// sent. crashFn SIGKILLs the process and never returns.
+					w.crashFn()
+				}
 				if testHookBeforeJournalSync != nil {
 					err = testHookBeforeJournalSync()
 				}
@@ -266,6 +307,11 @@ func (w *journalWriter) commit(batch []*journalReq) {
 				w.fsyncs.Add(1)
 				w.bytesOut.Add(uint64(len(w.wbuf)))
 				w.batchHist[histBucket(ops)].Add(1)
+				// The flush duration covers write + fsync + any modeled
+				// syncCost — what an ack actually waited on.
+				d := time.Since(start)
+				w.flushLat.ObserveDuration(d)
+				w.flushBusy.Add(uint64(d))
 			}
 		}
 		if err != nil {
@@ -277,6 +323,9 @@ func (w *journalWriter) commit(batch []*journalReq) {
 		}
 	}
 	for _, r := range batch {
+		if r.data != nil {
+			w.ackBacklog.Add(-1)
+		}
 		r.done <- err
 	}
 }

@@ -110,6 +110,10 @@ func (s *Server) OpenState(dir string) error {
 	}
 	jw := newJournalWriter(f, fi.Size(), s.JournalBatch, s.JournalDelay)
 	jw.syncCost = s.JournalSyncCost
+	if s.CrashAfterJournalOps > 0 {
+		jw.crashAfter = s.CrashAfterJournalOps
+		jw.crashFn = func() { crashNow(dir, jw.opsWritten) }
+	}
 	go jw.run()
 	s.stateMu.Lock()
 	old := s.jw

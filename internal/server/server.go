@@ -57,14 +57,22 @@ type shard struct {
 	// number whose journal op has been enqueued; retried batches at or
 	// below it are duplicates.
 	lastSeq map[string]uint64
-	// locks counts acquisitions, exported via Stats for contention
-	// observability.
+	// locks counts acquisitions and waits counts the acquisitions that
+	// found the mutex held — waits/locks is the USE utilization reading
+	// for shard contention, exported via Stats and Telemetry.
 	locks counter
+	waits counter
 }
 
-// lock acquires the shard mutex, counting the acquisition.
+// lock acquires the shard mutex, counting the acquisition and — when
+// the fast path misses — the contended wait. TryLock then Lock costs
+// one extra atomic on contention only, so the instrumentation cannot
+// perturb the path it measures.
 func (sh *shard) lock() {
-	sh.mu.Lock()
+	if !sh.mu.TryLock() {
+		sh.waits.Add(1)
+		sh.mu.Lock()
+	}
 	sh.locks.Add(1)
 }
 
@@ -98,7 +106,20 @@ type Server struct {
 	// zero. Set before OpenState.
 	JournalSyncCost time.Duration
 
+	// CrashAfterJournalOps is a crash-test hook (uucs-server
+	// -crash-after): once that many ops have been written to the
+	// journal file, the process SIGKILLs itself between the buffered
+	// write and the fsync — the exact window in which appended bytes
+	// are not yet durable and no ack has been sent. A crash.marker file
+	// is dropped in the state directory first so the e2e harness can
+	// verify the kill landed inside the window. Zero (the default)
+	// disables the hook. Set before OpenState.
+	CrashAfterJournalOps int
+
 	seed uint64
+	// start anchors Telemetry's uptime (lifetime busy fractions are
+	// normalized by it).
+	start time.Time
 
 	// tcMu guards the testcase store (read-mostly: every sync samples
 	// it, additions are rare).
@@ -138,6 +159,7 @@ type Server struct {
 func New(seed uint64) *Server {
 	s := &Server{
 		seed:    seed,
+		start:   time.Now(),
 		tcIndex: make(map[string]int),
 		nonces:  make(map[string]string),
 		conns:   make(map[*protocol.Conn]struct{}),
@@ -516,6 +538,10 @@ func (s *Server) handle(conn *protocol.Conn) {
 			return // EOF, broken connection, or idle timeout
 		}
 		if err := s.dispatch(conn, msg); err != nil {
+			// Every in-band rejection — unknown client, undecodable
+			// payload, bad version — lands here; the counter is the USE
+			// errors reading for the wire.
+			s.stats.rejects.Add(1)
 			_ = conn.SendError(err)
 		}
 	}

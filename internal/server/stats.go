@@ -4,16 +4,20 @@ import (
 	"bytes"
 	"encoding/json"
 	"sync"
-	"sync/atomic"
+
+	"uucs/internal/telemetry"
 )
 
 // Ingest observability. Every counter here is lock-free so reading
 // stats never perturbs the hot path it is measuring; uucs-server
 // publishes them as expvar entries on the -debug-addr listener and
-// uucs-loadgen prints them after a run.
+// uucs-loadgen prints them after a run. The USE-organized view of the
+// same collectors (plus the journal gauges and latency ring) lives in
+// telemetry.go's Server.Telemetry.
 
-// counter is an atomic accumulator.
-type counter = atomic.Uint64
+// counter is an atomic accumulator (the telemetry collector, so the
+// same primitive backs the flat expvar dump and the USE snapshot).
+type counter = telemetry.Counter
 
 // ingestCounters aggregates the server-level ingest counters (journal
 // counters live on the journalWriter).
@@ -22,6 +26,9 @@ type ingestCounters struct {
 	batches       counter
 	dupBatches    counter
 	runs          counter
+	// rejects counts requests answered with an in-band error — bad
+	// payloads, unknown clients, version mismatches (USE errors axis).
+	rejects counter
 }
 
 // IngestStats is a point-in-time snapshot of the server's ingest and
@@ -35,6 +42,9 @@ type IngestStats struct {
 	DupBatches uint64 `json:"dup_batches"`
 	// Runs is the total run records ingested.
 	Runs uint64 `json:"runs"`
+	// Rejects is the number of requests answered with an in-band error
+	// (undecodable payload, unknown client, bad version).
+	Rejects uint64 `json:"rejects"`
 	// JournalOps is the number of ops made durable by the journal.
 	JournalOps uint64 `json:"journal_ops"`
 	// JournalFsyncs is the number of fsync calls issued — the group
@@ -51,6 +61,10 @@ type IngestStats struct {
 	// ShardLocks is the per-shard lock acquisition count, the direct
 	// measure of how ingest load spreads across the shards.
 	ShardLocks []uint64 `json:"shard_locks"`
+	// ShardWaits is the per-shard count of acquisitions that found the
+	// lock held — ShardWaits[i]/ShardLocks[i] is shard i's contention
+	// probability.
+	ShardWaits []uint64 `json:"shard_waits"`
 }
 
 // Stats returns a snapshot of the ingest counters.
@@ -60,10 +74,13 @@ func (s *Server) Stats() IngestStats {
 		Batches:       s.stats.batches.Load(),
 		DupBatches:    s.stats.dupBatches.Load(),
 		Runs:          s.stats.runs.Load(),
+		Rejects:       s.stats.rejects.Load(),
 		ShardLocks:    make([]uint64, numShards),
+		ShardWaits:    make([]uint64, numShards),
 	}
 	for i := range s.shards {
 		st.ShardLocks[i] = s.shards[i].locks.Load()
+		st.ShardWaits[i] = s.shards[i].waits.Load()
 	}
 	if jw := s.journal(); jw != nil {
 		st.JournalOps = jw.ops.Load()

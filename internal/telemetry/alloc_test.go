@@ -1,0 +1,60 @@
+package telemetry
+
+import "testing"
+
+// The collectors exist to sit on the ingest hot path — one per shard
+// lock acquisition, one per journaled op, one per fsync. Their whole
+// value proposition is "one atomic op, zero allocations", so the
+// ceiling here is exactly 0: any heap traffic in an update method is a
+// regression that would show up as measurement perturbing the thing
+// being measured.
+
+func TestCounterAddAllocs(t *testing.T) {
+	var c Counter
+	if avg := testing.AllocsPerRun(1000, func() { c.Add(3) }); avg != 0 {
+		t.Errorf("Counter.Add allocates %.1f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() { c.Inc() }); avg != 0 {
+		t.Errorf("Counter.Inc allocates %.1f/op, want 0", avg)
+	}
+}
+
+func TestGaugeAddAllocs(t *testing.T) {
+	var g Gauge
+	if avg := testing.AllocsPerRun(1000, func() { g.Add(1); g.Add(-1) }); avg != 0 {
+		t.Errorf("Gauge.Add allocates %.1f/op, want 0", avg)
+	}
+}
+
+func TestRingObserveAllocs(t *testing.T) {
+	var r Ring
+	v := int64(0)
+	if avg := testing.AllocsPerRun(1000, func() { v++; r.Observe(v) }); avg != 0 {
+		t.Errorf("Ring.Observe allocates %.1f/op, want 0", avg)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkGaugeAdd(b *testing.B) {
+	var g Gauge
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Add(1)
+		g.Add(-1)
+	}
+}
+
+func BenchmarkRingObserve(b *testing.B) {
+	var r Ring
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Observe(int64(i))
+	}
+}

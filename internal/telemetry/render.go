@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Table and JSON rendering for a Snapshot, shared by the server's
+// /telemetry debug page, uucs-top, and the loadgen end-of-run report —
+// one renderer so the golden-output test pins every consumer at once.
+
+// WriteTable renders the snapshot as a fixed-width text table grouped
+// by USE axis, headed by the health score and the saturation verdict.
+func WriteTable(w io.Writer, s *Snapshot) error {
+	verdict := s.Saturated
+	if verdict == Healthy {
+		verdict = "none (healthy)"
+	}
+	if _, err := fmt.Fprintf(w, "USE health %d/100  saturated: %s  uptime %s\n",
+		s.Score, verdict, s.Uptime.Round(time.Millisecond)); err != nil {
+		return err
+	}
+	if len(s.Samples) == 0 {
+		_, err := fmt.Fprintln(w, "(no samples)")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-12s %-16s %-28s %12s %9s  %s\n",
+		"AXIS", "RESOURCE", "METRIC", "VALUE", "PRESSURE", "DETAIL"); err != nil {
+		return err
+	}
+	for _, sm := range s.Samples {
+		if _, err := fmt.Fprintf(w, "%-12s %-16s %-28s %12s %8.0f%%  %s\n",
+			sm.Axis, sm.Resource, sm.Metric, formatValue(sm.Value, sm.Unit),
+			100*sm.Pressure, sm.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatValue renders a sample value with its unit: nanosecond values
+// become humanized durations, fractions become percentages, counts
+// print as integers, anything else as a compact float.
+func formatValue(v float64, unit string) string {
+	switch unit {
+	case "ns":
+		return time.Duration(v).Round(time.Microsecond).String()
+	case "frac":
+		return strconv.FormatFloat(100*v, 'f', 1, 64) + "%"
+	case "":
+		return strconv.FormatFloat(v, 'g', 4, 64)
+	default:
+		if v == float64(int64(v)) {
+			return strconv.FormatInt(int64(v), 10) + " " + unit
+		}
+		return strconv.FormatFloat(v, 'g', 4, 64) + " " + unit
+	}
+}
+
+// Handler serves snapshots over HTTP: a text table by default, JSON
+// with ?format=json (what uucs-top consumes). snap is called per
+// request, so the page always reads fresh counters.
+func Handler(snap func() *Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s := snap()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(s)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = WriteTable(w, s)
+	})
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGoldens = flag.Bool("update", false, "rewrite the golden table snapshots in testdata/")
+
+// goldenSnapshot is a fixed snapshot exercising every rendering branch:
+// each axis, every formatValue unit path (ns, frac, counted unit,
+// fractional unit, unitless), a zero-pressure informational row, and a
+// verdict-carrying row.
+func goldenSnapshot() *Snapshot {
+	s := &Snapshot{
+		Taken:  time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+		Uptime: 90*time.Second + 125*time.Millisecond,
+	}
+	s.Add(Sample{
+		Resource: "shard-locks", Axis: Utilization, Metric: "contended acquisitions",
+		Value: 0.031, Unit: "frac", Pressure: 0.031, Detail: "4120 of 132910 Lock() calls waited",
+	})
+	s.Add(Sample{
+		Resource: "journal-fsync", Axis: Utilization, Metric: "flush busy fraction",
+		Value: 0.984, Unit: "frac", Pressure: 0.984, Detail: "device at capacity",
+	})
+	s.Add(Sample{
+		Resource: "journal-fsync", Axis: Saturation, Metric: "flush latency p50",
+		Value: 8_212_000, Unit: "ns", Pressure: 0, Detail: "p90 9.1ms p99 12.4ms",
+	})
+	s.Add(Sample{
+		Resource: "journal-queue", Axis: Saturation, Metric: "peak depth",
+		Value: 96, Unit: "ops", Pressure: 0.75, Detail: "cap 128",
+	})
+	s.Add(Sample{
+		Resource: "journal-batch", Axis: Saturation, Metric: "mean occupancy",
+		Value: 27.5, Unit: "ops", Pressure: 0.215,
+	})
+	s.Add(Sample{
+		Resource: "shard-balance", Axis: Saturation, Metric: "hottest/mean",
+		Value: 1.62, Pressure: 0,
+	})
+	s.Add(Sample{
+		Resource: "dedup", Axis: Errors, Metric: "duplicate batches",
+		Value: 12, Unit: "batches", Pressure: 0.0009,
+	})
+	s.Finalize()
+	return s
+}
+
+// TestWriteTableGolden pins the exact table rendering — the same bytes
+// the /telemetry page, uucs-top and the loadgen report all print.
+func TestWriteTableGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "use_table.golden", buf.String())
+}
+
+// TestWriteTableEmptyGolden pins the degenerate rendering: a fresh
+// server with no samples is healthy, not blank.
+func TestWriteTableEmptyGolden(t *testing.T) {
+	s := &Snapshot{Uptime: 3 * time.Second}
+	s.Finalize()
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "use_table_empty.golden", buf.String())
+}
+
+func compareGolden(t *testing.T, file, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", file)
+	if *updateGoldens {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run `go test ./internal/telemetry -update`): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("table drifted from golden %s.\n--- got\n%s\n--- want\n%s\nIf the change is intentional, rerun with -update.",
+			path, got, want)
+	}
+}
+
+// TestHandlerTableAndJSON: the HTTP handler serves the table by
+// default and a decodable JSON snapshot with ?format=json, reading
+// fresh state per request.
+func TestHandlerTableAndJSON(t *testing.T) {
+	calls := 0
+	h := Handler(func() *Snapshot {
+		calls++
+		return goldenSnapshot()
+	})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/telemetry", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("table Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "USE health") {
+		t.Errorf("table response missing header: %q", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/telemetry?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json Content-Type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("json response does not decode: %v", err)
+	}
+	want := goldenSnapshot()
+	if snap.Score != want.Score || snap.Saturated != want.Saturated {
+		t.Errorf("decoded %d/%q, want %d/%q", snap.Score, snap.Saturated, want.Score, want.Saturated)
+	}
+	if len(snap.Samples) != len(want.Samples) {
+		t.Errorf("decoded %d samples, want %d", len(snap.Samples), len(want.Samples))
+	}
+	if calls != 2 {
+		t.Errorf("snap called %d times for 2 requests", calls)
+	}
+}

@@ -1,0 +1,159 @@
+// Package telemetry is UUCS's USE-method observability layer: small,
+// lock-free collectors (Counter, Gauge, Ring) that the server's ingest
+// hot path can update for the cost of an atomic operation, and a
+// Snapshot that organizes their readings along Brendan Gregg's three
+// USE axes — Utilization (how busy is each resource), Saturation (how
+// much work is queued behind it), Errors (what is failing) — with a
+// single 0–100 health score that names the saturated resource.
+//
+// The design constraint is that *measuring must not perturb the
+// measurement*: every collector write is one atomic instruction and
+// zero allocations, so instrumentation can live inside the shard lock
+// acquisition, the journal group-commit loop, and the ack release path
+// without showing up in the profiles it exists to explain. All
+// aggregation (sorting latency samples, computing quantiles and
+// pressures) happens on the cold snapshot path.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic accumulator. The zero
+// value is ready to use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an atomic level indicator (queue depths, backlogs): Add
+// moves the current value up or down, and the high-watermark of every
+// value the gauge ever reached is retained — saturation diagnosis
+// cares about the worst depth, not the instantaneous one. The zero
+// value is ready to use.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Add moves the gauge by d (negative to decrease) and returns the new
+// value, updating the high-watermark when the new value exceeds it.
+func (g *Gauge) Add(d int64) int64 {
+	n := g.v.Add(d)
+	if d > 0 {
+		for {
+			m := g.max.Load()
+			if n <= m || g.max.CompareAndSwap(m, n) {
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Max returns the high-watermark.
+func (g *Gauge) Max() int64 { return g.max.Load() }
+
+// ringSize is the Ring sample capacity: a power of two so the write
+// cursor wraps with a mask, and large enough that quantiles over the
+// retained window are stable.
+const ringSize = 1024
+
+// Ring is a lock-free sliding-window sample reservoir: Observe stores
+// a value at an atomically claimed cursor position, overwriting the
+// oldest sample once the ring is full, so it always holds the most
+// recent min(Count, Cap) observations. Writers never block and never
+// allocate; concurrent writers may interleave their slots but never
+// tear a sample (each cell is a single atomic). Quantile reads are
+// approximate while writers are active — an in-flight Observe can
+// replace a sample mid-snapshot — which is the right trade for a
+// latency distribution: the answer is statistics, not ledger state.
+// The zero value is ready to use.
+type Ring struct {
+	n     atomic.Uint64
+	cells [ringSize]atomic.Int64
+}
+
+// Observe records one sample (typically a latency in nanoseconds).
+func (r *Ring) Observe(v int64) {
+	i := r.n.Add(1) - 1
+	r.cells[i&(ringSize-1)].Store(v)
+}
+
+// Count returns how many samples were ever observed (not capped at the
+// ring capacity).
+func (r *Ring) Count() uint64 { return r.n.Load() }
+
+// Cap returns the number of samples the ring retains.
+func (r *Ring) Cap() int { return ringSize }
+
+// Samples copies out the retained window, unordered. It allocates and
+// is meant for the snapshot path only.
+func (r *Ring) Samples() []int64 {
+	n := r.n.Load()
+	if n > ringSize {
+		n = ringSize
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.cells[i].Load()
+	}
+	return out
+}
+
+// Quantiles returns the nearest-rank quantiles of the retained window
+// for each q in qs (each in [0, 1]), in one sort. With no samples every
+// quantile is zero. For sample counts at or below the ring capacity the
+// window is the full history, so the result is exact — the property the
+// unit tests pin against a plain sort.
+func (r *Ring) Quantiles(qs ...float64) []int64 {
+	out := make([]int64, len(qs))
+	s := r.Samples()
+	if len(s) == 0 {
+		return out
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	for i, q := range qs {
+		out[i] = quantileSorted(s, q)
+	}
+	return out
+}
+
+// quantileSorted returns the nearest-rank q-quantile of a sorted slice:
+// the smallest sample such that at least q·n samples are ≤ it.
+func quantileSorted(s []int64, q float64) int64 {
+	if len(s) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	idx := int(math.Ceil(float64(len(s))*q)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// ObserveDuration records a latency sample.
+func (r *Ring) ObserveDuration(d time.Duration) { r.Observe(int64(d)) }

@@ -1,0 +1,221 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestCounterMonotonic: a counter only ever moves up, by exactly what
+// was added.
+func TestCounterMonotonic(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatalf("zero counter loads %d", c.Load())
+	}
+	total := uint64(0)
+	prev := uint64(0)
+	for _, n := range []uint64{1, 0, 7, 1 << 40, 3} {
+		c.Add(n)
+		total += n
+		if got := c.Load(); got != total {
+			t.Errorf("after Add(%d): got %d, want %d", n, got, total)
+		}
+		if c.Load() < prev {
+			t.Errorf("counter went backwards: %d < %d", c.Load(), prev)
+		}
+		prev = c.Load()
+	}
+	c.Inc()
+	if got := c.Load(); got != total+1 {
+		t.Errorf("Inc: got %d, want %d", got, total+1)
+	}
+}
+
+// TestGaugeWatermark: the gauge tracks its current level exactly and
+// its high-watermark permanently.
+func TestGaugeWatermark(t *testing.T) {
+	var g Gauge
+	steps := []struct {
+		d        int64
+		now, max int64
+	}{
+		{+3, 3, 3},
+		{+4, 7, 7},
+		{-5, 2, 7},
+		{+1, 3, 7},
+		{-3, 0, 7},
+		{+9, 9, 9},
+		{-9, 0, 9},
+	}
+	for i, s := range steps {
+		if got := g.Add(s.d); got != s.now {
+			t.Errorf("step %d: Add(%d) = %d, want %d", i, s.d, got, s.now)
+		}
+		if g.Load() != s.now {
+			t.Errorf("step %d: Load = %d, want %d", i, g.Load(), s.now)
+		}
+		if g.Max() != s.max {
+			t.Errorf("step %d: Max = %d, want %d", i, g.Max(), s.max)
+		}
+	}
+}
+
+// exactQuantile is the reference nearest-rank quantile over a full
+// sorted copy — the definition the ring must match while its window
+// still holds every sample.
+func exactQuantile(samples []int64, q float64) int64 {
+	s := append([]int64(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(math.Ceil(float64(len(s))*q)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// TestRingQuantilesMatchExactSort: for sample counts at or below the
+// ring capacity, ring quantiles are exact — identical to sorting all
+// samples and taking the nearest rank.
+func TestRingQuantilesMatchExactSort(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []int64
+	}{
+		{"single", []int64{42}},
+		{"two", []int64{9, 1}},
+		{"small-desc", []int64{50, 40, 30, 20, 10}},
+		{"dups", []int64{5, 5, 5, 1, 9, 5}},
+		{"hundred", func() []int64 {
+			s := make([]int64, 100)
+			for i := range s {
+				s[i] = int64((i * 7919) % 1000) // deterministic scramble
+			}
+			return s
+		}()},
+		{"full-ring", func() []int64 {
+			s := make([]int64, ringSize)
+			for i := range s {
+				s[i] = int64((i * 104729) % 100000)
+			}
+			return s
+		}()},
+	}
+	qs := []float64{0, 0.25, 0.5, 0.9, 0.99, 1}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var r Ring
+			for _, v := range tc.samples {
+				r.Observe(v)
+			}
+			if r.Count() != uint64(len(tc.samples)) {
+				t.Fatalf("Count = %d, want %d", r.Count(), len(tc.samples))
+			}
+			got := r.Quantiles(qs...)
+			for i, q := range qs {
+				want := exactQuantile(tc.samples, q)
+				if got[i] != want {
+					t.Errorf("q%.2f = %d, want %d (exact sort)", q, got[i], want)
+				}
+			}
+		})
+	}
+}
+
+// TestRingOverwritesOldest: past capacity the ring holds the most
+// recent window, so quantiles reflect recent behavior only.
+func TestRingOverwritesOldest(t *testing.T) {
+	var r Ring
+	// Fill with zeros, then overwrite the whole window with 100s.
+	for i := 0; i < ringSize; i++ {
+		r.Observe(0)
+	}
+	for i := 0; i < ringSize; i++ {
+		r.Observe(100)
+	}
+	if got := r.Quantiles(0.5)[0]; got != 100 {
+		t.Errorf("median after full overwrite = %d, want 100", got)
+	}
+	if r.Count() != 2*ringSize {
+		t.Errorf("Count = %d, want %d", r.Count(), 2*ringSize)
+	}
+	if len(r.Samples()) != ringSize {
+		t.Errorf("retained %d samples, want %d", len(r.Samples()), ringSize)
+	}
+}
+
+// TestEmptyRingQuantiles: no samples means zero quantiles, not a panic.
+func TestEmptyRingQuantiles(t *testing.T) {
+	var r Ring
+	for _, q := range r.Quantiles(0, 0.5, 1) {
+		if q != 0 {
+			t.Errorf("empty ring quantile = %d, want 0", q)
+		}
+	}
+}
+
+// TestHealthScoreBoundaries: the score/verdict derivation at its edges
+// — empty snapshot, sub-threshold pressure, the exact threshold, full
+// saturation, clamping, NaN, and tie-breaking.
+func TestHealthScoreBoundaries(t *testing.T) {
+	mk := func(pressures ...float64) *Snapshot {
+		s := &Snapshot{}
+		for i, p := range pressures {
+			s.Add(Sample{Resource: string(rune('a' + i)), Axis: Saturation, Metric: "m", Pressure: p})
+		}
+		s.Finalize()
+		return s
+	}
+	cases := []struct {
+		name      string
+		snap      *Snapshot
+		score     int
+		saturated string
+	}{
+		{"empty", mk(), 100, Healthy},
+		{"all-zero", mk(0, 0), 100, Healthy},
+		{"below-threshold", mk(0.49), 51, Healthy},
+		{"at-threshold", mk(0.5), 50, "a"},
+		{"above-threshold", mk(0.25, 0.75), 25, "b"},
+		{"fully-saturated", mk(1.0), 0, "a"},
+		{"clamped-above-one", mk(17.0), 0, "a"},
+		{"clamped-below-zero", mk(-3.0), 100, Healthy},
+		{"nan-ignored", mk(math.NaN(), 0.6), 40, "b"},
+		{"tie-goes-first", mk(0.8, 0.8), 20, "a"},
+		{"rounding", mk(0.333), 67, Healthy},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.snap.Score != tc.score {
+				t.Errorf("score = %d, want %d", tc.snap.Score, tc.score)
+			}
+			if tc.snap.Saturated != tc.saturated {
+				t.Errorf("saturated = %q, want %q", tc.snap.Saturated, tc.saturated)
+			}
+		})
+	}
+}
+
+// TestRatioSafeDivide: Ratio never divides by zero.
+func TestRatioSafeDivide(t *testing.T) {
+	if got := Ratio(5, 0); got != 0 {
+		t.Errorf("Ratio(5,0) = %g, want 0", got)
+	}
+	if got := Ratio(1, 4); got != 0.25 {
+		t.Errorf("Ratio(1,4) = %g, want 0.25", got)
+	}
+}
+
+// TestMaxPressure: reports the max even when below the verdict
+// threshold.
+func TestMaxPressure(t *testing.T) {
+	s := &Snapshot{}
+	s.Add(Sample{Resource: "a", Pressure: 0.2})
+	s.Add(Sample{Resource: "b", Pressure: 0.4})
+	if got := s.MaxPressure(); got != 0.4 {
+		t.Errorf("MaxPressure = %g, want 0.4", got)
+	}
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"math"
+	"time"
+)
+
+// Axis is one of the three USE axes.
+type Axis string
+
+const (
+	// Utilization — how busy a resource is (time or acquisitions spent
+	// doing work).
+	Utilization Axis = "utilization"
+	// Saturation — how much work is queued behind a resource (depths,
+	// backlogs, occupancy).
+	Saturation Axis = "saturation"
+	// Errors — what is failing (rejects, poison, dedup churn).
+	Errors Axis = "errors"
+)
+
+// SaturationThreshold is the pressure at or above which the health
+// verdict names a resource as saturated instead of reporting "none".
+const SaturationThreshold = 0.5
+
+// Healthy is the verdict when no resource crosses SaturationThreshold.
+const Healthy = "none"
+
+// Sample is one USE metric reading: a resource, the axis it speaks to,
+// a value, and a normalized pressure in [0, 1] — the resource's
+// contribution to the saturation verdict (0 for purely informational
+// rows). Pressures are comparable across resources by construction:
+// 1.0 means "this resource is fully saturated / failing".
+type Sample struct {
+	Resource string  `json:"resource"`
+	Axis     Axis    `json:"axis"`
+	Metric   string  `json:"metric"`
+	Value    float64 `json:"value"`
+	Unit     string  `json:"unit,omitempty"`
+	Pressure float64 `json:"pressure"`
+	Detail   string  `json:"detail,omitempty"`
+}
+
+// Snapshot is a point-in-time USE reading of a system: every sample,
+// plus the derived health score and saturation verdict. Build one by
+// appending samples and calling Finalize.
+type Snapshot struct {
+	// Taken is when the snapshot was assembled.
+	Taken time.Time `json:"taken"`
+	// Uptime is how long the measured system has been running —
+	// lifetime pressures (busy fractions) are normalized by it.
+	Uptime time.Duration `json:"uptime_ns"`
+	// Samples are the USE rows, in the order they were added
+	// (conventionally: utilization, saturation, errors).
+	Samples []Sample `json:"samples"`
+	// Score is the 0–100 health score: 100·(1 − max pressure).
+	Score int `json:"score"`
+	// Saturated names the resource with the highest pressure when that
+	// pressure reaches SaturationThreshold, else Healthy ("none"). This
+	// is the answer to "which resource do I go look at".
+	Saturated string `json:"saturated"`
+}
+
+// Add appends one sample, clamping its pressure into [0, 1] (NaN
+// clamps to 0 so a 0/0 ratio cannot poison the verdict).
+func (s *Snapshot) Add(sm Sample) {
+	if math.IsNaN(sm.Pressure) {
+		sm.Pressure = 0
+	}
+	if sm.Pressure < 0 {
+		sm.Pressure = 0
+	}
+	if sm.Pressure > 1 {
+		sm.Pressure = 1
+	}
+	s.Samples = append(s.Samples, sm)
+}
+
+// Finalize computes Score and Saturated from the accumulated samples.
+// With no samples the system is healthy: score 100, verdict "none".
+// Ties go to the earliest sample, so callers should append rows in
+// blame-priority order.
+func (s *Snapshot) Finalize() {
+	maxP := 0.0
+	verdict := Healthy
+	for _, sm := range s.Samples {
+		if sm.Pressure > maxP {
+			maxP = sm.Pressure
+			if sm.Pressure >= SaturationThreshold {
+				verdict = sm.Resource
+			}
+		}
+	}
+	s.Score = int(math.Round(100 * (1 - maxP)))
+	s.Saturated = verdict
+}
+
+// MaxPressure returns the highest sample pressure (0 with no samples).
+func (s *Snapshot) MaxPressure() float64 {
+	maxP := 0.0
+	for _, sm := range s.Samples {
+		if sm.Pressure > maxP {
+			maxP = sm.Pressure
+		}
+	}
+	return maxP
+}
+
+// Ratio is a safe a/b that returns 0 when b is 0, for pressure and
+// utilization fractions built from counters that may not have moved.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

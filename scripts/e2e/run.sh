@@ -1,0 +1,189 @@
+#!/usr/bin/env bash
+# Process-level end-to-end chaos suite: real binaries, real TCP, a real
+# kill -9 inside the journal's write->fsync window.
+#
+# What the crash test proves: the server is SIGKILLed (by its own
+# -crash-after hook) between a journaled batch's buffered write and its
+# fsync — the exact window where bytes exist only in the page cache and
+# no ack has been sent. The restarted server replays the journal, the
+# clients retry their unacked uploads against it, and the final dataset
+# must hold every executed run exactly once: nothing acked is lost,
+# nothing retried is double-counted.
+#
+# Usage:
+#   scripts/e2e/run.sh           # full suite: smoke + seeds + USE verdict
+#   scripts/e2e/run.sh -smoke    # crash/restart/convergence + uucs-top
+#   scripts/e2e/run.sh -seeds    # replay scripts/e2e/regression_seeds.json
+#
+# Set E2E_BIN to a directory of prebuilt uucs-* binaries to skip the
+# build (CI builds once and reuses across jobs).
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/../.." && pwd)"
+cd "$REPO"
+
+MODE="${1:-all}"
+
+WORK="$(mktemp -d /tmp/uucs-e2e.XXXXXX)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+say()  { printf 'e2e: %s\n' "$*"; }
+fail() { printf 'e2e: FAIL: %s\n' "$*" >&2; exit 1; }
+
+# --- binaries ---------------------------------------------------------
+
+if [ -n "${E2E_BIN:-}" ]; then
+    BIN="$E2E_BIN"
+    for b in uucs-server uucs-client uucs-top uucs-loadgen; do
+        [ -x "$BIN/$b" ] || fail "E2E_BIN=$BIN is missing $b"
+    done
+    say "using prebuilt binaries from $BIN"
+else
+    BIN="$WORK/bin"
+    say "building binaries into $BIN"
+    go build -o "$BIN/" ./cmd/uucs-server ./cmd/uucs-client ./cmd/uucs-top ./cmd/uucs-loadgen
+fi
+
+# wait_for_line FILE PATTERN: poll FILE until PATTERN appears (10s cap).
+wait_for_line() {
+    local file="$1" pattern="$2" i
+    for i in $(seq 1 100); do
+        grep -q "$pattern" "$file" 2>/dev/null && return 0
+        sleep 0.1
+    done
+    fail "timed out waiting for '$pattern' in $file (contents: $(cat "$file" 2>/dev/null))"
+}
+
+# --- the crash/restart/convergence smoke ------------------------------
+
+smoke() {
+    local CLIENTS=3 RUNS=4 ROUNDS=2
+    local STATE="$WORK/state" LOG1="$WORK/server1.log" LOG2="$WORK/server2.log"
+    local OUT="$WORK/results.txt"
+
+    # Journal op budget for round 1: 1 testcase op + $CLIENTS
+    # registrations + $CLIENTS upload batches. Crashing after
+    # (1 + CLIENTS + 1) ops lands inside the upload wave: at least one
+    # client's batch is written but not yet fsynced or acked.
+    local CRASH_AFTER=$((1 + CLIENTS + 1))
+
+    say "round 1: server with -crash-after $CRASH_AFTER"
+    "$BIN/uucs-server" -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 \
+        -state "$STATE" -generate 30 -out "$OUT" -seed 7 \
+        -crash-after "$CRASH_AFTER" >"$LOG1" 2>&1 &
+    SERVER_PID=$!
+    wait_for_line "$LOG1" 'listening on'
+    local ADDR DEBUG_ADDR
+    ADDR="$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$LOG1")"
+    [ -n "$ADDR" ] || fail "could not parse server address from $LOG1"
+
+    say "round 1: $CLIENTS clients x $RUNS runs against $ADDR"
+    local pids=() i
+    for i in $(seq 1 "$CLIENTS"); do
+        "$BIN/uucs-client" -server "$ADDR" -store "$WORK/client$i" \
+            -hostname "e2e-host-$i" -seed "$((100 + i))" -runs "$RUNS" \
+            -timeout 5s -retries 12 -retry-base 100ms -retry-max 1s \
+            >"$WORK/client$i.round1.log" 2>&1 &
+        pids+=($!)
+    done
+
+    # The server must die by its own hand: SIGKILL (exit 137), with the
+    # crash marker proving the kill landed between write and fsync.
+    local code=0
+    wait "$SERVER_PID" || code=$?
+    SERVER_PID=""
+    [ "$code" -eq 137 ] || fail "server exited $code, want 137 (SIGKILL by -crash-after)"
+    [ -f "$STATE/crash.marker" ] || fail "no crash.marker: the kill did not come from the crash hook"
+    say "server killed inside the write->fsync window: $(cat "$STATE/crash.marker")"
+
+    say "restarting server on $ADDR from the journal"
+    "$BIN/uucs-server" -addr "$ADDR" -debug-addr 127.0.0.1:0 \
+        -state "$STATE" -out "$OUT" -seed 7 >"$LOG2" 2>&1 &
+    SERVER_PID=$!
+    wait_for_line "$LOG2" 'listening on'
+    grep -q 'restored' "$LOG2" || fail "restart did not restore from $STATE"
+    DEBUG_ADDR="$(sed -n 's|.*debug listener on http://\([0-9.]*:[0-9]*\)/.*|\1|p' "$LOG2")"
+    [ -n "$DEBUG_ADDR" ] || fail "could not parse debug address from $LOG2"
+
+    # Round-1 clients retry their unacked uploads against the restarted
+    # server; every one must converge and exit 0.
+    for i in "${!pids[@]}"; do
+        code=0
+        wait "${pids[$i]}" || code=$?
+        [ "$code" -eq 0 ] || fail "round-1 client $((i + 1)) exited $code: $(cat "$WORK/client$((i + 1)).round1.log")"
+    done
+    say "round 1 converged: all clients acked despite the crash"
+
+    say "round 2: same stores, continuing sequence numbers"
+    pids=()
+    for i in $(seq 1 "$CLIENTS"); do
+        "$BIN/uucs-client" -server "$ADDR" -store "$WORK/client$i" \
+            -hostname "e2e-host-$i" -seed "$((100 + i))" -runs "$RUNS" \
+            -timeout 5s -retries 12 -retry-base 100ms -retry-max 1s \
+            >"$WORK/client$i.round2.log" 2>&1 &
+        pids+=($!)
+    done
+    for i in "${!pids[@]}"; do
+        code=0
+        wait "${pids[$i]}" || code=$?
+        [ "$code" -eq 0 ] || fail "round-2 client $((i + 1)) exited $code: $(cat "$WORK/client$((i + 1)).round2.log")"
+    done
+
+    say "checking the live USE snapshot via uucs-top -addr $DEBUG_ADDR"
+    local top
+    top="$("$BIN/uucs-top" -addr "$DEBUG_ADDR")"
+    printf '%s\n' "$top" | sed 's/^/e2e:   /'
+    printf '%s\n' "$top" | grep -q 'USE health' || fail "uucs-top printed no USE header"
+    printf '%s\n' "$top" | grep -q 'journal-fsync' || fail "uucs-top shows no journal telemetry"
+
+    say "graceful shutdown and final flush"
+    kill -TERM "$SERVER_PID"
+    wait "$SERVER_PID" || true
+    SERVER_PID=""
+
+    # Convergence: every executed run exactly once. Each client executed
+    # RUNS runs per round; record framing is one 'run <id>' line each.
+    local WANT=$((CLIENTS * RUNS * ROUNDS)) GOT
+    GOT="$(grep -c '^run ' "$OUT" || true)"
+    [ "$GOT" -eq "$WANT" ] || fail "dataset has $GOT runs, want exactly $WANT (lost or duplicated batches)"
+    say "PASS: $GOT/$WANT runs survived the mid-fsync crash exactly once"
+}
+
+# --- seeded chaos regression replay -----------------------------------
+
+seeds() {
+    say "replaying scripts/e2e/regression_seeds.json"
+    go test -count=1 -run TestRegressionSeeds ./internal/server \
+        || fail "seed corpus replay failed"
+    say "PASS: seed corpus replayed clean"
+}
+
+# --- the USE verdict under a slow modeled disk ------------------------
+
+use_verdict() {
+    say "loadgen with -fsync-cost 8ms must blame journal-fsync"
+    local out
+    out="$("$BIN/uucs-loadgen" -clients 8 -batches 200 -fsync-cost 8ms -state "$WORK/lgstate" -smoke)"
+    printf '%s\n' "$out" | grep 'USE health' | sed 's/^/e2e:   /'
+    printf '%s\n' "$out" | grep -q 'saturated: journal-fsync' \
+        || fail "USE verdict did not name journal-fsync under an 8ms disk"
+    say "PASS: USE verdict names the saturated resource"
+}
+
+case "$MODE" in
+-smoke) smoke ;;
+-seeds) seeds ;;
+all)
+    smoke
+    seeds
+    use_verdict
+    ;;
+*) fail "unknown mode $MODE (want -smoke, -seeds, or nothing)" ;;
+esac
+
+say "done"
