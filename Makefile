@@ -6,7 +6,9 @@
 # to the new baseline (do this only on the reference machine, with the
 # regression understood). `make loadgen-smoke` drives a short
 # closed-loop ingest run under the race detector and fails if any
-# acked batch is lost or double-counted. `make e2e` runs the
+# acked batch is lost or double-counted. `make pop-smoke` streams a
+# 10^4-host churned study under the race detector and fails unless
+# every scheduled run is accounted exactly once. `make e2e` runs the
 # process-level chaos suite (real binaries, kill -9 inside the journal
 # fsync window, seeded regression replay); `make e2e-smoke` and `make
 # e2e-seeds` run its halves.
@@ -14,7 +16,7 @@
 GO ?= go
 THRESHOLD ?= 0.15
 
-.PHONY: all build test race bench bench-check bench-baseline loadgen-smoke e2e e2e-smoke e2e-seeds
+.PHONY: all build test race bench bench-check bench-baseline loadgen-smoke pop-smoke e2e e2e-smoke e2e-seeds
 
 all: build test
 
@@ -38,6 +40,9 @@ bench-baseline:
 
 loadgen-smoke:
 	$(GO) run -race ./cmd/uucs-loadgen -clients 8 -duration 2s -smoke
+
+pop-smoke:
+	$(GO) run -race ./cmd/uucs-internet -hosts 10000 -runs 2 -churn -smoke
 
 e2e:
 	scripts/e2e/run.sh

@@ -38,6 +38,7 @@ import (
 	"uucs/internal/analysis"
 	"uucs/internal/harvest"
 	"uucs/internal/hostload"
+	"uucs/internal/hostpop"
 	"uucs/internal/hostsim"
 	"uucs/internal/internetstudy"
 	"uucs/internal/loadgen"
@@ -462,4 +463,30 @@ func BenchmarkHarvestPolicies(b *testing.B) {
 		gain = fb.HarvestedCPUHours / ss.HarvestedCPUHours
 	}
 	b.ReportMetric(gain, "harvest_gain_vs_screensaver")
+}
+
+// BenchmarkInternetStudyMillionHosts is the streaming engine's gate
+// benchmark: a scaled-down slice of the million-host configuration —
+// correlated host population, diurnal availability, crash churn, and
+// streamed bounded-memory aggregation — so CI tracks the per-run cost
+// of the exact path the 10^6-host study exercises.
+func BenchmarkInternetStudyMillionHosts(b *testing.B) {
+	b.ReportAllocs()
+	var folded uint64
+	for i := 0; i < b.N; i++ {
+		cfg := internetstudy.DefaultStreamConfig()
+		cfg.Hosts = 4000
+		cfg.RunsPerHost = 2
+		cfg.TestcaseCount = 100
+		cfg.Churn = hostpop.DefaultChurn()
+		res, err := internetstudy.RunStreaming(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Agg.Folded == 0 {
+			b.Fatal("no folded runs")
+		}
+		folded = res.Agg.Folded
+	}
+	b.ReportMetric(float64(folded), "runs_folded")
 }

@@ -29,6 +29,7 @@ import (
 	"testing"
 
 	"uucs"
+	"uucs/internal/hostpop"
 	"uucs/internal/hostsim"
 	"uucs/internal/internetstudy"
 	"uucs/internal/loadgen"
@@ -127,6 +128,7 @@ func suite() []struct {
 	}{
 		{"BenchmarkControlledStudy", benchControlledStudy},
 		{"BenchmarkInternetStudy", benchInternetStudy},
+		{"BenchmarkInternetStudyMillionHosts", benchInternetStudyMillionHosts},
 		{"BenchmarkFig08Suite", benchFig08Suite},
 		{"BenchmarkRunExecution/word", benchRunExecution(testcase.Word)},
 		{"BenchmarkRunExecution/powerpoint", benchRunExecution(testcase.Powerpoint)},
@@ -246,6 +248,27 @@ func benchInternetStudy(b *testing.B) {
 		}
 		if len(res.Runs) == 0 {
 			b.Fatal("no runs")
+		}
+	}
+}
+
+// benchInternetStudyMillionHosts gates the streaming engine's per-run
+// cost with a scaled-down slice of the million-host configuration
+// (correlated population, diurnal windows, crash churn).
+func benchInternetStudyMillionHosts(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := internetstudy.DefaultStreamConfig()
+		cfg.Hosts = 4000
+		cfg.RunsPerHost = 2
+		cfg.TestcaseCount = 100
+		cfg.Churn = hostpop.DefaultChurn()
+		res, err := internetstudy.RunStreaming(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Agg.Folded == 0 {
+			b.Fatal("no folded runs")
 		}
 	}
 }

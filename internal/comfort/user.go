@@ -116,15 +116,37 @@ func SamplePopulation(n int, p PopulationParams, seed uint64) ([]*User, error) {
 }
 
 func sampleUser(id int, p PopulationParams, s *stats.Stream) *User {
+	u := &User{}
+	SampleUserInto(u, id, p, s)
+	return u
+}
+
+// userDomains fixes the questionnaire draw order without allocating a
+// fresh slice per sampled user.
+var userDomains = Domains()
+
+// SampleUserInto redraws u in place from the stream, reusing u's
+// Ratings map when present. The draw order is exactly sampleUser's, so
+// regenerating a user from the same stream state is bit-identical to
+// the original sample — this is what lets the streaming study engine
+// rebuild each host's user per run instead of holding a million User
+// structs alive.
+func SampleUserInto(u *User, id int, p PopulationParams, s *stats.Stream) {
+	ratings := u.Ratings
+	if ratings == nil {
+		ratings = make(map[Domain]Rating, 6)
+	} else {
+		clear(ratings)
+	}
 	expertise := s.Norm(0, 1)
 	// Sensitivity factor: a mix of independent variation and expertise.
 	c := p.ExpertiseSensitivityCorr
 	mix := -c*expertise + math.Sqrt(1-c*c)*s.Norm(0, 1)
 	tolFactor := math.Exp(p.SensitivitySigma * mix)
 
-	u := &User{
+	*u = User{
 		ID:                id,
-		Ratings:           make(map[Domain]Rating, 6),
+		Ratings:           ratings,
 		EchoTol:           p.EchoTol.Sample(s) * tolFactor,
 		OpTol:             p.OpTol.Sample(s) * tolFactor,
 		LoadTol:           p.LoadTol.Sample(s) * tolFactor,
@@ -138,7 +160,7 @@ func sampleUser(id int, p PopulationParams, s *stats.Stream) *User {
 		FlowMargin:        p.FlowMargin,
 		expertise:         expertise,
 	}
-	for _, d := range Domains() {
+	for _, d := range userDomains {
 		// Domain skill shares the latent expertise plus domain-specific
 		// variation; Quake skill is the most idiosyncratic (plenty of
 		// power PC users have never played).
@@ -156,7 +178,6 @@ func sampleUser(id int, p PopulationParams, s *stats.Stream) *User {
 			u.Ratings[d] = Typical
 		}
 	}
-	return u
 }
 
 // Tolerances is the effective tolerance set a user applies during one

@@ -1,0 +1,45 @@
+package comfort
+
+import (
+	"reflect"
+	"testing"
+
+	"uucs/internal/stats"
+)
+
+// TestSampleUserIntoMatchesSample verifies that regenerating a user in
+// place — including into a dirty reused struct — reproduces
+// SamplePopulation's users bit-identically. The streaming study engine
+// rebuilds each host's user per run from the host's seed instead of
+// holding the whole population in memory, so this identity is what
+// keeps its results equal to the batch path's.
+func TestSampleUserIntoMatchesSample(t *testing.T) {
+	p := DefaultPopulation()
+	users, err := SamplePopulation(20, p, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats.NewStream(99)
+	reused := &User{}
+	for i, want := range users {
+		SampleUserInto(reused, i, p, s.Fork())
+		if !reflect.DeepEqual(reused, want) {
+			t.Fatalf("user %d: regenerated user differs\ngot:  %+v\nwant: %+v", i, reused, want)
+		}
+	}
+}
+
+// TestSampleUserIntoAllocs pins the warm-path allocation count of user
+// regeneration.
+func TestSampleUserIntoAllocs(t *testing.T) {
+	p := DefaultPopulation()
+	s := stats.NewStream(3)
+	u := &User{}
+	SampleUserInto(u, 0, p, s)
+	avg := testing.AllocsPerRun(20, func() {
+		SampleUserInto(u, 1, p, s)
+	})
+	if avg > 0 {
+		t.Errorf("SampleUserInto allocates %.1f/run, want 0", avg)
+	}
+}

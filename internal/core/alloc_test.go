@@ -88,3 +88,67 @@ func TestExecuteWarmScratchMatchesFresh(t *testing.T) {
 		}
 	}
 }
+
+// TestExecuteIntoMatchesScratch verifies that a Run reused across
+// arbitrary testcases and tasks is bit-identical to a freshly allocated
+// one — the contract the streaming study engine's fold loop depends on.
+func TestExecuteIntoMatchesScratch(t *testing.T) {
+	e := NewEngine()
+	e.TraceEvents = true
+	user := testUser(t, 7)
+	warm := NewScratch()
+	reused := &Run{}
+	for _, task := range testcase.Tasks() {
+		suite, err := testcase.ControlledSuite(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app := testApp(t, task)
+		for i, tc := range suite {
+			seed := uint64(400 + i)
+			if err := e.ExecuteInto(warm, reused, tc, app, user, seed); err != nil {
+				t.Fatal(err)
+			}
+			want, err := e.ExecuteScratch(NewScratch(), tc, app, user, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(reused, want) {
+				t.Errorf("%s testcase %s: reused run differs from fresh", task, tc.ID)
+			}
+		}
+	}
+}
+
+// TestExecuteIntoAllocCeiling pins the fully-reused path: warm scratch,
+// reused run, no monitor replay. This is the configuration the
+// million-host streaming engine runs in, where any per-run allocation
+// multiplies by 10^6.
+func TestExecuteIntoAllocCeiling(t *testing.T) {
+	const ceiling = 1
+	e := NewEngine()
+	e.MonitorRate = 0
+	user := testUser(t, 1)
+	for _, r := range testcase.Resources() {
+		r := r
+		t.Run(string(r), func(t *testing.T) {
+			tc := suiteCaseFor(t, testcase.Word, r)
+			app := testApp(t, testcase.Word)
+			s := NewScratch()
+			run := &Run{}
+			if err := e.ExecuteInto(s, run, tc, app, user, 1); err != nil {
+				t.Fatal(err)
+			}
+			seed := uint64(2)
+			avg := testing.AllocsPerRun(10, func() {
+				if err := e.ExecuteInto(s, run, tc, app, user, seed); err != nil {
+					t.Fatal(err)
+				}
+				seed++
+			})
+			if avg > ceiling {
+				t.Errorf("ExecuteInto(%s) allocates %.1f/run, ceiling %d", r, avg, ceiling)
+			}
+		})
+	}
+}

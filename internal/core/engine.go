@@ -79,11 +79,25 @@ func (e *Engine) Execute(tc *testcase.Testcase, app apps.App, user *comfort.User
 // stream is reseeded through the same derivation chain a fresh run
 // uses, and all reused buffers are cleared before use.
 func (e *Engine) ExecuteScratch(s *Scratch, tc *testcase.Testcase, app apps.App, user *comfort.User, seed uint64) (*Run, error) {
-	if err := tc.Validate(); err != nil {
+	run := &Run{}
+	if err := e.ExecuteInto(s, run, tc, app, user, seed); err != nil {
 		return nil, err
 	}
+	return run, nil
+}
+
+// ExecuteInto is ExecuteScratch writing into a caller-owned Run,
+// reusing its Levels and LastFive maps and its Trace capacity. A reused
+// run compares bit-identical to a freshly allocated one; on error the
+// run's contents are undefined. Together with a warm Scratch this is
+// the engine's zero-allocation path — what lets the streaming study
+// engine execute a million hosts' runs without producing garbage.
+func (e *Engine) ExecuteInto(s *Scratch, run *Run, tc *testcase.Testcase, app apps.App, user *comfort.User, seed uint64) error {
+	if err := tc.Validate(); err != nil {
+		return err
+	}
 	if app == nil || user == nil {
-		return nil, fmt.Errorf("core: nil app or user")
+		return fmt.Errorf("core: nil app or user")
 	}
 	rng := &s.rng
 	rng.Reseed(seed)
@@ -93,16 +107,16 @@ func (e *Engine) ExecuteScratch(s *Scratch, tc *testcase.Testcase, app apps.App,
 		var err error
 		machine, err = hostsim.NewMachine(e.Machine, e.Noise, machineSeed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s.machine = machine
 	} else if err := machine.Reset(e.Machine, e.Noise, machineSeed); err != nil {
-		return nil, err
+		return err
 	}
 	// Start the exercisers: attach each exercise function's playback to
 	// the machine.
 	for r, f := range tc.Functions {
-		machine.SetContention(r, f.Value)
+		machine.SetExercise(r, f)
 	}
 	duration := tc.Duration()
 	rng.ForkInto(&s.evRng)
@@ -119,7 +133,10 @@ func (e *Engine) ExecuteScratch(s *Scratch, tc *testcase.Testcase, app apps.App,
 	perceiver := &s.perceiver
 	perceiver.Reset(user, appTask, &s.perRng)
 
-	run := &Run{
+	// Reset the caller's run in place, keeping only its reusable
+	// buffers: the Levels and LastFive maps and the Trace backing array.
+	oldLevels, oldLastFive, oldTrace := run.Levels, run.LastFive, run.Trace
+	*run = Run{
 		TestcaseID:      tc.ID,
 		Shape:           tc.Shape,
 		Params:          tc.Params,
@@ -133,7 +150,10 @@ func (e *Engine) ExecuteScratch(s *Scratch, tc *testcase.Testcase, app apps.App,
 	}
 	if e.TraceEvents {
 		// One sample per event plus one per frame window, worst case.
-		run.Trace = make([]TraceSample, 0, len(events)+int(duration/frameWindow)+2)
+		if want := len(events) + int(duration/frameWindow) + 2; cap(oldTrace) < want {
+			oldTrace = make([]TraceSample, 0, want)
+		}
+		run.Trace = oldTrace[:0]
 	}
 
 	var (
@@ -292,22 +312,27 @@ func (e *Engine) ExecuteScratch(s *Scratch, tc *testcase.Testcase, app apps.App,
 	// end of the run; levels are evaluated just before the feedback
 	// moment so a click at exact exhaustion reads the final sample.
 	levelTime := math.Min(run.Offset, duration-1e-9)
-	run.Levels = make(map[testcase.Resource]float64, len(tc.Functions))
-	for r := range tc.Functions {
-		run.Levels[r] = tc.Contention(r, levelTime)
+	if oldLevels == nil {
+		oldLevels = make(map[testcase.Resource]float64, len(tc.Functions))
+	} else {
+		clear(oldLevels)
 	}
-	run.LastFive = tc.LastFive(levelTime)
+	for r := range tc.Functions {
+		oldLevels[r] = tc.Contention(r, levelTime)
+	}
+	run.Levels = oldLevels
+	run.LastFive = tc.LastFiveInto(oldLastFive, levelTime)
 
 	if e.MonitorRate > 0 {
 		rec, err := monitor.NewRecorder(e.MonitorRate)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Re-attach the functions for the monitoring replay of the run
 		// window, mirroring what the live monitor saw.
 		for r, f := range tc.Functions {
 			if !clicked {
-				machine.SetContention(r, f.Value)
+				machine.SetExercise(r, f)
 				continue
 			}
 			fr, off := f, run.Offset
@@ -321,5 +346,5 @@ func (e *Engine) ExecuteScratch(s *Scratch, tc *testcase.Testcase, app apps.App,
 		rec.CaptureRun(machine, run.Offset)
 		run.Load = rec.Samples()
 	}
-	return run, nil
+	return nil
 }

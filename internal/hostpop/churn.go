@@ -1,0 +1,135 @@
+package hostpop
+
+import (
+	"fmt"
+	"math"
+
+	"uucs/internal/stats"
+)
+
+// Day is the diurnal period in simulated seconds.
+const Day = 86400.0
+
+// windowAt returns the start and end of host i's availability window
+// whose day-cycle contains t. Window k spans
+// [Phase - width/2 + k·Day, Phase - width/2 + k·Day + width); t always
+// satisfies t >= start for the returned k, and t is inside the window
+// iff t < end. Indexing windows explicitly (rather than folding t with
+// a modulus) keeps the math exact at window edges, where a fold-based
+// formula can livelock advancing by rounding-error slivers.
+func (pop *Population) windowAt(i int, t float64) (start, end float64) {
+	width := pop.AvailFrac[i] * Day
+	base := pop.Phase[i] - width/2
+	k := math.Floor((t - base) / Day)
+	start = base + k*Day
+	// floor over float subtraction can land one window off by an ulp;
+	// the guards pin the invariant start <= t < start + Day exactly.
+	if start > t {
+		start -= Day
+	}
+	if start+Day <= t {
+		start += Day
+	}
+	return start, start + width
+}
+
+// Available reports whether host i is inside its daily availability
+// window at simulated time t. The window is centered on the host's
+// Phase and spans AvailFrac of the day; join events are window starts,
+// leave events are window ends.
+func (pop *Population) Available(i int, t float64) bool {
+	if pop.AvailFrac[i] >= 1 {
+		return true
+	}
+	_, end := pop.windowAt(i, t)
+	return t < end
+}
+
+// NextAvailable returns the earliest time >= t at which host i is
+// available: t itself inside a window, otherwise the next join event.
+func (pop *Population) NextAvailable(i int, t float64) float64 {
+	if pop.AvailFrac[i] >= 1 {
+		return t
+	}
+	start, end := pop.windowAt(i, t)
+	if t < end {
+		return t
+	}
+	return start + Day
+}
+
+// AdvanceAvail returns the simulated time at which `gap` seconds of
+// host i's *available* time have elapsed, starting from t. Time spent
+// outside availability windows does not count: a host that leaves for
+// the night resumes its arrival process where it left off, which is
+// how diurnal windows stretch the fleet's Poisson arrivals without
+// changing per-window rates.
+func (pop *Population) AdvanceAvail(i int, t, gap float64) float64 {
+	if pop.AvailFrac[i] >= 1 {
+		return t + gap
+	}
+	width := pop.AvailFrac[i] * Day
+	start, _ := pop.windowAt(i, t)
+	// Walk whole windows from the containing one; advancing start by
+	// Day per iteration (instead of re-deriving it from t) makes
+	// progress unconditional, so edge-rounding can never stall the
+	// walk.
+	for {
+		end := start + width
+		at := t
+		if at < start {
+			at = start // wait for the join event
+		}
+		if at < end {
+			if at+gap <= end {
+				return at + gap
+			}
+			gap -= end - at
+		}
+		start += Day
+	}
+}
+
+// ChurnConfig parameterizes the crash half of the churn model. Diurnal
+// join/leave churn always runs (it is part of the population); crashes
+// — a host dying mid-testcase and its unreported run being lost — are
+// enabled per study.
+type ChurnConfig struct {
+	// Enabled turns crash events on.
+	Enabled bool
+	// CrashMeanGap is the mean available-time seconds between crashes
+	// of one host (exponential inter-crash times).
+	CrashMeanGap float64
+	// DowntimeMean is the mean seconds a crashed host stays away
+	// before rejoining (exponential).
+	DowntimeMean float64
+}
+
+// DefaultChurn matches the volunteer-computing churn regime: a host
+// crashes about every 20 active hours and returns within a few hours.
+func DefaultChurn() ChurnConfig {
+	return ChurnConfig{Enabled: true, CrashMeanGap: 20 * 3600, DowntimeMean: 4 * 3600}
+}
+
+// Validate checks the configuration.
+func (c ChurnConfig) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.CrashMeanGap <= 0 || c.DowntimeMean < 0 {
+		return fmt.Errorf("hostpop: churn needs positive crash gap and non-negative downtime")
+	}
+	return nil
+}
+
+// NextCrash draws host i's next crash event after time t from the
+// host's churn stream: the crash lands after an exponential amount of
+// *available* time, and the host rejoins after an exponential
+// downtime. It returns the crash time and the rejoin time. With churn
+// disabled it returns +Inf sentinels from the caller's side — callers
+// check Enabled first.
+func (c ChurnConfig) NextCrash(pop *Population, i int, t float64, s *stats.Stream) (crashAt, rejoinAt float64) {
+	crashAt = pop.AdvanceAvail(i, t, s.Exp(c.CrashMeanGap))
+	rejoinAt = crashAt + s.Exp(c.DowntimeMean)
+	return crashAt, rejoinAt
+}

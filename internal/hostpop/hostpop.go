@@ -1,0 +1,300 @@
+// Package hostpop generates statistically realistic populations of
+// Internet end hosts for the million-host study. The structure follows
+// Heien, Kondo and Anderson, "Correlated Resource Models of Internet
+// End Hosts" (PAPERS.md): per-resource marginal distributions
+// (lognormal for hardware capacities) coupled through a Gaussian
+// copula, per-host diurnal availability windows, and a churn model of
+// hosts joining, leaving, and crashing mid-testcase. Parameter values
+// are scaled to the 2004 desktop era of the source paper's fleet so the
+// generated populations stay comparable with the hand-written legacy
+// host configs.
+//
+// A Population is stored as structs-of-arrays: seven float64 columns,
+// 56 bytes per host and no per-host pointers, so a 10^6-host
+// population costs ~56 MB and zero GC pressure. Every host's draws are
+// derived from stats.DeriveSeed(seed, host), a pure function of the
+// population seed and the host index — generation parallelizes over
+// any worker count with byte-identical output, and host i's hardware
+// never depends on how many hosts surround it.
+package hostpop
+
+import (
+	"fmt"
+	"math"
+
+	"uucs/internal/hostsim"
+	"uucs/internal/pool"
+	"uucs/internal/stats"
+)
+
+// Marginal is one resource column's marginal distribution, mapped from
+// a standard normal copula coordinate. With Sigma > 0 it is a lognormal
+// with the given Median (the natural parameterization in Heien et al.'s
+// tables); otherwise it is uniform on [Lo, Hi]. Lo/Hi clamp lognormal
+// tails to physically sensible hardware.
+type Marginal struct {
+	Median, Sigma float64
+	Lo, Hi        float64
+	// Choices, when non-empty, quantizes the draw to the nearest listed
+	// value from below (used for discrete memory-module sizes).
+	Choices []float64
+}
+
+// FromNormal maps a standard normal variate through the marginal's
+// quantile function.
+func (m Marginal) FromNormal(z float64) float64 {
+	var v float64
+	if m.Sigma > 0 {
+		v = m.Median * math.Exp(m.Sigma*z)
+		if m.Lo > 0 && v < m.Lo {
+			v = m.Lo
+		}
+		if m.Hi > 0 && v > m.Hi {
+			v = m.Hi
+		}
+	} else {
+		u := stats.NormalCDF(z)
+		v = m.Lo + (m.Hi-m.Lo)*u
+	}
+	if len(m.Choices) > 0 {
+		u := stats.NormalCDF(z)
+		i := int(u * float64(len(m.Choices)))
+		if i >= len(m.Choices) {
+			i = len(m.Choices) - 1
+		}
+		v = m.Choices[i]
+	}
+	return v
+}
+
+// CDF returns the marginal's cumulative probability at x, for
+// goodness-of-fit testing against generated populations. Clamp atoms at
+// Lo/Hi are ignored (the profiles keep them in the far tails).
+func (m Marginal) CDF(x float64) float64 {
+	if m.Sigma > 0 {
+		if x <= 0 {
+			return 0
+		}
+		return stats.NormalCDF(math.Log(x/m.Median) / m.Sigma)
+	}
+	if x < m.Lo {
+		return 0
+	}
+	if x >= m.Hi {
+		return 1
+	}
+	return (x - m.Lo) / (m.Hi - m.Lo)
+}
+
+// Profile describes a host population: the three copula-coupled
+// hardware marginals, the independent nuisance marginals, the copula's
+// pairwise correlations, and the diurnal availability envelope.
+type Profile struct {
+	// Name identifies the profile ("heien2011", "legacy").
+	Name string
+
+	// CPUGHz, MemMB and DiskMBps are coupled through the Gaussian
+	// copula: fast machines tend to have more memory and faster disks.
+	CPUGHz, MemMB, DiskMBps Marginal
+	// DiskSeekMs and OSBaseMB are drawn independently.
+	DiskSeekMs, OSBaseMB Marginal
+
+	// CorrCPUMem, CorrCPUDisk and CorrMemDisk are the copula's pairwise
+	// correlations (rank correlations of the generated columns match
+	// them to within the Gaussian-copula Spearman correction).
+	CorrCPUMem, CorrCPUDisk, CorrMemDisk float64
+
+	// AvailLo and AvailHi bound each host's mean daily availability
+	// fraction (drawn uniformly). AlwaysOn disables diurnal windows
+	// entirely — every host is available around the clock, as the
+	// legacy fleet assumed.
+	AvailLo, AvailHi float64
+	AlwaysOn         bool
+}
+
+// cholesky returns the lower-triangular factors of the profile's 3x3
+// copula correlation matrix, or an error if it is not positive
+// definite.
+func (p Profile) cholesky() (l21, l22, l31, l32, l33 float64, err error) {
+	r12, r13, r23 := p.CorrCPUMem, p.CorrCPUDisk, p.CorrMemDisk
+	for _, r := range []float64{r12, r13, r23} {
+		if r <= -1 || r >= 1 {
+			return 0, 0, 0, 0, 0, fmt.Errorf("hostpop: copula correlation %g out of (-1, 1)", r)
+		}
+	}
+	l21 = r12
+	l22 = math.Sqrt(1 - r12*r12)
+	l31 = r13
+	l32 = (r23 - r12*r13) / l22
+	d := 1 - l31*l31 - l32*l32
+	if d <= 0 {
+		return 0, 0, 0, 0, 0, fmt.Errorf("hostpop: copula correlations (%g, %g, %g) are not positive definite", r12, r13, r23)
+	}
+	l33 = math.Sqrt(d)
+	return l21, l22, l31, l32, l33, nil
+}
+
+// Validate checks the profile is generatable.
+func (p Profile) Validate() error {
+	if _, _, _, _, _, err := p.cholesky(); err != nil {
+		return err
+	}
+	if !p.AlwaysOn && (p.AvailLo <= 0 || p.AvailHi > 1 || p.AvailLo > p.AvailHi) {
+		return fmt.Errorf("hostpop: availability range [%g, %g] out of (0, 1]", p.AvailLo, p.AvailHi)
+	}
+	return nil
+}
+
+// Population is a generated host population in structs-of-arrays form.
+// All slices have length N; host i's hardware is row i.
+type Population struct {
+	Profile Profile
+	Seed    uint64
+	N       int
+
+	CPUGHz     []float64
+	MemMB      []float64
+	OSBaseMB   []float64
+	DiskSeekMs []float64
+	DiskMBps   []float64
+
+	// AvailFrac is the fraction of each day the host is on and
+	// reachable (1 means always on); Phase is the center of its daily
+	// availability window in seconds of day time — effectively the
+	// host's timezone and usage habits.
+	AvailFrac []float64
+	Phase     []float64
+}
+
+// genChunk is the number of hosts one generation unit fills; chunking
+// amortizes pool dispatch without affecting output (host draws are
+// index-derived, not sequential).
+const genChunk = 4096
+
+// Generate draws an n-host population from the profile, deterministic
+// in seed and byte-identical for every worker count (0 selects
+// GOMAXPROCS).
+func Generate(n int, p Profile, seed uint64, workers int) (*Population, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("hostpop: population size must be positive, got %d", n)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	l21, l22, l31, l32, l33, err := p.cholesky()
+	if err != nil {
+		return nil, err
+	}
+	pop := &Population{
+		Profile:    p,
+		Seed:       seed,
+		N:          n,
+		CPUGHz:     make([]float64, n),
+		MemMB:      make([]float64, n),
+		OSBaseMB:   make([]float64, n),
+		DiskSeekMs: make([]float64, n),
+		DiskMBps:   make([]float64, n),
+		AvailFrac:  make([]float64, n),
+		Phase:      make([]float64, n),
+	}
+	chunks := (n + genChunk - 1) / genChunk
+	err = pool.RunScratch(workers, chunks, func() *stats.Stream { return stats.NewStream(0) }, func(c int, s *stats.Stream) error {
+		lo, hi := c*genChunk, (c+1)*genChunk
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			s.Reseed(stats.DeriveSeed(seed, uint64(i)))
+			// Copula coordinates: three correlated standard normals.
+			w1, w2, w3 := s.Norm(0, 1), s.Norm(0, 1), s.Norm(0, 1)
+			z1 := w1
+			z2 := l21*w1 + l22*w2
+			z3 := l31*w1 + l32*w2 + l33*w3
+			pop.CPUGHz[i] = p.CPUGHz.FromNormal(z1)
+			pop.MemMB[i] = p.MemMB.FromNormal(z2)
+			pop.DiskMBps[i] = p.DiskMBps.FromNormal(z3)
+			pop.DiskSeekMs[i] = p.DiskSeekMs.FromNormal(s.Norm(0, 1))
+			pop.OSBaseMB[i] = p.OSBaseMB.FromNormal(s.Norm(0, 1))
+			if p.AlwaysOn {
+				pop.AvailFrac[i] = 1
+				pop.Phase[i] = 0
+			} else {
+				pop.AvailFrac[i] = s.Range(p.AvailLo, p.AvailHi)
+				pop.Phase[i] = s.Range(0, Day)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pop, nil
+}
+
+// MachineConfig returns host i's hardware as a hostsim configuration.
+// The Name is left empty: a million-host study cannot afford a
+// formatted string per host, and nothing in the run path reads it.
+func (pop *Population) MachineConfig(i int) hostsim.Config {
+	return hostsim.Config{
+		CPUGHz:     pop.CPUGHz[i],
+		MemMB:      pop.MemMB[i],
+		OSBaseMB:   pop.OSBaseMB[i],
+		DiskSeekMs: pop.DiskSeekMs[i],
+		DiskMBps:   pop.DiskMBps[i],
+		PageKB:     4,
+	}
+}
+
+// MedianCPUGHz returns the population's empirical median clock — the
+// split point of the host-speed analysis. It is computed with a
+// partial selection over a scratch copy, O(n) expected.
+func (pop *Population) MedianCPUGHz() float64 {
+	scratch := make([]float64, pop.N)
+	copy(scratch, pop.CPUGHz)
+	return quickselect(scratch, pop.N/2)
+}
+
+// MedianMemMB returns the empirical median memory size, the
+// memory-split point.
+func (pop *Population) MedianMemMB() float64 {
+	scratch := make([]float64, pop.N)
+	copy(scratch, pop.MemMB)
+	return quickselect(scratch, pop.N/2)
+}
+
+// quickselect returns the k'th smallest element of xs, reordering xs.
+// Median-of-three pivoting keeps sorted and constant inputs O(n).
+func quickselect(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		// Median-of-three pivot, moved to xs[lo].
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[mid] < xs[hi] {
+			xs[mid], xs[hi] = xs[hi], xs[mid]
+		}
+		pivot := xs[hi]
+		i := lo
+		for j := lo; j < hi; j++ {
+			if xs[j] < pivot {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+			}
+		}
+		xs[i], xs[hi] = xs[hi], xs[i]
+		switch {
+		case k == i:
+			return xs[i]
+		case k < i:
+			hi = i - 1
+		default:
+			lo = i + 1
+		}
+	}
+	return xs[lo]
+}

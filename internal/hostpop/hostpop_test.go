@@ -1,0 +1,342 @@
+package hostpop
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"uucs/internal/stats"
+)
+
+func generateT(t *testing.T, n int, p Profile, seed uint64, workers int) *Population {
+	t.Helper()
+	pop, err := Generate(n, p, seed, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pop
+}
+
+// ksDistance returns the maximum distance between the empirical CDF of
+// xs and the marginal's model CDF, excluding the clamp atoms.
+func ksDistance(xs []float64, m Marginal) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	worst := 0.0
+	for i, x := range sorted {
+		if m.Lo > 0 && x <= m.Lo || m.Hi > 0 && x >= m.Hi {
+			continue // clamp atom
+		}
+		f := m.CDF(x)
+		for _, emp := range []float64{float64(i) / n, float64(i+1) / n} {
+			if d := math.Abs(emp - f); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// TestMarginalsMatchTargets is the first property test: generated
+// hardware columns follow the profile's marginal distributions to a
+// KS-style tolerance.
+func TestMarginalsMatchTargets(t *testing.T) {
+	const n = 20000
+	p := Heien()
+	pop := generateT(t, n, p, 42, 0)
+	// KS critical value at alpha=0.01 for n=20000 is ~0.0115; the
+	// copula marginals are exact, so 0.02 leaves comfortable slack
+	// without masking a wrong distribution.
+	const tol = 0.02
+	cases := []struct {
+		name string
+		col  []float64
+		m    Marginal
+	}{
+		{"cpu", pop.CPUGHz, p.CPUGHz},
+		{"mem", pop.MemMB, p.MemMB},
+		{"diskbw", pop.DiskMBps, p.DiskMBps},
+		{"diskseek", pop.DiskSeekMs, p.DiskSeekMs},
+		{"osbase", pop.OSBaseMB, p.OSBaseMB},
+	}
+	for _, c := range cases {
+		if d := ksDistance(c.col, c.m); d > tol {
+			t.Errorf("%s marginal KS distance %.4f > %.4f", c.name, d, tol)
+		}
+	}
+	// Availability fractions span the configured envelope.
+	lo, hi := 1.0, 0.0
+	for _, f := range pop.AvailFrac {
+		if f < p.AvailLo || f > p.AvailHi {
+			t.Fatalf("availability %v outside [%v, %v]", f, p.AvailLo, p.AvailHi)
+		}
+		lo, hi = math.Min(lo, f), math.Max(hi, f)
+	}
+	if hi-lo < 0.4 {
+		t.Errorf("availability spread too narrow: %v..%v", lo, hi)
+	}
+}
+
+// spearman returns the rank correlation of two equal-length columns.
+func spearman(a, b []float64) float64 {
+	ra, rb := ranks(a), ranks(b)
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range ra {
+		ma += ra[i]
+		mb += rb[i]
+	}
+	ma /= n
+	mb /= n
+	var num, va, vb float64
+	for i := range ra {
+		da, db := ra[i]-ma, rb[i]-mb
+		num += da * db
+		va += da * da
+		vb += db * db
+	}
+	return num / math.Sqrt(va*vb)
+}
+
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return xs[idx[i]] < xs[idx[j]] })
+	r := make([]float64, len(xs))
+	for rank, i := range idx {
+		r[i] = float64(rank)
+	}
+	return r
+}
+
+// TestPairwiseRankCorrelations is the second property test: the
+// generated columns' Spearman correlations sit within ±0.05 of the
+// configured copula correlations.
+func TestPairwiseRankCorrelations(t *testing.T) {
+	const n = 20000
+	p := Heien()
+	pop := generateT(t, n, p, 7, 0)
+	cases := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"cpu-mem", pop.CPUGHz, pop.MemMB, p.CorrCPUMem},
+		{"cpu-disk", pop.CPUGHz, pop.DiskMBps, p.CorrCPUDisk},
+		{"mem-disk", pop.MemMB, pop.DiskMBps, p.CorrMemDisk},
+		// Independent columns must stay uncorrelated.
+		{"cpu-seek", pop.CPUGHz, pop.DiskSeekMs, 0},
+		{"mem-osbase", pop.MemMB, pop.OSBaseMB, 0},
+	}
+	for _, c := range cases {
+		got := spearman(c.a, c.b)
+		if math.Abs(got-c.want) > 0.05 {
+			t.Errorf("%s rank correlation %.3f, want %.3f ± 0.05", c.name, got, c.want)
+		}
+	}
+}
+
+// TestGenerateDeterministicAcrossWorkers is the third property test:
+// the same -pop-seed yields a byte-identical population at every
+// worker count, and host i's row never depends on the population size
+// around it.
+func TestGenerateDeterministicAcrossWorkers(t *testing.T) {
+	p := Heien()
+	serial := generateT(t, 10000, p, 99, 1)
+	for _, workers := range []int{2, 4, 8} {
+		par := generateT(t, 10000, p, 99, workers)
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("population differs between 1 and %d workers", workers)
+		}
+	}
+	// Prefix property: a smaller population is an exact prefix of a
+	// larger one — the convergence study's fleets are nested samples.
+	small := generateT(t, 1000, p, 99, 0)
+	for i := 0; i < small.N; i++ {
+		if small.CPUGHz[i] != serial.CPUGHz[i] || small.MemMB[i] != serial.MemMB[i] ||
+			small.Phase[i] != serial.Phase[i] {
+			t.Fatalf("host %d differs between 1k and 10k populations", i)
+		}
+	}
+	// A different seed draws a different population.
+	other := generateT(t, 1000, p, 100, 0)
+	if reflect.DeepEqual(small.CPUGHz, other.CPUGHz) {
+		t.Error("different seeds produced identical populations")
+	}
+}
+
+// TestLegacyProfileShape checks the legacy profile reproduces the
+// hand-written sampler's distributions: uniform clocks on [0.8, 3.2),
+// the five discrete memory modules, and always-on hosts.
+func TestLegacyProfileShape(t *testing.T) {
+	p := Legacy()
+	pop := generateT(t, 5000, p, 3, 0)
+	memOK := map[float64]int{256: 0, 384: 0, 512: 0, 768: 0, 1024: 0}
+	for i := 0; i < pop.N; i++ {
+		if pop.CPUGHz[i] < 0.8 || pop.CPUGHz[i] >= 3.2 {
+			t.Fatalf("legacy clock %v out of [0.8, 3.2)", pop.CPUGHz[i])
+		}
+		if _, ok := memOK[pop.MemMB[i]]; !ok {
+			t.Fatalf("legacy memory %v not a module choice", pop.MemMB[i])
+		}
+		memOK[pop.MemMB[i]]++
+		if pop.AvailFrac[i] != 1 {
+			t.Fatalf("legacy host %d not always-on", i)
+		}
+	}
+	for mb, count := range memOK {
+		frac := float64(count) / float64(pop.N)
+		if frac < 0.15 || frac > 0.25 {
+			t.Errorf("memory module %v drawn with frequency %v, want ~0.2", mb, frac)
+		}
+	}
+	if d := ksDistance(pop.CPUGHz, p.CPUGHz); d > 0.025 {
+		t.Errorf("legacy clock KS distance %v", d)
+	}
+	// Every legacy machine config must validate.
+	for i := 0; i < 100; i++ {
+		if err := pop.MachineConfig(i).Validate(); err != nil {
+			t.Fatalf("host %d: %v", i, err)
+		}
+	}
+}
+
+// TestMachineConfigsValidate checks every generated host is a
+// physically sensible machine.
+func TestMachineConfigsValidate(t *testing.T) {
+	pop := generateT(t, 2000, Heien(), 12, 0)
+	for i := 0; i < pop.N; i++ {
+		if err := pop.MachineConfig(i).Validate(); err != nil {
+			t.Fatalf("host %d: %v (cfg %+v)", i, err, pop.MachineConfig(i))
+		}
+	}
+}
+
+// TestMedians cross-checks the selection-based medians against sorting.
+func TestMedians(t *testing.T) {
+	pop := generateT(t, 4001, Heien(), 5, 0)
+	sorted := append([]float64(nil), pop.CPUGHz...)
+	sort.Float64s(sorted)
+	if got, want := pop.MedianCPUGHz(), sorted[len(sorted)/2]; got != want {
+		t.Errorf("MedianCPUGHz = %v, want %v", got, want)
+	}
+	sorted = append(sorted[:0], pop.MemMB...)
+	sort.Float64s(sorted)
+	if got, want := pop.MedianMemMB(), sorted[len(sorted)/2]; got != want {
+		t.Errorf("MedianMemMB = %v, want %v", got, want)
+	}
+}
+
+// TestAvailabilityWindows checks the diurnal window math: window width
+// equals the availability fraction, NextAvailable lands inside a
+// window, and AdvanceAvail accumulates exactly the available time.
+func TestAvailabilityWindows(t *testing.T) {
+	pop := generateT(t, 50, Heien(), 21, 0)
+	for i := 0; i < pop.N; i++ {
+		// Sampled fraction of the day the host reports available.
+		const steps = 20000
+		avail := 0
+		for k := 0; k < steps; k++ {
+			if pop.Available(i, float64(k)*Day/steps) {
+				avail++
+			}
+		}
+		frac := float64(avail) / steps
+		if math.Abs(frac-pop.AvailFrac[i]) > 0.01 {
+			t.Fatalf("host %d available %v of the day, want %v", i, frac, pop.AvailFrac[i])
+		}
+		// NextAvailable is available and no earlier than t.
+		for _, tt := range []float64{0, 1000, Day / 3, Day - 1, 5 * Day} {
+			nt := pop.NextAvailable(i, tt)
+			if nt < tt {
+				t.Fatalf("NextAvailable went backwards: %v -> %v", tt, nt)
+			}
+			if !pop.Available(i, nt) {
+				t.Fatalf("host %d NextAvailable(%v) = %v not available", i, tt, nt)
+			}
+		}
+		// AdvanceAvail over one full day of available time lands one
+		// day's window-width later in available-time terms: walking it
+		// in two halves agrees with one step.
+		one := pop.AdvanceAvail(i, 0, 10000)
+		half := pop.AdvanceAvail(i, pop.AdvanceAvail(i, 0, 5000), 5000)
+		if math.Abs(one-half) > 1e-6 {
+			t.Fatalf("host %d AdvanceAvail not additive: %v vs %v", i, one, half)
+		}
+		if !pop.Available(i, one) && pop.AvailFrac[i] < 1 {
+			// The advance may land exactly on a window edge; nudge in.
+			if !pop.Available(i, pop.NextAvailable(i, one)) {
+				t.Fatalf("host %d AdvanceAvail landed outside windows", i)
+			}
+		}
+	}
+}
+
+// TestAlwaysOnFastPaths pins the always-on semantics the legacy
+// profile and churn-free studies rely on.
+func TestAlwaysOnFastPaths(t *testing.T) {
+	pop := generateT(t, 10, Legacy(), 2, 0)
+	if !pop.Available(3, 12345) || pop.NextAvailable(3, 777) != 777 {
+		t.Error("always-on host not always available")
+	}
+	if got := pop.AdvanceAvail(3, 100, 50); got != 150 {
+		t.Errorf("AdvanceAvail = %v, want 150", got)
+	}
+}
+
+// TestChurnDraws checks crash events land during available time and
+// rejoin after them, deterministically per stream.
+func TestChurnDraws(t *testing.T) {
+	pop := generateT(t, 20, Heien(), 8, 0)
+	cfg := DefaultChurn()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := stats.NewStream(4)
+	for i := 0; i < pop.N; i++ {
+		crash, rejoin := cfg.NextCrash(pop, i, 0, s)
+		if crash <= 0 || rejoin < crash {
+			t.Fatalf("host %d: crash %v rejoin %v", i, crash, rejoin)
+		}
+	}
+	// Same stream seed, same schedule.
+	a, b := stats.NewStream(9), stats.NewStream(9)
+	c1, r1 := cfg.NextCrash(pop, 0, 0, a)
+	c2, r2 := cfg.NextCrash(pop, 0, 0, b)
+	if c1 != c2 || r1 != r2 {
+		t.Error("churn draws not deterministic")
+	}
+}
+
+// TestGenerateValidation covers the error paths.
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(0, Heien(), 1, 0); err == nil {
+		t.Error("zero hosts accepted")
+	}
+	bad := Heien()
+	bad.CorrCPUMem, bad.CorrCPUDisk, bad.CorrMemDisk = 0.9, -0.9, 0.9
+	if _, err := Generate(10, bad, 1, 0); err == nil {
+		t.Error("non-PSD copula accepted")
+	}
+	bad = Heien()
+	bad.AvailLo = 0
+	if _, err := Generate(10, bad, 1, 0); err == nil {
+		t.Error("zero availability accepted")
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	for _, name := range []string{"heien", "legacy", ""} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	churn := ChurnConfig{Enabled: true, CrashMeanGap: 0}
+	if err := churn.Validate(); err == nil {
+		t.Error("zero crash gap accepted")
+	}
+}

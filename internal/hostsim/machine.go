@@ -124,6 +124,14 @@ type Machine struct {
 
 	contention [numResources]ContentionFunc
 
+	// exercise holds contention profiles attached as plain exercise
+	// functions (SetExercise); unlike a ContentionFunc closure these
+	// attach without a heap allocation, which is what the zero-alloc
+	// run path uses. A set exercise slot takes priority over the
+	// closure slot.
+	exercise    [numResources]testcase.ExerciseFunction
+	hasExercise [numResources]bool
+
 	// diskFreeAt is the time the disk queue drains; requests submitted
 	// before then wait behind earlier ones (FIFO).
 	diskFreeAt float64
@@ -164,6 +172,8 @@ func (m *Machine) Reset(cfg Config, noiseProfile NoiseProfile, seed uint64) erro
 	m.rng.Reseed(seed)
 	m.noise.reset(noiseProfile, m.rng)
 	m.contention = [numResources]ContentionFunc{}
+	m.exercise = [numResources]testcase.ExerciseFunction{}
+	m.hasExercise = [numResources]bool{}
 	m.diskFreeAt = 0
 	m.subinterval = 0.1
 	return nil
@@ -177,6 +187,17 @@ func (m *Machine) Config() Config { return m.cfg }
 func (m *Machine) SetContention(r testcase.Resource, f ContentionFunc) {
 	if i := resourceIndex(r); i >= 0 {
 		m.contention[i] = f
+		m.hasExercise[i] = false
+	}
+}
+
+// SetExercise attaches a testcase exercise function directly, the
+// allocation-free equivalent of SetContention(r, f.Value): storing the
+// function struct avoids materializing a method-value closure per run.
+func (m *Machine) SetExercise(r testcase.Resource, f testcase.ExerciseFunction) {
+	if i := resourceIndex(r); i >= 0 {
+		m.exercise[i] = f
+		m.hasExercise[i] = true
 	}
 }
 
@@ -184,6 +205,8 @@ func (m *Machine) SetContention(r testcase.Resource, f ContentionFunc) {
 // exercisers immediately when the user expresses discomfort.
 func (m *Machine) ClearContention() {
 	m.contention = [numResources]ContentionFunc{}
+	m.exercise = [numResources]testcase.ExerciseFunction{}
+	m.hasExercise = [numResources]bool{}
 }
 
 // ContentionAt returns the contention applied to resource r at time t.
@@ -198,11 +221,14 @@ func (m *Machine) ContentionAt(r testcase.Resource, t float64) float64 {
 // contentionAt is the hot-path form of ContentionAt for pre-resolved
 // resource indices.
 func (m *Machine) contentionAt(i int, t float64) float64 {
-	f := m.contention[i]
-	if f == nil {
+	var c float64
+	if m.hasExercise[i] {
+		c = m.exercise[i].Value(t)
+	} else if f := m.contention[i]; f != nil {
+		c = f(t)
+	} else {
 		return 0
 	}
-	c := f(t)
 	if c < 0 {
 		return 0
 	}

@@ -1,0 +1,64 @@
+package internetstudy
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"uucs/internal/testcase"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden fleet snapshot in testdata/")
+
+// legacyFigures renders the legacy fleet's headline figures — the
+// per-resource CDFs, the host-speed split, and the memory-size split —
+// exactly as `uucs-internet -pop-profile legacy` prints them.
+func legacyFigures(t *testing.T, res *Results) string {
+	t.Helper()
+	var b strings.Builder
+	for _, r := range testcase.Resources() {
+		c := res.DB.ResourceCDF(r)
+		fmt.Fprintln(&b, c.Render("Internet-study CDF for "+string(r), 60, 10, 0))
+	}
+	se, err := HostSpeedEffect(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&b, se)
+	ms, err := MemorySizeSplit(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&b, ms)
+	return b.String()
+}
+
+// TestLegacyFleetGolden pins the legacy protocol fleet's figures. The
+// streaming engine is the default path now; this snapshot guarantees
+// `-pop-profile legacy` keeps reproducing the historical results
+// byte-for-byte. Behaviour changes must be deliberate: rerun with
+// -update and review the diff.
+func TestLegacyFleetGolden(t *testing.T) {
+	got := legacyFigures(t, fixture(t))
+	path := filepath.Join("testdata", "legacy_fleet.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run `go test ./internal/internetstudy -run TestLegacyFleetGolden -update`): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("legacy fleet drifted from golden %s.\n--- got\n%s\n--- want\n%s\nIf the change is intentional, rerun with -update.",
+			path, got, want)
+	}
+}

@@ -1,0 +1,472 @@
+package internetstudy
+
+// The streaming study engine: the million-host counterpart of Run.
+//
+// Where Run simulates the fleet faithfully — a real server, a TCP (or
+// in-memory) network, per-host client stores on disk — the streaming
+// engine answers the scaling question the paper could not: what do the
+// aggregate comfort statistics converge to as the fleet grows from the
+// study's ~100 hosts toward the Internet population the system was
+// designed for? It drops the protocol layer and executes runs directly,
+// folding every run record into mergeable fixed-size accumulators
+// (stats.LevelAccum) the moment it is produced. Memory is O(hosts) for
+// the population columns plus O(1) for the aggregates — never O(runs) —
+// and the run path allocates nothing, so 10^6 hosts stream through in
+// bounded RSS.
+//
+// Determinism contract: every host's run sequence is derived from
+// stats.DeriveSeed(runRoot, host), a pure function of (Seed, host
+// index). Aggregation is bit-exact under any merge order (integer
+// accumulators), so results are byte-identical for every worker count
+// and block size, and a population generated with the same seed is a
+// prefix of any larger one — which is what makes the convergence-vs-
+// fleet-size experiment meaningful.
+
+import (
+	"fmt"
+	"sync"
+
+	"uucs/internal/apps"
+	"uucs/internal/comfort"
+	"uucs/internal/core"
+	"uucs/internal/hostpop"
+	"uucs/internal/hostsim"
+	"uucs/internal/pool"
+	"uucs/internal/stats"
+	"uucs/internal/testcase"
+)
+
+// StreamConfig parameterizes a streaming study.
+type StreamConfig struct {
+	// Hosts is the fleet size (tested to 10^6).
+	Hosts int
+	// RunsPerHost is how many testcase arrivals each host attempts.
+	RunsPerHost int
+	// TestcaseCount is the shared testcase population size.
+	TestcaseCount int
+	// MeanGap is the mean available-time seconds between a host's
+	// testcase arrivals (Poisson over the host's availability windows).
+	MeanGap float64
+	// Seed drives the population, the testcase suite, and every host's
+	// run stream.
+	Seed uint64
+	// Profile is the host-population profile (hostpop.Heien by default).
+	Profile hostpop.Profile
+	// Churn enables crash churn: hosts dying mid-testcase, losing the
+	// unreported run, and rejoining later. Diurnal join/leave churn is
+	// part of the population profile and always applies.
+	Churn hostpop.ChurnConfig
+	// Population parameterizes the user models.
+	Population comfort.PopulationParams
+	// Workers bounds the concurrently simulated host blocks; 0 selects
+	// GOMAXPROCS. Results are byte-identical for every value.
+	Workers int
+	// BlockSize is the number of hosts one scheduling unit simulates
+	// (0: 2048). It only affects dispatch granularity, never results.
+	BlockSize int
+	// CollectRuns keeps every folded run record in memory — the small-N
+	// reference mode TestStreamingStudyMatchesBatch compares against.
+	// Never enable it at large fleet sizes.
+	CollectRuns bool
+}
+
+// DefaultStreamConfig mirrors DefaultConfig's per-host parameters on the
+// correlated population.
+func DefaultStreamConfig() StreamConfig {
+	return StreamConfig{
+		Hosts:         100,
+		RunsPerHost:   12,
+		TestcaseCount: 400,
+		MeanGap:       1800,
+		Seed:          2004,
+		Profile:       hostpop.Heien(),
+		Population:    comfort.DefaultPopulation(),
+	}
+}
+
+// accumLo/accumHi/accumBins fix the shared accumulator geometry:
+// contention levels live in [0, 10] (CPU ramps top out near 7, memory
+// at 1) and 2048 bins resolve ~0.005 contention.
+const (
+	accumLo   = 0.0
+	accumHi   = 10.0
+	accumBins = 2048
+)
+
+// StreamAggregates is the full set of streaming accumulators: the
+// per-resource comfort CDFs and the host-speed and memory-size splits.
+// Every field folds with integer arithmetic, so merging partials from
+// any number of workers in any order is bit-exact.
+type StreamAggregates struct {
+	// ByResource aggregates runs by primary exercised resource.
+	ByResource map[testcase.Resource]*stats.LevelAccum
+	// SlowCPU and FastCPU split CPU-testcase runs at the population's
+	// median clock (the paper's open question 6).
+	SlowCPU, FastCPU *stats.LevelAccum
+	// SmallMem and BigMem split memory-testcase runs at the median RAM.
+	SmallMem, BigMem *stats.LevelAccum
+
+	// Accounting. Every attempted run is exactly one of: folded into
+	// ByResource, a blank testcase (noise floor, nothing to fold), or
+	// lost to a crash. Attempted == Folded + Blank + Crashed always —
+	// the pop-smoke CI job asserts it to prove no run is lost or
+	// double-counted by the scheduler.
+	Attempted, Folded, Blank, Crashed uint64
+}
+
+// NewStreamAggregates returns an empty aggregate set.
+func NewStreamAggregates() *StreamAggregates {
+	return &StreamAggregates{
+		ByResource: map[testcase.Resource]*stats.LevelAccum{
+			testcase.CPU:    stats.NewLevelAccum(accumLo, accumHi, accumBins),
+			testcase.Memory: stats.NewLevelAccum(accumLo, accumHi, accumBins),
+			testcase.Disk:   stats.NewLevelAccum(accumLo, accumHi, accumBins),
+		},
+		SlowCPU:  stats.NewLevelAccum(accumLo, accumHi, accumBins),
+		FastCPU:  stats.NewLevelAccum(accumLo, accumHi, accumBins),
+		SmallMem: stats.NewLevelAccum(accumLo, accumHi, accumBins),
+		BigMem:   stats.NewLevelAccum(accumLo, accumHi, accumBins),
+	}
+}
+
+// Fold folds one completed run produced by host i of pop, split at the
+// given medians. It is the single aggregation point shared by the
+// streaming path and the in-memory reference path, so the two cannot
+// diverge.
+func (ag *StreamAggregates) Fold(run *core.Run, pop *hostpop.Population, i int, medianGHz, medianMB float64) {
+	ag.Attempted++
+	r := run.PrimaryResource
+	acc, ok := ag.ByResource[r]
+	if run.Blank || !ok {
+		ag.Blank++
+		return
+	}
+	ag.Folded++
+	lvl, discomfort := 0.0, false
+	if run.Terminated == core.Discomfort {
+		lvl, discomfort = run.Level()
+	}
+	fold := func(a *stats.LevelAccum) {
+		if discomfort {
+			a.Observe(lvl)
+		} else {
+			a.ObserveExhausted()
+		}
+	}
+	fold(acc)
+	switch r {
+	case testcase.CPU:
+		if pop.CPUGHz[i] < medianGHz {
+			fold(ag.SlowCPU)
+		} else {
+			fold(ag.FastCPU)
+		}
+	case testcase.Memory:
+		if pop.MemMB[i] < medianMB {
+			fold(ag.SmallMem)
+		} else {
+			fold(ag.BigMem)
+		}
+	}
+}
+
+// FoldCrashed accounts one run lost to a mid-testcase crash.
+func (ag *StreamAggregates) FoldCrashed() {
+	ag.Attempted++
+	ag.Crashed++
+}
+
+// Merge folds other into ag. Bit-exact under any merge order.
+func (ag *StreamAggregates) Merge(other *StreamAggregates) {
+	for r, a := range ag.ByResource {
+		a.Merge(other.ByResource[r])
+	}
+	ag.SlowCPU.Merge(other.SlowCPU)
+	ag.FastCPU.Merge(other.FastCPU)
+	ag.SmallMem.Merge(other.SmallMem)
+	ag.BigMem.Merge(other.BigMem)
+	ag.Attempted += other.Attempted
+	ag.Folded += other.Folded
+	ag.Blank += other.Blank
+	ag.Crashed += other.Crashed
+}
+
+// CheckAccounting verifies the no-lost-no-duplicated-runs identity
+// against the expected attempt count.
+func (ag *StreamAggregates) CheckAccounting(wantAttempts uint64) error {
+	if ag.Attempted != wantAttempts {
+		return fmt.Errorf("internetstudy: attempted %d runs, scheduled %d", ag.Attempted, wantAttempts)
+	}
+	if got := ag.Folded + ag.Blank + ag.Crashed; got != ag.Attempted {
+		return fmt.Errorf("internetstudy: accounting leak: folded %d + blank %d + crashed %d = %d != attempted %d",
+			ag.Folded, ag.Blank, ag.Crashed, got, ag.Attempted)
+	}
+	var inAccums uint64
+	for _, a := range ag.ByResource {
+		inAccums += a.N()
+	}
+	if inAccums != ag.Folded {
+		return fmt.Errorf("internetstudy: accumulators hold %d runs, folded %d", inAccums, ag.Folded)
+	}
+	return nil
+}
+
+// StreamResults is everything a streaming study produces.
+type StreamResults struct {
+	Config StreamConfig
+	// Pop is the generated host population.
+	Pop *hostpop.Population
+	// MedianGHz and MedianMB are the population split points.
+	MedianGHz, MedianMB float64
+	// Agg holds the streamed comfort aggregates.
+	Agg *StreamAggregates
+	// Runs holds every folded or blank run in schedule order — only in
+	// CollectRuns mode, and nil otherwise.
+	Runs []*core.Run
+	// RunHosts gives the host index of each collected run.
+	RunHosts []int
+}
+
+// runLane separates the per-host run streams from the per-host
+// population draws, which use DeriveSeed(Seed, host) directly.
+const runLane = ^uint64(0)
+
+// streamWorker is one worker's reusable state: engine, scratch, run
+// record, user, RNG streams, and partial aggregates. Everything a run
+// needs lives here, so the per-run path performs no allocation.
+type streamWorker struct {
+	scratch *core.Scratch
+	run     core.Run
+	user    comfort.User
+	host    stats.Stream // per-host master (reseeded per host)
+	userRng stats.Stream // user regeneration fork
+	eng     core.Engine
+	apps    map[testcase.Task]apps.App
+	agg     *StreamAggregates
+}
+
+// RunStreaming executes the streaming study.
+func RunStreaming(cfg StreamConfig) (*StreamResults, error) {
+	if cfg.Hosts <= 0 || cfg.RunsPerHost <= 0 {
+		return nil, fmt.Errorf("internetstudy: need positive hosts and runs per host")
+	}
+	if cfg.TestcaseCount <= 0 {
+		return nil, fmt.Errorf("internetstudy: need a positive testcase count")
+	}
+	if cfg.MeanGap <= 0 {
+		return nil, fmt.Errorf("internetstudy: need a positive mean arrival gap")
+	}
+	if cfg.Profile.Name == "" {
+		cfg.Profile = hostpop.Heien()
+	}
+	if err := cfg.Churn.Validate(); err != nil {
+		return nil, err
+	}
+	blockSize := cfg.BlockSize
+	if blockSize <= 0 {
+		blockSize = 2048
+	}
+
+	// Shared inputs, derived from the seed exactly once: the testcase
+	// suite and the population. Neither depends on worker count.
+	master := stats.NewStream(cfg.Seed)
+	gen := testcase.DefaultGeneratorConfig()
+	gen.Count = cfg.TestcaseCount
+	tcs, err := testcase.Generate("inet", gen, master.Fork())
+	if err != nil {
+		return nil, err
+	}
+	pop, err := hostpop.Generate(cfg.Hosts, cfg.Profile, cfg.Seed, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	res := &StreamResults{
+		Config:    cfg,
+		Pop:       pop,
+		MedianGHz: pop.MedianCPUGHz(),
+		MedianMB:  pop.MedianMemMB(),
+	}
+	runRoot := stats.DeriveSeed(cfg.Seed, runLane)
+
+	// Per-block collected runs (reference mode): indexed by block so
+	// concatenation order is worker-count independent.
+	blocks := (cfg.Hosts + blockSize - 1) / blockSize
+	var collected [][]*core.Run
+	var collectedHosts [][]int
+	if cfg.CollectRuns {
+		collected = make([][]*core.Run, blocks)
+		collectedHosts = make([][]int, blocks)
+	}
+
+	var mu sync.Mutex
+	var workers []*streamWorker
+	newWorker := func() *streamWorker {
+		w := &streamWorker{
+			scratch: core.NewScratch(),
+			apps:    make(map[testcase.Task]apps.App, len(taskWeights)),
+			agg:     NewStreamAggregates(),
+		}
+		w.eng = core.Engine{Noise: hostsim.DefaultNoise(), MonitorRate: 0}
+		for _, tw := range taskWeights {
+			app, err := apps.New(tw.task)
+			if err != nil {
+				panic(err) // static task list; cannot fail
+			}
+			w.apps[tw.task] = app
+		}
+		mu.Lock()
+		workers = append(workers, w)
+		mu.Unlock()
+		return w
+	}
+
+	err = pool.RunScratch(cfg.Workers, blocks, newWorker, func(b int, w *streamWorker) error {
+		lo, hi := b*blockSize, (b+1)*blockSize
+		if hi > cfg.Hosts {
+			hi = cfg.Hosts
+		}
+		for i := lo; i < hi; i++ {
+			if err := w.runHost(cfg, res, tcs, runRoot, i, b, collected, collectedHosts); err != nil {
+				return fmt.Errorf("internetstudy: host %d: %w", i, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge worker partials. LevelAccum merging is bit-exact under any
+	// order, so the nondeterministic worker list order cannot leak into
+	// the results.
+	res.Agg = NewStreamAggregates()
+	for _, w := range workers {
+		res.Agg.Merge(w.agg)
+	}
+	if cfg.CollectRuns {
+		for b := range collected {
+			res.Runs = append(res.Runs, collected[b]...)
+			res.RunHosts = append(res.RunHosts, collectedHosts[b]...)
+		}
+	}
+	want := uint64(cfg.Hosts) * uint64(cfg.RunsPerHost)
+	if err := res.Agg.CheckAccounting(want); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runHost simulates one host's whole participation: regenerate its user
+// from the host seed, walk its arrival process over availability
+// windows, execute each run, fold or discard it, and advance crash
+// churn.
+func (w *streamWorker) runHost(cfg StreamConfig, res *StreamResults, tcs []*testcase.Testcase, runRoot uint64, i, block int, collected [][]*core.Run, collectedHosts [][]int) error {
+	pop := res.Pop
+	hs := &w.host
+	hs.Reseed(stats.DeriveSeed(runRoot, uint64(i)))
+
+	// The user behind this host, regenerated per host rather than held
+	// for the whole fleet (10^6 User structs would dominate RSS).
+	w.userRng.Reseed(hs.Uint64())
+	comfort.SampleUserInto(&w.user, i, cfg.Population, &w.userRng)
+	w.eng.Machine = pop.MachineConfig(i)
+
+	churn := cfg.Churn.Enabled
+	var crashAt, rejoinAt float64
+	if churn {
+		crashAt, rejoinAt = cfg.Churn.NextCrash(pop, i, 0, hs)
+	}
+
+	t := 0.0
+	for r := 0; r < cfg.RunsPerHost; r++ {
+		// Next arrival: Poisson over the host's available time.
+		t = pop.AdvanceAvail(i, t, hs.Exp(cfg.MeanGap))
+		// Crashes during the idle gap: the host is simply away; the
+		// pending arrival executes once it has rejoined.
+		for churn && t >= crashAt {
+			if rejoinAt > t {
+				t = rejoinAt
+			}
+			crashAt, rejoinAt = cfg.Churn.NextCrash(pop, i, rejoinAt, hs)
+		}
+
+		tc := tcs[hs.IntN(len(tcs))]
+		task := sampleTask(hs)
+		runSeed := hs.Uint64()
+		run := &w.run
+		if cfg.CollectRuns {
+			run = &core.Run{} // collected records must not alias the scratch run
+		}
+		if err := w.eng.ExecuteInto(w.scratch, run, tc, w.apps[task], &w.user, runSeed); err != nil {
+			return err
+		}
+
+		if churn && crashAt < t+run.Offset {
+			// The host died mid-testcase; the run was never reported.
+			w.agg.FoldCrashed()
+			t = rejoinAt
+			crashAt, rejoinAt = cfg.Churn.NextCrash(pop, i, rejoinAt, hs)
+			continue
+		}
+		w.agg.Fold(run, pop, i, res.MedianGHz, res.MedianMB)
+		if cfg.CollectRuns {
+			collected[block] = append(collected[block], run)
+			collectedHosts[block] = append(collectedHosts[block], i)
+		}
+		t += run.Offset
+	}
+	return nil
+}
+
+// SpeedEffectStream computes the host-speed analysis (the paper's open
+// question 6) from streamed aggregates.
+func SpeedEffectStream(res *StreamResults) SpeedEffect {
+	var se SpeedEffect
+	se.MedianGHz = res.MedianGHz
+	slow, fast := res.Agg.SlowCPU, res.Agg.FastCPU
+	se.Slow.Runs = int(slow.N())
+	se.Fast.Runs = int(fast.N())
+	se.Slow.Fd = slow.Fd()
+	se.Fast.Fd = fast.Fd()
+	var slowGHz, fastGHz float64
+	for i := 0; i < res.Pop.N; i++ {
+		if res.Pop.CPUGHz[i] < res.MedianGHz {
+			se.Slow.Hosts++
+			slowGHz += res.Pop.CPUGHz[i]
+		} else {
+			se.Fast.Hosts++
+			fastGHz += res.Pop.CPUGHz[i]
+		}
+	}
+	if se.Slow.Hosts > 0 {
+		se.Slow.MeanGHz = slowGHz / float64(se.Slow.Hosts)
+	}
+	if se.Fast.Hosts > 0 {
+		se.Fast.MeanGHz = fastGHz / float64(se.Fast.Hosts)
+	}
+	if tt, err := slow.TTestAgainst(fast); err == nil {
+		se.TTest = tt
+		se.TTestOK = true
+	}
+	return se
+}
+
+// Summary renders the study's headline numbers for reports.
+func (res *StreamResults) Summary() string {
+	ag := res.Agg
+	s := fmt.Sprintf("streaming study: %d hosts (%s), %d attempts = %d folded + %d blank + %d crashed\n",
+		res.Config.Hosts, res.Pop.Profile.Name, ag.Attempted, ag.Folded, ag.Blank, ag.Crashed)
+	for _, r := range testcase.Resources() {
+		a := ag.ByResource[r]
+		if a.N() == 0 {
+			continue
+		}
+		mean, lo, hi, ok := a.MeanLevelCI()
+		if ok {
+			s += fmt.Sprintf("  %-6s n=%-8d f_d=%.3f  c_a=%.3f [%.3f, %.3f]\n", r, a.N(), a.Fd(), mean, lo, hi)
+		} else {
+			s += fmt.Sprintf("  %-6s n=%-8d f_d=%.3f\n", r, a.N(), a.Fd())
+		}
+	}
+	return s
+}

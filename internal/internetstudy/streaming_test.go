@@ -1,0 +1,226 @@
+package internetstudy
+
+import (
+	"reflect"
+	"testing"
+
+	"uucs/internal/hostpop"
+)
+
+// smallStreamConfig returns a fleet small enough for exhaustive
+// comparison testing but large enough to exercise every path: blanks,
+// all three resources, diurnal windows, and (when enabled) crashes.
+func smallStreamConfig() StreamConfig {
+	cfg := DefaultStreamConfig()
+	cfg.Hosts = 24
+	cfg.RunsPerHost = 6
+	cfg.TestcaseCount = 60
+	cfg.Seed = 71
+	cfg.Workers = 1
+	return cfg
+}
+
+// aggressiveChurn crashes hosts every few active minutes so even a
+// small fleet loses a meaningful number of runs mid-testcase.
+func aggressiveChurn() hostpop.ChurnConfig {
+	return hostpop.ChurnConfig{Enabled: true, CrashMeanGap: 900, DowntimeMean: 600}
+}
+
+// TestStreamingStudyMatchesBatch is the satellite contract: the
+// streaming engine's comfort aggregates are bit-identical to aggregates
+// computed after the fact from the full in-memory run list — with and
+// without churn.
+func TestStreamingStudyMatchesBatch(t *testing.T) {
+	for _, churn := range []bool{false, true} {
+		name := "steady"
+		if churn {
+			name = "churn"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := smallStreamConfig()
+			cfg.CollectRuns = true
+			if churn {
+				cfg.Churn = aggressiveChurn()
+			}
+			res, err := RunStreaming(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Runs) == 0 || len(res.Runs) != len(res.RunHosts) {
+				t.Fatalf("collected %d runs, %d host indices", len(res.Runs), len(res.RunHosts))
+			}
+			// Batch reference: fold the in-memory run list into fresh
+			// aggregates.
+			batch := NewStreamAggregates()
+			for k, run := range res.Runs {
+				batch.Fold(run, res.Pop, res.RunHosts[k], res.MedianGHz, res.MedianMB)
+			}
+			// Crashed runs are never collected, so compare everything
+			// the batch can see.
+			if !reflect.DeepEqual(batch.ByResource, res.Agg.ByResource) {
+				t.Error("per-resource accumulators differ from batch")
+			}
+			if !reflect.DeepEqual(batch.SlowCPU, res.Agg.SlowCPU) || !reflect.DeepEqual(batch.FastCPU, res.Agg.FastCPU) {
+				t.Error("speed-split accumulators differ from batch")
+			}
+			if !reflect.DeepEqual(batch.SmallMem, res.Agg.SmallMem) || !reflect.DeepEqual(batch.BigMem, res.Agg.BigMem) {
+				t.Error("memory-split accumulators differ from batch")
+			}
+			if batch.Folded != res.Agg.Folded || batch.Blank != res.Agg.Blank {
+				t.Errorf("counts differ: batch folded/blank %d/%d, streamed %d/%d",
+					batch.Folded, batch.Blank, res.Agg.Folded, res.Agg.Blank)
+			}
+			if churn && res.Agg.Crashed == 0 {
+				t.Error("aggressive churn produced no crashes")
+			}
+		})
+	}
+}
+
+// TestStreamingWorkerCountInvariance asserts byte-identical results —
+// aggregates AND the collected run records in order — for every worker
+// count, under churn.
+func TestStreamingWorkerCountInvariance(t *testing.T) {
+	base := smallStreamConfig()
+	base.CollectRuns = true
+	base.Churn = aggressiveChurn()
+	base.BlockSize = 5 // force multiple blocks per worker
+	ref, err := RunStreaming(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := RunStreaming(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Agg, ref.Agg) {
+			t.Errorf("workers=%d: aggregates differ from serial", workers)
+		}
+		if !reflect.DeepEqual(got.Runs, ref.Runs) || !reflect.DeepEqual(got.RunHosts, ref.RunHosts) {
+			t.Errorf("workers=%d: collected runs differ from serial", workers)
+		}
+	}
+}
+
+// TestStreamingFleetPrefix pins the nested-fleet property behind the
+// convergence experiment: with a fixed seed, a smaller fleet's runs are
+// exactly the first hosts' runs of a larger fleet.
+func TestStreamingFleetPrefix(t *testing.T) {
+	small := smallStreamConfig()
+	small.Hosts = 10
+	small.CollectRuns = true
+	big := smallStreamConfig()
+	big.Hosts = 24
+	big.CollectRuns = true
+	sres, err := RunStreaming(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres, err := RunStreaming(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(sres.Runs)
+	if n == 0 {
+		t.Fatal("no runs collected")
+	}
+	if !reflect.DeepEqual(sres.Runs, bres.Runs[:n]) {
+		t.Error("small fleet's runs are not a prefix of the large fleet's")
+	}
+	// Medians differ between fleet sizes, so aggregates need not match;
+	// the run records themselves must.
+}
+
+// TestStreamingChurnAccounting is the pop-smoke assertion in miniature:
+// under churn, every scheduled run is accounted exactly once.
+func TestStreamingChurnAccounting(t *testing.T) {
+	cfg := smallStreamConfig()
+	cfg.Hosts = 40
+	cfg.Churn = aggressiveChurn()
+	res, err := RunStreaming(cfg) // RunStreaming itself checks accounting
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag := res.Agg
+	want := uint64(cfg.Hosts) * uint64(cfg.RunsPerHost)
+	if ag.Attempted != want || ag.Folded+ag.Blank+ag.Crashed != want {
+		t.Fatalf("accounting: attempted %d, folded %d + blank %d + crashed %d, want %d",
+			ag.Attempted, ag.Folded, ag.Blank, ag.Crashed, want)
+	}
+	if ag.Crashed == 0 {
+		t.Error("no crashes under aggressive churn")
+	}
+	if ag.Crashed >= ag.Folded {
+		t.Errorf("crash rate implausible: %d crashed vs %d folded", ag.Crashed, ag.Folded)
+	}
+}
+
+// TestStreamingAllocsAmortized pins the zero-alloc run path at the
+// study level: growing the run count must not grow allocations
+// proportionally. The per-run budget is well under one allocation.
+func TestStreamingAllocsAmortized(t *testing.T) {
+	cfg := smallStreamConfig()
+	cfg.Hosts = 16
+	run := func(runs int) func() {
+		c := cfg
+		c.RunsPerHost = runs
+		return func() {
+			if _, err := RunStreaming(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	const extra = 24
+	few := testing.AllocsPerRun(3, run(2))
+	many := testing.AllocsPerRun(3, run(2+extra))
+	perRun := (many - few) / float64(cfg.Hosts*extra)
+	if perRun > 0.5 {
+		t.Errorf("streaming study allocates %.2f per extra run, want < 0.5 (few=%.0f many=%.0f)", perRun, few, many)
+	}
+}
+
+// TestStreamingSpeedEffect smoke-tests the streamed host-speed split:
+// groups partition the fleet and the runs.
+func TestStreamingSpeedEffect(t *testing.T) {
+	cfg := smallStreamConfig()
+	cfg.Hosts = 60
+	res, err := RunStreaming(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := SpeedEffectStream(res)
+	if se.Slow.Hosts+se.Fast.Hosts != cfg.Hosts {
+		t.Errorf("speed split loses hosts: %d + %d != %d", se.Slow.Hosts, se.Fast.Hosts, cfg.Hosts)
+	}
+	cpu := res.Agg.ByResource["cpu"]
+	if uint64(se.Slow.Runs+se.Fast.Runs) != cpu.N() {
+		t.Errorf("speed split loses runs: %d + %d != %d", se.Slow.Runs, se.Fast.Runs, cpu.N())
+	}
+	if se.Slow.MeanGHz >= se.Fast.MeanGHz {
+		t.Errorf("slow group mean %.2f GHz >= fast group mean %.2f GHz", se.Slow.MeanGHz, se.Fast.MeanGHz)
+	}
+}
+
+// TestStreamingLegacyProfile runs the streaming engine over the legacy
+// always-on population, the configuration -pop-profile legacy compares
+// against.
+func TestStreamingLegacyProfile(t *testing.T) {
+	cfg := smallStreamConfig()
+	cfg.Profile = hostpop.Legacy()
+	res, err := RunStreaming(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Agg.Crashed != 0 {
+		t.Errorf("crashes without churn: %d", res.Agg.Crashed)
+	}
+	if res.Agg.Folded == 0 {
+		t.Error("no folded runs")
+	}
+	if res.Summary() == "" {
+		t.Error("empty summary")
+	}
+}

@@ -1,0 +1,270 @@
+package stats
+
+import "math"
+
+// LevelAccum is a mergeable, bounded-memory accumulator of discomfort
+// levels — the streaming counterpart of CDF. Where CDF keeps every
+// observed level (memory grows with the run count), LevelAccum folds
+// each level into a fixed histogram plus fixed-point moment sums, so a
+// million-host study can aggregate tens of millions of runs in a few
+// kilobytes and merge per-worker partials into one global estimate.
+//
+// Every field is either an integer count or a fixed-point integer sum,
+// so accumulation and merging are associative and commutative down to
+// the last bit: folding runs one at a time, in blocks, or across any
+// number of workers produces byte-identical aggregates. That invariant
+// is what TestStreamingStudyMatchesBatch pins.
+//
+// Quantiles (Percentile) are resolved to histogram-bin resolution:
+// (hi-lo)/bins, which at the default 2048 bins over [0, 10] is ~0.005
+// contention — far below the paper's reporting precision.
+type LevelAccum struct {
+	// Lo and Hi bound the histogram's level range; observations are
+	// clamped into it. Bins partition [Lo, Hi] uniformly.
+	Lo, Hi float64
+	// Bins counts discomforted runs per level bucket.
+	Bins []uint32
+	// Df and Ex count discomforted and exhausted (censored) runs.
+	Df, Ex uint64
+	// SumFx and Sum2Fx are fixed-point sums of levels and squared
+	// levels over discomforted runs (scales sumScale and sum2Scale).
+	// Integer sums keep merging exactly associative.
+	SumFx, Sum2Fx uint64
+	// MinLevel and MaxLevel are the exact observed extremes.
+	MinLevel, MaxLevel float64
+}
+
+const (
+	// sumScale is the fixed-point scale for level sums: 2^32 keeps
+	// ~1e-10 absolute precision and fits 2^22 observations of level
+	// 1024 before overflow — far beyond any study size here.
+	sumScale = 1 << 32
+	// sum2Scale is the scale for squared-level sums; levels are <= ~10
+	// so 2^24 leaves headroom for 10^10 observations.
+	sum2Scale = 1 << 24
+)
+
+// defaultAccumBins is the histogram resolution used by NewLevelAccum
+// callers that do not need a custom range.
+const defaultAccumBins = 2048
+
+// NewLevelAccum returns an empty accumulator over [lo, hi] with the
+// given number of bins (<= 0 selects the 2048-bin default).
+func NewLevelAccum(lo, hi float64, bins int) *LevelAccum {
+	if bins <= 0 {
+		bins = defaultAccumBins
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &LevelAccum{Lo: lo, Hi: hi, Bins: make([]uint32, bins)}
+}
+
+// Observe folds one discomforted run's level into the accumulator.
+func (a *LevelAccum) Observe(level float64) {
+	if a.Df == 0 || level < a.MinLevel {
+		a.MinLevel = level
+	}
+	if a.Df == 0 || level > a.MaxLevel {
+		a.MaxLevel = level
+	}
+	clamped := level
+	if clamped < a.Lo {
+		clamped = a.Lo
+	}
+	if clamped > a.Hi {
+		clamped = a.Hi
+	}
+	i := int((clamped - a.Lo) / (a.Hi - a.Lo) * float64(len(a.Bins)))
+	if i >= len(a.Bins) {
+		i = len(a.Bins) - 1
+	}
+	a.Bins[i]++
+	a.Df++
+	a.SumFx += uint64(clamped*sumScale + 0.5)
+	a.Sum2Fx += uint64(clamped*clamped*sum2Scale + 0.5)
+}
+
+// ObserveExhausted folds one censored (ran-to-exhaustion) run.
+func (a *LevelAccum) ObserveExhausted() { a.Ex++ }
+
+// Merge folds other into a. Both must share Lo/Hi/bin geometry. Because
+// every component is an integer sum, merge order cannot change the
+// result.
+func (a *LevelAccum) Merge(other *LevelAccum) {
+	if other.Df > 0 {
+		if a.Df == 0 || other.MinLevel < a.MinLevel {
+			a.MinLevel = other.MinLevel
+		}
+		if a.Df == 0 || other.MaxLevel > a.MaxLevel {
+			a.MaxLevel = other.MaxLevel
+		}
+	}
+	for i, c := range other.Bins {
+		a.Bins[i] += c
+	}
+	a.Df += other.Df
+	a.Ex += other.Ex
+	a.SumFx += other.SumFx
+	a.Sum2Fx += other.Sum2Fx
+}
+
+// N returns the total number of folded runs.
+func (a *LevelAccum) N() uint64 { return a.Df + a.Ex }
+
+// Fd returns the discomfort fraction f_d, as in CDF.Fd.
+func (a *LevelAccum) Fd() float64 {
+	if a.N() == 0 {
+		return 0
+	}
+	return float64(a.Df) / float64(a.N())
+}
+
+// MeanLevel returns c_a over discomforted runs, as in CDF.MeanLevel.
+func (a *LevelAccum) MeanLevel() (float64, bool) {
+	if a.Df == 0 {
+		return 0, false
+	}
+	return float64(a.SumFx) / sumScale / float64(a.Df), true
+}
+
+// levelVariance returns the sample variance of the folded levels.
+func (a *LevelAccum) levelVariance() float64 {
+	if a.Df < 2 {
+		return 0
+	}
+	n := float64(a.Df)
+	mean := float64(a.SumFx) / sumScale / n
+	sum2 := float64(a.Sum2Fx) / sum2Scale
+	v := (sum2 - n*mean*mean) / (n - 1)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// TTestAgainst runs Welch's t-test between the discomfort levels folded
+// into a and those folded into b, from their sufficient statistics —
+// the streaming replacement for WelchTTest over raw level slices.
+func (a *LevelAccum) TTestAgainst(b *LevelAccum) (TTestResult, error) {
+	ma, _ := a.MeanLevel()
+	mb, _ := b.MeanLevel()
+	return WelchTTestSummary(int(a.Df), ma, a.levelVariance(), int(b.Df), mb, b.levelVariance())
+}
+
+// MeanLevelCI returns c_a with a two-sided 95% confidence interval
+// (normal approximation; at streaming-study sample sizes the t and
+// normal intervals are indistinguishable).
+func (a *LevelAccum) MeanLevelCI() (mean, lo, hi float64, ok bool) {
+	mean, ok = a.MeanLevel()
+	if !ok {
+		return 0, 0, 0, false
+	}
+	if a.Df < 2 {
+		return mean, mean, mean, true
+	}
+	se := math.Sqrt(a.levelVariance() / float64(a.Df))
+	return mean, mean - 1.96*se, mean + 1.96*se, true
+}
+
+// binUpper returns the upper level edge of bin i.
+func (a *LevelAccum) binUpper(i int) float64 {
+	return a.Lo + (a.Hi-a.Lo)*float64(i+1)/float64(len(a.Bins))
+}
+
+// At returns the cumulative fraction of all runs discomforted at level
+// <= x, to bin resolution, as in CDF.At.
+func (a *LevelAccum) At(x float64) float64 {
+	if a.N() == 0 {
+		return 0
+	}
+	var cum uint64
+	for i, c := range a.Bins {
+		if a.binUpper(i) > x {
+			break
+		}
+		cum += uint64(c)
+	}
+	return float64(cum) / float64(a.N())
+}
+
+// Percentile returns c_p — the level at which fraction p of all runs
+// have expressed discomfort — to bin resolution, with the same
+// insufficient-information contract as CDF.Percentile.
+func (a *LevelAccum) Percentile(p float64) (float64, bool) {
+	if a.N() == 0 || p <= 0 {
+		return 0, false
+	}
+	need := uint64(math.Ceil(p * float64(a.N())))
+	if need == 0 {
+		need = 1
+	}
+	var cum uint64
+	for i, c := range a.Bins {
+		cum += uint64(c)
+		if cum >= need {
+			return a.binUpper(i), true
+		}
+	}
+	return 0, false
+}
+
+// BootstrapMeanCI estimates a (1-2q) bootstrap percentile interval for
+// c_a by resampling the binned levels iters times with the given
+// stream. It reports how tight the study's estimate is at a given fleet
+// size — the convergence-vs-fleet-size methodology in EXPERIMENTS.md.
+func (a *LevelAccum) BootstrapMeanCI(s *Stream, iters int, q float64) (lo, hi float64, ok bool) {
+	if a.Df == 0 || iters <= 0 {
+		return 0, 0, false
+	}
+	// Bin centers weighted by counts; resampling n of them with
+	// replacement is a multinomial draw over the histogram.
+	centers := make([]float64, 0, len(a.Bins))
+	counts := make([]uint64, 0, len(a.Bins))
+	var cum []uint64
+	var total uint64
+	for i, c := range a.Bins {
+		if c == 0 {
+			continue
+		}
+		centers = append(centers, a.Lo+(a.Hi-a.Lo)*(float64(i)+0.5)/float64(len(a.Bins)))
+		counts = append(counts, uint64(c))
+		total += uint64(c)
+		cum = append(cum, total)
+	}
+	means := make([]float64, iters)
+	for it := 0; it < iters; it++ {
+		var sum float64
+		for k := uint64(0); k < total; k++ {
+			u := uint64(s.Float64() * float64(total))
+			// Binary search the cumulative counts for the drawn index.
+			lo, hi := 0, len(cum)-1
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if cum[mid] <= u {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			sum += centers[lo]
+		}
+		means[it] = sum / float64(total)
+	}
+	if q <= 0 || q >= 0.5 {
+		q = 0.025
+	}
+	return Quantile(means, q), Quantile(means, 1-q), true
+}
+
+// Render draws the accumulator's CDF as an ASCII plot in the style of
+// CDF.Render, annotated with the same DfCount/ExCount counters.
+func (a *LevelAccum) Render(title string, width, height int, xmax float64) string {
+	if xmax <= 0 {
+		xmax = a.MaxLevel
+		if xmax <= 0 {
+			xmax = 1
+		}
+	}
+	return renderCDF(title, width, height, xmax, a.At, int(a.Df), int(a.Ex))
+}

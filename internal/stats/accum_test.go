@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestLevelAccumMatchesCDF checks the streaming accumulator against the
+// exact CDF on the same data: counts and f_d agree exactly, means agree
+// to fixed-point precision, and quantiles agree to bin resolution.
+func TestLevelAccumMatchesCDF(t *testing.T) {
+	s := NewStream(11)
+	a := NewLevelAccum(0, 10, 2048)
+	var levels []float64
+	for i := 0; i < 5000; i++ {
+		if s.Bool(0.3) {
+			a.ObserveExhausted()
+			continue
+		}
+		lvl := s.Range(0, 9.5)
+		levels = append(levels, lvl)
+		a.Observe(lvl)
+	}
+	exhausted := 5000 - len(levels)
+	c := NewCDF(levels, exhausted)
+
+	if int(a.Df) != c.DfCount() || int(a.Ex) != c.ExCount() {
+		t.Fatalf("counts: accum %d/%d, cdf %d/%d", a.Df, a.Ex, c.DfCount(), c.ExCount())
+	}
+	if math.Abs(a.Fd()-c.Fd()) > 1e-12 {
+		t.Errorf("Fd: accum %v, cdf %v", a.Fd(), c.Fd())
+	}
+	am, _ := a.MeanLevel()
+	cm, _ := c.MeanLevel()
+	if math.Abs(am-cm) > 1e-6 {
+		t.Errorf("mean: accum %v, cdf %v", am, cm)
+	}
+	binW := 10.0 / 2048
+	for _, p := range []float64{0.05, 0.25, 0.5, 0.9} {
+		ap, aok := a.Percentile(p)
+		cp, cok := c.Percentile(p)
+		if aok != cok {
+			t.Fatalf("p=%v ok mismatch", p)
+		}
+		if aok && math.Abs(ap-cp) > binW+1e-12 {
+			t.Errorf("p=%v: accum %v, cdf %v (bin width %v)", p, ap, cp, binW)
+		}
+	}
+	for _, x := range []float64{0.5, 2, 5, 9} {
+		if math.Abs(a.At(x)-c.At(x)) > 0.01 {
+			t.Errorf("At(%v): accum %v, cdf %v", x, a.At(x), c.At(x))
+		}
+	}
+}
+
+// TestLevelAccumMergeOrderIndependent asserts the bit-exactness
+// contract: folding observations one by one, in two halves, or across
+// many partials merged in any order produces identical accumulators.
+func TestLevelAccumMergeOrderIndependent(t *testing.T) {
+	s := NewStream(5)
+	obs := make([]float64, 4000)
+	for i := range obs {
+		obs[i] = s.Range(0, 8)
+	}
+
+	serial := NewLevelAccum(0, 10, 512)
+	for _, o := range obs {
+		serial.Observe(o)
+	}
+	serial.ObserveExhausted()
+
+	parts := make([]*LevelAccum, 7)
+	for i := range parts {
+		parts[i] = NewLevelAccum(0, 10, 512)
+	}
+	for i, o := range obs {
+		parts[i%len(parts)].Observe(o)
+	}
+	parts[3].ObserveExhausted()
+	// Merge back-to-front, the opposite of the natural order.
+	merged := NewLevelAccum(0, 10, 512)
+	for i := len(parts) - 1; i >= 0; i-- {
+		merged.Merge(parts[i])
+	}
+	if !reflect.DeepEqual(serial, merged) {
+		t.Fatalf("merge order changed the accumulator:\nserial: %+v\nmerged: %+v", serial, merged)
+	}
+}
+
+// TestLevelAccumEmpty pins the empty-accumulator contract.
+func TestLevelAccumEmpty(t *testing.T) {
+	a := NewLevelAccum(0, 10, 64)
+	if a.Fd() != 0 || a.N() != 0 {
+		t.Errorf("empty accum: Fd=%v N=%v", a.Fd(), a.N())
+	}
+	if _, ok := a.MeanLevel(); ok {
+		t.Error("empty accum has a mean")
+	}
+	if _, ok := a.Percentile(0.05); ok {
+		t.Error("empty accum has a percentile")
+	}
+	if _, _, ok := a.BootstrapMeanCI(NewStream(1), 10, 0.025); ok {
+		t.Error("empty accum has a bootstrap CI")
+	}
+}
+
+// TestLevelAccumClamp checks out-of-range levels land in the edge bins
+// while the exact extremes are still tracked.
+func TestLevelAccumClamp(t *testing.T) {
+	a := NewLevelAccum(0, 1, 16)
+	a.Observe(-0.5)
+	a.Observe(2.5)
+	if a.Bins[0] != 1 || a.Bins[15] != 1 {
+		t.Errorf("edge bins: %v", a.Bins)
+	}
+	if a.MinLevel != -0.5 || a.MaxLevel != 2.5 {
+		t.Errorf("extremes: %v..%v", a.MinLevel, a.MaxLevel)
+	}
+}
+
+// TestLevelAccumBootstrapCI sanity-checks the bootstrap interval:
+// covers the true mean, and tightens with more data.
+func TestLevelAccumBootstrapCI(t *testing.T) {
+	build := func(n int) *LevelAccum {
+		s := NewStream(9)
+		a := NewLevelAccum(0, 10, 1024)
+		for i := 0; i < n; i++ {
+			a.Observe(s.Range(2, 6))
+		}
+		return a
+	}
+	small, large := build(100), build(5000)
+	sLo, sHi, ok := small.BootstrapMeanCI(NewStream(3), 200, 0.025)
+	if !ok {
+		t.Fatal("no CI from small accum")
+	}
+	lLo, lHi, ok := large.BootstrapMeanCI(NewStream(3), 200, 0.025)
+	if !ok {
+		t.Fatal("no CI from large accum")
+	}
+	if sLo > 4 || sHi < 4 {
+		t.Errorf("small CI [%v, %v] misses true mean 4", sLo, sHi)
+	}
+	if (lHi - lLo) >= (sHi - sLo) {
+		t.Errorf("CI did not shrink with data: small %v, large %v", sHi-sLo, lHi-lLo)
+	}
+	mean, lo, hi, ok := large.MeanLevelCI()
+	if !ok || lo > mean || hi < mean {
+		t.Errorf("analytic CI inconsistent: %v [%v, %v]", mean, lo, hi)
+	}
+}
+
+// TestLevelAccumRender smoke-tests the shared plotter.
+func TestLevelAccumRender(t *testing.T) {
+	a := NewLevelAccum(0, 10, 128)
+	for i := 0; i < 100; i++ {
+		a.Observe(float64(i) / 10)
+	}
+	out := a.Render("test", 40, 8, 0)
+	if out == "" || len(out) < 100 {
+		t.Fatalf("implausible render: %q", out)
+	}
+}
+
+// TestDeriveSeedIndependence checks index-derived seeds look
+// independent and are a pure function of (seed, idx).
+func TestDeriveSeedIndependence(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		v := DeriveSeed(42, i)
+		if seen[v] {
+			t.Fatalf("collision at idx %d", i)
+		}
+		seen[v] = true
+		if v != DeriveSeed(42, i) {
+			t.Fatal("DeriveSeed not deterministic")
+		}
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Error("seeds do not separate streams")
+	}
+	// DeriveSeed(seed, i) is defined as the i'th output of the stream.
+	s := NewStream(42)
+	for i := uint64(0); i < 8; i++ {
+		if got, want := DeriveSeed(42, i), s.Uint64(); got != want {
+			t.Fatalf("DeriveSeed(42, %d) = %x, stream output %x", i, got, want)
+		}
+	}
+}

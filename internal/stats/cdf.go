@@ -126,27 +126,33 @@ func (c *CDF) Merge(other *CDF) *CDF {
 // the DfCount/ExCount annotation used in the paper's figures. xmax bounds
 // the horizontal axis; pass 0 to use the maximum observed level.
 func (c *CDF) Render(title string, width, height int, xmax float64) string {
-	if width < 20 {
-		width = 20
-	}
-	if height < 5 {
-		height = 5
-	}
 	if xmax <= 0 {
 		xmax = c.Max()
 		if xmax <= 0 {
 			xmax = 1
 		}
 	}
+	return renderCDF(title, width, height, xmax, c.At, c.DfCount(), c.ExCount())
+}
+
+// renderCDF is the shared ASCII CDF plotter behind CDF.Render and
+// LevelAccum.Render: it samples at(x) across [0, xmax].
+func renderCDF(title string, width, height int, xmax float64, at func(float64) float64, df, ex int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s  (DfCount=%d ExCount=%d)\n", title, c.DfCount(), c.ExCount())
+	fmt.Fprintf(&b, "%s  (DfCount=%d ExCount=%d)\n", title, df, ex)
 	grid := make([][]byte, height)
 	for i := range grid {
 		grid[i] = []byte(strings.Repeat(" ", width))
 	}
 	for col := 0; col < width; col++ {
 		x := xmax * float64(col) / float64(width-1)
-		frac := c.At(x)
+		frac := at(x)
 		row := int(math.Round(frac * float64(height-1)))
 		if row > height-1 {
 			row = height - 1

@@ -56,6 +56,19 @@ func (s *Stream) ForkSeed() uint64 {
 	return child.Uint64()
 }
 
+// DeriveSeed mixes a base seed with an index into an independent
+// sub-seed, so per-unit streams (one per simulated host, say) can be
+// derived directly from the unit's index — a pure function of
+// (seed, idx), independent of generation order or worker count. It is
+// the splitmix64 finalizer over the state NewStream(seed) would reach
+// after idx+1 steps, i.e. the stream's idx'th output.
+func DeriveSeed(seed, idx uint64) uint64 {
+	z := (seed ^ 0x9e3779b97f4a7c15) + (idx+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (s *Stream) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

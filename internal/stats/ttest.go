@@ -33,17 +33,25 @@ func WelchTTest(a, b []float64) (TTestResult, error) {
 	if len(a) < 2 || len(b) < 2 {
 		return TTestResult{}, fmt.Errorf("stats: t-test needs >= 2 samples per group (got %d, %d)", len(a), len(b))
 	}
-	ma, mb := Mean(a), Mean(b)
-	va, vb := Variance(a), Variance(b)
-	na, nb := float64(len(a)), float64(len(b))
-	se2 := va/na + vb/nb
+	return WelchTTestSummary(len(a), Mean(a), Variance(a), len(b), Mean(b), Variance(b))
+}
+
+// WelchTTestSummary is WelchTTest computed from sufficient statistics —
+// sample sizes, means and sample variances — for streaming aggregates
+// that never hold the raw observations.
+func WelchTTestSummary(na int, ma, va float64, nb int, mb, vb float64) (TTestResult, error) {
+	if na < 2 || nb < 2 {
+		return TTestResult{}, fmt.Errorf("stats: t-test needs >= 2 samples per group (got %d, %d)", na, nb)
+	}
+	fa, fb := float64(na), float64(nb)
+	se2 := va/fa + vb/fb
 	if se2 == 0 {
 		return TTestResult{}, fmt.Errorf("stats: t-test with zero variance in both groups")
 	}
 	t := (ma - mb) / math.Sqrt(se2)
-	df := se2 * se2 / ((va*va)/(na*na*(na-1)) + (vb*vb)/(nb*nb*(nb-1)))
+	df := se2 * se2 / ((va*va)/(fa*fa*(fa-1)) + (vb*vb)/(fb*fb*(fb-1)))
 	p := 2 * TCDF(-math.Abs(t), df)
-	return TTestResult{T: t, DF: df, P: p, Diff: ma - mb, NA: len(a), NB: len(b)}, nil
+	return TTestResult{T: t, DF: df, P: p, Diff: ma - mb, NA: na, NB: nb}, nil
 }
 
 // PairedTTest performs a paired t-test on matched samples a[i], b[i]: a

@@ -58,6 +58,14 @@ func (f ExerciseFunction) Value(t float64) float64 {
 // first — the paper records "the last five contention values used in each
 // exercise function at the point of user feedback" with every run.
 func (f ExerciseFunction) LastN(t float64, n int) []float64 {
+	return f.AppendLastN(nil, t, n)
+}
+
+// AppendLastN is LastN appending into dst, allocating only when dst
+// lacks capacity. The degenerate cases where LastN returns nil return
+// nil here too (dropping dst), so results compare equal to LastN's
+// regardless of the buffer passed in.
+func (f ExerciseFunction) AppendLastN(dst []float64, t float64, n int) []float64 {
 	if f.Rate <= 0 || n <= 0 {
 		return nil
 	}
@@ -72,9 +80,7 @@ func (f ExerciseFunction) LastN(t float64, n int) []float64 {
 	if start < 0 {
 		start = 0
 	}
-	out := make([]float64, i-start+1)
-	copy(out, f.Values[start:i+1])
-	return out
+	return append(dst, f.Values[start:i+1]...)
 }
 
 // Max returns the largest contention value in the function.

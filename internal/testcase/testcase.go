@@ -83,11 +83,16 @@ func (tc *Testcase) IsBlank() bool {
 	return true
 }
 
+// resourceOrder is the canonical resource order as a fixed array, so
+// hot paths can iterate it without the slice allocation Resources()
+// performs.
+var resourceOrder = [...]Resource{CPU, Memory, Disk}
+
 // ExercisedResources returns the resources with non-blank exercise
 // functions, in canonical order.
 func (tc *Testcase) ExercisedResources() []Resource {
 	var out []Resource
-	for _, r := range Resources() {
+	for _, r := range resourceOrder {
 		if f, ok := tc.Functions[r]; ok && !f.IsBlank() {
 			out = append(out, r)
 		}
@@ -97,11 +102,19 @@ func (tc *Testcase) ExercisedResources() []Resource {
 
 // PrimaryResource returns the single exercised resource for the
 // single-resource testcases used throughout the controlled study, or ""
-// for blank or multi-resource testcases.
+// for blank or multi-resource testcases. It is allocation-free: the
+// run path records it per run.
 func (tc *Testcase) PrimaryResource() Resource {
-	rs := tc.ExercisedResources()
-	if len(rs) == 1 {
-		return rs[0]
+	var primary Resource
+	n := 0
+	for _, r := range resourceOrder {
+		if f, ok := tc.Functions[r]; ok && !f.IsBlank() {
+			primary = r
+			n++
+		}
+	}
+	if n == 1 {
+		return primary
 	}
 	return ""
 }
@@ -118,11 +131,37 @@ func (tc *Testcase) Contention(r Resource, t float64) float64 {
 // LastFive returns, per exercised resource, the last five contention
 // values at time t — exactly the per-run data the paper stores (§2.3).
 func (tc *Testcase) LastFive(t float64) map[Resource][]float64 {
-	out := make(map[Resource][]float64, len(tc.Functions))
-	for r, f := range tc.Functions {
-		out[r] = f.LastN(t, 5)
+	return tc.LastFiveInto(nil, t)
+}
+
+// LastFiveInto is LastFive reusing a previous run's map and its slices'
+// capacity. Stale resources are deleted, so the result is
+// content-identical to a fresh LastFive call; with a warmed buffer it
+// allocates nothing.
+func (tc *Testcase) LastFiveInto(m map[Resource][]float64, t float64) map[Resource][]float64 {
+	if m == nil {
+		m = make(map[Resource][]float64, len(tc.Functions))
 	}
-	return out
+	// Hand buffers from resources this testcase does not exercise to
+	// ones it does, so rotating through testcases with different
+	// resource sets (the fleet's steady state) still allocates nothing.
+	var spare []float64
+	for r := range m {
+		if _, ok := tc.Functions[r]; !ok {
+			if cap(m[r]) > cap(spare) {
+				spare = m[r]
+			}
+			delete(m, r)
+		}
+	}
+	for r, f := range tc.Functions {
+		buf := m[r]
+		if buf == nil {
+			buf, spare = spare, nil
+		}
+		m[r] = f.AppendLastN(buf[:0], t, 5)
+	}
+	return m
 }
 
 // Validate checks internal consistency: positive sample rate, matching
