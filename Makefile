@@ -8,7 +8,10 @@
 # closed-loop ingest run under the race detector and fails if any
 # acked batch is lost or double-counted. `make pop-smoke` streams a
 # 10^4-host churned study under the race detector and fails unless
-# every scheduled run is accounted exactly once. `make e2e` runs the
+# every scheduled run is accounted exactly once. `make cluster-smoke`
+# drives the routed 3-node cluster under the race detector, SIGKILLs
+# one node mid-upload, and fails unless the merged multi-node dataset
+# holds every acked batch exactly once. `make e2e` runs the
 # process-level chaos suite (real binaries, kill -9 inside the journal
 # fsync window, seeded regression replay); `make e2e-smoke` and `make
 # e2e-seeds` run its halves.
@@ -16,7 +19,7 @@
 GO ?= go
 THRESHOLD ?= 0.15
 
-.PHONY: all build test race bench bench-check bench-baseline loadgen-smoke pop-smoke e2e e2e-smoke e2e-seeds
+.PHONY: all build test race bench bench-check bench-baseline loadgen-smoke pop-smoke cluster-smoke e2e e2e-smoke e2e-seeds
 
 all: build test
 
@@ -43,6 +46,9 @@ loadgen-smoke:
 
 pop-smoke:
 	$(GO) run -race ./cmd/uucs-internet -hosts 10000 -runs 2 -churn -smoke
+
+cluster-smoke:
+	$(GO) run -race ./cmd/uucs-loadgen -nodes n1,n2,n3 -kill-node n2 -clients 8 -batches 300 -smoke
 
 e2e:
 	scripts/e2e/run.sh

@@ -340,6 +340,26 @@ func BenchmarkServerIngest(b *testing.B) {
 	b.ReportMetric(rep.BatchesPerSec, "batches/sec")
 }
 
+// BenchmarkClusterIngest measures the routed 3-node ingest tier with
+// the same closed-loop fleet as BenchmarkServerIngest. ns/op is the
+// cost per acked batch through the router (proxy hop + journal fsync +
+// replica ship); batches/sec is the sustained cluster rate, which must
+// hold at least the single-node baseline per node.
+func BenchmarkClusterIngest(b *testing.B) {
+	rep, err := loadgen.Run(loadgen.Config{
+		Clients: 16, Batches: b.N, RunsPerBatch: 3,
+		StateDir: b.TempDir(), Net: "tcp", Seed: 1,
+		Nodes: []string{"n1", "n2", "n3"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Lost > 0 || rep.Duplicated > 0 {
+		b.Fatalf("cluster ingest broke durability: lost=%d duplicated=%d", rep.Lost, rep.Duplicated)
+	}
+	b.ReportMetric(rep.BatchesPerSec, "batches/sec")
+}
+
 // BenchmarkThrottle measures the §5 feedback throttle control loop.
 func BenchmarkThrottle(b *testing.B) {
 	res := studyFixture(b)

@@ -7,6 +7,14 @@
 //	uucs-analyze results.txt                 # breakdown + metric tables
 //	uucs-analyze -cdf cpu results.txt        # one aggregated CDF
 //	uucs-analyze -grid results.txt           # the Figure 18 grid
+//	uucs-analyze -cluster ./cluster-state    # merge a cluster's journals
+//
+// -cluster takes a cluster state root (the tree uucs-server/-router
+// nodes journal under): every node and replica journal beneath it is
+// discovered and deterministically merged — deduplicated by client and
+// batch sequence, byte-identical regardless of node count or merge
+// order — before analysis. It composes with result files: both are
+// imported into the same database.
 package main
 
 import (
@@ -16,23 +24,34 @@ import (
 	"strings"
 
 	"uucs/internal/analysis"
+	"uucs/internal/cluster"
 	"uucs/internal/core"
 	"uucs/internal/testcase"
 )
 
 func main() {
 	var (
-		cdfRes = flag.String("cdf", "", "print the aggregated CDF for one resource (cpu, memory, disk)")
-		grid   = flag.Bool("grid", false, "print the per-task/resource CDF grid (Figure 18)")
-		km     = flag.String("km", "", "print the Kaplan-Meier discomfort curve for one resource")
+		cdfRes      = flag.String("cdf", "", "print the aggregated CDF for one resource (cpu, memory, disk)")
+		grid        = flag.Bool("grid", false, "print the per-task/resource CDF grid (Figure 18)")
+		km          = flag.String("km", "", "print the Kaplan-Meier discomfort curve for one resource")
+		clusterRoot = flag.String("cluster", "", "cluster state root: merge every node and replica journal under it")
 	)
 	flag.Parse()
-	if flag.NArg() == 0 {
+	if flag.NArg() == 0 && *clusterRoot == "" {
 		fmt.Fprintln(os.Stderr, "usage: uucs-analyze [flags] results.txt...")
 		os.Exit(2)
 	}
 
 	db := analysis.NewDB(nil)
+	if *clusterRoot != "" {
+		runs, st, err := cluster.MergedRuns(*clusterRoot)
+		if err != nil {
+			fatal(fmt.Errorf("cluster %s: %w", *clusterRoot, err))
+		}
+		fmt.Printf("merged %d sources under %s: %d batches kept, %d duplicates dropped\n",
+			st.Sources, *clusterRoot, st.Batches, st.DupBatches)
+		db.Add(runs...)
+	}
 	for _, path := range flag.Args() {
 		f, err := os.Open(path)
 		if err != nil {

@@ -137,6 +137,7 @@ func suite() []struct {
 		{"BenchmarkExerciserFidelityCPU", benchFidelityCPU},
 		{"BenchmarkExerciserFidelityDisk", benchFidelityDisk},
 		{"BenchmarkServerIngest", benchServerIngest},
+		{"BenchmarkClusterIngest", benchClusterIngest},
 	}
 }
 
@@ -324,6 +325,28 @@ func benchServerIngest(b *testing.B) {
 	}
 	if rep.Lost > 0 || rep.Duplicated > 0 {
 		b.Fatalf("ingest broke durability: lost=%d duplicated=%d", rep.Lost, rep.Duplicated)
+	}
+	b.ReportMetric(rep.BatchesPerSec, "batches/sec")
+}
+
+// benchClusterIngest mirrors bench_test.go's BenchmarkClusterIngest:
+// the same fleet through a routed, replicated 3-node cluster.
+func benchClusterIngest(b *testing.B) {
+	dir, err := os.MkdirTemp("", "uucs-bench-cluster-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	rep, err := loadgen.Run(loadgen.Config{
+		Clients: 16, Batches: b.N, RunsPerBatch: 3,
+		StateDir: dir, Net: "tcp", Seed: 1,
+		Nodes: []string{"n1", "n2", "n3"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Lost > 0 || rep.Duplicated > 0 {
+		b.Fatalf("cluster ingest broke durability: lost=%d duplicated=%d", rep.Lost, rep.Duplicated)
 	}
 	b.ReportMetric(rep.BatchesPerSec, "batches/sec")
 }

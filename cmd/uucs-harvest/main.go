@@ -7,6 +7,14 @@
 //
 //	uucs-harvest                       # 40 users, 8h day, 4 policies
 //	uucs-harvest -users 100 -hours 10 -target 0.02
+//	uucs-harvest -cluster ./cluster-state   # CDFs from harvested fleet data
+//
+// -cluster skips the controlled study and instead derives the
+// discomfort CDFs from real harvested data: a cluster state root (the
+// tree a routed uucs ingest cluster journals under) whose node and
+// replica journals are discovered and deterministically merged —
+// deduplicated by client and batch sequence — into the analysis
+// database the throttled policies' ceilings are read from.
 package main
 
 import (
@@ -14,6 +22,8 @@ import (
 	"fmt"
 	"os"
 
+	"uucs/internal/analysis"
+	"uucs/internal/cluster"
 	"uucs/internal/comfort"
 	"uucs/internal/core"
 	"uucs/internal/harvest"
@@ -22,21 +32,35 @@ import (
 
 func main() {
 	var (
-		users  = flag.Int("users", 40, "fleet size")
-		hours  = flag.Float64("hours", 8, "day length")
-		target = flag.Float64("target", 0.05, "CDF discomfort target for the throttled policies")
-		seed   = flag.Uint64("seed", 2004, "fleet seed")
-		fixed  = flag.Float64("fixed", 0.2, "level for the fixed-priority baseline policy")
+		users       = flag.Int("users", 40, "fleet size")
+		hours       = flag.Float64("hours", 8, "day length")
+		target      = flag.Float64("target", 0.05, "CDF discomfort target for the throttled policies")
+		seed        = flag.Uint64("seed", 2004, "fleet seed")
+		fixed       = flag.Float64("fixed", 0.2, "level for the fixed-priority baseline policy")
+		clusterRoot = flag.String("cluster", "", "derive the CDFs from this cluster state root (merged node journals) instead of running a controlled study")
 	)
 	flag.Parse()
 
-	// Measure the CDFs with a controlled study first (§5: exploit them).
-	fmt.Println("uucs-harvest: measuring discomfort CDFs (controlled study)...")
-	res, err := study.Run(study.DefaultConfig())
-	if err != nil {
-		fatal(err)
+	// Measure the CDFs first (§5: exploit them) — from a cluster's
+	// merged dataset when one is given, else from a controlled study.
+	var db *analysis.DB
+	if *clusterRoot != "" {
+		runs, st, err := cluster.MergedRuns(*clusterRoot)
+		if err != nil {
+			fatal(fmt.Errorf("cluster %s: %w", *clusterRoot, err))
+		}
+		fmt.Printf("uucs-harvest: merged %d sources under %s (%d batches, %d duplicates dropped, %d runs)\n",
+			st.Sources, *clusterRoot, st.Batches, st.DupBatches, len(runs))
+		db = analysis.NewDB(runs)
+	} else {
+		fmt.Println("uucs-harvest: measuring discomfort CDFs (controlled study)...")
+		res, err := study.Run(study.DefaultConfig())
+		if err != nil {
+			fatal(err)
+		}
+		db = res.DB
 	}
-	ceilings := harvest.CeilingsFromStudy(res.DB, *target)
+	ceilings := harvest.CeilingsFromStudy(db, *target)
 	fmt.Printf("per-task CPU ceilings at the %.0f%% level: %v\n\n", *target*100, ceilings)
 
 	fleet, err := comfort.SamplePopulation(*users, comfort.DefaultPopulation(), *seed)

@@ -11,6 +11,12 @@
 //	uucs-loadgen -clients 32 -duration 5s -compare   # group commit vs fsync-per-op
 //	uucs-loadgen -clients 8 -duration 2s -smoke      # CI: nonzero exit on lost/dup
 //
+//	# cluster mode: the same fleet through a routed, replicated N-node
+//	# cluster, optionally SIGKILLing a node mid-upload; verification
+//	# merges every node and replica journal and demands exactly-once
+//	uucs-loadgen -nodes n1,n2,n3 -batches 500 -smoke
+//	uucs-loadgen -nodes n1,n2,n3 -kill-node n2 -batches 500 -smoke
+//
 // With -compare, the rig runs twice against fresh state directories —
 // once with the journal forced to fsync-per-op (-journal-batch 1, the
 // pre-group-commit behavior) and once with the configured batching —
@@ -22,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"uucs/internal/loadgen"
@@ -44,14 +51,24 @@ func main() {
 		compare   = flag.Bool("compare", false, "also run an fsync-per-op baseline and print the speedup")
 		smoke     = flag.Bool("smoke", false, "exit nonzero if any batch was lost or duplicated")
 		jsonOut   = flag.Bool("json", false, "print reports as JSON")
+		nodesCSV  = flag.String("nodes", "", "cluster mode: comma-separated node ids; the fleet drives an in-process routed cluster")
+		killNode  = flag.String("kill-node", "", "cluster mode: SIGKILL-equivalently crash this node mid-run")
+		killAfter = flag.Int("kill-after", 0, "cluster mode: acked batches before the kill (default: half the budget)")
 	)
 	flag.Parse()
 
+	var nodes []string
+	for _, n := range strings.Split(*nodesCSV, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodes = append(nodes, n)
+		}
+	}
 	base := loadgen.Config{
 		Clients: *clients, Duration: *duration, Batches: *batches,
 		RunsPerBatch: *runsPer, Net: *netKind, Addr: *addr,
 		JournalBatch: *jBatch, JournalDelay: *jDelay,
 		FsyncCost: *fsyncCost, Seed: *seed,
+		Nodes: nodes, KillNode: *killNode, KillAfterBatches: *killAfter,
 	}
 
 	run := func(label string, cfg loadgen.Config) *loadgen.Report {
@@ -123,6 +140,11 @@ func print(label string, rep *loadgen.Report, asJSON bool) {
 				label, st.JournalOps, st.JournalFsyncs, st.MeanBatch, st.JournalBytes)
 			fmt.Printf("%s: batch-size histogram (1, 2, ≤4, ≤8, ...): %v\n", label, st.BatchHist)
 		}
+		fmt.Printf("%s: verification: %d lost, %d duplicated\n", label, rep.Lost, rep.Duplicated)
+	}
+	if st := rep.Merge; st != nil {
+		fmt.Printf("%s: cluster merge: %d sources, %d batches kept, %d replica duplicates dropped, %d failovers\n",
+			label, st.Sources, st.Batches, st.DupBatches, rep.Failovers)
 		fmt.Printf("%s: verification: %d lost, %d duplicated\n", label, rep.Lost, rep.Duplicated)
 	}
 	if rep.Telemetry != nil {

@@ -53,6 +53,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "sampling seed")
 		interval = flag.Duration("flush", 30*time.Second, "result flush interval")
 		stateDir = flag.String("state", "", "state directory: restore on start, journal live, compact on flush/shutdown")
+		nodeID   = flag.String("node-id", "", "cluster node id: names this node in /telemetry snapshots when it serves one partition of a routed cluster (see uucs-router)")
 		idle     = flag.Duration("idle-timeout", 0, "disconnect clients silent for this long (0 = never)")
 		debug    = flag.String("debug-addr", "", "serve net/http/pprof, expvar and /telemetry on this address (off when empty)")
 		jBatch   = flag.Int("journal-batch", 0, "max ops per group-commit fsync (0 = default, 1 = fsync per op)")
@@ -63,6 +64,7 @@ func main() {
 	flag.Parse()
 
 	srv := server.New(*seed)
+	srv.NodeID = *nodeID
 	if *debug != "" {
 		// The default mux already carries /debug/pprof and /debug/vars;
 		// add the server's own gauges next to the runtime's. The ingest

@@ -1,7 +1,8 @@
-// Command uucs-top is `top` for a UUCS server: it polls the server's
-// /telemetry debug endpoint and renders the USE-method snapshot —
-// utilization, saturation and errors per ingest resource, headed by
-// the 0-100 health score and the saturated-resource verdict.
+// Command uucs-top is `top` for a UUCS server — or a whole cluster: it
+// polls one or more /telemetry debug endpoints and renders the
+// USE-method snapshot(s) — utilization, saturation and errors per
+// ingest resource, headed by the 0-100 health score and the
+// saturated-resource verdict.
 //
 // Usage:
 //
@@ -10,50 +11,70 @@
 //	uucs-top -addr 127.0.0.1:7061 -w -interval 500ms
 //	uucs-top -addr 127.0.0.1:7061 -json      # raw snapshot JSON
 //
-// -addr is the server's -debug-addr listener. In watch mode the screen
-// is redrawn each interval and per-interval deltas of the cumulative
-// counters are appended, so a saturating resource is visible as it
-// saturates rather than only in the lifetime averages.
+//	# cluster: repeat -addr (or use -addrs a,b,c) — one table per node,
+//	# side by side, under a cluster-wide health verdict that names
+//	# which node's resource saturated
+//	uucs-top -addr 127.0.0.1:7061 -addr 127.0.0.1:7062 -w
+//	uucs-top -addrs 127.0.0.1:7061,127.0.0.1:7062,127.0.0.1:7063
+//
+// Each -addr is a server's -debug-addr listener. In watch mode the
+// screen is redrawn each interval and per-interval deltas of the
+// cumulative counters are appended, so a saturating resource is
+// visible as it saturates rather than only in the lifetime averages.
+// With several addresses the deltas and -json output use the merged
+// (node-prefixed) cluster snapshot; a node that stops answering shows
+// an UNREACHABLE column and drives the cluster verdict to that node.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"uucs/internal/telemetry"
 )
 
+// addrList collects repeated -addr flags.
+type addrList []string
+
+func (a *addrList) String() string { return strings.Join(*a, ",") }
+func (a *addrList) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty address")
+	}
+	*a = append(*a, v)
+	return nil
+}
+
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7061", "server -debug-addr to poll")
+		addrs    addrList
+		addrsCSV = flag.String("addrs", "", "comma-separated server -debug-addr list (cluster mode)")
 		watch    = flag.Bool("w", false, "watch: redraw every -interval")
 		interval = flag.Duration("interval", 2*time.Second, "refresh interval in watch mode")
-		rawJSON  = flag.Bool("json", false, "print the raw snapshot JSON and exit")
+		rawJSON  = flag.Bool("json", false, "print the (merged, in cluster mode) snapshot JSON and exit")
 	)
+	flag.Var(&addrs, "addr", "server -debug-addr to poll (repeatable for a cluster)")
 	flag.Parse()
+	for _, a := range strings.Split(*addrsCSV, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		addrs = addrList{"127.0.0.1:7061"}
+	}
 
 	client := &http.Client{Timeout: 5 * time.Second}
-	url := fmt.Sprintf("http://%s/telemetry?format=json", *addr)
 
 	if !*watch {
-		snap, err := fetch(client, url)
-		if err != nil {
-			fatal(err)
-		}
-		if *rawJSON {
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(snap); err != nil {
-				fatal(err)
-			}
-			return
-		}
-		if err := telemetry.WriteTable(os.Stdout, snap); err != nil {
+		if err := render(os.Stdout, client, addrs, *rawJSON); err != nil {
 			fatal(err)
 		}
 		return
@@ -62,10 +83,10 @@ func main() {
 	var prev *telemetry.Snapshot
 	failures := 0
 	for {
-		snap, err := fetch(client, url)
-		if err != nil {
+		snaps, nErr := poll(client, addrs)
+		if nErr == len(addrs) {
 			failures++
-			fmt.Fprintf(os.Stderr, "uucs-top: %v (attempt %d)\n", err, failures)
+			fmt.Fprintf(os.Stderr, "uucs-top: no node answered (attempt %d)\n", failures)
 			if failures >= 5 {
 				os.Exit(1)
 			}
@@ -73,15 +94,128 @@ func main() {
 			continue
 		}
 		failures = 0
-		// Clear screen + home, then the fresh table.
+		merged := telemetry.MergeSnapshots(snaps...)
+		// Clear screen + home, then the fresh table(s).
 		fmt.Print("\x1b[2J\x1b[H")
-		if err := telemetry.WriteTable(os.Stdout, snap); err != nil {
-			fatal(err)
+		out := bufio.NewWriter(os.Stdout)
+		if len(addrs) == 1 {
+			if err := telemetry.WriteTable(out, snaps[0]); err != nil {
+				fatal(err)
+			}
+			printDeltas(out, prev, snaps[0], *interval)
+			prev = snaps[0]
+		} else {
+			writeCluster(out, addrs, snaps, merged)
+			printDeltas(out, prev, merged, *interval)
+			prev = merged
 		}
-		printDeltas(os.Stdout, prev, snap, *interval)
-		prev = snap
+		out.Flush()
 		time.Sleep(*interval)
 	}
+}
+
+// render handles the one-shot (non-watch) modes.
+func render(w io.Writer, client *http.Client, addrs addrList, rawJSON bool) error {
+	snaps, nErr := poll(client, addrs)
+	if nErr == len(addrs) {
+		return fmt.Errorf("no node answered (%d polled)", len(addrs))
+	}
+	if len(addrs) == 1 {
+		if rawJSON {
+			return writeJSON(w, snaps[0])
+		}
+		return telemetry.WriteTable(w, snaps[0])
+	}
+	merged := telemetry.MergeSnapshots(snaps...)
+	if rawJSON {
+		return writeJSON(w, merged)
+	}
+	writeCluster(w, addrs, snaps, merged)
+	return nil
+}
+
+// poll fetches every address, substituting a saturated synthetic
+// snapshot for nodes that do not answer — an unreachable node is the
+// most saturated resource a cluster has. Returns how many failed.
+func poll(client *http.Client, addrs addrList) ([]*telemetry.Snapshot, int) {
+	snaps := make([]*telemetry.Snapshot, len(addrs))
+	nErr := 0
+	for i, addr := range addrs {
+		snap, err := fetch(client, fmt.Sprintf("http://%s/telemetry?format=json", addr))
+		if err != nil {
+			nErr++
+			snap = &telemetry.Snapshot{Taken: time.Now(), Node: nodeLabel(nil, addr, i)}
+			snap.Add(telemetry.Sample{
+				Resource: "node", Axis: telemetry.Errors,
+				Metric: "unreachable", Value: 1, Pressure: 1,
+				Detail: err.Error(),
+			})
+			snap.Finalize()
+		}
+		snaps[i] = snap
+	}
+	return snaps, nErr
+}
+
+// nodeLabel names a column: the node's self-reported id, or its
+// address when it has none.
+func nodeLabel(snap *telemetry.Snapshot, addr string, i int) string {
+	if snap != nil && snap.Node != "" {
+		return snap.Node
+	}
+	if addr != "" {
+		return addr
+	}
+	return fmt.Sprintf("node%d", i)
+}
+
+// writeCluster renders per-node tables side by side under the
+// cluster-wide health verdict line.
+func writeCluster(w io.Writer, addrs addrList, snaps []*telemetry.Snapshot, merged *telemetry.Snapshot) {
+	verdict := merged.Saturated
+	if verdict == telemetry.Healthy {
+		verdict = "none (healthy)"
+	}
+	fmt.Fprintf(w, "CLUSTER health %d/100  saturated: %s  (%d nodes)\n\n",
+		merged.Score, verdict, len(snaps))
+
+	cols := make([][]string, len(snaps))
+	width := make([]int, len(snaps))
+	rows := 0
+	for i, snap := range snaps {
+		var b strings.Builder
+		fmt.Fprintf(&b, "[%s]\n", nodeLabel(snap, addrs[i], i))
+		_ = telemetry.WriteTable(&b, snap)
+		lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+		cols[i] = lines
+		for _, ln := range lines {
+			if len(ln) > width[i] {
+				width[i] = len(ln)
+			}
+		}
+		if len(lines) > rows {
+			rows = len(lines)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for i := range cols {
+			cell := ""
+			if r < len(cols[i]) {
+				cell = cols[i][r]
+			}
+			if i < len(cols)-1 {
+				fmt.Fprintf(w, "%-*s  │ ", width[i], cell)
+			} else {
+				fmt.Fprintln(w, cell)
+			}
+		}
+	}
+}
+
+func writeJSON(w io.Writer, snap *telemetry.Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
 }
 
 // printDeltas reports per-interval movement of the cumulative count
@@ -114,7 +248,7 @@ func printDeltas(w io.Writer, prev, cur *telemetry.Snapshot, interval time.Durat
 			fmt.Fprintf(w, "\nper-second over last %v:\n", interval)
 			wrote = true
 		}
-		fmt.Fprintf(w, "  %-16s %-28s %10.1f %s/s\n", sm.Resource, sm.Metric, (sm.Value-before)/secs, sm.Unit)
+		fmt.Fprintf(w, "  %-20s %-28s %10.1f %s/s\n", sm.Resource, sm.Metric, (sm.Value-before)/secs, sm.Unit)
 	}
 }
 

@@ -23,11 +23,87 @@ type Network struct {
 	// fault: a volunteer fleet's connections do not reach the server's
 	// accept queue in dial order.
 	reorder int
+	// down marks partitioned addresses (SetDown): dials are refused and
+	// live conns to them are severed.
+	down map[string]bool
+	// live tracks every open conn pair by the address it was dialed to,
+	// so SetDown can sever in-flight conversations, not just new dials.
+	live map[string]map[*trackedConn]struct{}
 }
 
 // NewNetwork returns an empty network.
 func NewNetwork() *Network {
-	return &Network{listeners: make(map[string]*listener)}
+	return &Network{
+		listeners: make(map[string]*listener),
+		down:      make(map[string]bool),
+		live:      make(map[string]map[*trackedConn]struct{}),
+	}
+}
+
+// SetDown partitions (down=true) or heals (down=false) the named
+// address. While partitioned, dials to it are refused and every live
+// connection dialed to it is severed — both halves — modeling a
+// node-level network partition: the node's process keeps running, its
+// listener stays registered, but nothing reaches it and its open
+// conversations break mid-stream. Healing lets new dials through
+// without a re-listen.
+func (n *Network) SetDown(addr string, down bool) {
+	n.mu.Lock()
+	if down {
+		n.down[addr] = true
+	} else {
+		delete(n.down, addr)
+	}
+	var sever []*trackedConn
+	if down {
+		for c := range n.live[addr] {
+			sever = append(sever, c)
+		}
+	}
+	n.mu.Unlock()
+	for _, c := range sever {
+		c.Close()
+	}
+}
+
+// track registers both halves of a dialed pair under addr so SetDown
+// can find them, wrapping them in self-deregistering conns.
+func (n *Network) track(addr string, client, server net.Conn) (net.Conn, net.Conn) {
+	tc := &trackedConn{Conn: client, net: n, key: addr}
+	ts := &trackedConn{Conn: server, net: n, key: addr}
+	n.mu.Lock()
+	set := n.live[addr]
+	if set == nil {
+		set = make(map[*trackedConn]struct{})
+		n.live[addr] = set
+	}
+	set[tc] = struct{}{}
+	set[ts] = struct{}{}
+	n.mu.Unlock()
+	return tc, ts
+}
+
+// trackedConn deregisters itself from the network's live table when
+// closed, so SetDown only severs conns that are still open.
+type trackedConn struct {
+	net.Conn
+	net  *Network
+	key  string
+	once sync.Once
+}
+
+func (t *trackedConn) Close() error {
+	t.once.Do(func() {
+		t.net.mu.Lock()
+		if set := t.net.live[t.key]; set != nil {
+			delete(set, t)
+			if len(set) == 0 {
+				delete(t.net.live, t.key)
+			}
+		}
+		t.net.mu.Unlock()
+	})
+	return t.Conn.Close()
 }
 
 // SetReorderWindow makes the network deliver dials to listeners in
@@ -69,11 +145,16 @@ func (n *Network) Dial(addr string) (net.Conn, error) {
 	n.mu.Lock()
 	l := n.listeners[addr]
 	reorder := n.reorder
+	isDown := n.down[addr]
 	n.mu.Unlock()
+	if isDown {
+		return nil, fmt.Errorf("chaos: dial %s: no route to host (partitioned)", addr)
+	}
 	if l == nil {
 		return nil, fmt.Errorf("chaos: dial %s: connection refused", addr)
 	}
 	client, server := pipePair(addr)
+	client, server = n.track(addr, client, server)
 	if err := l.deliver(server, reorder); err != nil {
 		client.Close()
 		return nil, err

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzPartitionMap fuzzes the client-id→node assignment over arbitrary
+// node sets and client ids, checking the three properties the cluster
+// depends on: the assignment is total, stable under node-set
+// re-ordering, and rebalancing moves only the minimal key range (ids
+// move only onto an added node, or only off a removed one).
+func FuzzPartitionMap(f *testing.F) {
+	f.Add(uint8(3), "uucs-00deadbeef00", uint8(1))
+	f.Add(uint8(1), "", uint8(0))
+	f.Add(uint8(9), "client-with-a-long-identity-string", uint8(7))
+	f.Add(uint8(2), "uucs-ffffffffffffffff", uint8(2))
+	f.Fuzz(func(t *testing.T, nNodes uint8, clientID string, pick uint8) {
+		n := int(nNodes%12) + 1
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("node-%d", i)
+		}
+		m, err := NewPartitionMap(nodes...)
+		if err != nil {
+			t.Fatalf("NewPartitionMap(%v): %v", nodes, err)
+		}
+
+		// Total: every id has exactly one owner from the set.
+		owner := m.Owner(clientID)
+		found := false
+		for _, nd := range nodes {
+			if nd == owner {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("owner %q not in node set %v", owner, nodes)
+		}
+
+		// Stable under re-ordering: rotate and reverse the node list.
+		rot := append(append([]string{}, nodes[n/2:]...), nodes[:n/2]...)
+		rm, err := NewPartitionMap(rot...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rm.Owner(clientID); got != owner {
+			t.Fatalf("owner changed under re-ordering: %q vs %q", got, owner)
+		}
+
+		// Minimal movement: add a fresh node — the id either stays or
+		// moves to exactly that node.
+		grown, err := m.With("node-added")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := grown.Owner(clientID); got != owner && got != "node-added" {
+			t.Fatalf("adding a node moved id from %q to %q", owner, got)
+		}
+
+		// Minimal movement: remove one node — ids it did not own must
+		// not move.
+		if n > 1 {
+			victim := nodes[int(pick)%n]
+			shrunk, err := m.Without(victim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := shrunk.Owner(clientID)
+			if owner != victim && got != owner {
+				t.Fatalf("removing %q moved id from %q to %q", victim, owner, got)
+			}
+			if owner == victim && got == victim {
+				t.Fatalf("id still assigned to removed node %q", victim)
+			}
+		}
+	})
+}

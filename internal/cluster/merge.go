@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"uucs/internal/core"
+	"uucs/internal/server"
+)
+
+// Deterministic journal merge: fold any set of per-node state
+// directories — primaries, replicas, dead nodes' leftovers, in any
+// order, with arbitrarily duplicated shipped segments — into the exact
+// run dataset a single fault-free server would hold.
+//
+// Determinism rests on three facts:
+//
+//   - Every sequenced upload is keyed by (client id, batch seq), ids
+//     are topology-independent, and a client is pinned to one primary,
+//     so every copy of a given (id, seq) op — primary journal, shipped
+//     replica, bootstrap re-ship — carries identical payload bytes.
+//     The merge keeps the first copy and drops the rest.
+//   - A compacted snapshot records, per client, the highest seq it
+//     folded (LastSeq). The merge takes the max floor per client
+//     across all sources and drops raw ops at or under it, so a
+//     snapshot aggregate and the raw journals it summarizes never
+//     double-count.
+//   - The output is canonicalized: each run is encoded individually
+//     and the encodings are sorted, so the bytes depend only on the
+//     set of runs, never on node count, scan order, or merge order.
+
+// MergeStats accounts for what a merge kept and dropped.
+type MergeStats struct {
+	// Sources is how many state directories were scanned.
+	Sources int `json:"sources"`
+	// Batches is how many distinct sequenced upload batches were kept.
+	Batches int `json:"batches"`
+	// DupBatches is how many duplicate copies of kept batches were
+	// dropped (replica overlap, retried segments, dead-primary dirs).
+	DupBatches int `json:"dup_batches"`
+	// Covered is how many raw batches were dropped as already folded
+	// into a compacted snapshot aggregate.
+	Covered int `json:"covered"`
+	// Aggregates is how many compacted (unsequenced) payloads were
+	// kept; DupAggregates how many duplicate copies were dropped.
+	Aggregates    int `json:"aggregates"`
+	DupAggregates int `json:"dup_aggregates"`
+	// Runs is the size of the merged dataset.
+	Runs int `json:"runs"`
+}
+
+// MergeDirs merges the given state directories and writes the
+// canonical dataset (text run records, load columns included) to w.
+// The output is byte-identical for any permutation of dirs and any
+// duplication among them.
+func MergeDirs(w io.Writer, dirs []string) (MergeStats, error) {
+	var st MergeStats
+	st.Sources = len(dirs)
+
+	// Pass 1: per-client snapshot floors — the highest batch seq any
+	// source's compaction has folded away.
+	floors := make(map[string]uint64)
+	for _, dir := range dirs {
+		err := scanDir(dir, func(op server.StateOp) error {
+			if op.Kind == server.OpKindClient && op.LastSeq > floors[op.ID] {
+				floors[op.ID] = op.LastSeq
+			}
+			return nil
+		})
+		if err != nil {
+			return st, err
+		}
+	}
+
+	// Pass 2: collect every run exactly once.
+	type batchKey struct {
+		id  string
+		seq uint64
+	}
+	seen := make(map[batchKey]struct{})
+	aggSeen := make(map[uint64]struct{})
+	var encoded []string
+	keep := func(payload string) error {
+		runs, err := core.DecodeRuns(strings.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		var b strings.Builder
+		for _, r := range runs {
+			b.Reset()
+			if err := core.EncodeRuns(&b, []*core.Run{r}, true); err != nil {
+				return err
+			}
+			encoded = append(encoded, b.String())
+		}
+		st.Runs += len(runs)
+		return nil
+	}
+	for _, dir := range dirs {
+		err := scanDir(dir, func(op server.StateOp) error {
+			if op.Kind != server.OpKindResults {
+				return nil
+			}
+			if op.ID != "" && op.Seq > 0 {
+				if op.Seq <= floors[op.ID] {
+					st.Covered++
+					return nil
+				}
+				k := batchKey{op.ID, op.Seq}
+				if _, dup := seen[k]; dup {
+					st.DupBatches++
+					return nil
+				}
+				seen[k] = struct{}{}
+				st.Batches++
+				return keep(op.Payload)
+			}
+			// Unsequenced payload: a compacted aggregate. Its identity
+			// is its content (the same aggregate reappears wherever a
+			// snapshot's bytes were shipped or copied).
+			h := fnv.New64a()
+			io.WriteString(h, op.ID)
+			h.Write([]byte{0})
+			io.WriteString(h, op.Payload)
+			sum := h.Sum64()
+			if _, dup := aggSeen[sum]; dup {
+				st.DupAggregates++
+				return nil
+			}
+			aggSeen[sum] = struct{}{}
+			st.Aggregates++
+			return keep(op.Payload)
+		})
+		if err != nil {
+			return st, err
+		}
+	}
+
+	sort.Strings(encoded)
+	for _, e := range encoded {
+		if _, err := io.WriteString(w, e); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// scanDir walks one state directory's snapshot then journal.
+func scanDir(dir string, fn func(server.StateOp) error) error {
+	snap, journal := server.StateFilePaths(dir)
+	if err := server.ScanStateOps(snap, false, fn); err != nil {
+		return fmt.Errorf("cluster: merge %s: %w", snap, err)
+	}
+	if err := server.ScanStateOps(journal, true, fn); err != nil {
+		return fmt.Errorf("cluster: merge %s: %w", journal, err)
+	}
+	return nil
+}
+
+// DiscoverStateDirs walks root and returns, sorted, every directory
+// that holds server state (a journal or a snapshot file) — node
+// directories and the replica directories nested under them alike.
+func DiscoverStateDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			return nil
+		}
+		_, journal := server.StateFilePaths(filepath.Dir(path))
+		snap, _ := server.StateFilePaths(filepath.Dir(path))
+		if path == journal || path == snap {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	// Walk visits files in lexical order, so duplicates are adjacent.
+	out := dirs[:0]
+	for i, d := range dirs {
+		if i == 0 || dirs[i-1] != d {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// MergeTree discovers every state directory under root and merges
+// them. This is the uucs-analyze/uucs-harvest entry point: point it at
+// a cluster's state root and out comes the dataset.
+func MergeTree(w io.Writer, root string) (MergeStats, error) {
+	dirs, err := DiscoverStateDirs(root)
+	if err != nil {
+		return MergeStats{}, err
+	}
+	if len(dirs) == 0 {
+		return MergeStats{}, fmt.Errorf("cluster: no state directories under %s", root)
+	}
+	return MergeDirs(w, dirs)
+}
+
+// MergedRuns merges the tree under root and decodes the dataset.
+func MergedRuns(root string) ([]*core.Run, MergeStats, error) {
+	var b strings.Builder
+	st, err := MergeTree(&b, root)
+	if err != nil {
+		return nil, st, err
+	}
+	runs, err := core.DecodeRuns(strings.NewReader(b.String()))
+	return runs, st, err
+}

@@ -1,0 +1,135 @@
+// Package cluster turns the single-process ingest server into an
+// N-node tier: a consistent client-id-hash partition map, a router that
+// pins every registered client to its node, primary→follower journal
+// shipping per partition with promote-on-crash failover, and a
+// deterministic merge that folds per-node journals back into the exact
+// dataset a single fault-free server would have produced.
+//
+// The design keeps the PR 2 invariant cluster-wide — no acked batch is
+// ever lost or duplicated — by composing three mechanisms:
+//
+//   - Client ids are topology-independent (server.DeriveClientID hashes
+//     seed + machine snapshot), so the same fleet produces the same ids
+//     against one node or N, and the merge can key on (id, seq).
+//   - A node acks a batch only after its journal bytes are fsynced
+//     locally AND shipped to its follower's disk (semi-synchronous
+//     replication via Server.JournalShip), so a crashed primary's acked
+//     ops always survive on the replica.
+//   - The merge dedups by (client id, batch seq) and by content for
+//     unsequenced payloads, so overlapping sources — a dead primary's
+//     own journal plus its shipped replica — collapse to one copy.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PartitionMap assigns client ids to nodes by rendezvous (highest
+// random weight) hashing: every (clientID, nodeID) pair gets a
+// deterministic score and the client belongs to the highest-scoring
+// node. Rendezvous hashing gives the three properties FuzzPartitionMap
+// pins down: the assignment is total (every id maps to exactly one of
+// the live nodes), independent of the order nodes are listed in, and
+// minimal under change — removing a node moves only the ids it owned,
+// adding one moves only the ids it now wins.
+//
+// A PartitionMap is immutable; With and Without derive new maps.
+type PartitionMap struct {
+	nodes []string // sorted, unique
+}
+
+// NewPartitionMap builds a map over the given node ids. Order does not
+// matter; duplicates collapse. At least one node is required.
+func NewPartitionMap(nodeIDs ...string) (*PartitionMap, error) {
+	if len(nodeIDs) == 0 {
+		return nil, fmt.Errorf("cluster: partition map needs at least one node")
+	}
+	uniq := make(map[string]bool, len(nodeIDs))
+	nodes := make([]string, 0, len(nodeIDs))
+	for _, id := range nodeIDs {
+		if id == "" {
+			return nil, fmt.Errorf("cluster: empty node id")
+		}
+		if !uniq[id] {
+			uniq[id] = true
+			nodes = append(nodes, id)
+		}
+	}
+	sort.Strings(nodes)
+	return &PartitionMap{nodes: nodes}, nil
+}
+
+// Nodes returns the node ids, sorted. The slice is shared; do not
+// mutate.
+func (m *PartitionMap) Nodes() []string { return m.nodes }
+
+// Len returns the number of nodes.
+func (m *PartitionMap) Len() int { return len(m.nodes) }
+
+// Owner returns the node owning a client id. Total: every id has an
+// owner as long as the map has a node. Ties between equal scores (only
+// possible with duplicate node ids, which NewPartitionMap forbids)
+// break toward the lexically smallest node, keeping the choice
+// deterministic.
+func (m *PartitionMap) Owner(clientID string) string {
+	best := m.nodes[0]
+	bestScore := rendezvousScore(clientID, best)
+	for _, node := range m.nodes[1:] {
+		if s := rendezvousScore(clientID, node); s > bestScore {
+			best, bestScore = node, s
+		}
+	}
+	return best
+}
+
+// With derives a map with one more node (a no-op if present).
+func (m *PartitionMap) With(nodeID string) (*PartitionMap, error) {
+	return NewPartitionMap(append(append([]string{}, m.nodes...), nodeID)...)
+}
+
+// Without derives a map with one node removed. Removing the last node
+// is an error — a cluster with zero partitions cannot own anything.
+func (m *PartitionMap) Without(nodeID string) (*PartitionMap, error) {
+	rest := make([]string, 0, len(m.nodes))
+	for _, id := range m.nodes {
+		if id != nodeID {
+			rest = append(rest, id)
+		}
+	}
+	return NewPartitionMap(rest...)
+}
+
+// rendezvousScore is the deterministic weight of placing clientID on
+// nodeID — an FNV-1a style mix of both strings. Scoring the pair
+// (rather than hashing the id into a ring) is what makes reassignment
+// minimal: a node's departure cannot change the relative order of the
+// remaining nodes' scores for any id.
+func rendezvousScore(clientID, nodeID string) uint64 {
+	h := phashString(0xcbf29ce484222325, clientID)
+	h = phashString(h, nodeID)
+	// Final avalanche so near-identical node names don't correlate.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// phashMix folds v into an FNV-1a style running hash (the same shape
+// the server uses for shard selection, kept local so the partition map
+// has no dependency on server internals).
+func phashMix(h, v uint64) uint64 {
+	h ^= v
+	h *= 0x100000001b3
+	h ^= h >> 29
+	return h
+}
+
+// phashString folds a string into a running hash byte by byte,
+// length-terminated so concatenation cannot alias ("ab"+"c" ≠ "a"+"bc").
+func phashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = phashMix(h, uint64(s[i]))
+	}
+	return phashMix(h, uint64(len(s))+1)
+}

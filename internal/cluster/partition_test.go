@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func mustMap(t *testing.T, nodes ...string) *PartitionMap {
+	t.Helper()
+	m, err := NewPartitionMap(nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPartitionMapValidation(t *testing.T) {
+	if _, err := NewPartitionMap(); err == nil {
+		t.Error("empty node set accepted")
+	}
+	if _, err := NewPartitionMap("a", ""); err == nil {
+		t.Error("empty node id accepted")
+	}
+	m := mustMap(t, "b", "a", "b")
+	if m.Len() != 2 {
+		t.Errorf("duplicates not collapsed: %v", m.Nodes())
+	}
+	if _, err := mustMap(t, "a").Without("a"); err == nil {
+		t.Error("removing the last node accepted")
+	}
+}
+
+func TestPartitionMapTotalAndOrderIndependent(t *testing.T) {
+	a := mustMap(t, "n1", "n2", "n3")
+	b := mustMap(t, "n3", "n1", "n2")
+	owned := map[string]int{}
+	for i := 0; i < 2000; i++ {
+		id := fmt.Sprintf("uucs-%016x", uint64(i)*0x9e3779b97f4a7c15)
+		oa, ob := a.Owner(id), b.Owner(id)
+		if oa != ob {
+			t.Fatalf("owner differs under node re-ordering: %s vs %s", oa, ob)
+		}
+		found := false
+		for _, n := range a.Nodes() {
+			if n == oa {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("owner %q not in node set", oa)
+		}
+		owned[oa]++
+	}
+	// Rendezvous hashing should spread ids roughly evenly; allow wide
+	// slack (the property under test is totality, not perfection).
+	for n, c := range owned {
+		if math.Abs(float64(c)-2000.0/3) > 2000.0/3*0.5 {
+			t.Errorf("node %s owns %d of 2000 ids — implausibly unbalanced", n, c)
+		}
+	}
+}
+
+func TestPartitionMapMinimalMovement(t *testing.T) {
+	before := mustMap(t, "n1", "n2", "n3", "n4")
+	after, err := before.Without("n3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := before.With("n5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		id := fmt.Sprintf("client-%d", i)
+		was := before.Owner(id)
+		// Removal: only ids owned by the removed node move.
+		if now := after.Owner(id); was != "n3" && now != was {
+			t.Fatalf("id %s moved %s→%s though %s stayed up", id, was, now, was)
+		} else if was == "n3" && now == "n3" {
+			t.Fatalf("id %s still owned by removed node", id)
+		}
+		// Addition: ids either stay put or move to the new node.
+		if now := grown.Owner(id); now != was && now != "n5" {
+			t.Fatalf("id %s moved %s→%s on adding n5", id, was, now)
+		}
+	}
+}
+
+func TestPartitionMapWithIsNoOpForExisting(t *testing.T) {
+	m := mustMap(t, "a", "b")
+	m2, err := m.With("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Len() != 2 {
+		t.Errorf("With(existing) changed the map: %v", m2.Nodes())
+	}
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"uucs/internal/chaos"
+	"uucs/internal/server"
+)
+
+// Cluster half of the seeded regression corpus. The corpus file is
+// shared with internal/server (which replays the single-node suite);
+// entries tagged "suite": "cluster" replay here, against the
+// cluster-wide invariant: whatever node the seed kills or partitions,
+// the merged dataset is bit-identical to the fault-free baseline.
+
+const seedsFile = "../../scripts/e2e/regression_seeds.json"
+
+type regressionSeed struct {
+	Seed     uint64 `json:"seed"`
+	Scenario string `json:"scenario"`
+	Suite    string `json:"suite,omitempty"`
+	Found    string `json:"found"`
+	Note     string `json:"note"`
+}
+
+var clusterReplays = map[string]func(*testing.T, uint64){
+	"node-kill-failover":      replayNodeKillFailover,
+	"node-partition-failover": replayNodePartitionFailover,
+}
+
+func TestRegressionSeeds(t *testing.T) {
+	data, err := os.ReadFile(seedsFile)
+	if err != nil {
+		t.Fatalf("seed corpus: %v", err)
+	}
+	var corpus struct {
+		Seeds []regressionSeed `json:"seeds"`
+	}
+	if err := json.Unmarshal(data, &corpus); err != nil {
+		t.Fatalf("seed corpus does not parse: %v", err)
+	}
+	replayed := 0
+	for _, s := range corpus.Seeds {
+		s := s
+		if s.Suite != "cluster" {
+			continue
+		}
+		replay, ok := clusterReplays[s.Scenario]
+		if !ok {
+			t.Errorf("seed %d names unknown cluster scenario %q", s.Seed, s.Scenario)
+			continue
+		}
+		replayed++
+		t.Run(fmt.Sprintf("%s/seed=%d", s.Scenario, s.Seed), func(t *testing.T) {
+			replay(t, s.Seed)
+		})
+	}
+	if replayed == 0 {
+		t.Error("corpus holds no cluster seeds; the cluster suite replays nothing")
+	}
+}
+
+// victimFor picks the node a seed kills — seed-chosen, but biased to a
+// node that owns at least one fleet client when the plain choice owns
+// none, so the failure always lands in the upload path.
+func victimFor(t *testing.T, nodes []string, seed uint64) string {
+	t.Helper()
+	victim := nodes[int(seed%uint64(len(nodes)))]
+	pm := mustMap(t, nodes...)
+	for _, fc := range makeFleet(fleetClients) {
+		if pm.Owner(server.DeriveClientID(fleetSeed, fc.snap)) == victim {
+			return victim
+		}
+	}
+	// The seed's choice owns no client; shift to one that does.
+	for _, fc := range makeFleet(fleetClients) {
+		return pm.Owner(server.DeriveClientID(fleetSeed, fc.snap))
+	}
+	return victim
+}
+
+func replayNodeKillFailover(t *testing.T, seed uint64) {
+	nodes := []string{"n1", "n2", "n3"}
+	victim := victimFor(t, nodes, seed)
+	got, _, c := runCluster(t, nodes, func(c *Cluster, nw *chaos.Network) {
+		if err := c.CrashNode(victim); err != nil {
+			t.Errorf("crash %s: %v", victim, err)
+		}
+	})
+	if got != expectedDataset(t) {
+		t.Fatalf("seed %d: merged dataset after killing %s diverged from baseline", seed, victim)
+	}
+	if c.Router().Stats().Failovers == 0 {
+		t.Errorf("seed %d: killing %s triggered no failover", seed, victim)
+	}
+}
+
+func replayNodePartitionFailover(t *testing.T, seed uint64) {
+	nodes := []string{"n1", "n2", "n3"}
+	victim := victimFor(t, nodes, seed)
+	got, _, c := runCluster(t, nodes, func(c *Cluster, nw *chaos.Network) {
+		nw.SetDown(c.NodeAddr(victim), true)
+	})
+	if got != expectedDataset(t) {
+		t.Fatalf("seed %d: merged dataset after partitioning %s diverged from baseline", seed, victim)
+	}
+	if c.Router().Stats().Failovers == 0 {
+		t.Errorf("seed %d: partitioning %s triggered no failover", seed, victim)
+	}
+}

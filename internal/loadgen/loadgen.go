@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"uucs/internal/chaos"
+	"uucs/internal/cluster"
 	"uucs/internal/core"
 	"uucs/internal/protocol"
 	"uucs/internal/server"
@@ -61,6 +62,16 @@ type Config struct {
 	// Net selects the transport: "tcp" (loopback) or "mem" (the chaos
 	// in-memory network — no kernel sockets, isolates server cost).
 	Net string
+	// Nodes, when non-empty, runs cluster mode: an in-process N-node
+	// cluster (these node ids) behind a router, with the fleet dialing
+	// the router. StateDir becomes the cluster state root (required);
+	// workers retry across failovers instead of failing fast.
+	Nodes []string
+	// KillNode, in cluster mode, names a node to crash mid-run once the
+	// fleet has acked KillAfterBatches batches (default: half the batch
+	// budget) — the failover load rig.
+	KillNode         string
+	KillAfterBatches int
 	// Addr, when non-empty, targets an already-running server there
 	// instead of starting one in-process (verification and server
 	// stats are then unavailable).
@@ -94,6 +105,13 @@ type Report struct {
 	// that got slower says *which* ingest resource saturated.
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 
+	// Failovers counts router-observed node failovers (cluster mode).
+	Failovers uint64 `json:"failovers,omitempty"`
+	// Merge summarizes the post-run deterministic merge of every node
+	// and replica journal (cluster mode) — the dataset Lost/Duplicated
+	// were verified against.
+	Merge *cluster.MergeStats `json:"merge,omitempty"`
+
 	// Lost counts acked batches missing from the server's dataset;
 	// Duplicated counts batches present more than once. Both must be
 	// zero — a nonzero value means the durability contract broke under
@@ -104,7 +122,7 @@ type Report struct {
 
 // Verified reports whether the run could check (and did check) the
 // no-loss/no-duplication contract.
-func (r *Report) Verified() bool { return r.Server != nil }
+func (r *Report) Verified() bool { return r.Server != nil || r.Merge != nil }
 
 // batchPayload builds the text payload of one upload: n synthetic run
 // records in the store encoding, the same bytes a real client ships.
@@ -141,6 +159,13 @@ func Run(cfg Config) (*Report, error) {
 	payload, err := batchPayload(cfg.RunsPerBatch)
 	if err != nil {
 		return nil, err
+	}
+
+	if len(cfg.Nodes) > 0 {
+		return runClusterLoad(cfg, payload)
+	}
+	if cfg.KillNode != "" {
+		return nil, fmt.Errorf("loadgen: -kill-node needs cluster mode (-nodes)")
 	}
 
 	// Transport, and — unless an external address is given — the

@@ -65,4 +65,61 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := Run(Config{Net: "mem", Addr: "elsewhere:1", Batches: 1}); err == nil {
 		t.Error("mem transport with external addr accepted")
 	}
+	if _, err := Run(Config{Net: "mem", KillNode: "n1", Batches: 1, StateDir: t.TempDir()}); err == nil {
+		t.Error("kill-node without cluster mode accepted")
+	}
+	if _, err := Run(Config{Net: "mem", Nodes: []string{"n1"}, Batches: 1}); err == nil {
+		t.Error("cluster mode without a state dir accepted")
+	}
+}
+
+// TestClusterModeFaultFree drives the fleet through a 3-node cluster's
+// router with no faults and checks the merged-dataset accounting.
+func TestClusterModeFaultFree(t *testing.T) {
+	rep, err := Run(Config{
+		Clients: 4, Batches: 40, RunsPerBatch: 2,
+		StateDir: t.TempDir(), Net: "mem", Seed: 7,
+		Nodes: []string{"n1", "n2", "n3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Batches != 40 {
+		t.Errorf("acked %d batches, want 40", rep.Batches)
+	}
+	if !rep.Verified() {
+		t.Fatal("cluster run did not verify")
+	}
+	if rep.Lost != 0 || rep.Duplicated != 0 {
+		t.Errorf("lost=%d duplicated=%d, want 0/0", rep.Lost, rep.Duplicated)
+	}
+	if rep.Failovers != 0 {
+		t.Errorf("fault-free run recorded %d failovers", rep.Failovers)
+	}
+	if rep.Merge == nil || rep.Merge.Batches != 40 {
+		t.Errorf("merge stats %+v, want 40 batches", rep.Merge)
+	}
+	if rep.Telemetry == nil || rep.Telemetry.Node != "cluster" {
+		t.Error("cluster run did not aggregate cluster telemetry")
+	}
+}
+
+// TestClusterModeNodeKill kills a node halfway through the batch
+// budget; the fleet must ride the failover and the merged dataset must
+// still hold every acked batch exactly once.
+func TestClusterModeNodeKill(t *testing.T) {
+	rep, err := Run(Config{
+		Clients: 4, Batches: 60, RunsPerBatch: 2,
+		StateDir: t.TempDir(), Net: "mem", Seed: 7,
+		Nodes: []string{"n1", "n2", "n3"}, KillNode: "n2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Batches != 60 {
+		t.Errorf("acked %d batches, want 60", rep.Batches)
+	}
+	if rep.Lost != 0 || rep.Duplicated != 0 {
+		t.Errorf("lost=%d duplicated=%d, want 0/0", rep.Lost, rep.Duplicated)
+	}
 }

@@ -60,6 +60,12 @@ const (
 	TypeAck     MsgType = "ack"
 	// TypeError reports a server-side failure.
 	TypeError MsgType = "error"
+	// TypeShip carries one committed journal segment from a cluster
+	// primary to its follower replica; the follower answers with
+	// TypeShipAck once the segment is durable. Seq numbers segments
+	// contiguously per primary so a follower can refuse gaps.
+	TypeShip    MsgType = "ship"
+	TypeShipAck MsgType = "ship-ack"
 )
 
 // Snapshot is the detailed machine description presented at
@@ -117,6 +123,10 @@ type Message struct {
 	// Dup marks an ack for a batch the server had already applied
 	// (TypeAck): the client's retry was harmless.
 	Dup bool `json:"dup,omitempty"`
+	// Node names the cluster node a shipped segment belongs to
+	// (TypeShip: the shipping primary's node id, which keys the
+	// follower's per-primary replica directory).
+	Node string `json:"node,omitempty"`
 	// Err is the error text (TypeError).
 	Err string `json:"err,omitempty"`
 	// Sum is the CRC32 (IEEE) of the message's JSON encoding with Sum

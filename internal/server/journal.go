@@ -79,6 +79,13 @@ type journalWriter struct {
 	// (uucs-loadgen) use this to reproduce the paper-era spinning-disk
 	// deployment on hardware whose fsync is microseconds.
 	syncCost time.Duration
+	// ship, when non-nil, replicates each committed batch's bytes to a
+	// follower before the batch's acks are released (Server.JournalShip).
+	// Called with the coalescing buffer under fmu, so segments arrive at
+	// the follower in exact journal append order. A ship failure poisons
+	// the writer like an fsync failure: an ack must never claim
+	// durability the replica does not have.
+	ship func(segment []byte) error
 
 	// qmu guards the append queue and the logical enqueue offset.
 	qmu    sync.Mutex
@@ -294,6 +301,16 @@ func (w *journalWriter) commit(batch []*journalReq) {
 					}
 				}
 			}
+			if err == nil && w.ship != nil {
+				// Semi-synchronous replication: the batch is on the local
+				// disk; now put it on the follower's before anyone is told
+				// it is durable. Runs under fmu so segments ship in append
+				// order, which is what lets the follower's replica journal
+				// stay a byte-exact prefix of this one.
+				if serr := w.ship(w.wbuf); serr != nil {
+					err = fmt.Errorf("server: journal ship: %w", serr)
+				}
+			}
 			if err == nil && w.syncCost > 0 {
 				// Modeled device: the flush takes at least syncCost; ops
 				// keep queueing behind it, exactly as on a slow disk.
@@ -378,6 +395,36 @@ func (w *journalWriter) compactTo(off int64, path string) error {
 	w.f = nf
 	w.base = off
 	return nil
+}
+
+// errJournalCrashed is the sticky error an aborted writer reports to
+// every queued and future append.
+var errJournalCrashed = fmt.Errorf("server: journal abandoned by crash")
+
+// abort is close's crash-shaped sibling: it poisons the writer so every
+// queued op errors out instead of being flushed, stops the loop, and
+// closes the file without a final sync. Bytes already written stay on
+// disk (possibly a torn tail); bytes still queued vanish un-acked —
+// the exact semantics of SIGKILL between enqueue and fsync.
+func (w *journalWriter) abort() {
+	w.qmu.Lock()
+	if w.err == nil {
+		w.err = errJournalCrashed
+	}
+	alreadyClosed := w.closed
+	w.closed = true
+	w.qmu.Unlock()
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+	<-w.exited
+	if alreadyClosed {
+		return
+	}
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	_ = w.f.Close()
 }
 
 // close flushes every queued op, stops the writer, and closes the file.

@@ -110,6 +110,7 @@ func (s *Server) OpenState(dir string) error {
 	}
 	jw := newJournalWriter(f, fi.Size(), s.JournalBatch, s.JournalDelay)
 	jw.syncCost = s.JournalSyncCost
+	jw.ship = s.JournalShip
 	if s.CrashAfterJournalOps > 0 {
 		jw.crashAfter = s.CrashAfterJournalOps
 		jw.crashFn = func() { crashNow(dir, jw.opsWritten) }
@@ -303,6 +304,13 @@ func (s *Server) LoadState(dir string) error {
 // corrupt final line instead of failing (journals can lose their tail
 // to a crash mid-append; snapshots are written atomically and cannot).
 func (s *Server) loadOps(path string, tolerateTail bool) error {
+	return scanOpsFile(path, tolerateTail, s.applyOp)
+}
+
+// scanOpsFile parses one op-per-line state file, calling fn per op. A
+// missing file is an empty file. tolerateTail drops a partial or
+// corrupt final line (and any fn error on it) instead of failing.
+func scanOpsFile(path string, tolerateTail bool, fn func(journalOp) error) error {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil
@@ -325,7 +333,7 @@ func (s *Server) loadOps(path string, tolerateTail bool) error {
 			}
 			return fmt.Errorf("server: %s line %d: %w", filepath.Base(path), i+1, err)
 		}
-		if err := s.applyOp(op); err != nil {
+		if err := fn(op); err != nil {
 			if tolerateTail && last {
 				return nil
 			}
@@ -333,6 +341,62 @@ func (s *Server) loadOps(path string, tolerateTail bool) error {
 		}
 	}
 	return nil
+}
+
+// Exported op-kind names for StateOp.Kind (the on-disk op tags).
+const (
+	OpKindMeta      = opMeta
+	OpKindTestcases = opTestcases
+	OpKindClient    = opClient
+	OpKindResults   = opResults
+)
+
+// StateOp is the exported view of one journal/snapshot op, for
+// consumers that read state files without being a server — the cluster
+// merge walks per-node journals through it.
+type StateOp struct {
+	// Kind is the op tag (OpKind*).
+	Kind string
+	// Ver is the state format version (OpKindMeta).
+	Ver int
+	// ID is the client id (OpKindClient: the registered id;
+	// OpKindResults: the uploading client, empty for a compacted
+	// snapshot aggregate).
+	ID string
+	// Nonce is the registration nonce (OpKindClient).
+	Nonce string
+	// LastSeq is the client's highest batch folded into a compacted
+	// snapshot (OpKindClient).
+	LastSeq uint64
+	// Seq is the upload batch sequence number (OpKindResults; 0 for
+	// unsequenced or compacted payloads).
+	Seq uint64
+	// Payload holds text-encoded testcases or run records.
+	Payload string
+}
+
+// ScanStateOps parses one state file (a journal or a snapshot), calling
+// fn for every op in file order. tolerateTail drops a torn final line —
+// pass true for journals (a crash mid-append tears them), false for
+// snapshots (written atomically). A missing file scans as empty. It
+// validates op meta versions like a state load would.
+func ScanStateOps(path string, tolerateTail bool, fn func(StateOp) error) error {
+	return scanOpsFile(path, tolerateTail, func(op journalOp) error {
+		if op.Op == opMeta && op.Ver != stateVersion {
+			return fmt.Errorf("unsupported state version %d", op.Ver)
+		}
+		return fn(StateOp{
+			Kind: op.Op, Ver: op.Ver, ID: op.ID, Nonce: op.Nonce,
+			LastSeq: op.LastSeq, Seq: op.Seq, Payload: op.Payload,
+		})
+	})
+}
+
+// StateFilePaths returns the snapshot and journal paths of a state
+// directory in replay order (snapshot first). Either file may be
+// absent; ScanStateOps treats a missing file as empty.
+func StateFilePaths(dir string) (snapshot, journal string) {
+	return filepath.Join(dir, snapshotFile), journalPathIn(dir)
 }
 
 // applyOp replays one journal op into the in-memory stores,

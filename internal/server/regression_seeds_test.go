@@ -29,6 +29,7 @@ const seedsFile = "../../scripts/e2e/regression_seeds.json"
 type regressionSeed struct {
 	Seed     uint64 `json:"seed"`
 	Scenario string `json:"scenario"`
+	Suite    string `json:"suite,omitempty"` // "" or "server" here; "cluster" replays in internal/cluster
 	Found    string `json:"found"`
 	Note     string `json:"note"`
 }
@@ -63,6 +64,9 @@ var scenarioReplays = map[string]func(*testing.T, uint64){
 func TestRegressionSeeds(t *testing.T) {
 	for _, s := range loadSeeds(t) {
 		s := s
+		if s.Suite != "" && s.Suite != "server" {
+			continue // another package's suite replays it (e.g. internal/cluster)
+		}
 		replay, ok := scenarioReplays[s.Scenario]
 		if !ok {
 			t.Errorf("seed %d names unknown scenario %q", s.Seed, s.Scenario)

@@ -90,6 +90,22 @@ type Server struct {
 	// arrive or be answered). Zero means no limit. Set before Serve.
 	IdleTimeout time.Duration
 
+	// NodeID names this server when it runs as one node of a cluster
+	// (internal/cluster). Purely observational: it labels the telemetry
+	// snapshot so a cluster-wide USE verdict can say which node's
+	// resource saturated. Empty for a standalone server. Set before
+	// Serve.
+	NodeID string
+
+	// JournalShip, when non-nil, is called by the journal writer after
+	// each group-commit fsync with the batch's journal bytes, and the
+	// batch's acks wait for it to return — semi-synchronous replication.
+	// A cluster node points it at its follower's replica host, so every
+	// acked op is on two disks before the client hears the ack; a ship
+	// failure poisons the journal exactly like an fsync failure (stop
+	// acking rather than ack unreplicated work). Set before OpenState.
+	JournalShip func(segment []byte) error
+
 	// JournalBatch caps how many ops one group-commit fsync may cover
 	// (0 means the default, 64; 1 degenerates to PR 2's fsync-per-op
 	// behavior and is the loadgen baseline). Set before OpenState.
@@ -286,14 +302,24 @@ func hashString(h uint64, s string) uint64 {
 
 // snapshotHash derives a 64-bit identity from a registration snapshot
 // and the server seed.
-func (s *Server) snapshotHash(snap protocol.Snapshot) uint64 {
-	h := hashMix(s.seed, 0x75756373) // "uucs"
+func snapshotHash(seed uint64, snap protocol.Snapshot) uint64 {
+	h := hashMix(seed, 0x75756373) // "uucs"
 	h = hashString(h, snap.Hostname)
 	h = hashString(h, snap.OS)
 	h = hashMix(h, math.Float64bits(snap.CPUGHz))
 	h = hashMix(h, math.Float64bits(snap.MemMB))
 	h = hashMix(h, math.Float64bits(snap.DiskGB))
 	return h
+}
+
+// DeriveClientID returns the identifier a server with the given seed
+// assigns to a snapshot before any collision disambiguation. The
+// derivation is shared with the cluster router, which uses it to route
+// a registration by the client-id hash the id will have — so the same
+// snapshot registers with the same id whether the fleet talks to one
+// server or to an N-node cluster, and ids never depend on the topology.
+func DeriveClientID(seed uint64, snap protocol.Snapshot) string {
+	return fmt.Sprintf("uucs-%016x", snapshotHash(seed, snap))
 }
 
 // register assigns a globally unique identifier to a snapshot. The id
@@ -311,7 +337,7 @@ func (s *Server) register(snap protocol.Snapshot, nonce string) (string, error) 
 			return id, nil
 		}
 	}
-	h := s.snapshotHash(snap)
+	h := snapshotHash(s.seed, snap)
 	var id string
 	var home *shard
 	for {
@@ -526,6 +552,37 @@ func (s *Server) Close() error {
 		}
 	}
 	return err
+}
+
+// Crash stops the server the way a SIGKILL would, minus the process
+// boundary: it severs every connection without a goodbye, refuses new
+// ones, and abandons the journal writer without flushing its queue —
+// queued ops error out un-synced and un-acked, exactly the state a
+// power cut leaves behind. The journal file keeps whatever was already
+// written (possibly a torn tail), so a restart or a promoted follower
+// recovers from it like from a real crash. Cluster chaos tests use
+// this to kill whole nodes in-process under the race detector.
+func (s *Server) Crash() {
+	s.connMu.Lock()
+	s.closed = true
+	ln := s.ln
+	for pc := range s.conns {
+		pc.Close()
+	}
+	s.connMu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.stateMu.Lock()
+	jw := s.jw
+	s.jw = nil
+	s.stateMu.Unlock()
+	if jw != nil {
+		// Poison first so in-flight handlers blocked on a pending ack
+		// are released with an error (never an ack), then wait for them.
+		jw.abort()
+	}
+	s.wg.Wait()
 }
 
 // handle runs one client session: any number of requests until EOF,

@@ -21,7 +21,7 @@ import (
 // snapshot never blocks an ingest operation.
 func (s *Server) Telemetry() *telemetry.Snapshot {
 	now := time.Now()
-	snap := &telemetry.Snapshot{Taken: now, Uptime: now.Sub(s.start)}
+	snap := &telemetry.Snapshot{Taken: now, Uptime: now.Sub(s.start), Node: s.NodeID}
 	st := s.Stats()
 
 	// Utilization: shard lock contention and spread.

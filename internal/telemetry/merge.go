@@ -1,0 +1,47 @@
+package telemetry
+
+import "time"
+
+// MergeSnapshots folds per-node USE snapshots into one cluster-wide
+// snapshot. Every sample is kept, its resource prefixed with the node
+// name ("n1/journal-fsync"), so the finalized verdict names which
+// node's resource saturated. Order of the input snapshots is the
+// display order; within a node, sample order is preserved (blame
+// priority carries over). Nil snapshots are skipped. Taken is the
+// latest input Taken; Uptime the longest input uptime.
+func MergeSnapshots(snaps ...*Snapshot) *Snapshot {
+	merged := &Snapshot{Node: "cluster"}
+	for i, sn := range snaps {
+		if sn == nil {
+			continue
+		}
+		if sn.Taken.After(merged.Taken) {
+			merged.Taken = sn.Taken
+		}
+		if sn.Uptime > merged.Uptime {
+			merged.Uptime = sn.Uptime
+		}
+		node := sn.Node
+		if node == "" {
+			node = nodeName(i)
+		}
+		for _, sm := range sn.Samples {
+			sm.Resource = node + "/" + sm.Resource
+			merged.Add(sm)
+		}
+	}
+	if merged.Taken.IsZero() {
+		merged.Taken = time.Now()
+	}
+	merged.Finalize()
+	return merged
+}
+
+// nodeName labels an anonymous snapshot by its merge position.
+func nodeName(i int) string {
+	const digits = "0123456789"
+	if i < 10 {
+		return "node" + digits[i:i+1]
+	}
+	return "node" + digits[i/10:i/10+1] + digits[i%10:i%10+1]
+}

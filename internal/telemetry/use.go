@@ -47,6 +47,10 @@ type Sample struct {
 type Snapshot struct {
 	// Taken is when the snapshot was assembled.
 	Taken time.Time `json:"taken"`
+	// Node names the cluster node this snapshot was taken from; empty
+	// for a standalone server. MergeSnapshots prefixes sample resources
+	// with it so a cluster verdict names which node saturated.
+	Node string `json:"node,omitempty"`
 	// Uptime is how long the measured system has been running —
 	// lifetime pressures (busy fractions) are normalized by it.
 	Uptime time.Duration `json:"uptime_ns"`

@@ -49,6 +49,26 @@ else
     go build -o "$BIN/" ./cmd/uucs-server ./cmd/uucs-client ./cmd/uucs-top ./cmd/uucs-loadgen
 fi
 
+# pick_free_port: probe for a free loopback port instead of trusting a
+# fixed one, so parallel CI jobs (and the multi-node harness, which
+# needs several servers at once) can't collide. Candidates are drawn
+# from a wide randomized range and checked with a connect probe; the
+# chosen port is used for both the first server and its post-crash
+# restart (the restart must rebind the same address the round-1 clients
+# are retrying against).
+pick_free_port() {
+    local p try
+    for try in $(seq 1 50); do
+        p=$((20000 + RANDOM % 20000))
+        if ! (exec 3<>"/dev/tcp/127.0.0.1/$p") 2>/dev/null; then
+            printf '%s\n' "$p"
+            return 0
+        fi
+        exec 3>&- 2>/dev/null || true
+    done
+    fail "no free port found after 50 probes"
+}
+
 # wait_for_line FILE PATTERN: poll FILE until PATTERN appears (10s cap).
 wait_for_line() {
     local file="$1" pattern="$2" i
@@ -72,15 +92,15 @@ smoke() {
     # client's batch is written but not yet fsynced or acked.
     local CRASH_AFTER=$((1 + CLIENTS + 1))
 
-    say "round 1: server with -crash-after $CRASH_AFTER"
-    "$BIN/uucs-server" -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 \
+    local ADDR DEBUG_ADDR
+    ADDR="127.0.0.1:$(pick_free_port)"
+
+    say "round 1: server on $ADDR with -crash-after $CRASH_AFTER"
+    "$BIN/uucs-server" -addr "$ADDR" -debug-addr 127.0.0.1:0 \
         -state "$STATE" -generate 30 -out "$OUT" -seed 7 \
         -crash-after "$CRASH_AFTER" >"$LOG1" 2>&1 &
     SERVER_PID=$!
     wait_for_line "$LOG1" 'listening on'
-    local ADDR DEBUG_ADDR
-    ADDR="$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$LOG1")"
-    [ -n "$ADDR" ] || fail "could not parse server address from $LOG1"
 
     say "round 1: $CLIENTS clients x $RUNS runs against $ADDR"
     local pids=() i
@@ -158,7 +178,7 @@ smoke() {
 
 seeds() {
     say "replaying scripts/e2e/regression_seeds.json"
-    go test -count=1 -run TestRegressionSeeds ./internal/server \
+    go test -count=1 -run TestRegressionSeeds ./internal/server ./internal/cluster \
         || fail "seed corpus replay failed"
     say "PASS: seed corpus replayed clean"
 }
