@@ -19,7 +19,7 @@
 GO ?= go
 THRESHOLD ?= 0.15
 
-.PHONY: all build test race bench bench-check bench-baseline loadgen-smoke pop-smoke cluster-smoke e2e e2e-smoke e2e-seeds
+.PHONY: all build test race bench bench-check bench-baseline loadgen-smoke loadgen-smoke-v2 pop-smoke cluster-smoke e2e e2e-smoke e2e-smoke-v3 e2e-seeds
 
 all: build test
 
@@ -42,19 +42,30 @@ bench-baseline:
 	$(GO) run ./cmd/uucs-bench -out BENCH_baseline.json
 
 loadgen-smoke:
-	$(GO) run -race ./cmd/uucs-loadgen -clients 8 -duration 2s -smoke
+	$(GO) run -race ./cmd/uucs-loadgen -clients 8 -duration 2s -protocol v3 -smoke
+
+# The legacy-framing gate: the same closed-loop ingest with the fleet
+# pinned to the v2 JSON framing, proving rolling upgrades stay safe.
+loadgen-smoke-v2:
+	$(GO) run -race ./cmd/uucs-loadgen -clients 8 -duration 2s -protocol v2 -smoke
 
 pop-smoke:
 	$(GO) run -race ./cmd/uucs-internet -hosts 10000 -runs 2 -churn -smoke
 
 cluster-smoke:
-	$(GO) run -race ./cmd/uucs-loadgen -nodes n1,n2,n3 -kill-node n2 -clients 8 -batches 300 -smoke
+	$(GO) run -race ./cmd/uucs-loadgen -nodes n1,n2,n3 -kill-node n2 -clients 8 -batches 300 -protocol v3 -smoke
 
 e2e:
 	scripts/e2e/run.sh
 
 e2e-smoke:
 	scripts/e2e/run.sh -smoke
+
+# The crash/restart smoke with every client pinned to the v3 binary
+# framing, so the journal replayed across the kill holds verbatim
+# binary frames.
+e2e-smoke-v3:
+	E2E_PROTOCOL=v3 scripts/e2e/run.sh -smoke
 
 e2e-seeds:
 	scripts/e2e/run.sh -seeds

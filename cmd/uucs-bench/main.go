@@ -33,6 +33,7 @@ import (
 	"uucs/internal/hostsim"
 	"uucs/internal/internetstudy"
 	"uucs/internal/loadgen"
+	"uucs/internal/protocol"
 	"uucs/internal/study"
 	"uucs/internal/testcase"
 )
@@ -136,6 +137,10 @@ func suite() []struct {
 		{"BenchmarkRunExecution/quake", benchRunExecution(testcase.Quake)},
 		{"BenchmarkExerciserFidelityCPU", benchFidelityCPU},
 		{"BenchmarkExerciserFidelityDisk", benchFidelityDisk},
+		{"BenchmarkEncodeMessage/v2", benchEncodeMessage(protocol.V2)},
+		{"BenchmarkEncodeMessage/v3", benchEncodeMessage(protocol.V3)},
+		{"BenchmarkDecodeMessage/v2", benchDecodeMessage(protocol.V2)},
+		{"BenchmarkDecodeMessage/v3", benchDecodeMessage(protocol.V3)},
 		{"BenchmarkServerIngest", benchServerIngest},
 		{"BenchmarkClusterIngest", benchClusterIngest},
 	}
@@ -302,6 +307,89 @@ func benchRunExecution(task testcase.Task) func(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := engine.Execute(suite[0], app, users[0], uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchWireMessage is the representative results-upload message the
+// codec benchmarks encode and decode (mirrors alloc_test.go).
+func benchWireMessage() protocol.Message {
+	return protocol.Message{
+		Type:     protocol.TypeResults,
+		ClientID: "client-00042",
+		Seq:      1729,
+		Payload: "run\tword\tcpu\t0.45\t1\t173ms\tok\n" +
+			"run\tword\tmem\t0.30\t1\t181ms\tok\n" +
+			"run\tword\tdisk\t0.15\t1\t164ms\tok\n",
+	}
+}
+
+// discardRW drops writes; repeatRW replays the same frame bytes
+// forever (the decode fixture).
+type discardRW struct{}
+
+func (discardRW) Write(p []byte) (int, error) { return len(p), nil }
+func (discardRW) Read(p []byte) (int, error)  { return 0, fmt.Errorf("read on encode fixture") }
+
+type repeatRW struct {
+	frame []byte
+	off   int
+}
+
+func (r *repeatRW) Read(p []byte) (int, error) {
+	n := copy(p, r.frame[r.off:])
+	r.off = (r.off + n) % len(r.frame)
+	return n, nil
+}
+
+func (r *repeatRW) Write(p []byte) (int, error) { return len(p), nil }
+
+// captureRW records the last frame written, for building decode
+// fixtures from a real Send.
+type captureRW struct{ frame []byte }
+
+func (c *captureRW) Write(p []byte) (int, error) {
+	c.frame = append(c.frame[:0], p...)
+	return len(p), nil
+}
+func (c *captureRW) Read(p []byte) (int, error) { return 0, fmt.Errorf("read on capture fixture") }
+
+// benchEncodeMessage mirrors alloc_test.go's BenchmarkEncodeMessage
+// sub-benchmark for one framing version.
+func benchEncodeMessage(ver int) func(b *testing.B) {
+	return func(b *testing.B) {
+		c := protocol.NewConn(discardRW{})
+		c.SetVersion(ver)
+		m := benchWireMessage()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := c.Send(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchDecodeMessage mirrors alloc_test.go's BenchmarkDecodeMessage:
+// the receive path each version's server actually runs (RecvFrame —
+// for v3 the zero-copy borrowed view).
+func benchDecodeMessage(ver int) func(b *testing.B) {
+	return func(b *testing.B) {
+		var cw captureRW
+		enc := protocol.NewConn(&cw)
+		enc.SetVersion(ver)
+		if err := enc.Send(benchWireMessage()); err != nil {
+			b.Fatal(err)
+		}
+		c := protocol.NewConn(&repeatRW{frame: append([]byte(nil), cw.frame...)})
+		b.ReportAllocs()
+		b.SetBytes(int64(len(cw.frame)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.RecvFrame(); err != nil {
 				b.Fatal(err)
 			}
 		}

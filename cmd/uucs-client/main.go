@@ -42,6 +42,7 @@ func main() {
 		scriptPath = flag.String("script", "", "deterministic mode: run testcase IDs from this file in order")
 		hostname   = flag.String("hostname", "sim-host", "snapshot hostname")
 		defBackoff = client.DefaultBackoff()
+		protoName  = flag.String("protocol", "auto", "wire framing: auto (negotiate at registration), v2 (JSON), or v3 (binary)")
 		ioTimeout  = flag.Duration("timeout", 30*time.Second, "per-message network deadline (0 disables)")
 		retries    = flag.Int("retries", defBackoff.Attempts, "attempts per network operation before giving up")
 		retryBase  = flag.Duration("retry-base", defBackoff.Base, "initial retry backoff delay")
@@ -95,10 +96,20 @@ func main() {
 	}
 	cl.Timeout = *ioTimeout
 	cl.Retry = client.Backoff{Base: *retryBase, Max: *retryMax, Attempts: *retries}
+	switch *protoName {
+	case "", "auto":
+		// 0: request v3 at registration, adopt what the server grants.
+	case "v2", "2":
+		cl.ProtocolVersion = protocol.V2
+	case "v3", "3":
+		cl.ProtocolVersion = protocol.V3
+	default:
+		fatal(fmt.Errorf("unknown -protocol %q (want auto, v2 or v3)", *protoName))
+	}
 	if err := cl.Register(*serverAddr); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("uucs-client: registered as %s\n", cl.ID())
+	fmt.Printf("uucs-client: registered as %s (wire protocol v%d)\n", cl.ID(), cl.WireVersion())
 	st, err := cl.HotSync(*serverAddr)
 	if err != nil {
 		fatal(err)

@@ -8,8 +8,10 @@
 // Usage:
 //
 //	uucs-loadgen -clients 32 -duration 5s -state ./lgstate
-//	uucs-loadgen -clients 32 -duration 5s -compare   # group commit vs fsync-per-op
-//	uucs-loadgen -clients 8 -duration 2s -smoke      # CI: nonzero exit on lost/dup
+//	uucs-loadgen -clients 32 -duration 5s -compare journal    # group commit vs fsync-per-op
+//	uucs-loadgen -clients 32 -duration 5s -compare protocol   # v2 JSON vs v3 binary framing
+//	uucs-loadgen -clients 32 -protocol v2                     # pin the fleet to the v2 framing
+//	uucs-loadgen -clients 8 -duration 2s -smoke               # CI: nonzero exit on lost/dup
 //
 //	# cluster mode: the same fleet through a routed, replicated N-node
 //	# cluster, optionally SIGKILLing a node mid-upload; verification
@@ -17,10 +19,11 @@
 //	uucs-loadgen -nodes n1,n2,n3 -batches 500 -smoke
 //	uucs-loadgen -nodes n1,n2,n3 -kill-node n2 -batches 500 -smoke
 //
-// With -compare, the rig runs twice against fresh state directories —
-// once with the journal forced to fsync-per-op (-journal-batch 1, the
-// pre-group-commit behavior) and once with the configured batching —
-// and prints the throughput ratio.
+// With -compare, the rig runs twice against fresh state directories and
+// prints the throughput ratio: "journal" pits fsync-per-op
+// (-journal-batch 1, the pre-group-commit behavior) against the
+// configured batching; "protocol" pits the v2 JSON framing against the
+// v3 binary framing at otherwise identical settings.
 package main
 
 import (
@@ -32,6 +35,7 @@ import (
 	"time"
 
 	"uucs/internal/loadgen"
+	"uucs/internal/protocol"
 	"uucs/internal/telemetry"
 )
 
@@ -48,7 +52,8 @@ func main() {
 		jDelay    = flag.Duration("journal-delay", 0, "group-commit accumulation window (0 = never wait)")
 		fsyncCost = flag.Duration("fsync-cost", 0, "modeled storage device: stretch each fsync to at least this long (e.g. 8ms for a paper-era disk)")
 		seed      = flag.Uint64("seed", 1, "server sampling seed")
-		compare   = flag.Bool("compare", false, "also run an fsync-per-op baseline and print the speedup")
+		proto     = flag.String("protocol", "v3", "fleet wire framing: v2 (JSON) or v3 (binary)")
+		compare   = flag.String("compare", "", `also run a baseline and print the speedup: "journal" (fsync-per-op) or "protocol" (v2 framing)`)
 		smoke     = flag.Bool("smoke", false, "exit nonzero if any batch was lost or duplicated")
 		jsonOut   = flag.Bool("json", false, "print reports as JSON")
 		nodesCSV  = flag.String("nodes", "", "cluster mode: comma-separated node ids; the fleet drives an in-process routed cluster")
@@ -63,11 +68,15 @@ func main() {
 			nodes = append(nodes, n)
 		}
 	}
+	ver, err := parseProtocol(*proto)
+	if err != nil {
+		fatal(err)
+	}
 	base := loadgen.Config{
 		Clients: *clients, Duration: *duration, Batches: *batches,
 		RunsPerBatch: *runsPer, Net: *netKind, Addr: *addr,
 		JournalBatch: *jBatch, JournalDelay: *jDelay,
-		FsyncCost: *fsyncCost, Seed: *seed,
+		FsyncCost: *fsyncCost, Seed: *seed, Protocol: ver,
 		Nodes: nodes, KillNode: *killNode, KillAfterBatches: *killAfter,
 	}
 
@@ -102,19 +111,46 @@ func main() {
 		return rep
 	}
 
-	if *compare {
+	switch *compare {
+	case "":
+		run("ingest", base)
+	case "journal", "true": // "true": the flag's old boolean spelling
 		baseline := base
 		baseline.JournalBatch = 1
 		baseCfg := run("fsync-per-op", baseline)
 		groupCfg := run("group-commit", base)
-		if baseCfg.BatchesPerSec > 0 {
-			fmt.Printf("\nspeedup: %.1fx (%.0f -> %.0f batches/sec at %d clients)\n",
-				groupCfg.BatchesPerSec/baseCfg.BatchesPerSec,
-				baseCfg.BatchesPerSec, groupCfg.BatchesPerSec, base.Clients)
-		}
-		return
+		speedup(baseCfg, groupCfg, base.Clients)
+	case "protocol":
+		baseline := base
+		baseline.Protocol = protocol.V2
+		v3 := base
+		v3.Protocol = protocol.V3
+		baseCfg := run("v2-json", baseline)
+		v3Cfg := run("v3-binary", v3)
+		speedup(baseCfg, v3Cfg, base.Clients)
+	default:
+		fatal(fmt.Errorf("unknown -compare mode %q (want journal or protocol)", *compare))
 	}
-	run("ingest", base)
+}
+
+// parseProtocol maps the -protocol flag to a wire version.
+func parseProtocol(s string) (int, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "v3", "3":
+		return protocol.V3, nil
+	case "v2", "2":
+		return protocol.V2, nil
+	}
+	return 0, fmt.Errorf("unknown -protocol %q (want v2 or v3)", s)
+}
+
+// speedup prints the throughput ratio of a comparison pair.
+func speedup(base, tuned *loadgen.Report, clients int) {
+	if base.BatchesPerSec > 0 {
+		fmt.Printf("\nspeedup: %.1fx (%.0f -> %.0f batches/sec at %d clients)\n",
+			tuned.BatchesPerSec/base.BatchesPerSec,
+			base.BatchesPerSec, tuned.BatchesPerSec, clients)
+	}
 }
 
 func print(label string, rep *loadgen.Report, asJSON bool) {
@@ -129,12 +165,13 @@ func print(label string, rep *loadgen.Report, asJSON bool) {
 		fmt.Println(string(buf))
 		return
 	}
-	fmt.Printf("%s: %d clients, %d batches (%d runs) in %v = %.0f batches/sec\n",
-		label, rep.Clients, rep.Batches, rep.Runs, rep.Elapsed.Round(time.Millisecond), rep.BatchesPerSec)
+	fmt.Printf("%s: %d clients (protocol v%d), %d batches (%d runs) in %v = %.0f batches/sec\n",
+		label, rep.Clients, rep.Protocol, rep.Batches, rep.Runs, rep.Elapsed.Round(time.Millisecond), rep.BatchesPerSec)
 	fmt.Printf("%s: ack latency p50 %v  p90 %v  p99 %v  max %v\n",
 		label, rep.LatP50.Round(time.Microsecond), rep.LatP90.Round(time.Microsecond),
 		rep.LatP99.Round(time.Microsecond), rep.LatMax.Round(time.Microsecond))
 	if st := rep.Server; st != nil {
+		fmt.Printf("%s: protocol mix: %d v2 / %d v3 messages\n", label, st.V2Msgs, st.V3Msgs)
 		if st.JournalFsyncs > 0 {
 			fmt.Printf("%s: journal %d ops / %d fsyncs (mean batch %.1f), %d bytes\n",
 				label, st.JournalOps, st.JournalFsyncs, st.MeanBatch, st.JournalBytes)

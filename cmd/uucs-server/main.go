@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"uucs/internal/core"
+	"uucs/internal/protocol"
 	"uucs/internal/server"
 	"uucs/internal/stats"
 	"uucs/internal/telemetry"
@@ -60,11 +61,20 @@ func main() {
 		jDelay   = flag.Duration("journal-delay", 0, "wait this long for more ops before fsyncing a sub-capacity batch (0 = never wait)")
 		jSync    = flag.Duration("fsync-cost", 0, "modeled storage device: stretch each journal fsync to at least this long (0 = real device)")
 		crashAft = flag.Int("crash-after", 0, "TEST HOOK: SIGKILL this process between the Nth journaled op's write and its fsync (requires -state; 0 = off)")
+		maxProto = flag.String("max-protocol", "v3", "highest wire protocol to grant at negotiation: v3, or v2 to roll the fleet back to the JSON framing")
 	)
 	flag.Parse()
 
 	srv := server.New(*seed)
 	srv.NodeID = *nodeID
+	switch *maxProto {
+	case "", "v3", "3":
+		srv.MaxProtocol = protocol.V3
+	case "v2", "2":
+		srv.MaxProtocol = protocol.V2
+	default:
+		fatal(fmt.Errorf("unknown -max-protocol %q (want v2 or v3)", *maxProto))
+	}
 	if *debug != "" {
 		// The default mux already carries /debug/pprof and /debug/vars;
 		// add the server's own gauges next to the runtime's. The ingest

@@ -74,10 +74,20 @@ type Client struct {
 	// Internet study) share one per worker; runs are bit-identical with
 	// or without it.
 	Scratch *core.Scratch
+	// ProtocolVersion selects the wire framing: 0 (the default)
+	// negotiates — the registration request is sent in the v2 framing,
+	// asks for v3, and adopts whatever the server grants — while
+	// protocol.V2 or protocol.V3 pin the framing outright (V3 against a
+	// server that cannot speak it fails; it is the testing override, not
+	// the rollout path).
+	ProtocolVersion int
 
 	id    string
 	nonce string
-	syncs int
+	// negotiated is the wire version the server granted at registration
+	// (0, meaning v2, until a registration round-trip completes).
+	negotiated int
+	syncs      int
 	rng   *stats.Stream
 	// retryRng drives backoff jitter only. It is deliberately separate
 	// from rng: retries must not perturb testcase choice or arrival
@@ -182,7 +192,24 @@ func (c *Client) dial(addr string) (*protocol.Conn, error) {
 	}
 	conn := protocol.NewConn(nc)
 	conn.SetTimeout(c.Timeout)
+	conn.SetVersion(c.WireVersion())
 	return conn, nil
+}
+
+// WireVersion is the framing this client currently speaks: a pinned
+// ProtocolVersion wins; otherwise whatever registration negotiated
+// (v2 until then, which is safe against any server).
+func (c *Client) WireVersion() int {
+	switch c.ProtocolVersion {
+	case protocol.V3:
+		return protocol.V3
+	case protocol.V2:
+		return protocol.V2
+	}
+	if c.negotiated >= protocol.V3 {
+		return protocol.V3
+	}
+	return protocol.V2
 }
 
 // permanentError marks a failure that a reconnect cannot fix (an
@@ -266,10 +293,15 @@ func (c *Client) Register(addr string) error {
 	if c.id != "" {
 		return nil
 	}
+	ask := protocol.Version
+	if c.ProtocolVersion == protocol.V2 {
+		ask = protocol.V2
+	}
 	var assigned string
+	var granted int
 	err := c.withRetry(addr, func(conn *protocol.Conn) error {
 		if err := conn.Send(protocol.Message{
-			Type: protocol.TypeRegister, Ver: protocol.Version,
+			Type: protocol.TypeRegister, Ver: ask,
 			Snapshot: &c.Snapshot, Nonce: c.nonce,
 		}); err != nil {
 			return err
@@ -285,6 +317,7 @@ func (c *Client) Register(addr string) error {
 			return permanent(fmt.Errorf("client: unexpected registration response %+v", resp))
 		}
 		assigned = resp.ClientID
+		granted = resp.Ver
 		return nil
 	})
 	if err != nil {
@@ -294,6 +327,12 @@ func (c *Client) Register(addr string) error {
 		return err
 	}
 	c.id = assigned
+	// Adopt the granted framing for every subsequent connection. A
+	// server predating negotiation echoes no version; treat that as v2.
+	if granted < protocol.V2 {
+		granted = protocol.V2
+	}
+	c.negotiated = granted
 	return nil
 }
 

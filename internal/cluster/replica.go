@@ -109,11 +109,8 @@ func (sh *Shipper) Ship(segment []byte) error {
 		return nil
 	}
 	sh.seq++
-	msg := protocol.Message{
-		Type: protocol.TypeShip, Node: sh.node,
-		Seq: sh.seq, Payload: string(segment),
-	}
-	ack, err := sh.roundTrip(msg)
+	msg := protocol.Message{Type: protocol.TypeShip, Node: sh.node, Seq: sh.seq}
+	ack, err := sh.roundTrip(msg, segment)
 	if err != nil {
 		// Transport-level failure, already retried once on a fresh
 		// connection: the follower is gone. Degrade, keep serving.
@@ -133,10 +130,11 @@ func (sh *Shipper) Ship(segment []byte) error {
 	return nil
 }
 
-// roundTrip sends msg and reads the reply, redialing once if the
-// cached connection broke (covers the follower restarting between
-// segments, and the retried segment dedups by seq on the other side).
-func (sh *Shipper) roundTrip(msg protocol.Message) (protocol.Message, error) {
+// roundTrip sends msg carrying payload and reads the reply, redialing
+// once if the cached connection broke (covers the follower restarting
+// between segments, and the retried segment dedups by seq on the other
+// side). The payload rides as borrowed bytes — no copy per segment.
+func (sh *Shipper) roundTrip(msg protocol.Message, payload []byte) (protocol.Message, error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		if sh.conn == nil {
@@ -147,8 +145,12 @@ func (sh *Shipper) roundTrip(msg protocol.Message) (protocol.Message, error) {
 			}
 			sh.conn = protocol.NewConn(raw)
 			sh.conn.SetTimeout(shipTimeout)
+			// Shipping always speaks v3: journal segments hold verbatim
+			// binary frames, and only the v3 framing is binary-safe (the
+			// v2 JSON framing would mangle them into U+FFFD).
+			sh.conn.SetVersion(protocol.V3)
 		}
-		if err := sh.conn.Send(msg); err != nil {
+		if err := sh.conn.SendPayload(msg, payload); err != nil {
 			lastErr = err
 			sh.dropConn()
 			continue
@@ -264,21 +266,35 @@ func (h *ReplicaHost) serve() {
 func (h *ReplicaHost) handle(conn *protocol.Conn) {
 	defer conn.Close()
 	for {
-		msg, err := conn.Recv()
+		f, err := conn.RecvFrame()
 		if err != nil {
 			return
 		}
-		if msg.Type != protocol.TypeShip || msg.Node == "" || msg.Seq == 0 {
+		// The segment bytes are a borrowed view of the connection's read
+		// buffer; apply writes them to the replica file before the next
+		// RecvFrame invalidates the view, so no copy is ever made. (A
+		// v2-era shipper still works — its JSON framing fills the
+		// Message view instead — but can only carry text segments.)
+		node, seq, payload := string(f.Node), f.Seq, f.Payload
+		if f.WireVersion == protocol.V2 {
+			msg, merr := f.Message()
+			if merr != nil {
+				_ = conn.SendError(merr)
+				return
+			}
+			node, payload = msg.Node, []byte(msg.Payload)
+		}
+		if f.Type != protocol.TypeShip || node == "" || seq == 0 {
 			_ = conn.SendError(fmt.Errorf("cluster: malformed ship"))
 			return
 		}
-		dup, err := h.apply(msg.Node, msg.Seq, []byte(msg.Payload))
+		dup, err := h.apply(node, seq, payload)
 		if err != nil {
 			_ = conn.SendError(err)
 			return
 		}
 		if err := conn.Send(protocol.Message{
-			Type: protocol.TypeShipAck, Seq: msg.Seq, Dup: dup,
+			Type: protocol.TypeShipAck, Seq: f.Seq, Dup: dup,
 		}); err != nil {
 			return
 		}

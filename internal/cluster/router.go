@@ -196,6 +196,21 @@ func (r *Router) route(msg protocol.Message) (string, error) {
 	return r.pmap.Owner(id), nil
 }
 
+// routeFrame routes a v3 frame from its borrowed fields. Only a
+// registration (cold, once per client) materializes the full message —
+// it needs the snapshot to derive the id; the hot upload path routes
+// straight off the frame's client-id bytes without decoding the rest.
+func (r *Router) routeFrame(f *protocol.Frame) (string, error) {
+	if f.Type == protocol.TypeRegister {
+		msg, err := f.Message()
+		if err != nil {
+			return "", err
+		}
+		return r.route(msg)
+	}
+	return r.route(protocol.Message{Type: f.Type, ClientID: string(f.ClientID)})
+}
+
 // upstream is one cached node connection inside a client session.
 type upstream struct {
 	conn *protocol.Conn
@@ -205,6 +220,12 @@ type upstream struct {
 // handle proxies one downstream client session. Upstream connections
 // are per-session (a session's requests are strictly serial, so no
 // multiplexing is needed) and cached per node.
+//
+// A v3 request is relayed as its verbatim wire bytes — routed off the
+// frame's borrowed fields, written upstream with WriteRaw, and the v3
+// reply relayed back the same way — so the router never re-encodes
+// (or allocates for) a binary message in either direction. v2 requests
+// take the materialized Message path exactly as before.
 func (r *Router) handle(down *protocol.Conn) {
 	defer down.Close()
 	ups := make(map[string]*upstream)
@@ -214,28 +235,57 @@ func (r *Router) handle(down *protocol.Conn) {
 		}
 	}()
 	for {
-		msg, err := down.Recv()
+		f, err := down.RecvFrame()
 		if err != nil {
 			return
 		}
-		node, err := r.route(msg)
+		var (
+			node string
+			msg  protocol.Message
+			raw  []byte
+		)
+		if f.WireVersion == protocol.V3 {
+			raw = f.Raw()
+			node, err = r.routeFrame(f)
+		} else {
+			msg, err = f.Message()
+			if err == nil {
+				node, err = r.route(msg)
+			}
+		}
 		if err != nil {
 			if down.SendError(err) != nil {
 				return
 			}
 			continue
 		}
-		reply, err := r.forward(ups, node, msg)
+		reply, err := r.forward(ups, node, msg, raw)
 		if err != nil {
 			if down.SendError(fmt.Errorf("node %s unavailable: %v", node, err)) != nil {
 				return
 			}
 			continue
 		}
-		if reply.Type == protocol.TypeRegistered && reply.ClientID != "" {
-			r.pin(reply.ClientID, node)
+		if reply.WireVersion == protocol.V3 {
+			if reply.Type == protocol.TypeRegistered && len(reply.ClientID) > 0 {
+				r.pin(string(reply.ClientID), node)
+			}
+			if down.WriteRaw(reply.Raw()) != nil {
+				return
+			}
+			continue
 		}
-		if down.Send(reply) != nil {
+		rm, err := reply.Message()
+		if err != nil {
+			if down.SendError(err) != nil {
+				return
+			}
+			continue
+		}
+		if rm.Type == protocol.TypeRegistered && rm.ClientID != "" {
+			r.pin(rm.ClientID, node)
+		}
+		if down.Send(rm) != nil {
 			return
 		}
 	}
@@ -248,12 +298,18 @@ func (r *Router) pin(clientID, node string) {
 	r.mu.Unlock()
 }
 
-// forward sends one request to a node and returns its reply, retrying
-// across redials and failovers. A retry may hit a node that already
-// applied the request (the first ack was lost in the failure) — the
-// protocol's nonce/seq idempotency turns that into a dup ack, which is
-// passed through for the client to treat as success.
-func (r *Router) forward(ups map[string]*upstream, node string, msg protocol.Message) (protocol.Message, error) {
+// forward sends one request to a node and returns its reply frame,
+// retrying across redials and failovers. A non-nil rawFrame relays
+// those verbatim v3 wire bytes instead of re-encoding msg (the bytes
+// stay valid across retries — nothing reads from the downstream
+// connection until the reply is relayed). A retry may hit a node that
+// already applied the request (the first ack was lost in the failure) —
+// the protocol's nonce/seq idempotency turns that into a dup ack, which
+// is passed through for the client to treat as success.
+//
+// The returned frame is owned by the upstream connection and valid
+// until the next forward touching the same node.
+func (r *Router) forward(ups map[string]*upstream, node string, msg protocol.Message, rawFrame []byte) (*protocol.Frame, error) {
 	r.forwards.Add(1)
 	var lastErr error
 	for attempt := 0; attempt < forwardAttempts; attempt++ {
@@ -262,7 +318,7 @@ func (r *Router) forward(ups map[string]*upstream, node string, msg protocol.Mes
 		}
 		addr, gen := r.nodeAddr(node)
 		if addr == "" {
-			return protocol.Message{}, fmt.Errorf("no address for node %s", node)
+			return nil, fmt.Errorf("no address for node %s", node)
 		}
 		up := ups[node]
 		if up != nil && up.gen != gen {
@@ -281,14 +337,21 @@ func (r *Router) forward(ups map[string]*upstream, node string, msg protocol.Mes
 			up.conn.SetTimeout(forwardTimeout)
 			ups[node] = up
 		}
-		if err := up.conn.Send(msg); err != nil {
+		var err error
+		if rawFrame != nil {
+			err = up.conn.WriteRaw(rawFrame)
+		} else {
+			up.conn.SetVersion(protocol.V2)
+			err = up.conn.Send(msg)
+		}
+		if err != nil {
 			lastErr = err
 			up.conn.Close()
 			delete(ups, node)
 			r.nodeFailed(node, gen, err)
 			continue
 		}
-		reply, err := up.conn.Recv()
+		reply, err := up.conn.RecvFrame()
 		if err != nil {
 			lastErr = err
 			up.conn.Close()
@@ -298,7 +361,7 @@ func (r *Router) forward(ups map[string]*upstream, node string, msg protocol.Mes
 		}
 		return reply, nil
 	}
-	return protocol.Message{}, lastErr
+	return nil, lastErr
 }
 
 // nodeFailed reports a node failure observed at address generation gen.

@@ -75,7 +75,10 @@ func EncodeRuns(w io.Writer, runs []*Run, withLoad bool) error {
 // DecodeRuns parses run records from r.
 func DecodeRuns(r io.Reader) ([]*Run, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	// Cap lines at 16MB but let the scanner grow to it lazily: the server
+	// decodes every uploaded batch through here, and a preallocated 1MB
+	// buffer per call costs more in zeroing and GC than the parse itself.
+	sc.Buffer(nil, 1<<24)
 	var (
 		out  []*Run
 		cur  *Run

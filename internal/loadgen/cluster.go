@@ -108,7 +108,7 @@ func runClusterLoad(cfg Config, payload string) (*Report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[w] = driveResilient(w, addr, dial, payload, more, &acked)
+			results[w] = driveResilient(w, addr, dial, payload, cfg.Protocol, more, &acked)
 		}()
 	}
 	wg.Wait()
@@ -119,7 +119,7 @@ func runClusterLoad(cfg Config, payload string) (*Report, error) {
 		return nil, err
 	}
 
-	rep := &Report{Clients: cfg.Clients, Elapsed: elapsed}
+	rep := &Report{Clients: cfg.Clients, Protocol: cfg.Protocol, Elapsed: elapsed}
 	var lats []time.Duration
 	for w := range results {
 		if err := results[w].err; err != nil {
@@ -169,7 +169,7 @@ func runClusterLoad(cfg Config, payload string) (*Report, error) {
 // dropped connections are redialed, in-band rejections are retried,
 // and a dup ack (the retry of a batch whose first ack was lost) counts
 // as acked, because the batch is durably in the dataset exactly once.
-func driveResilient(w int, addr string, dial func(string) (net.Conn, error), payload string, more func() bool, acked *atomic.Uint64) (res workerResult) {
+func driveResilient(w int, addr string, dial func(string) (net.Conn, error), payload string, ver int, more func() bool, acked *atomic.Uint64) (res workerResult) {
 	var conn *protocol.Conn
 	defer func() {
 		if conn != nil {
@@ -189,6 +189,7 @@ func driveResilient(w int, addr string, dial func(string) (net.Conn, error), pay
 					continue
 				}
 				conn = protocol.NewConn(raw)
+				conn.SetVersion(ver)
 			}
 			if err := conn.Send(msg); err != nil {
 				lastErr = err
@@ -217,7 +218,7 @@ func driveResilient(w int, addr string, dial func(string) (net.Conn, error), pay
 		CPUGHz: 2, MemMB: 512, DiskGB: 80,
 	}
 	reg, err := roundTrip(protocol.Message{
-		Type: protocol.TypeRegister, Ver: protocol.Version,
+		Type: protocol.TypeRegister, Ver: ver,
 		Snapshot: &snap, Nonce: fmt.Sprintf("lg-nonce-%03d", w),
 	})
 	if err != nil {

@@ -79,11 +79,18 @@ type Config struct {
 
 	// Seed drives the server's sampling streams.
 	Seed uint64
+
+	// Protocol pins the fleet's wire framing: 0 or protocol.V3 drive
+	// the binary v3 framing (the default — a negotiated fleet settles
+	// there), protocol.V2 forces the JSON framing (the v2 baseline of
+	// `uucs-loadgen -compare protocol`).
+	Protocol int
 }
 
 // Report is what one load run measured.
 type Report struct {
 	Clients       int           `json:"clients"`
+	Protocol      int           `json:"protocol"`
 	Batches       uint64        `json:"batches"`
 	Runs          uint64        `json:"runs"`
 	Elapsed       time.Duration `json:"elapsed_ns"`
@@ -154,6 +161,13 @@ func Run(cfg Config) (*Report, error) {
 	}
 	if cfg.Duration <= 0 && cfg.Batches <= 0 {
 		cfg.Duration = 5 * time.Second
+	}
+	switch cfg.Protocol {
+	case 0:
+		cfg.Protocol = protocol.V3
+	case protocol.V2, protocol.V3:
+	default:
+		return nil, fmt.Errorf("loadgen: unknown protocol version %d (want %d or %d)", cfg.Protocol, protocol.V2, protocol.V3)
 	}
 
 	payload, err := batchPayload(cfg.RunsPerBatch)
@@ -239,13 +253,13 @@ func Run(cfg Config) (*Report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[w] = driveClient(w, addr, dial, payload, more)
+			results[w] = driveClient(w, addr, dial, payload, cfg.Protocol, more)
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	rep := &Report{Clients: cfg.Clients, Elapsed: elapsed}
+	rep := &Report{Clients: cfg.Clients, Protocol: cfg.Protocol, Elapsed: elapsed}
 	var lats []time.Duration
 	for w := range results {
 		if err := results[w].err; err != nil {
@@ -296,8 +310,9 @@ type workerResult struct {
 }
 
 // driveClient is one closed-loop worker: register, then upload batches
-// back to back until the budget runs out.
-func driveClient(w int, addr string, dial func(string) (net.Conn, error), payload string, more func() bool) (res workerResult) {
+// back to back until the budget runs out. ver pins the wire framing
+// (the fleet is homogeneous; negotiation is the real client's job).
+func driveClient(w int, addr string, dial func(string) (net.Conn, error), payload string, ver int, more func() bool) (res workerResult) {
 	nc, err := dial(addr)
 	if err != nil {
 		res.err = err
@@ -305,13 +320,14 @@ func driveClient(w int, addr string, dial func(string) (net.Conn, error), payloa
 	}
 	conn := protocol.NewConn(nc)
 	defer conn.Close()
+	conn.SetVersion(ver)
 
 	snap := protocol.Snapshot{
 		Hostname: fmt.Sprintf("lg-host-%03d", w), OS: "winxp",
 		CPUGHz: 2, MemMB: 512, DiskGB: 80,
 	}
 	if err := conn.Send(protocol.Message{
-		Type: protocol.TypeRegister, Ver: protocol.Version,
+		Type: protocol.TypeRegister, Ver: ver,
 		Snapshot: &snap, Nonce: fmt.Sprintf("lg-nonce-%03d", w),
 	}); err != nil {
 		res.err = err

@@ -56,40 +56,69 @@ func (c *captureWriter) Write(p []byte) (int, error) {
 }
 func (c *captureWriter) Read(p []byte) (int, error) { return 0, io.EOF }
 
-// encodedFrame returns the exact wire bytes Send produces for m.
+// encodedFrame returns the exact wire bytes Send produces for m in v2
+// framing.
 func encodedFrame(tb testing.TB, m Message) []byte {
 	tb.Helper()
+	return encodedFrameV(tb, m, V2)
+}
+
+// encodedFrameV returns the exact wire bytes Send produces for m in
+// the given framing version.
+func encodedFrameV(tb testing.TB, m Message, ver int) []byte {
+	tb.Helper()
 	var cw captureWriter
-	if err := NewConn(&cw).Send(m); err != nil {
+	c := NewConn(&cw)
+	c.SetVersion(ver)
+	if err := c.Send(m); err != nil {
 		tb.Fatal(err)
 	}
 	return append([]byte(nil), cw.frame...)
 }
 
 func BenchmarkEncodeMessage(b *testing.B) {
-	c := NewConn(discardWriter{})
-	m := benchMessage()
-	b.ReportAllocs()
-	b.SetBytes(int64(len(encodedFrame(b, m))))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := c.Send(m); err != nil {
-			b.Fatal(err)
-		}
+	for _, ver := range []int{V2, V3} {
+		b.Run(versionName(ver), func(b *testing.B) {
+			c := NewConn(discardWriter{})
+			c.SetVersion(ver)
+			m := benchMessage()
+			b.ReportAllocs()
+			b.SetBytes(int64(len(encodedFrameV(b, m, ver))))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Send(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
+// BenchmarkDecodeMessage measures the receive path each wire version's
+// server actually runs: full Recv materialization for v2, the borrowed
+// RecvFrame view for v3 (the zero-copy ingest path).
 func BenchmarkDecodeMessage(b *testing.B) {
-	frame := encodedFrame(b, benchMessage())
-	c := NewConn(&repeatReader{frame: frame})
-	b.ReportAllocs()
-	b.SetBytes(int64(len(frame)))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := c.Recv(); err != nil {
-			b.Fatal(err)
-		}
+	for _, ver := range []int{V2, V3} {
+		b.Run(versionName(ver), func(b *testing.B) {
+			frame := encodedFrameV(b, benchMessage(), ver)
+			c := NewConn(&repeatReader{frame: frame})
+			b.ReportAllocs()
+			b.SetBytes(int64(len(frame)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.RecvFrame(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
+}
+
+func versionName(ver int) string {
+	if ver == V3 {
+		return "v3"
+	}
+	return "v2"
 }
 
 // TestSendAllocCeiling pins the steady-state allocation count of Send.
@@ -139,6 +168,55 @@ func TestRecvAllocCeiling(t *testing.T) {
 	})
 	if avg > ceiling {
 		t.Errorf("Recv allocates %.1f/message, ceiling %d", avg, ceiling)
+	}
+}
+
+// TestSendAllocCeilingV3 pins the steady-state allocation count of a
+// v3 Send at ≤1: the pooled scratch slice absorbs the frame encoding,
+// so after warmup the only allocation budget left is pool slack.
+func TestSendAllocCeilingV3(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under the race detector")
+	}
+	const ceiling = 1
+	c := NewConn(discardWriter{})
+	c.SetVersion(V3)
+	m := benchMessage()
+	if err := c.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := c.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > ceiling {
+		t.Errorf("v3 Send allocates %.1f/message, ceiling %d", avg, ceiling)
+	}
+}
+
+// TestRecvAllocCeilingV3 pins the steady-state allocation count of the
+// v3 receive path — RecvFrame, the one servers run per ingested
+// message — at exactly 0: the frame is read into a reused buffer and
+// every decoded field is a borrowed view into it.
+func TestRecvAllocCeilingV3(t *testing.T) {
+	if raceEnabled {
+		t.Skip("buffered reads allocate differently under the race detector")
+	}
+	const ceiling = 0
+	frame := encodedFrameV(t, benchMessage(), V3)
+	c := NewConn(&repeatReader{frame: frame})
+	// Warm the frame assembly buffer.
+	if _, err := c.RecvFrame(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := c.RecvFrame(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > ceiling {
+		t.Errorf("v3 RecvFrame allocates %.1f/message, ceiling %d", avg, ceiling)
 	}
 }
 

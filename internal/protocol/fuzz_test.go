@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 	"unicode/utf8"
 )
@@ -21,6 +22,27 @@ func FuzzRecv(f *testing.F) {
 		[]byte(`{"type":"ack"`), // truncated
 		bytes.Repeat([]byte("x"), 4096),
 	}
+	// v3 binary framing seeds: a valid frame, a frame truncated inside
+	// its length prefix, a frame cut mid-payload, and a frame whose CRC
+	// trailer is corrupted.
+	v3frame, err := AppendFrame(nil, Message{Type: TypeResults, ClientID: "uucs-1", Seq: 3, Payload: "run\tword\tcpu\t0.45\t1\t173ms\tok\n"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed = append(seed,
+		v3frame,
+		append(append([]byte(nil), v3frame...), v3frame...), // back-to-back frames
+		v3frame[:3],              // truncated inside the length prefix
+		v3frame[:len(v3frame)-6], // truncated mid-payload
+		func() []byte { // CRC trailer corruption
+			b := append([]byte(nil), v3frame...)
+			b[len(b)-1] ^= 0xff
+			return b
+		}(),
+		append(append([]byte(nil), v3frame...), []byte(`{"type":"ack","seq":1,"sum":0}`+"\n")...), // mixed framings on one stream
+		[]byte{FrameMagic, 0xff, 0xff, 0xff, 0xff, 0x7f}, // huge declared length
+		[]byte{FrameMagic, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80}, // overlong varint
+	)
 	for _, s := range seed {
 		f.Add(s)
 	}
@@ -42,35 +64,92 @@ func FuzzRecv(f *testing.F) {
 	})
 }
 
-// FuzzSendRoundTrip encodes arbitrary messages — the seed corpus covers
-// the sequence-numbered upload and its ack — and checks two properties:
-// an encoded message decodes to itself, and a single flipped byte of
-// the encoding is either rejected or provably harmless (the original
-// content still arrives intact).
+// FuzzDecodeFrame throws arbitrary bytes at the exported v3 frame
+// decoder — the codec journal replay and merge run over on-disk bytes
+// — and checks it never panics, never reads past its input, and that
+// anything it accepts re-encodes to a frame carrying the same message.
+func FuzzDecodeFrame(f *testing.F) {
+	valid, err := AppendFrame(nil, Message{Type: TypeResults, ClientID: "uucs-1", Seq: 3, Payload: "p"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte(nil))
+	f.Add(valid)
+	f.Add(valid[:3])
+	f.Add(valid[:len(valid)-2])
+	f.Add(append(append([]byte(nil), valid...), 0xB3))
+	f.Add([]byte{FrameMagic, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		var f1 Frame
+		n, err := DecodeFrame(input, &f1)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(input) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(input))
+		}
+		m, err := f1.Message()
+		if err != nil {
+			return // accepted framing, unparseable nested field
+		}
+		re, err := AppendFrame(nil, m)
+		if err != nil {
+			t.Fatalf("accepted message failed to re-encode: %v", err)
+		}
+		var f2 Frame
+		if _, err := DecodeFrame(re, &f2); err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		m2, err := f2.Message()
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to materialize: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("re-encode changed the message:\n got %+v\nwant %+v", m2, m)
+		}
+	})
+}
+
+// FuzzSendRoundTrip encodes arbitrary messages in both framings — the
+// seed corpus covers the sequence-numbered upload and its ack in v2
+// and v3 — and checks two properties: an encoded message decodes to
+// itself, and a single flipped byte of the encoding is either rejected
+// or provably harmless (the original content still arrives intact).
+// The receiver sniffs the framing per message, so this also exercises
+// the cross-version path a mid-rollout fleet runs: v2 frames and v3
+// frames arriving at the same decoder.
 func FuzzSendRoundTrip(f *testing.F) {
-	f.Add("results", "uucs-0000000000000001", "run tc-1\ntask word\nuser 3\nendrun\n", uint64(1), false, 1)
-	f.Add("results", "uucs-ffffffffffffffff", "", uint64(18446744073709551615), false, 0)
-	f.Add("ack", "", "", uint64(7), true, 3)
-	f.Add("ack", "", "", uint64(0), false, 0)
-	f.Add("register", "", "", uint64(0), false, 0)
-	f.Add("sync", "uucs-2", "", uint64(0), false, 16)
-	f.Fuzz(func(t *testing.T, typ, clientID, payload string, seq uint64, dup bool, count int) {
+	for _, v3 := range []bool{false, true} {
+		f.Add("results", "uucs-0000000000000001", "run tc-1\ntask word\nuser 3\nendrun\n", uint64(1), false, 1, v3)
+		f.Add("results", "uucs-ffffffffffffffff", "", uint64(18446744073709551615), false, 0, v3)
+		f.Add("ack", "", "", uint64(7), true, 3, v3)
+		f.Add("ack", "", "", uint64(0), false, 0, v3)
+		f.Add("register", "", "", uint64(0), false, 0, v3)
+		f.Add("sync", "uucs-2", "", uint64(0), false, 16, v3)
+	}
+	f.Add("ship", "", "segment \x00\xff not utf8", uint64(2), false, 0, true)
+	f.Fuzz(func(t *testing.T, typ, clientID, payload string, seq uint64, dup bool, count int, v3 bool) {
 		if typ == "" {
 			return // Recv rejects typeless messages by design
 		}
 		m := Message{Type: MsgType(typ), ClientID: clientID, Payload: payload, Seq: seq, Dup: dup, Count: count}
 		var wire bytes.Buffer
-		if err := NewConn(rwBuffer{in: &bytes.Buffer{}, out: &wire}).Send(m); err != nil {
+		sender := NewConn(rwBuffer{in: &bytes.Buffer{}, out: &wire})
+		if v3 {
+			sender.SetVersion(V3)
+		}
+		if err := sender.Send(m); err != nil {
 			t.Fatalf("send failed: %v", err)
 		}
 		frame := append([]byte(nil), wire.Bytes()...)
 
 		// JSON marshalling coerces invalid UTF-8 to U+FFFD, which makes the
 		// checksum non-canonical (the sender hashes the escaped form, the
-		// receiver re-hashes the decoded rune). Our encoders only produce
-		// valid UTF-8; for fuzzed garbage the frame may be rejected, which
-		// is the safe outcome — it must just never be mangled silently.
-		valid := utf8.ValidString(typ) && utf8.ValidString(clientID) && utf8.ValidString(payload)
+		// receiver re-hashes the decoded rune). The v2 framing may
+		// therefore reject fuzzed garbage, which is the safe outcome — it
+		// must just never be mangled silently. The v3 framing is
+		// binary-safe: round-trip identity holds for every input.
+		valid := v3 || (utf8.ValidString(typ) && utf8.ValidString(clientID) && utf8.ValidString(payload))
 		got, err := NewConn(rwBuffer{in: bytes.NewBuffer(frame), out: &bytes.Buffer{}}).Recv()
 		if err != nil {
 			if valid {
@@ -88,12 +167,12 @@ func FuzzSendRoundTrip(f *testing.F) {
 		// Single-byte corruption at a few deterministic offsets: never
 		// silently deliver different content.
 		for _, idx := range []int{0, len(frame) / 3, 2 * len(frame) / 3, len(frame) - 2} {
-			if idx < 0 || idx >= len(frame)-1 { // keep the framing newline
+			if idx < 0 || idx >= len(frame)-1 { // keep the v2 framing newline
 				continue
 			}
 			mut := append([]byte(nil), frame...)
 			mut[idx] ^= 0x01
-			if mut[idx] == '\n' {
+			if !v3 && mut[idx] == '\n' {
 				continue
 			}
 			c, err := NewConn(rwBuffer{in: bytes.NewBuffer(mut), out: &bytes.Buffer{}}).Recv()

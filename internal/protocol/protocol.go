@@ -24,6 +24,12 @@
 //     was lost is detected as a duplicate and not double-counted.
 //   - Conn supports per-message read/write deadlines so neither side
 //     can be pinned forever by a stalled peer.
+//
+// Version 3 (binary.go) keeps v2's message semantics but replaces the
+// text frame with length-prefixed binary framing (varint fields, CRC32
+// trailer) and a zero-copy decode path. Both framings coexist on one
+// port: receivers sniff the first byte of each frame and reply in
+// kind, and registration negotiates the version a client should speak.
 package protocol
 
 import (
@@ -33,14 +39,17 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"net"
 	"strconv"
 	"sync"
 	"time"
 )
 
-// Version is the protocol version; mismatches are rejected at
-// registration.
-const Version = 2
+// Version is the highest protocol version this build speaks.
+// Registration negotiates: a client requests a version and the server
+// grants min(requested, Version), rejecting versions it has never
+// spoken. V2 peers therefore keep working against a V3 build.
+const Version = V3
 
 // MsgType discriminates protocol messages.
 type MsgType string
@@ -66,6 +75,12 @@ const (
 	// contiguously per primary so a follower can refuse gaps.
 	TypeShip    MsgType = "ship"
 	TypeShipAck MsgType = "ship-ack"
+	// TypeJournalMeta never crosses the wire between peers: it is the
+	// self-identifying header record a v3 server writes at the head of a
+	// fresh journal file, encoded as an ordinary frame (Ver carries the
+	// journal format version) so the journal scanner needs no second
+	// record grammar.
+	TypeJournalMeta MsgType = "jmeta"
 )
 
 // Snapshot is the detailed machine description presented at
@@ -146,6 +161,7 @@ type wireEncoder struct {
 	buf     bytes.Buffer
 	enc     *json.Encoder
 	scratch [24]byte // strconv staging for the spliced sum digits
+	bin     []byte   // v3 frame staging, reused across sends
 }
 
 var encPool = sync.Pool{New: func() any {
@@ -180,13 +196,19 @@ type deadliner interface {
 	SetWriteDeadline(t time.Time) error
 }
 
-// Conn frames Messages over any stream.
+// Conn frames Messages over any stream, in either wire version.
+// Receives auto-detect the framing per message; sends use the version
+// selected by SetVersion (or mirrored from the last received frame),
+// defaulting to V2 so an un-negotiated sender is safe against any peer.
 type Conn struct {
 	rw      io.ReadWriter
 	r       *lineReader
 	c       io.Closer
 	d       deadliner
 	timeout time.Duration
+	version int   // send framing: V3, or V2 when unset
+	rbuf    []byte // v3 frame assembly buffer, reused across receives
+	frame   Frame  // the connection-owned decoded frame RecvFrame returns
 }
 
 // maxLine bounds a single message; testcase payloads are sizable but a
@@ -195,10 +217,14 @@ const maxLine = 64 << 20
 
 // NewConn wraps a stream. If rw also implements io.Closer, Close closes
 // it; if it implements deadline setting (net.Conn does), SetTimeout
-// enables per-message deadlines.
+// enables per-message deadlines. Network connections get the
+// protocol's transport tuning (TuneConn) applied automatically.
 func NewConn(rw io.ReadWriter) *Conn {
 	c, _ := rw.(io.Closer)
 	d, _ := rw.(deadliner)
+	if nc, ok := rw.(net.Conn); ok {
+		TuneConn(nc)
+	}
 	return &Conn{rw: rw, r: newLineReader(rw), c: c, d: d}
 }
 
@@ -212,12 +238,17 @@ func (c *Conn) SetTimeout(d time.Duration) {
 	c.timeout = d
 }
 
-// Send writes one message, stamping its checksum. The message is
+// Send writes one message in the connection's framing. Under v3 the
+// message is encoded as one binary frame through a pooled scratch
+// buffer (steady state: zero allocations). Under v2 the message is
 // encoded exactly once through a pooled buffer: the CRC is computed
 // over the sum-less encoding, then the sum field is spliced in before
 // the closing brace, so the hot ingest path neither marshals twice nor
 // allocates per message.
 func (c *Conn) Send(m Message) error {
+	if c.version == V3 {
+		return c.sendBinary(m, nil)
+	}
 	e := encPool.Get().(*wireEncoder)
 	defer encPool.Put(e)
 	if err := e.encodeSumless(m); err != nil {
@@ -246,36 +277,21 @@ func (c *Conn) Send(m Message) error {
 	return nil
 }
 
-// Recv reads one message and verifies its checksum; a message without
-// a checksum is rejected.
+// Recv reads one message in either framing, verifies its integrity
+// (checksum field for v2, CRC trailer for v3), and returns it fully
+// materialized. Servers prefer RecvFrame, which skips the
+// materialization for v3 frames.
 func (c *Conn) Recv() (Message, error) {
-	var m Message
-	if c.d != nil && c.timeout > 0 {
-		if err := c.d.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
-			return m, err
-		}
-	}
-	line, err := c.r.readLine()
+	f, err := c.RecvFrame()
 	if err != nil {
-		return m, err
+		return Message{}, err
 	}
-	if err := json.Unmarshal(line, &m); err != nil {
-		return m, fmt.Errorf("protocol: bad message: %w", err)
-	}
-	if m.Type == "" {
-		return m, fmt.Errorf("protocol: message without type")
-	}
-	if m.Sum == nil {
-		return m, fmt.Errorf("protocol: message without checksum")
-	}
-	want, err := checksum(m)
-	if err != nil {
-		return m, fmt.Errorf("protocol: marshal: %w", err)
-	}
-	if want != *m.Sum {
-		return m, fmt.Errorf("protocol: checksum mismatch (message corrupted in flight)")
-	}
-	return m, nil
+	return f.Message()
+}
+
+// unmarshalMessage decodes one JSON line into m (the v2 frame body).
+func unmarshalMessage(line []byte, m *Message) error {
+	return json.Unmarshal(line, m)
 }
 
 // lineReader is a thin alias over bufio.Reader that reassembles long
@@ -288,7 +304,7 @@ type lineReader struct {
 }
 
 func newLineReader(r io.Reader) *lineReader {
-	return &lineReader{r: bufio.NewReaderSize(r, 64<<10)}
+	return &lineReader{r: bufio.NewReaderSize(r, ConnBufSize)}
 }
 
 // readLine returns the next newline-terminated line, excluding the
@@ -318,7 +334,9 @@ func (c *Conn) Close() error {
 	return nil
 }
 
-// SendError is a server helper for reporting a failure in-band.
+// SendError is a server helper for reporting a failure in-band. The
+// reply goes out in the framing of the last received message, so a v2
+// client is never answered in a framing it cannot parse.
 func (c *Conn) SendError(err error) error {
 	return c.Send(Message{Type: TypeError, Err: err.Error()})
 }

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"unsafe"
 
 	"uucs/internal/core"
 	"uucs/internal/protocol"
@@ -36,11 +37,27 @@ import (
 // journal or the new snapshot + tail journal — and replay is idempotent
 // (registrations dedup by nonce, result batches dedup by per-client
 // sequence number, testcases dedup by ID), so both recover to the same
-// state. A partial final journal line (crash mid-append) is detected
+// state. A partial final journal record (crash mid-append) is detected
 // and dropped.
 //
-// Both files hold one JSON op per line. The snapshot is simply a
-// compacted journal, so one parser reads both.
+// Record formats: the snapshot holds one JSON op per line. The journal
+// mixes two record formats, distinguished per record by the first byte:
+// '{' starts a JSON op line (every v2-era record, plus the cold ops —
+// registrations, testcases — a v3 server still writes as JSON), and
+// protocol.FrameMagic starts a verbatim v3 wire frame. Hot v3 result
+// uploads are journaled as the exact frame bytes the client sent, so
+// the append is a memcpy, the record carries its own CRC, and replay
+// re-validates it with the wire decoder instead of a JSON parse. A
+// fresh journal opens with a self-identifying jmeta header frame; a
+// v2-era journal has no header and replays through the same scanner
+// unchanged, which is the whole migration story — no rewrite, no
+// conversion. Torn-tail semantics per format: a JSON record is torn if
+// its final newline is missing; a binary record is torn if the file
+// ends before the frame's declared length (ErrShortFrame). A complete
+// binary record that fails its CRC — e.g. a corrupted header mid-file —
+// is never treated as tearing: it poisons the load, because a CRC-valid
+// prefix cannot be reconstructed from a corrupt length field without
+// risking silently mis-parsing everything after it.
 
 // State file names.
 const (
@@ -50,14 +67,23 @@ const (
 
 // Journal op kinds.
 const (
-	opMeta      = "meta"
-	opTestcases = "tc"
-	opClient    = "client"
-	opResults   = "results"
+	opMeta        = "meta"
+	opTestcases   = "tc"
+	opClient      = "client"
+	opResults     = "results"
+	opJournalMeta = "jmeta"
 )
 
 // stateVersion identifies the state file format.
 const stateVersion = 2
+
+// journalFormatVersion identifies the journal record format a jmeta
+// header frame declares. Version 3 is the first to carry a header at
+// all (v2 journals are pure JSON lines and headerless), so the only
+// accepted value is 3; a higher one means a future build wrote records
+// this build cannot be sure it parses correctly, which must poison the
+// load rather than mis-parse.
+const journalFormatVersion = 3
 
 // testHookAfterSnapshot, when non-nil, runs between SaveState's
 // snapshot write and its journal compaction — the window in which a
@@ -108,7 +134,24 @@ func (s *Server) OpenState(dir string) error {
 		f.Close()
 		return err
 	}
-	jw := newJournalWriter(f, fi.Size(), s.JournalBatch, s.JournalDelay)
+	size := fi.Size()
+	if size == 0 {
+		// Fresh journal: write the self-identifying format header. It
+		// goes straight to the file, outside the journal writer, so it
+		// is neither counted as an op (crash-after hooks and op counts
+		// see only real mutations) nor acked to anyone.
+		hdr, err := protocol.AppendFrame(nil, protocol.Message{Type: protocol.TypeJournalMeta, Ver: journalFormatVersion})
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return err
+		}
+		size = int64(len(hdr))
+	}
+	jw := newJournalWriter(f, size, s.JournalBatch, s.JournalDelay)
 	jw.syncCost = s.JournalSyncCost
 	jw.ship = s.JournalShip
 	if s.CrashAfterJournalOps > 0 {
@@ -300,16 +343,28 @@ func (s *Server) LoadState(dir string) error {
 	return s.loadOps(journalPathIn(dir), true)
 }
 
-// loadOps replays one op-per-line file. tolerateTail drops a partial or
-// corrupt final line instead of failing (journals can lose their tail
-// to a crash mid-append; snapshots are written atomically and cannot).
+// loadOps replays one state file. tolerateTail drops a torn final
+// record instead of failing (journals can lose their tail to a crash
+// mid-append; snapshots are written atomically and cannot).
 func (s *Server) loadOps(path string, tolerateTail bool) error {
 	return scanOpsFile(path, tolerateTail, s.applyOp)
 }
 
-// scanOpsFile parses one op-per-line state file, calling fn per op. A
-// missing file is an empty file. tolerateTail drops a partial or
-// corrupt final line (and any fn error on it) instead of failing.
+// scanOpsFile parses one state file record by record, calling fn per
+// op. A missing file is an empty file. Each record's format is
+// identified by its first byte: a verbatim v3 wire frame
+// (protocol.FrameMagic) or a newline-terminated JSON op line. Binary
+// record payloads are handed to fn as borrowed views of the file
+// buffer — the buffer is immutable and garbage-collected normally, so
+// the views stay valid even if retained; replay never copies or
+// re-encodes a journaled frame.
+//
+// tolerateTail drops a torn final record: a JSON line with no
+// terminating newline (plus any parse/fn error on it), or a binary
+// frame the file ends inside (ErrShortFrame). A complete binary frame
+// that fails its CRC or its fn is corruption at any position and
+// poisons the scan — it cannot be tearing, because tearing cannot
+// manufacture a valid CRC trailer.
 func scanOpsFile(path string, tolerateTail bool, fn func(journalOp) error) error {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -318,37 +373,92 @@ func scanOpsFile(path string, tolerateTail bool, fn func(journalOp) error) error
 	if err != nil {
 		return err
 	}
-	lines := bytes.Split(data, []byte("\n"))
-	// A well-formed file ends in '\n', leaving one empty trailing
-	// element; anything after the last newline is a torn tail.
-	for i, line := range lines {
-		if len(bytes.TrimSpace(line)) == 0 {
+	base := filepath.Base(path)
+	rec := 0
+	pos := 0
+	var f protocol.Frame
+	for pos < len(data) {
+		switch data[pos] {
+		case '\n', '\r', ' ', '\t':
+			pos++ // blank separators between JSON lines
 			continue
 		}
-		last := i == len(lines)-1
+		rec++
+		if data[pos] == protocol.FrameMagic {
+			n, err := protocol.DecodeFrame(data[pos:], &f)
+			if err != nil {
+				if tolerateTail && errors.Is(err, protocol.ErrShortFrame) {
+					return nil // torn tail: crash mid-append
+				}
+				return fmt.Errorf("server: %s record %d (offset %d): %w", base, rec, pos, err)
+			}
+			op, err := frameOp(&f)
+			if err == nil {
+				err = fn(op)
+			}
+			if err != nil {
+				return fmt.Errorf("server: %s record %d (offset %d): %w", base, rec, pos, err)
+			}
+			pos += n
+			continue
+		}
+		nl := bytes.IndexByte(data[pos:], '\n')
+		torn := nl < 0
+		var line []byte
+		if torn {
+			line = data[pos:]
+			pos = len(data)
+		} else {
+			line = data[pos : pos+nl]
+			pos += nl + 1
+		}
 		var op journalOp
 		if err := json.Unmarshal(line, &op); err != nil {
-			if tolerateTail && last {
+			if tolerateTail && torn {
 				return nil
 			}
-			return fmt.Errorf("server: %s line %d: %w", filepath.Base(path), i+1, err)
+			return fmt.Errorf("server: %s record %d: %w", base, rec, err)
 		}
 		if err := fn(op); err != nil {
-			if tolerateTail && last {
+			if tolerateTail && torn {
 				return nil
 			}
-			return fmt.Errorf("server: %s line %d: %w", filepath.Base(path), i+1, err)
+			return fmt.Errorf("server: %s record %d: %w", base, rec, err)
 		}
 	}
 	return nil
 }
 
+// frameOp converts a journaled wire frame into its journalOp view. The
+// payload borrows the frame's bytes without copying.
+func frameOp(f *protocol.Frame) (journalOp, error) {
+	switch f.Type {
+	case protocol.TypeJournalMeta:
+		return journalOp{Op: opJournalMeta, Ver: f.Ver}, nil
+	case protocol.TypeResults:
+		return journalOp{Op: opResults, ID: string(f.ClientID), Seq: f.Seq, Payload: borrowString(f.Payload)}, nil
+	default:
+		return journalOp{}, fmt.Errorf("unexpected %q frame in journal", f.Type)
+	}
+}
+
+// borrowString returns a string view of b without copying. Safe here
+// because every caller passes views of an immutable, GC-managed file
+// buffer.
+func borrowString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
 // Exported op-kind names for StateOp.Kind (the on-disk op tags).
 const (
-	OpKindMeta      = opMeta
-	OpKindTestcases = opTestcases
-	OpKindClient    = opClient
-	OpKindResults   = opResults
+	OpKindMeta        = opMeta
+	OpKindTestcases   = opTestcases
+	OpKindClient      = opClient
+	OpKindResults     = opResults
+	OpKindJournalMeta = opJournalMeta
 )
 
 // StateOp is the exported view of one journal/snapshot op, for
@@ -385,6 +495,9 @@ func ScanStateOps(path string, tolerateTail bool, fn func(StateOp) error) error 
 		if op.Op == opMeta && op.Ver != stateVersion {
 			return fmt.Errorf("unsupported state version %d", op.Ver)
 		}
+		if op.Op == opJournalMeta && op.Ver != journalFormatVersion {
+			return fmt.Errorf("unsupported journal format version %d", op.Ver)
+		}
 		return fn(StateOp{
 			Kind: op.Op, Ver: op.Ver, ID: op.ID, Nonce: op.Nonce,
 			LastSeq: op.LastSeq, Seq: op.Seq, Payload: op.Payload,
@@ -406,6 +519,14 @@ func (s *Server) applyOp(op journalOp) error {
 	case opMeta:
 		if op.Ver != stateVersion {
 			return fmt.Errorf("unsupported state version %d", op.Ver)
+		}
+		return nil
+	case opJournalMeta:
+		// The journal format header. A replica journal can carry several
+		// (one per bootstrap segment shipped after a primary restart);
+		// each just re-declares the format.
+		if op.Ver != journalFormatVersion {
+			return fmt.Errorf("unsupported journal format version %d", op.Ver)
 		}
 		return nil
 	case opTestcases:

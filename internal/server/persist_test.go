@@ -1,12 +1,15 @@
 package server
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"uucs/internal/core"
+	"uucs/internal/protocol"
 	"uucs/internal/stats"
 	"uucs/internal/testcase"
 )
@@ -350,5 +353,302 @@ func TestStatePersistsAcrossServeCycle(t *testing.T) {
 	}
 	if s2.ClientCount() != 1 || s2.TestcaseCount() != 10 {
 		t.Errorf("restored: clients=%d testcases=%d", s2.ClientCount(), s2.TestcaseCount())
+	}
+}
+
+// --- Journal format migration: v2 text journals under the v3 server ---
+
+// v2Journal hand-writes a version-2-era journal: pure JSON lines and no
+// jmeta header frame, byte-for-byte what a v2 build left on disk.
+func v2Journal(t *testing.T, id string) []byte {
+	t.Helper()
+	snap := testSnapshot()
+	var buf bytes.Buffer
+	for _, op := range []journalOp{
+		{Op: opClient, ID: id, Nonce: "n1", Snapshot: &snap},
+		{Op: opResults, ID: id, Seq: 1, Payload: encodeRuns(t, []*core.Run{testRun()})},
+	} {
+		b, err := json.Marshal(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// resultsFrame encodes a v3 results wire frame and decodes it back into
+// the borrowed Frame view the server's zero-copy ingest path holds when
+// it journals an upload.
+func resultsFrame(t *testing.T, id string, seq uint64, payload string) (*protocol.Frame, []byte) {
+	t.Helper()
+	wire, err := protocol.AppendFrame(nil, protocol.Message{
+		Type: protocol.TypeResults, ClientID: id, Seq: seq, Payload: payload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &protocol.Frame{}
+	if _, err := protocol.DecodeFrame(wire, f); err != nil {
+		t.Fatal(err)
+	}
+	return f, wire
+}
+
+// TestV2JournalReplaysUnderV3Server is the upgrade path: a journal left
+// by a v2 build must replay under the v3 server with identical state,
+// and opening it must not rewrite a single byte of it — v3 records are
+// appended after the v2 prefix, never spliced into it.
+func TestV2JournalReplaysUnderV3Server(t *testing.T) {
+	dir := t.TempDir()
+	const id = "uucs-00000000000000aa"
+	orig := v2Journal(t, id)
+	if err := os.WriteFile(filepath.Join(dir, journalFile), orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(1)
+	if err := s.OpenState(dir); err != nil {
+		t.Fatal(err)
+	}
+	if s.ClientCount() != 1 {
+		t.Errorf("clients = %d", s.ClientCount())
+	}
+	if got := s.Results(); len(got) != 1 || got[0].Offset != 55 {
+		t.Errorf("results = %+v", got)
+	}
+	// A non-empty journal never gets a jmeta header injected: the header
+	// is only written file-first, and rewriting history would break the
+	// bit-identity guarantee replicas rely on.
+	mid, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mid, orig) {
+		t.Fatalf("opening a v2 journal rewrote it:\n got %q\nwant %q", mid, orig)
+	}
+
+	// The v3 server keeps appending to the v2 file — binary frames after
+	// JSON lines, one mixed-format journal.
+	run2 := testRun()
+	run2.Offset = 99
+	f, wire := resultsFrame(t, id, 2, encodeRuns(t, []*core.Run{run2}))
+	if _, err := s.addResultsFrame(f, []*core.Run{run2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(after, orig) {
+		t.Fatal("append disturbed the v2 prefix")
+	}
+	if !bytes.Equal(after[len(orig):], wire) {
+		t.Fatalf("journaled frame is not the verbatim wire bytes:\n got %q\nwant %q", after[len(orig):], wire)
+	}
+
+	// The mixed journal replays: both batches, both seqs deduplicated.
+	restored := New(1)
+	if err := restored.LoadState(dir); err != nil {
+		t.Fatal(err)
+	}
+	if restored.ClientCount() != 1 || len(restored.Results()) != 2 {
+		t.Fatalf("mixed-journal restore: clients=%d results=%d", restored.ClientCount(), len(restored.Results()))
+	}
+	for _, seq := range []uint64{1, 2} {
+		dup, err := restored.addResults(id, seq, encodeRuns(t, []*core.Run{run2}), []*core.Run{run2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dup {
+			t.Errorf("seq %d replayed from mixed journal was not deduplicated", seq)
+		}
+	}
+
+	// Replay is a pure read: a second open/close cycle leaves the mixed
+	// file bit-identical.
+	s2 := New(1)
+	if err := s2.OpenState(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(final, after) {
+		t.Fatal("idle open/close cycle rewrote the journal")
+	}
+}
+
+// TestJournalMigrationCorruption pins the torn-versus-poisoned line for
+// binary journal records: a frame the file ends inside is a crash
+// artifact and is dropped, but a complete frame that fails its CRC (or
+// declares a format this build does not speak) poisons the load at any
+// position — including the tail, where tearing cannot manufacture a
+// valid length+CRC pair.
+func TestJournalMigrationCorruption(t *testing.T) {
+	const id = "uucs-00000000000000bb"
+	header, err := protocol.AppendFrame(nil, protocol.Message{Type: protocol.TypeJournalMeta, Ver: journalFormatVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	futureHeader, err := protocol.AppendFrame(nil, protocol.Message{Type: protocol.TypeJournalMeta, Ver: journalFormatVersion + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ackFrame, err := protocol.AppendFrame(nil, protocol.Message{Type: protocol.TypeAck, Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := testSnapshot()
+	clientJSON, err := json.Marshal(journalOp{Op: opClient, ID: id, Nonce: "n1", Snapshot: &snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientLine := append(clientJSON, '\n')
+	_, resWire := resultsFrame(t, id, 1, encodeRuns(t, []*core.Run{testRun()}))
+
+	join := func(parts ...[]byte) []byte {
+		var b []byte
+		for _, p := range parts {
+			b = append(b, p...)
+		}
+		return b
+	}
+	flipLast := func(b []byte) []byte {
+		c := append([]byte(nil), b...)
+		c[len(c)-1] ^= 0x01
+		return c
+	}
+
+	tests := []struct {
+		name    string
+		journal []byte
+		wantErr bool
+		clients int
+		results int
+	}{
+		{
+			name:    "clean mixed journal",
+			journal: join(header, clientLine, resWire),
+			clients: 1, results: 1,
+		},
+		{
+			name:    "jmeta header corrupted mid-file",
+			journal: join(flipLast(header), clientLine),
+			wantErr: true,
+		},
+		{
+			name:    "future journal format version",
+			journal: join(futureHeader, clientLine),
+			wantErr: true,
+		},
+		{
+			name:    "non-journal frame type",
+			journal: join(header, ackFrame),
+			wantErr: true,
+		},
+		{
+			name:    "binary record torn at EOF",
+			journal: join(header, clientLine, resWire[:len(resWire)-7]),
+			clients: 1, results: 0,
+		},
+		{
+			name:    "length prefix torn at EOF",
+			journal: join(header, clientLine, resWire[:3]),
+			clients: 1, results: 0,
+		},
+		{
+			name:    "complete record with bad CRC at EOF",
+			journal: join(header, clientLine, flipLast(resWire)),
+			wantErr: true,
+		},
+		{
+			name:    "binary record corrupted mid-file",
+			journal: join(header, flipLast(resWire), clientLine),
+			wantErr: true,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, journalFile), tc.journal, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s := New(1)
+			err := s.LoadState(dir)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("corrupt journal accepted")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.ClientCount() != tc.clients || len(s.Results()) != tc.results {
+				t.Errorf("clients=%d results=%d, want %d/%d", s.ClientCount(), len(s.Results()), tc.clients, tc.results)
+			}
+		})
+	}
+}
+
+// TestV3FrameJournalReplaysAcrossRestart covers the new-format
+// lifecycle end to end: a fresh v3 journal starts with the jmeta header
+// frame, stores uploads as verbatim wire frames, and restores state —
+// including the dedup high-water mark — from a straight re-read.
+func TestV3FrameJournalReplaysAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := New(1)
+	if err := s.OpenState(dir); err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.register(testSnapshot(), "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := []*core.Run{testRun()}
+	f, wire := resultsFrame(t, id, 1, encodeRuns(t, runs))
+	if _, err := s.addResultsFrame(f, runs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[0] != protocol.FrameMagic {
+		t.Fatal("fresh v3 journal does not start with the jmeta header frame")
+	}
+	if !bytes.Contains(data, wire) {
+		t.Fatal("journal does not hold the upload's verbatim wire frame")
+	}
+
+	restored := New(1)
+	if err := restored.LoadState(dir); err != nil {
+		t.Fatal(err)
+	}
+	if restored.ClientCount() != 1 {
+		t.Errorf("clients = %d", restored.ClientCount())
+	}
+	if got := restored.Results(); len(got) != 1 || got[0].Offset != 55 {
+		t.Errorf("results = %+v", got)
+	}
+	dup, err := restored.addResults(id, 1, encodeRuns(t, runs), runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup {
+		t.Error("acked v3-journaled batch re-applied after restart")
 	}
 }

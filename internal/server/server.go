@@ -27,6 +27,7 @@
 package server
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"net"
@@ -96,6 +97,13 @@ type Server struct {
 	// resource saturated. Empty for a standalone server. Set before
 	// Serve.
 	NodeID string
+
+	// MaxProtocol caps the wire protocol version this server grants at
+	// registration and accepts on the wire (0 means protocol.Version).
+	// Setting protocol.V2 makes a v3-capable build behave as a pure v2
+	// server — the rollback lever during a protocol rollout, and how
+	// migration tests stand up "old" servers. Set before Serve.
+	MaxProtocol int
 
 	// JournalShip, when non-nil, is called by the journal writer after
 	// each group-commit fsync with the batch's journal bytes, and the
@@ -190,6 +198,20 @@ func New(seed uint64) *Server {
 // shardFor returns the shard owning a client id.
 func (s *Server) shardFor(clientID string) *shard {
 	return &s.shards[hashString(0xcbf29ce484222325, clientID)&(numShards-1)]
+}
+
+// shardForBytes is shardFor for a borrowed client-id view (the v3
+// frame path), avoiding the string materialization.
+func (s *Server) shardForBytes(clientID []byte) *shard {
+	return &s.shards[hashBytes(0xcbf29ce484222325, clientID)&(numShards-1)]
+}
+
+// maxProto returns the highest protocol version this server speaks.
+func (s *Server) maxProto() int {
+	if s.MaxProtocol != 0 {
+		return s.MaxProtocol
+	}
+	return protocol.Version
 }
 
 // journal returns the attached journal writer, nil when detached.
@@ -298,6 +320,15 @@ func hashString(h uint64, s string) uint64 {
 		h = hashMix(h, uint64(s[i]))
 	}
 	return hashMix(h, uint64(len(s))+1)
+}
+
+// hashBytes is hashString over a byte slice (identical folding, so a
+// borrowed id hashes to the same shard as its string form).
+func hashBytes(h uint64, b []byte) uint64 {
+	for i := 0; i < len(b); i++ {
+		h = hashMix(h, uint64(b[i]))
+	}
+	return hashMix(h, uint64(len(b))+1)
 }
 
 // snapshotHash derives a 64-bit identity from a registration snapshot
@@ -476,6 +507,55 @@ func (s *Server) addResults(clientID string, seq uint64, payload string, runs []
 	return false, nil
 }
 
+// addResultsFrame is addResults for a borrowed v3 frame: identical
+// dedup and ack semantics, but the journal record is the wire frame
+// itself. The only copy on the path is the one that hands the frame
+// bytes to the journal queue (which outlives the connection's read
+// buffer); the journaled record is byte-identical to what the client
+// sent — CRC trailer included — so replay re-validates it for free and
+// replication ships it verbatim.
+func (s *Server) addResultsFrame(f *protocol.Frame, runs []*core.Run) (dup bool, err error) {
+	jw := s.journal()
+	var op []byte
+	if jw != nil {
+		op = append([]byte(nil), f.Raw()...)
+	}
+	sh := s.shardForBytes(f.ClientID)
+	sh.lock()
+	if f.Seq > 0 && f.Seq <= sh.lastSeq[string(f.ClientID)] {
+		sh.mu.Unlock()
+		if jw != nil {
+			// The original upload may still be inside a group commit
+			// (its client timed out and retried); the dup ack must not
+			// claim durability before that commit lands.
+			if err := jw.barrier(); err != nil {
+				return false, err
+			}
+		}
+		s.stats.dupBatches.Add(1)
+		return true, nil
+	}
+	var pending *journalReq
+	if jw != nil {
+		pending = jw.enqueue(op)
+	}
+	if f.Seq > 0 {
+		sh.lastSeq[string(f.ClientID)] = f.Seq
+	}
+	s.resMu.Lock()
+	s.results = append(s.results, runs...)
+	s.resMu.Unlock()
+	sh.mu.Unlock()
+	if pending != nil {
+		if err := <-pending.done; err != nil {
+			return false, err
+		}
+	}
+	s.stats.batches.Add(1)
+	s.stats.runs.Add(uint64(len(runs)))
+	return false, nil
+}
+
 // Serve accepts connections on ln until Close. It blocks.
 func (s *Server) Serve(ln net.Listener) error {
 	s.connMu.Lock()
@@ -586,15 +666,24 @@ func (s *Server) Crash() {
 }
 
 // handle runs one client session: any number of requests until EOF,
-// a broken connection, or an idle timeout.
+// a broken connection, or an idle timeout. Each message is received as
+// a borrowed frame; v3 frames dispatch zero-copy, v2 frames are
+// materialized into a Message and take the original dispatch path.
+// RecvFrame mirrors the request's framing onto the connection, so
+// every reply (errors included) goes back the way the request came.
 func (s *Server) handle(conn *protocol.Conn) {
 	defer conn.Close()
 	for {
-		msg, err := conn.Recv()
+		f, err := conn.RecvFrame()
 		if err != nil {
 			return // EOF, broken connection, or idle timeout
 		}
-		if err := s.dispatch(conn, msg); err != nil {
+		if f.WireVersion == protocol.V3 {
+			s.stats.v3Msgs.Add(1)
+		} else {
+			s.stats.v2Msgs.Add(1)
+		}
+		if err := s.dispatchFrame(conn, f); err != nil {
 			// Every in-band rejection — unknown client, undecodable
 			// payload, bad version — lands here; the counter is the USE
 			// errors reading for the wire.
@@ -604,11 +693,51 @@ func (s *Server) handle(conn *protocol.Conn) {
 	}
 }
 
+// dispatchFrame routes one received frame. The hot path — a v3 results
+// upload — runs entirely on borrowed views: the client id is checked
+// and sharded as bytes, the runs decode straight from the payload view,
+// and the journal stores the wire frame verbatim. Cold requests
+// (register, sync) and all v2 frames materialize a Message and share
+// the original dispatch.
+func (s *Server) dispatchFrame(conn *protocol.Conn, f *protocol.Frame) error {
+	if f.WireVersion == protocol.V3 {
+		if s.maxProto() < protocol.V3 {
+			return fmt.Errorf("protocol v3 disabled on this server (max v%d)", s.maxProto())
+		}
+		if f.Type == protocol.TypeResults {
+			if err := s.checkClientBytes(f.ClientID); err != nil {
+				return err
+			}
+			runs, err := core.DecodeRuns(bytes.NewReader(f.Payload))
+			if err != nil {
+				return fmt.Errorf("bad results payload: %w", err)
+			}
+			dup, err := s.addResultsFrame(f, runs)
+			if err != nil {
+				return err
+			}
+			return conn.Send(protocol.Message{Type: protocol.TypeAck, Count: len(runs), Seq: f.Seq, Dup: dup})
+		}
+	}
+	msg, err := f.Message()
+	if err != nil {
+		return err
+	}
+	return s.dispatch(conn, msg)
+}
+
 func (s *Server) dispatch(conn *protocol.Conn, msg protocol.Message) error {
 	switch msg.Type {
 	case protocol.TypeRegister:
-		if msg.Ver != protocol.Version {
+		if msg.Ver < protocol.V2 || msg.Ver > protocol.Version {
 			return fmt.Errorf("unsupported protocol version %d", msg.Ver)
+		}
+		// Negotiate: grant the requested version, capped at what this
+		// server speaks. The granted version rides the registered reply;
+		// the client frames every subsequent message in it.
+		ver := msg.Ver
+		if mp := s.maxProto(); ver > mp {
+			ver = mp
 		}
 		if msg.Snapshot == nil {
 			return fmt.Errorf("register without snapshot")
@@ -620,7 +749,7 @@ func (s *Server) dispatch(conn *protocol.Conn, msg protocol.Message) error {
 		if err != nil {
 			return err
 		}
-		return conn.Send(protocol.Message{Type: protocol.TypeRegistered, ClientID: id})
+		return conn.Send(protocol.Message{Type: protocol.TypeRegistered, ClientID: id, Ver: ver})
 
 	case protocol.TypeSync:
 		if err := s.checkClient(msg.ClientID); err != nil {
@@ -665,6 +794,18 @@ func (s *Server) checkClient(id string) error {
 	sh.lock()
 	defer sh.mu.Unlock()
 	if _, ok := sh.clients[id]; !ok {
+		return fmt.Errorf("unknown client %q (register first)", id)
+	}
+	return nil
+}
+
+// checkClientBytes is checkClient for a borrowed id view; the map
+// lookup through string(id) does not allocate.
+func (s *Server) checkClientBytes(id []byte) error {
+	sh := s.shardForBytes(id)
+	sh.lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.clients[string(id)]; !ok {
 		return fmt.Errorf("unknown client %q (register first)", id)
 	}
 	return nil

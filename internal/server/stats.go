@@ -29,6 +29,11 @@ type ingestCounters struct {
 	// rejects counts requests answered with an in-band error — bad
 	// payloads, unknown clients, version mismatches (USE errors axis).
 	rejects counter
+	// v2Msgs/v3Msgs count ingested messages by wire framing — the
+	// protocol-version mix a rollout watches to confirm the fleet is
+	// actually negotiating up to v3.
+	v2Msgs counter
+	v3Msgs counter
 }
 
 // IngestStats is a point-in-time snapshot of the server's ingest and
@@ -45,6 +50,10 @@ type IngestStats struct {
 	// Rejects is the number of requests answered with an in-band error
 	// (undecodable payload, unknown client, bad version).
 	Rejects uint64 `json:"rejects"`
+	// V2Msgs and V3Msgs count ingested messages by wire framing (the
+	// negotiated protocol mix; see the protocol-mix telemetry sample).
+	V2Msgs uint64 `json:"v2_msgs"`
+	V3Msgs uint64 `json:"v3_msgs"`
 	// JournalOps is the number of ops made durable by the journal.
 	JournalOps uint64 `json:"journal_ops"`
 	// JournalFsyncs is the number of fsync calls issued — the group
@@ -75,6 +84,8 @@ func (s *Server) Stats() IngestStats {
 		DupBatches:    s.stats.dupBatches.Load(),
 		Runs:          s.stats.runs.Load(),
 		Rejects:       s.stats.rejects.Load(),
+		V2Msgs:        s.stats.v2Msgs.Load(),
+		V3Msgs:        s.stats.v3Msgs.Load(),
 		ShardLocks:    make([]uint64, numShards),
 		ShardWaits:    make([]uint64, numShards),
 	}

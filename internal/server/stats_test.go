@@ -3,6 +3,7 @@ package server
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"uucs/internal/core"
 	"uucs/internal/protocol"
@@ -135,6 +136,12 @@ func TestServerTelemetrySnapshot(t *testing.T) {
 		}
 	}
 
+	// The journal-fsync utilization reading is flushBusy/uptime; right
+	// after the burst above, uptime is only a few flush durations long and
+	// the fraction legitimately reads as saturated. Let the window grow so
+	// the snapshot reflects a lightly-loaded server, which is what the
+	// verdict assertion below is about.
+	time.Sleep(100 * time.Millisecond)
 	snap := s.Telemetry()
 	if snap.Score < 0 || snap.Score > 100 {
 		t.Errorf("score %d outside [0, 100]", snap.Score)

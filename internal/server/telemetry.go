@@ -49,6 +49,18 @@ func (s *Server) Telemetry() *telemetry.Snapshot {
 		})
 	}
 
+	// Utilization: negotiated wire-protocol mix. Value is the v3 share
+	// of ingested messages — during a rollout it climbs from 0 to 1 as
+	// the fleet negotiates up; a stall means old clients are pinned.
+	if total := st.V2Msgs + st.V3Msgs; total > 0 {
+		v3share := telemetry.Ratio(float64(st.V3Msgs), float64(total))
+		snap.Add(telemetry.Sample{
+			Resource: "protocol-mix", Axis: telemetry.Utilization,
+			Metric: "v3 message share", Value: v3share, Unit: "frac",
+			Detail: fmt.Sprintf("%d v2 / %d v3 messages", st.V2Msgs, st.V3Msgs),
+		})
+	}
+
 	jw := s.journal()
 	if jw != nil {
 		uptime := float64(snap.Uptime)

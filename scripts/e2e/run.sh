@@ -16,13 +16,18 @@
 #   scripts/e2e/run.sh -seeds    # replay scripts/e2e/regression_seeds.json
 #
 # Set E2E_BIN to a directory of prebuilt uucs-* binaries to skip the
-# build (CI builds once and reuses across jobs).
+# build (CI builds once and reuses across jobs). Set E2E_PROTOCOL to
+# v2 or v3 to pin every client's wire framing (default: auto, the
+# negotiated path); with v3 the smoke also asserts each client actually
+# registered over the binary framing, so the crash window is exercised
+# with verbatim-journaled binary frames.
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/../.." && pwd)"
 cd "$REPO"
 
 MODE="${1:-all}"
+PROTO="${E2E_PROTOCOL:-auto}"
 
 WORK="$(mktemp -d /tmp/uucs-e2e.XXXXXX)"
 SERVER_PID=""
@@ -102,11 +107,12 @@ smoke() {
     SERVER_PID=$!
     wait_for_line "$LOG1" 'listening on'
 
-    say "round 1: $CLIENTS clients x $RUNS runs against $ADDR"
+    say "round 1: $CLIENTS clients x $RUNS runs against $ADDR (protocol $PROTO)"
     local pids=() i
     for i in $(seq 1 "$CLIENTS"); do
         "$BIN/uucs-client" -server "$ADDR" -store "$WORK/client$i" \
             -hostname "e2e-host-$i" -seed "$((100 + i))" -runs "$RUNS" \
+            -protocol "$PROTO" \
             -timeout 5s -retries 12 -retry-base 100ms -retry-max 1s \
             >"$WORK/client$i.round1.log" 2>&1 &
         pids+=($!)
@@ -138,12 +144,20 @@ smoke() {
         [ "$code" -eq 0 ] || fail "round-1 client $((i + 1)) exited $code: $(cat "$WORK/client$((i + 1)).round1.log")"
     done
     say "round 1 converged: all clients acked despite the crash"
+    if [ "$PROTO" = "v3" ]; then
+        for i in $(seq 1 "$CLIENTS"); do
+            grep -q 'wire protocol v3' "$WORK/client$i.round1.log" \
+                || fail "client $i did not register over the v3 framing: $(cat "$WORK/client$i.round1.log")"
+        done
+        say "all clients registered over the v3 binary framing"
+    fi
 
     say "round 2: same stores, continuing sequence numbers"
     pids=()
     for i in $(seq 1 "$CLIENTS"); do
         "$BIN/uucs-client" -server "$ADDR" -store "$WORK/client$i" \
             -hostname "e2e-host-$i" -seed "$((100 + i))" -runs "$RUNS" \
+            -protocol "$PROTO" \
             -timeout 5s -retries 12 -retry-base 100ms -retry-max 1s \
             >"$WORK/client$i.round2.log" 2>&1 &
         pids+=($!)
