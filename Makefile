@@ -19,7 +19,7 @@
 GO ?= go
 THRESHOLD ?= 0.15
 
-.PHONY: all build test race bench bench-check bench-baseline loadgen-smoke loadgen-smoke-v2 pop-smoke cluster-smoke e2e e2e-smoke e2e-smoke-v3 e2e-seeds
+.PHONY: all build test race bench bench-check bench-baseline loadgen-smoke loadgen-smoke-v2 pop-smoke cluster-smoke e2e e2e-smoke e2e-smoke-v3 e2e-restart e2e-seeds
 
 all: build test
 
@@ -66,6 +66,12 @@ e2e-smoke:
 # binary frames.
 e2e-smoke-v3:
 	E2E_PROTOCOL=v3 scripts/e2e/run.sh -smoke
+
+# The segmented-journal restart smoke: SIGKILL after several segments
+# seal, restart, exactly-once convergence from the multi-segment
+# journal.
+e2e-restart:
+	scripts/e2e/run.sh -restart
 
 e2e-seeds:
 	scripts/e2e/run.sh -seeds

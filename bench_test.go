@@ -30,18 +30,21 @@ package uucs_test
 
 import (
 	"fmt"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 
 	"uucs"
 	"uucs/internal/analysis"
+	"uucs/internal/cluster"
 	"uucs/internal/harvest"
 	"uucs/internal/hostload"
 	"uucs/internal/hostpop"
 	"uucs/internal/hostsim"
 	"uucs/internal/internetstudy"
 	"uucs/internal/loadgen"
+	"uucs/internal/server"
 	"uucs/internal/stats"
 	"uucs/internal/study"
 	"uucs/internal/testcase"
@@ -358,6 +361,110 @@ func BenchmarkClusterIngest(b *testing.B) {
 		b.Fatalf("cluster ingest broke durability: lost=%d duplicated=%d", rep.Lost, rep.Duplicated)
 	}
 	b.ReportMetric(rep.BatchesPerSec, "batches/sec")
+}
+
+// clusterStateFixture lays down a real routed 3-node cluster's state
+// tree (node journals, replica journals, multi-segment rotation) by
+// driving it with ingest load — the shared fixture for the cold-path
+// benchmarks. Replica shipping makes every batch appear at least
+// twice under the root, so a merge over it exercises the dedup path.
+func clusterStateFixture(b *testing.B) (string, *loadgen.Report) {
+	b.Helper()
+	root := b.TempDir()
+	rep, err := loadgen.Run(loadgen.Config{
+		Clients: 8, Batches: 600, RunsPerBatch: 8,
+		StateDir: root, Net: "mem", Seed: 1,
+		Nodes:               []string{"n1", "n2", "n3"},
+		JournalSegmentBytes: 64 << 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Lost > 0 || rep.Duplicated > 0 {
+		b.Fatalf("fixture broke durability: lost=%d duplicated=%d", rep.Lost, rep.Duplicated)
+	}
+	return root, rep
+}
+
+// BenchmarkColdRestart measures the crash-recovery path: a full state
+// replay over the multi-segment journal a real ingest run laid down.
+// Sealed segments decode on parallel workers (0 = GOMAXPROCS) and
+// apply through the per-shard queues; the restored state is
+// bit-identical to a serial replay at any worker count
+// (TestParallelReplayMatchesSerial), so this measures the cold path
+// alone.
+func BenchmarkColdRestart(b *testing.B) {
+	dir := b.TempDir()
+	rep, err := loadgen.Run(loadgen.Config{
+		Clients: 8, Batches: 1200, RunsPerBatch: 8,
+		StateDir: dir, Net: "mem", Seed: 1,
+		JournalSegmentBytes: 64 << 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Lost > 0 || rep.Duplicated > 0 {
+		b.Fatalf("fixture broke durability: lost=%d duplicated=%d", rep.Lost, rep.Duplicated)
+	}
+	b.ResetTimer()
+	restored := 0
+	for i := 0; i < b.N; i++ {
+		srv := server.New(1)
+		if err := srv.LoadState(dir); err != nil {
+			b.Fatal(err)
+		}
+		restored = len(srv.Results())
+	}
+	if uint64(restored) != rep.Runs {
+		b.Fatalf("restored %d runs, want %d", restored, rep.Runs)
+	}
+	b.ReportMetric(float64(restored), "runs_restored")
+}
+
+// BenchmarkFailoverPromote measures the availability-critical half of
+// promote-on-crash: replaying a dead primary's shipped replica journal
+// into a fresh server. Promote is server.OpenState over the replica
+// dir; LoadState is its replay phase, which dominates the takeover
+// window.
+func BenchmarkFailoverPromote(b *testing.B) {
+	root, _ := clusterStateFixture(b)
+	replicas, err := filepath.Glob(filepath.Join(root, "node-*", "replica-*"))
+	if err != nil || len(replicas) == 0 {
+		b.Fatalf("no replica dirs under %s (err=%v)", root, err)
+	}
+	dir := replicas[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv := server.New(1)
+		if err := srv.LoadState(dir); err != nil {
+			b.Fatal(err)
+		}
+		if len(srv.Results()) == 0 {
+			b.Fatal("replica journal replayed to empty state")
+		}
+	}
+}
+
+// BenchmarkClusterMerge measures the deterministic merge over every
+// node and replica journal of a 3-node cluster: parallel per-source
+// scans, shared dedup, and the streaming k-way heap merge. The merged
+// sequence is byte-identical at any worker count and any spill
+// threshold (TestMergeStreamingMatchesSerial).
+func BenchmarkClusterMerge(b *testing.B) {
+	root, rep := clusterStateFixture(b)
+	b.ResetTimer()
+	merged := 0
+	for i := 0; i < b.N; i++ {
+		runs, _, err := cluster.MergedRuns(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		merged = len(runs)
+	}
+	if uint64(merged) != rep.Runs {
+		b.Fatalf("merged %d runs, want %d", merged, rep.Runs)
+	}
+	b.ReportMetric(float64(merged), "runs_merged")
 }
 
 // BenchmarkThrottle measures the §5 feedback throttle control loop.

@@ -23,17 +23,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"testing"
 
 	"uucs"
+	"uucs/internal/cluster"
 	"uucs/internal/hostpop"
 	"uucs/internal/hostsim"
 	"uucs/internal/internetstudy"
 	"uucs/internal/loadgen"
 	"uucs/internal/protocol"
+	"uucs/internal/server"
 	"uucs/internal/study"
 	"uucs/internal/testcase"
 )
@@ -143,6 +146,9 @@ func suite() []struct {
 		{"BenchmarkDecodeMessage/v3", benchDecodeMessage(protocol.V3)},
 		{"BenchmarkServerIngest", benchServerIngest},
 		{"BenchmarkClusterIngest", benchClusterIngest},
+		{"BenchmarkColdRestart", benchColdRestart},
+		{"BenchmarkFailoverPromote", benchFailoverPromote},
+		{"BenchmarkClusterMerge", benchClusterMerge},
 	}
 }
 
@@ -437,6 +443,110 @@ func benchClusterIngest(b *testing.B) {
 		b.Fatalf("cluster ingest broke durability: lost=%d duplicated=%d", rep.Lost, rep.Duplicated)
 	}
 	b.ReportMetric(rep.BatchesPerSec, "batches/sec")
+}
+
+// benchClusterFixture mirrors bench_test.go's clusterStateFixture: a
+// real routed 3-node cluster run with segment rotation on, whose state
+// tree (node + replica journals) the cold-path benchmarks replay and
+// merge. The caller removes the returned directory.
+func benchClusterFixture(b *testing.B) (root string, runs uint64, cleanup func()) {
+	dir, err := os.MkdirTemp("", "uucs-bench-coldpath-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := loadgen.Run(loadgen.Config{
+		Clients: 8, Batches: 600, RunsPerBatch: 8,
+		StateDir: dir, Net: "mem", Seed: 1,
+		Nodes:               []string{"n1", "n2", "n3"},
+		JournalSegmentBytes: 64 << 10,
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		b.Fatal(err)
+	}
+	if rep.Lost > 0 || rep.Duplicated > 0 {
+		os.RemoveAll(dir)
+		b.Fatalf("fixture broke durability: lost=%d duplicated=%d", rep.Lost, rep.Duplicated)
+	}
+	return dir, rep.Runs, func() { os.RemoveAll(dir) }
+}
+
+// benchColdRestart mirrors bench_test.go's BenchmarkColdRestart: a
+// full state replay over a multi-segment journal laid down by real
+// ingest load.
+func benchColdRestart(b *testing.B) {
+	dir, err := os.MkdirTemp("", "uucs-bench-restart-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	rep, err := loadgen.Run(loadgen.Config{
+		Clients: 8, Batches: 1200, RunsPerBatch: 8,
+		StateDir: dir, Net: "mem", Seed: 1,
+		JournalSegmentBytes: 64 << 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Lost > 0 || rep.Duplicated > 0 {
+		b.Fatalf("fixture broke durability: lost=%d duplicated=%d", rep.Lost, rep.Duplicated)
+	}
+	b.ResetTimer()
+	restored := 0
+	for i := 0; i < b.N; i++ {
+		srv := server.New(1)
+		if err := srv.LoadState(dir); err != nil {
+			b.Fatal(err)
+		}
+		restored = len(srv.Results())
+	}
+	if uint64(restored) != rep.Runs {
+		b.Fatalf("restored %d runs, want %d", restored, rep.Runs)
+	}
+	b.ReportMetric(float64(restored), "runs_restored")
+}
+
+// benchFailoverPromote mirrors bench_test.go's
+// BenchmarkFailoverPromote: replaying a dead primary's shipped replica
+// journal, the phase that dominates the promote takeover window.
+func benchFailoverPromote(b *testing.B) {
+	root, _, cleanup := benchClusterFixture(b)
+	defer cleanup()
+	replicas, err := filepath.Glob(filepath.Join(root, "node-*", "replica-*"))
+	if err != nil || len(replicas) == 0 {
+		b.Fatalf("no replica dirs under %s (err=%v)", root, err)
+	}
+	dir := replicas[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv := server.New(1)
+		if err := srv.LoadState(dir); err != nil {
+			b.Fatal(err)
+		}
+		if len(srv.Results()) == 0 {
+			b.Fatal("replica journal replayed to empty state")
+		}
+	}
+}
+
+// benchClusterMerge mirrors bench_test.go's BenchmarkClusterMerge:
+// the streaming k-way merge over every node and replica journal.
+func benchClusterMerge(b *testing.B) {
+	root, runs, cleanup := benchClusterFixture(b)
+	defer cleanup()
+	b.ResetTimer()
+	merged := 0
+	for i := 0; i < b.N; i++ {
+		rs, _, err := cluster.MergedRuns(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		merged = len(rs)
+	}
+	if uint64(merged) != runs {
+		b.Fatalf("merged %d runs, want %d", merged, runs)
+	}
+	b.ReportMetric(float64(merged), "runs_merged")
 }
 
 func benchFidelityCPU(b *testing.B) {

@@ -51,6 +51,8 @@ func main() {
 		jBatch    = flag.Int("journal-batch", 0, "max ops per group-commit fsync (0 = server default, 1 = fsync per op)")
 		jDelay    = flag.Duration("journal-delay", 0, "group-commit accumulation window (0 = never wait)")
 		fsyncCost = flag.Duration("fsync-cost", 0, "modeled storage device: stretch each fsync to at least this long (e.g. 8ms for a paper-era disk)")
+		jSegment  = flag.Int64("journal-segment-bytes", 0, "seal the journal into numbered segments at this size (0 = single-file journal)")
+		rWorkers  = flag.Int("replay-workers", 0, "restart-replay decode workers (0 = GOMAXPROCS, 1 = serial)")
 		seed      = flag.Uint64("seed", 1, "server sampling seed")
 		proto     = flag.String("protocol", "v3", "fleet wire framing: v2 (JSON) or v3 (binary)")
 		compare   = flag.String("compare", "", `also run a baseline and print the speedup: "journal" (fsync-per-op) or "protocol" (v2 framing)`)
@@ -76,7 +78,8 @@ func main() {
 		Clients: *clients, Duration: *duration, Batches: *batches,
 		RunsPerBatch: *runsPer, Net: *netKind, Addr: *addr,
 		JournalBatch: *jBatch, JournalDelay: *jDelay,
-		FsyncCost: *fsyncCost, Seed: *seed, Protocol: ver,
+		FsyncCost: *fsyncCost, JournalSegmentBytes: *jSegment,
+		ReplayWorkers: *rWorkers, Seed: *seed, Protocol: ver,
 		Nodes: nodes, KillNode: *killNode, KillAfterBatches: *killAfter,
 	}
 
@@ -177,11 +180,19 @@ func print(label string, rep *loadgen.Report, asJSON bool) {
 				label, st.JournalOps, st.JournalFsyncs, st.MeanBatch, st.JournalBytes)
 			fmt.Printf("%s: batch-size histogram (1, 2, ≤4, ≤8, ...): %v\n", label, st.BatchHist)
 		}
+		if st.SegmentsSealed > 0 {
+			fmt.Printf("%s: journal segments sealed: %d\n", label, st.SegmentsSealed)
+		}
+		if st.ReplayNanos > 0 {
+			fmt.Printf("%s: restart replay: %d records / %d files (%d bytes) in %v\n",
+				label, st.ReplayRecords, st.ReplayFiles, st.ReplayBytes,
+				time.Duration(st.ReplayNanos).Round(time.Microsecond))
+		}
 		fmt.Printf("%s: verification: %d lost, %d duplicated\n", label, rep.Lost, rep.Duplicated)
 	}
 	if st := rep.Merge; st != nil {
-		fmt.Printf("%s: cluster merge: %d sources, %d batches kept, %d replica duplicates dropped, %d failovers\n",
-			label, st.Sources, st.Batches, st.DupBatches, rep.Failovers)
+		fmt.Printf("%s: cluster merge: %d sources, %d batches kept, %d replica duplicates dropped, %d spills (%d bytes), %d failovers\n",
+			label, st.Sources, st.Batches, st.DupBatches, st.Spills, st.SpilledBytes, rep.Failovers)
 		fmt.Printf("%s: verification: %d lost, %d duplicated\n", label, rep.Lost, rep.Duplicated)
 	}
 	if rep.Telemetry != nil {

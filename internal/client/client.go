@@ -88,7 +88,7 @@ type Client struct {
 	// (0, meaning v2, until a registration round-trip completes).
 	negotiated int
 	syncs      int
-	rng   *stats.Stream
+	rng        *stats.Stream
 	// retryRng drives backoff jitter only. It is deliberately separate
 	// from rng: retries must not perturb testcase choice or arrival
 	// draws, or a faulty run would diverge from a fault-free one.
@@ -289,8 +289,17 @@ func (c *Client) withRetry(addr string, fn func(conn *protocol.Conn) error) erro
 // the server assigns. It is idempotent both locally (an
 // already-registered client keeps its id) and on the wire (a retried
 // registration with the same nonce receives the same id).
+//
+// A client restarted with a stored identity still performs the wire
+// round-trip once per process life: registration is where the protocol
+// version is negotiated, and skipping it would leave every restarted
+// client conservatively speaking v2 forever. The request is idempotent
+// (same nonce, same id back), so the re-probe costs one message and
+// upgrades the client to the newest framing the server grants.
 func (c *Client) Register(addr string) error {
-	if c.id != "" {
+	if c.id != "" && (c.negotiated != 0 || c.ProtocolVersion != 0) {
+		// Registered and already negotiated this life (or pinned, which
+		// makes negotiation moot): nothing to learn from the server.
 		return nil
 	}
 	ask := protocol.Version
@@ -323,11 +332,16 @@ func (c *Client) Register(addr string) error {
 	if err != nil {
 		return err
 	}
-	if err := c.Store.SetClientID(assigned); err != nil {
-		return err
+	if c.id == "" {
+		if err := c.Store.SetClientID(assigned); err != nil {
+			return err
+		}
+		c.id = assigned
 	}
-	c.id = assigned
-	// Adopt the granted framing for every subsequent connection. A
+	// On a stored-identity re-probe the stored id stays authoritative:
+	// the nonce makes the server answer with the same id, and the
+	// client's journaled upload history is keyed by it. Either way,
+	// adopt the granted framing for every subsequent connection. A
 	// server predating negotiation echoes no version; treat that as v2.
 	if granted < protocol.V2 {
 		granted = protocol.V2

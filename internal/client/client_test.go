@@ -398,3 +398,83 @@ func TestClientDisconnectedOperation(t *testing.T) {
 		t.Errorf("pending results lost on failed sync: %d", len(pending))
 	}
 }
+
+// TestRegisterReprobesStoredIdentity pins the restart re-probe: a
+// client that comes back up with a stored identity has not negotiated a
+// wire version this process life, so Register must redo the idempotent
+// wire round-trip — upgrading the framing to the newest the server
+// grants — while keeping the stored id authoritative. Skipping it would
+// leave every restarted client speaking v2 forever.
+func TestRegisterReprobesStoredIdentity(t *testing.T) {
+	_, addr := startServer(t, 0)
+	dir := t.TempDir()
+
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := New(st, testSnap(), core.NewEngine(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Register(addr); err != nil {
+		t.Fatal(err)
+	}
+	id := c1.ID()
+	if id == "" {
+		t.Fatal("first registration assigned no id")
+	}
+	if got := c1.WireVersion(); got != protocol.V3 {
+		t.Fatalf("fresh registration negotiated v%d, want v%d", got, protocol.V3)
+	}
+
+	// Restart: a new process life over the same store. The identity is
+	// stored, but negotiation state is not — the restarted client must
+	// conservatively speak v2 until it re-probes.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := New(st2, testSnap(), core.NewEngine(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.ID() != id {
+		t.Fatalf("restarted client lost its identity: %q vs %q", c2.ID(), id)
+	}
+	if got := c2.WireVersion(); got != protocol.V2 {
+		t.Fatalf("pre-probe wire version v%d, want conservative v%d", got, protocol.V2)
+	}
+	if err := c2.Register(addr); err != nil {
+		t.Fatal(err)
+	}
+	if c2.ID() != id {
+		t.Fatalf("re-probe changed the stored id: %q vs %q", c2.ID(), id)
+	}
+	if got := c2.WireVersion(); got != protocol.V3 {
+		t.Fatalf("post-probe wire version v%d, want upgraded v%d", got, protocol.V3)
+	}
+
+	// A second Register in the same life is a local no-op — already
+	// negotiated, nothing to learn.
+	if err := c2.Register(addr); err != nil {
+		t.Fatal(err)
+	}
+
+	// A client pinned to v2 re-probes nothing and stays pinned.
+	st3, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, err := New(st3, testSnap(), core.NewEngine(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3.ProtocolVersion = protocol.V2
+	if err := c3.Register(addr); err != nil {
+		t.Fatal(err)
+	}
+	if got := c3.WireVersion(); got != protocol.V2 {
+		t.Fatalf("pinned client speaks v%d, want v%d", got, protocol.V2)
+	}
+}

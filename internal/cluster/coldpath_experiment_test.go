@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uucs/internal/core"
+	"uucs/internal/testcase"
+)
+
+// discoverDirs resolves the state directories under root, fatal on error.
+func discoverDirs(t *testing.T, root string) []string {
+	t.Helper()
+	dirs, err := DiscoverStateDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirs
+}
+
+// TestMergeColdPathExperiment is the measurement driver behind
+// EXPERIMENTS.md "Fast cold paths": it fabricates a 3-node cluster
+// tree (plus duplicated shipped replicas) holding roughly
+// UUCS_COLDPATH_MB (default 64) megabytes of journal, then times
+// MergedRunsOpts across worker counts and spill thresholds, verifying
+// the folded dataset is identical throughout and reporting the peak
+// heap the spill bound buys back. Run it explicitly:
+//
+//	UUCS_COLDPATH_EXPERIMENT=1 go test ./internal/cluster -run TestMergeColdPathExperiment -v -timeout 30m
+func TestMergeColdPathExperiment(t *testing.T) {
+	if os.Getenv("UUCS_COLDPATH_EXPERIMENT") == "" {
+		t.Skip("set UUCS_COLDPATH_EXPERIMENT=1 to run the merge measurement driver")
+	}
+	targetMB := 64
+	if v := os.Getenv("UUCS_COLDPATH_MB"); v != "" {
+		fmt.Sscanf(v, "%d", &targetMB)
+	}
+	const nodes, runsPerBatch = 3, 64
+
+	// Fabricate: per-node journals of large sequenced batches until the
+	// tree reaches the target volume, then duplicate each journal's
+	// front half as its shipped replica.
+	build := time.Now()
+	root := t.TempDir()
+	journals := make([]*strings.Builder, nodes)
+	for n := range journals {
+		journals[n] = &strings.Builder{}
+	}
+	var written int64
+	var seq uint64
+	for written < int64(targetMB)<<20 {
+		seq++
+		for n := 0; n < nodes; n++ {
+			client := int(seq)%4*nodes + n
+			id := fmt.Sprintf("uucs-%016x", uint64(client)+1)
+			if seq <= uint64(nodes) {
+				journals[n].WriteString(clientOp(t, id, 0))
+			}
+			runs := make([]*core.Run, runsPerBatch)
+			for i := range runs {
+				r := fabRun(client, int(seq), i)
+				r.Offset = float64(seq)*1000 + float64(i)
+				r.Levels = map[testcase.Resource]float64{testcase.CPU: float64(i) / runsPerBatch}
+				runs[i] = r
+			}
+			line := resultsOp(t, id, seq, encodePayload(t, runs))
+			journals[n].WriteString(line)
+			written += int64(len(line))
+		}
+	}
+	var dirs int
+	for n := 0; n < nodes; n++ {
+		j := journals[n].String()
+		writeStateDir(t, root, fmt.Sprintf("node-n%d", n), "", j)
+		lines := strings.SplitAfter(j, "\n")
+		writeStateDir(t, root, fmt.Sprintf("node-n%d/replica-n%d", (n+1)%nodes, n),
+			"", strings.Join(lines[:len(lines)/2], ""))
+		dirs += 2
+	}
+	t.Logf("built %d MB across %d source dirs (%d nodes + shipped replicas) in %v",
+		written>>20, dirs, nodes, time.Since(build).Round(time.Millisecond))
+
+	type cfg struct {
+		workers int
+		spill   int
+		stream  bool
+		label   string
+	}
+	cfgs := []cfg{
+		{1, 1 << 30, false, "serial, no spill"},
+		{1, 1 << 30, false, "serial, no spill (repeat)"},
+		{2, 1 << 30, false, "2 workers, no spill"},
+		{4, 1 << 30, false, "4 workers, no spill"},
+		{8, 1 << 30, false, "8 workers, no spill"},
+		{4, 32 << 20, false, "4 workers, 32MB spill"},
+		{4, 4 << 20, false, "4 workers, 4MB spill"},
+		{1, 1 << 30, true, "stream serial, no spill"},
+		{4, 4 << 20, true, "stream 4 workers, 4MB spill"},
+	}
+	var wantRuns int
+	for ci, c := range cfgs {
+		if prof := os.Getenv("UUCS_COLDPATH_CPUPROFILE"); prof != "" && ci == 1 {
+			// Profile the serial repeat (warm cache): the share of samples
+			// under the per-source scan/decode/encode is the fraction the
+			// workers parallelize.
+			f, err := os.Create(prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pprof.StartCPUProfile(f)
+			defer f.Close()
+		}
+		// Sample peak heap during the merge.
+		var peak, stop atomic.Int64
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			var ms runtime.MemStats
+			for stop.Load() == 0 {
+				runtime.ReadMemStats(&ms)
+				if h := int64(ms.HeapAlloc); h > peak.Load() {
+					peak.Store(h)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}()
+		runtime.GC()
+		opt := MergeOptions{Workers: c.workers, SpillBytes: c.spill, TempDir: t.TempDir()}
+		start := time.Now()
+		var nRuns int
+		var st MergeStats
+		var err error
+		if c.stream {
+			// The export path (uucs-harvest): canonical text streamed to
+			// the sink, nothing decoded or retained — the spill bound is
+			// the whole memory story here.
+			st, err = MergeDirsOpts(io.Discard, discoverDirs(t, root), opt)
+			nRuns = st.Runs
+		} else {
+			var out []*core.Run
+			out, st, err = MergedRunsOpts(root, opt)
+			nRuns = len(out)
+		}
+		elapsed := time.Since(start)
+		if os.Getenv("UUCS_COLDPATH_CPUPROFILE") != "" && ci == 1 {
+			pprof.StopCPUProfile()
+		}
+		stop.Store(1)
+		<-done
+		if err != nil {
+			t.Fatalf("%s: %v", c.label, err)
+		}
+		if wantRuns == 0 {
+			wantRuns = nRuns
+		} else if nRuns != wantRuns {
+			t.Fatalf("%s: %d runs, want %d", c.label, nRuns, wantRuns)
+		}
+		t.Logf("merge %-30s %v wall (%d runs, %d dup batches dropped, %d spills / %d MB spilled, peak heap %d MB, %.1f MB/s)",
+			c.label+":", elapsed.Round(time.Millisecond), nRuns, st.DupBatches,
+			st.Spills, st.SpilledBytes>>20, peak.Load()>>20, float64(written)/1e6/elapsed.Seconds())
+	}
+}

@@ -1,13 +1,19 @@
 package cluster
 
 import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"uucs/internal/core"
 	"uucs/internal/server"
@@ -31,8 +37,21 @@ import (
 //     snapshot aggregate and the raw journals it summarizes never
 //     double-count.
 //   - The output is canonicalized: each run is encoded individually
-//     and the encodings are sorted, so the bytes depend only on the
-//     set of runs, never on node count, scan order, or merge order.
+//     and the encodings emitted in sorted order, so the bytes depend
+//     only on the set of runs, never on node count, scan order, or
+//     merge order.
+//
+// The merge streams in bounded memory: parallel workers scan sources
+// and encode kept runs into per-worker sorted chunks; a chunk that
+// outgrows MergeOptions.SpillBytes is spilled to a temp file; the
+// final pass is a k-way heap merge over all chunk cursors — in-memory
+// and spilled alike — emitting records in ascending order. The k-way
+// merge of sorted sequences produces the globally sorted sequence, so
+// its output is byte-identical to the old collect-all + sort.Strings
+// at any worker count, spill threshold, or source order. Dedup runs
+// under one mutex shared by all scan workers; it is order-independent
+// because every copy of a key carries identical bytes, so which worker
+// wins a race changes nothing about what is kept.
 
 // MergeStats accounts for what a merge kept and dropped.
 type MergeStats struct {
@@ -52,74 +71,228 @@ type MergeStats struct {
 	DupAggregates int `json:"dup_aggregates"`
 	// Runs is the size of the merged dataset.
 	Runs int `json:"runs"`
+	// Spills is how many sorted chunks overflowed to temp files during
+	// the merge; SpilledBytes is how much encoded data they carried.
+	// Zero means the whole merge ran in memory.
+	Spills       int   `json:"spills"`
+	SpilledBytes int64 `json:"spilled_bytes"`
 }
 
-// MergeDirs merges the given state directories and writes the
-// canonical dataset (text run records, load columns included) to w.
-// The output is byte-identical for any permutation of dirs and any
-// duplication among them.
-func MergeDirs(w io.Writer, dirs []string) (MergeStats, error) {
+// MergeOptions tunes the streaming merge. The zero value is the
+// default configuration; no option changes the output bytes.
+type MergeOptions struct {
+	// Workers bounds the parallel source-scan/encode workers
+	// (0 means GOMAXPROCS).
+	Workers int
+	// SpillBytes bounds one worker's in-memory sorted chunk; a chunk
+	// reaching it is spilled to a temp file (0 means 32MB).
+	SpillBytes int
+	// TempDir is where spill files go ("" means os.TempDir).
+	TempDir string
+}
+
+const defaultSpillBytes = 32 << 20
+
+// batchKey identifies one sequenced upload batch.
+type batchKey struct {
+	id  string
+	seq uint64
+}
+
+// chunk is one worker's in-memory run of (encoding, run) pairs, sorted
+// before merge. Spilling keeps only the encodings.
+type chunk struct {
+	encs  []string
+	runs  []*core.Run
+	bytes int
+}
+
+func (c *chunk) Len() int           { return len(c.encs) }
+func (c *chunk) Less(i, j int) bool { return c.encs[i] < c.encs[j] }
+func (c *chunk) Swap(i, j int) {
+	c.encs[i], c.encs[j] = c.encs[j], c.encs[i]
+	c.runs[i], c.runs[j] = c.runs[j], c.runs[i]
+}
+
+// mergeCursor walks one sorted chunk — in memory or spilled — during
+// the k-way merge. cur/curRun hold the record at the cursor; curRun is
+// nil for spilled records (the encoding is the record of truth; a
+// consumer that needs the run decodes it).
+type mergeCursor struct {
+	ord    int // tie-break: earlier cursors win equal keys
+	cur    string
+	curRun *core.Run
+
+	// In-memory chunk.
+	mem *chunk
+	idx int
+
+	// Spilled chunk.
+	r    *bufio.Reader
+	f    *os.File
+	sbuf []byte
+}
+
+// advance loads the next record, reporting false at end of chunk.
+func (cu *mergeCursor) advance() (bool, error) {
+	if cu.mem != nil {
+		if cu.idx >= len(cu.mem.encs) {
+			return false, nil
+		}
+		cu.cur, cu.curRun = cu.mem.encs[cu.idx], cu.mem.runs[cu.idx]
+		cu.idx++
+		return true, nil
+	}
+	n, err := binary.ReadUvarint(cu.r)
+	if err == io.EOF {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("cluster: merge spill read: %w", err)
+	}
+	if uint64(cap(cu.sbuf)) < n {
+		cu.sbuf = make([]byte, n)
+	}
+	cu.sbuf = cu.sbuf[:n]
+	if _, err := io.ReadFull(cu.r, cu.sbuf); err != nil {
+		return false, fmt.Errorf("cluster: merge spill read: %w", err)
+	}
+	cu.cur, cu.curRun = string(cu.sbuf), nil
+	return true, nil
+}
+
+// cursorHeap is a min-heap of cursors keyed by their current record.
+type cursorHeap []*mergeCursor
+
+func (h cursorHeap) Len() int { return len(h) }
+func (h cursorHeap) Less(i, j int) bool {
+	if h[i].cur != h[j].cur {
+		return h[i].cur < h[j].cur
+	}
+	return h[i].ord < h[j].ord
+}
+func (h cursorHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x any)   { *h = append(*h, x.(*mergeCursor)) }
+func (h *cursorHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// mergeInto is the merge engine: it scans dirs with opt.Workers
+// goroutines and emits every kept run's canonical encoding in globally
+// sorted order. run is non-nil when the decoded form survived in
+// memory; a spilled record arrives with run == nil.
+func mergeInto(dirs []string, opt MergeOptions, emit func(enc string, run *core.Run) error) (MergeStats, error) {
 	var st MergeStats
 	st.Sources = len(dirs)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(dirs) {
+		workers = len(dirs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	spillBytes := opt.SpillBytes
+	if spillBytes <= 0 {
+		spillBytes = defaultSpillBytes
+	}
 
 	// Pass 1: per-client snapshot floors — the highest batch seq any
-	// source's compaction has folded away.
-	floors := make(map[string]uint64)
-	for _, dir := range dirs {
-		err := scanDir(dir, func(op server.StateOp) error {
-			if op.Kind == server.OpKindClient && op.LastSeq > floors[op.ID] {
+	// source's compaction has folded away. Must complete before any
+	// source's raw ops are judged, hence the barrier between passes.
+	var (
+		floors = make(map[string]uint64)
+		mu     sync.Mutex
+	)
+	if err := scanDirsParallel(dirs, workers, func(_ int, op server.StateOp) error {
+		if op.Kind == server.OpKindClient && op.LastSeq > 0 {
+			mu.Lock()
+			if op.LastSeq > floors[op.ID] {
 				floors[op.ID] = op.LastSeq
 			}
-			return nil
-		})
-		if err != nil {
-			return st, err
+			mu.Unlock()
 		}
+		return nil
+	}); err != nil {
+		return st, err
 	}
 
-	// Pass 2: collect every run exactly once.
-	type batchKey struct {
-		id  string
-		seq uint64
+	// Pass 2: collect every run exactly once into per-worker sorted
+	// chunks, spilling oversized chunks to disk.
+	var (
+		seen    = make(map[batchKey]struct{})
+		aggSeen = make(map[uint64]struct{})
+		chunks  = make([]*chunk, workers)
+		spills  []*os.File
+		spillMu sync.Mutex
+	)
+	defer func() {
+		for _, f := range spills {
+			f.Close()
+			os.Remove(f.Name())
+		}
+	}()
+	for i := range chunks {
+		chunks[i] = &chunk{}
 	}
-	seen := make(map[batchKey]struct{})
-	aggSeen := make(map[uint64]struct{})
-	var encoded []string
-	keep := func(payload string) error {
-		runs, err := core.DecodeRuns(strings.NewReader(payload))
+	spill := func(c *chunk) error {
+		sort.Sort(c)
+		f, err := os.CreateTemp(opt.TempDir, "uucs-merge-*.spill")
 		if err != nil {
 			return err
 		}
-		var b strings.Builder
-		for _, r := range runs {
-			b.Reset()
-			if err := core.EncodeRuns(&b, []*core.Run{r}, true); err != nil {
+		w := bufio.NewWriter(f)
+		var lb [binary.MaxVarintLen64]byte
+		var written int64
+		for _, enc := range c.encs {
+			n := binary.PutUvarint(lb[:], uint64(len(enc)))
+			w.Write(lb[:n])
+			if _, err := w.WriteString(enc); err != nil {
+				f.Close()
+				os.Remove(f.Name())
 				return err
 			}
-			encoded = append(encoded, b.String())
+			written += int64(n + len(enc))
 		}
-		st.Runs += len(runs)
+		if err := w.Flush(); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return err
+		}
+		spillMu.Lock()
+		spills = append(spills, f)
+		st.Spills++
+		st.SpilledBytes += written
+		spillMu.Unlock()
+		c.encs, c.runs, c.bytes = nil, nil, 0
 		return nil
 	}
-	for _, dir := range dirs {
-		err := scanDir(dir, func(op server.StateOp) error {
-			if op.Kind != server.OpKindResults {
+	err := scanDirsParallel(dirs, workers, func(worker int, op server.StateOp) error {
+		if op.Kind != server.OpKindResults {
+			return nil
+		}
+		mu.Lock()
+		if op.ID != "" && op.Seq > 0 {
+			if op.Seq <= floors[op.ID] {
+				st.Covered++
+				mu.Unlock()
 				return nil
 			}
-			if op.ID != "" && op.Seq > 0 {
-				if op.Seq <= floors[op.ID] {
-					st.Covered++
-					return nil
-				}
-				k := batchKey{op.ID, op.Seq}
-				if _, dup := seen[k]; dup {
-					st.DupBatches++
-					return nil
-				}
-				seen[k] = struct{}{}
-				st.Batches++
-				return keep(op.Payload)
+			k := batchKey{op.ID, op.Seq}
+			if _, dup := seen[k]; dup {
+				st.DupBatches++
+				mu.Unlock()
+				return nil
 			}
+			seen[k] = struct{}{}
+			st.Batches++
+		} else {
 			// Unsequenced payload: a compacted aggregate. Its identity
 			// is its content (the same aggregate reappears wherever a
 			// snapshot's bytes were shipped or copied).
@@ -130,57 +303,184 @@ func MergeDirs(w io.Writer, dirs []string) (MergeStats, error) {
 			sum := h.Sum64()
 			if _, dup := aggSeen[sum]; dup {
 				st.DupAggregates++
+				mu.Unlock()
 				return nil
 			}
 			aggSeen[sum] = struct{}{}
 			st.Aggregates++
-			return keep(op.Payload)
-		})
+		}
+		mu.Unlock()
+
+		// Kept: decode once, encode each run individually into this
+		// worker's chunk. No lock held — this is the expensive part and
+		// it parallelizes across sources.
+		runs, err := core.DecodeRuns(strings.NewReader(op.Payload))
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		st.Runs += len(runs)
+		mu.Unlock()
+		c := chunks[worker]
+		var b strings.Builder
+		for _, r := range runs {
+			b.Reset()
+			if err := core.EncodeRuns(&b, []*core.Run{r}, true); err != nil {
+				return err
+			}
+			c.encs = append(c.encs, b.String())
+			c.runs = append(c.runs, r)
+			c.bytes += len(b.String())
+		}
+		if c.bytes >= spillBytes {
+			return spill(c)
+		}
+		return nil
+	})
+	if err != nil {
+		return st, err
+	}
+
+	// Final pass: k-way heap merge over every chunk cursor. Each input
+	// is sorted, so the heap emits the globally sorted sequence — the
+	// exact byte stream a serial collect-all + sort would produce.
+	var cursors []*mergeCursor
+	for _, c := range chunks {
+		if len(c.encs) == 0 {
+			continue
+		}
+		sort.Sort(c)
+		cursors = append(cursors, &mergeCursor{mem: c})
+	}
+	for _, f := range spills {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return st, err
+		}
+		cursors = append(cursors, &mergeCursor{f: f, r: bufio.NewReader(f)})
+	}
+	h := make(cursorHeap, 0, len(cursors))
+	for i, cu := range cursors {
+		cu.ord = i
+		ok, err := cu.advance()
 		if err != nil {
 			return st, err
 		}
+		if ok {
+			h = append(h, cu)
+		}
 	}
-
-	sort.Strings(encoded)
-	for _, e := range encoded {
-		if _, err := io.WriteString(w, e); err != nil {
+	heap.Init(&h)
+	for h.Len() > 0 {
+		cu := h[0]
+		if err := emit(cu.cur, cu.curRun); err != nil {
 			return st, err
+		}
+		ok, err := cu.advance()
+		if err != nil {
+			return st, err
+		}
+		if ok {
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
 		}
 	}
 	return st, nil
 }
 
-// scanDir walks one state directory's snapshot then journal.
-func scanDir(dir string, fn func(server.StateOp) error) error {
-	snap, journal := server.StateFilePaths(dir)
-	if err := server.ScanStateOps(snap, false, fn); err != nil {
-		return fmt.Errorf("cluster: merge %s: %w", snap, err)
+// scanDirsParallel scans each state directory on a bounded worker
+// pool, invoking fn with the worker's slot index. Errors are collected
+// per directory and the first one in dirs order is returned, so the
+// failure a caller sees does not depend on scheduling.
+func scanDirsParallel(dirs []string, workers int, fn func(worker int, op server.StateOp) error) error {
+	if workers <= 1 || len(dirs) <= 1 {
+		for _, dir := range dirs {
+			if err := scanDir(dir, func(op server.StateOp) error { return fn(0, op) }); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	if err := server.ScanStateOps(journal, true, fn); err != nil {
-		return fmt.Errorf("cluster: merge %s: %w", journal, err)
+	errs := make([]error, len(dirs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(dirs) {
+					return
+				}
+				errs[i] = scanDir(dirs[i], func(op server.StateOp) error { return fn(worker, op) })
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MergeDirs merges the given state directories and writes the
+// canonical dataset (text run records, load columns included) to w.
+// The output is byte-identical for any permutation of dirs and any
+// duplication among them.
+func MergeDirs(w io.Writer, dirs []string) (MergeStats, error) {
+	return MergeDirsOpts(w, dirs, MergeOptions{})
+}
+
+// MergeDirsOpts is MergeDirs with explicit streaming options.
+func MergeDirsOpts(w io.Writer, dirs []string, opt MergeOptions) (MergeStats, error) {
+	bw := bufio.NewWriter(w)
+	st, err := mergeInto(dirs, opt, func(enc string, _ *core.Run) error {
+		_, werr := bw.WriteString(enc)
+		return werr
+	})
+	if err != nil {
+		return st, err
+	}
+	return st, bw.Flush()
+}
+
+// scanDir walks one state directory's files in replay order: snapshot,
+// sealed journal segments, then the active journal. Only the active
+// journal may carry a torn tail; tearing anywhere else is corruption.
+func scanDir(dir string, fn func(server.StateOp) error) error {
+	files, err := server.StateFiles(dir)
+	if err != nil {
+		return fmt.Errorf("cluster: merge %s: %w", dir, err)
+	}
+	for i, path := range files {
+		if err := server.ScanStateOps(path, i == len(files)-1, fn); err != nil {
+			return fmt.Errorf("cluster: merge %s: %w", path, err)
+		}
 	}
 	return nil
 }
 
 // DiscoverStateDirs walks root and returns, sorted, every directory
-// that holds server state (a journal or a snapshot file) — node
-// directories and the replica directories nested under them alike.
+// that holds server state (a journal, a sealed segment, or a snapshot
+// file) — node directories and the replica directories nested under
+// them alike.
 func DiscoverStateDirs(root string) ([]string, error) {
+	seen := make(map[string]struct{})
 	var dirs []string
 	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
 		if err != nil {
 			return err
 		}
-		if info.IsDir() {
+		if info.IsDir() || !server.IsStateFileName(filepath.Base(path)) {
 			return nil
 		}
-		_, journal := server.StateFilePaths(filepath.Dir(path))
-		snap, _ := server.StateFilePaths(filepath.Dir(path))
-		if path == journal || path == snap {
-			dir := filepath.Dir(path)
-			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
-				dirs = append(dirs, dir)
-			}
+		dir := filepath.Dir(path)
+		if _, dup := seen[dir]; !dup {
+			seen[dir] = struct{}{}
+			dirs = append(dirs, dir)
 		}
 		return nil
 	})
@@ -188,20 +488,18 @@ func DiscoverStateDirs(root string) ([]string, error) {
 		return nil, err
 	}
 	sort.Strings(dirs)
-	// Walk visits files in lexical order, so duplicates are adjacent.
-	out := dirs[:0]
-	for i, d := range dirs {
-		if i == 0 || dirs[i-1] != d {
-			out = append(out, d)
-		}
-	}
-	return out, nil
+	return dirs, nil
 }
 
 // MergeTree discovers every state directory under root and merges
 // them. This is the uucs-analyze/uucs-harvest entry point: point it at
 // a cluster's state root and out comes the dataset.
 func MergeTree(w io.Writer, root string) (MergeStats, error) {
+	return MergeTreeOpts(w, root, MergeOptions{})
+}
+
+// MergeTreeOpts is MergeTree with explicit streaming options.
+func MergeTreeOpts(w io.Writer, root string, opt MergeOptions) (MergeStats, error) {
 	dirs, err := DiscoverStateDirs(root)
 	if err != nil {
 		return MergeStats{}, err
@@ -209,16 +507,38 @@ func MergeTree(w io.Writer, root string) (MergeStats, error) {
 	if len(dirs) == 0 {
 		return MergeStats{}, fmt.Errorf("cluster: no state directories under %s", root)
 	}
-	return MergeDirs(w, dirs)
+	return MergeDirsOpts(w, dirs, opt)
 }
 
-// MergedRuns merges the tree under root and decodes the dataset.
+// MergedRuns merges the tree under root and returns the dataset's
+// decoded runs, folding them directly off the merge stream — no
+// whole-dataset text round trip. Only spilled records are re-decoded;
+// records that stayed in memory reuse the run decoded during the scan.
 func MergedRuns(root string) ([]*core.Run, MergeStats, error) {
-	var b strings.Builder
-	st, err := MergeTree(&b, root)
+	return MergedRunsOpts(root, MergeOptions{})
+}
+
+// MergedRunsOpts is MergedRuns with explicit streaming options.
+func MergedRunsOpts(root string, opt MergeOptions) ([]*core.Run, MergeStats, error) {
+	dirs, err := DiscoverStateDirs(root)
 	if err != nil {
-		return nil, st, err
+		return nil, MergeStats{}, err
 	}
-	runs, err := core.DecodeRuns(strings.NewReader(b.String()))
-	return runs, st, err
+	if len(dirs) == 0 {
+		return nil, MergeStats{}, fmt.Errorf("cluster: no state directories under %s", root)
+	}
+	var out []*core.Run
+	st, err := mergeInto(dirs, opt, func(enc string, run *core.Run) error {
+		if run == nil {
+			runs, err := core.DecodeRuns(strings.NewReader(enc))
+			if err != nil {
+				return err
+			}
+			out = append(out, runs...)
+			return nil
+		}
+		out = append(out, run)
+		return nil
+	})
+	return out, st, err
 }

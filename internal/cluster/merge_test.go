@@ -238,3 +238,130 @@ func TestMergeSnapshotFloors(t *testing.T) {
 		}
 	}
 }
+
+// buildMergeFixture fabricates a multi-node tree of state directories
+// with duplicated shipped prefixes, returning the source dirs and the
+// full fabricated run set.
+func buildMergeFixture(t *testing.T, root string) ([]string, []*core.Run) {
+	t.Helper()
+	rng := stats.NewStream(8765)
+	const clients, batches, nodes = 8, 6, 3
+
+	var all []*core.Run
+	journals := make([]string, nodes)
+	for c := 0; c < clients; c++ {
+		node := c % nodes
+		id := fmt.Sprintf("uucs-%016x", uint64(c)+1)
+		journals[node] += clientOp(t, id, 0)
+		for s := 1; s <= batches; s++ {
+			var runs []*core.Run
+			for i := 0; i < 1+int(rng.Uint64()%3); i++ {
+				runs = append(runs, fabRun(c, s, i))
+			}
+			all = append(all, runs...)
+			journals[node] += resultsOp(t, id, uint64(s), encodePayload(t, runs))
+		}
+	}
+	var dirs []string
+	for n := 0; n < nodes; n++ {
+		dirs = append(dirs, writeStateDir(t, root, fmt.Sprintf("node-n%d", n), "", journals[n]))
+	}
+	for n := 0; n < nodes; n++ {
+		lines := strings.SplitAfter(journals[n], "\n")
+		cut := int(rng.Uint64() % uint64(len(lines)))
+		prefix := strings.Join(lines[:cut], "")
+		dirs = append(dirs, writeStateDir(t, root, fmt.Sprintf("node-n%d/replica-n%d", (n+1)%nodes, n), "", prefix))
+	}
+	return dirs, all
+}
+
+// TestMergeStreamingMatchesSerial pins the streaming rewrite's
+// bit-identity contract: any worker count and any spill threshold —
+// including one small enough to force every chunk to disk — produces
+// the exact bytes of the serial in-memory merge.
+func TestMergeStreamingMatchesSerial(t *testing.T) {
+	dirs, all := buildMergeFixture(t, t.TempDir())
+	want := canonical(t, all)
+
+	serial := func() string {
+		var b strings.Builder
+		st, err := MergeDirsOpts(&b, dirs, MergeOptions{Workers: 1, SpillBytes: 1 << 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Spills != 0 {
+			t.Fatalf("serial baseline spilled %d chunks with a 1GB threshold", st.Spills)
+		}
+		return b.String()
+	}()
+	if serial != want {
+		t.Fatal("serial merge output differs from the canonical run set")
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		for _, spill := range []int{0, 4096, 1} {
+			var b strings.Builder
+			opt := MergeOptions{Workers: workers, SpillBytes: spill, TempDir: t.TempDir()}
+			st, err := MergeDirsOpts(&b, dirs, opt)
+			if err != nil {
+				t.Fatalf("workers=%d spill=%d: %v", workers, spill, err)
+			}
+			if b.String() != serial {
+				t.Fatalf("workers=%d spill=%d: output differs from serial merge", workers, spill)
+			}
+			if spill == 1 {
+				// A 1-byte threshold spills every non-empty chunk; the
+				// spilled bytes cover the whole encoded dataset plus
+				// varint length prefixes.
+				if st.Spills == 0 {
+					t.Fatalf("workers=%d spill=1: nothing spilled", workers)
+				}
+				if st.SpilledBytes <= int64(len(serial)) {
+					t.Errorf("workers=%d spill=1: spilled %d bytes, want > %d (dataset + framing)",
+						workers, st.SpilledBytes, len(serial))
+				}
+			}
+			if spill == 0 && st.Spills != 0 {
+				t.Errorf("workers=%d: default threshold spilled %d chunks on a tiny dataset", workers, st.Spills)
+			}
+		}
+	}
+}
+
+// TestMergedRunsStreamingSpill checks the decoded-run fold over the
+// merge stream: spilled records lose their in-memory decoded form and
+// are re-decoded from encoding, so the run set must match the in-memory
+// path exactly, in the same (sorted) order.
+func TestMergedRunsStreamingSpill(t *testing.T) {
+	root := t.TempDir()
+	_, all := buildMergeFixture(t, root)
+	want := canonical(t, all)
+
+	inMem, stMem, err := MergedRunsOpts(root, MergeOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stMem.Spills != 0 {
+		t.Fatalf("in-memory pass spilled %d chunks", stMem.Spills)
+	}
+	spilled, stSpill, err := MergedRunsOpts(root, MergeOptions{Workers: 4, SpillBytes: 1, TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stSpill.Spills == 0 {
+		t.Fatal("spill pass kept everything in memory")
+	}
+	if canonical(t, inMem) != want || canonical(t, spilled) != want {
+		t.Fatal("MergedRuns datasets diverge from the canonical run set")
+	}
+	if len(inMem) != len(spilled) {
+		t.Fatalf("in-memory %d runs, spilled %d", len(inMem), len(spilled))
+	}
+	// Same order, not just same set: both streams emit ascending
+	// canonical encodings.
+	for i := range inMem {
+		if encodePayload(t, []*core.Run{inMem[i]}) != encodePayload(t, []*core.Run{spilled[i]}) {
+			t.Fatalf("run %d differs between the in-memory and spilled streams", i)
+		}
+	}
+}

@@ -35,6 +35,14 @@ type Config struct {
 	JournalBatch    int
 	JournalDelay    time.Duration
 	JournalSyncCost time.Duration
+	// JournalSegmentBytes seals every node's journal into size-bounded
+	// segments (see server.Server.JournalSegmentBytes; 0 keeps the
+	// single-file journal).
+	JournalSegmentBytes int64
+	// ReplayWorkers bounds the parallel replay decode workers each node
+	// uses at restart and — on the availability-critical path — at
+	// failover promotion (see server.Server.ReplayWorkers).
+	ReplayWorkers int
 	// IdleTimeout is applied to every node's client connections.
 	IdleTimeout time.Duration
 }
@@ -175,6 +183,8 @@ func (c *Cluster) openNode(n *node) error {
 	srv.JournalBatch = c.cfg.JournalBatch
 	srv.JournalDelay = c.cfg.JournalDelay
 	srv.JournalSyncCost = c.cfg.JournalSyncCost
+	srv.JournalSegmentBytes = c.cfg.JournalSegmentBytes
+	srv.ReplayWorkers = c.cfg.ReplayWorkers
 	if n.shipper != nil {
 		srv.JournalShip = n.shipper.Ship
 	}
@@ -199,12 +209,17 @@ func (c *Cluster) openNode(n *node) error {
 	return nil
 }
 
-// readState returns a node directory's snapshot+journal bytes in
-// replay order — the bootstrap segment for a restarted node.
+// readState returns a node directory's state bytes in replay order —
+// snapshot, sealed journal segments, active journal — the bootstrap
+// segment for a restarted node. Sealed segments ship as units inside
+// it; their jmeta headers just re-declare the format on replay.
 func readState(dir string) ([]byte, error) {
-	snap, journal := server.StateFilePaths(dir)
+	files, err := server.StateFiles(dir)
+	if err != nil {
+		return nil, err
+	}
 	var buf []byte
-	for _, path := range []string{snap, journal} {
+	for _, path := range files {
 		b, err := os.ReadFile(path)
 		if err != nil {
 			if os.IsNotExist(err) {

@@ -51,7 +51,9 @@ func runClusterLoad(cfg Config, payload string) (*Report, error) {
 		Nodes: cfg.Nodes, Seed: cfg.Seed, StateRoot: cfg.StateDir,
 		Transport:    tr,
 		JournalBatch: cfg.JournalBatch, JournalDelay: cfg.JournalDelay,
-		JournalSyncCost: cfg.FsyncCost,
+		JournalSyncCost:     cfg.FsyncCost,
+		JournalSegmentBytes: cfg.JournalSegmentBytes,
+		ReplayWorkers:       cfg.ReplayWorkers,
 	})
 	if err != nil {
 		return nil, err

@@ -58,6 +58,13 @@ type Config struct {
 	// CPU instead, so the disk model is what makes the group-commit
 	// comparison reproducible.
 	FsyncCost time.Duration
+	// JournalSegmentBytes forwards the journal rotation threshold (0 =
+	// single-file journal). The cold-restart benchmarks use it to build
+	// multi-segment state directories under real ingest load.
+	JournalSegmentBytes int64
+	// ReplayWorkers forwards the restart-replay worker count (0 =
+	// GOMAXPROCS, 1 = serial).
+	ReplayWorkers int
 
 	// Net selects the transport: "tcp" (loopback) or "mem" (the chaos
 	// in-memory network — no kernel sockets, isolates server cost).
@@ -198,6 +205,8 @@ func Run(cfg Config) (*Report, error) {
 		srv.JournalBatch = cfg.JournalBatch
 		srv.JournalDelay = cfg.JournalDelay
 		srv.JournalSyncCost = cfg.FsyncCost
+		srv.JournalSegmentBytes = cfg.JournalSegmentBytes
+		srv.ReplayWorkers = cfg.ReplayWorkers
 		if cfg.StateDir != "" {
 			if err := srv.OpenState(cfg.StateDir); err != nil {
 				return nil, err

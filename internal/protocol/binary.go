@@ -461,6 +461,33 @@ func readLenBytes(b []byte, pos int) ([]byte, int, error) {
 // CRC trailer does not match its payload is corruption and fails hard.
 func DecodeFrame(b []byte, f *Frame) (int, error) {
 	f.reset()
+	total, err := FrameLen(b)
+	if err != nil {
+		return 0, err
+	}
+	plen, w := binary.Uvarint(b[1:])
+	hdr := 1 + w
+	payload := b[hdr : hdr+int(plen)]
+	want := binary.LittleEndian.Uint32(b[hdr+int(plen):])
+	if crc32.ChecksumIEEE(payload) != want {
+		return 0, fmt.Errorf("protocol: frame checksum mismatch (message corrupted)")
+	}
+	if err := decodeFields(payload, f); err != nil {
+		return 0, err
+	}
+	f.WireVersion = V3
+	f.raw = b[:total]
+	return total, nil
+}
+
+// FrameLen reports the total on-wire length of the v3 frame starting
+// at b[0], without validating its checksum or decoding its fields. It
+// fails exactly where DecodeFrame's framing layer would — ErrShortFrame
+// when b ends before the declared length does, a hard error on a bad
+// magic byte or a malformed/oversized length prefix — which is what
+// lets journal replay split a file into record boundaries cheaply and
+// still agree byte-for-byte with a full serial decode.
+func FrameLen(b []byte) (int, error) {
 	if len(b) == 0 {
 		return 0, ErrShortFrame
 	}
@@ -477,21 +504,10 @@ func DecodeFrame(b []byte, f *Frame) (int, error) {
 	if w < 0 || plen > maxLine {
 		return 0, fmt.Errorf("protocol: frame payload length %d exceeds %d bytes", plen, maxLine)
 	}
-	hdr := 1 + w
-	total := hdr + int(plen) + 4
+	total := 1 + w + int(plen) + 4
 	if len(b) < total {
 		return 0, ErrShortFrame
 	}
-	payload := b[hdr : hdr+int(plen)]
-	want := binary.LittleEndian.Uint32(b[hdr+int(plen):])
-	if crc32.ChecksumIEEE(payload) != want {
-		return 0, fmt.Errorf("protocol: frame checksum mismatch (message corrupted)")
-	}
-	if err := decodeFields(payload, f); err != nil {
-		return 0, err
-	}
-	f.WireVersion = V3
-	f.raw = b[:total]
 	return total, nil
 }
 

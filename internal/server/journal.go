@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"uucs/internal/protocol"
 	"uucs/internal/telemetry"
 )
 
@@ -69,6 +70,24 @@ type journalReq struct {
 	done chan error
 }
 
+// segInfo tracks one sealed journal segment. base/skip/size place the
+// segment in the logical journal stream: physical bytes [skip, size)
+// hold logical offsets [base, base+size-skip). skip covers the
+// physical-only jmeta header a rotation writes at the head of a fresh
+// file — header bytes created mid-life are never counted as logical
+// journal bytes, so the enq accounting SaveState's compaction cut
+// relies on is untouched by rotation.
+type segInfo struct {
+	path string
+	seq  int
+	base int64
+	skip int64
+	size int64
+}
+
+// end returns the logical offset just past the segment's last byte.
+func (sg segInfo) end() int64 { return sg.base + (sg.size - sg.skip) }
+
 // journalWriter owns the journal file and the group-commit loop.
 type journalWriter struct {
 	maxBatch int
@@ -102,14 +121,31 @@ type journalWriter struct {
 	kick   chan struct{}
 	exited chan struct{}
 
-	// fmu serializes file access between the writer's commits and
-	// compaction's read-tail-and-swap.
-	fmu  sync.Mutex
-	f    *os.File
-	// base is the logical offset of the file's byte 0: zero at open,
-	// then the compaction offset after each journal swap (the compacted
-	// file holds only the tail past it).
+	// fmu serializes file access between the writer's commits,
+	// rotation, and compaction's read-tail-and-swap.
+	fmu sync.Mutex
+	f   *os.File
+	// dir is the state directory the journal lives in (segment files
+	// are its siblings).
+	dir string
+	// segBytes, when positive, seals the active file into a numbered
+	// segment once its physical size reaches it. Zero keeps the legacy
+	// single-file journal.
+	segBytes int64
+	// segs are the sealed segments still on disk, ascending seq.
+	segs []segInfo
+	// nextSeq numbers the next segment to seal.
+	nextSeq int
+	// base is the logical offset of the active file's physical byte
+	// skip: zero at open, then advanced by each rotation (to the sealed
+	// prefix's logical end) and each compaction (to the compaction cut).
 	base int64
+	// skip is the physical size of the active file's header prefix that
+	// is not part of the logical stream (a rotation-written jmeta
+	// header; zero for a file inherited at open or rebuilt by compaction).
+	skip int64
+	// fsize is the active file's physical size.
+	fsize int64
 
 	wbuf []byte // writer-goroutine-only coalescing buffer
 
@@ -125,6 +161,7 @@ type journalWriter struct {
 	ops       atomic.Uint64 // non-barrier ops made durable
 	fsyncs    atomic.Uint64 // fsync calls issued
 	bytesOut  atomic.Uint64 // journal bytes written
+	sealed    atomic.Uint64 // segments sealed by rotation this life
 	batchHist [batchHistBuckets]atomic.Uint64
 
 	// USE collectors (telemetry): queueDepth tracks reqs accepted but
@@ -318,6 +355,17 @@ func (w *journalWriter) commit(batch []*journalReq) {
 					time.Sleep(d)
 				}
 			}
+			if err == nil {
+				w.fsize += int64(len(w.wbuf))
+				if w.segBytes > 0 && w.fsize >= w.segBytes {
+					// The batch just flushed is durable and about to be
+					// acked; seal the file behind it so the next batch
+					// opens a fresh segment. A rotation failure poisons
+					// the writer like an fsync failure: the journal's
+					// on-disk shape is no longer known-good.
+					err = w.rotateLocked()
+				}
+			}
 			w.fmu.Unlock()
 			if err == nil {
 				w.ops.Add(uint64(ops))
@@ -361,22 +409,103 @@ func histBucket(n int) int {
 	return b
 }
 
-// compactTo swaps the journal for its tail past the logical offset off:
+// rotateLocked seals the active journal file into the next numbered
+// segment and opens a fresh active file headed by its own jmeta frame.
+// Called by the writer goroutine under fmu, between batches, so no op
+// ever straddles a segment boundary. The header is written and synced
+// before any op lands in the new file, but it is physical-only (skip):
+// logical offsets — enq, the compaction cut — are untouched, which is
+// what keeps SaveState's "everything below the recorded offset is in
+// the snapshot" invariant exact across rotations.
+func (w *journalWriter) rotateLocked() error {
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("server: journal seal: %w", err)
+	}
+	active := journalPathIn(w.dir)
+	segPath := segmentPathIn(w.dir, w.nextSeq)
+	if err := os.Rename(active, segPath); err != nil {
+		return fmt.Errorf("server: journal seal: %w", err)
+	}
+	w.segs = append(w.segs, segInfo{path: segPath, seq: w.nextSeq, base: w.base, skip: w.skip, size: w.fsize})
+	w.nextSeq++
+	hdr, err := protocol.AppendFrame(nil, protocol.Message{Type: protocol.TypeJournalMeta, Ver: journalFormatVersion})
+	if err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(active, os.O_CREATE|os.O_EXCL|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: journal rotate: %w", err)
+	}
+	if _, err := nf.Write(hdr); err != nil {
+		nf.Close()
+		return fmt.Errorf("server: journal rotate: %w", err)
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		return fmt.Errorf("server: journal rotate: %w", err)
+	}
+	w.base += w.fsize - w.skip
+	w.skip = int64(len(hdr))
+	w.fsize = int64(len(hdr))
+	w.f = nf
+	w.sealed.Add(1)
+	return nil
+}
+
+// compactTo drops the journal prefix below the logical offset off:
 // everything below off is covered by the snapshot the caller just
 // wrote; everything at or past it — journaled and possibly acked while
 // the snapshot was being written — must survive, preserving the PR 2
-// offset-tracking fix. The caller must have barrier()ed first so the
-// file is complete through off.
+// offset-tracking fix. Sealed segments wholly below the cut are simply
+// deleted (the payoff of segmentation: compaction is O(tail), not
+// O(journal)); the at-most-one partially covered file — a sealed
+// segment or the active file — has its covered prefix trimmed exactly,
+// because replay applies unsequenced ops unconditionally and must
+// never see a covered one again. The caller must have barrier()ed
+// first so the files are complete through off.
 func (w *journalWriter) compactTo(off int64, path string) error {
 	w.fmu.Lock()
 	defer w.fmu.Unlock()
+	keep := w.segs[:0]
+	for _, sg := range w.segs {
+		switch {
+		case sg.end() <= off:
+			if err := os.Remove(sg.path); err != nil {
+				return err
+			}
+			continue
+		case sg.base < off:
+			data, err := os.ReadFile(sg.path)
+			if err != nil {
+				return err
+			}
+			tail := data[sg.skip+(off-sg.base):]
+			if err := writeFileAtomic(sg.path, func(f *os.File) error {
+				if len(tail) == 0 {
+					return nil
+				}
+				_, err := f.Write(tail)
+				return err
+			}); err != nil {
+				return err
+			}
+			sg.base, sg.skip, sg.size = off, 0, int64(len(tail))
+		}
+		keep = append(keep, sg)
+	}
+	w.segs = keep
+	if off <= w.base {
+		// Rotation moved the whole active file past the cut while the
+		// snapshot was being written; it survives untouched.
+		return nil
+	}
 	var tail []byte
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	if keep := off - w.base; int64(len(data)) > keep {
-		tail = data[keep:]
+	if cut := w.skip + (off - w.base); int64(len(data)) > cut {
+		tail = data[cut:]
 	}
 	if err := writeFileAtomic(path, func(f *os.File) error {
 		if len(tail) == 0 {
@@ -394,6 +523,8 @@ func (w *journalWriter) compactTo(off int64, path string) error {
 	w.f.Close()
 	w.f = nf
 	w.base = off
+	w.skip = 0
+	w.fsize = int64(len(tail))
 	return nil
 }
 
@@ -448,7 +579,38 @@ func (w *journalWriter) close() error {
 	return w.f.Close()
 }
 
+// segCount returns how many sealed segments are on disk right now.
+func (w *journalWriter) segCount() int {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	return len(w.segs)
+}
+
 // journalPathIn returns dir's journal file path.
 func journalPathIn(dir string) string {
 	return filepath.Join(dir, journalFile)
+}
+
+// segmentPathIn returns the path of dir's sealed journal segment seq.
+func segmentPathIn(dir string, seq int) string {
+	return filepath.Join(dir, fmt.Sprintf("journal-%06d.seg", seq))
+}
+
+// segmentSeq reports the seal sequence number encoded in a sealed
+// segment's base file name (journal-NNNNNN.seg), or ok == false if the
+// name is not a segment.
+func segmentSeq(base string) (seq int, ok bool) {
+	const pre, suf = "journal-", ".seg"
+	if len(base) <= len(pre)+len(suf) ||
+		base[:len(pre)] != pre || base[len(base)-len(suf):] != suf {
+		return 0, false
+	}
+	digits := base[len(pre) : len(base)-len(suf)]
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		seq = seq*10 + int(c-'0')
+	}
+	return seq, true
 }

@@ -119,10 +119,14 @@ type journalOp struct {
 // durable before it is acknowledged. Call SaveState periodically to
 // compact. JournalBatch and JournalDelay must be set before OpenState.
 func (s *Server) OpenState(dir string) error {
+	if dir == "" {
+		return fmt.Errorf("server: empty state directory")
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	if err := s.LoadState(dir); err != nil {
+	tail, err := s.loadStateDir(dir)
+	if err != nil {
 		return err
 	}
 	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
@@ -135,6 +139,23 @@ func (s *Server) OpenState(dir string) error {
 		return err
 	}
 	size := fi.Size()
+	// Crash repair: replay tolerated a torn final record, but appending
+	// after one would bury it mid-file where the next replay must treat
+	// it as corruption. Seal a cleanly-applied JSON line with the
+	// newline the crash ate; truncate away anything replay dropped.
+	if tail.terminate {
+		if _, err := f.Write([]byte{'\n'}); err != nil {
+			f.Close()
+			return err
+		}
+		size = tail.size + 1
+	} else if size > tail.size {
+		if err := f.Truncate(tail.size); err != nil {
+			f.Close()
+			return err
+		}
+		size = tail.size
+	}
 	if size == 0 {
 		// Fresh journal: write the self-identifying format header. It
 		// goes straight to the file, outside the journal writer, so it
@@ -151,7 +172,38 @@ func (s *Server) OpenState(dir string) error {
 		}
 		size = int64(len(hdr))
 	}
-	jw := newJournalWriter(f, size, s.JournalBatch, s.JournalDelay)
+	// Register any sealed segments already on disk so compaction can
+	// drop them once a snapshot covers them. At open, every surviving
+	// physical byte counts as logical (skip stays zero): logical offsets
+	// are session-local, and assigning segment bases cumulatively from
+	// zero keeps enq = "total logical bytes on disk" exactly as in the
+	// single-file scheme.
+	jpaths, err := journalFilesIn(dir)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	var segs []segInfo
+	var segBase int64
+	nextSeq := 0
+	for _, p := range jpaths[:len(jpaths)-1] {
+		sfi, err := os.Stat(p)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		seq, _ := segmentSeq(filepath.Base(p))
+		segs = append(segs, segInfo{path: p, seq: seq, base: segBase, size: sfi.Size()})
+		segBase += sfi.Size()
+		nextSeq = seq + 1
+	}
+	jw := newJournalWriter(f, segBase+size, s.JournalBatch, s.JournalDelay)
+	jw.dir = dir
+	jw.segBytes = s.JournalSegmentBytes
+	jw.segs = segs
+	jw.nextSeq = nextSeq
+	jw.base = segBase
+	jw.fsize = size
 	jw.syncCost = s.JournalSyncCost
 	jw.ship = s.JournalShip
 	if s.CrashAfterJournalOps > 0 {
@@ -320,8 +372,16 @@ func (s *Server) SaveState(dir string) error {
 	}
 	// Not journaling into dir (detached server, or a snapshot exported
 	// to a foreign directory): leave any live journal alone, but empty
-	// dir's own journal file so a stale one is not replayed on top of
-	// the fresh snapshot.
+	// dir's own journal file — and delete any stale sealed segments —
+	// so old journal bytes are not replayed on top of the fresh
+	// snapshot.
+	if jpaths, err := journalFilesIn(dir); err == nil {
+		for _, p := range jpaths[:len(jpaths)-1] {
+			if err := os.Remove(p); err != nil {
+				return err
+			}
+		}
+	}
 	if c.journaling || fileExists(journalPathIn(dir)) {
 		return os.WriteFile(journalPathIn(dir), nil, 0o644)
 	}
@@ -329,25 +389,21 @@ func (s *Server) SaveState(dir string) error {
 }
 
 // LoadState restores a server's stores from dir: the snapshot first,
-// then the journal replayed on top. Missing files are treated as empty
-// stores, so a fresh directory loads cleanly. A truncated final journal
-// line — the signature of a crash mid-append — is dropped; corruption
-// anywhere else is an error.
+// then the journal — sealed segments in seal order, then the active
+// file — replayed on top. Record decode runs on ReplayWorkers
+// goroutines with per-shard apply queues (replay.go); the restored
+// stores are bit-identical to a serial replay at any worker count.
+// Missing files are treated as empty stores, so a fresh directory
+// loads cleanly. A truncated final record in the active journal — the
+// signature of a crash mid-append — is dropped; corruption anywhere
+// else (including a torn tail inside a sealed segment, or a gap in the
+// segment sequence) is an error.
 func (s *Server) LoadState(dir string) error {
 	if dir == "" {
 		return fmt.Errorf("server: empty state directory")
 	}
-	if err := s.loadOps(filepath.Join(dir, snapshotFile), false); err != nil {
-		return err
-	}
-	return s.loadOps(journalPathIn(dir), true)
-}
-
-// loadOps replays one state file. tolerateTail drops a torn final
-// record instead of failing (journals can lose their tail to a crash
-// mid-append; snapshots are written atomically and cannot).
-func (s *Server) loadOps(path string, tolerateTail bool) error {
-	return scanOpsFile(path, tolerateTail, s.applyOp)
+	_, err := s.loadStateDir(dir)
+	return err
 }
 
 // scanOpsFile parses one state file record by record, calling fn per
@@ -505,9 +561,12 @@ func ScanStateOps(path string, tolerateTail bool, fn func(StateOp) error) error 
 	})
 }
 
-// StateFilePaths returns the snapshot and journal paths of a state
-// directory in replay order (snapshot first). Either file may be
-// absent; ScanStateOps treats a missing file as empty.
+// StateFilePaths returns the snapshot and active journal paths of a
+// state directory in replay order (snapshot first). Either file may be
+// absent; ScanStateOps treats a missing file as empty. Directories
+// written with journal segmentation enabled hold sealed segment files
+// between the two — use StateFiles for the complete replay-ordered
+// list.
 func StateFilePaths(dir string) (snapshot, journal string) {
 	return filepath.Join(dir, snapshotFile), journalPathIn(dir)
 }
@@ -536,47 +595,19 @@ func (s *Server) applyOp(op journalOp) error {
 		}
 		return s.addTestcases(tcs, false)
 	case opClient:
-		if op.ID == "" {
-			return fmt.Errorf("client op without id")
-		}
-		if op.Snapshot == nil {
-			return fmt.Errorf("client op without snapshot")
-		}
-		s.regMu.Lock()
-		sh := s.shardFor(op.ID)
-		sh.lock()
-		sh.clients[op.ID] = *op.Snapshot
-		if op.LastSeq > sh.lastSeq[op.ID] {
-			sh.lastSeq[op.ID] = op.LastSeq
-		}
-		sh.mu.Unlock()
-		if op.Nonce != "" {
-			s.nonces[op.Nonce] = op.ID
-		}
-		s.regMu.Unlock()
-		return nil
+		return s.applyClientShard(&op)
 	case opResults:
 		runs, err := core.DecodeRuns(strings.NewReader(op.Payload))
 		if err != nil {
 			return err
 		}
-		sh := s.shardFor(op.ID)
-		sh.lock()
-		if op.Seq > 0 {
-			if _, ok := sh.clients[op.ID]; !ok {
-				sh.mu.Unlock()
-				return fmt.Errorf("results op for unknown client %q", op.ID)
-			}
-			if op.Seq <= sh.lastSeq[op.ID] {
-				sh.mu.Unlock()
-				return nil // already covered by the snapshot
-			}
-			sh.lastSeq[op.ID] = op.Seq
+		keep, err := s.applyResultsShard(&op)
+		if err != nil || !keep {
+			return err
 		}
 		s.resMu.Lock()
 		s.results = append(s.results, runs...)
 		s.resMu.Unlock()
-		sh.mu.Unlock()
 		return nil
 	default:
 		return fmt.Errorf("unknown op %q", op.Op)

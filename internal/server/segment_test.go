@@ -1,0 +1,480 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"uucs/internal/core"
+)
+
+// seedSegmentedState drives nClients registrations and nBatches result
+// uploads per client through a journaling server with the given
+// rotation threshold, then closes it — leaving dir exactly the way a
+// crash-free shutdown does: sealed segments plus the active journal,
+// no snapshot. Every run carries a unique offset so state fingerprints
+// detect any lost, duplicated, or reordered record.
+func seedSegmentedState(t *testing.T, dir string, segBytes int64, nClients, nBatches int) []string {
+	t.Helper()
+	s := New(1)
+	s.JournalSegmentBytes = segBytes
+	if err := s.OpenState(dir); err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, nClients)
+	for i := range ids {
+		id, err := s.register(testSnapshot(), fmt.Sprintf("seg-nonce-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for seq := 1; seq <= nBatches; seq++ {
+		for i, id := range ids {
+			run := testRun()
+			run.Offset = float64(seq*100 + i)
+			runs := []*core.Run{run}
+			if _, err := s.addResults(id, uint64(seq), encodeRuns(t, runs), runs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+// stateFingerprint flattens a server's restored state into comparable
+// bytes: the full result store in order plus the registry counts. Two
+// replays are bit-identical iff their fingerprints match.
+func stateFingerprint(t *testing.T, s *Server) string {
+	t.Helper()
+	var b strings.Builder
+	if err := core.EncodeRuns(&b, s.Results(), true); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&b, "clients=%d testcases=%d\n", s.ClientCount(), s.TestcaseCount())
+	return b.String()
+}
+
+// loadFingerprint replays dir with the given worker count and returns
+// the state fingerprint.
+func loadFingerprint(t *testing.T, dir string, workers int) string {
+	t.Helper()
+	s := New(1)
+	s.ReplayWorkers = workers
+	if err := s.LoadState(dir); err != nil {
+		t.Fatal(err)
+	}
+	return stateFingerprint(t, s)
+}
+
+// segmentFiles returns dir's sealed segment paths in name order.
+func segmentFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "journal-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return segs
+}
+
+func TestJournalRotationSealsSegments(t *testing.T) {
+	dir := t.TempDir()
+	ids := seedSegmentedState(t, dir, 600, 4, 10)
+
+	segs := segmentFiles(t, dir)
+	if len(segs) < 2 {
+		t.Fatalf("rotation sealed %d segments, want >= 2", len(segs))
+	}
+	if _, err := os.Stat(filepath.Join(dir, journalFile)); err != nil {
+		t.Fatalf("no active journal next to the sealed segments: %v", err)
+	}
+
+	restored := New(1)
+	if err := restored.LoadState(dir); err != nil {
+		t.Fatal(err)
+	}
+	if restored.ClientCount() != 4 {
+		t.Errorf("clients = %d, want 4", restored.ClientCount())
+	}
+	if got := len(restored.Results()); got != 40 {
+		t.Errorf("results = %d, want 40", got)
+	}
+	// The dedup high-water marks replayed across the segment boundaries:
+	// every acked (id, seq) pair is still a dup.
+	runs := []*core.Run{testRun()}
+	for _, id := range ids {
+		dup, err := restored.addResults(id, 10, encodeRuns(t, runs), runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dup {
+			t.Errorf("client %s seq 10 re-applied after segmented replay", id)
+		}
+	}
+}
+
+// TestSegmentedReplayBitIdenticalToSingleFile drives the identical op
+// sequence through a single-file journal and a multi-segment one, then
+// demands byte-identical restored state from every replay mode —
+// serial single-file (the pre-segmentation baseline), and segmented at
+// 1, 2 and 8 decode workers — including after a torn tail is appended
+// to both active journals.
+func TestSegmentedReplayBitIdenticalToSingleFile(t *testing.T) {
+	single, segmented := t.TempDir(), t.TempDir()
+	seedSegmentedState(t, single, 0, 4, 10)
+	seedSegmentedState(t, segmented, 600, 4, 10)
+	if len(segmentFiles(t, segmented)) < 2 {
+		t.Fatal("fixture sealed no segments; the comparison is vacuous")
+	}
+
+	baseline := loadFingerprint(t, single, 1)
+	for _, workers := range []int{1, 2, 8} {
+		if got := loadFingerprint(t, segmented, workers); got != baseline {
+			t.Errorf("segmented replay at %d workers diverged from the serial single-file baseline", workers)
+		}
+	}
+
+	// A crash mid-append tears the active journal's last record the same
+	// way in both layouts; the torn record drops identically.
+	torn := []byte(`{"op":"results","id":"uucs-0000000000000001","seq`)
+	for _, dir := range []string{single, segmented} {
+		f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(torn); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	baseline = loadFingerprint(t, single, 1)
+	for _, workers := range []int{1, 2, 8} {
+		if got := loadFingerprint(t, segmented, workers); got != baseline {
+			t.Errorf("torn-tail segmented replay at %d workers diverged from the serial baseline", workers)
+		}
+	}
+}
+
+// TestParallelReplayMatchesSerial pins the parallel decoder's error
+// parity: a poisoned record (complete frame, corrupted CRC) mid-journal
+// must produce the exact error the serial loader reports, at any worker
+// count, with no partial state divergence on the clean prefix.
+func TestParallelReplayMatchesSerial(t *testing.T) {
+	const id = "uucs-00000000000000cc"
+	clean := t.TempDir()
+	seedSegmentedState(t, clean, 600, 4, 10)
+
+	// Clean dirs first: parallel state must match serial state.
+	serial := loadFingerprint(t, clean, 1)
+	for _, workers := range []int{2, 8} {
+		if got := loadFingerprint(t, clean, workers); got != serial {
+			t.Errorf("parallel replay at %d workers diverged from serial", workers)
+		}
+	}
+
+	// Poison mid-file: a complete frame whose CRC is wrong, followed by
+	// more valid records, replicated into every dir layout.
+	_, resWire := resultsFrame(t, id, 1, encodeRuns(t, []*core.Run{testRun()}))
+	bad := append([]byte(nil), resWire...)
+	bad[len(bad)-1] ^= 0x01
+	poisoned := t.TempDir()
+	seedSegmentedState(t, poisoned, 600, 4, 10)
+	f, err := os.OpenFile(filepath.Join(poisoned, journalFile), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(append(bad, resWire...)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	errAtWorkers := func(workers int) string {
+		s := New(1)
+		s.ReplayWorkers = workers
+		err := s.LoadState(poisoned)
+		if err == nil {
+			t.Fatalf("poisoned journal accepted at %d workers", workers)
+		}
+		return err.Error()
+	}
+	want := errAtWorkers(1)
+	for _, workers := range []int{2, 8} {
+		if got := errAtWorkers(workers); got != want {
+			t.Errorf("error at %d workers:\n got %q\nwant %q", workers, got, want)
+		}
+	}
+}
+
+// TestMissingMiddleSegmentPoisons: compaction only ever deletes sealed
+// segments from the front, so a gap in the segment sequence means
+// acked ops are missing — the replay must refuse, not silently skip.
+func TestMissingMiddleSegmentPoisons(t *testing.T) {
+	dir := t.TempDir()
+	seedSegmentedState(t, dir, 600, 4, 10)
+	segs := segmentFiles(t, dir)
+	if len(segs) < 3 {
+		t.Fatalf("fixture sealed %d segments, want >= 3", len(segs))
+	}
+	if err := os.Remove(segs[1]); err != nil {
+		t.Fatal(err)
+	}
+	err := New(1).LoadState(dir)
+	if err == nil {
+		t.Fatal("journal with a missing middle segment accepted")
+	}
+	if !strings.Contains(err.Error(), "sequence gap") {
+		t.Errorf("err = %v, want a segment sequence gap", err)
+	}
+}
+
+// TestSealedSegmentTornTailPoisons pins the segment-boundary torn-tail
+// rule: only the ACTIVE journal's final record may be torn (a crash
+// mid-append). A sealed segment was complete when rotation renamed it,
+// so a tear inside one is corruption and must poison the replay — while
+// the same tear at the end of the active journal stays tolerated.
+func TestSealedSegmentTornTailPoisons(t *testing.T) {
+	dir := t.TempDir()
+	seedSegmentedState(t, dir, 600, 4, 10)
+	segs := segmentFiles(t, dir)
+	if len(segs) < 2 {
+		t.Fatalf("fixture sealed %d segments, want >= 2", len(segs))
+	}
+
+	// Control: the same truncation applied to the active journal is a
+	// crash artifact and must be tolerated.
+	activeDir := t.TempDir()
+	seedSegmentedState(t, activeDir, 600, 4, 10)
+	active := filepath.Join(activeDir, journalFile)
+	fi, err := os.Stat(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() < 8 {
+		t.Fatalf("active journal too small to tear: %d bytes", fi.Size())
+	}
+	if err := os.Truncate(active, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	if err := New(1).LoadState(activeDir); err != nil {
+		t.Fatalf("torn active journal tail rejected: %v", err)
+	}
+
+	// The tear inside a sealed segment must poison.
+	last := segs[len(segs)-1]
+	fi, err = os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	if err := New(1).LoadState(dir); err == nil {
+		t.Fatal("torn tail inside a sealed segment accepted")
+	}
+}
+
+// TestOpenStateRepairsTornTail pins the crash-tail repair: OpenState
+// must not append new records after a torn one — that would bury the
+// tear mid-file and poison the NEXT replay. A torn record that did not
+// decode is truncated away; one that decoded and applied cleanly IS
+// state, so it is sealed with the newline the crash ate.
+func TestOpenStateRepairsTornTail(t *testing.T) {
+	t.Run("undecodable tear truncated", func(t *testing.T) {
+		dir := t.TempDir()
+		ids := seedSegmentedState(t, dir, 0, 1, 2)
+		path := filepath.Join(dir, journalFile)
+		before, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The nonexistent id keeps the fragment distinguishable from any
+		// record legitimately appended after the repair.
+		torn := []byte(`{"op":"results","id":"torn-fragment-sentinel","seq`)
+		if err := os.WriteFile(path, append(append([]byte(nil), before...), torn...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		s := New(1)
+		if err := s.OpenState(dir); err != nil {
+			t.Fatal(err)
+		}
+		run := testRun()
+		run.Offset = 777
+		runs := []*core.Run{run}
+		if _, err := s.addResults(ids[0], 3, encodeRuns(t, runs), runs); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// The torn bytes are gone; the new record follows the clean prefix.
+		after, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(after), string(before)) {
+			t.Fatal("repair disturbed the clean journal prefix")
+		}
+		if strings.Contains(string(after), string(torn)) {
+			t.Fatal("torn record still buried in the journal")
+		}
+		restored := New(1)
+		if err := restored.LoadState(dir); err != nil {
+			t.Fatalf("journal poisoned by append-after-tear: %v", err)
+		}
+		if got := len(restored.Results()); got != 3 {
+			t.Errorf("results = %d, want 3 (2 seeded + 1 post-repair)", got)
+		}
+	})
+
+	t.Run("cleanly applied tear sealed", func(t *testing.T) {
+		dir := t.TempDir()
+		ids := seedSegmentedState(t, dir, 0, 1, 2)
+		path := filepath.Join(dir, journalFile)
+		// A record whose newline the crash ate but whose JSON is complete:
+		// it decodes, applies, and IS state — repair must keep it.
+		run := testRun()
+		run.Offset = 555
+		op := journalOp{Op: opResults, ID: ids[0], Seq: 3, Payload: encodeRuns(t, []*core.Run{run})}
+		line, err := appendJSONLine(nil, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		line = line[:len(line)-1] // eat the newline: torn but decodable
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(line); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		s := New(1)
+		if err := s.OpenState(dir); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(s.Results()); got != 3 {
+			t.Fatalf("results after open = %d, want 3 (torn-but-complete record lost)", got)
+		}
+		run2 := testRun()
+		run2.Offset = 888
+		runs := []*core.Run{run2}
+		if _, err := s.addResults(ids[0], 4, encodeRuns(t, runs), runs); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		restored := New(1)
+		if err := restored.LoadState(dir); err != nil {
+			t.Fatalf("journal poisoned by append-after-sealed-tear: %v", err)
+		}
+		if got := len(restored.Results()); got != 4 {
+			t.Errorf("results = %d, want 4", got)
+		}
+	})
+}
+
+// TestSaveStateCompactsSegments: once a snapshot covers them, sealed
+// segments are deleted outright (never rewritten) and the active
+// journal truncates to empty — then the compacted dir restores the
+// identical state.
+func TestSaveStateCompactsSegments(t *testing.T) {
+	dir := t.TempDir()
+	s := New(1)
+	s.JournalSegmentBytes = 600
+	if err := s.OpenState(dir); err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.register(testSnapshot(), "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 1; seq <= 20; seq++ {
+		run := testRun()
+		run.Offset = float64(seq)
+		runs := []*core.Run{run}
+		if _, err := s.addResults(id, uint64(seq), encodeRuns(t, runs), runs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(segmentFiles(t, dir)) < 2 {
+		t.Fatal("fixture sealed no segments before compaction")
+	}
+	want := stateFingerprint(t, s)
+
+	if err := s.SaveState(dir); err != nil {
+		t.Fatal(err)
+	}
+	if segs := segmentFiles(t, dir); len(segs) != 0 {
+		t.Errorf("covered sealed segments survived compaction: %v", segs)
+	}
+	fi, err := os.Stat(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 0 {
+		t.Errorf("active journal not truncated after compaction: %d bytes", fi.Size())
+	}
+
+	// The server keeps journaling into fresh segments after compaction.
+	for seq := 21; seq <= 30; seq++ {
+		run := testRun()
+		run.Offset = float64(seq)
+		runs := []*core.Run{run}
+		if _, err := s.addResults(id, uint64(seq), encodeRuns(t, runs), runs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want2 := stateFingerprint(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := loadFingerprint(t, dir, 0); got != want2 {
+		t.Error("post-compaction state diverged from the live server")
+	}
+	_ = want
+}
+
+// TestDuplicatedShippedRecordsReplayIdentically models a replica
+// journal that received the same shipped segment twice (a retry after
+// a lost ack at a rotation boundary): the duplicated records must
+// dedup on replay, restoring state bit-identical to the single-copy
+// journal at every worker count.
+func TestDuplicatedShippedRecordsReplayIdentically(t *testing.T) {
+	single, doubled := t.TempDir(), t.TempDir()
+	seedSegmentedState(t, single, 0, 2, 6)
+
+	// The doubled dir is the single journal with its back half appended
+	// twice — byte-for-byte what a re-shipped tail looks like.
+	data, err := os.ReadFile(filepath.Join(single, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-ship from a record boundary: find a mid-file newline.
+	cut := len(data) / 2
+	for cut < len(data) && data[cut-1] != '\n' {
+		cut++
+	}
+	if cut >= len(data) {
+		t.Fatal("no record boundary in the back half")
+	}
+	dup := append(append([]byte(nil), data...), data[cut:]...)
+	if err := os.WriteFile(filepath.Join(doubled, journalFile), dup, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	want := loadFingerprint(t, single, 1)
+	for _, workers := range []int{1, 2, 8} {
+		if got := loadFingerprint(t, doubled, workers); got != want {
+			t.Errorf("duplicated-shipment replay at %d workers diverged from the single-copy journal", workers)
+		}
+	}
+}

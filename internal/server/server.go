@@ -130,6 +130,21 @@ type Server struct {
 	// zero. Set before OpenState.
 	JournalSyncCost time.Duration
 
+	// JournalSegmentBytes, when positive, rotates the active journal
+	// into a sealed, numbered segment file (journal-NNNNNN.seg) once its
+	// size reaches this many bytes. Sealed segments are immutable:
+	// restart replay scans them in parallel, and SaveState's compaction
+	// deletes the fully covered ones instead of rewriting one growing
+	// file. Zero (the default) keeps the legacy single-file journal.
+	// Set before OpenState.
+	JournalSegmentBytes int64
+	// ReplayWorkers bounds the concurrent record-decode workers
+	// LoadState uses when replaying state files (0 means GOMAXPROCS;
+	// 1 decodes serially). Any value yields a bit-identical store — the
+	// knob trades restart latency against restart CPU. Set before
+	// OpenState.
+	ReplayWorkers int
+
 	// CrashAfterJournalOps is a crash-test hook (uucs-server
 	// -crash-after): once that many ops have been written to the
 	// journal file, the process SIGKILLs itself between the buffered
@@ -177,6 +192,10 @@ type Server struct {
 	closed bool
 
 	stats ingestCounters
+
+	// replayStats describes the most recent LoadState (cold-path health,
+	// surfaced by Stats and Telemetry next to the ingest readings).
+	replayStats replayStats
 }
 
 // New returns an empty server. seed drives the random testcase sampling.

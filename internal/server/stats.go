@@ -63,6 +63,15 @@ type IngestStats struct {
 	JournalBytes uint64 `json:"journal_bytes"`
 	// MeanBatch is JournalOps / JournalFsyncs (0 when no fsync ran).
 	MeanBatch float64 `json:"mean_batch"`
+	// SegmentsSealed is how many journal segments rotation sealed this
+	// process life (0 when segmentation is off).
+	SegmentsSealed uint64 `json:"segments_sealed,omitempty"`
+	// Replay* describe the most recent LoadState — the cold-path health
+	// readings: how long restart replay took and how much it covered.
+	ReplayNanos   int64  `json:"replay_nanos,omitempty"`
+	ReplayRecords uint64 `json:"replay_records,omitempty"`
+	ReplayFiles   uint64 `json:"replay_files,omitempty"`
+	ReplayBytes   uint64 `json:"replay_bytes,omitempty"`
 	// BatchHist counts group-commit batches by power-of-two size
 	// bucket: BatchHist[0] is batches of 1 op, BatchHist[b] covers
 	// (2^(b-1), 2^b] ops.
@@ -93,7 +102,12 @@ func (s *Server) Stats() IngestStats {
 		st.ShardLocks[i] = s.shards[i].locks.Load()
 		st.ShardWaits[i] = s.shards[i].waits.Load()
 	}
+	st.ReplayNanos = s.replayStats.lastNanos.Load()
+	st.ReplayRecords = s.replayStats.records.Load()
+	st.ReplayFiles = s.replayStats.files.Load()
+	st.ReplayBytes = s.replayStats.bytes.Load()
 	if jw := s.journal(); jw != nil {
+		st.SegmentsSealed = jw.sealed.Load()
 		st.JournalOps = jw.ops.Load()
 		st.JournalFsyncs = jw.fsyncs.Load()
 		st.JournalBytes = jw.bytesOut.Load()

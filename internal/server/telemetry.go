@@ -101,6 +101,30 @@ func (s *Server) Telemetry() *telemetry.Snapshot {
 			Pressure: telemetry.Ratio(float64(backlogMax), float64(2*jw.maxBatch)),
 			Detail:   fmt.Sprintf("now %d, peak %d", backlog, backlogMax),
 		})
+		// Cold-path health: segment churn. Rotation keeps the next
+		// restart's replay (and compaction cost) bounded; the sample is
+		// informational, so it carries no pressure.
+		if st.SegmentsSealed > 0 || jw.segBytes > 0 {
+			snap.Add(telemetry.Sample{
+				Resource: "journal-segments", Axis: telemetry.Utilization,
+				Metric: "segments sealed", Value: float64(st.SegmentsSealed), Unit: "segs",
+				Detail: fmt.Sprintf("%d on disk, rotate at %d bytes", jw.segCount(), jw.segBytes),
+			})
+		}
+	}
+
+	// Cold-path health: how long the last restart replay took and how
+	// much it covered. A growing replayLat next to healthy ingest means
+	// the next crash's recovery window is growing — the signal to lower
+	// the snapshot interval or the segment size.
+	if st.ReplayNanos > 0 {
+		snap.Add(telemetry.Sample{
+			Resource: "replay", Axis: telemetry.Saturation,
+			Metric: "last replay latency", Value: float64(st.ReplayNanos), Unit: "ns",
+			Detail: fmt.Sprintf("%d records over %d files (%d bytes) in %v",
+				st.ReplayRecords, st.ReplayFiles, st.ReplayBytes,
+				time.Duration(st.ReplayNanos).Round(time.Microsecond)),
+		})
 	}
 
 	// Errors: dedup churn, wire rejects, journal poison.

@@ -188,6 +188,101 @@ smoke() {
     say "PASS: $GOT/$WANT runs survived the mid-fsync crash exactly once"
 }
 
+# --- the segmented-journal restart smoke ------------------------------
+
+# restart_smoke: SIGKILL the server after rotation has sealed several
+# journal segments, then prove the restart reassembles state from the
+# multi-segment journal exactly once. Unlike smoke() the kill is
+# external (kill -9 from here, not the -crash-after hook) and lands
+# after seals are observed on disk, so the replay that follows crosses
+# real segment boundaries.
+restart_smoke() {
+    local CLIENTS=3 RUNS=6 ROUNDS=2 WANT_SEGS=2
+    local STATE="$WORK/segstate" LOG1="$WORK/segserver1.log" LOG2="$WORK/segserver2.log"
+    local OUT="$WORK/segresults.txt"
+
+    local ADDR
+    ADDR="127.0.0.1:$(pick_free_port)"
+
+    # Tiny segments so a handful of uploads seals several; a huge
+    # -flush so no snapshot compacts the sealed segments away before
+    # the kill.
+    say "restart: server on $ADDR with -journal-segment-bytes 1024"
+    "$BIN/uucs-server" -addr "$ADDR" -state "$STATE" -generate 30 \
+        -out "$OUT" -seed 7 -flush 1h -journal-segment-bytes 1024 \
+        >"$LOG1" 2>&1 &
+    SERVER_PID=$!
+    wait_for_line "$LOG1" 'listening on'
+
+    say "restart: $CLIENTS clients x $RUNS runs against $ADDR (protocol $PROTO)"
+    local pids=() i
+    for i in $(seq 1 "$CLIENTS"); do
+        "$BIN/uucs-client" -server "$ADDR" -store "$WORK/segclient$i" \
+            -hostname "e2e-seg-host-$i" -seed "$((200 + i))" -runs "$RUNS" \
+            -protocol "$PROTO" \
+            -timeout 5s -retries 12 -retry-base 100ms -retry-max 1s \
+            >"$WORK/segclient$i.round1.log" 2>&1 &
+        pids+=($!)
+    done
+
+    # Wait until rotation has sealed at least WANT_SEGS segments, then
+    # SIGKILL — no flush, no goodbye, segments and a possibly-torn
+    # active journal left behind.
+    local segs=0
+    for i in $(seq 1 100); do
+        segs="$(ls "$STATE"/journal-*.seg 2>/dev/null | wc -l)"
+        [ "$segs" -ge "$WANT_SEGS" ] && break
+        sleep 0.1
+    done
+    [ "$segs" -ge "$WANT_SEGS" ] || fail "only $segs journal segments sealed, want >= $WANT_SEGS"
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+    say "restart: server SIGKILLed with $segs sealed segments on disk"
+
+    say "restart: server back on $ADDR from the segmented journal"
+    "$BIN/uucs-server" -addr "$ADDR" -state "$STATE" -out "$OUT" -seed 7 \
+        -flush 1h -journal-segment-bytes 1024 >"$LOG2" 2>&1 &
+    SERVER_PID=$!
+    wait_for_line "$LOG2" 'listening on'
+    grep -q 'restored' "$LOG2" || fail "restart did not restore from $STATE"
+
+    # Round-1 clients ride through the kill: every one must converge.
+    local code
+    for i in "${!pids[@]}"; do
+        code=0
+        wait "${pids[$i]}" || code=$?
+        [ "$code" -eq 0 ] || fail "restart round-1 client $((i + 1)) exited $code: $(cat "$WORK/segclient$((i + 1)).round1.log")"
+    done
+    say "restart: round 1 converged across the kill"
+
+    say "restart: round 2, same stores, continuing sequence numbers"
+    pids=()
+    for i in $(seq 1 "$CLIENTS"); do
+        "$BIN/uucs-client" -server "$ADDR" -store "$WORK/segclient$i" \
+            -hostname "e2e-seg-host-$i" -seed "$((200 + i))" -runs "$RUNS" \
+            -protocol "$PROTO" \
+            -timeout 5s -retries 12 -retry-base 100ms -retry-max 1s \
+            >"$WORK/segclient$i.round2.log" 2>&1 &
+        pids+=($!)
+    done
+    for i in "${!pids[@]}"; do
+        code=0
+        wait "${pids[$i]}" || code=$?
+        [ "$code" -eq 0 ] || fail "restart round-2 client $((i + 1)) exited $code: $(cat "$WORK/segclient$((i + 1)).round2.log")"
+    done
+
+    say "restart: graceful shutdown and final flush"
+    kill -TERM "$SERVER_PID"
+    wait "$SERVER_PID" || true
+    SERVER_PID=""
+
+    local WANT=$((CLIENTS * RUNS * ROUNDS)) GOT
+    GOT="$(grep -c '^run ' "$OUT" || true)"
+    [ "$GOT" -eq "$WANT" ] || fail "segmented dataset has $GOT runs, want exactly $WANT (lost or duplicated batches)"
+    say "PASS: $GOT/$WANT runs survived the multi-segment SIGKILL exactly once"
+}
+
 # --- seeded chaos regression replay -----------------------------------
 
 seeds() {
@@ -211,13 +306,15 @@ use_verdict() {
 
 case "$MODE" in
 -smoke) smoke ;;
+-restart) restart_smoke ;;
 -seeds) seeds ;;
 all)
     smoke
+    restart_smoke
     seeds
     use_verdict
     ;;
-*) fail "unknown mode $MODE (want -smoke, -seeds, or nothing)" ;;
+*) fail "unknown mode $MODE (want -smoke, -restart, -seeds, or nothing)" ;;
 esac
 
 say "done"
